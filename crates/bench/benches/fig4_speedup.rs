@@ -1,0 +1,35 @@
+//! Criterion companion to the `fig4` binary: times a full simulated run of
+//! each Figure 4 system on each SPLASH-2 kernel (Tiny scale so the suite
+//! stays fast) and reports the simulated speedup as auxiliary output.
+//!
+//! The *figures themselves* come from `cargo run -p ptm-bench --bin fig4`;
+//! this bench tracks the simulator's own performance per system, which is
+//! proportional to the event counts each TM design generates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptm_bench::run_workload;
+use ptm_sim::SystemKind;
+use ptm_workloads::{splash2, Scale};
+
+fn fig4_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for w in splash2(Scale::Tiny) {
+        for kind in SystemKind::figure4() {
+            group.bench_with_input(
+                BenchmarkId::new(w.name, kind.label()),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| {
+                        let m = run_workload(&w, kind);
+                        std::hint::black_box(m.stats().cycles)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4_speedup);
+criterion_main!(benches);

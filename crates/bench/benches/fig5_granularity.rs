@@ -1,0 +1,42 @@
+//! Criterion companion to the `fig5` binary: times simulated runs of the
+//! word-granularity configurations. The regenerated figure comes from
+//! `cargo run -p ptm-bench --bin fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptm_bench::run_workload;
+use ptm_sim::SystemKind;
+use ptm_workloads::{radix, splash2, Scale};
+
+fn fig5_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for w in splash2(Scale::Tiny) {
+        for kind in SystemKind::figure5() {
+            group.bench_with_input(
+                BenchmarkId::new(w.name, kind.label()),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| {
+                        let m = run_workload(&w, kind);
+                        std::hint::black_box(m.stats().aborts)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // The paper's headline Figure 5 effect, asserted as a measurement:
+    // radix aborts fall when moving to word granularity.
+    let w = radix::workload(Scale::Tiny);
+    let blk = run_workload(&w, SystemKind::SelectPtm(ptm_types::Granularity::Block));
+    let wd = run_workload(&w, SystemKind::SelectPtm(ptm_types::Granularity::WordCacheMem));
+    eprintln!(
+        "radix aborts: blk-only={} wd:cache+mem={}",
+        blk.stats().aborts,
+        wd.stats().aborts
+    );
+}
+
+criterion_group!(benches, fig5_granularity);
+criterion_main!(benches);

@@ -1,0 +1,253 @@
+//! Microbenchmarks of the PTM/VTM hardware structures themselves: TAV
+//! arena operations, selection-vector manipulation, the VTS LRU trackers,
+//! the XF counting Bloom filter, and the two systems' conflict-check fast
+//! paths. These quantify the per-event costs behind the end-to-end figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
+use ptm_core::system::AccessKind;
+use ptm_core::vts::LruTracker;
+use ptm_core::{PtmConfig, PtmSystem};
+use ptm_mem::{PhysicalMemory, SpecBlock};
+use ptm_types::{BlockIdx, BlockVec, FrameId, PhysBlock, TxId, VirtAddr, WordIdx, WordMask};
+use ptm_vtm::CountingBloom;
+
+fn bench_block_vec(c: &mut Criterion) {
+    c.bench_function("blockvec/toggle+summary", |b| {
+        let mut v = BlockVec(0x0123_4567_89ab_cdef);
+        b.iter(|| {
+            v.toggle(BlockIdx(17));
+            std::hint::black_box(v.count())
+        })
+    });
+}
+
+fn bench_tav_arena(c: &mut Criterion) {
+    c.bench_function("tav/alloc-record-free", |b| {
+        let mut arena = ptm_core::tav::TavArena::new();
+        b.iter(|| {
+            let r = arena.alloc(TxId(1), FrameId(0));
+            arena.get_mut(r).record_write(BlockIdx(3), Some(WordMask(0xf)));
+            let w = arena.write_summary(Some(r));
+            arena.free(r);
+            std::hint::black_box(w)
+        })
+    });
+}
+
+fn bench_lru_tracker(c: &mut Criterion) {
+    c.bench_function("vts/lru-touch-512", |b| {
+        let mut t: LruTracker<u32> = LruTracker::new(512);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            std::hint::black_box(t.touch(i % 700))
+        })
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    c.bench_function("xf/insert-query-remove", |b| {
+        let mut xf = CountingBloom::new(100_000, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 64;
+            let a = VirtAddr::new(i % (1 << 20));
+            xf.insert(a);
+            let hit = xf.may_contain(a);
+            xf.remove(a);
+            std::hint::black_box(hit)
+        })
+    });
+}
+
+fn bench_ptm_conflict_check(c: &mut Criterion) {
+    // A page with four transactions' overflowed state: the common conflict-
+    // check path (SPT cache hit, summary says maybe, TAV examination).
+    let mut ptm = PtmSystem::new(PtmConfig::select());
+    let mut mem = PhysicalMemory::new(64);
+    let mut bus = SystemBus::new(BusTimings::default());
+    for _ in 0..8 {
+        let f = mem.alloc().unwrap();
+        ptm.on_page_alloc(f);
+    }
+    for t in 0..4u64 {
+        let tx = TxId(t);
+        ptm.begin(tx, None);
+        let mut meta = TxLineMeta::new(tx);
+        meta.record_write(WordIdx(0));
+        let spec = SpecBlock {
+            data: [0; 64],
+            written: WordMask(1),
+        };
+        ptm.on_tx_eviction(
+            &meta,
+            PhysBlock::new(FrameId(0), BlockIdx(t as u8)),
+            Some(&spec),
+            false,
+            &mut mem,
+            0,
+            &mut bus,
+        );
+    }
+    c.bench_function("ptm/conflict-check-hot", |b| {
+        let mut now = 1000u64;
+        b.iter(|| {
+            now += 10;
+            let out = ptm.check_conflict(
+                Some(TxId(99)),
+                PhysBlock::new(FrameId(0), BlockIdx(2)),
+                WordIdx(0),
+                AccessKind::Read,
+                now,
+                &mut bus,
+            );
+            std::hint::black_box(out.conflicts.len())
+        })
+    });
+}
+
+fn bench_ptm_commit(c: &mut Criterion) {
+    c.bench_function("ptm/overflow-commit-cycle", |b| {
+        let mut ptm = PtmSystem::new(PtmConfig::select());
+        let mut mem = PhysicalMemory::new(256);
+        let mut bus = SystemBus::new(BusTimings::default());
+        for _ in 0..16 {
+            let f = mem.alloc().unwrap();
+            ptm.on_page_alloc(f);
+        }
+        let mut t = 0u64;
+        b.iter(|| {
+            let tx = TxId(t);
+            t += 1;
+            ptm.begin(tx, None);
+            let mut meta = TxLineMeta::new(tx);
+            meta.record_write(WordIdx(0));
+            let spec = SpecBlock {
+                data: [t as u8; 64],
+                written: WordMask(1),
+            };
+            for page in 0..4u32 {
+                ptm.on_tx_eviction(
+                    &meta,
+                    PhysBlock::new(FrameId(page), BlockIdx((t % 64) as u8)),
+                    Some(&spec),
+                    false,
+                    &mut mem,
+                    t * 100,
+                    &mut bus,
+                );
+            }
+            std::hint::black_box(ptm.commit(tx, &mut mem, t * 100 + 50, &mut bus))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_block_vec,
+    bench_tav_arena,
+    bench_lru_tracker,
+    bench_bloom,
+    bench_ptm_conflict_check,
+    bench_ptm_commit
+);
+
+
+// ---------------------------------------------------------------------
+// Appended: VTM and LogTM micro paths (overflow, conflict checks, commit).
+// ---------------------------------------------------------------------
+
+mod extra {
+    use super::*;
+    use ptm_sim::logtm::LogTmSystem;
+    use ptm_types::ProcessId;
+    use ptm_vtm::{VtmConfig, VtmSystem};
+
+    pub fn bench_vtm_overflow_commit(c: &mut Criterion) {
+        c.bench_function("vtm/overflow-commit-cycle", |b| {
+            let mut vtm = VtmSystem::new(VtmConfig::baseline());
+            let mut mem = PhysicalMemory::new(64);
+            let frame = mem.alloc().unwrap();
+            let mut bus = SystemBus::new(BusTimings::default());
+            let mut t = 0u64;
+            b.iter(|| {
+                let tx = TxId(t);
+                t += 1;
+                vtm.begin(tx);
+                let mut meta = TxLineMeta::new(tx);
+                meta.record_write(WordIdx(0));
+                let spec = SpecBlock {
+                    data: [t as u8; 64],
+                    written: WordMask(1),
+                };
+                for i in 0..4u64 {
+                    vtm.on_tx_eviction(
+                        &meta,
+                        (ProcessId(0), VirtAddr::new(0x1000 + i * 64)),
+                        Some(&spec),
+                        [0; 64],
+                        t * 100,
+                        &mut bus,
+                    );
+                }
+                std::hint::black_box(vtm.commit(
+                    tx,
+                    &mut mem,
+                    |va| Some(PhysBlock::new(frame, va.block_in_page())),
+                    t * 100 + 50,
+                    &mut bus,
+                ))
+            })
+        });
+    }
+
+    pub fn bench_vtm_filtered_check(c: &mut Criterion) {
+        // The VTM fast path: XF says "definitely not overflowed".
+        let mut vtm = VtmSystem::new(VtmConfig::baseline());
+        vtm.begin(TxId(0));
+        let mut bus = SystemBus::new(BusTimings::default());
+        c.bench_function("vtm/xf-filtered-check", |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 64;
+                std::hint::black_box(vtm.check_conflict(
+                    Some(TxId(0)),
+                    (ProcessId(0), VirtAddr::new(0x10_0000 + (i % 65536))),
+                    WordIdx(0),
+                    AccessKind::Read,
+                    i,
+                    &mut bus,
+                ))
+            })
+        });
+    }
+
+    pub fn bench_logtm_log_and_abort(c: &mut Criterion) {
+        c.bench_function("logtm/log16-abort", |b| {
+            let mut mem = PhysicalMemory::new(8);
+            let f = mem.alloc().unwrap();
+            let mut bus = SystemBus::new(BusTimings::default());
+            let mut t = 0u64;
+            b.iter(|| {
+                let mut sys = LogTmSystem::new();
+                let tx = TxId(t);
+                t += 1;
+                sys.begin(tx);
+                for w in 0..16u32 {
+                    let addr = ptm_types::PhysAddr::from_frame(f, (w as usize) * 4);
+                    sys.log_write(tx, addr, w);
+                }
+                std::hint::black_box(sys.abort(tx, &mut mem, t * 10, &mut bus))
+            })
+        });
+    }
+}
+
+criterion_group!(
+    extra_benches,
+    extra::bench_vtm_overflow_commit,
+    extra::bench_vtm_filtered_check,
+    extra::bench_logtm_log_and_abort
+);
+criterion_main!(benches, extra_benches);

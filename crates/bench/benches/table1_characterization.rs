@@ -1,0 +1,24 @@
+//! Criterion companion to the `table1` binary: times the characterization
+//! run (Select-PTM) of each SPLASH-2 kernel. The regenerated table comes
+//! from `cargo run -p ptm-bench --bin table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptm_bench::table1_row;
+use ptm_workloads::{splash2, Scale};
+
+fn table1_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for w in splash2(Scale::Tiny) {
+        group.bench_function(w.name, |b| {
+            b.iter(|| {
+                let row = table1_row(&w);
+                std::hint::black_box((row.commits, row.pages, row.mop_per_evict))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_characterization);
+criterion_main!(benches);

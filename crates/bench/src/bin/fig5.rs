@@ -1,0 +1,44 @@
+//! Regenerates **Figure 5**: the benefit of conflict detection at word
+//! granularity — `blk-only` (Select-PTM), `wd:cache` (word-granular
+//! coherence, block-granular overflow state) and `wd:cache+mem` (words
+//! everywhere), against the lock baseline.
+//!
+//! ```text
+//! cargo run -p ptm-bench --release --bin fig5
+//! ```
+
+use ptm_bench::{average, scale_from_env, speedup_bars};
+use ptm_sim::SystemKind;
+use ptm_workloads::splash2;
+
+fn main() {
+    let scale = scale_from_env();
+    let systems = SystemKind::figure5();
+    println!("Figure 5 — word-granularity conflict detection (scale: {scale:?})\n");
+    print!("{:<8}", "app");
+    for s in systems {
+        print!("{:>14}", s.label());
+    }
+    println!("{:>14}", "blk aborts");
+
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
+    for w in splash2(scale) {
+        let (_serial, bars) = speedup_bars(&w, &systems);
+        print!("{:<8}", w.name);
+        for (i, b) in bars.iter().enumerate() {
+            print!("{:>13.0}%", b.speedup_pct);
+            columns[i].push(b.speedup_pct);
+        }
+        // Show the abort delta that explains the gain (blk vs wd:cache+mem).
+        print!("{:>8} → {:<4}", bars[1].aborts, bars[3].aborts);
+        println!();
+    }
+    print!("{:<8}", "Average");
+    for col in &columns {
+        print!("{:>13.0}%", average(col));
+    }
+    println!();
+    println!("\npaper: radix gains most (116% → 170%); wd:cache alone gives only minor");
+    println!("speedups (an evicted block with multiple word-writers still aborts);");
+    println!("the effect is benchmark-dependent and strongest where false sharing is.");
+}

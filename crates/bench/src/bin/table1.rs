@@ -1,0 +1,52 @@
+//! Regenerates **Table 1**: transactional-memory execution behaviour of the
+//! SPLASH-2 loop regions.
+//!
+//! ```text
+//! cargo run -p ptm-bench --release --bin table1
+//! PTM_SCALE=tiny cargo run -p ptm-bench --bin table1   # quick look
+//! ```
+
+use ptm_bench::{scale_from_env, table1_row};
+use ptm_workloads::splash2;
+
+/// The paper's Table 1 values, for side-by-side comparison.
+const PAPER: &[(&str, u64, u64, u64, u64, u64, u64, f64, f64, f64)] = &[
+    ("fft", 34, 5, 595, 52, 1041, 551, 52.9, 9.5, 87.5),
+    ("lu", 656, 0, 17754, 1079, 2311, 2130, 92.2, 3.6, 95.3),
+    ("radix", 70, 17, 615, 116, 771, 629, 81.6, 2.0, 246.3),
+    ("ocean", 877, 282, 7417, 1421, 14966, 6769, 45.2, 0.2, 15.8),
+    ("water", 59, 8, 32, 127, 241, 110, 45.6, 2.6, 4926.3),
+];
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Table 1 — transactional execution behaviour (scale: {scale:?})");
+    println!("(measured by this reproduction; paper values in parentheses — absolute");
+    println!(" magnitudes differ with problem scale, orderings should match)\n");
+    println!(
+        "{:<7} {:>14} {:>12} {:>14} {:>14} {:>14} {:>14} {:>16} {:>18}",
+        "app", "commit", "abort", "exception", "ctx-switch", "pages", "pg-x-wr", "conservative", "mop/evict"
+    );
+    let rows: Vec<_> = splash2(scale).iter().map(table1_row).collect();
+    for r in &rows {
+        let p = PAPER.iter().find(|p| p.0 == r.name).expect("known app");
+        println!(
+            "{:<7} {:>6} ({:>5}) {:>5} ({:>4}) {:>6} ({:>6}) {:>6} ({:>5}) {:>6} ({:>6}) {:>6} ({:>5}) {:>6.1}% ({:>4.1}%) {:>8.1} ({:>6.1})",
+            r.name,
+            r.commits, p.1,
+            r.aborts, p.2,
+            r.exceptions, p.3,
+            r.context_switches, p.4,
+            r.pages, p.5,
+            r.pg_x_wr, p.6,
+            r.conservative_pct, p.7,
+            if r.mop_per_evict.is_finite() { r.mop_per_evict } else { 99999.0 }, p.9,
+        );
+    }
+    println!("\n(a mop/evict of 99999.0 means the working set never evicted)");
+    println!("(ideal shadow overhead: peak live shadow pages / footprint)");
+    let paper_ideal = [9.5, 3.6, 2.0, 0.2, 2.6];
+    for (r, p) in rows.iter().zip(paper_ideal) {
+        println!("  {:<7} ideal = {:>5.1}%  (paper: {p:.1}%)", r.name, r.ideal_pct);
+    }
+}

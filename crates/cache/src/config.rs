@@ -1,0 +1,101 @@
+//! Cache geometry configuration.
+
+use ptm_types::BLOCK_SIZE;
+
+/// Geometry and latency of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_cache::CacheConfig;
+///
+/// let l1 = CacheConfig::l1_default();
+/// assert_eq!(l1.sets * l1.ways * 64, 16 * 1024);
+/// let l2 = CacheConfig::l2_default();
+/// assert_eq!(l2.sets * l2.ways * 64, 256 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1: 16 KiB direct-mapped, 1-cycle latency.
+    pub fn l1_default() -> Self {
+        CacheConfig {
+            sets: 16 * 1024 / BLOCK_SIZE,
+            ways: 1,
+            latency: 1,
+        }
+    }
+
+    /// The paper's L2: 256 KiB 4-way set-associative, 6-cycle latency.
+    pub fn l2_default() -> Self {
+        CacheConfig {
+            sets: 256 * 1024 / BLOCK_SIZE / 4,
+            ways: 4,
+            latency: 6,
+        }
+    }
+
+    /// A deliberately tiny cache, for tests that need to force overflows
+    /// without generating huge footprints.
+    pub fn tiny(sets: usize, ways: usize) -> Self {
+        CacheConfig {
+            sets,
+            ways,
+            latency: 1,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * BLOCK_SIZE
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either dimension is zero.
+    pub fn validate(&self) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(self.ways > 0, "ways must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometries_match_paper() {
+        let l1 = CacheConfig::l1_default();
+        assert_eq!(l1.capacity_bytes(), 16 * 1024);
+        assert_eq!(l1.ways, 1, "L1 is direct mapped");
+        assert_eq!(l1.latency, 1);
+
+        let l2 = CacheConfig::l2_default();
+        assert_eq!(l2.capacity_bytes(), 256 * 1024);
+        assert_eq!(l2.ways, 4);
+        assert_eq!(l2.latency, 6);
+    }
+
+    #[test]
+    fn validation_accepts_defaults() {
+        CacheConfig::l1_default().validate();
+        CacheConfig::l2_default().validate();
+        CacheConfig::tiny(4, 2).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn validation_rejects_non_power_of_two_sets() {
+        CacheConfig::tiny(3, 1).validate();
+    }
+}

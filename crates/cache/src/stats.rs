@@ -1,0 +1,107 @@
+//! Cache and bus statistics counters.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Per-cache event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand hits recorded by the simulator.
+    pub hits: u64,
+    /// Demand misses recorded by the simulator.
+    pub misses: u64,
+    /// Lines displaced by capacity/conflict.
+    pub evictions: u64,
+    /// Displaced lines that carried transactional state (these become
+    /// PTM/VTM overflows).
+    pub tx_evictions: u64,
+    /// Lines invalidated by remote coherence activity.
+    pub coherence_invalidations: u64,
+    /// Dirty lines written back to memory.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in [0, 1]; zero when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.evictions += rhs.evictions;
+        self.tx_evictions += rhs.tx_evictions;
+        self.coherence_invalidations += rhs.coherence_invalidations;
+        self.writebacks += rhs.writebacks;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} ({:.1}% miss) evictions={} (tx {}) inval={} wb={}",
+            self.hits,
+            self.misses,
+            self.miss_ratio() * 100.0,
+            self.evictions,
+            self.tx_evictions,
+            self.coherence_invalidations,
+            self.writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_zero_accesses() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_computes_fraction() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates_all_fields() {
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            tx_evictions: 4,
+            coherence_invalidations: 5,
+            writebacks: 6,
+        };
+        a += a;
+        assert_eq!(a.hits, 2);
+        assert_eq!(a.writebacks, 12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", CacheStats::default()).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Exhaustive MOESI transition matrix: for every remote-line state, check
+//! the protocol action of a read miss and a write miss, plus multi-step
+//! sharing sequences across four caches.
+
+use ptm_cache::{
+    peek_remote_tx_use, supply, CacheLine, DataSource, Hierarchy, Moesi,
+};
+use ptm_types::{BlockIdx, FrameId, PhysBlock, TxId, WordIdx};
+
+fn blk(n: u64) -> PhysBlock {
+    PhysBlock::new(FrameId((n / 64) as u32), BlockIdx((n % 64) as u8))
+}
+
+fn machine(n: usize) -> Vec<Hierarchy> {
+    (0..n).map(|_| Hierarchy::with_default_config()).collect()
+}
+
+#[test]
+fn read_miss_transition_matrix() {
+    // (remote state) -> (expected remote state after, source, my state)
+    let cases = [
+        (Moesi::Modified, Moesi::Owned, DataSource::OtherCache, Moesi::Shared),
+        (Moesi::Owned, Moesi::Owned, DataSource::OtherCache, Moesi::Shared),
+        (Moesi::Exclusive, Moesi::Shared, DataSource::OtherCache, Moesi::Shared),
+        (Moesi::Shared, Moesi::Shared, DataSource::OtherCache, Moesi::Shared),
+    ];
+    for (before, after, source, mine) in cases {
+        let mut caches = machine(2);
+        caches[1].fill(CacheLine::new(blk(0), before));
+        let out = supply(&mut caches, 0, blk(0), false, true, false, None);
+        assert_eq!(out.source, source, "remote {before}");
+        assert_eq!(out.new_state, mine, "remote {before}");
+        assert_eq!(
+            caches[1].line(blk(0)).unwrap().state(),
+            after,
+            "remote {before} degraded wrong"
+        );
+        assert!(out.displaced_tx.is_empty());
+    }
+    // No remote copy: memory sources, exclusive granted.
+    let mut caches = machine(2);
+    let out = supply(&mut caches, 0, blk(0), false, true, false, None);
+    assert_eq!(out.source, DataSource::Memory);
+    assert_eq!(out.new_state, Moesi::Exclusive);
+}
+
+#[test]
+fn write_miss_transition_matrix() {
+    for before in [Moesi::Modified, Moesi::Owned, Moesi::Exclusive, Moesi::Shared] {
+        let mut caches = machine(2);
+        caches[1].fill(CacheLine::new(blk(0), before));
+        let out = supply(&mut caches, 0, blk(0), true, true, false, None);
+        assert_eq!(out.new_state, Moesi::Modified, "writer always gets M");
+        assert!(caches[1].line(blk(0)).is_none(), "remote {before} invalidated");
+        assert_eq!(out.invalidations, 1);
+        assert_eq!(out.source, DataSource::OtherCache, "any valid copy supplies");
+    }
+}
+
+#[test]
+fn four_way_sharing_then_single_writer() {
+    let mut caches = machine(4);
+    // Core 0 writes (M), then cores 1..3 read in turn.
+    let w = supply(&mut caches, 0, blk(0), true, true, false, None);
+    caches[0].fill(CacheLine::new(blk(0), w.new_state));
+    for reader in 1..4 {
+        let out = supply(&mut caches, reader, blk(0), false, true, false, None);
+        caches[reader].fill(CacheLine::new(blk(0), out.new_state));
+        assert_eq!(out.new_state, Moesi::Shared);
+    }
+    assert_eq!(
+        caches[0].line(blk(0)).unwrap().state(),
+        Moesi::Owned,
+        "first writer holds the dirty data as owner"
+    );
+    // Core 2 now writes: everyone else invalidated.
+    let out = supply(&mut caches, 2, blk(0), true, true, false, None);
+    assert_eq!(out.invalidations, 3);
+    for other in [0usize, 1, 3] {
+        assert!(caches[other].line(blk(0)).is_none());
+    }
+    assert_eq!(out.source, DataSource::OtherCache, "owner supplied before dying");
+}
+
+#[test]
+fn preserve_keeps_foreign_tx_writers_only() {
+    let mut caches = machine(3);
+    let mut mine = CacheLine::new(blk(0), Moesi::Modified);
+    mine.tx_meta_for(TxId(7)).record_write(WordIdx(1));
+    caches[1].fill(mine);
+    let mut foreign = CacheLine::new(blk(0), Moesi::Modified);
+    foreign.tx_meta_for(TxId(9)).record_write(WordIdx(2));
+    caches[2].fill(foreign);
+
+    // Requester is TxId(7): its own stale copy (cache 1) must be displaced,
+    // the foreign word-disjoint writer (cache 2) preserved.
+    let out = supply(&mut caches, 0, blk(0), true, true, true, Some(TxId(7)));
+    assert_eq!(out.displaced_tx.len(), 1);
+    assert_eq!(out.displaced_tx[0].tx_meta().unwrap().tx, TxId(7));
+    assert!(caches[1].line(blk(0)).is_none(), "own copy displaced");
+    assert!(caches[2].line(blk(0))
+        .is_some(), "foreign co-writer preserved");
+}
+
+#[test]
+fn snoop_sees_word_masks() {
+    let mut caches = machine(2);
+    let mut line = CacheLine::new(blk(3), Moesi::Modified);
+    let meta = line.tx_meta_for(TxId(1));
+    meta.record_read(WordIdx(2));
+    meta.record_write(WordIdx(9));
+    caches[1].fill(line);
+
+    let uses = peek_remote_tx_use(&caches, 0, blk(3));
+    assert_eq!(uses.len(), 1);
+    let m = uses[0].meta;
+    assert!(m.read_words.get(WordIdx(2)));
+    assert!(m.write_words.get(WordIdx(9)));
+    assert!(!m.write_words.get(WordIdx(2)));
+}
+
+#[test]
+fn exclusive_denial_applies_only_to_memory_sourced_reads() {
+    // With a remote shared copy, the requester gets S regardless of the
+    // allow_exclusive flag; from memory, the flag decides E vs S.
+    let mut caches = machine(2);
+    caches[1].fill(CacheLine::new(blk(0), Moesi::Shared));
+    let out = supply(&mut caches, 0, blk(0), false, true, false, None);
+    assert_eq!(out.new_state, Moesi::Shared);
+
+    let mut caches = machine(2);
+    let denied = supply(&mut caches, 0, blk(1), false, false, false, None);
+    assert_eq!(denied.new_state, Moesi::Shared, "PTM denied exclusivity");
+    let granted = supply(&mut caches, 0, blk(2), false, true, false, None);
+    assert_eq!(granted.new_state, Moesi::Exclusive);
+}
+
+#[test]
+fn displaced_lines_keep_complete_metadata() {
+    let mut caches = machine(2);
+    let mut line = CacheLine::new(blk(0), Moesi::Modified);
+    let meta = line.tx_meta_for(TxId(3));
+    meta.record_read(WordIdx(0));
+    meta.record_write(WordIdx(5));
+    caches[1].fill(line);
+
+    let out = supply(&mut caches, 0, blk(0), true, true, false, None);
+    let d = &out.displaced_tx[0];
+    let m = d.tx_meta().unwrap();
+    assert_eq!(m.tx, TxId(3));
+    assert!(m.read && m.write);
+    assert!(m.write_words.get(WordIdx(5)));
+    assert_eq!(d.state(), Moesi::Modified, "dirtiness travels with the line");
+}

@@ -1,0 +1,229 @@
+//! Address-space layout builder for workloads.
+//!
+//! Workloads place named arrays ("regions") in a virtual address space so
+//! their generated operation streams use stable, page-aligned addresses.
+//! Keeping the builder here (next to the paging machinery) lets tests reason
+//! about page footprints without pulling in the whole simulator.
+
+use ptm_types::{VirtAddr, Vpn, PAGE_SIZE, WORD_SIZE};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A named, page-aligned range of virtual memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    name: String,
+    base: VirtAddr,
+    bytes: usize,
+}
+
+impl Region {
+    /// The region's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The region's base address (always page-aligned).
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// The region's size in bytes (always a multiple of the page size).
+    pub fn len(&self) -> usize {
+        self.bytes
+    }
+
+    /// Returns `true` if the region is empty (it never is; regions round up
+    /// to at least one page).
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    /// Address of the `i`-th 4-byte word element of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is outside the region.
+    pub fn word(&self, i: usize) -> VirtAddr {
+        let off = i * WORD_SIZE;
+        assert!(off < self.bytes, "element {i} outside region '{}'", self.name);
+        self.base.offset(off as u64)
+    }
+
+    /// Number of 4-byte word elements in the region.
+    pub fn words(&self) -> usize {
+        self.bytes / WORD_SIZE
+    }
+
+    /// The virtual pages this region spans.
+    pub fn pages(&self) -> impl Iterator<Item = Vpn> + '_ {
+        let first = self.base.vpn().0;
+        let count = (self.bytes / PAGE_SIZE) as u64;
+        (first..first + count).map(Vpn)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} ({} B)", self.name, self.base, self.bytes)
+    }
+}
+
+/// Builds a [`Layout`] by stacking page-aligned regions.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_mem::LayoutBuilder;
+///
+/// let mut b = LayoutBuilder::new();
+/// b.region("data", 10_000); // rounds up to 3 pages
+/// b.region("locks", 64);
+/// let layout = b.build();
+/// let data = layout.region("data").unwrap();
+/// assert_eq!(data.len(), 3 * 4096);
+/// assert_ne!(data.base(), layout.region("locks").unwrap().base());
+/// ```
+#[derive(Debug, Default)]
+pub struct LayoutBuilder {
+    regions: Vec<Region>,
+    cursor: u64,
+}
+
+impl LayoutBuilder {
+    /// Creates a builder whose first region starts at page 1 (page 0 is left
+    /// unmapped so that a zero address is always a bug).
+    pub fn new() -> Self {
+        LayoutBuilder {
+            regions: Vec::new(),
+            cursor: PAGE_SIZE as u64,
+        }
+    }
+
+    /// Appends a region of at least `bytes` bytes (rounded up to whole
+    /// pages), returning its base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a region with the same name already exists.
+    pub fn region(&mut self, name: &str, bytes: usize) -> VirtAddr {
+        assert!(
+            !self.regions.iter().any(|r| r.name == name),
+            "duplicate region '{name}'"
+        );
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        let base = VirtAddr::new(self.cursor);
+        self.cursor += (pages * PAGE_SIZE) as u64;
+        self.regions.push(Region {
+            name: name.to_owned(),
+            base,
+            bytes: pages * PAGE_SIZE,
+        });
+        base
+    }
+
+    /// Finalizes the layout.
+    pub fn build(self) -> Layout {
+        let index = self
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), i))
+            .collect();
+        Layout {
+            regions: self.regions,
+            index,
+        }
+    }
+}
+
+/// A finished address-space layout: an ordered set of named regions.
+#[derive(Debug, Default)]
+pub struct Layout {
+    regions: Vec<Region>,
+    index: HashMap<String, usize>,
+}
+
+impl Layout {
+    /// Looks up a region by name.
+    pub fn region(&self, name: &str) -> Option<&Region> {
+        self.index.get(name).map(|&i| &self.regions[i])
+    }
+
+    /// Iterates over regions in layout order.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter()
+    }
+
+    /// Total footprint in pages.
+    pub fn total_pages(&self) -> usize {
+        self.regions.iter().map(|r| r.len() / PAGE_SIZE).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_page_aligned_and_disjoint() {
+        let mut b = LayoutBuilder::new();
+        b.region("a", 1);
+        b.region("b", PAGE_SIZE + 1);
+        let l = b.build();
+        let a = l.region("a").unwrap();
+        let bb = l.region("b").unwrap();
+        assert_eq!(a.base().page_offset(), 0);
+        assert_eq!(bb.base().page_offset(), 0);
+        assert_eq!(a.len(), PAGE_SIZE);
+        assert_eq!(bb.len(), 2 * PAGE_SIZE);
+        assert_eq!(bb.base().0, a.base().0 + PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn page_zero_is_never_used() {
+        let mut b = LayoutBuilder::new();
+        b.region("a", 1);
+        let l = b.build();
+        assert!(l.region("a").unwrap().base().0 >= PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn word_addressing() {
+        let mut b = LayoutBuilder::new();
+        b.region("arr", 64 * WORD_SIZE);
+        let l = b.build();
+        let arr = l.region("arr").unwrap();
+        assert_eq!(arr.word(0), arr.base());
+        assert_eq!(arr.word(3).0, arr.base().0 + 12);
+        assert_eq!(arr.words(), PAGE_SIZE / WORD_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region")]
+    fn word_out_of_range_panics() {
+        let mut b = LayoutBuilder::new();
+        b.region("arr", 16);
+        let l = b.build();
+        let _ = l.region("arr").unwrap().word(PAGE_SIZE / WORD_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate region")]
+    fn duplicate_region_panics() {
+        let mut b = LayoutBuilder::new();
+        b.region("x", 1);
+        b.region("x", 1);
+    }
+
+    #[test]
+    fn pages_iterator_covers_region() {
+        let mut b = LayoutBuilder::new();
+        b.region("big", 3 * PAGE_SIZE);
+        let l = b.build();
+        let pages: Vec<_> = l.region("big").unwrap().pages().collect();
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[0], Vpn(1));
+        assert_eq!(l.total_pages(), 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulated physical memory, page tables and swap.
+//!
+//! This crate is the memory substrate under the PTM reproduction. Unlike a
+//! pure timing model it is *functional*: every frame holds real bytes, so the
+//! transactional-memory layers above can keep genuine speculative and
+//! committed versions on home and shadow pages, and the test suite can check
+//! value-level serializability rather than just event counts.
+//!
+//! * [`PhysicalMemory`] — a frame store with an allocator; frames hold 4 KiB
+//!   of data addressable by word, block or page.
+//! * [`PageTable`] — per-process virtual→physical translation with
+//!   present/swapped states, exactly the split PTM's SPT (present) and SIT
+//!   (swapped) tables key off.
+//! * [`SwapStore`] — the backing store pages are swapped to; slots are the
+//!   paper's "swap index numbers".
+//! * [`layout`] — a small address-space builder the workloads use to place
+//!   their arrays on page boundaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use ptm_mem::PhysicalMemory;
+//! use ptm_types::PhysAddr;
+//!
+//! let mut mem = PhysicalMemory::new(16);
+//! let frame = mem.alloc().expect("frames available");
+//! let addr = PhysAddr::from_frame(frame, 128);
+//! mem.write_word(addr, 0xdead_beef);
+//! assert_eq!(mem.read_word(addr), 0xdead_beef);
+//! ```
+
+pub mod layout;
+pub mod page_table;
+pub mod physical;
+pub mod swap;
+pub mod versions;
+
+pub use layout::{Layout, LayoutBuilder, Region};
+pub use page_table::{PageTable, Pte};
+pub use physical::PhysicalMemory;
+pub use swap::SwapStore;
+pub use versions::{SpecBlock, SpecBuffers};

@@ -1,0 +1,182 @@
+//! Per-process page tables.
+
+use ptm_types::{FrameId, PhysAddr, SwapSlot, VirtAddr, Vpn};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A page-table entry: where a virtual page currently lives.
+///
+/// The split mirrors what PTM keys off: a *present* page is indexed into the
+/// Shadow Page Table by its frame number; a *swapped* page is indexed into
+/// the Swap Index Table by its swap slot (the paper's "swap index number",
+/// §3.5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pte {
+    /// The page is resident in the given frame.
+    Present(FrameId),
+    /// The page has been swapped out to the given swap slot.
+    Swapped(SwapSlot),
+}
+
+/// A per-process virtual→physical page table.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_mem::{PageTable, Pte};
+/// use ptm_types::{FrameId, VirtAddr, Vpn};
+///
+/// let mut pt = PageTable::new();
+/// pt.map(Vpn(2), FrameId(7));
+/// let pa = pt.translate(VirtAddr::new(0x2010)).unwrap();
+/// assert_eq!(pa.frame(), FrameId(7));
+/// assert_eq!(pa.page_offset(), 0x10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<Vpn, Pte>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps `vpn` to a resident frame, replacing any previous entry.
+    pub fn map(&mut self, vpn: Vpn, frame: FrameId) {
+        self.entries.insert(vpn, Pte::Present(frame));
+    }
+
+    /// Marks `vpn` swapped out to `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was not previously mapped — a page must exist to
+    /// be swapped.
+    pub fn mark_swapped(&mut self, vpn: Vpn, slot: SwapSlot) {
+        let e = self.entries.get_mut(&vpn).expect("swapping unmapped page");
+        *e = Pte::Swapped(slot);
+    }
+
+    /// Marks `vpn` resident again in `frame` (swap-in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was not previously swapped out.
+    pub fn mark_resident(&mut self, vpn: Vpn, frame: FrameId) {
+        let e = self.entries.get_mut(&vpn).expect("swapping in unmapped page");
+        assert!(
+            matches!(e, Pte::Swapped(_)),
+            "page {vpn} is already resident"
+        );
+        *e = Pte::Present(frame);
+    }
+
+    /// Removes a mapping entirely, returning its last state.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        self.entries.remove(&vpn)
+    }
+
+    /// Looks up the entry for `vpn`.
+    pub fn entry(&self, vpn: Vpn) -> Option<Pte> {
+        self.entries.get(&vpn).copied()
+    }
+
+    /// Translates a full virtual address, or `None` if the page is unmapped
+    /// or swapped out (the caller must fault it in).
+    pub fn translate(&self, va: VirtAddr) -> Option<PhysAddr> {
+        match self.entries.get(&va.vpn())? {
+            Pte::Present(frame) => Some(PhysAddr::from_frame(*frame, va.page_offset())),
+            Pte::Swapped(_) => None,
+        }
+    }
+
+    /// Number of mapped pages (resident or swapped).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all mappings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All resident pages, as (vpn, frame) pairs, in unspecified order.
+    pub fn resident_pages(&self) -> impl Iterator<Item = (Vpn, FrameId)> + '_ {
+        self.entries.iter().filter_map(|(vpn, pte)| match pte {
+            Pte::Present(f) => Some((*vpn, *f)),
+            Pte::Swapped(_) => None,
+        })
+    }
+}
+
+impl fmt::Display for PageTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page-table[{} pages]", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_present_page() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), FrameId(42));
+        let pa = pt.translate(VirtAddr::new(0x1ffc)).unwrap();
+        assert_eq!(pa.frame(), FrameId(42));
+        assert_eq!(pa.page_offset(), 0xffc);
+    }
+
+    #[test]
+    fn translate_unmapped_is_none() {
+        let pt = PageTable::new();
+        assert!(pt.translate(VirtAddr::new(0x5000)).is_none());
+    }
+
+    #[test]
+    fn swap_out_then_in() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(3), FrameId(1));
+        pt.mark_swapped(Vpn(3), SwapSlot(9));
+        assert_eq!(pt.entry(Vpn(3)), Some(Pte::Swapped(SwapSlot(9))));
+        assert!(pt.translate(Vpn(3).base()).is_none(), "swapped page faults");
+        pt.mark_resident(Vpn(3), FrameId(5));
+        assert_eq!(pt.translate(Vpn(3).base()).unwrap().frame(), FrameId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn swap_in_of_resident_page_panics() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(0), FrameId(0));
+        pt.mark_resident(Vpn(0), FrameId(1));
+    }
+
+    #[test]
+    fn resident_pages_excludes_swapped() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(0), FrameId(0));
+        pt.map(Vpn(1), FrameId(1));
+        pt.mark_swapped(Vpn(1), SwapSlot(0));
+        let resident: Vec<_> = pt.resident_pages().collect();
+        assert_eq!(resident, vec![(Vpn(0), FrameId(0))]);
+        assert_eq!(pt.len(), 2);
+    }
+
+    #[test]
+    fn unmap_returns_state() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(4), FrameId(4));
+        assert_eq!(pt.unmap(Vpn(4)), Some(Pte::Present(FrameId(4))));
+        assert_eq!(pt.unmap(Vpn(4)), None);
+        assert!(pt.is_empty());
+    }
+}

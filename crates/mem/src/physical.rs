@@ -1,0 +1,281 @@
+//! The physical frame store.
+
+use ptm_types::{FrameId, PhysAddr, PhysBlock, BLOCK_SIZE, PAGE_SIZE, WORD_SIZE};
+use std::fmt;
+
+/// A single 4 KiB page frame's data.
+type FrameData = Box<[u8; PAGE_SIZE]>;
+
+fn zeroed_frame() -> FrameData {
+    vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("PAGE_SIZE sized")
+}
+
+/// Simulated physical memory: a bounded pool of 4 KiB frames with real data.
+///
+/// Frames are allocated zeroed and may be freed and reused; PTM allocates
+/// *shadow* frames from the same pool as ordinary home frames, which is how
+/// Table 1's "conservative"/"ideal" page-overhead columns become measurable
+/// here.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_mem::PhysicalMemory;
+///
+/// let mut mem = PhysicalMemory::new(4);
+/// let a = mem.alloc().unwrap();
+/// let b = mem.alloc().unwrap();
+/// assert_ne!(a, b);
+/// assert_eq!(mem.frames_in_use(), 2);
+/// mem.free(a);
+/// assert_eq!(mem.frames_in_use(), 1);
+/// ```
+pub struct PhysicalMemory {
+    frames: Vec<Option<FrameData>>,
+    free: Vec<FrameId>,
+    high_water: usize,
+}
+
+impl fmt::Debug for PhysicalMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysicalMemory")
+            .field("capacity", &self.frames.len())
+            .field("in_use", &self.frames_in_use())
+            .field("high_water", &self.high_water)
+            .finish()
+    }
+}
+
+impl PhysicalMemory {
+    /// Creates a memory with `capacity` frames, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "memory needs at least one frame");
+        let free = (0..capacity as u32).rev().map(FrameId).collect();
+        PhysicalMemory {
+            frames: (0..capacity).map(|_| None).collect(),
+            free,
+            high_water: 0,
+        }
+    }
+
+    /// Total number of frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of currently allocated frames.
+    pub fn frames_in_use(&self) -> usize {
+        self.frames.len() - self.free.len()
+    }
+
+    /// Highest number of frames that were ever simultaneously allocated.
+    ///
+    /// Used for the "ideal" shadow-page overhead column of Table 1.
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
+    }
+
+    /// Allocates a zeroed frame, or `None` if memory is exhausted.
+    pub fn alloc(&mut self) -> Option<FrameId> {
+        let id = self.free.pop()?;
+        self.frames[id.0 as usize] = Some(zeroed_frame());
+        self.high_water = self.high_water.max(self.frames_in_use());
+        Some(id)
+    }
+
+    /// Frees a frame, returning it to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not currently allocated.
+    pub fn free(&mut self, frame: FrameId) {
+        let slot = self
+            .frames
+            .get_mut(frame.0 as usize)
+            .unwrap_or_else(|| panic!("{frame} out of range"));
+        assert!(slot.is_some(), "double free of {frame}");
+        *slot = None;
+        self.free.push(frame);
+    }
+
+    /// Returns `true` if `frame` is currently allocated.
+    pub fn is_allocated(&self, frame: FrameId) -> bool {
+        self.frames
+            .get(frame.0 as usize)
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+    }
+
+    fn data(&self, frame: FrameId) -> &[u8; PAGE_SIZE] {
+        self.frames
+            .get(frame.0 as usize)
+            .and_then(|s| s.as_deref())
+            .unwrap_or_else(|| panic!("access to unallocated {frame}"))
+    }
+
+    fn data_mut(&mut self, frame: FrameId) -> &mut [u8; PAGE_SIZE] {
+        self.frames
+            .get_mut(frame.0 as usize)
+            .and_then(|s| s.as_deref_mut())
+            .unwrap_or_else(|| panic!("access to unallocated {frame}"))
+    }
+
+    /// Reads the 4-byte word at `addr` (little-endian, word-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is unallocated.
+    pub fn read_word(&self, addr: PhysAddr) -> u32 {
+        let off = addr.page_offset() & !(WORD_SIZE - 1);
+        let d = self.data(addr.frame());
+        u32::from_le_bytes(d[off..off + WORD_SIZE].try_into().expect("word slice"))
+    }
+
+    /// Writes the 4-byte word at `addr` (little-endian, word-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is unallocated.
+    pub fn write_word(&mut self, addr: PhysAddr, value: u32) {
+        let off = addr.page_offset() & !(WORD_SIZE - 1);
+        let d = self.data_mut(addr.frame());
+        d[off..off + WORD_SIZE].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Copies out the 64-byte block at `block`.
+    pub fn read_block(&self, block: PhysBlock) -> [u8; BLOCK_SIZE] {
+        let off = block.addr().page_offset();
+        let d = self.data(block.frame());
+        d[off..off + BLOCK_SIZE].try_into().expect("block slice")
+    }
+
+    /// Overwrites the 64-byte block at `block`.
+    pub fn write_block(&mut self, block: PhysBlock, bytes: &[u8; BLOCK_SIZE]) {
+        let off = block.addr().page_offset();
+        let d = self.data_mut(block.frame());
+        d[off..off + BLOCK_SIZE].copy_from_slice(bytes);
+    }
+
+    /// Copies one block to another — the primitive behind Copy-PTM's
+    /// eviction backup and abort restore, and VTM's commit copy-back.
+    pub fn copy_block(&mut self, src: PhysBlock, dst: PhysBlock) {
+        let bytes = self.read_block(src);
+        self.write_block(dst, &bytes);
+    }
+
+    /// Copies out a whole frame's data (used by swap-out).
+    pub fn read_frame(&self, frame: FrameId) -> Box<[u8; PAGE_SIZE]> {
+        Box::new(*self.data(frame))
+    }
+
+    /// Overwrites a whole frame's data (used by swap-in).
+    pub fn write_frame(&mut self, frame: FrameId, bytes: &[u8; PAGE_SIZE]) {
+        *self.data_mut(frame) = *bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_types::{BlockIdx, FrameId};
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut mem = PhysicalMemory::new(2);
+        let a = mem.alloc().unwrap();
+        let b = mem.alloc().unwrap();
+        assert!(mem.alloc().is_none(), "pool exhausted");
+        mem.free(a);
+        let c = mem.alloc().unwrap();
+        assert_eq!(c, a, "freed frame is reused");
+        assert!(mem.is_allocated(b));
+    }
+
+    #[test]
+    fn frames_allocated_zeroed_even_after_reuse() {
+        let mut mem = PhysicalMemory::new(1);
+        let f = mem.alloc().unwrap();
+        mem.write_word(PhysAddr::from_frame(f, 0), 99);
+        mem.free(f);
+        let f2 = mem.alloc().unwrap();
+        assert_eq!(mem.read_word(PhysAddr::from_frame(f2, 0)), 0);
+    }
+
+    #[test]
+    fn word_read_write_round_trip() {
+        let mut mem = PhysicalMemory::new(1);
+        let f = mem.alloc().unwrap();
+        for i in 0..(PAGE_SIZE / WORD_SIZE) as u64 {
+            mem.write_word(PhysAddr::from_frame(f, (i as usize) * WORD_SIZE), i as u32);
+        }
+        for i in 0..(PAGE_SIZE / WORD_SIZE) as u64 {
+            assert_eq!(
+                mem.read_word(PhysAddr::from_frame(f, (i as usize) * WORD_SIZE)),
+                i as u32
+            );
+        }
+    }
+
+    #[test]
+    fn unaligned_word_access_uses_containing_word() {
+        let mut mem = PhysicalMemory::new(1);
+        let f = mem.alloc().unwrap();
+        mem.write_word(PhysAddr::from_frame(f, 8), 7);
+        assert_eq!(mem.read_word(PhysAddr::from_frame(f, 11)), 7);
+    }
+
+    #[test]
+    fn block_copy_moves_data() {
+        let mut mem = PhysicalMemory::new(2);
+        let a = mem.alloc().unwrap();
+        let b = mem.alloc().unwrap();
+        let src = PhysBlock::new(a, BlockIdx(5));
+        let dst = PhysBlock::new(b, BlockIdx(5));
+        mem.write_word(src.addr(), 0xabcd);
+        mem.copy_block(src, dst);
+        assert_eq!(mem.read_word(dst.addr()), 0xabcd);
+        // Source unchanged.
+        assert_eq!(mem.read_word(src.addr()), 0xabcd);
+    }
+
+    #[test]
+    fn frame_read_write_round_trip() {
+        let mut mem = PhysicalMemory::new(2);
+        let a = mem.alloc().unwrap();
+        let b = mem.alloc().unwrap();
+        mem.write_word(PhysAddr::from_frame(a, 4092), 0x55);
+        let data = mem.read_frame(a);
+        mem.write_frame(b, &data);
+        assert_eq!(mem.read_word(PhysAddr::from_frame(b, 4092)), 0x55);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak() {
+        let mut mem = PhysicalMemory::new(3);
+        let a = mem.alloc().unwrap();
+        let _b = mem.alloc().unwrap();
+        mem.free(a);
+        let _c = mem.alloc().unwrap();
+        assert_eq!(mem.high_water_mark(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut mem = PhysicalMemory::new(1);
+        let f = mem.alloc().unwrap();
+        mem.free(f);
+        mem.free(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn read_of_unallocated_frame_panics() {
+        let mem = PhysicalMemory::new(1);
+        let _ = mem.read_word(PhysAddr::from_frame(FrameId(0), 0));
+    }
+}

@@ -1,0 +1,156 @@
+//! The swap backing store.
+
+use ptm_types::{SwapSlot, PAGE_SIZE};
+use std::fmt;
+
+type PageData = Box<[u8; PAGE_SIZE]>;
+
+/// A simulated swap file: page-sized slots identified by [`SwapSlot`].
+///
+/// The paper's "swap index number" is our slot number; PTM's Swap Index
+/// Table (SIT) is indexed by it when a home page is paged out (§3.5.1).
+/// Home and shadow pages are always swapped *together* — the PTM paging
+/// layer enforces that; the store itself is policy-free.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_mem::SwapStore;
+///
+/// let mut swap = SwapStore::new();
+/// let mut page = Box::new([0u8; 4096]);
+/// page[0] = 0x7f;
+/// let slot = swap.store(page);
+/// let back = swap.load(slot);
+/// assert_eq!(back[0], 0x7f);
+/// ```
+#[derive(Default)]
+pub struct SwapStore {
+    slots: Vec<Option<PageData>>,
+    free: Vec<SwapSlot>,
+    peak_used: usize,
+}
+
+impl fmt::Debug for SwapStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwapStore")
+            .field("used", &self.used())
+            .field("peak_used", &self.peak_used)
+            .finish()
+    }
+}
+
+impl SwapStore {
+    /// Creates an empty swap store. Capacity grows on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of occupied slots.
+    pub fn used(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Highest number of simultaneously occupied slots.
+    pub fn peak_used(&self) -> usize {
+        self.peak_used
+    }
+
+    /// Stores a page, returning its slot.
+    pub fn store(&mut self, data: PageData) -> SwapSlot {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                SwapSlot((self.slots.len() - 1) as u32)
+            }
+        };
+        self.slots[slot.0 as usize] = Some(data);
+        self.peak_used = self.peak_used.max(self.used());
+        slot
+    }
+
+    /// Removes and returns the page at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn load(&mut self, slot: SwapSlot) -> PageData {
+        let data = self
+            .slots
+            .get_mut(slot.0 as usize)
+            .unwrap_or_else(|| panic!("{slot} out of range"))
+            .take()
+            .unwrap_or_else(|| panic!("{slot} is empty"));
+        self.free.push(slot);
+        data
+    }
+
+    /// Returns `true` if `slot` currently holds a page.
+    pub fn is_occupied(&self, slot: SwapSlot) -> bool {
+        self.slots
+            .get(slot.0 as usize)
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Discards the page at `slot` without reading it (used when a shadow
+    /// page is garbage-collected while swapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn discard(&mut self, slot: SwapSlot) {
+        let _ = self.load(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(tag: u8) -> PageData {
+        let mut p = Box::new([0u8; PAGE_SIZE]);
+        p[17] = tag;
+        p
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut swap = SwapStore::new();
+        let s1 = swap.store(page(1));
+        let s2 = swap.store(page(2));
+        assert_ne!(s1, s2);
+        assert_eq!(swap.load(s1)[17], 1);
+        assert_eq!(swap.load(s2)[17], 2);
+        assert_eq!(swap.used(), 0);
+    }
+
+    #[test]
+    fn slots_are_reused_after_load() {
+        let mut swap = SwapStore::new();
+        let s1 = swap.store(page(1));
+        swap.discard(s1);
+        let s2 = swap.store(page(2));
+        assert_eq!(s1, s2, "freed slot reused");
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let mut swap = SwapStore::new();
+        let s = swap.store(page(9));
+        assert!(swap.is_occupied(s));
+        swap.discard(s);
+        assert!(!swap.is_occupied(s));
+        assert_eq!(swap.peak_used(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn loading_empty_slot_panics() {
+        let mut swap = SwapStore::new();
+        let s = swap.store(page(0));
+        swap.discard(s);
+        let _ = swap.load(s);
+    }
+}

@@ -1,0 +1,252 @@
+//! Per-transaction speculative write buffers for *in-cache* dirty blocks.
+//!
+//! While a transactionally written block still sits in the cache, its
+//! speculative value logically lives in that cache line. Since our cache
+//! lines are metadata-only, the bytes live here instead, keyed by
+//! `(transaction, physical block)`:
+//!
+//! * first write → the buffer snapshots the transaction's current view of
+//!   the block and applies the write;
+//! * overflow (dirty eviction) → the TM backend takes the buffer and writes
+//!   it to the speculative memory location (home or shadow page for PTM,
+//!   XADT for VTM);
+//! * commit → surviving buffers are applied to the committed location;
+//! * abort → buffers are discarded.
+//!
+//! Buffers also remember *which words* the transaction wrote, which the
+//! word-granularity configurations need for selective merging.
+
+use ptm_types::{PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE, WORD_SIZE};
+use std::collections::HashMap;
+
+/// A speculative snapshot of one block for one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecBlock {
+    /// The transaction's view of the block: a snapshot of the pre-write data
+    /// with the transaction's writes applied.
+    pub data: [u8; BLOCK_SIZE],
+    /// Words this transaction actually wrote.
+    pub written: WordMask,
+}
+
+impl SpecBlock {
+    /// Reads a word from the speculative snapshot.
+    pub fn read_word(&self, word: WordIdx) -> u32 {
+        let off = word.0 as usize * WORD_SIZE;
+        u32::from_le_bytes(self.data[off..off + WORD_SIZE].try_into().expect("word"))
+    }
+}
+
+/// The set of live speculative buffers.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_mem::versions::SpecBuffers;
+/// use ptm_types::{BlockIdx, FrameId, PhysBlock, TxId, WordIdx};
+///
+/// let mut bufs = SpecBuffers::new();
+/// let block = PhysBlock::new(FrameId(0), BlockIdx(0));
+/// let committed = [0u8; 64];
+/// bufs.write_word(TxId(1), block, WordIdx(2), 99, || committed);
+/// assert_eq!(bufs.read_own_word(TxId(1), block, WordIdx(2)), Some(99));
+/// assert_eq!(bufs.read_own_word(TxId(2), block, WordIdx(2)), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct SpecBuffers {
+    map: HashMap<(TxId, PhysBlock), SpecBlock>,
+}
+
+impl SpecBuffers {
+    /// Creates an empty buffer set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live buffers.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if there are no live buffers.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Writes `value` into `tx`'s speculative view of `block` at `word`.
+    ///
+    /// On the transaction's first write to this block, `snapshot` is called
+    /// to obtain the transaction's current view of the block (committed
+    /// data, or the speculative location if the transaction previously
+    /// overflowed a dirty version).
+    pub fn write_word<F>(&mut self, tx: TxId, block: PhysBlock, word: WordIdx, value: u32, snapshot: F)
+    where
+        F: FnOnce() -> [u8; BLOCK_SIZE],
+    {
+        let entry = self.map.entry((tx, block)).or_insert_with(|| SpecBlock {
+            data: snapshot(),
+            written: WordMask::EMPTY,
+        });
+        let off = word.0 as usize * WORD_SIZE;
+        entry.data[off..off + WORD_SIZE].copy_from_slice(&value.to_le_bytes());
+        entry.written.set(word);
+    }
+
+    /// Reads a word from `tx`'s own speculative buffer for `block`, if the
+    /// buffer exists. (The buffer is a consistent snapshot, so reads of
+    /// unwritten words are also served from it — only sound when no other
+    /// writer can commit into the block, i.e. block-granularity conflicts.)
+    pub fn read_own_word(&self, tx: TxId, block: PhysBlock, word: WordIdx) -> Option<u32> {
+        self.map.get(&(tx, block)).map(|b| b.read_word(word))
+    }
+
+    /// Reads a word from `tx`'s buffer only if the transaction actually
+    /// *wrote* that word. Unwritten words must be read from the coherent
+    /// view instead — under word-granularity conflict detection a
+    /// disjoint-word co-writer may legitimately commit new values for them
+    /// while this buffer's snapshot ages.
+    pub fn read_own_written_word(&self, tx: TxId, block: PhysBlock, word: WordIdx) -> Option<u32> {
+        self.map
+            .get(&(tx, block))
+            .filter(|b| b.written.get(word))
+            .map(|b| b.read_word(word))
+    }
+
+    /// Returns `true` if `tx` has a buffer for `block`.
+    pub fn has(&self, tx: TxId, block: PhysBlock) -> bool {
+        self.map.contains_key(&(tx, block))
+    }
+
+    /// Removes and returns `tx`'s buffer for `block` (dirty eviction: the
+    /// data moves to the speculative memory location).
+    pub fn take(&mut self, tx: TxId, block: PhysBlock) -> Option<SpecBlock> {
+        self.map.remove(&(tx, block))
+    }
+
+    /// Removes and returns all of `tx`'s buffers (commit applies them;
+    /// abort discards them). Order is unspecified.
+    pub fn drain_tx(&mut self, tx: TxId) -> Vec<(PhysBlock, SpecBlock)> {
+        let keys: Vec<_> = self
+            .map
+            .keys()
+            .filter(|(t, _)| *t == tx)
+            .copied()
+            .collect();
+        keys.into_iter()
+            .map(|k| (k.1, self.map.remove(&k).expect("key just listed")))
+            .collect()
+    }
+
+    /// Blocks for which `tx` currently holds a buffer.
+    pub fn blocks_of(&self, tx: TxId) -> Vec<PhysBlock> {
+        self.map
+            .keys()
+            .filter(|(t, _)| *t == tx)
+            .map(|(_, b)| *b)
+            .collect()
+    }
+}
+
+/// Applies the written words of a speculative snapshot onto `target`.
+///
+/// Used at commit when merging word-granular writers: only the words the
+/// transaction wrote are copied, so concurrent disjoint-word writers do not
+/// clobber each other.
+pub fn apply_written_words(target: &mut [u8; BLOCK_SIZE], spec: &SpecBlock) {
+    for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {
+        if spec.written.get(WordIdx(w)) {
+            let off = w as usize * WORD_SIZE;
+            target[off..off + WORD_SIZE].copy_from_slice(&spec.data[off..off + WORD_SIZE]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_types::{BlockIdx, FrameId};
+
+    fn blk(n: u32) -> PhysBlock {
+        PhysBlock::new(FrameId(n), BlockIdx(0))
+    }
+
+    #[test]
+    fn first_write_snapshots_then_applies() {
+        let mut bufs = SpecBuffers::new();
+        let mut committed = [0u8; BLOCK_SIZE];
+        committed[0] = 0xaa; // word 0 = 0xaa
+        bufs.write_word(TxId(1), blk(0), WordIdx(1), 7, || committed);
+        // Word 0 still shows the snapshot; word 1 shows the write.
+        assert_eq!(bufs.read_own_word(TxId(1), blk(0), WordIdx(0)), Some(0xaa));
+        assert_eq!(bufs.read_own_word(TxId(1), blk(0), WordIdx(1)), Some(7));
+    }
+
+    #[test]
+    fn snapshot_taken_only_once() {
+        let mut bufs = SpecBuffers::new();
+        let mut calls = 0;
+        bufs.write_word(TxId(1), blk(0), WordIdx(0), 1, || {
+            calls += 1;
+            [0u8; BLOCK_SIZE]
+        });
+        bufs.write_word(TxId(1), blk(0), WordIdx(1), 2, || {
+            calls += 1;
+            [0u8; BLOCK_SIZE]
+        });
+        assert_eq!(calls, 1, "snapshot only on first write");
+    }
+
+    #[test]
+    fn buffers_are_per_transaction() {
+        let mut bufs = SpecBuffers::new();
+        bufs.write_word(TxId(1), blk(0), WordIdx(0), 1, || [0u8; BLOCK_SIZE]);
+        assert!(bufs.read_own_word(TxId(2), blk(0), WordIdx(0)).is_none());
+        assert!(bufs.has(TxId(1), blk(0)));
+        assert!(!bufs.has(TxId(2), blk(0)));
+    }
+
+    #[test]
+    fn take_removes_buffer() {
+        let mut bufs = SpecBuffers::new();
+        bufs.write_word(TxId(1), blk(0), WordIdx(3), 42, || [0u8; BLOCK_SIZE]);
+        let spec = bufs.take(TxId(1), blk(0)).unwrap();
+        assert_eq!(spec.read_word(WordIdx(3)), 42);
+        assert!(spec.written.get(WordIdx(3)));
+        assert!(bufs.is_empty());
+    }
+
+    #[test]
+    fn drain_tx_takes_only_that_transaction() {
+        let mut bufs = SpecBuffers::new();
+        bufs.write_word(TxId(1), blk(0), WordIdx(0), 1, || [0u8; BLOCK_SIZE]);
+        bufs.write_word(TxId(1), blk(1), WordIdx(0), 2, || [0u8; BLOCK_SIZE]);
+        bufs.write_word(TxId(2), blk(2), WordIdx(0), 3, || [0u8; BLOCK_SIZE]);
+        let drained = bufs.drain_tx(TxId(1));
+        assert_eq!(drained.len(), 2);
+        assert_eq!(bufs.len(), 1);
+        assert!(bufs.has(TxId(2), blk(2)));
+    }
+
+    #[test]
+    fn apply_written_words_is_selective() {
+        let spec = {
+            let mut bufs = SpecBuffers::new();
+            bufs.write_word(TxId(1), blk(0), WordIdx(1), 0xbeef, || [0x11u8; BLOCK_SIZE]);
+            bufs.take(TxId(1), blk(0)).unwrap()
+        };
+        let mut target = [0x22u8; BLOCK_SIZE];
+        apply_written_words(&mut target, &spec);
+        // Word 1 updated; everything else untouched (NOT the 0x11 snapshot).
+        assert_eq!(&target[4..8], &0xbeefu32.to_le_bytes());
+        assert_eq!(target[0], 0x22);
+        assert_eq!(target[8], 0x22);
+    }
+
+    #[test]
+    fn blocks_of_lists_buffers() {
+        let mut bufs = SpecBuffers::new();
+        bufs.write_word(TxId(1), blk(5), WordIdx(0), 1, || [0u8; BLOCK_SIZE]);
+        assert_eq!(bufs.blocks_of(TxId(1)), vec![blk(5)]);
+        assert!(bufs.blocks_of(TxId(9)).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Model-based property tests for the memory substrate.
+
+use proptest::prelude::*;
+use ptm_mem::{PhysicalMemory, SpecBuffers, SwapStore};
+use ptm_types::{BlockIdx, FrameId, PhysAddr, PhysBlock, TxId, WordIdx, PAGE_SIZE};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum MemOp {
+    Alloc,
+    FreeNth(usize),
+    Write { frame_nth: usize, word: usize, value: u32 },
+}
+
+fn mem_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        3 => Just(MemOp::Alloc),
+        1 => (0usize..8).prop_map(MemOp::FreeNth),
+        4 => (0usize..8, 0usize..(PAGE_SIZE / 4), any::<u32>())
+            .prop_map(|(f, w, v)| MemOp::Write { frame_nth: f, word: w, value: v }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn physical_memory_matches_model(ops in prop::collection::vec(mem_op(), 0..120)) {
+        let mut mem = PhysicalMemory::new(16);
+        let mut live: Vec<FrameId> = Vec::new();
+        let mut model: HashMap<(FrameId, usize), u32> = HashMap::new();
+
+        for op in ops {
+            match op {
+                MemOp::Alloc => {
+                    if let Some(f) = mem.alloc() {
+                        prop_assert!(!live.contains(&f), "frame not double-allocated");
+                        live.push(f);
+                    } else {
+                        prop_assert_eq!(live.len(), 16, "alloc only fails when full");
+                    }
+                }
+                MemOp::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let f = live.remove(n % live.len());
+                        mem.free(f);
+                        model.retain(|(frame, _), _| *frame != f);
+                    }
+                }
+                MemOp::Write { frame_nth, word, value } => {
+                    if !live.is_empty() {
+                        let f = live[frame_nth % live.len()];
+                        mem.write_word(PhysAddr::from_frame(f, word * 4), value);
+                        model.insert((f, word), value);
+                    }
+                }
+            }
+        }
+
+        prop_assert_eq!(mem.frames_in_use(), live.len());
+        for &f in &live {
+            for w in 0..(PAGE_SIZE / 4) {
+                let expected = model.get(&(f, w)).copied().unwrap_or(0);
+                prop_assert_eq!(mem.read_word(PhysAddr::from_frame(f, w * 4)), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_buffers_match_model(
+        writes in prop::collection::vec(
+            (0u64..3, 0u32..4, 0u8..16, any::<u32>()), 0..80
+        )
+    ) {
+        let mut bufs = SpecBuffers::new();
+        let mut mem = PhysicalMemory::new(8);
+        let frames: Vec<FrameId> = (0..4).map(|_| mem.alloc().unwrap()).collect();
+        // Model: (tx, block, word) -> value for written words.
+        let mut model: HashMap<(u64, u32, u8), u32> = HashMap::new();
+
+        for (tx, fr, word, value) in writes {
+            let block = PhysBlock::new(frames[fr as usize], BlockIdx(0));
+            let committed = mem.read_block(block);
+            bufs.write_word(TxId(tx), block, WordIdx(word), value, || committed);
+            model.insert((tx, fr, word), value);
+        }
+
+        for ((tx, fr, word), value) in &model {
+            let block = PhysBlock::new(frames[*fr as usize], BlockIdx(0));
+            prop_assert_eq!(
+                bufs.read_own_word(TxId(*tx), block, WordIdx(*word)),
+                Some(*value)
+            );
+        }
+
+        // Unwritten words in an existing buffer read the (zero) snapshot.
+        for ((tx, fr, _), _) in &model {
+            let block = PhysBlock::new(frames[*fr as usize], BlockIdx(0));
+            for w in 0..16u8 {
+                if !model.contains_key(&(*tx, *fr, w)) {
+                    prop_assert_eq!(
+                        bufs.read_own_word(TxId(*tx), block, WordIdx(w)),
+                        Some(0),
+                        "snapshot value"
+                    );
+                }
+            }
+        }
+
+        // Drain per transaction removes exactly that transaction's buffers.
+        let tx0_blocks = bufs.blocks_of(TxId(0)).len();
+        let drained = bufs.drain_tx(TxId(0));
+        prop_assert_eq!(drained.len(), tx0_blocks);
+        prop_assert!(bufs.blocks_of(TxId(0)).is_empty());
+    }
+
+    #[test]
+    fn swap_store_round_trips(pages in prop::collection::vec(any::<u8>(), 1..12)) {
+        let mut swap = SwapStore::new();
+        let slots: Vec<_> = pages
+            .iter()
+            .map(|&tag| {
+                let mut p = Box::new([0u8; PAGE_SIZE]);
+                p[0] = tag;
+                p[PAGE_SIZE - 1] = tag ^ 0xff;
+                swap.store(p)
+            })
+            .collect();
+        prop_assert_eq!(swap.used(), pages.len());
+        for (slot, tag) in slots.into_iter().zip(pages) {
+            let p = swap.load(slot);
+            prop_assert_eq!(p[0], tag);
+            prop_assert_eq!(p[PAGE_SIZE - 1], tag ^ 0xff);
+        }
+        prop_assert_eq!(swap.used(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! PTM configuration: policy, granularity, VTS cache sizes, freeing policy.
+
+use ptm_types::Granularity;
+
+/// Which of the paper's two PTM designs to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PtmPolicy {
+    /// Copy-PTM (§3.2.1): speculative data always lives in the home page;
+    /// the committed block is backed up to the shadow page on the first
+    /// dirty overflow. Fast commit, slow abort.
+    Copy,
+    /// Select-PTM (§3.2.2): a per-page selection vector says which page
+    /// holds the committed version of each block. No data movement on
+    /// eviction, commit, or abort.
+    #[default]
+    Select,
+}
+
+/// How Select-PTM shadow pages are reclaimed once no transaction uses them
+/// (§3.5.2). Copy-PTM ignores this: its shadows free as soon as the TAV
+/// list empties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShadowFreePolicy {
+    /// Merge the shadow's committed blocks into the home page when the OS
+    /// swaps the home page out.
+    #[default]
+    MergeOnSwap,
+    /// Additionally migrate committed blocks back to the home page whenever
+    /// a non-speculative dirty block is written back, toggling its selection
+    /// bit; the shadow frees once the selection vector clears.
+    LazyMigrate,
+}
+
+/// Full PTM configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_core::{PtmConfig, PtmPolicy};
+///
+/// let cfg = PtmConfig::select();
+/// assert_eq!(cfg.policy, PtmPolicy::Select);
+/// assert_eq!(cfg.spt_cache_entries, 512);
+/// assert_eq!(cfg.tav_cache_entries, 2048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PtmConfig {
+    /// Copy-PTM or Select-PTM.
+    pub policy: PtmPolicy,
+    /// Conflict-detection granularity (Figure 5 study).
+    pub granularity: Granularity,
+    /// SPT cache capacity (the paper simulates 512 fully associative
+    /// entries).
+    pub spt_cache_entries: usize,
+    /// TAV cache capacity (the paper simulates 2048 fully associative
+    /// entries).
+    pub tav_cache_entries: usize,
+    /// Shadow-page reclamation policy for Select-PTM.
+    pub shadow_free: ShadowFreePolicy,
+    /// Latency of a VTS cache lookup, in cycles.
+    pub vts_lookup_latency: u64,
+}
+
+impl PtmConfig {
+    /// The paper's Select-PTM configuration.
+    pub fn select() -> Self {
+        PtmConfig {
+            policy: PtmPolicy::Select,
+            ..Self::base()
+        }
+    }
+
+    /// The paper's Copy-PTM configuration.
+    pub fn copy() -> Self {
+        PtmConfig {
+            policy: PtmPolicy::Copy,
+            ..Self::base()
+        }
+    }
+
+    /// Select-PTM with the given conflict granularity (Figure 5).
+    pub fn select_with_granularity(granularity: Granularity) -> Self {
+        PtmConfig {
+            granularity,
+            ..Self::select()
+        }
+    }
+
+    fn base() -> Self {
+        PtmConfig {
+            policy: PtmPolicy::Select,
+            granularity: Granularity::Block,
+            spt_cache_entries: 512,
+            tav_cache_entries: 2048,
+            shadow_free: ShadowFreePolicy::MergeOnSwap,
+            vts_lookup_latency: 6,
+        }
+    }
+}
+
+impl Default for PtmConfig {
+    fn default() -> Self {
+        Self::select()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_only_in_policy() {
+        let s = PtmConfig::select();
+        let c = PtmConfig::copy();
+        assert_eq!(s.policy, PtmPolicy::Select);
+        assert_eq!(c.policy, PtmPolicy::Copy);
+        assert_eq!(s.spt_cache_entries, c.spt_cache_entries);
+        assert_eq!(s.tav_cache_entries, c.tav_cache_entries);
+    }
+
+    #[test]
+    fn granularity_preset() {
+        let cfg = PtmConfig::select_with_granularity(Granularity::WordCacheMem);
+        assert!(cfg.granularity.word_in_memory());
+        assert_eq!(cfg.policy, PtmPolicy::Select);
+    }
+
+    #[test]
+    fn default_is_select_block() {
+        let cfg = PtmConfig::default();
+        assert_eq!(cfg.policy, PtmPolicy::Select);
+        assert_eq!(cfg.granularity, Granularity::Block);
+    }
+}

@@ -1,0 +1,143 @@
+//! The Swap Index Table (SIT): PTM state for swapped-out pages.
+//!
+//! When the operating system swaps a home page out, its SPT entry moves
+//! here, indexed by the swap slot ("swap index number") instead of the
+//! physical page number (§3.5.1). The shadow page is swapped alongside it —
+//! home and shadow can never be swapped independently.
+
+use crate::spt::SptEntry;
+use crate::tav::TavRef;
+use ptm_types::{BlockVec, SwapSlot};
+use std::collections::HashMap;
+
+/// PTM state of one swapped-out page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SitEntry {
+    /// The slot the home page's data went to.
+    pub home_slot: SwapSlot,
+    /// The slot the shadow page's data went to, if a shadow existed.
+    pub shadow_slot: Option<SwapSlot>,
+    /// The selection vector carried across the swap.
+    pub sel: BlockVec,
+    /// The contested-block vector carried across the swap.
+    pub contested: BlockVec,
+    /// The page's TAV list survives the swap untouched.
+    pub tav_head: Option<TavRef>,
+}
+
+impl SitEntry {
+    /// Converts a removed SPT entry into a SIT entry, recording where the
+    /// two pages' data went.
+    pub fn from_spt(entry: &SptEntry, home_slot: SwapSlot, shadow_slot: Option<SwapSlot>) -> Self {
+        assert_eq!(
+            entry.shadow.is_some(),
+            shadow_slot.is_some(),
+            "shadow page must swap with its home page"
+        );
+        SitEntry {
+            home_slot,
+            shadow_slot,
+            sel: entry.sel,
+            contested: entry.contested,
+            tav_head: entry.tav_head,
+        }
+    }
+}
+
+/// The Swap Index Table, indexed by the home page's swap slot.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_core::sit::{SitEntry, SwapIndexTable};
+/// use ptm_core::spt::ShadowPageTable;
+/// use ptm_types::{FrameId, SwapSlot};
+///
+/// let mut spt = ShadowPageTable::new();
+/// spt.on_page_alloc(FrameId(0));
+/// let e = spt.remove(FrameId(0)).unwrap();
+/// let mut sit = SwapIndexTable::new();
+/// sit.insert(SitEntry::from_spt(&e, SwapSlot(3), None));
+/// assert!(sit.entry(SwapSlot(3)).is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct SwapIndexTable {
+    entries: HashMap<SwapSlot, SitEntry>,
+}
+
+impl SwapIndexTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a swapped-out page's PTM state.
+    pub fn insert(&mut self, entry: SitEntry) {
+        self.entries.insert(entry.home_slot, entry);
+    }
+
+    /// Removes the state for a page being swapped back in.
+    pub fn remove(&mut self, home_slot: SwapSlot) -> Option<SitEntry> {
+        self.entries.remove(&home_slot)
+    }
+
+    /// Looks up a swapped page's state.
+    pub fn entry(&self, home_slot: SwapSlot) -> Option<&SitEntry> {
+        self.entries.get(&home_slot)
+    }
+
+    /// Number of swapped transactional pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no swapped pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spt::ShadowPageTable;
+    use ptm_types::{BlockIdx, FrameId};
+
+    #[test]
+    fn from_spt_preserves_sel_and_tav() {
+        let mut spt = ShadowPageTable::new();
+        spt.on_page_alloc(FrameId(0));
+        {
+            let e = spt.entry_mut(FrameId(0)).unwrap();
+            e.shadow = Some(FrameId(5));
+            e.sel.set(BlockIdx(2));
+        }
+        let e = spt.remove(FrameId(0)).unwrap();
+        let sit = SitEntry::from_spt(&e, SwapSlot(1), Some(SwapSlot(2)));
+        assert!(sit.sel.get(BlockIdx(2)));
+        assert_eq!(sit.shadow_slot, Some(SwapSlot(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow page must swap with its home page")]
+    fn shadow_and_slot_must_agree() {
+        let mut spt = ShadowPageTable::new();
+        spt.on_page_alloc(FrameId(0));
+        spt.entry_mut(FrameId(0)).unwrap().shadow = Some(FrameId(5));
+        let e = spt.remove(FrameId(0)).unwrap();
+        let _ = SitEntry::from_spt(&e, SwapSlot(1), None);
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut spt = ShadowPageTable::new();
+        spt.on_page_alloc(FrameId(0));
+        let e = spt.remove(FrameId(0)).unwrap();
+        let mut sit = SwapIndexTable::new();
+        sit.insert(SitEntry::from_spt(&e, SwapSlot(7), None));
+        assert_eq!(sit.len(), 1);
+        let back = sit.remove(SwapSlot(7)).unwrap();
+        assert_eq!(back.home_slot, SwapSlot(7));
+        assert!(sit.is_empty());
+    }
+}

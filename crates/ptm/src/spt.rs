@@ -1,0 +1,196 @@
+//! The Shadow Page Table (SPT): one entry per resident physical page.
+//!
+//! An SPT entry (Figure 1) anchors everything PTM knows about a page: the
+//! shadow-page pointer (valid only once a dirty overflow allocated one), the
+//! Select-PTM selection vector, and the head of the page's horizontal TAV
+//! list.
+
+use crate::tav::TavRef;
+use ptm_types::{BlockIdx, BlockVec, FrameId};
+use std::collections::HashMap;
+
+/// One Shadow Page Table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SptEntry {
+    /// The home page this entry describes.
+    pub home: FrameId,
+    /// The shadow page, once allocated by a dirty overflow.
+    pub shadow: Option<FrameId>,
+    /// Selection vector: a set bit means the *committed* version of that
+    /// block lives in the shadow page (Select-PTM only; Copy-PTM leaves it
+    /// empty).
+    pub sel: BlockVec,
+    /// Word-granularity configurations: blocks that have *ever* had two
+    /// writers (transactional or not) while transactional state was live.
+    /// Contested blocks use word-masked data movement and merge commits;
+    /// uncontested blocks keep the whole-block / selection-toggle fast path.
+    /// Sticky by design — conservative and cheap.
+    pub contested: BlockVec,
+    /// Head of the page's horizontal TAV list.
+    pub tav_head: Option<TavRef>,
+}
+
+impl SptEntry {
+    fn new(home: FrameId) -> Self {
+        SptEntry {
+            home,
+            shadow: None,
+            sel: BlockVec::EMPTY,
+            contested: BlockVec::EMPTY,
+            tav_head: None,
+        }
+    }
+
+    /// The frame currently holding the *committed* version of `block`.
+    ///
+    /// With no shadow page (or a clear selection bit) that is the home page;
+    /// a set selection bit redirects to the shadow.
+    pub fn committed_frame(&self, block: BlockIdx) -> FrameId {
+        match self.shadow {
+            Some(shadow) if self.sel.get(block) => shadow,
+            _ => self.home,
+        }
+    }
+
+    /// The frame that holds (or will hold) the *speculative* version of
+    /// `block` — the opposite page from the committed one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no shadow page is allocated; speculative placement is only
+    /// meaningful once a dirty overflow allocated one.
+    pub fn speculative_frame(&self, block: BlockIdx) -> FrameId {
+        let shadow = self.shadow.expect("speculative location needs a shadow page");
+        if self.sel.get(block) {
+            self.home
+        } else {
+            shadow
+        }
+    }
+}
+
+/// The Shadow Page Table, indexed by physical page number.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_core::spt::ShadowPageTable;
+/// use ptm_types::{BlockIdx, FrameId};
+///
+/// let mut spt = ShadowPageTable::new();
+/// spt.on_page_alloc(FrameId(3));
+/// let e = spt.entry(FrameId(3)).unwrap();
+/// assert_eq!(e.committed_frame(BlockIdx(0)), FrameId(3));
+/// assert!(e.shadow.is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct ShadowPageTable {
+    entries: HashMap<FrameId, SptEntry>,
+}
+
+impl ShadowPageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a freshly allocated physical page ("when a page is
+    /// allocated, its entry in the SPT is initialized and marked as valid").
+    pub fn on_page_alloc(&mut self, home: FrameId) {
+        self.entries.insert(home, SptEntry::new(home));
+    }
+
+    /// Removes a page's entry (frame freed or swapped out), returning it so
+    /// paging can transfer it into the SIT.
+    pub fn remove(&mut self, home: FrameId) -> Option<SptEntry> {
+        self.entries.remove(&home)
+    }
+
+    /// Re-inserts an entry (swap-in migrates a SIT entry back here under the
+    /// page's new frame).
+    pub fn insert(&mut self, entry: SptEntry) {
+        self.entries.insert(entry.home, entry);
+    }
+
+    /// Looks up the entry for a home page. Shadow pages themselves have no
+    /// valid entry, as in the paper.
+    pub fn entry(&self, home: FrameId) -> Option<&SptEntry> {
+        self.entries.get(&home)
+    }
+
+    /// Mutable lookup.
+    pub fn entry_mut(&mut self, home: FrameId) -> Option<&mut SptEntry> {
+        self.entries.get_mut(&home)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &SptEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_defaults_to_home() {
+        let mut spt = ShadowPageTable::new();
+        spt.on_page_alloc(FrameId(1));
+        let e = spt.entry(FrameId(1)).unwrap();
+        for b in BlockIdx::all() {
+            assert_eq!(e.committed_frame(b), FrameId(1));
+        }
+    }
+
+    #[test]
+    fn selection_bit_redirects_committed_to_shadow() {
+        let mut spt = ShadowPageTable::new();
+        spt.on_page_alloc(FrameId(1));
+        let e = spt.entry_mut(FrameId(1)).unwrap();
+        e.shadow = Some(FrameId(9));
+        e.sel.set(BlockIdx(4));
+        assert_eq!(e.committed_frame(BlockIdx(4)), FrameId(9));
+        assert_eq!(e.committed_frame(BlockIdx(5)), FrameId(1));
+        // Speculative is always the other page.
+        assert_eq!(e.speculative_frame(BlockIdx(4)), FrameId(1));
+        assert_eq!(e.speculative_frame(BlockIdx(5)), FrameId(9));
+    }
+
+    #[test]
+    fn selection_bit_without_shadow_still_reads_home() {
+        // A stale selection bit with no shadow (e.g. Copy-PTM) must not
+        // redirect anywhere.
+        let mut e = SptEntry::new(FrameId(2));
+        e.sel.set(BlockIdx(0));
+        assert_eq!(e.committed_frame(BlockIdx(0)), FrameId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a shadow page")]
+    fn speculative_without_shadow_panics() {
+        let e = SptEntry::new(FrameId(2));
+        let _ = e.speculative_frame(BlockIdx(0));
+    }
+
+    #[test]
+    fn remove_and_reinsert_round_trips() {
+        let mut spt = ShadowPageTable::new();
+        spt.on_page_alloc(FrameId(7));
+        spt.entry_mut(FrameId(7)).unwrap().sel.set(BlockIdx(1));
+        let e = spt.remove(FrameId(7)).unwrap();
+        assert!(spt.entry(FrameId(7)).is_none());
+        spt.insert(e);
+        assert!(spt.entry(FrameId(7)).unwrap().sel.get(BlockIdx(1)));
+    }
+}

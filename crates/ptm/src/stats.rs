@@ -1,0 +1,130 @@
+//! PTM event counters.
+
+use std::fmt;
+
+/// Counters for every PTM mechanism the paper discusses; the benchmark
+/// harness reads these to build Table 1 and to explain Figure 4/5 deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PtmStats {
+    /// Transactions logically committed.
+    pub commits: u64,
+    /// Transactions logically aborted.
+    pub aborts: u64,
+    /// Clean (read-only) transactional blocks evicted into TAV state.
+    pub clean_overflows: u64,
+    /// Dirty transactional blocks evicted into home/shadow pages.
+    pub dirty_overflows: u64,
+    /// Shadow pages allocated.
+    pub shadow_allocs: u64,
+    /// Shadow pages returned to the free list.
+    pub shadow_frees: u64,
+    /// Copy-PTM: committed blocks backed up home→shadow on first dirty
+    /// overflow.
+    pub backup_copies: u64,
+    /// Copy-PTM: blocks restored shadow→home on abort.
+    pub restore_copies: u64,
+    /// Select-PTM: selection bits toggled at commit.
+    pub selection_toggles: u64,
+    /// Word-granularity Select-PTM: blocks merged by copying written words
+    /// (multiple overflow writers of one block).
+    pub word_merge_copies: u64,
+    /// Conflicts detected against overflowed state.
+    pub overflow_conflicts: u64,
+    /// SPT cache hits / misses.
+    pub spt_cache_hits: u64,
+    /// SPT cache misses (each costs a shadow-page-table walk).
+    pub spt_cache_misses: u64,
+    /// TAV cache hits / misses.
+    pub tav_cache_hits: u64,
+    /// TAV cache misses (each costs a memory access to the TAV node).
+    pub tav_cache_misses: u64,
+    /// TAV nodes touched by memory walks.
+    pub tav_walk_nodes: u64,
+    /// Transactional pages swapped out (home+shadow pairs).
+    pub tx_swap_outs: u64,
+    /// Transactional pages swapped back in.
+    pub tx_swap_ins: u64,
+    /// Select-PTM lazy-migrate block migrations.
+    pub lazy_migrations: u64,
+    /// Peak number of live TAV nodes.
+    pub peak_tav_nodes: u64,
+    /// Peak number of simultaneously allocated shadow pages.
+    pub peak_shadow_pages: u64,
+    /// Sum over committed transactions of the pages they dirtied in the
+    /// overflow structures (drives Table 1's "ideal" shadow overhead:
+    /// shadow pages live at any instant if shadows were reclaimed the
+    /// moment a transaction commits).
+    pub tx_dirty_page_sum: u64,
+}
+
+impl PtmStats {
+    /// Total overflowed blocks (clean + dirty).
+    pub fn overflows(&self) -> u64 {
+        self.clean_overflows + self.dirty_overflows
+    }
+
+    /// Average number of pages a transaction held dirty in the overflow
+    /// structures.
+    pub fn avg_tx_dirty_pages(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.tx_dirty_page_sum as f64 / self.commits as f64
+        }
+    }
+}
+
+impl fmt::Display for PtmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "commits={} aborts={} overflows={} (clean {} / dirty {})",
+            self.commits,
+            self.aborts,
+            self.overflows(),
+            self.clean_overflows,
+            self.dirty_overflows
+        )?;
+        writeln!(
+            f,
+            "shadow: alloc={} free={} peak={} | copies: backup={} restore={} merge={}",
+            self.shadow_allocs,
+            self.shadow_frees,
+            self.peak_shadow_pages,
+            self.backup_copies,
+            self.restore_copies,
+            self.word_merge_copies
+        )?;
+        write!(
+            f,
+            "vts: spt {}/{} tav {}/{} walk-nodes={} | conflicts={} toggles={}",
+            self.spt_cache_hits,
+            self.spt_cache_misses,
+            self.tav_cache_hits,
+            self.tav_cache_misses,
+            self.tav_walk_nodes,
+            self.overflow_conflicts,
+            self.selection_toggles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_total_sums_clean_and_dirty() {
+        let s = PtmStats {
+            clean_overflows: 3,
+            dirty_overflows: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.overflows(), 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", PtmStats::default()).is_empty());
+    }
+}

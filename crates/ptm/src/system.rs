@@ -1,0 +1,948 @@
+//! The PTM system: overflow handling, conflict detection, commit/abort,
+//! paging, and shadow-page management, tying together the SPT, SIT, TAV,
+//! T-State and VTS structures.
+//!
+//! This is the paper's contribution in one type, [`PtmSystem`]. The
+//! machine-level simulator calls it:
+//!
+//! * on every page allocation ([`PtmSystem::on_page_alloc`]);
+//! * on every cache miss while any transaction has overflowed
+//!   ([`PtmSystem::check_conflict`]);
+//! * on every transactional cache-line eviction
+//!   ([`PtmSystem::on_tx_eviction`]);
+//! * at transaction boundaries ([`PtmSystem::begin`], [`PtmSystem::commit`],
+//!   [`PtmSystem::abort`]);
+//! * from the OS paging path ([`PtmSystem::on_swap_out`],
+//!   [`PtmSystem::on_swap_in`]) and the write-back path
+//!   ([`PtmSystem::on_nontx_dirty_writeback`]).
+
+use crate::config::{PtmConfig, PtmPolicy, ShadowFreePolicy};
+use crate::sit::{SitEntry, SwapIndexTable};
+use crate::spt::{ShadowPageTable, SptEntry};
+use crate::stats::PtmStats;
+use crate::tav::{TavArena, TavRef};
+use crate::tstate::{TStateTable, TxStatus};
+use crate::vts::{LruTracker, VtsCost};
+use ptm_cache::{SystemBus, TxLineMeta};
+use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
+use ptm_types::{
+    BlockIdx, Cycle, FrameId, PhysBlock, SwapSlot, TxId, WordIdx, WordMask, BLOCK_SIZE, WORD_SIZE,
+};
+use std::collections::HashMap;
+
+/// Whether an access is a read or a write, for conflict classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load (RAW conflicts against overflowed writers).
+    Read,
+    /// A store (WAR/WAW conflicts against overflowed readers and writers).
+    Write,
+}
+
+/// The result of an overflow-structure conflict check (§4.3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConflictOutcome {
+    /// Live transactions whose overflowed accesses conflict with this one.
+    /// The caller arbitrates (oldest wins) and aborts the losers.
+    pub conflicts: Vec<TxId>,
+    /// Lazy commit/abort cleanup is still processing this page; the access
+    /// must stall until this cycle (§4.5).
+    pub stall_until: Option<Cycle>,
+    /// A different transaction has an overflowed *read* of this block, so a
+    /// read miss must not be granted exclusive permission (§4.3).
+    pub deny_exclusive: bool,
+    /// When the conflict check itself completed (VTS lookup/walk timing).
+    pub done_at: Cycle,
+}
+
+/// The outcome of swapping a transactional page out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapOut {
+    /// Where the home page's data went (store this in the page table).
+    pub home_slot: SwapSlot,
+}
+
+/// The Page-based Transactional Memory system.
+///
+/// See the crate-level documentation for the model; see [`PtmConfig`] for
+/// the Copy/Select policy switch and the Figure 5 granularities.
+#[derive(Debug)]
+pub struct PtmSystem {
+    cfg: PtmConfig,
+    spt: ShadowPageTable,
+    sit: SwapIndexTable,
+    tavs: TavArena,
+    tstate: TStateTable,
+    spt_cache: LruTracker<FrameId>,
+    tav_cache: LruTracker<(FrameId, TxId)>,
+    /// Pages whose lazy commit/abort cleanup completes at the given cycle.
+    cleanup_pages: HashMap<FrameId, Cycle>,
+    live_shadows: u64,
+    stats: PtmStats,
+}
+
+impl PtmSystem {
+    /// Creates a PTM system.
+    pub fn new(cfg: PtmConfig) -> Self {
+        PtmSystem {
+            spt: ShadowPageTable::new(),
+            sit: SwapIndexTable::new(),
+            tavs: TavArena::new(),
+            tstate: TStateTable::new(),
+            spt_cache: LruTracker::new(cfg.spt_cache_entries),
+            tav_cache: LruTracker::new(cfg.tav_cache_entries),
+            cleanup_pages: HashMap::new(),
+            live_shadows: 0,
+            stats: PtmStats::default(),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PtmConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &PtmStats {
+        &self.stats
+    }
+
+    /// The T-State table (transaction statuses).
+    pub fn tstate(&self) -> &TStateTable {
+        &self.tstate
+    }
+
+    /// Mutable T-State access (nesting bookkeeping lives there).
+    pub fn tstate_mut(&mut self) -> &mut TStateTable {
+        &mut self.tstate
+    }
+
+    /// Registers a freshly allocated physical page.
+    pub fn on_page_alloc(&mut self, frame: FrameId) {
+        self.spt.on_page_alloc(frame);
+    }
+
+    /// Read-only view of a page's SPT entry.
+    pub fn spt_entry(&self, frame: FrameId) -> Option<&SptEntry> {
+        self.spt.entry(frame)
+    }
+
+    /// Starts a transaction (outermost begin).
+    pub fn begin(&mut self, tx: TxId, ordered_seq: Option<u64>) {
+        self.tstate.begin(tx, ordered_seq);
+    }
+
+    /// Whether any transactional block currently lives in the overflow
+    /// structures — the paper's global overflow flag (§3.1). When false,
+    /// misses skip PTM entirely and in-cache coherence handles everything.
+    pub fn has_overflows(&self) -> bool {
+        self.tavs.live() > 0
+    }
+
+    /// Whether `tx` is currently running.
+    pub fn is_live(&self, tx: TxId) -> bool {
+        self.tstate.is_live(tx)
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict detection (§3.3, §4.3)
+    // ------------------------------------------------------------------
+
+    /// Checks an access that missed the cache against the overflowed
+    /// transactional state.
+    ///
+    /// `requester` is `None` for non-transactional code; such accesses still
+    /// conflict-check, and the caller must abort every conflicting
+    /// transaction (§2.3.3).
+    pub fn check_conflict(
+        &mut self,
+        requester: Option<TxId>,
+        block: PhysBlock,
+        word: WordIdx,
+        kind: AccessKind,
+        now: Cycle,
+        bus: &mut SystemBus,
+    ) -> ConflictOutcome {
+        let frame = block.frame();
+        let idx = block.index();
+        let mut outcome = ConflictOutcome {
+            done_at: now,
+            ..Default::default()
+        };
+
+        self.prune_cleanup(now);
+        if let Some(&until) = self.cleanup_pages.get(&frame) {
+            if until > now {
+                outcome.stall_until = Some(until);
+            }
+        }
+
+        let Some(entry) = self.spt.entry(frame) else {
+            return outcome;
+        };
+        let head = entry.tav_head;
+
+        let mut cost = VtsCost { lookups: 1, ..Default::default() };
+        let nodes = self.tavs.page_list(head);
+        match self.spt_cache.touch(frame) {
+            crate::vts::Touch::Hit => self.stats.spt_cache_hits += 1,
+            crate::vts::Touch::Miss { evicted_dirty } => {
+                self.stats.spt_cache_misses += 1;
+                // Walk: read the SPT entry, then every TAV node to rebuild
+                // the summary vectors; each walked node lands in the TAV
+                // cache (§4.2.2).
+                cost.memory_accesses += 1 + nodes.len() as u32;
+                if evicted_dirty {
+                    cost.memory_accesses += 1;
+                }
+                self.stats.tav_walk_nodes += nodes.len() as u64;
+                for r in &nodes {
+                    let tx = self.tavs.get(*r).tx;
+                    let _ = self.tav_cache.touch((frame, tx));
+                }
+            }
+        }
+
+        let wsum = self.tavs.write_summary(head);
+        let rsum = self.tavs.read_summary(head);
+
+        let potential = match kind {
+            AccessKind::Read => wsum.get(idx),
+            AccessKind::Write => wsum.get(idx) || rsum.get(idx),
+        };
+
+        if kind == AccessKind::Read {
+            // Exclusive permission is denied while another transaction has
+            // an overflowed read of the block.
+            outcome.deny_exclusive = nodes.iter().any(|r| {
+                let n = self.tavs.get(*r);
+                n.read.get(idx) && Some(n.tx) != requester
+            });
+        }
+
+        if potential {
+            // Summary says "maybe": consult the per-transaction vectors.
+            let word_in_page = idx.0 as usize * (BLOCK_SIZE / WORD_SIZE) + word.0 as usize;
+            for r in &nodes {
+                let n = self.tavs.get(*r);
+                if Some(n.tx) == requester {
+                    continue;
+                }
+                let hit = match (kind, self.cfg.granularity.word_in_memory()) {
+                    (AccessKind::Read, false) => n.write.get(idx),
+                    (AccessKind::Read, true) => n.write_words.get(word_in_page),
+                    (AccessKind::Write, false) => n.write.get(idx) || n.read.get(idx),
+                    (AccessKind::Write, true) => {
+                        n.write_words.get(word_in_page) || n.read_words.get(word_in_page)
+                    }
+                };
+                if hit {
+                    outcome.conflicts.push(n.tx);
+                }
+                cost.lookups += 1;
+                match self.tav_cache.touch((frame, n.tx)) {
+                    crate::vts::Touch::Hit => self.stats.tav_cache_hits += 1,
+                    crate::vts::Touch::Miss { evicted_dirty } => {
+                        self.stats.tav_cache_misses += 1;
+                        self.stats.tav_walk_nodes += 1;
+                        cost.memory_accesses += 1 + u32::from(evicted_dirty);
+                    }
+                }
+            }
+            outcome.conflicts.sort();
+            outcome.conflicts.dedup();
+            self.stats.overflow_conflicts += outcome.conflicts.len() as u64;
+        }
+
+        outcome.done_at = cost.charge(now, self.cfg.vts_lookup_latency, bus);
+        outcome
+    }
+
+    // ------------------------------------------------------------------
+    // Overflow (§3.2, §4.4.3)
+    // ------------------------------------------------------------------
+
+    /// Handles the eviction of a transactional cache line.
+    ///
+    /// `spec` carries the speculative data when the line was dirty. Returns
+    /// the cycle the (background) overflow processing finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shadow page is needed and physical memory is exhausted —
+    /// size the simulated memory generously (the OS-level reclamation the
+    /// paper assumes is out of scope).
+    /// `in_cache_cowriter` reports whether another live transaction still
+    /// holds a word-disjoint write copy of this block in some cache (only
+    /// possible in the word-granularity configurations) — it forces the
+    /// merge path so the shared speculative page never loses that
+    /// transaction's view.
+    pub fn on_tx_eviction(
+        &mut self,
+        meta: &TxLineMeta,
+        block: PhysBlock,
+        spec: Option<&SpecBlock>,
+        in_cache_cowriter: bool,
+        mem: &mut PhysicalMemory,
+        now: Cycle,
+        bus: &mut SystemBus,
+    ) -> Cycle {
+        let frame = block.frame();
+        let idx = block.index();
+        let tx = meta.tx;
+        debug_assert!(
+            self.spt.entry(frame).is_some(),
+            "eviction from unregistered page {frame}"
+        );
+
+        // The eviction's coherence message reaches the VTS.
+        let mut done = bus.onchip_transfer(now);
+        let mut cost = VtsCost { lookups: 2, ..Default::default() };
+        match self.spt_cache.touch(frame) {
+            crate::vts::Touch::Hit => self.stats.spt_cache_hits += 1,
+            crate::vts::Touch::Miss { evicted_dirty } => {
+                self.stats.spt_cache_misses += 1;
+                cost.memory_accesses += 1 + u32::from(evicted_dirty);
+            }
+        }
+        match self.tav_cache.touch((frame, tx)) {
+            crate::vts::Touch::Hit => self.stats.tav_cache_hits += 1,
+            crate::vts::Touch::Miss { evicted_dirty } => {
+                self.stats.tav_cache_misses += 1;
+                cost.memory_accesses += 1 + u32::from(evicted_dirty);
+            }
+        }
+        self.tav_cache.mark_dirty(&(frame, tx));
+
+        // Pre-update write summary (Copy-PTM needs to know whether this is
+        // the block's first dirty overflow), and the pre-update *word*
+        // summary (word-mode Copy-PTM backs words up individually).
+        let head = self.spt.entry(frame).expect("registered page").tav_head;
+        let wsum_before = self.tavs.write_summary(head);
+        let word_sum_before = self
+            .tavs
+            .page_list(head)
+            .iter()
+            .fold(ptm_types::WordVec::EMPTY, |acc, r| acc | self.tavs.get(*r).write_words);
+
+        // Find or create the (tx, page) TAV node.
+        let node_ref = match self.tavs.find_in_page_list(head, tx) {
+            Some(r) => r,
+            None => {
+                let r = self.tavs.alloc(tx, frame);
+                // Link at the head of the horizontal (page) list...
+                self.tavs.get_mut(r).next_in_page = head;
+                self.spt.entry_mut(frame).expect("registered page").tav_head = Some(r);
+                // ...and of the vertical (transaction) list.
+                let tstate = self.tstate.entry_mut(tx);
+                self.tavs.get_mut(r).next_in_tx = tstate.tav_head;
+                // Reborrow: update head after arena link is set.
+                self.tstate.entry_mut(tx).tav_head = Some(r);
+                r
+            }
+        };
+
+        if meta.read {
+            // Word vectors are recorded regardless of the conflict
+            // granularity: conflict *checks* ignore them in `wd:cache`, but
+            // word-selective data movement (merge commits, view selection)
+            // always needs them.
+            self.tavs.get_mut(node_ref).record_read(idx, Some(meta.read_words));
+        }
+
+        if meta.write {
+            let spec = spec.expect("dirty eviction must carry speculative data");
+            let first_dirty_overflow = !wsum_before.get(idx);
+            self.tavs.get_mut(node_ref).record_write(idx, Some(meta.write_words));
+            self.ensure_shadow(frame, mem);
+            let entry = self.spt.entry(frame).expect("registered page");
+            let home_block = block;
+            let shadow_block = block.on_frame(entry.shadow.expect("just ensured"));
+
+            match self.cfg.policy {
+                PtmPolicy::Copy => {
+                    let contested = self.cfg.granularity.word_in_cache()
+                        && (in_cache_cowriter
+                            || self.other_writers(frame, idx, tx)
+                            || self.is_contested(block));
+                    if contested {
+                        self.mark_contested(block);
+                        // Word-granular Copy-PTM: the per-block backup goes
+                        // stale once a co-writer commits into the home page,
+                        // so each word is backed up individually the first
+                        // time any live transaction's overflow claims it.
+                        let base = idx.0 as usize * (BLOCK_SIZE / WORD_SIZE);
+                        let mut fresh = WordMask::EMPTY;
+                        for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {
+                            if spec.written.get(WordIdx(w)) && !word_sum_before.get(base + w as usize)
+                            {
+                                fresh.set(WordIdx(w));
+                            }
+                        }
+                        if !fresh.is_empty() {
+                            restore_words(mem, home_block, shadow_block, fresh);
+                            self.stats.backup_copies += 1;
+                            cost.memory_accesses += 2;
+                        }
+                        let mut target = mem.read_block(home_block);
+                        ptm_mem::versions::apply_written_words(&mut target, spec);
+                        mem.write_block(home_block, &target);
+                    } else {
+                        // Back up the committed block once, then write the
+                        // speculative data to the home page (§3.2.1).
+                        if first_dirty_overflow {
+                            mem.copy_block(home_block, shadow_block);
+                            self.stats.backup_copies += 1;
+                            cost.memory_accesses += 2;
+                        }
+                        mem.write_block(home_block, &spec.data);
+                    }
+                    cost.memory_accesses += 1;
+                }
+                PtmPolicy::Select => {
+                    let contested = self.cfg.granularity.word_in_cache()
+                        && (in_cache_cowriter
+                            || self.other_writers(frame, idx, tx)
+                            || self.is_contested(block));
+                    if contested {
+                        self.mark_contested(block);
+                    }
+                    let entry = self.spt.entry(frame).expect("registered page");
+                    let spec_block = block.on_frame(entry.speculative_frame(idx));
+                    if contested {
+                        // A second writer exists (or ever existed): write
+                        // only the words this transaction owns — a byte-
+                        // enabled partial write in hardware. The commit for
+                        // contested blocks *merges* instead of toggling.
+                        let mut target = mem.read_block(spec_block);
+                        ptm_mem::versions::apply_written_words(&mut target, spec);
+                        mem.write_block(spec_block, &target);
+                    } else {
+                        // Sole writer ever: the buffer is a consistent
+                        // whole-block snapshot and doubles as the page's
+                        // valid image, keeping the zero-copy toggle commit.
+                        mem.write_block(spec_block, &spec.data);
+                    }
+                    cost.memory_accesses += 1;
+                }
+            }
+            self.stats.dirty_overflows += 1;
+        } else {
+            self.stats.clean_overflows += 1;
+        }
+
+        self.stats.peak_tav_nodes = self.stats.peak_tav_nodes.max(self.tavs.peak() as u64);
+        done = cost.charge(done, self.cfg.vts_lookup_latency, bus);
+        done
+    }
+
+    fn ensure_shadow(&mut self, frame: FrameId, mem: &mut PhysicalMemory) {
+        let entry = self.spt.entry_mut(frame).expect("registered page");
+        if entry.shadow.is_none() {
+            let shadow = mem
+                .alloc()
+                .expect("physical memory exhausted allocating a shadow page");
+            entry.shadow = Some(shadow);
+            self.stats.shadow_allocs += 1;
+            self.live_shadows += 1;
+            self.stats.peak_shadow_pages = self.stats.peak_shadow_pages.max(self.live_shadows);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch path (§4.4.1, Figure 3)
+    // ------------------------------------------------------------------
+
+    /// The frame a cache miss should fetch `block` from: XOR of the write
+    /// summary bit and the selection bit picks home vs shadow (Figure 3).
+    /// Copy-PTM always fetches from the home page.
+    pub fn fetch_frame(&self, block: PhysBlock) -> FrameId {
+        let frame = block.frame();
+        let idx = block.index();
+        let Some(entry) = self.spt.entry(frame) else {
+            return frame;
+        };
+        match (self.cfg.policy, entry.shadow) {
+            (PtmPolicy::Copy, _) | (_, None) => frame,
+            (PtmPolicy::Select, Some(shadow)) => {
+                let wsum = self.tavs.write_summary(entry.tav_head);
+                if wsum.get(idx) ^ entry.sel.get(idx) {
+                    shadow
+                } else {
+                    frame
+                }
+            }
+        }
+    }
+
+    /// The frame holding the *committed* version of `block`.
+    pub fn committed_frame(&self, block: PhysBlock) -> FrameId {
+        let frame = block.frame();
+        let idx = block.index();
+        let Some(entry) = self.spt.entry(frame) else {
+            return frame;
+        };
+        match self.cfg.policy {
+            PtmPolicy::Select => entry.committed_frame(idx),
+            PtmPolicy::Copy => {
+                // If a live transaction's speculative data occupies the home
+                // block, the committed version is the shadow backup.
+                let wsum = self.tavs.write_summary(entry.tav_head);
+                match entry.shadow {
+                    Some(shadow) if wsum.get(idx) => shadow,
+                    _ => frame,
+                }
+            }
+        }
+    }
+
+    /// The frame transaction `tx` should read `word` of `block` from: its
+    /// own overflowed speculative version when it has one, otherwise the
+    /// committed version.
+    pub fn tx_view_frame(&self, tx: TxId, block: PhysBlock, word: WordIdx) -> FrameId {
+        let frame = block.frame();
+        let idx = block.index();
+        let Some(entry) = self.spt.entry(frame) else {
+            return frame;
+        };
+        let Some(node_ref) = self.tavs.find_in_page_list(entry.tav_head, tx) else {
+            return self.committed_frame(block);
+        };
+        let node = self.tavs.get(node_ref);
+        let wrote = if self.cfg.granularity.word_in_cache() {
+            // Word modes: the speculative page only holds the words this
+            // transaction wrote; everything else reads the committed page.
+            let word_in_page = idx.0 as usize * (BLOCK_SIZE / WORD_SIZE) + word.0 as usize;
+            node.write_words.get(word_in_page)
+        } else {
+            node.write.get(idx)
+        };
+        if !wrote {
+            return self.committed_frame(block);
+        }
+        match self.cfg.policy {
+            PtmPolicy::Copy => frame, // speculative data lives in the home page
+            PtmPolicy::Select => entry.speculative_frame(idx),
+        }
+    }
+
+    /// Whether `tx` has an overflowed dirty version of `block`.
+    pub fn tx_wrote_overflowed(&self, tx: TxId, block: PhysBlock) -> bool {
+        let Some(entry) = self.spt.entry(block.frame()) else {
+            return false;
+        };
+        self.tavs
+            .find_in_page_list(entry.tav_head, tx)
+            .map(|r| self.tavs.get(r).write.get(block.index()))
+            .unwrap_or(false)
+    }
+
+    /// Marks a block *contested*: a second writer (transactional or not)
+    /// touched it while another writer's transactional state was live. The
+    /// word-granularity configurations downgrade contested blocks from the
+    /// whole-block / selection-toggle fast path to word-masked merging.
+    pub fn mark_contested(&mut self, block: PhysBlock) {
+        if let Some(entry) = self.spt.entry_mut(block.frame()) {
+            entry.contested.set(block.index());
+        }
+    }
+
+    /// Whether `block` has ever been contested.
+    pub fn is_contested(&self, block: PhysBlock) -> bool {
+        self.spt
+            .entry(block.frame())
+            .map(|e| e.contested.get(block.index()))
+            .unwrap_or(false)
+    }
+
+    /// Whether any transaction has overflowed state (read or write) for
+    /// this specific block — the per-block *overflow bit* the directory
+    /// variant keeps (§4.6). The simulator uses it to filter which cache
+    /// hits need a VTS consultation in the word-granularity configurations;
+    /// it is a pure state query with no timing cost, like the hardware bit.
+    pub fn block_overflowed(&self, block: PhysBlock, exclude: Option<TxId>) -> bool {
+        let Some(entry) = self.spt.entry(block.frame()) else {
+            return false;
+        };
+        let idx = block.index();
+        self.tavs.page_list(entry.tav_head).iter().any(|r| {
+            let n = self.tavs.get(*r);
+            Some(n.tx) != exclude && (n.write.get(idx) || n.read.get(idx))
+        })
+    }
+
+    /// Every transaction with an overflowed dirty version of `block`.
+    ///
+    /// Used by the `wd:cache` configuration's eviction rule: the overflow
+    /// structures track only one writer per block, so evicting a block that
+    /// a *different* transaction already write-overflowed forces an abort
+    /// (§6.3).
+    pub fn overflow_writers(&self, block: PhysBlock) -> Vec<TxId> {
+        let Some(entry) = self.spt.entry(block.frame()) else {
+            return Vec::new();
+        };
+        self.tavs
+            .page_list(entry.tav_head)
+            .iter()
+            .filter(|r| self.tavs.get(**r).write.get(block.index()))
+            .map(|r| self.tavs.get(*r).tx)
+            .collect()
+    }
+
+    /// Where committed-side word writes must be *mirrored* in the
+    /// word-granularity configurations.
+    ///
+    /// When another live transaction holds an overflowed speculative version
+    /// of `block` (word-disjoint by conflict detection), its speculative
+    /// page must observe words committed by others — otherwise its eventual
+    /// commit (Select's selection toggle, or Copy's home page becoming
+    /// committed) would resurrect stale values. Returns the speculative
+    /// location to mirror into, or `None` when no mirroring is needed
+    /// (block granularity forbids co-writers outright).
+    pub fn mirror_location(&self, block: PhysBlock, exclude: Option<TxId>) -> Option<PhysBlock> {
+        if !self.cfg.granularity.word_in_cache() {
+            return None;
+        }
+        let entry = self.spt.entry(block.frame())?;
+        entry.shadow?;
+        let has_other_writer = self
+            .overflow_writers(block)
+            .into_iter()
+            .any(|w| Some(w) != exclude && self.is_live(w));
+        if !has_other_writer {
+            return None;
+        }
+        let target = match self.cfg.policy {
+            PtmPolicy::Select => entry.speculative_frame(block.index()),
+            PtmPolicy::Copy => block.frame(),
+        };
+        Some(block.on_frame(target))
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort (§3.4, §4.5)
+    // ------------------------------------------------------------------
+
+    /// Commits `tx`: logical commit is immediate; TAV cleanup (selection
+    /// vector toggling for Select-PTM, node freeing) is charged lazily and
+    /// installs per-page stall windows. Returns the cleanup-complete cycle.
+    pub fn commit(&mut self, tx: TxId, mem: &mut PhysicalMemory, now: Cycle, bus: &mut SystemBus) -> Cycle {
+        self.tstate.set_status(tx, TxStatus::Committing);
+        let nodes = self.tavs.tx_list(self.tstate.entry(tx).tav_head);
+        let mut t = now;
+
+        self.stats.tx_dirty_page_sum += nodes
+            .iter()
+            .filter(|r| !self.tavs.get(**r).write.is_empty())
+            .count() as u64;
+
+        for r in nodes {
+            let (frame, write_vec) = {
+                let n = self.tavs.get(r);
+                (n.page, n.write)
+            };
+            let mut cost = VtsCost { lookups: 2, ..Default::default() };
+            match self.tav_cache.touch((frame, tx)) {
+                crate::vts::Touch::Hit => self.stats.tav_cache_hits += 1,
+                crate::vts::Touch::Miss { evicted_dirty } => {
+                    self.stats.tav_cache_misses += 1;
+                    cost.memory_accesses += 1 + u32::from(evicted_dirty);
+                }
+            }
+
+            if self.cfg.policy == PtmPolicy::Select {
+                for idx in write_vec.iter() {
+                    if self.cfg.granularity.word_in_cache()
+                        && self.is_contested(PhysBlock::new(frame, idx))
+                    {
+                        // Contested block: the per-block selection bit
+                        // cannot represent word-disjoint ownership, so the
+                        // commit merges this transaction's words into the
+                        // committed page (the cost word granularity pays on
+                        // co-written overflowed blocks).
+                        self.merge_written_words(r, frame, idx, mem);
+                        self.stats.word_merge_copies += 1;
+                        cost.memory_accesses += 2;
+                    } else {
+                        let entry = self.spt.entry_mut(frame).expect("page present");
+                        entry.sel.toggle(idx);
+                        self.stats.selection_toggles += 1;
+                    }
+                }
+                self.spt_cache.mark_dirty(&frame);
+            }
+
+            self.unlink_and_free(r, frame, tx);
+            t = cost.charge(t, self.cfg.vts_lookup_latency, bus);
+            self.cleanup_pages.insert(frame, t);
+            self.maybe_free_shadow(frame, mem);
+        }
+
+        self.tstate.entry_mut(tx).tav_head = None;
+        self.tstate.set_status(tx, TxStatus::Committed);
+        self.stats.commits += 1;
+        t
+    }
+
+    /// Aborts `tx`: Select-PTM only frees TAV nodes (selection bits already
+    /// point at the committed data); Copy-PTM must restore every overwritten
+    /// home block from its shadow backup. Returns the cleanup-complete cycle.
+    pub fn abort(&mut self, tx: TxId, mem: &mut PhysicalMemory, now: Cycle, bus: &mut SystemBus) -> Cycle {
+        self.tstate.set_status(tx, TxStatus::Aborting);
+        let nodes = self.tavs.tx_list(self.tstate.entry(tx).tav_head);
+        let mut t = now;
+
+        for r in nodes {
+            let (frame, write_vec) = {
+                let n = self.tavs.get(r);
+                (n.page, n.write)
+            };
+            let mut cost = VtsCost { lookups: 2, ..Default::default() };
+            match self.tav_cache.touch((frame, tx)) {
+                crate::vts::Touch::Hit => self.stats.tav_cache_hits += 1,
+                crate::vts::Touch::Miss { evicted_dirty } => {
+                    self.stats.tav_cache_misses += 1;
+                    cost.memory_accesses += 1 + u32::from(evicted_dirty);
+                }
+            }
+
+            if self.cfg.policy == PtmPolicy::Copy {
+                let entry = self.spt.entry(frame).expect("page present");
+                let shadow = entry.shadow;
+                for idx in write_vec.iter() {
+                    let shadow = shadow.expect("dirty overflow implies a shadow page");
+                    let home_block = PhysBlock::new(frame, idx);
+                    let shadow_block = home_block.on_frame(shadow);
+                    if self.cfg.granularity.word_in_cache() {
+                        // Home holds word-masked speculative writes: restore
+                        // exactly those words from the backup.
+                        let mask = self.tavs.get(r).write_words.block_words(idx);
+                        restore_words(mem, shadow_block, home_block, mask);
+                    } else {
+                        mem.copy_block(shadow_block, home_block);
+                    }
+                    self.stats.restore_copies += 1;
+                    cost.memory_accesses += 2;
+                }
+            }
+            // Select-PTM aborts need no data movement at any granularity:
+            // block mode never toggled, and word mode commits merge only a
+            // live transaction's own words, so dead speculative words in
+            // the page are simply never read again.
+
+            self.unlink_and_free(r, frame, tx);
+            t = cost.charge(t, self.cfg.vts_lookup_latency, bus);
+            self.cleanup_pages.insert(frame, t);
+            self.maybe_free_shadow(frame, mem);
+        }
+
+        self.tstate.entry_mut(tx).tav_head = None;
+        self.tstate.set_status(tx, TxStatus::Aborted);
+        self.stats.aborts += 1;
+        t
+    }
+
+    fn other_writers(&self, frame: FrameId, idx: BlockIdx, tx: TxId) -> bool {
+        let head = self.spt.entry(frame).expect("page present").tav_head;
+        self.tavs.page_list(head).iter().any(|r| {
+            let n = self.tavs.get(*r);
+            n.tx != tx && n.write.get(idx)
+        })
+    }
+
+    fn merge_written_words(&mut self, node: TavRef, frame: FrameId, idx: BlockIdx, mem: &mut PhysicalMemory) {
+        let mask = self.tavs.get(node).write_words.block_words(idx);
+        let entry = self.spt.entry(frame).expect("page present");
+        let spec = PhysBlock::new(frame, idx).on_frame(entry.speculative_frame(idx));
+        let committed = PhysBlock::new(frame, idx).on_frame(entry.committed_frame(idx));
+        restore_words(mem, spec, committed, mask);
+    }
+
+    fn unlink_and_free(&mut self, r: TavRef, frame: FrameId, tx: TxId) {
+        let entry = self.spt.entry_mut(frame).expect("page present");
+        let head = entry.tav_head;
+        let new_head = self.tavs.unlink_from_page_list(head, r);
+        self.spt.entry_mut(frame).expect("page present").tav_head = new_head;
+        self.tavs.free(r);
+        self.tav_cache.remove(&(frame, tx));
+    }
+
+    /// Frees a page's shadow when it no longer holds any needed data: for
+    /// Copy-PTM, as soon as no transaction uses the page; for Select-PTM,
+    /// additionally the selection vector must be clear (no committed block
+    /// lives in the shadow).
+    fn maybe_free_shadow(&mut self, frame: FrameId, mem: &mut PhysicalMemory) {
+        let entry = self.spt.entry(frame).expect("page present");
+        if entry.tav_head.is_some() || entry.shadow.is_none() {
+            return;
+        }
+        let can_free = match self.cfg.policy {
+            PtmPolicy::Copy => true,
+            PtmPolicy::Select => entry.sel.is_empty(),
+        };
+        if can_free {
+            let entry = self.spt.entry_mut(frame).expect("page present");
+            let shadow = entry.shadow.take().expect("checked above");
+            mem.free(shadow);
+            self.stats.shadow_frees += 1;
+            self.live_shadows -= 1;
+        }
+    }
+
+    fn prune_cleanup(&mut self, now: Cycle) {
+        self.cleanup_pages.retain(|_, t| *t > now);
+    }
+
+    // ------------------------------------------------------------------
+    // Paging (§3.5.1) and shadow freeing (§3.5.2)
+    // ------------------------------------------------------------------
+
+    /// Swaps a home page out: merges (Select-PTM, merge-on-swap, unused
+    /// shadow) or co-swaps the shadow, stores both pages' data, and migrates
+    /// the SPT entry into the SIT. The caller updates the page table with
+    /// the returned slot and must not pick shadow pages as swap victims.
+    pub fn on_swap_out(
+        &mut self,
+        frame: FrameId,
+        mem: &mut PhysicalMemory,
+        swap: &mut SwapStore,
+    ) -> SwapOut {
+        let mut entry = self
+            .spt
+            .remove(frame)
+            .unwrap_or_else(|| panic!("swapping unregistered page {frame}"));
+        let transactional = entry.tav_head.is_some() || entry.shadow.is_some();
+
+        // Merge-on-swap: fold committed shadow blocks into the home image
+        // and free the shadow before it ever reaches the swap file.
+        if self.cfg.policy == PtmPolicy::Select && entry.tav_head.is_none() {
+            if let Some(shadow) = entry.shadow.take() {
+                for idx in entry.sel.iter().collect::<Vec<_>>() {
+                    let home_block = PhysBlock::new(frame, idx);
+                    mem.copy_block(home_block.on_frame(shadow), home_block);
+                }
+                entry.sel = ptm_types::BlockVec::EMPTY;
+                mem.free(shadow);
+                self.stats.shadow_frees += 1;
+                self.live_shadows -= 1;
+            }
+        }
+        if self.cfg.policy == PtmPolicy::Copy && entry.tav_head.is_none() {
+            if let Some(shadow) = entry.shadow.take() {
+                mem.free(shadow);
+                self.stats.shadow_frees += 1;
+                self.live_shadows -= 1;
+            }
+        }
+
+        let home_slot = swap.store(mem.read_frame(frame));
+        mem.free(frame);
+        let shadow_slot = entry.shadow.map(|shadow| {
+            let slot = swap.store(mem.read_frame(shadow));
+            mem.free(shadow);
+            self.live_shadows -= 1;
+            slot
+        });
+
+        self.sit.insert(SitEntry::from_spt(&entry, home_slot, shadow_slot));
+        self.spt_cache.remove(&frame);
+        self.tav_cache.remove_matching(|(f, _)| *f == frame);
+        if transactional {
+            self.stats.tx_swap_outs += 1;
+        }
+        SwapOut { home_slot }
+    }
+
+    /// Swaps a page back in: allocates fresh frames for home (and shadow),
+    /// reloads their data, migrates the SIT entry back to the SPT under the
+    /// new frame number, and repoints the page's TAV nodes. Returns the new
+    /// home frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if physical memory is exhausted.
+    pub fn on_swap_in(
+        &mut self,
+        home_slot: SwapSlot,
+        mem: &mut PhysicalMemory,
+        swap: &mut SwapStore,
+    ) -> FrameId {
+        let sit_entry = self
+            .sit
+            .remove(home_slot)
+            .unwrap_or_else(|| panic!("no SIT entry for {home_slot}"));
+        let home = mem.alloc().expect("memory exhausted on swap-in");
+        mem.write_frame(home, &swap.load(home_slot));
+
+        let shadow = sit_entry.shadow_slot.map(|slot| {
+            let f = mem.alloc().expect("memory exhausted on shadow swap-in");
+            mem.write_frame(f, &swap.load(slot));
+            self.live_shadows += 1;
+            f
+        });
+
+        // Repoint the page's TAV nodes at the new frame.
+        for r in self.tavs.page_list(sit_entry.tav_head) {
+            self.tavs.get_mut(r).page = home;
+        }
+
+        self.spt.insert(SptEntry {
+            home,
+            shadow,
+            sel: sit_entry.sel,
+            contested: sit_entry.contested,
+            tav_head: sit_entry.tav_head,
+        });
+        if sit_entry.tav_head.is_some() || shadow.is_some() {
+            self.stats.tx_swap_ins += 1;
+        }
+        home
+    }
+
+    /// Lazy shadow-page reclamation hook (§3.5.2): when a non-speculative
+    /// dirty block is written back and its committed copy lives in the
+    /// shadow, migrate it to the home page and toggle the selection bit —
+    /// unless a live transaction's speculative data occupies the home slot.
+    pub fn on_nontx_dirty_writeback(&mut self, block: PhysBlock, mem: &mut PhysicalMemory) {
+        if self.cfg.policy != PtmPolicy::Select || self.cfg.shadow_free != ShadowFreePolicy::LazyMigrate
+        {
+            return;
+        }
+        let frame = block.frame();
+        let idx = block.index();
+        let Some(entry) = self.spt.entry(frame) else {
+            return;
+        };
+        let Some(shadow) = entry.shadow else {
+            return;
+        };
+        if !entry.sel.get(idx) {
+            return;
+        }
+        // The home slot currently holds (or may soon hold) speculative data
+        // if any live transaction overflowed a write to this block.
+        if self.tavs.write_summary(entry.tav_head).get(idx) {
+            return;
+        }
+        mem.copy_block(block.on_frame(shadow), block);
+        let entry = self.spt.entry_mut(frame).expect("just looked up");
+        entry.sel.clear(idx);
+        self.stats.lazy_migrations += 1;
+        self.spt_cache.mark_dirty(&frame);
+        self.maybe_free_shadow(frame, mem);
+    }
+}
+
+/// Copies the masked words of `src` onto `dst`.
+fn restore_words(mem: &mut PhysicalMemory, src: PhysBlock, dst: PhysBlock, mask: WordMask) {
+    let from = mem.read_block(src);
+    let mut to = mem.read_block(dst);
+    for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {
+        if mask.get(WordIdx(w)) {
+            let off = w as usize * WORD_SIZE;
+            to[off..off + WORD_SIZE].copy_from_slice(&from[off..off + WORD_SIZE]);
+        }
+    }
+    mem.write_block(dst, &to);
+}

@@ -1,0 +1,349 @@
+//! Transaction Access Vectors (TAV): the per-(transaction × page) overflow
+//! bookkeeping nodes of Figure 1.
+//!
+//! Each node records which blocks (and, in `wd:cache+mem` mode, which words)
+//! of one page one transaction overflowed, with a read vector and a write
+//! vector. Nodes are linked two ways, exactly as the paper draws them:
+//!
+//! * **horizontally** per page (headed in the SPT/SIT entry) — walked for
+//!   conflict detection against every transaction that overflowed the page;
+//! * **vertically** per transaction (headed in the T-State entry) — walked
+//!   to process commit and abort.
+//!
+//! Nodes live in an arena ([`TavArena`]) with a free list, mirroring the
+//! paper's "freed when the corresponding transaction either commits or
+//! aborts".
+
+use ptm_types::{BlockIdx, BlockVec, FrameId, TxId, WordMask, WordVec};
+use std::fmt;
+
+/// A handle to a TAV node inside a [`TavArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TavRef(u32);
+
+impl fmt::Display for TavRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tav#{}", self.0)
+    }
+}
+
+/// One TAV node: a transaction's overflowed access vectors for one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TavNode {
+    /// The transaction this node belongs to.
+    pub tx: TxId,
+    /// The (home) frame of the page this node describes. Updated when the
+    /// page migrates between frames across a swap-out/in cycle.
+    pub page: FrameId,
+    /// Blocks of the page the transaction read and then overflowed.
+    pub read: BlockVec,
+    /// Blocks of the page the transaction dirtied and then overflowed.
+    pub write: BlockVec,
+    /// Word-granular read vector (`wd:cache+mem` only).
+    pub read_words: WordVec,
+    /// Word-granular write vector (`wd:cache+mem` only).
+    pub write_words: WordVec,
+    /// Next node in this page's horizontal list.
+    pub next_in_page: Option<TavRef>,
+    /// Next node in this transaction's vertical list.
+    pub next_in_tx: Option<TavRef>,
+}
+
+impl TavNode {
+    fn new(tx: TxId, page: FrameId) -> Self {
+        TavNode {
+            tx,
+            page,
+            read: BlockVec::EMPTY,
+            write: BlockVec::EMPTY,
+            read_words: WordVec::EMPTY,
+            write_words: WordVec::EMPTY,
+            next_in_page: None,
+            next_in_tx: None,
+        }
+    }
+
+    /// Records an overflowed read of `block` (and words, if tracking them).
+    pub fn record_read(&mut self, block: BlockIdx, words: Option<WordMask>) {
+        self.read.set(block);
+        if let Some(w) = words {
+            self.read_words.set_block_words(block, w);
+        }
+    }
+
+    /// Records an overflowed write of `block` (and words, if tracking them).
+    pub fn record_write(&mut self, block: BlockIdx, words: Option<WordMask>) {
+        self.write.set(block);
+        if let Some(w) = words {
+            self.write_words.set_block_words(block, w);
+        }
+    }
+}
+
+/// Arena of TAV nodes with a free list.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_core::tav::TavArena;
+/// use ptm_types::{FrameId, TxId};
+///
+/// let mut arena = TavArena::new();
+/// let r = arena.alloc(TxId(1), FrameId(0));
+/// assert_eq!(arena.get(r).tx, TxId(1));
+/// arena.free(r);
+/// assert_eq!(arena.live(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct TavArena {
+    nodes: Vec<Option<TavNode>>,
+    free: Vec<u32>,
+    live: usize,
+    peak: usize,
+}
+
+impl TavArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live nodes.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Peak number of simultaneously live nodes.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Allocates a fresh node for `(tx, page)`.
+    pub fn alloc(&mut self, tx: TxId, page: FrameId) -> TavRef {
+        let node = TavNode::new(tx, page);
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Some(node);
+                TavRef(i)
+            }
+            None => {
+                self.nodes.push(Some(node));
+                TavRef((self.nodes.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Frees a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free.
+    pub fn free(&mut self, r: TavRef) {
+        let slot = &mut self.nodes[r.0 as usize];
+        assert!(slot.is_some(), "double free of {r}");
+        *slot = None;
+        self.free.push(r.0);
+        self.live -= 1;
+    }
+
+    /// Borrows a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has been freed.
+    pub fn get(&self, r: TavRef) -> &TavNode {
+        self.nodes[r.0 as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("use after free of {r}"))
+    }
+
+    /// Mutably borrows a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has been freed.
+    pub fn get_mut(&mut self, r: TavRef) -> &mut TavNode {
+        self.nodes[r.0 as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("use after free of {r}"))
+    }
+
+    /// Walks a horizontal (per-page) list, collecting the node handles.
+    pub fn page_list(&self, head: Option<TavRef>) -> Vec<TavRef> {
+        self.walk(head, |n| n.next_in_page)
+    }
+
+    /// Walks a vertical (per-transaction) list, collecting the node handles.
+    pub fn tx_list(&self, head: Option<TavRef>) -> Vec<TavRef> {
+        self.walk(head, |n| n.next_in_tx)
+    }
+
+    fn walk<F>(&self, head: Option<TavRef>, next: F) -> Vec<TavRef>
+    where
+        F: Fn(&TavNode) -> Option<TavRef>,
+    {
+        let mut out = Vec::new();
+        let mut cur = head;
+        while let Some(r) = cur {
+            out.push(r);
+            cur = next(self.get(r));
+        }
+        out
+    }
+
+    /// Finds the node for `tx` in a page list, if present.
+    pub fn find_in_page_list(&self, head: Option<TavRef>, tx: TxId) -> Option<TavRef> {
+        self.page_list(head).into_iter().find(|r| self.get(*r).tx == tx)
+    }
+
+    /// Unlinks `target` from a horizontal list headed at `head`, returning
+    /// the new head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not on the list.
+    pub fn unlink_from_page_list(&mut self, head: Option<TavRef>, target: TavRef) -> Option<TavRef> {
+        let list = self.page_list(head);
+        let pos = list
+            .iter()
+            .position(|r| *r == target)
+            .unwrap_or_else(|| panic!("{target} not on page list"));
+        let next = self.get(target).next_in_page;
+        if pos == 0 {
+            next
+        } else {
+            let prev = list[pos - 1];
+            self.get_mut(prev).next_in_page = next;
+            head
+        }
+    }
+
+    /// ORs together the write vectors of a page list — the VTS write
+    /// *summary* vector (§4.2.2).
+    pub fn write_summary(&self, head: Option<TavRef>) -> BlockVec {
+        self.page_list(head)
+            .iter()
+            .fold(BlockVec::EMPTY, |acc, r| acc | self.get(*r).write)
+    }
+
+    /// ORs together the read vectors of a page list — the VTS read summary
+    /// vector.
+    pub fn read_summary(&self, head: Option<TavRef>) -> BlockVec {
+        self.page_list(head)
+            .iter()
+            .fold(BlockVec::EMPTY, |acc, r| acc | self.get(*r).read)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_types::WordMask;
+
+    #[test]
+    fn alloc_free_reuses_slots() {
+        let mut a = TavArena::new();
+        let r1 = a.alloc(TxId(1), FrameId(0));
+        a.free(r1);
+        let r2 = a.alloc(TxId(2), FrameId(1));
+        assert_eq!(r1, r2, "slot reused");
+        assert_eq!(a.live(), 1);
+        assert_eq!(a.peak(), 1);
+    }
+
+    #[test]
+    fn record_accesses_set_vectors() {
+        let mut a = TavArena::new();
+        let r = a.alloc(TxId(1), FrameId(0));
+        a.get_mut(r).record_read(BlockIdx(3), None);
+        a.get_mut(r).record_write(BlockIdx(5), Some(WordMask(0b11)));
+        let n = a.get(r);
+        assert!(n.read.get(BlockIdx(3)));
+        assert!(n.write.get(BlockIdx(5)));
+        assert_eq!(n.write_words.block_words(BlockIdx(5)), WordMask(0b11));
+        assert!(n.read_words.is_empty(), "words only tracked when provided");
+    }
+
+    #[test]
+    fn page_list_walk_and_find() {
+        let mut a = TavArena::new();
+        let r1 = a.alloc(TxId(1), FrameId(0));
+        let r2 = a.alloc(TxId(2), FrameId(0));
+        a.get_mut(r2).next_in_page = Some(r1);
+        let head = Some(r2);
+        assert_eq!(a.page_list(head), vec![r2, r1]);
+        assert_eq!(a.find_in_page_list(head, TxId(1)), Some(r1));
+        assert_eq!(a.find_in_page_list(head, TxId(3)), None);
+    }
+
+    #[test]
+    fn unlink_head_and_middle() {
+        let mut a = TavArena::new();
+        let r1 = a.alloc(TxId(1), FrameId(0));
+        let r2 = a.alloc(TxId(2), FrameId(0));
+        let r3 = a.alloc(TxId(3), FrameId(0));
+        // List: r3 -> r2 -> r1
+        a.get_mut(r3).next_in_page = Some(r2);
+        a.get_mut(r2).next_in_page = Some(r1);
+
+        // Unlink middle.
+        let head = a.unlink_from_page_list(Some(r3), r2);
+        assert_eq!(head, Some(r3));
+        assert_eq!(a.page_list(head), vec![r3, r1]);
+
+        // Unlink head.
+        let head = a.unlink_from_page_list(head, r3);
+        assert_eq!(head, Some(r1));
+        assert_eq!(a.page_list(head), vec![r1]);
+    }
+
+    #[test]
+    fn summaries_or_all_nodes() {
+        let mut a = TavArena::new();
+        let r1 = a.alloc(TxId(1), FrameId(0));
+        let r2 = a.alloc(TxId(2), FrameId(0));
+        a.get_mut(r1).record_write(BlockIdx(0), None);
+        a.get_mut(r2).record_write(BlockIdx(1), None);
+        a.get_mut(r2).record_read(BlockIdx(2), None);
+        a.get_mut(r2).next_in_page = Some(r1);
+        let head = Some(r2);
+        let w = a.write_summary(head);
+        assert!(w.get(BlockIdx(0)) && w.get(BlockIdx(1)));
+        assert_eq!(w.count(), 2);
+        let r = a.read_summary(head);
+        assert!(r.get(BlockIdx(2)));
+        assert_eq!(r.count(), 1);
+    }
+
+    #[test]
+    fn vertical_list_is_independent_of_horizontal() {
+        let mut a = TavArena::new();
+        // tx 1 touches two pages.
+        let p0 = a.alloc(TxId(1), FrameId(0));
+        let p1 = a.alloc(TxId(1), FrameId(1));
+        a.get_mut(p0).next_in_tx = Some(p1);
+        assert_eq!(a.tx_list(Some(p0)), vec![p0, p1]);
+        assert_eq!(a.page_list(Some(p0)), vec![p0], "horizontal list separate");
+    }
+
+    #[test]
+    #[should_panic(expected = "use after free")]
+    fn use_after_free_panics() {
+        let mut a = TavArena::new();
+        let r = a.alloc(TxId(1), FrameId(0));
+        a.free(r);
+        let _ = a.get(r);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut a = TavArena::new();
+        let r1 = a.alloc(TxId(1), FrameId(0));
+        let _r2 = a.alloc(TxId(2), FrameId(0));
+        a.free(r1);
+        let _r3 = a.alloc(TxId(3), FrameId(0));
+        assert_eq!(a.peak(), 2);
+    }
+}

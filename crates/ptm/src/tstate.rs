@@ -1,0 +1,265 @@
+//! The T-State table: per-transaction status and the vertical TAV list head.
+//!
+//! The paper's T-State structure (Figure 1) is indexed by transaction number
+//! and holds each transaction's state — `Running`, `Committing`, `Aborting` —
+//! plus the head of its vertical TAV list, the saved register checkpoint,
+//! and (here) the flattened-nesting depth and ordered-commit sequence.
+//! Commit and abort first flip the status *atomically* (the "logical"
+//! commit/abort); the TAV cleanup then proceeds lazily.
+
+use crate::tav::TavRef;
+use ptm_types::TxId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Lifecycle states of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxStatus {
+    /// Executing (or context-switched out mid-execution).
+    Running,
+    /// Logically committed; TAV cleanup may still be in flight.
+    Committing,
+    /// Logically aborted; TAV cleanup may still be in flight.
+    Aborting,
+    /// Fully committed and cleaned up.
+    Committed,
+    /// Fully aborted and cleaned up; the transaction will re-execute with
+    /// the same identifier.
+    Aborted,
+}
+
+impl TxStatus {
+    /// Whether the transaction can still win or lose conflicts.
+    pub fn is_live(self) -> bool {
+        matches!(self, TxStatus::Running)
+    }
+}
+
+impl fmt::Display for TxStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxStatus::Running => "running",
+            TxStatus::Committing => "committing",
+            TxStatus::Aborting => "aborting",
+            TxStatus::Committed => "committed",
+            TxStatus::Aborted => "aborted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One T-State entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TStateEntry {
+    /// Current status.
+    pub status: TxStatus,
+    /// Head of the vertical TAV list (pages this transaction overflowed).
+    pub tav_head: Option<TavRef>,
+    /// Flattened-nesting depth (§2.3.1): inner `Begin`s increment, inner
+    /// `End`s decrement; only depth 0→1 and 1→0 are architectural events.
+    pub depth: u32,
+    /// Commit-order sequence number for ordered transactions.
+    pub ordered_seq: Option<u64>,
+    /// How many times this transaction has aborted and re-executed.
+    pub abort_count: u32,
+}
+
+/// The T-State table.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_core::tstate::{TStateTable, TxStatus};
+/// use ptm_types::TxId;
+///
+/// let mut t = TStateTable::new();
+/// t.begin(TxId(1), None);
+/// assert_eq!(t.status(TxId(1)), Some(TxStatus::Running));
+/// t.set_status(TxId(1), TxStatus::Committing);
+/// assert!(!t.status(TxId(1)).unwrap().is_live());
+/// ```
+#[derive(Debug, Default)]
+pub struct TStateTable {
+    entries: HashMap<TxId, TStateEntry>,
+}
+
+impl TStateTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a transaction at its (outermost) begin.
+    ///
+    /// An aborted transaction re-executes under its original identifier; in
+    /// that case the existing entry is reset to `Running` and its abort
+    /// count preserved.
+    pub fn begin(&mut self, tx: TxId, ordered_seq: Option<u64>) {
+        match self.entries.get_mut(&tx) {
+            Some(e) => {
+                assert_eq!(
+                    e.status,
+                    TxStatus::Aborted,
+                    "only an aborted transaction may re-begin"
+                );
+                e.status = TxStatus::Running;
+                e.depth = 1;
+                debug_assert!(e.tav_head.is_none(), "aborted tx must have no TAVs");
+            }
+            None => {
+                self.entries.insert(
+                    tx,
+                    TStateEntry {
+                        status: TxStatus::Running,
+                        tav_head: None,
+                        depth: 1,
+                        ordered_seq,
+                        abort_count: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Current status of `tx`, if known.
+    pub fn status(&self, tx: TxId) -> Option<TxStatus> {
+        self.entries.get(&tx).map(|e| e.status)
+    }
+
+    /// Sets the status (the atomic "logical" commit/abort flip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction is unknown.
+    pub fn set_status(&mut self, tx: TxId, status: TxStatus) {
+        let e = self.entry_mut(tx);
+        if status == TxStatus::Aborted {
+            e.abort_count += 1;
+        }
+        e.status = status;
+    }
+
+    /// Borrows the entry for `tx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction is unknown.
+    pub fn entry(&self, tx: TxId) -> &TStateEntry {
+        self.entries
+            .get(&tx)
+            .unwrap_or_else(|| panic!("unknown transaction {tx}"))
+    }
+
+    /// Mutably borrows the entry for `tx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction is unknown.
+    pub fn entry_mut(&mut self, tx: TxId) -> &mut TStateEntry {
+        self.entries
+            .get_mut(&tx)
+            .unwrap_or_else(|| panic!("unknown transaction {tx}"))
+    }
+
+    /// Returns `true` if `tx` is live (running).
+    pub fn is_live(&self, tx: TxId) -> bool {
+        self.status(tx).map(|s| s.is_live()).unwrap_or(false)
+    }
+
+    /// Enters a nested transaction; returns the new depth.
+    pub fn enter_nested(&mut self, tx: TxId) -> u32 {
+        let e = self.entry_mut(tx);
+        e.depth += 1;
+        e.depth
+    }
+
+    /// Leaves a nesting level; returns `true` when the *outermost*
+    /// transaction ended (depth reached zero) and the commit should proceed.
+    pub fn leave_nested(&mut self, tx: TxId) -> bool {
+        let e = self.entry_mut(tx);
+        assert!(e.depth > 0, "unbalanced transaction end");
+        e.depth -= 1;
+        e.depth == 0
+    }
+
+    /// Live transactions, in unspecified order.
+    pub fn live_transactions(&self) -> Vec<TxId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.status.is_live())
+            .map(|(tx, _)| *tx)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_creates_running_entry() {
+        let mut t = TStateTable::new();
+        t.begin(TxId(1), Some(4));
+        let e = t.entry(TxId(1));
+        assert_eq!(e.status, TxStatus::Running);
+        assert_eq!(e.depth, 1);
+        assert_eq!(e.ordered_seq, Some(4));
+        assert!(t.is_live(TxId(1)));
+    }
+
+    #[test]
+    fn nested_flattening_counts_depth() {
+        let mut t = TStateTable::new();
+        t.begin(TxId(1), None);
+        assert_eq!(t.enter_nested(TxId(1)), 2);
+        assert!(!t.leave_nested(TxId(1)), "inner end is not a commit");
+        assert!(t.leave_nested(TxId(1)), "outermost end commits");
+    }
+
+    #[test]
+    fn abort_then_rebegin_keeps_identifier_and_counts() {
+        let mut t = TStateTable::new();
+        t.begin(TxId(5), None);
+        t.set_status(TxId(5), TxStatus::Aborting);
+        t.set_status(TxId(5), TxStatus::Aborted);
+        t.begin(TxId(5), None);
+        let e = t.entry(TxId(5));
+        assert_eq!(e.status, TxStatus::Running);
+        assert_eq!(e.abort_count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only an aborted transaction may re-begin")]
+    fn rebegin_of_running_tx_panics() {
+        let mut t = TStateTable::new();
+        t.begin(TxId(1), None);
+        t.begin(TxId(1), None);
+    }
+
+    #[test]
+    fn committing_is_not_live() {
+        let mut t = TStateTable::new();
+        t.begin(TxId(1), None);
+        t.set_status(TxId(1), TxStatus::Committing);
+        assert!(!t.is_live(TxId(1)));
+        assert!(t.live_transactions().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_end_panics() {
+        let mut t = TStateTable::new();
+        t.begin(TxId(1), None);
+        t.leave_nested(TxId(1));
+        t.leave_nested(TxId(1));
+    }
+
+    #[test]
+    fn live_transactions_lists_only_running() {
+        let mut t = TStateTable::new();
+        t.begin(TxId(1), None);
+        t.begin(TxId(2), None);
+        t.set_status(TxId(2), TxStatus::Committing);
+        assert_eq!(t.live_transactions(), vec![TxId(1)]);
+    }
+}

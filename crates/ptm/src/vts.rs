@@ -1,0 +1,225 @@
+//! The Virtual Transaction Supervisor's hardware caches (§4.2).
+//!
+//! The VTS sits in the memory controller and caches the SPT entries (with
+//! precomputed read/write *summary* vectors) and the TAV nodes of recently
+//! accessed pages, so the common-case conflict check and home/shadow
+//! selection cost only cache lookups.
+//!
+//! Functionally the authoritative SPT/TAV structures in memory are always
+//! consulted (so the model can never go stale); these caches model *timing*:
+//! each lookup is classified hit or miss, and a miss costs a hardware walk
+//! of the in-memory structures — real accesses through the shared memory
+//! pipeline, which is how VTS pressure shows up in Figure 4.
+
+use ptm_types::Cycle;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Outcome of touching an LRU-tracked cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Touch {
+    /// The key was cached.
+    Hit,
+    /// The key was not cached; it has been brought in. If bringing it in
+    /// displaced a dirty entry, that entry's key needs a writeback.
+    Miss {
+        /// Whether the displaced victim was dirty (costs a memory write).
+        evicted_dirty: bool,
+    },
+}
+
+impl Touch {
+    /// Returns `true` on a hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, Touch::Hit)
+    }
+}
+
+/// A fully associative LRU *presence* tracker with bounded capacity.
+///
+/// Tracks which keys a hardware cache would currently hold, plus a dirty bit
+/// per key; contents always come from the authoritative structures.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_core::vts::LruTracker;
+///
+/// let mut t: LruTracker<u32> = LruTracker::new(2);
+/// assert!(!t.touch(1).is_hit());
+/// assert!(!t.touch(2).is_hit());
+/// assert!(t.touch(1).is_hit());
+/// assert!(!t.touch(3).is_hit()); // evicts 2 (LRU)
+/// assert!(!t.touch(2).is_hit());
+/// ```
+#[derive(Debug)]
+pub struct LruTracker<K: Eq + Hash + Clone> {
+    capacity: usize,
+    entries: HashMap<K, (u64, bool)>,
+    clock: u64,
+}
+
+impl<K: Eq + Hash + Clone> LruTracker<K> {
+    /// Creates a tracker holding up to `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruTracker {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Touches `key`: refreshes it if present, otherwise inserts it,
+    /// evicting the LRU entry when full.
+    pub fn touch(&mut self, key: K) -> Touch {
+        self.clock += 1;
+        if let Some((lru, _)) = self.entries.get_mut(&key) {
+            *lru = self.clock;
+            return Touch::Hit;
+        }
+        let mut evicted_dirty = false;
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (lru, _))| *lru)
+                .map(|(k, (_, dirty))| (k.clone(), *dirty))
+                .expect("full cache has entries");
+            evicted_dirty = victim.1;
+            self.entries.remove(&victim.0);
+        }
+        self.entries.insert(key, (self.clock, false));
+        Touch::Miss { evicted_dirty }
+    }
+
+    /// Marks a (present) key dirty; no-op when absent.
+    pub fn mark_dirty(&mut self, key: &K) {
+        if let Some((_, dirty)) = self.entries.get_mut(key) {
+            *dirty = true;
+        }
+    }
+
+    /// Drops a key without a writeback (structure moved/freed in memory).
+    pub fn remove(&mut self, key: &K) {
+        self.entries.remove(key);
+    }
+
+    /// Drops every key matching the predicate.
+    pub fn remove_matching<F: FnMut(&K) -> bool>(&mut self, mut pred: F) {
+        self.entries.retain(|k, _| !pred(k));
+    }
+
+    /// Number of cached keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Timing cost of one VTS operation, in resource-level terms; the caller
+/// converts memory walks into pipelined accesses on the [`ptm_cache::SystemBus`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VtsCost {
+    /// Number of VTS cache lookups performed.
+    pub lookups: u32,
+    /// Number of in-memory structure accesses (SPT entry reads, TAV node
+    /// reads, dirty writebacks) a walk required.
+    pub memory_accesses: u32,
+}
+
+impl VtsCost {
+    /// Adds another cost onto this one.
+    pub fn add(&mut self, other: VtsCost) {
+        self.lookups += other.lookups;
+        self.memory_accesses += other.memory_accesses;
+    }
+
+    /// Converts to a completion cycle: lookups are pipelined at
+    /// `lookup_latency` each (taking the max as they overlap the request),
+    /// memory accesses go through the controller's pipelined memory slots.
+    pub fn charge(
+        self,
+        now: Cycle,
+        lookup_latency: u64,
+        bus: &mut ptm_cache::SystemBus,
+    ) -> Cycle {
+        let mut done = now + lookup_latency * u64::from(self.lookups.min(2));
+        for _ in 0..self.memory_accesses {
+            done = bus.controller_mem_access(done.max(now));
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_cache::{BusTimings, SystemBus};
+
+    #[test]
+    fn lru_tracker_hits_and_misses() {
+        let mut t = LruTracker::new(2);
+        assert_eq!(t.touch(10), Touch::Miss { evicted_dirty: false });
+        assert_eq!(t.touch(10), Touch::Hit);
+        t.touch(20);
+        t.touch(30); // evicts 10
+        assert!(!t.touch(10).is_hit());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn dirty_eviction_is_reported() {
+        let mut t = LruTracker::new(1);
+        t.touch(1);
+        t.mark_dirty(&1);
+        assert_eq!(t.touch(2), Touch::Miss { evicted_dirty: true });
+        assert_eq!(t.touch(3), Touch::Miss { evicted_dirty: false });
+    }
+
+    #[test]
+    fn remove_matching_filters_keys() {
+        let mut t = LruTracker::new(4);
+        t.touch((1u32, 1u32));
+        t.touch((1, 2));
+        t.touch((2, 1));
+        t.remove_matching(|k| k.0 == 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.touch((2, 1)).is_hit());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LruTracker::<u8>::new(0);
+    }
+
+    #[test]
+    fn cost_charge_uses_memory_pipeline() {
+        let mut bus = SystemBus::new(BusTimings::default());
+        let cost = VtsCost {
+            lookups: 1,
+            memory_accesses: 2,
+        };
+        let done = cost.charge(0, 6, &mut bus);
+        // Chained: first access from cycle 6 → 206, second → 406 (the walk
+        // is sequential pointer chasing).
+        assert_eq!(done, 406);
+        assert_eq!(bus.stats().mem_accesses, 2);
+    }
+
+    #[test]
+    fn zero_cost_is_free() {
+        let mut bus = SystemBus::new(BusTimings::default());
+        let done = VtsCost::default().charge(100, 6, &mut bus);
+        assert_eq!(done, 100);
+    }
+}

@@ -1,0 +1,151 @@
+//! The full conflict matrix of §4.3, enumerated: {read, write} requester ×
+//! {read-overflowed, write-overflowed, both} prior state × {transactional,
+//! non-transactional} requester × both policies.
+
+use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
+use ptm_core::system::AccessKind;
+use ptm_core::{PtmConfig, PtmSystem};
+use ptm_mem::{PhysicalMemory, SpecBlock};
+use ptm_types::{BlockIdx, FrameId, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Prior {
+    Read,
+    Write,
+    ReadAndWrite,
+}
+
+fn setup(cfg: PtmConfig, prior: Prior, owner: TxId) -> (PtmSystem, PhysicalMemory, SystemBus) {
+    let mut mem = PhysicalMemory::new(16);
+    let mut ptm = PtmSystem::new(cfg);
+    let f = mem.alloc().unwrap();
+    ptm.on_page_alloc(f);
+    let mut bus = SystemBus::new(BusTimings::default());
+    ptm.begin(owner, None);
+
+    let mut meta = TxLineMeta::new(owner);
+    let mut spec = None;
+    match prior {
+        Prior::Read => meta.record_read(WordIdx(0)),
+        Prior::Write => meta.record_write(WordIdx(0)),
+        Prior::ReadAndWrite => {
+            meta.record_read(WordIdx(0));
+            meta.record_write(WordIdx(0));
+        }
+    }
+    if meta.write {
+        let mut written = WordMask::EMPTY;
+        written.set(WordIdx(0));
+        spec = Some(SpecBlock {
+            data: [1u8; BLOCK_SIZE],
+            written,
+        });
+    }
+    ptm.on_tx_eviction(&meta, block(), spec.as_ref(), false, &mut mem, 0, &mut bus);
+    (ptm, mem, bus)
+}
+
+fn block() -> PhysBlock {
+    PhysBlock::new(FrameId(0), BlockIdx(2))
+}
+
+#[test]
+fn conflict_matrix_matches_section_4_3() {
+    // (prior state, access kind) -> conflict expected with a DIFFERENT tx.
+    let cases = [
+        (Prior::Read, AccessKind::Read, false),          // R/R: never
+        (Prior::Read, AccessKind::Write, true),          // WAR
+        (Prior::Write, AccessKind::Read, true),          // RAW
+        (Prior::Write, AccessKind::Write, true),         // WAW
+        (Prior::ReadAndWrite, AccessKind::Read, true),   // RAW
+        (Prior::ReadAndWrite, AccessKind::Write, true),  // WAR+WAW
+    ];
+    for cfg in [PtmConfig::select(), PtmConfig::copy()] {
+        for (prior, kind, expect) in cases {
+            let owner = TxId(0);
+            let (mut ptm, mut mem, mut bus) = setup(cfg, prior, owner);
+            // Different transaction:
+            let out = ptm.check_conflict(Some(TxId(1)), block(), WordIdx(0), kind, 100, &mut bus);
+            assert_eq!(
+                !out.conflicts.is_empty(),
+                expect,
+                "{:?} prior={prior:?} kind={kind:?}",
+                cfg.policy
+            );
+            if expect {
+                assert_eq!(out.conflicts, vec![owner]);
+            }
+            // The owner itself never conflicts:
+            let own = ptm.check_conflict(Some(owner), block(), WordIdx(0), kind, 100, &mut bus);
+            assert!(own.conflicts.is_empty(), "owner self-conflicted: {prior:?} {kind:?}");
+            // Non-transactional requester sees the same conflicts:
+            let nontx = ptm.check_conflict(None, block(), WordIdx(0), kind, 100, &mut bus);
+            assert_eq!(
+                !nontx.conflicts.is_empty(),
+                expect,
+                "non-tx prior={prior:?} kind={kind:?}"
+            );
+            ptm.abort(owner, &mut mem, 200, &mut bus);
+        }
+    }
+}
+
+#[test]
+fn exclusivity_denied_only_for_foreign_reads() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), Prior::Read, TxId(0));
+    let other = ptm.check_conflict(Some(TxId(1)), block(), WordIdx(0), AccessKind::Read, 50, &mut bus);
+    assert!(other.deny_exclusive, "foreign read overflow denies E");
+    let own = ptm.check_conflict(Some(TxId(0)), block(), WordIdx(0), AccessKind::Read, 50, &mut bus);
+    assert!(!own.deny_exclusive, "own overflow does not");
+    ptm.commit(TxId(0), &mut mem, 100, &mut bus);
+    let after = ptm.check_conflict(Some(TxId(1)), block(), WordIdx(0), AccessKind::Read, 5_000, &mut bus);
+    assert!(!after.deny_exclusive, "cleared with the TAVs");
+}
+
+#[test]
+fn multiple_readers_all_reported_to_a_writer() {
+    let mut mem = PhysicalMemory::new(16);
+    let mut ptm = PtmSystem::new(PtmConfig::select());
+    let f = mem.alloc().unwrap();
+    ptm.on_page_alloc(f);
+    let mut bus = SystemBus::new(BusTimings::default());
+    for t in 0..3u64 {
+        let tx = TxId(t);
+        ptm.begin(tx, None);
+        let mut meta = TxLineMeta::new(tx);
+        meta.record_read(WordIdx(0));
+        ptm.on_tx_eviction(&meta, block(), None, false, &mut mem, 0, &mut bus);
+    }
+    let out = ptm.check_conflict(Some(TxId(9)), block(), WordIdx(0), AccessKind::Write, 100, &mut bus);
+    assert_eq!(out.conflicts, vec![TxId(0), TxId(1), TxId(2)], "every reader reported");
+}
+
+#[test]
+fn committed_and_aborted_transactions_never_conflict() {
+    for finish_with_commit in [true, false] {
+        let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), Prior::Write, TxId(0));
+        if finish_with_commit {
+            ptm.commit(TxId(0), &mut mem, 100, &mut bus);
+        } else {
+            ptm.abort(TxId(0), &mut mem, 100, &mut bus);
+        }
+        // Past the cleanup window, nothing conflicts.
+        let out = ptm.check_conflict(Some(TxId(1)), block(), WordIdx(0), AccessKind::Write, 50_000, &mut bus);
+        assert!(out.conflicts.is_empty());
+        assert!(!ptm.has_overflows());
+    }
+}
+
+#[test]
+fn conflicts_are_per_block_not_per_page() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), Prior::Write, TxId(0));
+    for idx in [0u8, 1, 3, 63] {
+        let other = PhysBlock::new(FrameId(0), BlockIdx(idx));
+        let out = ptm.check_conflict(Some(TxId(1)), other, WordIdx(0), AccessKind::Write, 50, &mut bus);
+        assert!(
+            out.conflicts.is_empty(),
+            "block {idx} shares only the page, never the conflict"
+        );
+    }
+    ptm.commit(TxId(0), &mut mem, 100, &mut bus);
+}

@@ -1,0 +1,197 @@
+//! Paging-focused tests (§3.5): repeated swap cycles, home+shadow
+//! co-swapping, merge-on-swap, Copy-PTM state across migration, and the
+//! lazy-migrate drain loop.
+
+use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
+use ptm_core::system::AccessKind;
+use ptm_core::{PtmConfig, PtmSystem, ShadowFreePolicy};
+use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
+use ptm_types::{BlockIdx, FrameId, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE};
+
+fn bus() -> SystemBus {
+    SystemBus::new(BusTimings::default())
+}
+
+fn setup(cfg: PtmConfig) -> (PtmSystem, PhysicalMemory, SwapStore, SystemBus) {
+    let mut mem = PhysicalMemory::new(64);
+    let mut ptm = PtmSystem::new(cfg);
+    for _ in 0..4 {
+        let f = mem.alloc().unwrap();
+        ptm.on_page_alloc(f);
+    }
+    (ptm, mem, SwapStore::new(), bus())
+}
+
+fn spec(word: u8, value: u32) -> SpecBlock {
+    let mut data = [0u8; BLOCK_SIZE];
+    data[word as usize * 4..word as usize * 4 + 4].copy_from_slice(&value.to_le_bytes());
+    let mut written = WordMask::EMPTY;
+    written.set(WordIdx(word));
+    SpecBlock { data, written }
+}
+
+fn dirty(tx: TxId) -> TxLineMeta {
+    let mut m = TxLineMeta::new(tx);
+    m.record_write(WordIdx(0));
+    m
+}
+
+#[test]
+fn repeated_swap_cycles_preserve_all_state() {
+    let (mut ptm, mut mem, mut swap, mut b) = setup(PtmConfig::select());
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let block = PhysBlock::new(FrameId(0), BlockIdx(7));
+    mem.write_word(block.addr(), 111);
+    ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(0, 222)), false, &mut mem, 0, &mut b);
+
+    // Three full swap-out/swap-in cycles while the transaction lives.
+    let mut home = FrameId(0);
+    for round in 0..3 {
+        let out = ptm.on_swap_out(home, &mut mem, &mut swap);
+        assert_eq!(swap.used(), 2, "round {round}: home and shadow co-swapped");
+        home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+        assert_eq!(swap.used(), 0);
+    }
+    let nb = PhysBlock::new(home, BlockIdx(7));
+    assert_eq!(mem.read_word(nb.addr()), 111, "committed survived 3 cycles");
+    let shadow = ptm.spt_entry(home).unwrap().shadow.unwrap();
+    assert_eq!(mem.read_word(nb.on_frame(shadow).addr()), 222, "speculative survived");
+
+    // Conflict detection still targets the latest frame.
+    let out = ptm.check_conflict(Some(TxId(1)), nb, WordIdx(0), AccessKind::Read, 10, &mut b);
+    assert_eq!(out.conflicts, vec![tx]);
+
+    // Commit completes against the migrated page.
+    ptm.commit(tx, &mut mem, 20, &mut b);
+    assert_eq!(ptm.committed_frame(nb), shadow);
+    assert_eq!(ptm.stats().tx_swap_outs, 3);
+    assert_eq!(ptm.stats().tx_swap_ins, 3);
+}
+
+#[test]
+fn copy_ptm_swap_preserves_backup_for_abort() {
+    let (mut ptm, mut mem, mut swap, mut b) = setup(PtmConfig::copy());
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let block = PhysBlock::new(FrameId(0), BlockIdx(3));
+    mem.write_word(block.addr(), 10);
+    ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(0, 77)), false, &mut mem, 0, &mut b);
+    assert_eq!(mem.read_word(block.addr()), 77, "home holds speculative");
+
+    let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
+    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+
+    // Abort after migration: restore must come from the co-swapped backup.
+    ptm.abort(tx, &mut mem, 50, &mut b);
+    let nb = PhysBlock::new(home, BlockIdx(3));
+    assert_eq!(mem.read_word(nb.addr()), 10, "backup restored on the new frame");
+}
+
+#[test]
+fn swap_out_of_clean_page_keeps_no_shadow() {
+    let (mut ptm, mut mem, mut swap, _b) = setup(PtmConfig::select());
+    // Never touched transactionally: plain page, single slot.
+    let out = ptm.on_swap_out(FrameId(1), &mut mem, &mut swap);
+    assert_eq!(swap.used(), 1);
+    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+    let entry = ptm.spt_entry(home).unwrap();
+    assert!(entry.shadow.is_none());
+    assert!(entry.tav_head.is_none());
+    assert_eq!(ptm.stats().tx_swap_outs, 0, "not counted as transactional");
+}
+
+#[test]
+fn merge_on_swap_respects_live_transactions() {
+    // A live transaction's page must NOT be merged at swap time: the shadow
+    // still holds needed state.
+    let (mut ptm, mut mem, mut swap, mut b) = setup(PtmConfig::select());
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let block = PhysBlock::new(FrameId(0), BlockIdx(3));
+    ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(0, 9)), false, &mut mem, 0, &mut b);
+
+    let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
+    assert_eq!(swap.used(), 2, "live TAV list blocks the merge");
+    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+    assert!(ptm.spt_entry(home).unwrap().shadow.is_some());
+    ptm.commit(tx, &mut mem, 10, &mut b);
+}
+
+#[test]
+fn contested_vector_survives_the_swap() {
+    let cfg = PtmConfig::select_with_granularity(ptm_types::Granularity::WordCacheMem);
+    let (mut ptm, mut mem, mut swap, mut b) = setup(cfg);
+    let block = PhysBlock::new(FrameId(0), BlockIdx(5));
+    ptm.begin(TxId(0), None);
+    ptm.mark_contested(block);
+    assert!(ptm.is_contested(block));
+    ptm.on_tx_eviction(&dirty(TxId(0)), block, Some(&spec(0, 1)), false, &mut mem, 0, &mut b);
+
+    let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
+    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+    assert!(
+        ptm.is_contested(PhysBlock::new(home, BlockIdx(5))),
+        "contested bit migrated with the page"
+    );
+    ptm.commit(TxId(0), &mut mem, 10, &mut b);
+}
+
+#[test]
+fn lazy_migrate_drains_a_whole_page() {
+    let cfg = PtmConfig {
+        shadow_free: ShadowFreePolicy::LazyMigrate,
+        ..PtmConfig::select()
+    };
+    let (mut ptm, mut mem, _swap, mut b) = setup(cfg);
+    // Commit transactional writes to several blocks of page 0.
+    for (i, idx) in [3u8, 9, 20, 41].iter().enumerate() {
+        let tx = TxId(i as u64);
+        ptm.begin(tx, None);
+        let block = PhysBlock::new(FrameId(0), BlockIdx(*idx));
+        ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(0, 100 + i as u32)), false, &mut mem, 0, &mut b);
+        ptm.commit(tx, &mut mem, (i as u64 + 1) * 100, &mut b);
+    }
+    let entry = ptm.spt_entry(FrameId(0)).unwrap();
+    assert_eq!(entry.sel.count(), 4, "four blocks committed in the shadow");
+    assert!(entry.shadow.is_some());
+
+    // Drain them one by one via non-transactional write-backs.
+    for (i, idx) in [3u8, 9, 20, 41].iter().enumerate() {
+        let block = PhysBlock::new(FrameId(0), BlockIdx(*idx));
+        ptm.on_nontx_dirty_writeback(block, &mut mem);
+        let entry = ptm.spt_entry(FrameId(0)).unwrap();
+        assert_eq!(entry.sel.count() as usize, 3 - i);
+        assert_eq!(
+            mem.read_word(block.addr()),
+            100 + i as u32,
+            "committed value migrated home"
+        );
+    }
+    assert!(
+        ptm.spt_entry(FrameId(0)).unwrap().shadow.is_none(),
+        "empty shadow reclaimed after the last migration"
+    );
+    assert_eq!(ptm.stats().lazy_migrations, 4);
+    assert_eq!(ptm.stats().shadow_frees, 1);
+}
+
+#[test]
+fn shadow_reuse_after_free_allocates_fresh() {
+    let (mut ptm, mut mem, _swap, mut b) = setup(PtmConfig::select());
+    let block = PhysBlock::new(FrameId(0), BlockIdx(3));
+    // Generation 1: overflow + abort frees the shadow.
+    ptm.begin(TxId(0), None);
+    ptm.on_tx_eviction(&dirty(TxId(0)), block, Some(&spec(0, 5)), false, &mut mem, 0, &mut b);
+    ptm.abort(TxId(0), &mut mem, 10, &mut b);
+    assert_eq!(ptm.stats().shadow_frees, 1);
+    assert!(ptm.spt_entry(FrameId(0)).unwrap().shadow.is_none());
+
+    // Generation 2: a fresh overflow re-allocates.
+    ptm.begin(TxId(1), None);
+    ptm.on_tx_eviction(&dirty(TxId(1)), block, Some(&spec(0, 6)), false, &mut mem, 20, &mut b);
+    assert_eq!(ptm.stats().shadow_allocs, 2);
+    ptm.commit(TxId(1), &mut mem, 30, &mut b);
+    let committed = ptm.committed_frame(block);
+    assert_eq!(mem.read_word(block.on_frame(committed).addr()), 6);
+}

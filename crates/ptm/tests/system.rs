@@ -1,0 +1,491 @@
+//! End-to-end tests of the PTM system against the behaviours the paper
+//! specifies: overflow bookkeeping, conflict detection, Copy-PTM vs
+//! Select-PTM data movement, the Figure 3 fetch rule, shadow freeing,
+//! paging, and word-granularity merging.
+
+use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
+use ptm_core::system::AccessKind;
+use ptm_core::{PtmConfig, PtmSystem, ShadowFreePolicy, TxStatus};
+use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
+use ptm_types::{
+    BlockIdx, FrameId, Granularity, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE,
+};
+
+fn bus() -> SystemBus {
+    SystemBus::new(BusTimings::default())
+}
+
+fn setup(cfg: PtmConfig, frames: usize) -> (PtmSystem, PhysicalMemory, SystemBus) {
+    let mut mem = PhysicalMemory::new(frames);
+    let mut ptm = PtmSystem::new(cfg);
+    // Allocate a few home pages.
+    for _ in 0..4 {
+        let f = mem.alloc().unwrap();
+        ptm.on_page_alloc(f);
+    }
+    (ptm, mem, bus())
+}
+
+fn spec_block(fill: u8, words: &[(u8, u32)]) -> SpecBlock {
+    let mut data = [fill; BLOCK_SIZE];
+    let mut written = WordMask::EMPTY;
+    for &(w, v) in words {
+        data[w as usize * 4..w as usize * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        written.set(WordIdx(w));
+    }
+    SpecBlock { data, written }
+}
+
+fn dirty_meta(tx: TxId, words: &[u8]) -> TxLineMeta {
+    let mut m = TxLineMeta::new(tx);
+    for &w in words {
+        m.record_write(WordIdx(w));
+    }
+    m
+}
+
+fn read_meta(tx: TxId, words: &[u8]) -> TxLineMeta {
+    let mut m = TxLineMeta::new(tx);
+    for &w in words {
+        m.record_read(WordIdx(w));
+    }
+    m
+}
+
+fn block(frame: u32, idx: u8) -> PhysBlock {
+    PhysBlock::new(FrameId(frame), BlockIdx(idx))
+}
+
+#[test]
+fn clean_overflow_creates_tav_and_no_shadow() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    ptm.on_tx_eviction(&read_meta(tx, &[0]), block(0, 5), None, false, &mut mem, 0, &mut bus);
+    assert!(ptm.has_overflows());
+    assert_eq!(ptm.stats().clean_overflows, 1);
+    assert_eq!(ptm.stats().shadow_allocs, 0, "reads never allocate a shadow");
+    let entry = ptm.spt_entry(FrameId(0)).unwrap();
+    assert!(entry.shadow.is_none());
+    assert!(entry.tav_head.is_some(), "SPT entry without a shadow still anchors the TAV list");
+}
+
+const OLD: u32 = 0xAAAA_0001;
+const NEW: u32 = 0xBBBB_0002;
+
+#[test]
+fn dirty_overflow_select_writes_spec_to_shadow_home_untouched() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let b = block(0, 3);
+    mem.write_word(b.addr(), OLD);
+    let spec = spec_block(0, &[(0, NEW)]);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec), false, &mut mem, 0, &mut bus);
+
+    let entry = ptm.spt_entry(FrameId(0)).unwrap();
+    let shadow = entry.shadow.expect("dirty overflow allocates shadow");
+    assert_eq!(mem.read_word(b.addr()), OLD, "home holds committed");
+    assert_eq!(
+        mem.read_word(b.on_frame(shadow).addr()),
+        NEW,
+        "shadow holds speculative"
+    );
+    assert_eq!(ptm.committed_frame(b), FrameId(0));
+    assert_eq!(ptm.tx_view_frame(tx, b, WordIdx(0)), shadow);
+}
+
+#[test]
+fn dirty_overflow_copy_backs_up_then_overwrites_home() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::copy(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let b = block(0, 3);
+    mem.write_word(b.addr(), OLD);
+    let spec = spec_block(0, &[(0, NEW)]);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec), false, &mut mem, 0, &mut bus);
+
+    let entry = ptm.spt_entry(FrameId(0)).unwrap();
+    let shadow = entry.shadow.unwrap();
+    assert_eq!(mem.read_word(b.addr()), NEW, "home holds speculative");
+    assert_eq!(mem.read_word(b.on_frame(shadow).addr()), OLD, "shadow backup");
+    assert_eq!(ptm.stats().backup_copies, 1);
+    assert_eq!(ptm.committed_frame(b), shadow, "committed redirects to backup");
+    assert_eq!(ptm.tx_view_frame(tx, b, WordIdx(0)), FrameId(0));
+}
+
+#[test]
+fn copy_ptm_second_overflow_of_same_block_backs_up_once() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::copy(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let b = block(0, 3);
+    mem.write_word(b.addr(), OLD);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[1]), b, Some(&spec_block(0, &[(1, 7)])), false, &mut mem, 10, &mut bus);
+    assert_eq!(ptm.stats().backup_copies, 1, "backup only on first dirty overflow");
+    assert_eq!(ptm.stats().dirty_overflows, 2);
+}
+
+#[test]
+fn select_commit_toggles_selection_no_copy() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let b = block(0, 3);
+    mem.write_word(b.addr(), OLD);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    let shadow = ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap();
+
+    ptm.commit(tx, &mut mem, 100, &mut bus);
+    assert_eq!(ptm.tstate().status(tx), Some(TxStatus::Committed));
+    assert_eq!(ptm.stats().selection_toggles, 1);
+    assert_eq!(ptm.stats().backup_copies + ptm.stats().restore_copies, 0, "no data movement");
+    // Committed version is now in the shadow page.
+    assert_eq!(ptm.committed_frame(b), shadow);
+    assert_eq!(mem.read_word(b.on_frame(shadow).addr()), NEW);
+    assert!(!ptm.has_overflows(), "TAV nodes freed on commit");
+}
+
+#[test]
+fn select_abort_discards_without_copy() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let b = block(0, 3);
+    mem.write_word(b.addr(), OLD);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+
+    ptm.abort(tx, &mut mem, 100, &mut bus);
+    assert_eq!(ptm.tstate().status(tx), Some(TxStatus::Aborted));
+    assert_eq!(ptm.committed_frame(b), FrameId(0), "selection untouched");
+    assert_eq!(mem.read_word(b.addr()), OLD, "committed value intact");
+    assert_eq!(ptm.stats().restore_copies, 0, "abort is copy-free");
+    assert_eq!(ptm.stats().shadow_frees, 1, "unused shadow reclaimed");
+}
+
+#[test]
+fn copy_abort_restores_home_from_shadow() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::copy(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let b = block(0, 3);
+    mem.write_word(b.addr(), OLD);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    assert_eq!(mem.read_word(b.addr()), NEW);
+
+    ptm.abort(tx, &mut mem, 100, &mut bus);
+    assert_eq!(mem.read_word(b.addr()), OLD, "home restored");
+    assert_eq!(ptm.stats().restore_copies, 1);
+    assert_eq!(ptm.stats().shadow_frees, 1);
+}
+
+#[test]
+fn copy_commit_is_free_of_copies() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::copy(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let b = block(0, 3);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    let copies_before = ptm.stats().backup_copies;
+    ptm.commit(tx, &mut mem, 100, &mut bus);
+    assert_eq!(mem.read_word(b.addr()), NEW, "speculative already in place");
+    assert_eq!(ptm.stats().backup_copies, copies_before, "no commit copies");
+    assert_eq!(ptm.committed_frame(b), FrameId(0));
+}
+
+#[test]
+fn raw_conflict_detected_for_reader_of_overflowed_write() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
+    let writer = TxId(0);
+    let reader = TxId(1);
+    ptm.begin(writer, None);
+    ptm.begin(reader, None);
+    let b = block(0, 3);
+    ptm.on_tx_eviction(&dirty_meta(writer, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+
+    let out = ptm.check_conflict(Some(reader), b, WordIdx(0), AccessKind::Read, 10, &mut bus);
+    assert_eq!(out.conflicts, vec![writer]);
+
+    // The writer itself does not conflict with its own overflow.
+    let own = ptm.check_conflict(Some(writer), b, WordIdx(0), AccessKind::Read, 10, &mut bus);
+    assert!(own.conflicts.is_empty());
+}
+
+#[test]
+fn war_and_waw_conflicts_detected_for_writers() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
+    let t0 = TxId(0);
+    let t1 = TxId(1);
+    ptm.begin(t0, None);
+    ptm.begin(t1, None);
+    // t0 overflowed a READ of block 3 → writer t1 conflicts (WAR).
+    ptm.on_tx_eviction(&read_meta(t0, &[0]), block(0, 3), None, false, &mut mem, 0, &mut bus);
+    let out = ptm.check_conflict(Some(t1), block(0, 3), WordIdx(0), AccessKind::Write, 5, &mut bus);
+    assert_eq!(out.conflicts, vec![t0], "WAR");
+
+    // t0 overflowed a WRITE of block 4 → writer t1 conflicts (WAW).
+    ptm.on_tx_eviction(&dirty_meta(t0, &[0]), block(0, 4), Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 6, &mut bus);
+    let out = ptm.check_conflict(Some(t1), block(0, 4), WordIdx(0), AccessKind::Write, 9, &mut bus);
+    assert_eq!(out.conflicts, vec![t0], "WAW");
+
+    // A read of block 3 (only read-overflowed) does not conflict but is
+    // denied exclusivity.
+    let out = ptm.check_conflict(Some(t1), block(0, 3), WordIdx(0), AccessKind::Read, 9, &mut bus);
+    assert!(out.conflicts.is_empty());
+    assert!(out.deny_exclusive);
+}
+
+#[test]
+fn non_transactional_access_sees_conflicts_too() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), block(0, 3), Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 0, &mut bus);
+    let out = ptm.check_conflict(None, block(0, 3), WordIdx(0), AccessKind::Read, 5, &mut bus);
+    assert_eq!(out.conflicts, vec![tx], "non-tx read of spec-written block conflicts");
+}
+
+#[test]
+fn different_blocks_of_same_page_do_not_conflict() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), block(0, 3), Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 0, &mut bus);
+    let out = ptm.check_conflict(Some(TxId(1)), block(0, 7), WordIdx(0), AccessKind::Write, 5, &mut bus);
+    assert!(out.conflicts.is_empty(), "bookkeeping is per page, detection per block");
+}
+
+#[test]
+fn fetch_rule_xor_of_summary_and_selection() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let b = block(0, 3);
+    // No overflow state: fetch from home.
+    assert_eq!(ptm.fetch_frame(b), FrameId(0));
+
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    let shadow = ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap();
+    // wsum=1, sel=0 → XOR=1 → shadow (the speculative version).
+    assert_eq!(ptm.fetch_frame(b), shadow);
+
+    ptm.commit(tx, &mut mem, 10, &mut bus);
+    // wsum=0, sel=1 → XOR=1 → shadow (now the committed version).
+    assert_eq!(ptm.fetch_frame(b), shadow);
+    // Another block of the page: wsum=0, sel=0 → home.
+    assert_eq!(ptm.fetch_frame(block(0, 4)), FrameId(0));
+}
+
+#[test]
+fn cleanup_window_stalls_subsequent_access() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), block(0, 3), Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 0, &mut bus);
+    let done = ptm.commit(tx, &mut mem, 1000, &mut bus);
+    assert!(done > 1000, "cleanup takes time");
+    let out = ptm.check_conflict(Some(TxId(1)), block(0, 3), WordIdx(0), AccessKind::Read, 1001, &mut bus);
+    assert_eq!(out.stall_until, Some(done), "access during lazy cleanup stalls");
+    let after = ptm.check_conflict(Some(TxId(1)), block(0, 3), WordIdx(0), AccessKind::Read, done + 1, &mut bus);
+    assert_eq!(after.stall_until, None);
+}
+
+#[test]
+fn swap_out_and_in_preserves_tav_and_selection() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 32);
+    let mut swap = SwapStore::new();
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let b = block(0, 3);
+    mem.write_word(b.addr(), OLD);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+
+    let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
+    assert!(ptm.spt_entry(FrameId(0)).is_none(), "SPT entry migrated to SIT");
+    assert_eq!(swap.used(), 2, "home and shadow co-swapped");
+
+    let new_home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+    let entry = ptm.spt_entry(new_home).unwrap();
+    assert!(entry.shadow.is_some());
+    assert!(entry.tav_head.is_some(), "TAV list survives the swap");
+    let nb = PhysBlock::new(new_home, BlockIdx(3));
+    assert_eq!(mem.read_word(nb.addr()), OLD, "home data survived");
+    let shadow = entry.shadow.unwrap();
+    assert_eq!(mem.read_word(nb.on_frame(shadow).addr()), NEW, "shadow data survived");
+
+    // Conflict detection still works after the migration.
+    let out = ptm.check_conflict(Some(TxId(1)), nb, WordIdx(0), AccessKind::Read, 50, &mut bus);
+    assert_eq!(out.conflicts, vec![tx]);
+    ptm.commit(tx, &mut mem, 60, &mut bus);
+    assert_eq!(ptm.committed_frame(nb), shadow);
+}
+
+#[test]
+fn merge_on_swap_folds_shadow_into_home() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 32);
+    let mut swap = SwapStore::new();
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let b = block(0, 3);
+    mem.write_word(b.addr(), OLD);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.commit(tx, &mut mem, 10, &mut bus);
+    // Committed data now lives in the shadow page, sel bit set.
+
+    let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
+    assert_eq!(swap.used(), 1, "shadow merged and freed, only home swapped");
+    assert_eq!(ptm.stats().shadow_frees, 1);
+
+    let new_home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+    let entry = ptm.spt_entry(new_home).unwrap();
+    assert!(entry.shadow.is_none());
+    assert!(entry.sel.is_empty(), "selection vector cleared by the merge");
+    assert_eq!(
+        mem.read_word(PhysBlock::new(new_home, BlockIdx(3)).addr()),
+        NEW,
+        "merged committed value"
+    );
+}
+
+#[test]
+fn lazy_migrate_toggles_and_frees_shadow() {
+    let cfg = PtmConfig {
+        shadow_free: ShadowFreePolicy::LazyMigrate,
+        ..PtmConfig::select()
+    };
+    let (mut ptm, mut mem, mut bus) = setup(cfg, 32);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let b = block(0, 3);
+    mem.write_word(b.addr(), OLD);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.commit(tx, &mut mem, 10, &mut bus);
+    assert_eq!(ptm.spt_entry(FrameId(0)).unwrap().sel.count(), 1);
+
+    ptm.on_nontx_dirty_writeback(b, &mut mem);
+    assert_eq!(ptm.stats().lazy_migrations, 1);
+    let entry = ptm.spt_entry(FrameId(0)).unwrap();
+    assert!(entry.sel.is_empty(), "bit migrated back to home");
+    assert!(entry.shadow.is_none(), "empty shadow freed");
+    assert_eq!(mem.read_word(b.addr()), NEW, "committed data now in home");
+    assert_eq!(ptm.committed_frame(b), FrameId(0));
+}
+
+#[test]
+fn lazy_migrate_skips_blocks_with_live_speculative_writers() {
+    let cfg = PtmConfig {
+        shadow_free: ShadowFreePolicy::LazyMigrate,
+        ..PtmConfig::select()
+    };
+    let (mut ptm, mut mem, mut bus) = setup(cfg, 32);
+    // tx0 commits a write (sel bit set) then tx1 overflows a new write to
+    // the same block; its speculative data occupies the home slot.
+    let b = block(0, 3);
+    ptm.begin(TxId(0), None);
+    ptm.on_tx_eviction(&dirty_meta(TxId(0), &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.commit(TxId(0), &mut mem, 10, &mut bus);
+    ptm.begin(TxId(1), None);
+    ptm.on_tx_eviction(&dirty_meta(TxId(1), &[0]), b, Some(&spec_block(0, &[(0, 77)])), false, &mut mem, 20, &mut bus);
+
+    ptm.on_nontx_dirty_writeback(b, &mut mem);
+    assert_eq!(ptm.stats().lazy_migrations, 0, "migration must not clobber speculative data");
+}
+
+#[test]
+fn word_granularity_allows_disjoint_word_writers() {
+    let cfg = PtmConfig::select_with_granularity(Granularity::WordCacheMem);
+    let (mut ptm, mut mem, mut bus) = setup(cfg, 32);
+    let t0 = TxId(0);
+    let t1 = TxId(1);
+    ptm.begin(t0, None);
+    ptm.begin(t1, None);
+    let b = block(0, 3);
+    mem.write_word(b.addr(), OLD);
+
+    ptm.on_tx_eviction(&dirty_meta(t0, &[0]), b, Some(&spec_block(0, &[(0, 100)])), false, &mut mem, 0, &mut bus);
+    // t1 writes a DIFFERENT word of the same block: no conflict at word level.
+    let out = ptm.check_conflict(Some(t1), b, WordIdx(5), AccessKind::Write, 5, &mut bus);
+    assert!(out.conflicts.is_empty(), "disjoint words do not conflict");
+    // Same word still conflicts.
+    let out = ptm.check_conflict(Some(t1), b, WordIdx(0), AccessKind::Write, 5, &mut bus);
+    assert_eq!(out.conflicts, vec![t0]);
+
+    ptm.on_tx_eviction(&dirty_meta(t1, &[5]), b, Some(&spec_block(0, &[(5, 500)])), false, &mut mem, 10, &mut bus);
+
+    // Commit both; the committed image must contain both transactions' words.
+    ptm.commit(t0, &mut mem, 20, &mut bus);
+    ptm.commit(t1, &mut mem, 40, &mut bus);
+    let committed = ptm.committed_frame(b);
+    let base = b.on_frame(committed).addr();
+    assert_eq!(mem.read_word(base), 100, "t0's word survived");
+    assert_eq!(
+        mem.read_word(ptm_types::PhysAddr(base.0 + 20)),
+        500,
+        "t1's word survived"
+    );
+    assert!(ptm.stats().word_merge_copies >= 1, "first committer merged words");
+}
+
+#[test]
+fn block_granularity_flags_false_sharing_as_conflict() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 32);
+    let t0 = TxId(0);
+    ptm.begin(t0, None);
+    let b = block(0, 3);
+    ptm.on_tx_eviction(&dirty_meta(t0, &[0]), b, Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 0, &mut bus);
+    // Different word, same block → conflict at block granularity.
+    let out = ptm.check_conflict(Some(TxId(1)), b, WordIdx(5), AccessKind::Write, 5, &mut bus);
+    assert_eq!(out.conflicts, vec![t0], "false sharing conflicts in blk-only mode");
+}
+
+#[test]
+fn spt_cache_miss_costs_walk_hit_is_cheap() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 32);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), block(1, 0), Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 0, &mut bus);
+
+    // Many distinct pages to evict frame 1 from the 512-entry SPT cache is
+    // impractical here; instead verify hit/miss accounting directly.
+    let h0 = ptm.stats().spt_cache_hits;
+    let _ = ptm.check_conflict(Some(TxId(1)), block(1, 0), WordIdx(0), AccessKind::Read, 10, &mut bus);
+    assert!(ptm.stats().spt_cache_hits > h0, "page just touched by eviction is cached");
+}
+
+#[test]
+fn multiple_pages_commit_frees_all_nodes() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 32);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    for frame in 0..3u32 {
+        ptm.on_tx_eviction(
+            &dirty_meta(tx, &[0]),
+            block(frame, 1),
+            Some(&spec_block(0, &[(0, frame)])),
+            false,
+            &mut mem,
+            0,
+            &mut bus,
+        );
+    }
+    assert!(ptm.has_overflows());
+    ptm.commit(tx, &mut mem, 100, &mut bus);
+    assert!(!ptm.has_overflows(), "vertical list walk freed every node");
+    assert_eq!(ptm.stats().selection_toggles, 3);
+}
+
+#[test]
+fn two_transactions_on_same_page_have_separate_nodes() {
+    let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 32);
+    ptm.begin(TxId(0), None);
+    ptm.begin(TxId(1), None);
+    ptm.on_tx_eviction(&read_meta(TxId(0), &[0]), block(0, 1), None, false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(&read_meta(TxId(1), &[0]), block(0, 2), None, false, &mut mem, 0, &mut bus);
+
+    // Aborting tx0 must leave tx1's bookkeeping intact.
+    ptm.abort(TxId(0), &mut mem, 10, &mut bus);
+    assert!(ptm.has_overflows());
+    let out = ptm.check_conflict(Some(TxId(2)), block(0, 2), WordIdx(0), AccessKind::Write, 20, &mut bus);
+    assert_eq!(out.conflicts, vec![TxId(1)]);
+}

@@ -1,0 +1,177 @@
+//! VTS timing behaviour: cache pressure forcing hardware walks, lazy
+//! cleanup windows, and the relative costs of the paper's operations.
+
+use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
+use ptm_core::system::AccessKind;
+use ptm_core::{PtmConfig, PtmSystem};
+use ptm_mem::{PhysicalMemory, SpecBlock};
+use ptm_types::{BlockIdx, FrameId, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE};
+
+fn bus() -> SystemBus {
+    SystemBus::new(BusTimings::default())
+}
+
+fn spec(value: u32) -> SpecBlock {
+    let mut data = [0u8; BLOCK_SIZE];
+    data[..4].copy_from_slice(&value.to_le_bytes());
+    let mut written = WordMask::EMPTY;
+    written.set(WordIdx(0));
+    SpecBlock { data, written }
+}
+
+fn dirty(tx: TxId) -> TxLineMeta {
+    let mut m = TxLineMeta::new(tx);
+    m.record_write(WordIdx(0));
+    m
+}
+
+#[test]
+fn tiny_spt_cache_forces_table_walks() {
+    // 2-entry SPT cache + overflows on 8 pages: conflict checks on evicted
+    // pages must re-walk the shadow page table.
+    let cfg = PtmConfig {
+        spt_cache_entries: 2,
+        tav_cache_entries: 2,
+        ..PtmConfig::select()
+    };
+    let mut ptm = PtmSystem::new(cfg);
+    let mut mem = PhysicalMemory::new(64);
+    let frames: Vec<FrameId> = (0..8).map(|_| mem.alloc().unwrap()).collect();
+    for &f in &frames {
+        ptm.on_page_alloc(f);
+    }
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let mut b = bus();
+    for &f in &frames {
+        ptm.on_tx_eviction(&dirty(tx), PhysBlock::new(f, BlockIdx(0)), Some(&spec(1)), false, &mut mem, 0, &mut b);
+    }
+    // Sweep conflict checks over all 8 pages twice: the 2-entry caches
+    // cannot hold them, so misses (and walks) accumulate.
+    for _ in 0..2 {
+        for &f in &frames {
+            let _ = ptm.check_conflict(
+                Some(TxId(1)),
+                PhysBlock::new(f, BlockIdx(0)),
+                WordIdx(0),
+                AccessKind::Read,
+                100,
+                &mut b,
+            );
+        }
+    }
+    let s = ptm.stats();
+    assert!(s.spt_cache_misses > 8, "SPT cache thrash: {}", s.spt_cache_misses);
+    assert!(s.tav_walk_nodes > 0, "misses rebuilt summaries by walking TAVs");
+    ptm.commit(tx, &mut mem, 1_000, &mut b);
+}
+
+#[test]
+fn conflict_check_is_cheap_on_cache_hits() {
+    let mut ptm = PtmSystem::new(PtmConfig::select());
+    let mut mem = PhysicalMemory::new(16);
+    let f = mem.alloc().unwrap();
+    ptm.on_page_alloc(f);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let mut b = bus();
+    let block = PhysBlock::new(f, BlockIdx(0));
+    ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(1)), false, &mut mem, 0, &mut b);
+
+    // First check warms the caches; the second must complete in lookup time
+    // (no memory accesses).
+    let mem_before = b.stats().mem_accesses;
+    let _ = ptm.check_conflict(Some(TxId(1)), block, WordIdx(0), AccessKind::Read, 1_000, &mut b);
+    let out = ptm.check_conflict(Some(TxId(1)), block, WordIdx(0), AccessKind::Read, 2_000, &mut b);
+    assert_eq!(
+        b.stats().mem_accesses,
+        mem_before,
+        "hot checks never touch memory"
+    );
+    assert!(out.done_at - 2_000 <= 2 * ptm.config().vts_lookup_latency as u64);
+    ptm.commit(tx, &mut mem, 3_000, &mut b);
+}
+
+#[test]
+fn select_commit_cleanup_grows_with_overflowed_pages() {
+    // More overflowed pages → longer lazy cleanup chains.
+    let mut cleanup_costs = Vec::new();
+    for pages in [1usize, 4, 12] {
+        let mut ptm = PtmSystem::new(PtmConfig::select());
+        let mut mem = PhysicalMemory::new(64);
+        let frames: Vec<FrameId> = (0..pages).map(|_| mem.alloc().unwrap()).collect();
+        for &f in &frames {
+            ptm.on_page_alloc(f);
+        }
+        let tx = TxId(0);
+        ptm.begin(tx, None);
+        let mut b = bus();
+        for &f in &frames {
+            ptm.on_tx_eviction(&dirty(tx), PhysBlock::new(f, BlockIdx(0)), Some(&spec(1)), false, &mut mem, 0, &mut b);
+        }
+        let done = ptm.commit(tx, &mut mem, 10_000, &mut b);
+        cleanup_costs.push(done - 10_000);
+    }
+    assert!(
+        cleanup_costs[0] <= cleanup_costs[1] && cleanup_costs[1] < cleanup_costs[2],
+        "cleanup must scale with pages: {cleanup_costs:?}"
+    );
+}
+
+#[test]
+fn copy_abort_costs_more_than_select_abort() {
+    // The paper's central asymmetry, measured at the system level.
+    let mut costs = Vec::new();
+    for cfg in [PtmConfig::copy(), PtmConfig::select()] {
+        let mut ptm = PtmSystem::new(cfg);
+        let mut mem = PhysicalMemory::new(64);
+        let frames: Vec<FrameId> = (0..8).map(|_| mem.alloc().unwrap()).collect();
+        for &f in &frames {
+            ptm.on_page_alloc(f);
+        }
+        let tx = TxId(0);
+        ptm.begin(tx, None);
+        let mut b = bus();
+        for &f in &frames {
+            for idx in 0..4u8 {
+                ptm.on_tx_eviction(
+                    &dirty(tx),
+                    PhysBlock::new(f, BlockIdx(idx)),
+                    Some(&spec(1)),
+                    false,
+                    &mut mem,
+                    0,
+                    &mut b,
+                );
+            }
+        }
+        let done = ptm.abort(tx, &mut mem, 100_000, &mut b);
+        costs.push(done - 100_000);
+    }
+    assert!(
+        costs[0] > 2 * costs[1],
+        "Copy-PTM abort ({}) must dwarf Select-PTM abort ({})",
+        costs[0],
+        costs[1]
+    );
+}
+
+#[test]
+fn cleanup_windows_expire() {
+    let mut ptm = PtmSystem::new(PtmConfig::select());
+    let mut mem = PhysicalMemory::new(16);
+    let f = mem.alloc().unwrap();
+    ptm.on_page_alloc(f);
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let mut b = bus();
+    let block = PhysBlock::new(f, BlockIdx(0));
+    ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(1)), false, &mut mem, 0, &mut b);
+    let done = ptm.commit(tx, &mut mem, 1_000, &mut b);
+
+    let stalled = ptm.check_conflict(Some(TxId(1)), block, WordIdx(0), AccessKind::Read, 1_001, &mut b);
+    assert!(stalled.stall_until.is_some());
+    let clear = ptm.check_conflict(Some(TxId(1)), block, WordIdx(0), AccessKind::Read, done + 1, &mut b);
+    assert!(clear.stall_until.is_none(), "window expired");
+    assert!(clear.conflicts.is_empty(), "committed state no longer conflicts");
+}

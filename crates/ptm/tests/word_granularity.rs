@@ -1,0 +1,214 @@
+//! Unit coverage of the word-granularity machinery: contested-block
+//! tracking, the mirror rule, merge commits, word-selective views, the
+//! per-block overflow bit, and Copy-PTM's word-masked abort restore.
+
+use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
+use ptm_core::system::AccessKind;
+use ptm_core::{PtmConfig, PtmSystem};
+use ptm_mem::{PhysicalMemory, SpecBlock};
+use ptm_types::{
+    BlockIdx, FrameId, Granularity, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE,
+};
+
+fn bus() -> SystemBus {
+    SystemBus::new(BusTimings::default())
+}
+
+fn setup(cfg: PtmConfig) -> (PtmSystem, PhysicalMemory, SystemBus) {
+    let mut mem = PhysicalMemory::new(32);
+    let mut ptm = PtmSystem::new(cfg);
+    for _ in 0..4 {
+        let f = mem.alloc().unwrap();
+        ptm.on_page_alloc(f);
+    }
+    (ptm, mem, bus())
+}
+
+fn spec(words: &[(u8, u32)]) -> SpecBlock {
+    let mut data = [0u8; BLOCK_SIZE];
+    let mut written = WordMask::EMPTY;
+    for &(w, v) in words {
+        data[w as usize * 4..w as usize * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        written.set(WordIdx(w));
+    }
+    SpecBlock { data, written }
+}
+
+fn meta_writing(tx: TxId, words: &[u8]) -> TxLineMeta {
+    let mut m = TxLineMeta::new(tx);
+    for &w in words {
+        m.record_write(WordIdx(w));
+    }
+    m
+}
+
+fn blk(idx: u8) -> PhysBlock {
+    PhysBlock::new(FrameId(0), BlockIdx(idx))
+}
+
+#[test]
+fn uncontested_blocks_keep_the_toggle_fast_path() {
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCacheMem));
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    mem.write_word(blk(3).addr(), 10);
+    ptm.on_tx_eviction(&meta_writing(tx, &[0]), blk(3), Some(&spec(&[(0, 20)])), false, &mut mem, 0, &mut b);
+    ptm.commit(tx, &mut mem, 10, &mut b);
+    assert_eq!(ptm.stats().selection_toggles, 1, "sole writer toggles");
+    assert_eq!(ptm.stats().word_merge_copies, 0);
+    let committed = ptm.committed_frame(blk(3));
+    assert_ne!(committed, FrameId(0), "committed moved to the shadow");
+    assert_eq!(mem.read_word(blk(3).on_frame(committed).addr()), 20);
+}
+
+#[test]
+fn contested_blocks_merge_instead_of_toggling() {
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCacheMem));
+    let (t0, t1) = (TxId(0), TxId(1));
+    ptm.begin(t0, None);
+    ptm.begin(t1, None);
+    mem.write_word(blk(3).addr(), 1);
+
+    ptm.on_tx_eviction(&meta_writing(t0, &[0]), blk(3), Some(&spec(&[(0, 100)])), false, &mut mem, 0, &mut b);
+    // t1's eviction sees t0's overflow: contested; both merge at commit.
+    ptm.on_tx_eviction(&meta_writing(t1, &[5]), blk(3), Some(&spec(&[(5, 500)])), false, &mut mem, 5, &mut b);
+    assert!(ptm.is_contested(blk(3)));
+
+    ptm.commit(t0, &mut mem, 10, &mut b);
+    ptm.commit(t1, &mut mem, 20, &mut b);
+    assert_eq!(ptm.stats().selection_toggles, 0, "contested: no toggles");
+    assert_eq!(ptm.stats().word_merge_copies, 2);
+    // Committed page stays home and has both words plus the original word 1.
+    assert_eq!(ptm.committed_frame(blk(3)), FrameId(0));
+    assert_eq!(mem.read_word(blk(3).addr()), 100);
+    let w5 = ptm_types::PhysAddr(blk(3).addr().0 + 20);
+    assert_eq!(mem.read_word(w5), 500);
+}
+
+#[test]
+fn contested_is_sticky_across_generations() {
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCache));
+    ptm.mark_contested(blk(7));
+    // A later, completely solitary writer still takes the masked/merge path.
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    mem.write_word(blk(7).addr(), 42);
+    ptm.on_tx_eviction(&meta_writing(tx, &[2]), blk(7), Some(&spec(&[(2, 9)])), false, &mut mem, 0, &mut b);
+    assert_eq!(
+        mem.read_word(blk(7).addr()),
+        42,
+        "masked write leaves unwritten home words alone"
+    );
+    ptm.commit(tx, &mut mem, 10, &mut b);
+    assert_eq!(ptm.stats().selection_toggles, 0);
+    assert_eq!(ptm.stats().word_merge_copies, 1);
+}
+
+#[test]
+fn mirror_location_points_at_live_speculative_pages() {
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCacheMem));
+    let t0 = TxId(0);
+    ptm.begin(t0, None);
+    assert!(ptm.mirror_location(blk(3), None).is_none(), "no overflow yet");
+
+    ptm.on_tx_eviction(&meta_writing(t0, &[0]), blk(3), Some(&spec(&[(0, 1)])), false, &mut mem, 0, &mut b);
+    let m = ptm.mirror_location(blk(3), None).expect("live overflow writer");
+    assert_eq!(m.frame(), ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap());
+    assert!(
+        ptm.mirror_location(blk(3), Some(t0)).is_none(),
+        "excluding the only writer yields nothing"
+    );
+
+    ptm.commit(t0, &mut mem, 10, &mut b);
+    assert!(ptm.mirror_location(blk(3), None).is_none(), "nothing live after commit");
+}
+
+#[test]
+fn block_overflow_bit_reflects_reads_and_writes() {
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCacheMem));
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    assert!(!ptm.block_overflowed(blk(3), None));
+
+    let mut m = TxLineMeta::new(tx);
+    m.record_read(WordIdx(1));
+    ptm.on_tx_eviction(&m, blk(3), None, false, &mut mem, 0, &mut b);
+    assert!(ptm.block_overflowed(blk(3), None), "read overflow sets the bit");
+    assert!(
+        !ptm.block_overflowed(blk(3), Some(tx)),
+        "own state excluded on request"
+    );
+    assert!(!ptm.block_overflowed(blk(9), None), "other blocks unaffected");
+
+    ptm.commit(tx, &mut mem, 10, &mut b);
+    assert!(!ptm.block_overflowed(blk(3), None), "cleared with the TAVs");
+}
+
+#[test]
+fn word_selective_view_reads_own_words_from_spec_only() {
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCacheMem));
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    mem.write_word(blk(3).addr(), 7); // committed word 0
+    ptm.on_tx_eviction(&meta_writing(tx, &[5]), blk(3), Some(&spec(&[(5, 55)])), false, &mut mem, 0, &mut b);
+
+    let shadow = ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap();
+    assert_eq!(
+        ptm.tx_view_frame(tx, blk(3), WordIdx(5)),
+        shadow,
+        "own written word reads the speculative page"
+    );
+    assert_eq!(
+        ptm.tx_view_frame(tx, blk(3), WordIdx(0)),
+        FrameId(0),
+        "unwritten word reads the committed page"
+    );
+    ptm.commit(tx, &mut mem, 10, &mut b);
+}
+
+#[test]
+fn copy_word_mode_abort_restores_only_written_words() {
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig {
+        granularity: Granularity::WordCacheMem,
+        ..PtmConfig::copy()
+    });
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    mem.write_word(blk(3).addr(), 10); // word 0
+    let w5 = ptm_types::PhysAddr(blk(3).addr().0 + 20);
+    mem.write_word(w5, 50); // word 5
+
+    // Contested path: mark it so the home write is word-masked.
+    ptm.mark_contested(blk(3));
+    ptm.on_tx_eviction(&meta_writing(tx, &[0]), blk(3), Some(&spec(&[(0, 99)])), false, &mut mem, 0, &mut b);
+    assert_eq!(mem.read_word(blk(3).addr()), 99, "home word 0 speculative");
+    assert_eq!(mem.read_word(w5), 50, "home word 5 untouched by masked write");
+
+    ptm.abort(tx, &mut mem, 10, &mut b);
+    assert_eq!(mem.read_word(blk(3).addr()), 10, "word 0 restored");
+    assert_eq!(mem.read_word(w5), 50, "word 5 never disturbed");
+    assert_eq!(ptm.stats().restore_copies, 1);
+}
+
+#[test]
+fn word_level_conflicts_only_in_word_in_memory_mode() {
+    // wd:cache keeps block-granular OVERFLOW conflicts even though the
+    // caches compare words.
+    for (granularity, expect_conflict) in [
+        (Granularity::WordCache, true),
+        (Granularity::WordCacheMem, false),
+    ] {
+        let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(granularity));
+        let t0 = TxId(0);
+        ptm.begin(t0, None);
+        ptm.on_tx_eviction(&meta_writing(t0, &[0]), blk(3), Some(&spec(&[(0, 1)])), false, &mut mem, 0, &mut b);
+        // A different word of the same block:
+        let out = ptm.check_conflict(Some(TxId(1)), blk(3), WordIdx(9), AccessKind::Write, 5, &mut b);
+        assert_eq!(
+            !out.conflicts.is_empty(),
+            expect_conflict,
+            "{granularity:?}"
+        );
+        ptm.commit(t0, &mut mem, 10, &mut b);
+    }
+}

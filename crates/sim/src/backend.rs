@@ -1,0 +1,206 @@
+//! The pluggable concurrency-control backend of the machine.
+
+use crate::locks::LockTable;
+use crate::logtm::LogTmSystem;
+use ptm_core::{PtmConfig, PtmSystem};
+use ptm_types::Granularity;
+use ptm_vtm::{VtmConfig, VtmSystem};
+use std::fmt;
+
+/// Which system to run — the x-axis families of Figures 4 and 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Single-threaded / uncontrolled execution (the speedup baseline's
+    /// denominator, and the mode used when a workload has one thread).
+    Serial,
+    /// Fine-grained lock-based execution (`4p` in the figures).
+    Locks,
+    /// Baseline VTM.
+    Vtm,
+    /// Victim-cache VTM (`VC-VTM`).
+    VictimVtm,
+    /// Copy-PTM.
+    CopyPtm,
+    /// Select-PTM at the given conflict granularity (`Block` is the Figure 4
+    /// configuration; the word granularities are Figure 5's `wd:cache` and
+    /// `wd:cache+mem`).
+    SelectPtm(Granularity),
+    /// LogTM-style eager versioning with stall-preferring resolution — an
+    /// extension beyond the paper's evaluated systems (§5.2 related work).
+    /// Bounded: no paging or migration support, as in the original.
+    LogTm,
+}
+
+impl SystemKind {
+    /// The display label the paper's figures use.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Serial => "serial",
+            SystemKind::Locks => "4p-locks",
+            SystemKind::Vtm => "VTM",
+            SystemKind::VictimVtm => "VC-VTM",
+            SystemKind::CopyPtm => "Copy-PTM",
+            SystemKind::SelectPtm(Granularity::Block) => "Sel-PTM",
+            SystemKind::SelectPtm(Granularity::WordCache) => "wd:cache",
+            SystemKind::SelectPtm(Granularity::WordCacheMem) => "wd:cache+mem",
+            SystemKind::LogTm => "LogTM",
+        }
+    }
+
+    /// Whether this mode executes `Begin`/`End` as transactions (as opposed
+    /// to locks or nothing).
+    pub fn is_transactional(self) -> bool {
+        matches!(
+            self,
+            SystemKind::Vtm
+                | SystemKind::VictimVtm
+                | SystemKind::CopyPtm
+                | SystemKind::SelectPtm(_)
+                | SystemKind::LogTm
+        )
+    }
+
+    /// The conflict granularity this mode runs at.
+    pub fn granularity(self) -> Granularity {
+        match self {
+            SystemKind::SelectPtm(g) => g,
+            _ => Granularity::Block,
+        }
+    }
+
+    /// All five Figure 4 systems, in the paper's bar order.
+    pub fn figure4() -> [SystemKind; 5] {
+        [
+            SystemKind::Locks,
+            SystemKind::Vtm,
+            SystemKind::VictimVtm,
+            SystemKind::CopyPtm,
+            SystemKind::SelectPtm(Granularity::Block),
+        ]
+    }
+
+    /// The Figure 5 configurations, in the paper's bar order.
+    pub fn figure5() -> [SystemKind; 4] {
+        [
+            SystemKind::Locks,
+            SystemKind::SelectPtm(Granularity::Block),
+            SystemKind::SelectPtm(Granularity::WordCache),
+            SystemKind::SelectPtm(Granularity::WordCacheMem),
+        ]
+    }
+}
+
+impl fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The backend instance owned by a machine.
+#[derive(Debug)]
+pub enum Backend {
+    /// No concurrency control (serial execution).
+    Serial,
+    /// Fine-grained locks.
+    Locks(LockTable),
+    /// PTM (Copy or Select per its configuration).
+    Ptm(PtmSystem),
+    /// VTM (baseline or victim-cache per its configuration).
+    Vtm(VtmSystem),
+    /// LogTM-style eager versioning (extension).
+    LogTm(LogTmSystem),
+}
+
+impl Backend {
+    /// Instantiates the backend for a system kind.
+    pub fn for_kind(kind: SystemKind) -> Backend {
+        match kind {
+            SystemKind::Serial => Backend::Serial,
+            SystemKind::Locks => Backend::Locks(LockTable::new()),
+            SystemKind::Vtm => Backend::Vtm(VtmSystem::new(VtmConfig::baseline())),
+            SystemKind::VictimVtm => Backend::Vtm(VtmSystem::new(VtmConfig::victim())),
+            SystemKind::CopyPtm => Backend::Ptm(PtmSystem::new(PtmConfig::copy())),
+            SystemKind::SelectPtm(g) => {
+                Backend::Ptm(PtmSystem::new(PtmConfig::select_with_granularity(g)))
+            }
+            SystemKind::LogTm => Backend::LogTm(LogTmSystem::new()),
+        }
+    }
+
+    /// The PTM system, if this backend is PTM.
+    pub fn as_ptm(&self) -> Option<&PtmSystem> {
+        match self {
+            Backend::Ptm(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The VTM system, if this backend is VTM.
+    pub fn as_vtm(&self) -> Option<&VtmSystem> {
+        match self {
+            Backend::Vtm(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The LogTM system, if this backend is LogTM.
+    pub fn as_logtm(&self) -> Option<&LogTmSystem> {
+        match self {
+            Backend::LogTm(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Whether any transactional block has overflowed the caches.
+    pub fn has_overflows(&self) -> bool {
+        match self {
+            Backend::Ptm(p) => p.has_overflows(),
+            Backend::Vtm(v) => v.has_overflows(),
+            Backend::LogTm(l) => l.has_overflows(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_core::PtmPolicy;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(SystemKind::Locks.label(), "4p-locks");
+        assert_eq!(SystemKind::SelectPtm(Granularity::Block).label(), "Sel-PTM");
+        assert_eq!(
+            SystemKind::SelectPtm(Granularity::WordCacheMem).label(),
+            "wd:cache+mem"
+        );
+    }
+
+    #[test]
+    fn figure_lists_are_ordered_like_the_paper() {
+        let f4 = SystemKind::figure4();
+        assert_eq!(f4[0], SystemKind::Locks);
+        assert_eq!(f4[4], SystemKind::SelectPtm(Granularity::Block));
+        let f5 = SystemKind::figure5();
+        assert_eq!(f5[1].granularity(), Granularity::Block);
+        assert_eq!(f5[3].granularity(), Granularity::WordCacheMem);
+    }
+
+    #[test]
+    fn backend_instantiation_matches_kind() {
+        assert!(Backend::for_kind(SystemKind::CopyPtm).as_ptm().is_some());
+        assert!(Backend::for_kind(SystemKind::VictimVtm).as_vtm().is_some());
+        assert!(matches!(Backend::for_kind(SystemKind::Serial), Backend::Serial));
+        let copy = Backend::for_kind(SystemKind::CopyPtm);
+        assert_eq!(copy.as_ptm().unwrap().config().policy, PtmPolicy::Copy);
+    }
+
+    #[test]
+    fn transactional_classification() {
+        assert!(!SystemKind::Locks.is_transactional());
+        assert!(!SystemKind::Serial.is_transactional());
+        assert!(SystemKind::Vtm.is_transactional());
+        assert!(SystemKind::CopyPtm.is_transactional());
+    }
+}

@@ -1,0 +1,346 @@
+//! The operating-system model: per-process page tables, a TLB, demand
+//! paging with a swap store, and injection of the system events Table 1
+//! counts (context switches and exceptions).
+
+use ptm_core::vts::{LruTracker, Touch};
+use ptm_mem::{PageTable, PhysicalMemory, Pte, SwapStore};
+use ptm_types::{Cycle, FrameId, PhysAddr, ProcessId, SwapSlot, VirtAddr, Vpn};
+use std::collections::HashMap;
+
+/// OS-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// TLB capacity (the paper simulates a 512-entry fully associative TLB).
+    pub tlb_entries: usize,
+    /// Cycles for a hardware page-table walk on a TLB miss.
+    pub tlb_miss_cost: Cycle,
+    /// Cycles for a minor (allocation) page fault.
+    pub minor_fault_cost: Cycle,
+    /// Cycles for a major (swap-in) page fault, excluding PTM bookkeeping.
+    pub swap_fault_cost: Cycle,
+    /// Inject a context switch on each core every this many cycles.
+    pub cs_interval: Option<Cycle>,
+    /// On each injected context switch, also *migrate* the thread to the
+    /// next core (§4.7: PTM's physically-indexed structures survive thread
+    /// migration; cache lines left behind spill through the coherence
+    /// protocol into the overflow structures).
+    pub migrate_on_cs: bool,
+    /// Cycles a context switch steals from the core.
+    pub cs_cost: Cycle,
+    /// Inject an exception on each core every this many cycles.
+    pub exc_interval: Option<Cycle>,
+    /// Cycles an exception executes for (inside the transaction, §2.3.2).
+    pub exc_cost: Cycle,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            tlb_entries: 512,
+            tlb_miss_cost: 60,
+            minor_fault_cost: 800,
+            swap_fault_cost: 8_000,
+            cs_interval: None,
+            migrate_on_cs: false,
+            cs_cost: 3_000,
+            exc_interval: None,
+            exc_cost: 300,
+        }
+    }
+}
+
+/// Kernel event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// TLB misses (page-table walks).
+    pub tlb_misses: u64,
+    /// Minor faults (first touch of a page).
+    pub minor_faults: u64,
+    /// Major faults (page brought back from swap).
+    pub swap_ins: u64,
+    /// Pages pushed out to swap.
+    pub swap_outs: u64,
+    /// Context switches delivered.
+    pub context_switches: u64,
+    /// Exceptions delivered.
+    pub exceptions: u64,
+}
+
+/// Result of a virtual-address translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Translation {
+    /// Resident: physical address plus translation cost. `allocated` is the
+    /// frame a minor fault just allocated (the caller must register it with
+    /// the TM backend's page tables).
+    Resident {
+        /// The translated physical address.
+        pa: PhysAddr,
+        /// Translation latency (TLB, walk, fault handling).
+        cost: Cycle,
+        /// Frame allocated by a minor fault, if one occurred.
+        allocated: Option<FrameId>,
+    },
+    /// The page is swapped out; the caller must swap it in (through the TM
+    /// backend for PTM, or [`Kernel::plain_swap_in`] otherwise) and retry.
+    SwappedOut {
+        /// Where the page's data lives.
+        slot: SwapSlot,
+        /// Cost accrued so far (TLB miss + fault entry).
+        cost: Cycle,
+    },
+}
+
+/// The operating-system model.
+#[derive(Debug)]
+pub struct Kernel {
+    cfg: KernelConfig,
+    page_tables: HashMap<ProcessId, PageTable>,
+    /// The swap store (shared with the PTM paging hooks).
+    pub swap: SwapStore,
+    tlb: LruTracker<(ProcessId, Vpn)>,
+    stats: KernelStats,
+}
+
+impl Kernel {
+    /// Creates a kernel.
+    pub fn new(cfg: KernelConfig) -> Self {
+        Kernel {
+            tlb: LruTracker::new(cfg.tlb_entries),
+            page_tables: HashMap::new(),
+            swap: SwapStore::new(),
+            stats: KernelStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Counts a delivered context switch.
+    pub fn note_context_switch(&mut self) {
+        self.stats.context_switches += 1;
+    }
+
+    /// Counts a delivered exception.
+    pub fn note_exception(&mut self) {
+        self.stats.exceptions += 1;
+    }
+
+    fn table(&mut self, pid: ProcessId) -> &mut PageTable {
+        self.page_tables.entry(pid).or_default()
+    }
+
+    /// Translates `va` in `pid`'s address space, allocating the page on
+    /// first touch (minor fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a minor fault cannot allocate a frame — size the simulated
+    /// memory for the workload.
+    pub fn translate(&mut self, pid: ProcessId, va: VirtAddr, mem: &mut PhysicalMemory) -> Translation {
+        let vpn = va.vpn();
+        let mut cost = 0;
+        match self.tlb.touch((pid, vpn)) {
+            Touch::Hit => {}
+            Touch::Miss { .. } => {
+                self.stats.tlb_misses += 1;
+                cost += self.cfg.tlb_miss_cost;
+            }
+        }
+        match self.table(pid).entry(vpn) {
+            Some(Pte::Present(frame)) => Translation::Resident {
+                pa: PhysAddr::from_frame(frame, va.page_offset()),
+                cost,
+                allocated: None,
+            },
+            Some(Pte::Swapped(slot)) => {
+                // Drop the stale TLB entry; the retry re-inserts the new one.
+                self.tlb.remove(&(pid, vpn));
+                Translation::SwappedOut {
+                    slot,
+                    cost: cost + self.cfg.swap_fault_cost,
+                }
+            }
+            None => {
+                let frame = mem
+                    .alloc()
+                    .expect("physical memory exhausted on minor fault");
+                self.table(pid).map(vpn, frame);
+                self.stats.minor_faults += 1;
+                Translation::Resident {
+                    pa: PhysAddr::from_frame(frame, va.page_offset()),
+                    cost: cost + self.cfg.minor_fault_cost,
+                    allocated: Some(frame),
+                }
+            }
+        }
+    }
+
+    /// The resident frame of `(pid, vpn)`, if present.
+    pub fn frame_of(&self, pid: ProcessId, vpn: Vpn) -> Option<FrameId> {
+        self.page_tables
+            .get(&pid)?
+            .entry(vpn)
+            .and_then(|pte| match pte {
+                Pte::Present(f) => Some(f),
+                Pte::Swapped(_) => None,
+            })
+    }
+
+    /// Maps `(pid, vpn)` onto an existing frame — inter-process shared
+    /// memory (§3.5.3). The frame must already be allocated.
+    pub fn map_shared(&mut self, pid: ProcessId, vpn: Vpn, frame: FrameId) {
+        self.table(pid).map(vpn, frame);
+    }
+
+    /// Marks a page swapped out (the data movement and PTM bookkeeping were
+    /// handled by the caller; `slot` is where the home page went).
+    pub fn mark_swapped(&mut self, pid: ProcessId, vpn: Vpn, slot: SwapSlot) {
+        self.table(pid).mark_swapped(vpn, slot);
+        self.tlb.remove(&(pid, vpn));
+        self.stats.swap_outs += 1;
+    }
+
+    /// Completes a swap-in: the page now lives in `frame`.
+    pub fn complete_swap_in(&mut self, pid: ProcessId, vpn: Vpn, frame: FrameId) {
+        self.table(pid).mark_resident(vpn, frame);
+        self.stats.swap_ins += 1;
+    }
+
+    /// Swaps a page out *without* TM bookkeeping (for non-PTM backends):
+    /// stores the frame data and updates the page table.
+    pub fn plain_swap_out(&mut self, pid: ProcessId, vpn: Vpn, mem: &mut PhysicalMemory) -> SwapSlot {
+        let frame = self
+            .frame_of(pid, vpn)
+            .unwrap_or_else(|| panic!("swapping non-resident page {vpn} of {pid}"));
+        let slot = self.swap.store(mem.read_frame(frame));
+        mem.free(frame);
+        self.mark_swapped(pid, vpn, slot);
+        slot
+    }
+
+    /// Swaps a page in *without* TM bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if memory is exhausted.
+    pub fn plain_swap_in(&mut self, pid: ProcessId, vpn: Vpn, slot: SwapSlot, mem: &mut PhysicalMemory) -> FrameId {
+        let frame = mem.alloc().expect("memory exhausted on swap-in");
+        let data = self.swap.load(slot);
+        mem.write_frame(frame, &data);
+        self.complete_swap_in(pid, vpn, frame);
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> (Kernel, PhysicalMemory) {
+        (Kernel::new(KernelConfig::default()), PhysicalMemory::new(8))
+    }
+
+    #[test]
+    fn first_touch_minor_faults_then_hits() {
+        let (mut k, mut mem) = kernel();
+        let va = VirtAddr::new(0x1234);
+        let t1 = k.translate(ProcessId(0), va, &mut mem);
+        let Translation::Resident { pa, cost, allocated } = t1 else {
+            panic!("expected resident");
+        };
+        assert!(allocated.is_some());
+        assert!(cost >= k.config().minor_fault_cost);
+        assert_eq!(pa.page_offset(), 0x234);
+        assert_eq!(k.stats().minor_faults, 1);
+
+        // Second touch: TLB hit, no fault, zero cost.
+        let t2 = k.translate(ProcessId(0), va, &mut mem);
+        let Translation::Resident { pa: pa2, cost: c2, allocated: a2 } = t2 else {
+            panic!("expected resident");
+        };
+        assert_eq!(pa2, pa);
+        assert_eq!(c2, 0);
+        assert!(a2.is_none());
+    }
+
+    #[test]
+    fn tlb_miss_cost_charged_on_capacity_eviction() {
+        let cfg = KernelConfig {
+            tlb_entries: 2,
+            ..Default::default()
+        };
+        let mut k = Kernel::new(cfg);
+        let mut mem = PhysicalMemory::new(8);
+        for page in 0..3u64 {
+            k.translate(ProcessId(0), VirtAddr::new(page * 4096), &mut mem);
+        }
+        let misses = k.stats().tlb_misses;
+        // Page 0 was evicted from the 2-entry TLB.
+        let t = k.translate(ProcessId(0), VirtAddr::new(0), &mut mem);
+        assert!(matches!(t, Translation::Resident { cost, .. } if cost == 60));
+        assert_eq!(k.stats().tlb_misses, misses + 1);
+    }
+
+    #[test]
+    fn address_spaces_are_separate() {
+        let (mut k, mut mem) = kernel();
+        let va = VirtAddr::new(0x1000);
+        let Translation::Resident { pa: pa0, .. } = k.translate(ProcessId(0), va, &mut mem) else {
+            panic!()
+        };
+        let Translation::Resident { pa: pa1, .. } = k.translate(ProcessId(1), va, &mut mem) else {
+            panic!()
+        };
+        assert_ne!(pa0.frame(), pa1.frame(), "same VA, different frames");
+    }
+
+    #[test]
+    fn shared_mapping_aliases_frames() {
+        let (mut k, mut mem) = kernel();
+        let Translation::Resident { pa, .. } =
+            k.translate(ProcessId(0), VirtAddr::new(0x1000), &mut mem)
+        else {
+            panic!()
+        };
+        k.map_shared(ProcessId(1), Vpn(99), pa.frame());
+        let Translation::Resident { pa: pa1, .. } =
+            k.translate(ProcessId(1), VirtAddr::new(99 * 4096), &mut mem)
+        else {
+            panic!()
+        };
+        assert_eq!(pa1.frame(), pa.frame(), "physical sharing established");
+    }
+
+    #[test]
+    fn plain_swap_round_trip_preserves_data() {
+        let (mut k, mut mem) = kernel();
+        let pid = ProcessId(0);
+        let va = VirtAddr::new(0x2000);
+        let Translation::Resident { pa, .. } = k.translate(pid, va, &mut mem) else {
+            panic!()
+        };
+        mem.write_word(pa, 0xfeed);
+        let slot = k.plain_swap_out(pid, va.vpn(), &mut mem);
+
+        // Translation now reports the page swapped.
+        let t = k.translate(pid, va, &mut mem);
+        assert!(matches!(t, Translation::SwappedOut { slot: s, .. } if s == slot));
+
+        let frame = k.plain_swap_in(pid, va.vpn(), slot, &mut mem);
+        let Translation::Resident { pa: pa2, .. } = k.translate(pid, va, &mut mem) else {
+            panic!()
+        };
+        assert_eq!(pa2.frame(), frame);
+        assert_eq!(mem.read_word(pa2), 0xfeed, "data survived the round trip");
+        assert_eq!(k.stats().swap_outs, 1);
+        assert_eq!(k.stats().swap_ins, 1);
+    }
+}

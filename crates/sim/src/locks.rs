@@ -1,0 +1,153 @@
+//! The lock-based execution baseline.
+//!
+//! The paper's Figure 4 compares against "default p-thread locks" with fine
+//! granularity. In lock mode, each `Begin` acquires the region's lock word
+//! (spinning while held) and `End` releases it; the body runs
+//! non-transactionally, since mutual exclusion already serializes it.
+
+use ptm_types::{Cycle, ThreadId, VirtAddr};
+use std::collections::HashMap;
+
+/// Result of a lock acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockAttempt {
+    /// The lock was free and is now held by the requester.
+    Acquired,
+    /// The lock is held by another thread; spin and retry.
+    Busy,
+}
+
+/// A table of simulated fine-grained spin locks.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_sim::locks::{LockAttempt, LockTable};
+/// use ptm_types::{ThreadId, VirtAddr};
+///
+/// let mut locks = LockTable::new();
+/// let l = VirtAddr::new(0x100);
+/// assert_eq!(locks.acquire(l, ThreadId(0), 0), LockAttempt::Acquired);
+/// assert_eq!(locks.acquire(l, ThreadId(1), 5), LockAttempt::Busy);
+/// locks.release(l, ThreadId(0));
+/// assert_eq!(locks.acquire(l, ThreadId(1), 9), LockAttempt::Acquired);
+/// ```
+#[derive(Debug, Default)]
+pub struct LockTable {
+    held: HashMap<VirtAddr, (ThreadId, Cycle)>,
+    stats: LockStats,
+}
+
+/// Lock contention counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Successful acquisitions.
+    pub acquisitions: u64,
+    /// Attempts that found the lock held (spin iterations).
+    pub contended_attempts: u64,
+}
+
+impl LockTable {
+    /// Creates an empty table (locks spring into existence on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to acquire `lock` for `thread` at cycle `now`.
+    ///
+    /// Re-acquiring a lock the thread already holds succeeds (the simulated
+    /// regions are not re-entrant in practice, but idempotence keeps retry
+    /// paths simple).
+    pub fn acquire(&mut self, lock: VirtAddr, thread: ThreadId, now: Cycle) -> LockAttempt {
+        match self.held.get(&lock) {
+            Some((owner, _)) if *owner != thread => {
+                self.stats.contended_attempts += 1;
+                LockAttempt::Busy
+            }
+            Some(_) => LockAttempt::Acquired,
+            None => {
+                self.held.insert(lock, (thread, now));
+                self.stats.acquisitions += 1;
+                LockAttempt::Acquired
+            }
+        }
+    }
+
+    /// Releases `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held by `thread` — that is a simulator bug,
+    /// not a workload property.
+    pub fn release(&mut self, lock: VirtAddr, thread: ThreadId) {
+        match self.held.remove(&lock) {
+            Some((owner, _)) if owner == thread => {}
+            Some((owner, at)) => panic!("{thread} released {lock} held by {owner} since {at}"),
+            None => panic!("{thread} released unheld {lock}"),
+        }
+    }
+
+    /// Whether `lock` is currently held.
+    pub fn is_held(&self, lock: VirtAddr) -> bool {
+        self.held.contains_key(&lock)
+    }
+
+    /// Contention statistics.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_lock_cycle() {
+        let mut t = LockTable::new();
+        let l = VirtAddr::new(64);
+        assert_eq!(t.acquire(l, ThreadId(0), 0), LockAttempt::Acquired);
+        assert!(t.is_held(l));
+        t.release(l, ThreadId(0));
+        assert!(!t.is_held(l));
+        assert_eq!(t.stats().acquisitions, 1);
+        assert_eq!(t.stats().contended_attempts, 0);
+    }
+
+    #[test]
+    fn contention_counts_attempts() {
+        let mut t = LockTable::new();
+        let l = VirtAddr::new(64);
+        t.acquire(l, ThreadId(0), 0);
+        for _ in 0..3 {
+            assert_eq!(t.acquire(l, ThreadId(1), 1), LockAttempt::Busy);
+        }
+        assert_eq!(t.stats().contended_attempts, 3);
+    }
+
+    #[test]
+    fn reacquire_by_owner_is_idempotent() {
+        let mut t = LockTable::new();
+        let l = VirtAddr::new(64);
+        t.acquire(l, ThreadId(0), 0);
+        assert_eq!(t.acquire(l, ThreadId(0), 1), LockAttempt::Acquired);
+        assert_eq!(t.stats().acquisitions, 1);
+    }
+
+    #[test]
+    fn independent_locks_do_not_contend() {
+        let mut t = LockTable::new();
+        t.acquire(VirtAddr::new(64), ThreadId(0), 0);
+        assert_eq!(
+            t.acquire(VirtAddr::new(128), ThreadId(1), 0),
+            LockAttempt::Acquired
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "released unheld")]
+    fn release_of_unheld_lock_panics() {
+        let mut t = LockTable::new();
+        t.release(VirtAddr::new(64), ThreadId(0));
+    }
+}

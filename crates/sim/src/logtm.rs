@@ -1,0 +1,486 @@
+//! A LogTM-style backend (Moore et al., HPCA 2006), implemented as an
+//! *extension* beyond the paper's evaluated systems — §5.2 describes it as
+//! related work. The contrasts with PTM it exists to demonstrate:
+//!
+//! * **Eager, in-place versioning**: transactional stores update memory
+//!   directly, saving the old value in a per-transaction software **undo
+//!   log**. Commit is trivially cheap (discard the log); **abort is the
+//!   expensive path** (walk the log backwards in software, restoring every
+//!   word).
+//! * **Sticky overflow state**: when a transactional line is evicted, the
+//!   directory remembers the transaction's interest in the block and keeps
+//!   forwarding conflicting requests to it — modeled here as a
+//!   [`StickyTable`] keyed by physical block.
+//! * **Stall-preferring conflict resolution**: a conflicting requester
+//!   NACKs and retries rather than aborting; a *possible-cycle* heuristic
+//!   (requester older than an owner that is itself stalling) triggers the
+//!   rare self-abort, guaranteeing progress.
+//!
+//! As the paper notes, LogTM does not virtualize: it requires transactional
+//! state never to be paged out, and does not handle context-switch
+//! migration. The simulator enforces the same restriction.
+
+use ptm_cache::{SystemBus, TxLineMeta};
+use ptm_core::tstate::{TStateTable, TxStatus};
+use ptm_mem::PhysicalMemory;
+use ptm_types::{Cycle, PhysAddr, PhysBlock, TxId};
+use std::collections::HashMap;
+
+/// One undo-log record: the word's address and its pre-transaction value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndoEntry {
+    /// The word written.
+    pub addr: PhysAddr,
+    /// The value it held before the transactional store.
+    pub old: u32,
+}
+
+/// The directory's memory of evicted transactional state ("sticky" states).
+#[derive(Debug, Default)]
+pub struct StickyTable {
+    entries: HashMap<PhysBlock, StickyUse>,
+}
+
+/// Which transactions an overflowed block is sticky to.
+#[derive(Debug, Default, Clone)]
+pub struct StickyUse {
+    /// Transactions with an overflowed read of the block.
+    pub readers: Vec<TxId>,
+    /// The transaction with an overflowed write, if any.
+    pub writer: Option<TxId>,
+}
+
+impl StickyTable {
+    /// Records an evicted line's transactional use.
+    pub fn record(&mut self, meta: &TxLineMeta, block: PhysBlock) {
+        let e = self.entries.entry(block).or_default();
+        if meta.read && !e.readers.contains(&meta.tx) {
+            e.readers.push(meta.tx);
+        }
+        if meta.write {
+            debug_assert!(
+                e.writer.is_none() || e.writer == Some(meta.tx),
+                "conflict detection admits one writer"
+            );
+            e.writer = Some(meta.tx);
+        }
+    }
+
+    /// The recorded use of `block`, if any.
+    pub fn get(&self, block: PhysBlock) -> Option<&StickyUse> {
+        self.entries.get(&block)
+    }
+
+    /// Clears one transaction out of every entry (commit/abort), dropping
+    /// entries that become empty. Returns how many entries were touched.
+    pub fn release(&mut self, tx: TxId) -> u64 {
+        let mut touched = 0;
+        self.entries.retain(|_, e| {
+            let before = e.readers.len() + usize::from(e.writer.is_some());
+            e.readers.retain(|r| *r != tx);
+            if e.writer == Some(tx) {
+                e.writer = None;
+            }
+            let after = e.readers.len() + usize::from(e.writer.is_some());
+            if after != before {
+                touched += 1;
+            }
+            after > 0
+        });
+        touched
+    }
+
+    /// Number of sticky blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is sticky.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// LogTM event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogTmStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transactions (the expensive software path).
+    pub aborts: u64,
+    /// Undo-log entries written.
+    pub log_entries: u64,
+    /// Undo-log entries restored by aborts.
+    pub log_restores: u64,
+    /// Conflicting requests that stalled (NACK + retry).
+    pub stalls: u64,
+    /// Evicted lines recorded sticky.
+    pub sticky_records: u64,
+}
+
+/// What a conflicting LogTM request should do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// No conflict: proceed.
+    Proceed,
+    /// NACK: retry after a delay (the owner is expected to finish).
+    Stall,
+    /// Possible cycle, requester is the youngest participant: abort itself.
+    SelfAbort,
+    /// Possible cycle, some owners are younger *and* stalled: abort them and
+    /// proceed. (The original protocol always aborts the requester; with
+    /// ordered commits in the mix, a gate-blocked younger owner can only be
+    /// released by the older requester committing, so the youngest
+    /// participant must be the one to go.)
+    AbortOwners(Vec<TxId>),
+}
+
+/// The LogTM system state.
+#[derive(Debug, Default)]
+pub struct LogTmSystem {
+    logs: HashMap<TxId, Vec<UndoEntry>>,
+    sticky: StickyTable,
+    tstate: TStateTable,
+    /// Transactions currently stalling on a conflict (the possible-cycle
+    /// flag of the real protocol).
+    stalling: HashMap<TxId, bool>,
+    stats: LogTmStats,
+}
+
+impl LogTmSystem {
+    /// Creates an empty system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &LogTmStats {
+        &self.stats
+    }
+
+    /// The status table.
+    pub fn tstate(&self) -> &TStateTable {
+        &self.tstate
+    }
+
+    /// Starts (or restarts) a transaction.
+    pub fn begin(&mut self, tx: TxId) {
+        self.tstate.begin(tx, None);
+        self.stalling.insert(tx, false);
+    }
+
+    /// Whether `tx` is live.
+    pub fn is_live(&self, tx: TxId) -> bool {
+        self.tstate.is_live(tx)
+    }
+
+    /// Whether any sticky overflow state exists.
+    pub fn has_overflows(&self) -> bool {
+        !self.sticky.is_empty()
+    }
+
+    /// Logs a transactional store's old value (eager versioning: the caller
+    /// then writes memory in place). Log writes are cacheable and charged
+    /// nothing here; the price is paid on abort.
+    pub fn log_write(&mut self, tx: TxId, addr: PhysAddr, old: u32) {
+        self.logs.entry(tx).or_default().push(UndoEntry { addr, old });
+        self.stats.log_entries += 1;
+    }
+
+    /// Records an evicted transactional line as sticky.
+    pub fn on_tx_eviction(&mut self, meta: &TxLineMeta, block: PhysBlock) {
+        self.sticky.record(meta, block);
+        self.stats.sticky_records += 1;
+    }
+
+    /// Conflict check against sticky state for a miss, with LogTM's
+    /// stall-preferring resolution. `requester` is `None` for
+    /// non-transactional accesses (which always win: the transaction
+    /// aborts, as in §2.3.3).
+    pub fn resolve(
+        &mut self,
+        requester: Option<TxId>,
+        block: PhysBlock,
+        is_write: bool,
+    ) -> (Resolution, Vec<TxId>) {
+        let Some(u) = self.sticky.get(block) else {
+            if let Some(tx) = requester {
+                self.stalling.insert(tx, false);
+            }
+            return (Resolution::Proceed, Vec::new());
+        };
+        let mut owners: Vec<TxId> = Vec::new();
+        if let Some(w) = u.writer {
+            if Some(w) != requester && self.is_live(w) {
+                owners.push(w);
+            }
+        }
+        if is_write {
+            for r in &u.readers {
+                if Some(*r) != requester && self.is_live(*r) {
+                    owners.push(*r);
+                }
+            }
+        }
+        owners.sort();
+        owners.dedup();
+        if owners.is_empty() {
+            if let Some(tx) = requester {
+                self.stalling.insert(tx, false);
+            }
+            return (Resolution::Proceed, Vec::new());
+        }
+        let Some(me) = requester else {
+            // Non-transactional conflicts abort the transactions.
+            return (Resolution::SelfAbort, owners); // caller aborts owners instead
+        };
+        let res = self.cycle_break(me, &owners);
+        (res, owners)
+    }
+
+    fn cycle_break(&mut self, me: TxId, owners: &[TxId]) -> Resolution {
+        // Possible-cycle heuristic: a stall edge from an older transaction
+        // to a younger *stalled* owner can close a cycle; break it by
+        // aborting the youngest participants.
+        let stuck_younger: Vec<TxId> = owners
+            .iter()
+            .filter(|o| me.is_older_than(**o) && *self.stalling.get(o).unwrap_or(&false))
+            .copied()
+            .collect();
+        if !stuck_younger.is_empty() {
+            return Resolution::AbortOwners(stuck_younger);
+        }
+        let blocked_by_older_staller = owners
+            .iter()
+            .any(|o| o.is_older_than(me) && *self.stalling.get(o).unwrap_or(&false));
+        if blocked_by_older_staller && owners.iter().all(|o| o.is_older_than(me)) {
+            // I am the youngest in a possible cycle: step aside.
+            return Resolution::SelfAbort;
+        }
+        self.stalling.insert(me, true);
+        self.stats.stalls += 1;
+        Resolution::Stall
+    }
+
+    /// Marks a transaction as stalled for reasons outside conflict
+    /// resolution (e.g. an ordered-commit gate), so the possible-cycle
+    /// heuristic can break deadlocks through it.
+    pub fn mark_stalling(&mut self, tx: TxId) {
+        self.stalling.insert(tx, true);
+    }
+
+    /// LogTM's resolution for an *in-cache* coherence conflict with the
+    /// given live owners: stall unless the possible-cycle heuristic demands
+    /// a self-abort. Non-transactional requesters always break through
+    /// (callers abort the owners).
+    pub fn arbitrate(&mut self, requester: Option<TxId>, owners: &[TxId]) -> Resolution {
+        let Some(me) = requester else {
+            // Non-transactional requesters break through; the caller aborts
+            // the owners.
+            return Resolution::AbortOwners(owners.to_vec());
+        };
+        self.cycle_break(me, owners)
+    }
+
+    /// Commits: discard the log, release sticky state. LogTM's cheap path.
+    pub fn commit(&mut self, tx: TxId, now: Cycle, bus: &mut SystemBus) -> Cycle {
+        self.tstate.set_status(tx, TxStatus::Committing);
+        self.logs.remove(&tx);
+        let touched = self.sticky.release(tx);
+        self.stalling.remove(&tx);
+        // Lazy sticky cleanup: one controller access per touched entry.
+        let mut t = now;
+        for _ in 0..touched.min(8) {
+            t = bus.controller_mem_access(t);
+        }
+        self.tstate.set_status(tx, TxStatus::Committed);
+        self.stats.commits += 1;
+        t
+    }
+
+    /// Aborts: walk the undo log *backwards*, restoring every word — the
+    /// expensive, software-handled path the paper calls out.
+    pub fn abort(&mut self, tx: TxId, mem: &mut PhysicalMemory, now: Cycle, bus: &mut SystemBus) -> Cycle {
+        self.tstate.set_status(tx, TxStatus::Aborting);
+        let log = self.logs.remove(&tx).unwrap_or_default();
+        // Software handler entry cost.
+        let mut t = now + 500;
+        for entry in log.iter().rev() {
+            mem.write_word(entry.addr, entry.old);
+            t = bus.controller_mem_access(t);
+            self.stats.log_restores += 1;
+        }
+        self.sticky.release(tx);
+        self.stalling.remove(&tx);
+        self.tstate.set_status(tx, TxStatus::Aborted);
+        self.stats.aborts += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_cache::BusTimings;
+    use ptm_types::{BlockIdx, FrameId, WordIdx};
+
+    fn block(n: u32) -> PhysBlock {
+        PhysBlock::new(FrameId(n), BlockIdx(0))
+    }
+
+    fn bus() -> SystemBus {
+        SystemBus::new(BusTimings::default())
+    }
+
+    #[test]
+    fn in_place_write_with_undo_restore() {
+        let mut sys = LogTmSystem::new();
+        let mut mem = PhysicalMemory::new(4);
+        let f = mem.alloc().unwrap();
+        let addr = PhysAddr::from_frame(f, 8);
+        mem.write_word(addr, 10);
+
+        sys.begin(TxId(0));
+        // Eager versioning: log old, write new in place.
+        sys.log_write(TxId(0), addr, mem.read_word(addr));
+        mem.write_word(addr, 99);
+        assert_eq!(mem.read_word(addr), 99, "in-place speculative value");
+
+        let mut b = bus();
+        sys.abort(TxId(0), &mut mem, 0, &mut b);
+        assert_eq!(mem.read_word(addr), 10, "undo log restored the word");
+        assert_eq!(sys.stats().log_restores, 1);
+    }
+
+    #[test]
+    fn abort_restores_in_reverse_order() {
+        let mut sys = LogTmSystem::new();
+        let mut mem = PhysicalMemory::new(4);
+        let f = mem.alloc().unwrap();
+        let addr = PhysAddr::from_frame(f, 0);
+        mem.write_word(addr, 1);
+
+        sys.begin(TxId(0));
+        sys.log_write(TxId(0), addr, 1);
+        mem.write_word(addr, 2);
+        sys.log_write(TxId(0), addr, 2);
+        mem.write_word(addr, 3);
+
+        let mut b = bus();
+        sys.abort(TxId(0), &mut mem, 0, &mut b);
+        assert_eq!(mem.read_word(addr), 1, "reverse walk ends at the oldest value");
+    }
+
+    #[test]
+    fn commit_is_cheap_abort_is_not() {
+        let mut sys = LogTmSystem::new();
+        let mut mem = PhysicalMemory::new(4);
+        let f = mem.alloc().unwrap();
+        sys.begin(TxId(0));
+        for w in 0..16u32 {
+            let addr = PhysAddr::from_frame(f, (w as usize) * 4);
+            sys.log_write(TxId(0), addr, 0);
+            mem.write_word(addr, w);
+        }
+        let mut b1 = bus();
+        let commit_done = sys.commit(TxId(0), 0, &mut b1);
+
+        let mut sys2 = LogTmSystem::new();
+        sys2.begin(TxId(0));
+        for w in 0..16u32 {
+            let addr = PhysAddr::from_frame(f, (w as usize) * 4);
+            sys2.log_write(TxId(0), addr, 0);
+        }
+        let mut b2 = bus();
+        let abort_done = sys2.abort(TxId(0), &mut mem, 0, &mut b2);
+        assert!(
+            abort_done > commit_done,
+            "abort ({abort_done}) must cost more than commit ({commit_done})"
+        );
+    }
+
+    #[test]
+    fn sticky_state_drives_conflicts() {
+        let mut sys = LogTmSystem::new();
+        sys.begin(TxId(0));
+        sys.begin(TxId(1));
+        let mut meta = TxLineMeta::new(TxId(0));
+        meta.record_write(WordIdx(0));
+        sys.on_tx_eviction(&meta, block(0));
+        assert!(sys.has_overflows());
+
+        // Younger writer conflicts with the sticky writer: stall.
+        let (r, owners) = sys.resolve(Some(TxId(1)), block(0), true);
+        assert_eq!(r, Resolution::Stall);
+        assert_eq!(owners, vec![TxId(0)]);
+
+        // Reads of a sticky WRITE also conflict.
+        let (r, _) = sys.resolve(Some(TxId(1)), block(0), false);
+        assert_eq!(r, Resolution::Stall);
+
+        // The owner itself proceeds.
+        let (r, _) = sys.resolve(Some(TxId(0)), block(0), true);
+        assert_eq!(r, Resolution::Proceed);
+    }
+
+    #[test]
+    fn possible_cycle_aborts_the_youngest_participant() {
+        let mut sys = LogTmSystem::new();
+        sys.begin(TxId(0));
+        sys.begin(TxId(1));
+        // tx1 overflows a write; tx0 (older) will request it.
+        let mut meta = TxLineMeta::new(TxId(1));
+        meta.record_write(WordIdx(0));
+        sys.on_tx_eviction(&meta, block(0));
+        // tx1 is itself stalling on something (tx0's block).
+        let mut meta0 = TxLineMeta::new(TxId(0));
+        meta0.record_write(WordIdx(0));
+        sys.on_tx_eviction(&meta0, block(1));
+        let (r, _) = sys.resolve(Some(TxId(1)), block(1), true);
+        assert_eq!(r, Resolution::Stall, "tx1 stalls on tx0");
+
+        // Now tx0 requests tx1's block: cycle detected; the *youngest*
+        // participant (tx1) aborts so that gate-style dependencies on the
+        // older's commit can always drain.
+        let (r, _) = sys.resolve(Some(TxId(0)), block(0), true);
+        assert_eq!(r, Resolution::AbortOwners(vec![TxId(1)]));
+
+        // Symmetric case: the younger requester facing an older stalled
+        // owner steps aside itself.
+        let mut sys2 = LogTmSystem::new();
+        sys2.begin(TxId(0));
+        sys2.begin(TxId(1));
+        let mut m0 = TxLineMeta::new(TxId(0));
+        m0.record_write(WordIdx(0));
+        sys2.on_tx_eviction(&m0, block(0));
+        sys2.mark_stalling(TxId(0));
+        let (r, _) = sys2.resolve(Some(TxId(1)), block(0), true);
+        assert_eq!(r, Resolution::SelfAbort);
+    }
+
+    #[test]
+    fn release_clears_sticky_entries() {
+        let mut sys = LogTmSystem::new();
+        sys.begin(TxId(0));
+        let mut meta = TxLineMeta::new(TxId(0));
+        meta.record_read(WordIdx(0));
+        sys.on_tx_eviction(&meta, block(0));
+        let mut b = bus();
+        sys.commit(TxId(0), 0, &mut b);
+        assert!(!sys.has_overflows(), "commit released the sticky state");
+    }
+
+    #[test]
+    fn readers_do_not_conflict_with_readers() {
+        let mut sys = LogTmSystem::new();
+        sys.begin(TxId(0));
+        sys.begin(TxId(1));
+        let mut meta = TxLineMeta::new(TxId(0));
+        meta.record_read(WordIdx(0));
+        sys.on_tx_eviction(&meta, block(0));
+        let (r, _) = sys.resolve(Some(TxId(1)), block(0), false);
+        assert_eq!(r, Resolution::Proceed, "read/read never conflicts");
+        let (r, _) = sys.resolve(Some(TxId(1)), block(0), true);
+        assert_eq!(r, Resolution::Stall, "write/read does");
+    }
+}

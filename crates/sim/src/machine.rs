@@ -1,0 +1,1459 @@
+//! The chip-multiprocessor machine: cores, caches, bus, memory, OS and a
+//! pluggable TM backend, executing thread programs to completion.
+//!
+//! The timing model is quasi-cycle-accurate: cores are processed in global
+//! time order (smallest `ready_at` first); each operation resolves its full
+//! memory-system path immediately, charging latencies and advancing shared
+//! resources (bus occupancy, memory pipeline, VTS cleanup windows) so that
+//! contention between cores is modeled. The machine is simultaneously
+//! *functional*: pages hold real bytes, speculative versions really live in
+//! buffers/shadow pages/XADT entries, and commits/aborts really move or
+//! discard data — which the serial reference executor verifies.
+
+use crate::backend::{Backend, SystemKind};
+use crate::kernel::{Kernel, KernelConfig, Translation};
+use crate::locks::LockAttempt;
+use crate::ops::{Op, OrderedSeq};
+use crate::ordered::OrderedGate;
+use crate::program::ThreadProgram;
+use crate::stats::{CommittedTx, MachineStats};
+use ptm_cache::{
+    abort_tx_lines, commit_tx_lines, flush_non_tx_lines, peek_remote_tx_use, supply, BusTimings,
+    CacheConfig, CacheLine, DataSource, Hierarchy, ProbeResult, SystemBus,
+};
+use ptm_core::system::AccessKind;
+use ptm_mem::{PhysicalMemory, SpecBuffers};
+use ptm_types::{
+    Cycle, FrameId, PhysAddr, PhysBlock, ProcessId, TxId, VirtAddr, Vpn, WordIdx,
+    BLOCK_SIZE, WORD_SIZE,
+};
+use ptm_types::ids::TxIdSource;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Debug tracing: set `PTM_TRACE_WORD=<word-aligned virtual address>` to log
+/// every event touching that word's block (accesses, evictions, commits,
+/// aborts) to stderr. Zero cost when unset.
+fn trace_word() -> Option<u64> {
+    static WORD: OnceLock<Option<u64>> = OnceLock::new();
+    *WORD.get_or_init(|| {
+        std::env::var("PTM_TRACE_WORD")
+            .ok()
+            .and_then(|s| s.parse().ok())
+    })
+}
+
+/// Machine configuration (defaults follow §6.1).
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Physical memory size in frames.
+    pub mem_frames: usize,
+    /// L1 configuration.
+    pub l1: CacheConfig,
+    /// L2 configuration.
+    pub l2: CacheConfig,
+    /// Bus and memory timings.
+    pub bus: BusTimings,
+    /// OS parameters (TLB, faults, event injection).
+    pub kernel: KernelConfig,
+    /// Cycles to take a register checkpoint at transaction begin.
+    pub begin_cost: Cycle,
+    /// Cycles for the logical (atomic) commit.
+    pub commit_cost: Cycle,
+    /// Base penalty after an abort before the retry starts (grows linearly
+    /// with the attempt count as a deterministic backoff).
+    pub abort_penalty: Cycle,
+    /// Polling interval while stalled (lock spins, ordered gate, cleanup
+    /// windows).
+    pub retry_poll: Cycle,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            mem_frames: 1 << 15, // 128 MiB
+            l1: CacheConfig::l1_default(),
+            l2: CacheConfig::l2_default(),
+            bus: BusTimings::default(),
+            kernel: KernelConfig::default(),
+            begin_cost: 8,
+            commit_cost: 20,
+            abort_penalty: 150,
+            retry_poll: 40,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CoreState {
+    prog: ThreadProgram,
+    ready_at: Cycle,
+    next_cs: Cycle,
+    next_exc: Cycle,
+    cur_ordered: Option<OrderedSeq>,
+    lock_stack: Vec<VirtAddr>,
+    checksum: u64,
+}
+
+/// What an access attempt resolved to.
+enum AccessEffect {
+    /// Completed; the op's latency in cycles.
+    Done(Cycle),
+    /// Must retry the same op at the given cycle (cleanup window, swap-in).
+    Stall(Cycle),
+    /// The requester's own transaction lost arbitration and was aborted;
+    /// its program has been rewound.
+    SelfAborted,
+}
+
+/// The simulated CMP.
+///
+/// Build one with [`Machine::new`], run it to completion with
+/// [`Machine::run`], then read [`Machine::stats`] and the backend counters.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    kind: SystemKind,
+    cores: Vec<CoreState>,
+    caches: Vec<Hierarchy>,
+    bus: SystemBus,
+    mem: PhysicalMemory,
+    kernel: Kernel,
+    backend: Backend,
+    spec: SpecBuffers,
+    tx_src: TxIdSource,
+    gate: OrderedGate,
+    tx_owner: HashMap<TxId, usize>,
+    rev_map: HashMap<FrameId, (ProcessId, Vpn)>,
+    barriers: HashMap<u32, BarrierState>,
+    stats: MachineStats,
+}
+
+/// Arrival/release bookkeeping for one in-flight barrier. Arrivals are
+/// keyed by *thread* (stable across core migration), not by core.
+#[derive(Debug)]
+struct BarrierState {
+    arrived: std::collections::HashSet<u32>,
+    release_at: Option<Cycle>,
+    passed: std::collections::HashSet<u32>,
+}
+
+impl Machine {
+    /// Creates a machine running `programs` (one per core) under the given
+    /// system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty.
+    pub fn new(cfg: MachineConfig, kind: SystemKind, programs: Vec<ThreadProgram>) -> Self {
+        assert!(!programs.is_empty(), "machine needs at least one thread");
+        assert!(
+            !(kind == SystemKind::LogTm && cfg.kernel.migrate_on_cs),
+            "LogTM does not support thread migration (§5.2)"
+        );
+        let n = programs.len();
+        let cs0 = cfg.kernel.cs_interval.unwrap_or(u64::MAX);
+        let exc0 = cfg.kernel.exc_interval.unwrap_or(u64::MAX);
+        Machine {
+            cores: programs
+                .into_iter()
+                .enumerate()
+                .map(|(i, prog)| CoreState {
+                    prog,
+                    ready_at: 0,
+                    // Stagger injections slightly so cores do not all stall
+                    // on the same cycle.
+                    next_cs: cs0.saturating_add(137 * i as u64),
+                    next_exc: exc0.saturating_add(61 * i as u64),
+                    cur_ordered: None,
+                    lock_stack: Vec::new(),
+                    checksum: 0,
+                })
+                .collect(),
+            caches: (0..n).map(|_| Hierarchy::new(cfg.l1, cfg.l2)).collect(),
+            bus: SystemBus::new(cfg.bus),
+            mem: PhysicalMemory::new(cfg.mem_frames),
+            kernel: Kernel::new(cfg.kernel),
+            backend: Backend::for_kind(kind),
+            spec: SpecBuffers::new(),
+            tx_src: TxIdSource::new(),
+            gate: OrderedGate::new(),
+            tx_owner: HashMap::new(),
+            rev_map: HashMap::new(),
+            barriers: HashMap::new(),
+            stats: MachineStats::default(),
+            cfg,
+            kind,
+        }
+    }
+
+    /// The system this machine runs.
+    pub fn kind(&self) -> SystemKind {
+        self.kind
+    }
+
+    /// Run statistics (complete after [`Machine::run`]).
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// The backend (PTM/VTM counters live there).
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// OS statistics (context switches, exceptions, faults).
+    pub fn kernel_stats(&self) -> &crate::kernel::KernelStats {
+        self.kernel.stats()
+    }
+
+    /// Bus and memory traffic statistics.
+    pub fn bus_stats(&self) -> &ptm_cache::bus::BusStats {
+        self.bus.stats()
+    }
+
+    /// Per-core read checksums (prevents dead-code elimination concerns in
+    /// benches and gives tests a quick divergence signal).
+    pub fn checksums(&self) -> Vec<u64> {
+        self.cores.iter().map(|c| c.checksum).collect()
+    }
+
+    /// Runs every program to completion and finalizes statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine stops making progress (a simulator bug, not a
+    /// workload property — oldest-wins arbitration guarantees progress).
+    pub fn run(&mut self) {
+        let mut guard: u64 = 0;
+        let limit = 200_000_000u64
+            .saturating_add(self.cores.iter().map(|c| c.prog.len() as u64).sum::<u64>() * 10_000);
+        loop {
+            let Some(idx) = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.prog.is_finished())
+                .min_by_key(|(_, c)| c.ready_at)
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            self.step(idx);
+            guard += 1;
+            if guard % 20_000_000 == 0 && std::env::var("PTM_TRACE_PROGRESS").is_ok() {
+                let pcs: Vec<_> = self.cores.iter().map(|c| (c.prog.thread().0, c.prog.pc(), c.ready_at)).collect();
+                eprintln!("[progress] steps={guard} {pcs:?}");
+            }
+            if guard >= limit {
+                let state: Vec<String> = self
+                    .cores
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "pc={}/{} ready={} tx={:?} op={:?}",
+                            c.prog.pc(),
+                            c.prog.len(),
+                            c.ready_at,
+                            c.prog.cur_tx(),
+                            c.prog.current()
+                        )
+                    })
+                    .collect();
+                let live = match &self.backend {
+                    Backend::Ptm(p) => p.tstate().live_transactions(),
+                    _ => Vec::new(),
+                };
+                let owners: Vec<_> = live.iter().map(|t| (*t, self.tx_owner.get(t).copied())).collect();
+                panic!("machine stopped making progress: {state:#?} live={owners:?}");
+            }
+        }
+        self.finalize_stats();
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self.cores.iter().map(|c| c.ready_at).max().unwrap_or(0);
+        let mut misses = 0;
+        let mut evictions = 0;
+        for h in &self.caches {
+            misses += h.l2_stats().misses;
+            evictions += h.l2_stats().evictions;
+        }
+        self.stats.l2_misses = misses;
+        self.stats.l2_evictions = evictions;
+    }
+
+    // ------------------------------------------------------------------
+    // The core step function
+    // ------------------------------------------------------------------
+
+    fn step(&mut self, idx: usize) {
+        let now = self.cores[idx].ready_at;
+
+
+        // System-event injection (context switches, exceptions).
+        if now >= self.cores[idx].next_cs {
+            let interval = self.cfg.kernel.cs_interval.expect("cs scheduled");
+            self.cores[idx].ready_at = now + self.cfg.kernel.cs_cost;
+            // The next switch is an interval after this one *ends*, so a
+            // cost larger than the interval cannot livelock the core.
+            self.cores[idx].next_cs = self.cores[idx].ready_at + interval;
+            self.kernel.note_context_switch();
+            // The other process pollutes the cache; transactional lines are
+            // tagged with their transaction ID and survive (§4.7).
+            flush_non_tx_lines(&mut self.caches[idx]);
+            if self.cfg.kernel.migrate_on_cs && self.cores.len() > 1 {
+                self.migrate_thread(idx, now);
+            }
+            return;
+        }
+        if now >= self.cores[idx].next_exc {
+            let interval = self.cfg.kernel.exc_interval.expect("exc scheduled");
+            self.cores[idx].ready_at = now + self.cfg.kernel.exc_cost;
+            self.cores[idx].next_exc = self.cores[idx].ready_at + interval;
+            self.kernel.note_exception();
+            return;
+        }
+
+        let Some(op) = self.cores[idx].prog.current() else {
+            return;
+        };
+        match op {
+            Op::Compute(c) => {
+                self.cores[idx].prog.advance();
+                self.cores[idx].ready_at = now + u64::from(c.max(1));
+            }
+            Op::Begin { ordered, lock } => self.step_begin(idx, now, ordered, lock),
+            Op::End => self.step_end(idx, now),
+            Op::Read(va) => self.step_access(idx, now, va, AccessKind::Read, None),
+            Op::Write(va, v) => self.step_access(idx, now, va, AccessKind::Write, Some(WriteVal::Const(v))),
+            Op::Rmw(va, d) => self.step_access(idx, now, va, AccessKind::Write, Some(WriteVal::Delta(d))),
+            Op::Barrier(id) => self.step_barrier(idx, now, id),
+        }
+    }
+
+    fn step_barrier(&mut self, idx: usize, now: Cycle, id: u32) {
+        debug_assert!(
+            self.cores[idx].prog.cur_tx().is_none() || !self.kind.is_transactional(),
+            "barrier inside a transaction"
+        );
+        let n = self.cores.len();
+        let poll = self.cfg.retry_poll;
+        let thread = self.cores[idx].prog.thread().0;
+        let st = self.barriers.entry(id).or_insert_with(|| BarrierState {
+            arrived: std::collections::HashSet::new(),
+            release_at: None,
+            passed: std::collections::HashSet::new(),
+        });
+        if let Some(rel) = st.release_at {
+            if now >= rel {
+                st.passed.insert(thread);
+                let done = st.passed.len() == n;
+                self.cores[idx].prog.advance();
+                self.cores[idx].ready_at = now + 1;
+                if done {
+                    self.barriers.remove(&id);
+                }
+            } else {
+                self.cores[idx].ready_at = rel;
+            }
+            return;
+        }
+        st.arrived.insert(thread);
+        if st.arrived.len() == n {
+            // Last arriver: release everyone after a short notification
+            // round on the bus.
+            st.release_at = Some(now + 20);
+            self.cores[idx].ready_at = now + 20;
+        } else {
+            self.stats.stall_cycles += poll;
+            self.cores[idx].ready_at = now + poll;
+        }
+    }
+
+    /// Migrates the thread on `idx` by swapping it with the next core's
+    /// thread (§4.7). Cache lines stay behind: in-flight transactions'
+    /// tagged lines on the old core will be spilled into the overflow
+    /// structures by coherence when the transaction touches them again, or
+    /// simply supply data — PTM needs no reverse address translation for
+    /// either, unlike VTM.
+    fn migrate_thread(&mut self, idx: usize, now: Cycle) {
+        let other = (idx + 1) % self.cores.len();
+        // Fairness guard: if the partner core is still busy (typically
+        // because it just context-switched itself), stealing its thread
+        // again before it ever ran would starve that thread — dense switch
+        // storms could bounce it around the ring forever. Skip this
+        // migration; the switch itself still happened.
+        if self.cores[other].ready_at > now {
+            return;
+        }
+        if trace_word().is_some() {
+            eprintln!("[ptm-trace] migrate core {idx} <-> core {other} now={now}");
+        }
+        // Swap the thread-owned state; core-owned state (ready_at, injection
+        // timers) stays with the core.
+        {
+            let [a, b] = self
+                .cores
+                .get_disjoint_mut([idx, other])
+                .expect("distinct cores");
+            std::mem::swap(&mut a.prog, &mut b.prog);
+            std::mem::swap(&mut a.cur_ordered, &mut b.cur_ordered);
+            std::mem::swap(&mut a.lock_stack, &mut b.lock_stack);
+            std::mem::swap(&mut a.checksum, &mut b.checksum);
+        }
+        // The destination core requeues cheaply (the full switch cost is
+        // paid by the initiating core); its timer restarts so it does not
+        // immediately re-migrate, and the arriving thread gets a full
+        // interval of CPU — otherwise rotating switches can starve a thread
+        // by always moving it just before it would run.
+        let other_ready = self.cores[other].ready_at.max(now) + 200;
+        self.cores[other].ready_at = other_ready;
+        if let Some(interval) = self.cfg.kernel.cs_interval {
+            self.cores[other].next_cs = other_ready + interval.max(self.cfg.kernel.cs_cost);
+        }
+        // In-flight transactions now run on the other core.
+        for (i, c) in self.cores.iter().enumerate() {
+            if let Some(tx) = c.prog.cur_tx() {
+                self.tx_owner.insert(tx, i);
+            }
+        }
+    }
+
+    fn step_begin(&mut self, idx: usize, now: Cycle, ordered: Option<OrderedSeq>, lock: VirtAddr) {
+        match self.kind {
+            SystemKind::Serial => {
+                self.cores[idx].prog.advance();
+                self.cores[idx].ready_at = now + 1;
+            }
+            SystemKind::Locks => {
+                let thread = self.cores[idx].prog.thread();
+                match match &mut self.backend {
+                    Backend::Locks(t) => t.acquire(lock, thread, now),
+                    _ => unreachable!("lock mode has a lock table"),
+                } {
+                    LockAttempt::Acquired => {
+                        self.cores[idx].lock_stack.push(lock);
+                        self.cores[idx].prog.advance();
+                        // The acquire is an atomic RMW on the lock word: a
+                        // real coherence transaction, so contended locks
+                        // ping-pong between caches.
+                        let lat = match self.access(idx, now, lock, AccessKind::Write) {
+                            AccessEffect::Done(lat) => lat,
+                            AccessEffect::Stall(until) => until.saturating_sub(now),
+                            AccessEffect::SelfAborted => unreachable!("no tx in lock mode"),
+                        };
+                        self.cores[idx].ready_at = now + lat.max(1);
+                    }
+                    LockAttempt::Busy => {
+                        self.stats.stall_cycles += self.cfg.retry_poll;
+                        self.cores[idx].ready_at = now + self.cfg.retry_poll;
+                    }
+                }
+            }
+            _ => {
+                // Transactional modes.
+                if self.cores[idx].prog.nest() > 0 {
+                    // Flattened nesting: just bump the depth (§2.3.1).
+                    self.cores[idx].prog.enter_nested();
+                    self.cores[idx].prog.advance();
+                    self.cores[idx].ready_at = now + 1;
+                    return;
+                }
+                let tx = self.cores[idx]
+                    .prog
+                    .cur_tx()
+                    .unwrap_or_else(|| self.tx_src.next_id());
+                let retry = self.cores[idx].prog.begin_outer(tx);
+                match &mut self.backend {
+                    Backend::Ptm(p) => p.begin(tx, ordered.map(|o| o.seq)),
+                    Backend::Vtm(v) => v.begin(tx),
+                    Backend::LogTm(l) => l.begin(tx),
+                    _ => unreachable!("transactional mode"),
+                }
+                if !retry {
+                    self.tx_owner.insert(tx, idx);
+                }
+                self.cores[idx].cur_ordered = ordered;
+                self.cores[idx].prog.advance();
+                self.cores[idx].ready_at = now + self.cfg.begin_cost;
+                self.stats.begins += 1;
+            }
+        }
+    }
+
+    fn step_end(&mut self, idx: usize, now: Cycle) {
+        match self.kind {
+            SystemKind::Serial => {
+                self.cores[idx].prog.advance();
+                self.cores[idx].ready_at = now + 1;
+            }
+            SystemKind::Locks => {
+                let lock = self.cores[idx]
+                    .lock_stack
+                    .pop()
+                    .expect("end without matching begin in lock mode");
+                let thread = self.cores[idx].prog.thread();
+                match &mut self.backend {
+                    Backend::Locks(t) => t.release(lock, thread),
+                    _ => unreachable!(),
+                }
+                self.cores[idx].prog.advance();
+                // The release is a store to the lock word.
+                let lat = match self.access(idx, now, lock, AccessKind::Write) {
+                    AccessEffect::Done(lat) => lat,
+                    AccessEffect::Stall(until) => until.saturating_sub(now),
+                    AccessEffect::SelfAborted => unreachable!("no tx in lock mode"),
+                };
+                self.cores[idx].ready_at = now + lat.max(1);
+            }
+            _ => {
+                if self.cores[idx].prog.nest() > 1 {
+                    self.cores[idx].prog.leave();
+                    self.cores[idx].prog.advance();
+                    self.cores[idx].ready_at = now + 1;
+                    return;
+                }
+                // Outermost end: ordered transactions wait for their turn.
+                if let Some(seq) = self.cores[idx].cur_ordered {
+                    if !self.gate.may_commit(seq) {
+                        // A gate-blocked LogTM transaction must advertise
+                        // itself as stalling, or the possible-cycle
+                        // heuristic could deadlock against it.
+                        if let (Backend::LogTm(l), Some(tx)) =
+                            (&mut self.backend, self.cores[idx].prog.cur_tx())
+                        {
+                            l.mark_stalling(tx);
+                        }
+                        self.stats.stall_cycles += self.cfg.retry_poll;
+                        self.cores[idx].ready_at = now + self.cfg.retry_poll;
+                        return;
+                    }
+                }
+                self.commit(idx, now);
+            }
+        }
+    }
+
+    fn commit(&mut self, idx: usize, now: Cycle) {
+        let tx = self.cores[idx].prog.cur_tx().expect("commit inside tx");
+        if trace_word().is_some() {
+            eprintln!("[ptm-trace] commit {tx} now={now}");
+        }
+        let pid = self.cores[idx].prog.pid();
+
+        // Logical commit + lazy cleanup in the backend (selection-vector
+        // toggling / XADT copy-back).
+        match &mut self.backend {
+            Backend::Ptm(p) => {
+                p.commit(tx, &mut self.mem, now, &mut self.bus);
+            }
+            Backend::Vtm(v) => {
+                let kernel = &self.kernel;
+                v.commit(
+                    tx,
+                    &mut self.mem,
+                    |va| {
+                        kernel
+                            .frame_of(pid, va.vpn())
+                            .map(|f| PhysBlock::new(f, va.block_in_page()))
+                    },
+                    now,
+                    &mut self.bus,
+                );
+            }
+            Backend::LogTm(l) => {
+                l.commit(tx, now, &mut self.bus);
+            }
+            _ => unreachable!("transactional mode"),
+        }
+
+        // Surviving in-cache speculative buffers promote to the committed
+        // location (for blocks that also overflowed earlier, the buffer is
+        // the newest version and correctly lands last).
+        let buffers = self.spec.drain_tx(tx);
+        for (block, specb) in buffers {
+            let (frame, mirror) = match &self.backend {
+                Backend::Ptm(p) => (p.committed_frame(block), p.mirror_location(block, Some(tx))),
+                _ => (block.frame(), None),
+            };
+            let tgt = block.on_frame(frame);
+            let mut data = self.mem.read_block(tgt);
+            ptm_mem::versions::apply_written_words(&mut data, &specb);
+            self.mem.write_block(tgt, &data);
+            // Word-granularity: a live co-writer's speculative page must
+            // see these committed words too (it never wrote them itself).
+            if let Some(mirror) = mirror {
+                let mut data = self.mem.read_block(mirror);
+                ptm_mem::versions::apply_written_words(&mut data, &specb);
+                self.mem.write_block(mirror, &data);
+            }
+        }
+
+        // Migration can leave committed lines on other cores: sweep every
+        // cache for this transaction's tags.
+        for cache in &mut self.caches {
+            commit_tx_lines(cache, tx);
+        }
+
+        if let Some(seq) = self.cores[idx].cur_ordered.take() {
+            self.gate.committed(seq);
+        }
+
+        let begin_pc = {
+            // The End op is at the current pc; Begin was recorded in the
+            // program before it rewound/advanced — recover it from the log
+            // by scanning backwards is fragile, so ask the program.
+            self.cores[idx].prog.tx_begin_pc().expect("tx in flight")
+        };
+        self.stats.commit_log.push(CommittedTx {
+            tx,
+            thread: self.cores[idx].prog.thread(),
+            core: idx,
+            begin_pc,
+            end_pc: self.current_pc(idx),
+            at: now,
+        });
+
+        self.cores[idx].prog.finish_tx();
+        self.cores[idx].prog.advance();
+        self.cores[idx].ready_at = now + self.cfg.commit_cost;
+        self.stats.commits += 1;
+    }
+
+    fn current_pc(&self, idx: usize) -> usize {
+        self.cores[idx].prog.pc()
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access path
+    // ------------------------------------------------------------------
+
+    fn step_access(
+        &mut self,
+        idx: usize,
+        now: Cycle,
+        va: VirtAddr,
+        kind: AccessKind,
+        write: Option<WriteVal>,
+    ) {
+        match self.access(idx, now, va, kind) {
+            AccessEffect::Done(latency) => {
+                // Functional data movement.
+                let pid = self.cores[idx].prog.pid();
+                let pa = self
+                    .kernel
+                    .frame_of(pid, va.vpn())
+                    .map(|f| PhysAddr::from_frame(f, va.page_offset()))
+                    .expect("page resident after successful access");
+                let tx = self.tx_context(idx);
+                let old = self.read_word_functional(tx, pid, va, pa);
+                self.cores[idx].checksum = self.cores[idx]
+                    .checksum
+                    .rotate_left(1)
+                    .wrapping_add(u64::from(old));
+                if let Some(w) = write {
+                    let value = match w {
+                        WriteVal::Const(v) => v,
+                        WriteVal::Delta(d) => old.wrapping_add(d as u32),
+                    };
+                    self.write_word_functional(tx, pid, va, pa, value);
+                    self.stats
+                        .pages
+                        .insert((pid, va.vpn()));
+                    if tx.is_some() {
+                        self.stats.tx_write_pages.insert((pid, va.vpn()));
+                    }
+                } else {
+                    self.stats.pages.insert((pid, va.vpn()));
+                }
+                self.stats.mem_ops += 1;
+                self.cores[idx].prog.advance();
+                self.cores[idx].ready_at = now + latency.max(1);
+            }
+            AccessEffect::Stall(until) => {
+                let until = until.max(now + 1);
+                if std::env::var("PTM_TRACE_STALL").is_ok() {
+                    eprintln!("[stall] core {idx} va {va} until {until} (now {now})");
+                }
+                self.stats.stall_cycles += until - now;
+                self.cores[idx].ready_at = until;
+            }
+            AccessEffect::SelfAborted => {
+                // ready_at was set by the abort path; nothing else to do.
+            }
+        }
+    }
+
+    /// Whether a cache hit still needs an overflow-structure conflict check
+    /// (word-granularity configurations only): the cached copy proves the
+    /// block was fetched conflict-free, but an overflowed transaction may
+    /// own *this word* if the access is the first touch of it.
+    fn hit_needs_overflow_check(
+        &self,
+        idx: usize,
+        block: PhysBlock,
+        word: WordIdx,
+        kind: AccessKind,
+        tx: Option<TxId>,
+    ) -> bool {
+        let Some(tx) = tx else {
+            // Non-transactional copies are invalidated whenever a writer
+            // upgrades, so a non-transactional hit is always current.
+            return false;
+        };
+        // Thread migration can leave this transaction's *own* tagged copies
+        // on other cores; a write through a fresh local copy must reclaim
+        // them via a coherence transaction (which displaces them into the
+        // overflow structures), or the transaction forks its own line.
+        if self.cfg.kernel.migrate_on_cs
+            && peek_remote_tx_use(&self.caches, idx, block)
+                .iter()
+                .any(|r| r.meta.tx == tx)
+        {
+            return true;
+        }
+        if !self.kind.granularity().word_in_cache() {
+            return false;
+        }
+        // Filters for the common case: a hit needs checking only if some
+        // *other* transaction still holds a preserved word-disjoint copy of
+        // the block in another cache, or has overflowed state for it (the
+        // §4.6 per-block overflow bit).
+        let remote_tx_copy = peek_remote_tx_use(&self.caches, idx, block)
+            .iter()
+            .any(|r| r.meta.tx != tx);
+        if !remote_tx_copy {
+            match &self.backend {
+                Backend::Ptm(p) => {
+                    if !p.has_overflows() || !p.block_overflowed(block, Some(tx)) {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        match self.caches[idx].line(block).and_then(|l| l.tx_meta()) {
+            Some(m) if m.tx == tx => match kind {
+                // Words this transaction already touched were checked when
+                // first accessed; a conflicting access since then would have
+                // snooped this line and resolved against it.
+                AccessKind::Read => !(m.read_words.get(word) || m.write_words.get(word)),
+                AccessKind::Write => !m.write_words.get(word),
+            },
+            _ => true,
+        }
+    }
+
+    /// The transaction context of a core, if it is inside one *and* the mode
+    /// is transactional.
+    fn tx_context(&self, idx: usize) -> Option<TxId> {
+        if self.kind.is_transactional() {
+            self.cores[idx].prog.cur_tx()
+        } else {
+            None
+        }
+    }
+
+    fn access(&mut self, idx: usize, now: Cycle, va: VirtAddr, kind: AccessKind) -> AccessEffect {
+        let pid = self.cores[idx].prog.pid();
+
+        // 1. Translate (TLB, page tables, demand paging).
+        let (pa, mut latency) = match self.kernel.translate(pid, va, &mut self.mem) {
+            Translation::Resident { pa, cost, allocated } => {
+                if let Some(frame) = allocated {
+                    if let Backend::Ptm(p) = &mut self.backend {
+                        p.on_page_alloc(frame);
+                    }
+                    self.rev_map.insert(frame, (pid, va.vpn()));
+                }
+                (pa, cost)
+            }
+            Translation::SwappedOut { slot, cost } => {
+                // Swap the page (and, under PTM, its shadow) back in, then
+                // retry the access after the fault latency.
+                let frame = match &mut self.backend {
+                    Backend::Ptm(p) => {
+                        let f = p.on_swap_in(slot, &mut self.mem, &mut self.kernel.swap);
+                        self.kernel.complete_swap_in(pid, va.vpn(), f);
+                        f
+                    }
+                    _ => self.kernel.plain_swap_in(pid, va.vpn(), slot, &mut self.mem),
+                };
+                self.rev_map.insert(frame, (pid, va.vpn()));
+                return AccessEffect::Stall(now + cost);
+            }
+        };
+        let block = pa.block();
+        let word = pa.word_in_block();
+        let tx = self.tx_context(idx);
+        let is_write = kind == AccessKind::Write;
+
+        if trace_word() == Some(va.word_aligned().0) {
+            eprintln!(
+                "[ptm-trace] core {idx} {tx:?} {kind:?} {va} probe={:?} now={now}",
+                self.caches[idx].probe(block)
+            );
+        }
+        // 2. Cache probe.
+        match self.caches[idx].probe(block) {
+            ProbeResult::Hit(hit) => {
+                latency += self.caches[idx].hit_latency(hit);
+                self.caches[idx].l2_stats_mut().hits += 1;
+
+                // After a thread migration the local cache may hold lines
+                // tagged by a *different* transaction (the thread that used
+                // to run here). Resolve any conflict, displace the line into
+                // the overflow structures, and retry the access.
+                let foreign = self.caches[idx]
+                    .line(block)
+                    .and_then(|l| l.tx_meta())
+                    .filter(|m| Some(m.tx) != tx)
+                    .copied();
+                if let Some(fm) = foreign {
+                    if self.is_live_tx(fm.tx) {
+                        let word_mode = self.kind.granularity().word_in_cache();
+                        let conflicts = match (kind, word_mode) {
+                            (AccessKind::Read, false) => fm.write,
+                            (AccessKind::Read, true) => fm.write_words.get(word),
+                            (AccessKind::Write, false) => fm.read || fm.write,
+                            (AccessKind::Write, true) => {
+                                fm.read_words.get(word) || fm.write_words.get(word)
+                            }
+                        };
+                        if conflicts {
+                            let requester_wins =
+                                tx.map(|me| me.wins_against(fm.tx)).unwrap_or(true);
+                            if requester_wins {
+                                self.abort_tx(fm.tx, now);
+                            } else {
+                                self.abort_tx(tx.expect("loser is transactional"), now);
+                                return AccessEffect::SelfAborted;
+                            }
+                        }
+                    }
+                    // Displace whatever survives (the foreign line, or
+                    // nothing if the abort already invalidated it).
+                    if let Some(line) = self.caches[idx].invalidate(block) {
+                        if line.is_transactional() {
+                            self.handle_eviction(line, now, tx);
+                        }
+                    }
+                    return match self.access(idx, now, va, kind) {
+                        AccessEffect::Done(extra) => AccessEffect::Done(latency + extra),
+                        other => other,
+                    };
+                }
+
+                let state = self.caches[idx].line(block).expect("hit").state();
+                if is_write && !state.allows_silent_write() {
+                    // Upgrade: a coherence transaction with full conflict
+                    // checking.
+                    match self.miss_conflicts_and_supply(idx, now, pid, va, block, word, kind, true)
+                    {
+                        Ok((extra, _outcome)) => latency += extra,
+                        Err(effect) => return effect,
+                    }
+                } else if self.hit_needs_overflow_check(idx, block, word, kind, tx) {
+                    // Word-granularity configurations: a silent hit may touch
+                    // a word some *overflowed* transaction wrote — the block
+                    // was displaced to the overflow structures by a word-
+                    // disjoint access, so the cached copy grants no rights to
+                    // this word. Consult the VTS like an ownership upgrade.
+                    match self.miss_conflicts_and_supply(idx, now, pid, va, block, word, kind, true)
+                    {
+                        Ok((extra, _outcome)) => latency += extra,
+                        Err(effect) => return effect,
+                    }
+                }
+                let line = self.caches[idx].touch_mut(block).expect("hit");
+                if is_write {
+                    line.set_state(ptm_cache::Moesi::Modified);
+                }
+                if let Some(tx) = tx {
+                    let meta = line.tx_meta_for(tx);
+                    match kind {
+                        AccessKind::Read => meta.record_read(word),
+                        AccessKind::Write => {
+                            meta.record_read(word);
+                            meta.record_write(word);
+                        }
+                    }
+                }
+                AccessEffect::Done(latency)
+            }
+            ProbeResult::Miss => {
+                self.caches[idx].l2_stats_mut().misses += 1;
+                let (extra, outcome) =
+                    match self.miss_conflicts_and_supply(idx, now, pid, va, block, word, kind, false)
+                    {
+                        Ok(v) => v,
+                        Err(effect) => return effect,
+                    };
+                latency += extra;
+
+                // Fill the line, tag it, and spill the victim.
+                let mut line = CacheLine::new(block, outcome.new_state);
+                if let Some(tx) = tx {
+                    let meta = line.tx_meta_for(tx);
+                    match kind {
+                        AccessKind::Read => meta.record_read(word),
+                        AccessKind::Write => {
+                            meta.record_read(word);
+                            meta.record_write(word);
+                        }
+                    }
+                }
+                if is_write {
+                    line.set_state(ptm_cache::Moesi::Modified);
+                }
+                let victim = self.caches[idx].fill(line);
+                if let Some(ev) = victim {
+                    self.handle_eviction(ev.line, now, tx);
+                }
+                AccessEffect::Done(latency)
+            }
+        }
+    }
+
+    /// Conflict detection + arbitration + MOESI supply for a miss/upgrade.
+    /// Returns the added latency and the supply outcome, or the control
+    /// effect when the access must stall or the requester aborted.
+    #[allow(clippy::too_many_arguments)]
+    fn miss_conflicts_and_supply(
+        &mut self,
+        idx: usize,
+        now: Cycle,
+        pid: ProcessId,
+        va: VirtAddr,
+        block: PhysBlock,
+        word: WordIdx,
+        kind: AccessKind,
+        upgrade: bool,
+    ) -> Result<(Cycle, ptm_cache::SupplyOutcome), AccessEffect> {
+        let tx = self.tx_context(idx);
+        let is_write = kind == AccessKind::Write;
+        let word_mode = self.kind.granularity().word_in_cache();
+
+        // a. Overflow-structure conflict check (only when anything has
+        //    overflowed — the paper's global overflow flag).
+        let mut deny_exclusive = false;
+        let mut conflicts: Vec<TxId> = Vec::new();
+        let mut check_done = now;
+        if self.backend.has_overflows() {
+            match &mut self.backend {
+                Backend::Ptm(p) => {
+                    let outcome = p.check_conflict(tx, block, word, kind, now, &mut self.bus);
+                    if let Some(until) = outcome.stall_until {
+                        return Err(AccessEffect::Stall(until));
+                    }
+                    deny_exclusive = outcome.deny_exclusive;
+                    conflicts = outcome.conflicts;
+                    check_done = check_done.max(outcome.done_at);
+                }
+                Backend::Vtm(v) => {
+                    let outcome = v.check_conflict(tx, (pid, va), word, kind, now, &mut self.bus);
+                    if let Some(until) = outcome.stall_until {
+                        return Err(AccessEffect::Stall(until));
+                    }
+                    deny_exclusive = outcome.deny_exclusive;
+                    conflicts = outcome.conflicts;
+                    check_done = check_done.max(outcome.done_at);
+                }
+                Backend::LogTm(l) => {
+                    // Stall-preferring resolution against sticky state.
+                    use crate::logtm::Resolution;
+                    let (res, owners) = l.resolve(tx, block, is_write);
+                    match (res, tx) {
+                        (Resolution::Proceed, _) => {}
+                        (Resolution::Stall, _) => {
+                            self.stats.stall_cycles += self.cfg.retry_poll;
+                            return Err(AccessEffect::Stall(now + self.cfg.retry_poll));
+                        }
+                        (Resolution::SelfAbort, Some(me)) => {
+                            self.abort_tx(me, now);
+                            return Err(AccessEffect::SelfAborted);
+                        }
+                        (Resolution::SelfAbort, None) => {
+                            for o in owners {
+                                self.abort_tx(o, now);
+                            }
+                        }
+                        (Resolution::AbortOwners(losers), _) => {
+                            for o in losers {
+                                self.abort_tx(o, now);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // b. In-cache conflict check via the snoop.
+        let remote = peek_remote_tx_use(&self.caches, idx, block);
+        for r in &remote {
+            if Some(r.meta.tx) == tx {
+                continue;
+            }
+            let hit = match (kind, word_mode) {
+                (AccessKind::Read, false) => r.meta.write,
+                (AccessKind::Read, true) => r.meta.write_words.get(word),
+                (AccessKind::Write, false) => r.meta.read || r.meta.write,
+                (AccessKind::Write, true) => {
+                    r.meta.read_words.get(word) || r.meta.write_words.get(word)
+                }
+            };
+            if hit {
+                conflicts.push(r.meta.tx);
+            }
+        }
+        conflicts.sort();
+        conflicts.dedup();
+        conflicts.retain(|c| self.is_live_tx(*c));
+
+        // Word-granularity bookkeeping: a write that finds another writer's
+        // live transactional state on this block (cached or overflowed)
+        // makes the block *contested* — even when the words are disjoint and
+        // no conflict arises. Contested blocks lose the whole-block /
+        // toggle fast path, whose snapshots could otherwise go stale.
+        if is_write && word_mode {
+            if let Backend::Ptm(p) = &mut self.backend {
+                let other_cached_writer = remote
+                    .iter()
+                    .any(|r| r.meta.write && Some(r.meta.tx) != tx);
+                let other_overflow_writer = p
+                    .overflow_writers(block)
+                    .into_iter()
+                    .any(|w| Some(w) != tx);
+                if other_cached_writer || other_overflow_writer {
+                    p.mark_contested(block);
+                }
+            }
+        }
+
+        // c. Arbitration. PTM/VTM: the oldest transaction always wins
+        //    (§4.4.3); non-transactional accesses always win (§2.3.3).
+        //    LogTM instead *stalls* the requester (NACK + retry) unless its
+        //    possible-cycle heuristic demands a self-abort.
+        if !conflicts.is_empty() {
+            if let Backend::LogTm(l) = &mut self.backend {
+                use crate::logtm::Resolution;
+                match l.arbitrate(tx, &conflicts) {
+                    Resolution::Proceed => unreachable!("conflicts are non-empty"),
+                    Resolution::Stall => {
+                        self.stats.stall_cycles += self.cfg.retry_poll;
+                        return Err(AccessEffect::Stall(now + self.cfg.retry_poll));
+                    }
+                    Resolution::SelfAbort => {
+                        let me = tx.expect("self-abort is transactional");
+                        self.abort_tx(me, now);
+                        return Err(AccessEffect::SelfAborted);
+                    }
+                    Resolution::AbortOwners(losers) => {
+                        for loser in losers {
+                            self.abort_tx(loser, now);
+                        }
+                    }
+                }
+            } else {
+                let requester_wins = match tx {
+                    None => true,
+                    Some(me) => conflicts.iter().all(|c| me.wins_against(*c)),
+                };
+                if requester_wins {
+                    for loser in conflicts {
+                        self.abort_tx(loser, now);
+                    }
+                } else {
+                    let me = tx.expect("loser is transactional");
+                    self.abort_tx(me, now);
+                    return Err(AccessEffect::SelfAborted);
+                }
+            }
+        }
+
+        // d. Remote readers of this block (in-cache, non-conflicting) also
+        //    deny exclusivity implicitly through `sharers_remaining`.
+        //
+        //    In the word-granularity configurations, remote transactional
+        //    lines with word-disjoint writes are *preserved* (sub-block
+        //    ownership); the hit path compensates by conflict-checking any
+        //    hit on a word the line's own masks do not cover.
+        let outcome = supply(
+            &mut self.caches,
+            idx,
+            block,
+            is_write,
+            !deny_exclusive,
+            word_mode,
+            tx,
+        );
+
+        // e. Displaced remote transactional lines overflow.
+        for line in outcome.displaced_tx.clone() {
+            self.handle_eviction(line, now, tx);
+        }
+
+        // f. Latency: the snoop round, plus the memory fetch when no cache
+        //    supplied the data, overlapped with the conflict check.
+        let mut done = self.bus.onchip_transfer(now);
+        if outcome.source == DataSource::Memory && !upgrade {
+            // PTM fetches from home or shadow per the Figure 3 XOR rule —
+            // same latency either way, but keep the selection observable.
+            if let Backend::Ptm(p) = &self.backend {
+                let _ = p.fetch_frame(block);
+            }
+            done = self.bus.mem_access(done);
+        }
+        done = done.max(check_done);
+        Ok((done.saturating_sub(now), outcome))
+    }
+
+    fn is_live_tx(&self, tx: TxId) -> bool {
+        match &self.backend {
+            Backend::Ptm(p) => p.is_live(tx),
+            Backend::Vtm(v) => v.is_live(tx),
+            Backend::LogTm(l) => l.is_live(tx),
+            _ => false,
+        }
+    }
+
+    /// Aborts `tx` wherever it runs: cache invalidation, buffer discard,
+    /// backend processing (Copy-PTM restore!), program rewind, backoff.
+    fn abort_tx(&mut self, tx: TxId, now: Cycle) {
+        if trace_word().is_some() {
+            eprintln!("[ptm-trace] abort {tx} now={now}");
+        }
+        let owner = *self.tx_owner.get(&tx).expect("abort of unknown tx");
+        // Migration can spread a transaction's lines across cores: sweep
+        // every cache.
+        for cache in &mut self.caches {
+            abort_tx_lines(cache, tx);
+        }
+        let _ = self.spec.drain_tx(tx);
+        let done = match &mut self.backend {
+            Backend::Ptm(p) => p.abort(tx, &mut self.mem, now, &mut self.bus),
+            Backend::Vtm(v) => v.abort(tx, now, &mut self.bus),
+            Backend::LogTm(l) => l.abort(tx, &mut self.mem, now, &mut self.bus),
+            _ => unreachable!("aborts only in transactional modes"),
+        };
+        let attempts = u64::from(self.cores[owner].prog.attempts());
+        self.cores[owner].prog.rewind();
+        let penalty = self.cfg.abort_penalty * (attempts + 1);
+        self.cores[owner].ready_at = self.cores[owner].ready_at.max(done + penalty);
+        self.stats.aborts += 1;
+    }
+
+    /// Spills an evicted (or coherence-displaced) line into the overflow
+    /// structures / writeback path. `requester` is the transaction whose
+    /// access displaced the line (it must never be aborted from here).
+    fn handle_eviction(&mut self, line: CacheLine, now: Cycle, requester: Option<TxId>) {
+        if let Some(w) = trace_word() {
+            if line.block().addr().page_offset() == (w as usize % 4096) & !63 {
+                eprintln!("[ptm-trace] evict {} meta={:?} now={now}", line.block(), line.tx_meta());
+            }
+        }
+        if let Some(meta) = line.tx_meta().copied() {
+            if !self.is_live_tx(meta.tx) {
+                // A line of an already-finished transaction (tags are lazily
+                // cleared only on its own core); drop it.
+                return;
+            }
+            // wd:cache (§6.3): coherence tracks words, but the overflowed
+            // structures track one writer per block — evicting a dirty
+            // block that a different live transaction already
+            // write-overflowed forces an abort.
+            let g = self.kind.granularity();
+            if meta.write && g.word_in_cache() && !g.word_in_memory() {
+                if let Backend::Ptm(p) = &self.backend {
+                    let other = p
+                        .overflow_writers(line.block())
+                        .into_iter()
+                        .find(|w| *w != meta.tx && self.is_live_tx(*w));
+                    if let Some(w) = other {
+                        let victim = if Some(w) == requester {
+                            meta.tx
+                        } else if Some(meta.tx) == requester {
+                            w
+                        } else if meta.tx.is_older_than(w) {
+                            w
+                        } else {
+                            meta.tx
+                        };
+                        self.abort_tx(victim, now);
+                        if victim == meta.tx {
+                            // The evicted line died with its transaction.
+                            return;
+                        }
+                    }
+                }
+            }
+            if let Backend::LogTm(l) = &mut self.backend {
+                // Eager versioning keeps no buffered data: the eviction only
+                // leaves sticky conflict state behind.
+                l.on_tx_eviction(&meta, line.block());
+                return;
+            }
+            let spec = if meta.write {
+                let s = self.spec.take(meta.tx, line.block());
+                assert!(
+                    s.is_some(),
+                    "dirty tx line without a spec buffer: tx={} block={} state={} requester={:?} live={}",
+                    meta.tx,
+                    line.block(),
+                    line.state(),
+                    requester,
+                    self.is_live_tx(meta.tx),
+                );
+                s
+            } else {
+                None
+            };
+            // Another live transaction may still hold a preserved
+            // word-disjoint write copy of this block in its cache.
+            let in_cache_cowriter = self
+                .caches
+                .iter()
+                .filter_map(|h| h.line(line.block()))
+                .filter_map(|l| l.tx_meta())
+                .any(|m| m.write && m.tx != meta.tx);
+            match &mut self.backend {
+                Backend::Ptm(p) => {
+                    p.on_tx_eviction(&meta, line.block(), spec.as_ref(), in_cache_cowriter, &mut self.mem, now, &mut self.bus);
+                }
+                Backend::Vtm(v) => {
+                    let (pid, vpn) = *self
+                        .rev_map
+                        .get(&line.block().frame())
+                        .expect("reverse mapping for evicted block");
+                    let vaddr = vpn.block_addr(line.block().index());
+                    let old = self.mem.read_block(line.block());
+                    v.on_tx_eviction(&meta, (pid, vaddr), spec.as_ref(), old, now, &mut self.bus);
+                }
+                _ => unreachable!("tx lines only exist in transactional modes"),
+            }
+        } else if line.state().is_dirty() {
+            // Non-transactional dirty writeback.
+            let _ = self.bus.mem_access(now);
+            if let Backend::Ptm(p) = &mut self.backend {
+                p.on_nontx_dirty_writeback(line.block(), &mut self.mem);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Functional data movement
+    // ------------------------------------------------------------------
+
+    fn read_word_functional(&self, tx: Option<TxId>, pid: ProcessId, va: VirtAddr, pa: PhysAddr) -> u32 {
+        let block = pa.block();
+        let word = pa.word_in_block();
+        if let Some(tx) = tx {
+            // Serve only words this transaction *wrote* from its buffer; the
+            // snapshot's other words can go stale under word-granularity
+            // conflict detection (a disjoint co-writer may commit between
+            // the snapshot and this read). The fallthrough view below is
+            // always current.
+            if let Some(v) = self.spec.read_own_written_word(tx, block, word) {
+                return v;
+            }
+            match &self.backend {
+                Backend::Ptm(p) => {
+                    let f = p.tx_view_frame(tx, block, word);
+                    self.mem.read_word(PhysAddr::from_frame(f, pa.page_offset()))
+                }
+                Backend::Vtm(v) => v
+                    .read_spec_word(tx, (pid, va), word)
+                    .unwrap_or_else(|| self.mem.read_word(pa)),
+                // Eager versioning: memory already holds the speculative
+                // value (isolation comes from conflict detection alone).
+                Backend::LogTm(_) => self.mem.read_word(pa),
+                _ => unreachable!("tx context implies a TM backend"),
+            }
+        } else {
+            match &self.backend {
+                Backend::Ptm(p) => {
+                    let f = p.committed_frame(block);
+                    self.mem.read_word(PhysAddr::from_frame(f, pa.page_offset()))
+                }
+                _ => self.mem.read_word(pa),
+            }
+        }
+    }
+
+    fn write_word_functional(
+        &mut self,
+        tx: Option<TxId>,
+        pid: ProcessId,
+        va: VirtAddr,
+        pa: PhysAddr,
+        value: u32,
+    ) {
+        let block = pa.block();
+        let word = pa.word_in_block();
+        if let Some(w) = trace_word() {
+            if va.block_aligned().0 == w & !63 {
+                eprintln!(
+                    "[ptm-trace] fwrite {tx:?} {va} = {value} (buffered={})",
+                    tx.map(|t| self.spec.has(t, block)).unwrap_or(false)
+                );
+            }
+        }
+        if let Some(tx) = tx {
+            if let Backend::LogTm(l) = &mut self.backend {
+                // Eager versioning: log the old value, update in place.
+                let old = self.mem.read_word(pa);
+                l.log_write(tx, pa, old);
+                self.mem.write_word(pa, value);
+                return;
+            }
+            let snapshot = if self.spec.has(tx, block) {
+                None
+            } else {
+                Some(self.tx_block_snapshot(tx, pid, va, block))
+            };
+            self.spec
+                .write_word(tx, block, word, value, || snapshot.expect("fresh buffer"));
+        } else {
+            match &self.backend {
+                Backend::Ptm(p) => {
+                    let f = p.committed_frame(block);
+                    let mirror = p.mirror_location(block, None);
+                    self.mem
+                        .write_word(PhysAddr::from_frame(f, pa.page_offset()), value);
+                    // Word-granularity: keep live speculative pages current
+                    // for words their owners never wrote (a word-disjoint
+                    // non-transactional write does not conflict there).
+                    if let Some(m) = mirror {
+                        self.mem
+                            .write_word(PhysAddr::from_frame(m.frame(), pa.page_offset()), value);
+                    }
+                }
+                _ => self.mem.write_word(pa, value),
+            }
+        }
+    }
+
+    /// The transaction's consistent view of a whole block (used to seed a
+    /// fresh speculative buffer).
+    fn tx_block_snapshot(&self, tx: TxId, pid: ProcessId, va: VirtAddr, block: PhysBlock) -> [u8; BLOCK_SIZE] {
+        match &self.backend {
+            Backend::Ptm(p) => {
+                let mut out = [0u8; BLOCK_SIZE];
+                let base_off = block.addr().page_offset();
+                for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {
+                    let f = p.tx_view_frame(tx, block, WordIdx(w));
+                    let pa = PhysAddr::from_frame(f, base_off + w as usize * WORD_SIZE);
+                    let v = self.mem.read_word(pa);
+                    out[w as usize * WORD_SIZE..(w as usize + 1) * WORD_SIZE]
+                        .copy_from_slice(&v.to_le_bytes());
+                }
+                out
+            }
+            Backend::Vtm(v) => {
+                let mut out = self.mem.read_block(block);
+                let va_block = va.block_aligned();
+                for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {
+                    if let Some(val) = v.read_spec_word(tx, (pid, va_block), WordIdx(w)) {
+                        if v.tx_wrote_overflowed(tx, (pid, va_block)) {
+                            out[w as usize * WORD_SIZE..(w as usize + 1) * WORD_SIZE]
+                                .copy_from_slice(&val.to_le_bytes());
+                        }
+                    }
+                }
+                out
+            }
+            _ => self.mem.read_block(block),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for tests and the reference executor
+    // ------------------------------------------------------------------
+
+    /// Reads the committed value of a word as the coherent, non-speculative
+    /// world would see it (used by the serial reference check).
+    pub fn read_committed(&self, pid: ProcessId, va: VirtAddr) -> u32 {
+        let Some(frame) = self.kernel.frame_of(pid, va.vpn()) else {
+            return 0;
+        };
+        let pa = PhysAddr::from_frame(frame, va.page_offset());
+        match &self.backend {
+            Backend::Ptm(p) => {
+                let f = p.committed_frame(pa.block());
+                self.mem.read_word(PhysAddr::from_frame(f, pa.page_offset()))
+            }
+            _ => self.mem.read_word(pa),
+        }
+    }
+
+    /// The programs' thread count.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Direct kernel access for scenario tests (shared mappings, forced
+    /// swaps).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Direct memory access for scenario tests.
+    pub fn memory_mut(&mut self) -> &mut PhysicalMemory {
+        &mut self.mem
+    }
+
+    /// Forces a page out to swap (backend-aware): PTM migrates its SPT
+    /// entry to the SIT and co-swaps the shadow page; other backends just
+    /// move the data. Scenario tests use this to exercise §3.5 paging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident.
+    pub fn force_swap_out(&mut self, pid: ProcessId, vpn: Vpn) {
+        match &mut self.backend {
+            Backend::Ptm(p) => {
+                let frame = self
+                    .kernel
+                    .frame_of(pid, vpn)
+                    .unwrap_or_else(|| panic!("swapping non-resident page {vpn}"));
+                let out = p.on_swap_out(frame, &mut self.mem, &mut self.kernel.swap);
+                self.kernel.mark_swapped(pid, vpn, out.home_slot);
+                self.rev_map.remove(&frame);
+            }
+            _ => {
+                let _ = self.kernel.plain_swap_out(pid, vpn, &mut self.mem);
+            }
+        }
+    }
+
+    /// Faults a page in ahead of execution (scenario setup: inter-process
+    /// sharing, forced swap tests) and registers it with the TM backend.
+    /// Returns the page's frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is swapped out.
+    pub fn prefault(&mut self, pid: ProcessId, va: VirtAddr) -> FrameId {
+        match self.kernel.translate(pid, va, &mut self.mem) {
+            Translation::Resident { pa, allocated, .. } => {
+                if let Some(frame) = allocated {
+                    if let Backend::Ptm(p) = &mut self.backend {
+                        p.on_page_alloc(frame);
+                    }
+                    self.rev_map.insert(frame, (pid, va.vpn()));
+                }
+                pa.frame()
+            }
+            Translation::SwappedOut { .. } => panic!("prefault hit a swapped page"),
+        }
+    }
+}
+
+/// The value side of a store operation.
+#[derive(Debug, Clone, Copy)]
+enum WriteVal {
+    Const(u32),
+    Delta(i32),
+}

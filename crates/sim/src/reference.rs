@@ -1,0 +1,255 @@
+//! The serial reference executor: the functional ground truth.
+//!
+//! Transactions are serializable iff there is some serial order with the
+//! same effect. Our machine records the actual commit order; this module
+//! replays the committed transactions *serially in that order* (with each
+//! thread's non-transactional operations in program order around them) on a
+//! plain word-level memory, and compares the result with the machine's
+//! committed memory. Any divergence means the TM implementation broke
+//! isolation or versioning — this is the backbone check behind the
+//! integration and property tests.
+
+use crate::ops::Op;
+use crate::program::ThreadProgram;
+use crate::stats::CommittedTx;
+use ptm_types::{ProcessId, VirtAddr};
+use std::collections::HashMap;
+
+/// A word-level reference memory.
+pub type RefMemory = HashMap<(ProcessId, VirtAddr), u32>;
+
+/// Executes one operation against the reference memory.
+fn exec_op(mem: &mut RefMemory, pid: ProcessId, op: Op) {
+    match op {
+        Op::Write(va, v) => {
+            mem.insert((pid, va.word_aligned()), v);
+        }
+        Op::Rmw(va, d) => {
+            let k = (pid, va.word_aligned());
+            let old = mem.get(&k).copied().unwrap_or(0);
+            mem.insert(k, old.wrapping_add(d as u32));
+        }
+        Op::Read(_) | Op::Begin { .. } | Op::End | Op::Compute(_) | Op::Barrier(_) => {}
+    }
+}
+
+/// Replays the programs serially: committed transactions in commit order,
+/// each preceded by its thread's pending non-transactional operations, and
+/// trailing non-transactional operations at the end. Returns the final
+/// word-level memory image.
+///
+/// Validity relies on the workload convention that *shared* data is only
+/// written inside transactions (or under locks); racy non-transactional
+/// writes to shared words would make the serial order ambiguous.
+pub fn serial_reference(programs: &[ThreadProgram], commit_log: &[CommittedTx]) -> RefMemory {
+    if commit_log.is_empty() {
+        // Lock-based / serial runs record no commit log: replay the
+        // programs phase-by-phase, honouring barrier alignment (threads may
+        // legitimately reuse shared words across barrier-separated phases).
+        return barrier_ordered_replay(programs);
+    }
+    let mut mem = RefMemory::new();
+    let mut done: Vec<usize> = vec![0; programs.len()];
+    // Transactions are attributed to *threads* (stable across core
+    // migration), not the cores they happened to commit on.
+    let index_of_thread = |c: &CommittedTx| {
+        programs
+            .iter()
+            .position(|p| p.thread() == c.thread)
+            .expect("commit log references a known thread")
+    };
+
+    for c in commit_log {
+        let i = index_of_thread(c);
+        let prog = &programs[i];
+        let pid = prog.pid();
+        // Non-transactional prefix (ops before the transaction's Begin).
+        while done[i] < c.begin_pc {
+            if let Some(op) = prog.op_at(done[i]) {
+                exec_op(&mut mem, pid, op);
+            }
+            done[i] += 1;
+        }
+        // The transaction body, atomically.
+        for pc in c.begin_pc..=c.end_pc {
+            if let Some(op) = prog.op_at(pc) {
+                exec_op(&mut mem, pid, op);
+            }
+        }
+        done[i] = c.end_pc + 1;
+    }
+
+    // Trailing non-transactional tails.
+    for (i, prog) in programs.iter().enumerate() {
+        let pid = prog.pid();
+        for pc in done[i]..prog.len() {
+            if let Some(op) = prog.op_at(pc) {
+                exec_op(&mut mem, pid, op);
+            }
+        }
+    }
+    mem
+}
+
+/// Replays programs with barrier synchronization but no transactional
+/// reordering: each thread runs to its next barrier, then all cross it
+/// together. Sound when, within any phase, cross-thread writes to the same
+/// word are commutative `Rmw`s or absent — the workload convention.
+fn barrier_ordered_replay(programs: &[ThreadProgram]) -> RefMemory {
+    let mut mem = RefMemory::new();
+    let mut pc: Vec<usize> = vec![0; programs.len()];
+    loop {
+        let mut progressed = false;
+        for (t, prog) in programs.iter().enumerate() {
+            while pc[t] < prog.len() {
+                match prog.op_at(pc[t]) {
+                    Some(Op::Barrier(_)) => break,
+                    Some(op) => {
+                        exec_op(&mut mem, prog.pid(), op);
+                        pc[t] += 1;
+                        progressed = true;
+                    }
+                    None => break,
+                }
+            }
+        }
+        // Everyone is at a barrier or finished: cross the barriers.
+        let mut all_done = true;
+        for (t, prog) in programs.iter().enumerate() {
+            if pc[t] < prog.len() {
+                all_done = false;
+                if matches!(prog.op_at(pc[t]), Some(Op::Barrier(_))) {
+                    pc[t] += 1;
+                    progressed = true;
+                }
+            }
+        }
+        if all_done {
+            return mem;
+        }
+        assert!(progressed, "barrier replay stuck (malformed barrier usage)");
+    }
+}
+
+/// A divergence between the machine and the serial reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mismatch {
+    /// The process and address that diverged.
+    pub key: (ProcessId, VirtAddr),
+    /// What the serial reference computed.
+    pub expected: u32,
+    /// What the machine's committed memory holds.
+    pub actual: u32,
+}
+
+/// Compares every word the reference wrote against the machine's committed
+/// memory. Returns all mismatches (empty means serializable).
+pub fn diff_against_machine(
+    machine: &crate::machine::Machine,
+    programs: &[ThreadProgram],
+) -> Vec<Mismatch> {
+    let reference = serial_reference(programs, &machine.stats().commit_log);
+    let mut mismatches: Vec<Mismatch> = reference
+        .into_iter()
+        .filter_map(|((pid, va), expected)| {
+            let actual = machine.read_committed(pid, va);
+            (actual != expected).then_some(Mismatch {
+                key: (pid, va),
+                expected,
+                actual,
+            })
+        })
+        .collect();
+    mismatches.sort_by_key(|m| m.key);
+    mismatches
+}
+
+/// Panics with a readable report if the machine diverged from the serial
+/// reference.
+///
+/// # Panics
+///
+/// Panics on any mismatch — the TM system violated serializability.
+pub fn assert_serializable(machine: &crate::machine::Machine, programs: &[ThreadProgram]) {
+    let mismatches = diff_against_machine(machine, programs);
+    assert!(
+        mismatches.is_empty(),
+        "machine diverged from serial reference under {}: {} mismatches, first: {:?}",
+        machine.kind(),
+        mismatches.len(),
+        mismatches.first()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_types::{ThreadId, TxId};
+
+    fn prog(pid: u16, thread: u32, ops: Vec<Op>) -> ThreadProgram {
+        ThreadProgram::new(ProcessId(pid), ThreadId(thread), ops)
+    }
+
+    fn begin() -> Op {
+        Op::Begin {
+            ordered: None,
+            lock: VirtAddr::new(0),
+        }
+    }
+
+    #[test]
+    fn rmw_accumulates_in_reference() {
+        let p = prog(0, 0, vec![
+            begin(),
+            Op::Rmw(VirtAddr::new(0x1000), 5),
+            Op::Rmw(VirtAddr::new(0x1000), 7),
+            Op::End,
+        ]);
+        let log = vec![CommittedTx { tx: TxId(0), thread: ThreadId(0), core: 0, begin_pc: 0, end_pc: 3, at: 1 }];
+        let mem = serial_reference(&[p], &log);
+        assert_eq!(mem[&(ProcessId(0), VirtAddr::new(0x1000))], 12);
+    }
+
+    #[test]
+    fn commit_order_decides_write_winner() {
+        let a = prog(0, 0, vec![begin(), Op::Write(VirtAddr::new(0x1000), 1), Op::End]);
+        let b = prog(0, 1, vec![begin(), Op::Write(VirtAddr::new(0x1000), 2), Op::End]);
+        let log = vec![
+            CommittedTx { tx: TxId(1), thread: ThreadId(1), core: 1, begin_pc: 0, end_pc: 2, at: 5 },
+            CommittedTx { tx: TxId(0), thread: ThreadId(0), core: 0, begin_pc: 0, end_pc: 2, at: 9 },
+        ];
+        let mem = serial_reference(&[a, b], &log);
+        assert_eq!(
+            mem[&(ProcessId(0), VirtAddr::new(0x1000))],
+            1,
+            "core 0 committed last"
+        );
+    }
+
+    #[test]
+    fn non_tx_prefix_runs_before_the_thread_transaction() {
+        let p = prog(0, 0, vec![
+            Op::Write(VirtAddr::new(0x2000), 10),
+            begin(),
+            Op::Rmw(VirtAddr::new(0x2000), 1),
+            Op::End,
+        ]);
+        let log = vec![CommittedTx { tx: TxId(0), thread: ThreadId(0), core: 0, begin_pc: 1, end_pc: 3, at: 1 }];
+        let mem = serial_reference(&[p], &log);
+        assert_eq!(mem[&(ProcessId(0), VirtAddr::new(0x2000))], 11);
+    }
+
+    #[test]
+    fn trailing_non_tx_ops_apply_last() {
+        let p = prog(0, 0, vec![Op::Write(VirtAddr::new(0x3000), 42)]);
+        let mem = serial_reference(&[p], &[]);
+        assert_eq!(mem[&(ProcessId(0), VirtAddr::new(0x3000))], 42);
+    }
+
+    #[test]
+    fn unaligned_addresses_fold_to_their_word() {
+        let p = prog(0, 0, vec![Op::Write(VirtAddr::new(0x1002), 9)]);
+        let mem = serial_reference(&[p], &[]);
+        assert_eq!(mem[&(ProcessId(0), VirtAddr::new(0x1000))], 9);
+    }
+}

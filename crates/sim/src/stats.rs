@@ -1,0 +1,118 @@
+//! Machine-level statistics — the raw material for Table 1.
+
+use ptm_types::{Cycle, ProcessId, ThreadId, TxId, Vpn};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A committed transaction, in commit order, with enough provenance to
+/// replay it serially (the reference executor's input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommittedTx {
+    /// The transaction.
+    pub tx: TxId,
+    /// The thread that ran it (stable across core migration).
+    pub thread: ThreadId,
+    /// The core it committed on.
+    pub core: usize,
+    /// Program index of the outermost `Begin`.
+    pub begin_pc: usize,
+    /// Program index of the final `End`.
+    pub end_pc: usize,
+    /// Commit cycle.
+    pub at: Cycle,
+}
+
+/// Counters accumulated over a machine run.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    /// Total simulated cycles (the slowest core's finish time).
+    pub cycles: Cycle,
+    /// Memory operations executed (committed or aborted work).
+    pub mem_ops: u64,
+    /// Transaction begin events (attempts, including retries).
+    pub begins: u64,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transaction attempts.
+    pub aborts: u64,
+    /// Cycles cores spent stalled on cleanup windows, ordered gates, lock
+    /// spins and swap faults.
+    pub stall_cycles: u64,
+    /// Unique pages touched (transactional and not) — Table 1's "pages".
+    pub pages: HashSet<(ProcessId, Vpn)>,
+    /// Unique pages updated by transactional writes — Table 1's "pg-x-wr".
+    pub tx_write_pages: HashSet<(ProcessId, Vpn)>,
+    /// L2 demand misses across all cores.
+    pub l2_misses: u64,
+    /// L2 evictions across all cores (Table 1's "mop/evict" denominator).
+    pub l2_evictions: u64,
+    /// Commit log, in commit order.
+    pub commit_log: Vec<CommittedTx>,
+}
+
+impl MachineStats {
+    /// Memory operations per L2 eviction (Table 1's last column); `f64::INFINITY`
+    /// when nothing was evicted.
+    pub fn mops_per_evict(&self) -> f64 {
+        if self.l2_evictions == 0 {
+            f64::INFINITY
+        } else {
+            self.mem_ops as f64 / self.l2_evictions as f64
+        }
+    }
+
+    /// Conservative shadow-page overhead (Table 1): the fraction of the
+    /// footprint that transactional writes could have shadowed.
+    pub fn conservative_overhead(&self) -> f64 {
+        if self.pages.is_empty() {
+            0.0
+        } else {
+            self.tx_write_pages.len() as f64 / self.pages.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles={} mem-ops={} begins={} commits={} aborts={} stalls={}",
+            self.cycles, self.mem_ops, self.begins, self.commits, self.aborts, self.stall_cycles
+        )?;
+        write!(
+            f,
+            "pages={} tx-write-pages={} ({:.1}% conservative) l2-miss={} evict={} mop/evict={:.1}",
+            self.pages.len(),
+            self.tx_write_pages.len(),
+            self.conservative_overhead() * 100.0,
+            self.l2_misses,
+            self.l2_evictions,
+            self.mops_per_evict()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mops_per_evict_handles_zero() {
+        let s = MachineStats::default();
+        assert!(s.mops_per_evict().is_infinite());
+    }
+
+    #[test]
+    fn conservative_overhead_is_a_fraction() {
+        let mut s = MachineStats::default();
+        s.pages.insert((ProcessId(0), Vpn(0)));
+        s.pages.insert((ProcessId(0), Vpn(1)));
+        s.tx_write_pages.insert((ProcessId(0), Vpn(0)));
+        assert!((s.conservative_overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", MachineStats::default()).is_empty());
+    }
+}

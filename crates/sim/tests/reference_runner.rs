@@ -1,0 +1,136 @@
+//! Reference-executor and runner edge cases.
+
+use ptm_sim::{
+    diff_against_machine, run, serial_reference, serialize_programs, speedup_vs_serial,
+    MachineConfig, Op, SystemKind, ThreadProgram,
+};
+use ptm_types::{Granularity, ProcessId, ThreadId, VirtAddr};
+
+fn begin(lock: u64) -> Op {
+    Op::Begin {
+        ordered: None,
+        lock: VirtAddr::new(lock),
+    }
+}
+
+#[test]
+fn empty_commit_log_replays_barrier_phases() {
+    // Serial/lock-style replay: writes to the same word across a barrier
+    // must respect phase order, not thread order.
+    let a = ThreadProgram::new(
+        ProcessId(0),
+        ThreadId(0),
+        vec![
+            Op::Barrier(0),
+            Op::Write(VirtAddr::new(0x1000), 2), // phase 2 (after barrier)
+        ],
+    );
+    let b = ThreadProgram::new(
+        ProcessId(0),
+        ThreadId(1),
+        vec![
+            Op::Write(VirtAddr::new(0x1000), 1), // phase 1 (before barrier)
+            Op::Barrier(0),
+        ],
+    );
+    let mem = serial_reference(&[a, b], &[]);
+    assert_eq!(
+        mem[&(ProcessId(0), VirtAddr::new(0x1000))],
+        2,
+        "phase-2 write wins even though thread 0 comes first"
+    );
+}
+
+#[test]
+fn reference_detects_injected_divergence() {
+    // Sanity of the oracle itself: corrupt the machine's memory after a run
+    // and the diff must notice.
+    let prog = ThreadProgram::new(
+        ProcessId(0),
+        ThreadId(0),
+        vec![begin(0x100), Op::Write(VirtAddr::new(0x2000), 7), Op::End],
+    );
+    let mut m = ptm_sim::Machine::new(
+        MachineConfig::default(),
+        SystemKind::SelectPtm(Granularity::Block),
+        vec![prog.clone()],
+    );
+    m.run();
+    assert!(diff_against_machine(&m, &[prog.clone()]).is_empty());
+
+    // Corrupt the committed word behind the system's back.
+    let frame = m.prefault(ProcessId(0), VirtAddr::new(0x2000));
+    let pa = ptm_types::PhysAddr::from_frame(frame, 0);
+    m.memory_mut().write_word(pa, 999);
+    let diffs = diff_against_machine(&m, &[prog]);
+    assert_eq!(diffs.len(), 1);
+    assert_eq!(diffs[0].expected, 7);
+    assert_eq!(diffs[0].actual, 999);
+}
+
+#[test]
+fn serialization_preserves_total_work() {
+    let programs: Vec<_> = (0..4)
+        .map(|t| {
+            ThreadProgram::new(
+                ProcessId(0),
+                ThreadId(t),
+                vec![begin(0x100), Op::Rmw(VirtAddr::new(0x3000), 1), Op::End, Op::Compute(5)],
+            )
+        })
+        .collect();
+    let serial = serialize_programs(&programs);
+    assert_eq!(serial.len(), 1);
+    assert_eq!(
+        serial[0].len(),
+        programs.iter().map(|p| p.len()).sum::<usize>()
+    );
+    // Running it serially produces the same totals.
+    let m = run(MachineConfig::default(), SystemKind::Serial, serial);
+    assert_eq!(m.read_committed(ProcessId(0), VirtAddr::new(0x3000)), 4);
+}
+
+#[test]
+fn speedup_helper_is_consistent_with_manual_runs() {
+    let programs: Vec<_> = (0..4)
+        .map(|t| {
+            let base = 0x100_0000 + t as u64 * 0x10_0000;
+            let mut ops = Vec::new();
+            for i in 0..50u64 {
+                ops.push(begin(0x100 + t as u64 * 64));
+                ops.push(Op::Rmw(VirtAddr::new(base + i * 64), 1));
+                ops.push(Op::Compute(30));
+                ops.push(Op::End);
+            }
+            ThreadProgram::new(ProcessId(0), ThreadId(t), ops)
+        })
+        .collect();
+    let kind = SystemKind::SelectPtm(Granularity::Block);
+    let (s, p, pct) = speedup_vs_serial(MachineConfig::default(), kind, programs.clone());
+    assert!(s > p, "disjoint work parallelizes");
+    assert!(pct > 0.0);
+    // Determinism: re-running reproduces the same numbers.
+    let (s2, p2, pct2) = speedup_vs_serial(MachineConfig::default(), kind, programs);
+    assert_eq!((s, p), (s2, p2));
+    assert_eq!(pct, pct2);
+}
+
+#[test]
+fn checksums_are_deterministic_and_order_sensitive() {
+    let mk = || {
+        vec![ThreadProgram::new(
+            ProcessId(0),
+            ThreadId(0),
+            vec![
+                begin(0x100),
+                Op::Write(VirtAddr::new(0x1000), 5),
+                Op::Read(VirtAddr::new(0x1000)),
+                Op::End,
+            ],
+        )]
+    };
+    let m1 = run(MachineConfig::default(), SystemKind::SelectPtm(Granularity::Block), mk());
+    let m2 = run(MachineConfig::default(), SystemKind::SelectPtm(Granularity::Block), mk());
+    assert_eq!(m1.checksums(), m2.checksums());
+    assert_ne!(m1.checksums()[0], 0, "reads fed the checksum");
+}

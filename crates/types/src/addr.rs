@@ -1,0 +1,401 @@
+//! Addresses and machine geometry.
+//!
+//! The geometry matches the paper's evaluation platform: 4 KiB pages,
+//! 64-byte cache blocks (so 64 blocks per page — one `u64` bit vector spans
+//! a page), and 4-byte words (16 words per block) for the word-granularity
+//! conflict-detection study of Figure 5.
+
+use std::fmt;
+
+/// Size of a virtual-memory page in bytes (4 KiB, as simulated in the paper).
+pub const PAGE_SIZE: usize = 4096;
+/// Size of a cache block in bytes (64 B, the paper's outermost block size).
+pub const BLOCK_SIZE: usize = 64;
+/// Number of cache blocks per page (64 — one bit of a `u64` per block).
+pub const BLOCKS_PER_PAGE: usize = PAGE_SIZE / BLOCK_SIZE;
+/// Size of a machine word in bytes (4 B, the granularity of Figure 5).
+pub const WORD_SIZE: usize = 4;
+/// Number of words per cache block (16).
+pub const WORDS_PER_BLOCK: usize = BLOCK_SIZE / WORD_SIZE;
+/// Number of words per page (1024).
+pub const WORDS_PER_PAGE: usize = PAGE_SIZE / WORD_SIZE;
+
+const PAGE_SHIFT: u32 = PAGE_SIZE.trailing_zeros();
+const BLOCK_SHIFT: u32 = BLOCK_SIZE.trailing_zeros();
+const WORD_SHIFT: u32 = WORD_SIZE.trailing_zeros();
+
+/// A virtual address in a simulated process address space.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_types::VirtAddr;
+///
+/// let va = VirtAddr::new(0x2000 + 0x4c);
+/// assert_eq!(va.vpn().0, 2);
+/// assert_eq!(va.block_in_page().0, 1);
+/// assert_eq!(va.word_in_block().0, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw 64-bit value.
+    pub fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// The virtual page number containing this address.
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    pub fn page_offset(self) -> usize {
+        (self.0 as usize) & (PAGE_SIZE - 1)
+    }
+
+    /// Index of the cache block within the page (0..64).
+    pub fn block_in_page(self) -> BlockIdx {
+        BlockIdx((self.page_offset() >> BLOCK_SHIFT) as u8)
+    }
+
+    /// Index of the word within the cache block (0..16).
+    pub fn word_in_block(self) -> WordIdx {
+        WordIdx(((self.page_offset() >> WORD_SHIFT) % WORDS_PER_BLOCK) as u8)
+    }
+
+    /// Index of the word within the page (0..1024).
+    pub fn word_in_page(self) -> usize {
+        self.page_offset() >> WORD_SHIFT
+    }
+
+    /// The address rounded down to its containing word.
+    pub fn word_aligned(self) -> VirtAddr {
+        VirtAddr(self.0 & !((WORD_SIZE as u64) - 1))
+    }
+
+    /// The address rounded down to its containing block.
+    pub fn block_aligned(self) -> VirtAddr {
+        VirtAddr(self.0 & !((BLOCK_SIZE as u64) - 1))
+    }
+
+    /// Offsets the address by `bytes`.
+    pub fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+/// A virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// The base virtual address of this page.
+    pub fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The address of the `block`-th cache block of the page.
+    pub fn block_addr(self, block: BlockIdx) -> VirtAddr {
+        VirtAddr((self.0 << PAGE_SHIFT) + ((block.0 as u64) << BLOCK_SHIFT))
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+/// A physical memory address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a frame and a byte offset within it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= PAGE_SIZE`.
+    pub fn from_frame(frame: FrameId, offset: usize) -> Self {
+        assert!(offset < PAGE_SIZE, "offset {offset} outside page");
+        PhysAddr(((frame.0 as u64) << PAGE_SHIFT) | offset as u64)
+    }
+
+    /// The physical frame (page) containing this address.
+    pub fn frame(self) -> FrameId {
+        FrameId((self.0 >> PAGE_SHIFT) as u32)
+    }
+
+    /// Byte offset within the frame.
+    pub fn page_offset(self) -> usize {
+        (self.0 as usize) & (PAGE_SIZE - 1)
+    }
+
+    /// Index of the cache block within the frame.
+    pub fn block_in_page(self) -> BlockIdx {
+        BlockIdx((self.page_offset() >> BLOCK_SHIFT) as u8)
+    }
+
+    /// The physical block containing this address.
+    pub fn block(self) -> PhysBlock {
+        PhysBlock::new(self.frame(), self.block_in_page())
+    }
+
+    /// Index of the word within the cache block (0..16).
+    pub fn word_in_block(self) -> WordIdx {
+        WordIdx(((self.page_offset() >> WORD_SHIFT) % WORDS_PER_BLOCK) as u8)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+/// A physical page frame number.
+///
+/// PTM's Shadow Page Table is indexed by `FrameId`; the Swap Index Table by
+/// [`SwapSlot`]. The paper calls these the "physical page number" and the
+/// "swap index number".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FrameId(pub u32);
+
+impl FrameId {
+    /// The base physical address of this frame.
+    pub fn base(self) -> PhysAddr {
+        PhysAddr((self.0 as u64) << PAGE_SHIFT)
+    }
+
+    /// The physical address of the `block`-th cache block of the frame.
+    pub fn block_addr(self, block: BlockIdx) -> PhysAddr {
+        PhysAddr(((self.0 as u64) << PAGE_SHIFT) + ((block.0 as u64) << BLOCK_SHIFT))
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame:{:#x}", self.0)
+    }
+}
+
+/// A slot in the simulated swap file.
+///
+/// When the operating system swaps a home page out, its Shadow Page Table
+/// entry is moved to the Swap Index Table, indexed by this slot number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SwapSlot(pub u32);
+
+impl fmt::Display for SwapSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "swap:{:#x}", self.0)
+    }
+}
+
+/// Index of a cache block within a page (0..[`BLOCKS_PER_PAGE`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockIdx(pub u8);
+
+impl BlockIdx {
+    /// Iterates over all block indices of a page.
+    pub fn all() -> impl Iterator<Item = BlockIdx> {
+        (0..BLOCKS_PER_PAGE as u8).map(BlockIdx)
+    }
+}
+
+impl fmt::Display for BlockIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:{}", self.0)
+    }
+}
+
+/// Index of a word within a cache block (0..[`WORDS_PER_BLOCK`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WordIdx(pub u8);
+
+impl fmt::Display for WordIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "word:{}", self.0)
+    }
+}
+
+/// A physical cache-block address: a frame plus a block index within it.
+///
+/// This is the granularity at which the coherence protocol, the caches, and
+/// PTM's conflict detection all operate.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_types::{BlockIdx, FrameId, PhysBlock};
+///
+/// let b = PhysBlock::new(FrameId(7), BlockIdx(3));
+/// assert_eq!(b.frame(), FrameId(7));
+/// assert_eq!(b.index(), BlockIdx(3));
+/// assert_eq!(b.addr().page_offset(), 3 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysBlock {
+    frame: FrameId,
+    block: BlockIdx,
+}
+
+impl PhysBlock {
+    /// Creates a physical block address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range for a page.
+    pub fn new(frame: FrameId, block: BlockIdx) -> Self {
+        assert!(
+            (block.0 as usize) < BLOCKS_PER_PAGE,
+            "block index {} out of range",
+            block.0
+        );
+        PhysBlock { frame, block }
+    }
+
+    /// The frame this block lives in.
+    pub fn frame(self) -> FrameId {
+        self.frame
+    }
+
+    /// The block index within the frame.
+    pub fn index(self) -> BlockIdx {
+        self.block
+    }
+
+    /// The base physical address of the block.
+    pub fn addr(self) -> PhysAddr {
+        self.frame.block_addr(self.block)
+    }
+
+    /// The same block offset relocated onto another frame.
+    ///
+    /// PTM keeps the speculative and non-speculative versions of a block at
+    /// the *same page offset* on the home and shadow pages; this is the
+    /// relocation that rule implies.
+    pub fn on_frame(self, frame: FrameId) -> PhysBlock {
+        PhysBlock {
+            frame,
+            block: self.block,
+        }
+    }
+}
+
+impl fmt::Display for PhysBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.frame, self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants_are_consistent() {
+        assert_eq!(PAGE_SIZE % BLOCK_SIZE, 0);
+        assert_eq!(BLOCK_SIZE % WORD_SIZE, 0);
+        assert_eq!(BLOCKS_PER_PAGE, 64);
+        assert_eq!(WORDS_PER_BLOCK, 16);
+        assert_eq!(WORDS_PER_PAGE, BLOCKS_PER_PAGE * WORDS_PER_BLOCK);
+    }
+
+    #[test]
+    fn virt_addr_decomposition() {
+        let va = VirtAddr::new(3 * PAGE_SIZE as u64 + 5 * BLOCK_SIZE as u64 + 2 * WORD_SIZE as u64);
+        assert_eq!(va.vpn(), Vpn(3));
+        assert_eq!(va.block_in_page(), BlockIdx(5));
+        assert_eq!(va.word_in_block(), WordIdx(2));
+        assert_eq!(va.word_in_page(), 5 * WORDS_PER_BLOCK + 2);
+    }
+
+    #[test]
+    fn virt_addr_alignment() {
+        let va = VirtAddr::new(0x1237);
+        assert_eq!(va.word_aligned().0, 0x1234);
+        assert_eq!(va.block_aligned().0, 0x1200);
+    }
+
+    #[test]
+    fn vpn_round_trip() {
+        let vpn = Vpn(42);
+        assert_eq!(vpn.base().vpn(), vpn);
+        let addr = vpn.block_addr(BlockIdx(63));
+        assert_eq!(addr.vpn(), vpn);
+        assert_eq!(addr.block_in_page(), BlockIdx(63));
+    }
+
+    #[test]
+    fn phys_addr_decomposition() {
+        let pa = PhysAddr::from_frame(FrameId(9), 17 * BLOCK_SIZE + WORD_SIZE);
+        assert_eq!(pa.frame(), FrameId(9));
+        assert_eq!(pa.block_in_page(), BlockIdx(17));
+        assert_eq!(pa.word_in_block(), WordIdx(1));
+        assert_eq!(pa.block(), PhysBlock::new(FrameId(9), BlockIdx(17)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside page")]
+    fn phys_addr_rejects_large_offset() {
+        let _ = PhysAddr::from_frame(FrameId(0), PAGE_SIZE);
+    }
+
+    #[test]
+    fn frame_block_addr_round_trip() {
+        let f = FrameId(100);
+        for b in BlockIdx::all() {
+            let pa = f.block_addr(b);
+            assert_eq!(pa.frame(), f);
+            assert_eq!(pa.block_in_page(), b);
+        }
+    }
+
+    #[test]
+    fn phys_block_relocation_preserves_offset() {
+        let b = PhysBlock::new(FrameId(1), BlockIdx(33));
+        let moved = b.on_frame(FrameId(2));
+        assert_eq!(moved.index(), b.index());
+        assert_eq!(moved.frame(), FrameId(2));
+        assert_eq!(moved.addr().page_offset(), b.addr().page_offset());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn phys_block_rejects_bad_index() {
+        let _ = PhysBlock::new(FrameId(0), BlockIdx(BLOCKS_PER_PAGE as u8));
+    }
+
+    #[test]
+    fn block_idx_all_covers_page() {
+        let v: Vec<_> = BlockIdx::all().collect();
+        assert_eq!(v.len(), BLOCKS_PER_PAGE);
+        assert_eq!(v[0], BlockIdx(0));
+        assert_eq!(v[63], BlockIdx(63));
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert!(!format!("{}", VirtAddr::new(0)).is_empty());
+        assert!(!format!("{}", Vpn(0)).is_empty());
+        assert!(!format!("{}", PhysAddr(0)).is_empty());
+        assert!(!format!("{}", FrameId(0)).is_empty());
+        assert!(!format!("{}", SwapSlot(0)).is_empty());
+        assert!(!format!("{}", PhysBlock::default()).is_empty());
+    }
+}

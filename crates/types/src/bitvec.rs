@@ -1,0 +1,436 @@
+//! The fixed-size bit vectors PTM packs per-page transactional state into.
+//!
+//! PTM reduces each overflowed cache block's state to boolean bits packed
+//! into per-page vectors (§1): the **selection vector** and the TAV
+//! **read/write access vectors** are [`BlockVec`]s (one bit per 64-byte block,
+//! 64 blocks per page — exactly a `u64`). The word-granularity study of
+//! Figure 5 needs per-*word* vectors, [`WordVec`] (1024 bits per page), and
+//! per-block word masks, [`WordMask`] (16 bits).
+
+use crate::addr::{BlockIdx, WordIdx, BLOCKS_PER_PAGE, WORDS_PER_BLOCK, WORDS_PER_PAGE};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor};
+
+/// One bit per cache block of a page (64 bits).
+///
+/// Used for selection vectors, TAV read/write vectors, and the VTS summary
+/// vectors.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_types::{BlockIdx, BlockVec};
+///
+/// let mut v = BlockVec::EMPTY;
+/// v.set(BlockIdx(5));
+/// assert!(v.get(BlockIdx(5)));
+/// assert_eq!(v.count(), 1);
+/// v.toggle(BlockIdx(5));
+/// assert!(v.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BlockVec(pub u64);
+
+impl BlockVec {
+    /// The vector with no bits set.
+    pub const EMPTY: BlockVec = BlockVec(0);
+    /// The vector with every block bit set.
+    pub const FULL: BlockVec = BlockVec(u64::MAX);
+
+    /// Returns the bit for `block`.
+    pub fn get(self, block: BlockIdx) -> bool {
+        debug_assert!((block.0 as usize) < BLOCKS_PER_PAGE);
+        (self.0 >> block.0) & 1 == 1
+    }
+
+    /// Sets the bit for `block`.
+    pub fn set(&mut self, block: BlockIdx) {
+        debug_assert!((block.0 as usize) < BLOCKS_PER_PAGE);
+        self.0 |= 1u64 << block.0;
+    }
+
+    /// Clears the bit for `block`.
+    pub fn clear(&mut self, block: BlockIdx) {
+        debug_assert!((block.0 as usize) < BLOCKS_PER_PAGE);
+        self.0 &= !(1u64 << block.0);
+    }
+
+    /// Toggles the bit for `block` — the Select-PTM commit operation on a
+    /// selection vector.
+    pub fn toggle(&mut self, block: BlockIdx) {
+        debug_assert!((block.0 as usize) < BLOCKS_PER_PAGE);
+        self.0 ^= 1u64 << block.0;
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of set bits.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates over the indices of set bits, ascending.
+    pub fn iter(self) -> BlockVecIter {
+        BlockVecIter(self.0)
+    }
+
+    /// Returns `true` if any bit of `self` overlaps a bit of `other`.
+    pub fn intersects(self, other: BlockVec) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl BitOr for BlockVec {
+    type Output = BlockVec;
+    fn bitor(self, rhs: Self) -> Self {
+        BlockVec(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for BlockVec {
+    type Output = BlockVec;
+    fn bitand(self, rhs: Self) -> Self {
+        BlockVec(self.0 & rhs.0)
+    }
+}
+
+impl BitXor for BlockVec {
+    type Output = BlockVec;
+    fn bitxor(self, rhs: Self) -> Self {
+        BlockVec(self.0 ^ rhs.0)
+    }
+}
+
+impl fmt::Binary for BlockVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Display for BlockVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blocks[{:#018x}]", self.0)
+    }
+}
+
+impl FromIterator<BlockIdx> for BlockVec {
+    fn from_iter<I: IntoIterator<Item = BlockIdx>>(iter: I) -> Self {
+        let mut v = BlockVec::EMPTY;
+        for b in iter {
+            v.set(b);
+        }
+        v
+    }
+}
+
+/// Iterator over set block indices of a [`BlockVec`].
+#[derive(Debug, Clone)]
+pub struct BlockVecIter(u64);
+
+impl Iterator for BlockVecIter {
+    type Item = BlockIdx;
+
+    fn next(&mut self) -> Option<BlockIdx> {
+        if self.0 == 0 {
+            return None;
+        }
+        let tz = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(BlockIdx(tz as u8))
+    }
+}
+
+/// One bit per 4-byte word of a cache block (16 bits).
+///
+/// Tracks which words of a block a transaction touched, for the
+/// word-granularity coherence of Figure 5 (`wd:cache`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WordMask(pub u16);
+
+impl WordMask {
+    /// The mask with no words set.
+    pub const EMPTY: WordMask = WordMask(0);
+    /// The mask with every word of the block set.
+    pub const FULL: WordMask = WordMask(u16::MAX);
+
+    /// Returns the bit for `word`.
+    pub fn get(self, word: WordIdx) -> bool {
+        debug_assert!((word.0 as usize) < WORDS_PER_BLOCK);
+        (self.0 >> word.0) & 1 == 1
+    }
+
+    /// Sets the bit for `word`.
+    pub fn set(&mut self, word: WordIdx) {
+        debug_assert!((word.0 as usize) < WORDS_PER_BLOCK);
+        self.0 |= 1u16 << word.0;
+    }
+
+    /// Returns `true` if no word bit is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if any word overlaps `other` — a *true* (word-level)
+    /// conflict, as opposed to block-level false sharing.
+    pub fn intersects(self, other: WordMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Number of set word bits.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl BitOr for WordMask {
+    type Output = WordMask;
+    fn bitor(self, rhs: Self) -> Self {
+        WordMask(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for WordMask {
+    type Output = WordMask;
+    fn bitand(self, rhs: Self) -> Self {
+        WordMask(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for WordMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "words[{:#06x}]", self.0)
+    }
+}
+
+/// One bit per 4-byte word of a page (1024 bits).
+///
+/// The `wd:cache+mem` configuration of Figure 5 tracks *overflowed*
+/// transactional state at word granularity too: the TAV read/write vectors
+/// become `WordVec`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WordVec([u64; WORDS_PER_PAGE / 64]);
+
+impl WordVec {
+    /// The vector with no bits set.
+    pub const EMPTY: WordVec = WordVec([0; WORDS_PER_PAGE / 64]);
+
+    /// Returns the bit for the `word`-th word of the page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= WORDS_PER_PAGE`.
+    pub fn get(self, word: usize) -> bool {
+        assert!(word < WORDS_PER_PAGE, "word index {word} out of range");
+        (self.0[word / 64] >> (word % 64)) & 1 == 1
+    }
+
+    /// Sets the bit for the `word`-th word of the page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= WORDS_PER_PAGE`.
+    pub fn set(&mut self, word: usize) {
+        assert!(word < WORDS_PER_PAGE, "word index {word} out of range");
+        self.0[word / 64] |= 1u64 << (word % 64);
+    }
+
+    /// Sets the bits for the words of `block` given by `mask`.
+    pub fn set_block_words(&mut self, block: BlockIdx, mask: WordMask) {
+        let base = block.0 as usize * WORDS_PER_BLOCK;
+        for w in 0..WORDS_PER_BLOCK {
+            if mask.get(WordIdx(w as u8)) {
+                self.set(base + w);
+            }
+        }
+    }
+
+    /// Extracts the word mask for a single block.
+    pub fn block_words(self, block: BlockIdx) -> WordMask {
+        let base = block.0 as usize * WORDS_PER_BLOCK;
+        let lane = self.0[base / 64];
+        let shift = base % 64;
+        WordMask(((lane >> shift) & 0xffff) as u16)
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if any word bit overlaps `other`.
+    pub fn intersects(self, other: WordVec) -> bool {
+        self.0.iter().zip(other.0.iter()).any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of set word bits.
+    pub fn count(self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Collapses to block granularity: a block bit is set if any of its
+    /// word bits is.
+    pub fn to_block_vec(self) -> BlockVec {
+        let mut v = BlockVec::EMPTY;
+        for b in BlockIdx::all() {
+            if !self.block_words(b).is_empty() {
+                v.set(b);
+            }
+        }
+        v
+    }
+}
+
+impl Default for WordVec {
+    fn default() -> Self {
+        WordVec::EMPTY
+    }
+}
+
+impl BitOr for WordVec {
+    type Output = WordVec;
+    fn bitor(self, rhs: Self) -> Self {
+        let mut out = self;
+        for (a, b) in out.0.iter_mut().zip(rhs.0.iter()) {
+            *a |= b;
+        }
+        out
+    }
+}
+
+impl fmt::Display for WordVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wordvec[{} set]", self.count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_vec_set_get_clear() {
+        let mut v = BlockVec::EMPTY;
+        assert!(v.is_empty());
+        v.set(BlockIdx(0));
+        v.set(BlockIdx(63));
+        assert!(v.get(BlockIdx(0)));
+        assert!(v.get(BlockIdx(63)));
+        assert!(!v.get(BlockIdx(32)));
+        assert_eq!(v.count(), 2);
+        v.clear(BlockIdx(0));
+        assert!(!v.get(BlockIdx(0)));
+        assert_eq!(v.count(), 1);
+    }
+
+    #[test]
+    fn block_vec_toggle_is_involutive() {
+        let mut v = BlockVec(0xdead_beef);
+        let before = v;
+        v.toggle(BlockIdx(7));
+        assert_ne!(v, before);
+        v.toggle(BlockIdx(7));
+        assert_eq!(v, before);
+    }
+
+    #[test]
+    fn block_vec_iter_yields_ascending_set_bits() {
+        let v: BlockVec = [BlockIdx(3), BlockIdx(1), BlockIdx(60)].into_iter().collect();
+        let got: Vec<_> = v.iter().collect();
+        assert_eq!(got, vec![BlockIdx(1), BlockIdx(3), BlockIdx(60)]);
+    }
+
+    #[test]
+    fn block_vec_bit_ops() {
+        let a = BlockVec(0b1100);
+        let b = BlockVec(0b1010);
+        assert_eq!((a | b).0, 0b1110);
+        assert_eq!((a & b).0, 0b1000);
+        assert_eq!((a ^ b).0, 0b0110);
+        assert!(a.intersects(b));
+        assert!(!BlockVec(0b01).intersects(BlockVec(0b10)));
+    }
+
+    #[test]
+    fn word_mask_basics() {
+        let mut m = WordMask::EMPTY;
+        m.set(WordIdx(0));
+        m.set(WordIdx(15));
+        assert!(m.get(WordIdx(0)));
+        assert!(m.get(WordIdx(15)));
+        assert_eq!(m.count(), 2);
+        assert!(m.intersects(WordMask(0x8000)));
+        assert!(!m.intersects(WordMask(0x0002)));
+    }
+
+    #[test]
+    fn word_vec_set_get_across_lanes() {
+        let mut v = WordVec::EMPTY;
+        // Word 100 lives in lane 1 (bits 64..128).
+        v.set(100);
+        assert!(v.get(100));
+        assert!(!v.get(99));
+        assert_eq!(v.count(), 1);
+    }
+
+    #[test]
+    fn word_vec_block_words_round_trip() {
+        let mut v = WordVec::EMPTY;
+        let mask = WordMask(0b1010_0000_0000_0101);
+        v.set_block_words(BlockIdx(17), mask);
+        assert_eq!(v.block_words(BlockIdx(17)), mask);
+        assert_eq!(v.block_words(BlockIdx(16)), WordMask::EMPTY);
+        assert_eq!(v.count(), mask.count());
+    }
+
+    #[test]
+    fn word_vec_collapses_to_block_vec() {
+        let mut v = WordVec::EMPTY;
+        v.set_block_words(BlockIdx(2), WordMask(0x1));
+        v.set_block_words(BlockIdx(40), WordMask(0x8000));
+        let bv = v.to_block_vec();
+        assert!(bv.get(BlockIdx(2)));
+        assert!(bv.get(BlockIdx(40)));
+        assert_eq!(bv.count(), 2);
+    }
+
+    #[test]
+    fn word_vec_or_and_intersect() {
+        let mut a = WordVec::EMPTY;
+        let mut b = WordVec::EMPTY;
+        a.set(5);
+        b.set(5);
+        b.set(900);
+        assert!(a.intersects(b));
+        let c = a | b;
+        assert!(c.get(5));
+        assert!(c.get(900));
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn word_vec_rejects_out_of_range() {
+        let mut v = WordVec::EMPTY;
+        v.set(WORDS_PER_PAGE);
+    }
+
+    #[test]
+    fn false_sharing_is_distinguishable_at_word_level() {
+        // Two transactions touching different words of the same block:
+        // block-level vectors conflict, word-level masks do not.
+        let mut t1 = WordMask::EMPTY;
+        let mut t2 = WordMask::EMPTY;
+        t1.set(WordIdx(0));
+        t2.set(WordIdx(8));
+        assert!(!t1.intersects(t2), "no true conflict at word granularity");
+
+        let mut b1 = BlockVec::EMPTY;
+        let mut b2 = BlockVec::EMPTY;
+        b1.set(BlockIdx(4));
+        b2.set(BlockIdx(4));
+        assert!(b1.intersects(b2), "false conflict at block granularity");
+    }
+}

@@ -1,0 +1,71 @@
+//! Core types shared by every crate in the PTM reproduction.
+//!
+//! This crate defines the *vocabulary* of the system reproduced from
+//! "Unbounded Page-Based Transactional Memory" (ASPLOS 2006): virtual and
+//! physical addresses, machine geometry (4 KiB pages, 64-byte blocks,
+//! 4-byte words), transaction / core / thread identifiers, and the fixed-size
+//! bit vectors PTM packs its per-page transactional state into.
+//!
+//! # Examples
+//!
+//! ```
+//! use ptm_types::{VirtAddr, BLOCKS_PER_PAGE, PAGE_SIZE};
+//!
+//! let va = VirtAddr::new(0x1234_5678);
+//! assert_eq!(va.page_offset() as u64, 0x678);
+//! assert_eq!(PAGE_SIZE, 4096);
+//! assert_eq!(BLOCKS_PER_PAGE, 64);
+//! ```
+
+pub mod addr;
+pub mod bitvec;
+pub mod ids;
+
+pub use addr::{
+    BlockIdx, FrameId, PhysAddr, PhysBlock, SwapSlot, VirtAddr, Vpn, WordIdx, BLOCKS_PER_PAGE,
+    BLOCK_SIZE, PAGE_SIZE, WORDS_PER_BLOCK, WORDS_PER_PAGE, WORD_SIZE,
+};
+pub use bitvec::{BlockVec, WordMask, WordVec};
+pub use ids::{CoreId, ProcessId, ThreadId, TxId};
+
+/// Conflict-detection granularity (§6.3, Figure 5).
+///
+/// * [`Granularity::Block`] — everything at 64-byte block granularity
+///   (`blk-only` in the paper).
+/// * [`Granularity::WordCache`] — cache coherence tracks per-word access
+///   masks, but overflowed PTM structures stay block-granular (`wd:cache`).
+///   Evicting a block with multiple word-writers still aborts, because the
+///   overflow structures can record only one writer per block.
+/// * [`Granularity::WordCacheMem`] — both the caches and the overflowed
+///   structures track words (`wd:cache+mem`), eliminating false conflicts
+///   entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Granularity {
+    /// Block-granular conflicts everywhere (the paper's default).
+    #[default]
+    Block,
+    /// Word-granular in-cache conflicts, block-granular overflow state.
+    WordCache,
+    /// Word-granular conflicts in cache and in overflow state.
+    WordCacheMem,
+}
+
+impl Granularity {
+    /// Whether in-cache conflict checks compare word masks.
+    pub fn word_in_cache(self) -> bool {
+        !matches!(self, Granularity::Block)
+    }
+
+    /// Whether overflowed (TAV) state tracks word vectors.
+    pub fn word_in_memory(self) -> bool {
+        matches!(self, Granularity::WordCacheMem)
+    }
+}
+
+/// A simulated clock cycle count.
+///
+/// Cycles are plain `u64` values throughout the simulator: they participate
+/// in heavy arithmetic (latency accumulation, occupancy windows) where a
+/// newtype would add friction without preventing realistic bugs — addresses,
+/// the other numeric quantity in play, are already newtyped.
+pub type Cycle = u64;

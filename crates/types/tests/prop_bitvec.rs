@@ -1,0 +1,123 @@
+//! Model-based property tests for the bit vectors PTM state is packed into.
+
+use proptest::prelude::*;
+use ptm_types::{BlockIdx, BlockVec, VirtAddr, WordIdx, WordMask, WordVec, BLOCKS_PER_PAGE, WORDS_PER_BLOCK, WORDS_PER_PAGE};
+use std::collections::HashSet;
+
+fn block_idx() -> impl Strategy<Value = BlockIdx> {
+    (0..BLOCKS_PER_PAGE as u8).prop_map(BlockIdx)
+}
+
+#[derive(Debug, Clone)]
+enum VecOp {
+    Set(BlockIdx),
+    Clear(BlockIdx),
+    Toggle(BlockIdx),
+}
+
+fn vec_op() -> impl Strategy<Value = VecOp> {
+    prop_oneof![
+        block_idx().prop_map(VecOp::Set),
+        block_idx().prop_map(VecOp::Clear),
+        block_idx().prop_map(VecOp::Toggle),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn block_vec_matches_set_model(ops in prop::collection::vec(vec_op(), 0..200)) {
+        let mut v = BlockVec::EMPTY;
+        let mut model: HashSet<u8> = HashSet::new();
+        for op in ops {
+            match op {
+                VecOp::Set(b) => {
+                    v.set(b);
+                    model.insert(b.0);
+                }
+                VecOp::Clear(b) => {
+                    v.clear(b);
+                    model.remove(&b.0);
+                }
+                VecOp::Toggle(b) => {
+                    v.toggle(b);
+                    if !model.remove(&b.0) {
+                        model.insert(b.0);
+                    }
+                }
+            }
+            prop_assert_eq!(v.count() as usize, model.len());
+        }
+        for b in BlockIdx::all() {
+            prop_assert_eq!(v.get(b), model.contains(&b.0));
+        }
+        let from_iter: Vec<u8> = v.iter().map(|b| b.0).collect();
+        let mut expected: Vec<u8> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(from_iter, expected, "iter yields ascending set bits");
+    }
+
+    #[test]
+    fn block_vec_ops_are_bitwise(a in any::<u64>(), b in any::<u64>()) {
+        let (va, vb) = (BlockVec(a), BlockVec(b));
+        prop_assert_eq!((va | vb).0, a | b);
+        prop_assert_eq!((va & vb).0, a & b);
+        prop_assert_eq!((va ^ vb).0, a ^ b);
+        prop_assert_eq!(va.intersects(vb), a & b != 0);
+    }
+
+    #[test]
+    fn word_vec_round_trips_block_masks(
+        entries in prop::collection::vec((0..BLOCKS_PER_PAGE as u8, any::<u16>()), 0..32)
+    ) {
+        let mut v = WordVec::EMPTY;
+        let mut model = vec![0u16; BLOCKS_PER_PAGE];
+        for (b, m) in entries {
+            v.set_block_words(BlockIdx(b), WordMask(m));
+            model[b as usize] |= m;
+        }
+        for b in BlockIdx::all() {
+            prop_assert_eq!(v.block_words(b).0, model[b.0 as usize]);
+        }
+        let total: u32 = model.iter().map(|m| m.count_ones()).sum();
+        prop_assert_eq!(v.count(), total);
+        // Collapse to block granularity.
+        let bv = v.to_block_vec();
+        for b in BlockIdx::all() {
+            prop_assert_eq!(bv.get(b), model[b.0 as usize] != 0);
+        }
+    }
+
+    #[test]
+    fn word_vec_or_is_union(xs in prop::collection::vec(0..WORDS_PER_PAGE, 0..64),
+                            ys in prop::collection::vec(0..WORDS_PER_PAGE, 0..64)) {
+        let mut a = WordVec::EMPTY;
+        let mut b = WordVec::EMPTY;
+        for &x in &xs { a.set(x); }
+        for &y in &ys { b.set(y); }
+        let u = a | b;
+        for w in 0..WORDS_PER_PAGE {
+            prop_assert_eq!(u.get(w), xs.contains(&w) || ys.contains(&w));
+        }
+        prop_assert_eq!(a.intersects(b), xs.iter().any(|x| ys.contains(x)));
+    }
+
+    #[test]
+    fn address_decomposition_reassembles(raw in any::<u64>()) {
+        let va = VirtAddr::new(raw & 0x0000_ffff_ffff_ffff);
+        let rebuilt = va.vpn().base().0 + va.page_offset() as u64;
+        prop_assert_eq!(rebuilt, va.0);
+        // Block/word decomposition is consistent with the page offset.
+        let off = va.page_offset();
+        prop_assert_eq!(va.block_in_page().0 as usize, off / 64);
+        prop_assert_eq!(va.word_in_block().0 as usize, (off / 4) % WORDS_PER_BLOCK);
+        prop_assert_eq!(va.word_in_page(), off / 4);
+    }
+
+    #[test]
+    fn word_idx_never_exceeds_block(raw in any::<u64>()) {
+        let va = VirtAddr::new(raw >> 1);
+        prop_assert!((va.word_in_block().0 as usize) < WORDS_PER_BLOCK);
+        prop_assert!((va.block_in_page().0 as usize) < BLOCKS_PER_PAGE);
+        let _ = WordIdx(va.word_in_block().0);
+    }
+}

@@ -1,0 +1,46 @@
+//! VTM — *Virtualizing Transactional Memory* (Rajwar, Herlihy, Lai, ISCA
+//! 2005) — reimplemented as the baseline the PTM paper compares against
+//! (§5.3, §5.3.1).
+//!
+//! VTM keeps its overflow state in per-process software structures indexed
+//! by **virtual** address:
+//!
+//! * [`xadt::Xadt`] — the overflow log table: per overflowed block, the old
+//!   (committed) value, the new (speculative) value, the reader set and the
+//!   writer;
+//! * [`xf::CountingBloom`] — the XF counting Bloom filter (1.6 M counters in
+//!   the paper's model) that screens misses so most accesses never walk the
+//!   XADT;
+//! * the XADC — a metadata cache in the memory controller; following the
+//!   paper's fairness rule, its capacity equals the *combined* SPT + TAV
+//!   cache capacity (512 + 2048 = 2560 entries);
+//! * [`system::VtmSystem`] — the orchestrating type, with the **Victim-VTM**
+//!   variant (`VC-VTM`) whose XADC also buffers block data so committed
+//!   blocks are usable before their lazy write-back completes.
+//!
+//! The crucial asymmetry to PTM: VTM buffers speculative data *away from*
+//! memory, so **commit** must copy every overflowed dirty block back to its
+//! home location — consuming bus/memory bandwidth and stalling any
+//! transaction that touches a not-yet-copied block — while abort is cheap.
+//! Select-PTM moves no data on either path. Figure 4 turns on exactly this.
+//!
+//! # Examples
+//!
+//! ```
+//! use ptm_vtm::{VtmConfig, VtmSystem};
+//! use ptm_types::TxId;
+//!
+//! let mut vtm = VtmSystem::new(VtmConfig::baseline());
+//! vtm.begin(TxId(0));
+//! assert!(!vtm.has_overflows());
+//! ```
+
+pub mod stats;
+pub mod system;
+pub mod xadt;
+pub mod xf;
+
+pub use stats::VtmStats;
+pub use system::{VtmConfig, VtmSystem};
+pub use xadt::{Xadt, XadtEntry};
+pub use xf::CountingBloom;

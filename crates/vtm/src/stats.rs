@@ -1,0 +1,103 @@
+//! VTM event counters.
+
+use std::fmt;
+
+/// Counters for the VTM baseline's mechanisms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VtmStats {
+    /// Transactions logically committed.
+    pub commits: u64,
+    /// Transactions logically aborted.
+    pub aborts: u64,
+    /// Clean (read-only) blocks overflowed into the XADT.
+    pub clean_overflows: u64,
+    /// Dirty blocks overflowed (speculative data buffered in the XADT).
+    pub dirty_overflows: u64,
+    /// Blocks copied from the XADT back to memory at commit — VTM's
+    /// signature cost.
+    pub commit_copy_blocks: u64,
+    /// Commit copies absorbed by the victim cache (VC-VTM only): the block
+    /// was usable immediately and written back in the background.
+    pub victim_absorbed_commits: u64,
+    /// XF filter queries that returned "definitely not overflowed".
+    pub xf_filtered: u64,
+    /// XF queries that said "maybe" and required an XADC/XADT check.
+    pub xf_maybe: u64,
+    /// XF "maybe" answers with no actual XADT entry (false positives).
+    pub xf_false_positives: u64,
+    /// XADC metadata-cache hits.
+    pub xadc_hits: u64,
+    /// XADC misses (each costs an XADT walk through memory).
+    pub xadc_misses: u64,
+    /// Conflicts detected against overflowed state.
+    pub overflow_conflicts: u64,
+    /// Peak XADT entry count.
+    pub peak_xadt_entries: u64,
+}
+
+impl VtmStats {
+    /// Total overflowed blocks.
+    pub fn overflows(&self) -> u64 {
+        self.clean_overflows + self.dirty_overflows
+    }
+
+    /// XF false-positive ratio among "maybe" answers.
+    pub fn xf_false_positive_ratio(&self) -> f64 {
+        if self.xf_maybe == 0 {
+            0.0
+        } else {
+            self.xf_false_positives as f64 / self.xf_maybe as f64
+        }
+    }
+}
+
+impl fmt::Display for VtmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "commits={} aborts={} overflows={} (clean {} / dirty {})",
+            self.commits,
+            self.aborts,
+            self.overflows(),
+            self.clean_overflows,
+            self.dirty_overflows
+        )?;
+        write!(
+            f,
+            "commit-copies={} (victim-absorbed {}) | xf filtered={} maybe={} fp={} | xadc {}/{} | conflicts={}",
+            self.commit_copy_blocks,
+            self.victim_absorbed_commits,
+            self.xf_filtered,
+            self.xf_maybe,
+            self.xf_false_positives,
+            self.xadc_hits,
+            self.xadc_misses,
+            self.overflow_conflicts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero() {
+        assert_eq!(VtmStats::default().xf_false_positive_ratio(), 0.0);
+    }
+
+    #[test]
+    fn overflow_total() {
+        let s = VtmStats {
+            clean_overflows: 2,
+            dirty_overflows: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.overflows(), 7);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", VtmStats::default()).is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Extended VTM system tests: XADC pressure, victim-cache behaviour, filter
+//! hygiene over long churn, and multi-transaction interleavings.
+
+use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
+use ptm_core::system::AccessKind;
+use ptm_mem::{PhysicalMemory, SpecBlock};
+use ptm_types::{BlockIdx, PhysBlock, ProcessId, TxId, VirtAddr, WordIdx, WordMask, BLOCK_SIZE};
+use ptm_vtm::{VtmConfig, VtmSystem};
+
+const PID: ProcessId = ProcessId(0);
+
+fn bus() -> SystemBus {
+    SystemBus::new(BusTimings::default())
+}
+
+fn key(addr: u64) -> (ProcessId, VirtAddr) {
+    (PID, VirtAddr::new(addr))
+}
+
+fn spec(word: u8, value: u32) -> SpecBlock {
+    let mut data = [0u8; BLOCK_SIZE];
+    data[word as usize * 4..word as usize * 4 + 4].copy_from_slice(&value.to_le_bytes());
+    let mut written = WordMask::EMPTY;
+    written.set(WordIdx(word));
+    SpecBlock { data, written }
+}
+
+fn dirty(tx: TxId) -> TxLineMeta {
+    let mut m = TxLineMeta::new(tx);
+    m.record_write(WordIdx(0));
+    m
+}
+
+fn read_meta(tx: TxId) -> TxLineMeta {
+    let mut m = TxLineMeta::new(tx);
+    m.record_read(WordIdx(0));
+    m
+}
+
+#[test]
+fn xadc_pressure_forces_walks() {
+    let cfg = VtmConfig {
+        xadc_entries: 2,
+        ..VtmConfig::baseline()
+    };
+    let mut vtm = VtmSystem::new(cfg);
+    let mut b = bus();
+    vtm.begin(TxId(0));
+    for i in 0..6u64 {
+        vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000 + i * 64), Some(&spec(0, i as u32)), [0; BLOCK_SIZE], 0, &mut b);
+    }
+    // Sweep conflict checks across all six blocks twice: the 2-entry XADC
+    // keeps missing.
+    for _ in 0..2 {
+        for i in 0..6u64 {
+            let _ = vtm.check_conflict(Some(TxId(1)), key(0x1000 + i * 64), WordIdx(0), AccessKind::Read, 100, &mut b);
+        }
+    }
+    assert!(vtm.stats().xadc_misses > 6, "XADC thrash: {}", vtm.stats().xadc_misses);
+}
+
+#[test]
+fn commit_copies_every_dirty_block_back() {
+    let mut vtm = VtmSystem::new(VtmConfig::baseline());
+    let mut mem = PhysicalMemory::new(8);
+    let frame = mem.alloc().unwrap();
+    let mut b = bus();
+    vtm.begin(TxId(0));
+    for i in 0..8u64 {
+        vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000 + i * 64), Some(&spec(0, 10 + i as u32)), [0; BLOCK_SIZE], 0, &mut b);
+    }
+    let translate = |va: VirtAddr| Some(PhysBlock::new(frame, va.block_in_page()));
+    let done = vtm.commit(TxId(0), &mut mem, translate, 10_000, &mut b);
+    assert_eq!(vtm.stats().commit_copy_blocks, 8);
+    assert!(done > 10_000 + 8 * 100, "copy-back chains through memory");
+    for i in 0..8u64 {
+        let block = PhysBlock::new(frame, BlockIdx((0x1000u64 / 64 + i) as u8 % 64));
+        assert_eq!(mem.read_word(block.addr()), 10 + i as u32);
+    }
+}
+
+#[test]
+fn victim_variant_absorbs_only_cached_blocks() {
+    let cfg = VtmConfig {
+        xadc_entries: 2,
+        ..VtmConfig::victim()
+    };
+    let mut vtm = VtmSystem::new(cfg);
+    let mut mem = PhysicalMemory::new(8);
+    let frame = mem.alloc().unwrap();
+    let mut b = bus();
+    vtm.begin(TxId(0));
+    // Six blocks through a 2-entry victim cache: only the most recent stay
+    // buffered; older ones must take the stall path at commit.
+    for i in 0..6u64 {
+        vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000 + i * 64), Some(&spec(0, i as u32)), [0; BLOCK_SIZE], 0, &mut b);
+    }
+    let translate = |va: VirtAddr| Some(PhysBlock::new(frame, va.block_in_page()));
+    vtm.commit(TxId(0), &mut mem, translate, 10_000, &mut b);
+    let s = vtm.stats();
+    assert_eq!(s.commit_copy_blocks, 6);
+    assert!(s.victim_absorbed_commits >= 1, "recent blocks absorbed");
+    assert!(
+        s.victim_absorbed_commits < 6,
+        "older blocks overflowed the victim cache: {}",
+        s.victim_absorbed_commits
+    );
+}
+
+#[test]
+fn filter_stays_clean_over_many_generations() {
+    // 200 transactions, each overflowing one block then committing: the
+    // counting filter must keep returning to "definitely absent", or false
+    // positives would accumulate forever.
+    let mut vtm = VtmSystem::new(VtmConfig {
+        xf_counters: 50_000,
+        ..VtmConfig::baseline()
+    });
+    let mut mem = PhysicalMemory::new(8);
+    let frame = mem.alloc().unwrap();
+    let mut b = bus();
+    for g in 0..200u64 {
+        let tx = TxId(g);
+        vtm.begin(tx);
+        vtm.on_tx_eviction(&dirty(tx), key(0x1000), Some(&spec(0, g as u32)), [0; BLOCK_SIZE], g * 10, &mut b);
+        let translate = |va: VirtAddr| Some(PhysBlock::new(frame, va.block_in_page()));
+        vtm.commit(tx, &mut mem, translate, g * 10 + 5, &mut b);
+    }
+    assert!(!vtm.has_overflows());
+    // A check on the long-retired address must be filtered out.
+    vtm.begin(TxId(1000));
+    let before = vtm.stats().xf_filtered;
+    let _ = vtm.check_conflict(Some(TxId(1000)), key(0x1000), WordIdx(0), AccessKind::Read, 1_000_000, &mut b);
+    assert_eq!(vtm.stats().xf_filtered, before + 1, "filter fully drained");
+}
+
+#[test]
+fn readers_release_without_copyback() {
+    let mut vtm = VtmSystem::new(VtmConfig::baseline());
+    let mut mem = PhysicalMemory::new(8);
+    let frame = mem.alloc().unwrap();
+    let mut b = bus();
+    vtm.begin(TxId(0));
+    vtm.begin(TxId(1));
+    vtm.on_tx_eviction(&read_meta(TxId(0)), key(0x2000), None, [0; BLOCK_SIZE], 0, &mut b);
+    vtm.on_tx_eviction(&read_meta(TxId(1)), key(0x2000), None, [0; BLOCK_SIZE], 0, &mut b);
+
+    let translate = |va: VirtAddr| Some(PhysBlock::new(frame, va.block_in_page()));
+    vtm.commit(TxId(0), &mut mem, translate, 100, &mut b);
+    assert!(vtm.has_overflows(), "second reader still registered");
+    vtm.commit(TxId(1), &mut mem, translate, 200, &mut b);
+    assert!(!vtm.has_overflows());
+    assert_eq!(vtm.stats().commit_copy_blocks, 0, "reads never copy back");
+}
+
+#[test]
+fn abort_of_one_reader_preserves_the_other() {
+    let mut vtm = VtmSystem::new(VtmConfig::baseline());
+    let mut b = bus();
+    vtm.begin(TxId(0));
+    vtm.begin(TxId(1));
+    vtm.on_tx_eviction(&read_meta(TxId(0)), key(0x2000), None, [0; BLOCK_SIZE], 0, &mut b);
+    vtm.on_tx_eviction(&read_meta(TxId(1)), key(0x2000), None, [0; BLOCK_SIZE], 0, &mut b);
+    vtm.abort(TxId(0), 10, &mut b);
+
+    // Writer still conflicts with the surviving reader.
+    let out = vtm.check_conflict(Some(TxId(2)), key(0x2000), WordIdx(0), AccessKind::Write, 20, &mut b);
+    assert_eq!(out.conflicts, vec![TxId(1)]);
+}
+
+#[test]
+fn spec_data_merges_across_repeated_overflows() {
+    let mut vtm = VtmSystem::new(VtmConfig::baseline());
+    let mut mem = PhysicalMemory::new(8);
+    let frame = mem.alloc().unwrap();
+    let mut b = bus();
+    vtm.begin(TxId(0));
+    vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000), Some(&spec(0, 1)), [0; BLOCK_SIZE], 0, &mut b);
+    vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000), Some(&spec(3, 4)), [0; BLOCK_SIZE], 10, &mut b);
+    assert_eq!(vtm.read_spec_word(TxId(0), key(0x1000), WordIdx(0)), Some(1));
+    assert_eq!(vtm.read_spec_word(TxId(0), key(0x1000), WordIdx(3)), Some(4));
+
+    let translate = |va: VirtAddr| Some(PhysBlock::new(frame, va.block_in_page()));
+    vtm.commit(TxId(0), &mut mem, translate, 100, &mut b);
+    let block = PhysBlock::new(frame, VirtAddr::new(0x1000).block_in_page());
+    assert_eq!(mem.read_word(block.addr()), 1);
+    assert_eq!(mem.read_word(ptm_types::PhysAddr(block.addr().0 + 12)), 4);
+}
+
+#[test]
+fn peak_xadt_tracks_maximum_entries() {
+    let mut vtm = VtmSystem::new(VtmConfig::baseline());
+    let mut b = bus();
+    vtm.begin(TxId(0));
+    for i in 0..5u64 {
+        vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000 + i * 64), Some(&spec(0, 1)), [0; BLOCK_SIZE], 0, &mut b);
+    }
+    vtm.abort(TxId(0), 10, &mut b);
+    assert_eq!(vtm.stats().peak_xadt_entries, 5);
+    assert!(!vtm.has_overflows());
+}

@@ -1,0 +1,120 @@
+//! SPLASH-2-style transactional workloads for the PTM reproduction.
+//!
+//! The paper evaluates five SPLASH-2 programs (fft, lu, radix, ocean,
+//! water), lock-stripped and re-parallelized with transactions around loop
+//! bodies (§6.2). We cannot run the original binaries inside this
+//! simulator, so each kernel here regenerates the benchmark's *memory
+//! behaviour* — the footprints, sharing patterns, transaction shapes and
+//! eviction pressure that drive every number in Table 1 and Figures 4/5 —
+//! as deterministic per-thread operation streams. See each module's
+//! documentation for the signature it reproduces and DESIGN.md for the
+//! substitution argument.
+//!
+//! # Examples
+//!
+//! ```
+//! use ptm_sim::{run, SystemKind};
+//! use ptm_workloads::{Scale, water};
+//!
+//! let w = water::workload(Scale::Tiny);
+//! let m = run(w.machine_config(), SystemKind::SelectPtm(Default::default()), w.programs());
+//! assert!(m.stats().commits > 0);
+//! ```
+
+pub mod common;
+pub mod fft;
+pub mod lu;
+pub mod ocean;
+pub mod radix;
+pub mod synthetic;
+pub mod water;
+
+pub use common::{chunk, ProgramBuilder, Scale, Workload, THREADS};
+pub use synthetic::SyntheticConfig;
+
+/// The five paper benchmarks, in Table 1 order.
+pub fn splash2(scale: Scale) -> Vec<Workload> {
+    vec![
+        fft::workload(scale),
+        lu::workload(scale),
+        radix::workload(scale),
+        ocean::workload(scale),
+        water::workload(scale),
+    ]
+}
+
+/// Builds one benchmark by its Table 1 name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
+    match name {
+        "fft" => Some(fft::workload(scale)),
+        "lu" => Some(lu::workload(scale)),
+        "radix" => Some(radix::workload(scale)),
+        "ocean" => Some(ocean::workload(scale)),
+        "water" => Some(water::workload(scale)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_benchmarks_build() {
+        let all = splash2(Scale::Tiny);
+        let names: Vec<_> = all.iter().map(|w| w.name).collect();
+        assert_eq!(names, vec!["fft", "lu", "radix", "ocean", "water"]);
+        for w in &all {
+            assert_eq!(w.programs.len(), THREADS, "{}", w.name);
+            assert!(w.programs.iter().all(|p| p.len() > 0), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn by_name_resolves_and_rejects() {
+        assert!(by_name("ocean", Scale::Tiny).is_some());
+        assert!(by_name("barnes", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn every_benchmark_has_balanced_transactions() {
+        for w in splash2(Scale::Tiny) {
+            for p in &w.programs {
+                let mut depth: i64 = 0;
+                for pc in 0..p.len() {
+                    match p.op_at(pc) {
+                        Some(ptm_sim::Op::Begin { .. }) => depth += 1,
+                        Some(ptm_sim::Op::End) => {
+                            depth -= 1;
+                            assert!(depth >= 0, "{}: unbalanced end", w.name);
+                        }
+                        _ => {}
+                    }
+                }
+                assert_eq!(depth, 0, "{}: unbalanced begin", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_writes_only_inside_transactions() {
+        // The serial-reference check requires that no two threads race on a
+        // word outside transactions. Conservatively: *all* memory ops in the
+        // five benchmarks sit inside transactions.
+        for w in splash2(Scale::Tiny) {
+            for p in &w.programs {
+                let mut depth = 0;
+                for pc in 0..p.len() {
+                    match p.op_at(pc) {
+                        Some(ptm_sim::Op::Begin { .. }) => depth += 1,
+                        Some(ptm_sim::Op::End) => depth -= 1,
+                        Some(op) if op.addr().is_some() => {
+                            assert!(depth > 0, "{}: op outside tx at {pc}", w.name);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Cross-workload shape invariants: the qualitative Table 1 signatures the
+//! kernels were designed around, asserted structurally (no simulation).
+
+use ptm_sim::Op;
+use ptm_sim::ThreadProgram;
+use ptm_workloads::{splash2, Scale, THREADS};
+use std::collections::HashSet;
+
+fn ops_of(p: &ThreadProgram) -> impl Iterator<Item = Op> + '_ {
+    (0..p.len()).filter_map(move |pc| p.op_at(pc))
+}
+
+fn footprint_pages(programs: &[ThreadProgram]) -> usize {
+    programs
+        .iter()
+        .flat_map(|p| ops_of(p).filter_map(|op| op.addr()))
+        .map(|a| a.vpn())
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+fn write_pages(programs: &[ThreadProgram]) -> usize {
+    programs
+        .iter()
+        .flat_map(|p| ops_of(p).filter(|op| op.is_write()).filter_map(|op| op.addr()))
+        .map(|a| a.vpn())
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+fn outer_begins(programs: &[ThreadProgram]) -> usize {
+    programs
+        .iter()
+        .map(|p| {
+            let mut depth = 0;
+            let mut outer = 0;
+            for op in ops_of(p) {
+                match op {
+                    Op::Begin { .. } => {
+                        if depth == 0 {
+                            outer += 1;
+                        }
+                        depth += 1;
+                    }
+                    Op::End => depth -= 1,
+                    _ => {}
+                }
+            }
+            outer
+        })
+        .sum()
+}
+
+#[test]
+fn footprint_ordering_matches_table_1() {
+    // Paper: ocean >> lu > fft > radix >> water (pages).
+    let names = ["fft", "lu", "radix", "ocean", "water"];
+    let all = splash2(Scale::Small);
+    let pages: Vec<usize> = all.iter().map(|w| footprint_pages(&w.programs)).collect();
+    let by = |n: &str| pages[names.iter().position(|x| *x == n).unwrap()];
+    assert!(by("ocean") > by("lu"), "ocean {} > lu {}", by("ocean"), by("lu"));
+    assert!(by("ocean") > by("fft"));
+    assert!(by("lu") + by("fft") > 2 * by("radix") / 2, "mid-size band");
+    assert!(by("fft") > by("water"));
+    assert!(by("radix") > by("water"));
+}
+
+#[test]
+fn commit_count_ordering_matches_table_1() {
+    // Paper: ocean > lu > radix ~ water > fft.
+    let names = ["fft", "lu", "radix", "ocean", "water"];
+    let all = splash2(Scale::Small);
+    let commits: Vec<usize> = all.iter().map(|w| outer_begins(&w.programs)).collect();
+    let by = |n: &str| commits[names.iter().position(|x| *x == n).unwrap()];
+    assert!(by("ocean") > by("lu"));
+    assert!(by("lu") > by("radix"));
+    assert!(by("radix") > by("water"));
+    assert!(by("water") > by("fft"));
+}
+
+#[test]
+fn transactional_write_fraction_in_paper_band() {
+    // Paper's "conservative" column: 45%..95% of touched pages are
+    // transactionally written.
+    for w in splash2(Scale::Small) {
+        let total = footprint_pages(&w.programs);
+        let written = write_pages(&w.programs);
+        let frac = written as f64 / total as f64;
+        assert!(
+            (0.40..=0.99).contains(&frac),
+            "{}: write fraction {frac:.2} outside the paper band",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn every_thread_emits_identical_barrier_sequences() {
+    for w in splash2(Scale::Tiny) {
+        let seqs: Vec<Vec<u32>> = w
+            .programs
+            .iter()
+            .map(|p| {
+                ops_of(p)
+                    .filter_map(|op| match op {
+                        Op::Barrier(id) => Some(id),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        for t in 1..THREADS {
+            assert_eq!(seqs[0], seqs[t], "{}: thread {t} barrier mismatch", w.name);
+        }
+    }
+}
+
+#[test]
+fn lock_programs_are_balanced_and_barrier_compatible() {
+    for w in splash2(Scale::Tiny) {
+        let lock_programs = w.programs_for(ptm_sim::SystemKind::Locks);
+        for p in &lock_programs {
+            let mut depth: i64 = 0;
+            for op in ops_of(p) {
+                match op {
+                    Op::Begin { .. } => depth += 1,
+                    Op::End => {
+                        depth -= 1;
+                        assert!(depth >= 0, "{}: unbalanced lock release", w.name);
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(depth, 0, "{}: leaked lock", w.name);
+        }
+        let seqs: Vec<Vec<u32>> = lock_programs
+            .iter()
+            .map(|p| {
+                ops_of(p)
+                    .filter_map(|op| match op {
+                        Op::Barrier(id) => Some(id),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        for t in 1..lock_programs.len() {
+            assert_eq!(seqs[0], seqs[t], "{}: lock-program barriers diverge", w.name);
+        }
+    }
+}
+
+#[test]
+fn scales_are_strictly_nested() {
+    for (tiny, small) in splash2(Scale::Tiny).iter().zip(splash2(Scale::Small).iter()) {
+        let t: usize = tiny.programs.iter().map(|p| p.len()).sum();
+        let s: usize = small.programs.iter().map(|p| p.len()).sum();
+        assert!(s > 2 * t, "{}: Small must dwarf Tiny ({s} vs {t})", tiny.name);
+    }
+}
+
+#[test]
+fn ocean_is_the_eviction_monster() {
+    // At Small scale, ocean's writable footprint alone exceeds the scaled
+    // L2 many times over; water's total footprint fits in it.
+    let all = splash2(Scale::Small);
+    let ocean = &all[3];
+    let water = &all[4];
+    let l2_pages = 16 * 1024 / 4096; // scaled 16 KiB L2 = 4 pages
+    assert!(footprint_pages(&ocean.programs) > 20 * l2_pages);
+    assert!(footprint_pages(&water.programs) <= 4 * l2_pages);
+}

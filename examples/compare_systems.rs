@@ -1,0 +1,43 @@
+//! Run one workload under every execution mode — serial baseline, locks,
+//! VTM, VC-VTM, Copy-PTM, Select-PTM — and compare cycles, speedup and
+//! abort behaviour side by side (a one-workload slice of Figure 4).
+//!
+//! ```text
+//! cargo run --example compare_systems -- water
+//! ```
+
+use unbounded_ptm::sim::{run, serialize_programs, speedup_percent, SystemKind};
+use unbounded_ptm::workloads::{by_name, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "water".to_owned());
+    let Some(w) = by_name(&name, Scale::Small) else {
+        eprintln!("unknown workload '{name}'; try fft, lu, radix, ocean, water");
+        std::process::exit(1);
+    };
+
+    let cfg = w.machine_config();
+    let serial = run(
+        cfg,
+        SystemKind::Serial,
+        serialize_programs(&w.programs_for(SystemKind::Serial)),
+    );
+    let serial_cycles = serial.stats().cycles;
+    println!("workload: {} | single-thread baseline: {serial_cycles} cycles\n", w.name);
+    println!(
+        "{:<14} {:>12} {:>10} {:>9} {:>9}",
+        "system", "cycles", "speedup", "commits", "aborts"
+    );
+
+    for kind in SystemKind::figure4() {
+        let m = run(cfg, kind, w.programs_for(kind));
+        println!(
+            "{:<14} {:>12} {:>9.0}% {:>9} {:>9}",
+            kind.label(),
+            m.stats().cycles,
+            speedup_percent(serial_cycles, m.stats().cycles),
+            m.stats().commits,
+            m.stats().aborts
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Umbrella crate for the *Unbounded Page-Based Transactional Memory*
+//! (ASPLOS 2006) reproduction.
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`core`] (`ptm-core`) — the paper's contribution: Copy-PTM and
+//!   Select-PTM with SPT/SIT/TAV/T-State structures and the VTS caches;
+//! * [`vtm`] — the VTM baseline (XADT, XF counting Bloom filter, XADC,
+//!   Victim-VTM);
+//! * [`sim`] — the execution-driven CMP simulator (cores, MOESI caches,
+//!   bus/memory timing, OS model, lock baseline, serial reference checker);
+//! * [`workloads`] — SPLASH-2-style kernels (fft, lu, radix, ocean, water)
+//!   plus a synthetic generator;
+//! * [`mem`], [`cache`], [`types`] — the substrates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use unbounded_ptm::sim::{run, SystemKind};
+//! use unbounded_ptm::workloads::{synthetic, Scale};
+//!
+//! let w = synthetic::quickstart();
+//! let machine = run(
+//!     w.machine_config(),
+//!     SystemKind::SelectPtm(Default::default()),
+//!     w.programs(),
+//! );
+//! assert!(machine.stats().commits > 0);
+//! let _ = Scale::Small;
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+pub use ptm_cache as cache;
+pub use ptm_core as core;
+pub use ptm_mem as mem;
+pub use ptm_sim as sim;
+pub use ptm_types as types;
+pub use ptm_vtm as vtm;
+pub use ptm_workloads as workloads;

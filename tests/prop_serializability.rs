@@ -1,0 +1,107 @@
+//! Property-based end-to-end testing: random synthetic workloads must be
+//! serializable under every TM system, with tiny caches forcing the
+//! overflow machinery into play.
+
+use proptest::prelude::*;
+use unbounded_ptm::cache::CacheConfig;
+use unbounded_ptm::sim::{diff_against_machine, run, SystemKind};
+use unbounded_ptm::types::Granularity;
+use unbounded_ptm::workloads::synthetic::{workload, SyntheticConfig};
+
+fn small_config() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        2usize..=4,   // threads
+        1usize..=8,   // txs per thread
+        1usize..=30,  // ops per tx
+        1usize..=4,   // private pages
+        1usize..=2,   // shared pages
+        0.0f64..=1.0, // shared fraction
+        0.1f64..=0.9, // write fraction
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(threads, txs, ops, private, shared, sf, wf, seed)| SyntheticConfig {
+                threads,
+                txs_per_thread: txs,
+                ops_per_tx: ops,
+                private_pages: private,
+                shared_pages: shared,
+                shared_fraction: sf,
+                write_fraction: wf,
+                seed,
+            },
+        )
+}
+
+fn systems() -> Vec<SystemKind> {
+    vec![
+        SystemKind::Locks,
+        SystemKind::Vtm,
+        SystemKind::VictimVtm,
+        SystemKind::CopyPtm,
+        SystemKind::SelectPtm(Granularity::Block),
+        SystemKind::SelectPtm(Granularity::WordCache),
+        SystemKind::SelectPtm(Granularity::WordCacheMem),
+        SystemKind::LogTm,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_workloads_serialize_under_every_system(
+        cfg in small_config(),
+        migrate in any::<bool>(),
+    ) {
+        let w = workload(cfg);
+        for kind in systems() {
+            let programs = w.programs_for(kind);
+            let mut mc = w.machine_config();
+            // Tiny caches: force overflows even for these small footprints.
+            mc.l1 = CacheConfig::tiny(2, 1);
+            mc.l2 = CacheConfig::tiny(4, 2);
+            if migrate && kind != SystemKind::LogTm {
+                // LogTM does not support migration (§5.2).
+                mc.kernel.cs_interval = Some(1_700);
+                mc.kernel.migrate_on_cs = true;
+            }
+            let m = run(mc, kind, programs.clone());
+            let mismatches = diff_against_machine(&m, &programs);
+            prop_assert!(
+                mismatches.is_empty(),
+                "{kind} (migrate={migrate}) diverged on {cfg:?}: {:?}",
+                mismatches.first()
+            );
+        }
+    }
+
+    #[test]
+    fn copy_and_select_agree_functionally(cfg in small_config()) {
+        // The two PTM policies differ only in *where* versions live and
+        // what commits/aborts cost — never in committed values.
+        let w = workload(cfg);
+        let mut mc = w.machine_config();
+        mc.l1 = CacheConfig::tiny(2, 1);
+        mc.l2 = CacheConfig::tiny(4, 2);
+        let copy = run(mc, SystemKind::CopyPtm, w.programs());
+        let select = run(mc, SystemKind::SelectPtm(Granularity::Block), w.programs());
+        // Committed values of every word either run wrote must agree.
+        for p in &w.programs {
+            for pc in 0..p.len() {
+                if let Some(op) = p.op_at(pc) {
+                    if let Some(addr) = op.addr() {
+                        if op.is_write() {
+                            let a = copy.read_committed(p.pid(), addr);
+                            let b = select.read_committed(p.pid(), addr);
+                            prop_assert_eq!(a, b, "policies diverged at {}", addr);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

