@@ -16,16 +16,12 @@ fn fig4_speedup(c: &mut Criterion) {
     group.sample_size(10);
     for w in splash2(Scale::Tiny) {
         for kind in SystemKind::figure4() {
-            group.bench_with_input(
-                BenchmarkId::new(w.name, kind.label()),
-                &kind,
-                |b, &kind| {
-                    b.iter(|| {
-                        let m = run_workload(&w, kind);
-                        std::hint::black_box(m.stats().cycles)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(w.name, kind.label()), &kind, |b, &kind| {
+                b.iter(|| {
+                    let m = run_workload(&w, kind);
+                    std::hint::black_box(m.stats().cycles)
+                })
+            });
         }
     }
     group.finish();

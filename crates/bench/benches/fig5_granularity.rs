@@ -12,16 +12,12 @@ fn fig5_granularity(c: &mut Criterion) {
     group.sample_size(10);
     for w in splash2(Scale::Tiny) {
         for kind in SystemKind::figure5() {
-            group.bench_with_input(
-                BenchmarkId::new(w.name, kind.label()),
-                &kind,
-                |b, &kind| {
-                    b.iter(|| {
-                        let m = run_workload(&w, kind);
-                        std::hint::black_box(m.stats().aborts)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(w.name, kind.label()), &kind, |b, &kind| {
+                b.iter(|| {
+                    let m = run_workload(&w, kind);
+                    std::hint::black_box(m.stats().aborts)
+                })
+            });
         }
     }
     group.finish();
@@ -30,7 +26,10 @@ fn fig5_granularity(c: &mut Criterion) {
     // radix aborts fall when moving to word granularity.
     let w = radix::workload(Scale::Tiny);
     let blk = run_workload(&w, SystemKind::SelectPtm(ptm_types::Granularity::Block));
-    let wd = run_workload(&w, SystemKind::SelectPtm(ptm_types::Granularity::WordCacheMem));
+    let wd = run_workload(
+        &w,
+        SystemKind::SelectPtm(ptm_types::Granularity::WordCacheMem),
+    );
     eprintln!(
         "radix aborts: blk-only={} wd:cache+mem={}",
         blk.stats().aborts,

@@ -27,7 +27,9 @@ fn bench_tav_arena(c: &mut Criterion) {
         let mut arena = ptm_core::tav::TavArena::new();
         b.iter(|| {
             let r = arena.alloc(TxId(1), FrameId(0));
-            arena.get_mut(r).record_write(BlockIdx(3), Some(WordMask(0xf)));
+            arena
+                .get_mut(r)
+                .record_write(BlockIdx(3), Some(WordMask(0xf)));
             let w = arena.write_summary(Some(r));
             arena.free(r);
             std::hint::black_box(w)
@@ -107,6 +109,97 @@ fn bench_ptm_conflict_check(c: &mut Criterion) {
     });
 }
 
+fn bench_ptm_conflict_check_filtered(c: &mut Criterion) {
+    // Same page state as the hot check, but probing a block no live
+    // transaction overflowed: the per-page summary vectors reject the
+    // access in O(1) without touching the TAV list.
+    let mut ptm = PtmSystem::new(PtmConfig::select());
+    let mut mem = PhysicalMemory::new(64);
+    let mut bus = SystemBus::new(BusTimings::default());
+    for _ in 0..8 {
+        let f = mem.alloc().unwrap();
+        ptm.on_page_alloc(f);
+    }
+    for t in 0..4u64 {
+        let tx = TxId(t);
+        ptm.begin(tx, None);
+        let mut meta = TxLineMeta::new(tx);
+        meta.record_write(WordIdx(0));
+        let spec = SpecBlock {
+            data: [0; 64],
+            written: WordMask(1),
+        };
+        ptm.on_tx_eviction(
+            &meta,
+            PhysBlock::new(FrameId(0), BlockIdx(t as u8)),
+            Some(&spec),
+            false,
+            &mut mem,
+            0,
+            &mut bus,
+        );
+    }
+    c.bench_function("ptm/conflict-check-summary-filtered", |b| {
+        let mut now = 1000u64;
+        b.iter(|| {
+            now += 10;
+            // Block 40 has no overflowed state: summary miss, fast path.
+            let out = ptm.check_conflict(
+                Some(TxId(99)),
+                PhysBlock::new(FrameId(0), BlockIdx(40)),
+                WordIdx(0),
+                AccessKind::Read,
+                now,
+                &mut bus,
+            );
+            std::hint::black_box(out.conflicts.len())
+        })
+    });
+}
+
+fn bench_spt_direct_index(c: &mut Criterion) {
+    // The SPT is a direct-indexed vector: entry lookup on the conflict path
+    // is an array load, not a hash probe.
+    use ptm_core::spt::ShadowPageTable;
+    let mut spt = ShadowPageTable::new();
+    for f in 0..512u32 {
+        spt.on_page_alloc(FrameId(f));
+    }
+    c.bench_function("spt/direct-index-entry-512", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(97);
+            std::hint::black_box(spt.entry(FrameId(i % 512)).is_some())
+        })
+    });
+}
+
+fn bench_tav_page_iter(c: &mut Criterion) {
+    // Allocation-free horizontal walk of a 16-node page list.
+    use ptm_core::tav::TavArena;
+    let mut arena = TavArena::new();
+    let mut head = None;
+    for t in 0..16u64 {
+        let r = arena.alloc(TxId(t), FrameId(0));
+        arena
+            .get_mut(r)
+            .record_write(BlockIdx((t % 64) as u8), None);
+        arena.get_mut(r).next_in_page = head;
+        head = Some(r);
+    }
+    c.bench_function("tav/page-iter-16-nodes", |b| {
+        b.iter(|| {
+            let mut touched = 0u32;
+            for node in arena.page_iter(head) {
+                if arena.get(node).write.get(BlockIdx(3)) {
+                    touched += 1;
+                }
+            }
+            std::hint::black_box(touched)
+        })
+    });
+}
+
 fn bench_ptm_commit(c: &mut Criterion) {
     c.bench_function("ptm/overflow-commit-cycle", |b| {
         let mut ptm = PtmSystem::new(PtmConfig::select());
@@ -150,9 +243,11 @@ criterion_group!(
     bench_lru_tracker,
     bench_bloom,
     bench_ptm_conflict_check,
+    bench_ptm_conflict_check_filtered,
+    bench_spt_direct_index,
+    bench_tav_page_iter,
     bench_ptm_commit
 );
-
 
 // ---------------------------------------------------------------------
 // Appended: VTM and LogTM micro paths (overflow, conflict checks, commit).

@@ -35,17 +35,24 @@ fn logtm_vs_ptm_asymmetry() {
         "workload", "LogTM cyc", "Sel cyc", "Copy cyc", "LogTM ab", "Sel ab"
     );
     for (label, w) in [
-        ("low contention", synthetic::workload(SyntheticConfig {
-            shared_fraction: 0.05,
-            ops_per_tx: 120,
-            private_pages: 32,
-            ..SyntheticConfig::default()
-        })),
+        (
+            "low contention",
+            synthetic::workload(SyntheticConfig {
+                shared_fraction: 0.05,
+                ops_per_tx: 120,
+                private_pages: 32,
+                ..SyntheticConfig::default()
+            }),
+        ),
         ("overflow heavy", overflowing(7)),
         ("high contention", contended(7)),
     ] {
         let log = run(w.machine_config(), SystemKind::LogTm, w.programs());
-        let sel = run(w.machine_config(), SystemKind::SelectPtm(Default::default()), w.programs());
+        let sel = run(
+            w.machine_config(),
+            SystemKind::SelectPtm(Default::default()),
+            w.programs(),
+        );
         let copy = run(w.machine_config(), SystemKind::CopyPtm, w.programs());
         println!(
             "{:<24} {:>12} {:>12} {:>12} {:>10} {:>10}",
@@ -71,7 +78,12 @@ fn abort_penalty_sensitivity() {
         let mut cfg = w.machine_config();
         cfg.abort_penalty = penalty;
         let m = run(cfg, SystemKind::SelectPtm(Default::default()), w.programs());
-        println!("{:>10} {:>12} {:>9}", penalty, m.stats().cycles, m.stats().aborts);
+        println!(
+            "{:>10} {:>12} {:>9}",
+            penalty,
+            m.stats().cycles,
+            m.stats().aborts
+        );
     }
     println!("(larger backoff trades retries for idle cycles; the default 150");
     println!(" sits in the flat part of the curve)");
@@ -84,12 +96,15 @@ fn copy_vs_select_under_contention() {
         "workload", "Copy cycles", "Sel cycles", "Copy ab", "Sel ab"
     );
     for (label, w) in [
-        ("low contention", synthetic::workload(SyntheticConfig {
-            shared_fraction: 0.05,
-            ops_per_tx: 200,
-            private_pages: 48,
-            ..SyntheticConfig::default()
-        })),
+        (
+            "low contention",
+            synthetic::workload(SyntheticConfig {
+                shared_fraction: 0.05,
+                ops_per_tx: 200,
+                private_pages: 48,
+                ..SyntheticConfig::default()
+            }),
+        ),
         ("medium contention", overflowing(7)),
         ("high contention", contended(7)),
     ] {
@@ -212,8 +227,16 @@ fn vts_cache_sizing() {
     // stream vs raw serial.
     let (srl, par, pct) = {
         let programs = w.programs();
-        let serial = run(w.machine_config(), SystemKind::Serial, serialize_programs(&programs));
-        let tm = run(w.machine_config(), SystemKind::SelectPtm(Default::default()), programs);
+        let serial = run(
+            w.machine_config(),
+            SystemKind::Serial,
+            serialize_programs(&programs),
+        );
+        let tm = run(
+            w.machine_config(),
+            SystemKind::SelectPtm(Default::default()),
+            programs,
+        );
         (
             serial.stats().cycles,
             tm.stats().cycles,

@@ -9,8 +9,12 @@
 use ptm_bench::{scale_from_env, table1_row};
 use ptm_workloads::splash2;
 
+/// One paper row: name, commits, aborts, exceptions, context switches,
+/// pages, tx-written pages, conservative %, ideal %, mops/evict.
+type PaperRow = (&'static str, u64, u64, u64, u64, u64, u64, f64, f64, f64);
+
 /// The paper's Table 1 values, for side-by-side comparison.
-const PAPER: &[(&str, u64, u64, u64, u64, u64, u64, f64, f64, f64)] = &[
+const PAPER: &[PaperRow] = &[
     ("fft", 34, 5, 595, 52, 1041, 551, 52.9, 9.5, 87.5),
     ("lu", 656, 0, 17754, 1079, 2311, 2130, 92.2, 3.6, 95.3),
     ("radix", 70, 17, 615, 116, 771, 629, 81.6, 2.0, 246.3),
@@ -25,7 +29,15 @@ fn main() {
     println!(" magnitudes differ with problem scale, orderings should match)\n");
     println!(
         "{:<7} {:>14} {:>12} {:>14} {:>14} {:>14} {:>14} {:>16} {:>18}",
-        "app", "commit", "abort", "exception", "ctx-switch", "pages", "pg-x-wr", "conservative", "mop/evict"
+        "app",
+        "commit",
+        "abort",
+        "exception",
+        "ctx-switch",
+        "pages",
+        "pg-x-wr",
+        "conservative",
+        "mop/evict"
     );
     let rows: Vec<_> = splash2(scale).iter().map(table1_row).collect();
     for r in &rows {
@@ -47,6 +59,9 @@ fn main() {
     println!("(ideal shadow overhead: peak live shadow pages / footprint)");
     let paper_ideal = [9.5, 3.6, 2.0, 0.2, 2.6];
     for (r, p) in rows.iter().zip(paper_ideal) {
-        println!("  {:<7} ideal = {:>5.1}%  (paper: {p:.1}%)", r.name, r.ideal_pct);
+        println!(
+            "  {:<7} ideal = {:>5.1}%  (paper: {p:.1}%)",
+            r.name, r.ideal_pct
+        );
     }
 }

@@ -4,6 +4,8 @@
 use ptm_sim::{run, serialize_programs, speedup_percent, Machine, SystemKind};
 use ptm_workloads::{Scale, Workload};
 
+pub mod parallel;
+
 /// One Table 1 row, as measured by a run under Select-PTM.
 #[derive(Debug, Clone)]
 pub struct Table1Row {

@@ -44,7 +44,9 @@ impl CacheArray {
         cfg.validate();
         CacheArray {
             cfg,
-            sets: (0..cfg.sets).map(|_| Vec::with_capacity(cfg.ways)).collect(),
+            sets: (0..cfg.sets)
+                .map(|_| Vec::with_capacity(cfg.ways))
+                .collect(),
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -79,13 +81,11 @@ impl CacheArray {
         self.clock += 1;
         let clock = self.clock;
         let idx = self.set_index(block);
-        self.sets[idx]
+        let line = self.sets[idx]
             .iter_mut()
-            .find(|l| l.block() == block && l.state() != Moesi::Invalid)
-            .map(|l| {
-                l.lru = clock;
-                l
-            })
+            .find(|l| l.block() == block && l.state() != Moesi::Invalid)?;
+        line.lru = clock;
+        Some(line)
     }
 
     /// Inserts a line, returning the LRU victim if the set was full.

@@ -113,10 +113,11 @@ pub fn supply(
             continue;
         };
         if for_write {
-            // Invalidate every remote copy; dirty ones supply data.
-            if line.state().is_dirty() {
-                source = DataSource::OtherCache;
-            } else if source == DataSource::Memory && line.state() != Moesi::Invalid {
+            // Invalidate every remote copy; any valid one supplies data
+            // (dirty copies must, clean copies beat the memory round trip).
+            if line.state().is_dirty()
+                || (source == DataSource::Memory && line.state() != Moesi::Invalid)
+            {
                 source = DataSource::OtherCache;
             }
             let owned_by_requester = requester_tx.map(|t| line.is_owned_by(t)).unwrap_or(false);

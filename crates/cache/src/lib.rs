@@ -193,7 +193,11 @@ mod tests {
         h.fill(CacheLine::new(a, Moesi::Exclusive));
         h.fill(CacheLine::new(c, Moesi::Exclusive));
         assert_eq!(h.probe(c), ProbeResult::Hit(Hit::L1));
-        assert_eq!(h.probe(a), ProbeResult::Hit(Hit::L2), "a displaced from L1 only");
+        assert_eq!(
+            h.probe(a),
+            ProbeResult::Hit(Hit::L2),
+            "a displaced from L1 only"
+        );
     }
 
     #[test]

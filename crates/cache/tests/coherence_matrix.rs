@@ -2,9 +2,7 @@
 //! the protocol action of a read miss and a write miss, plus multi-step
 //! sharing sequences across four caches.
 
-use ptm_cache::{
-    peek_remote_tx_use, supply, CacheLine, DataSource, Hierarchy, Moesi,
-};
+use ptm_cache::{peek_remote_tx_use, supply, CacheLine, DataSource, Hierarchy, Moesi};
 use ptm_types::{BlockIdx, FrameId, PhysBlock, TxId, WordIdx};
 
 fn blk(n: u64) -> PhysBlock {
@@ -19,10 +17,30 @@ fn machine(n: usize) -> Vec<Hierarchy> {
 fn read_miss_transition_matrix() {
     // (remote state) -> (expected remote state after, source, my state)
     let cases = [
-        (Moesi::Modified, Moesi::Owned, DataSource::OtherCache, Moesi::Shared),
-        (Moesi::Owned, Moesi::Owned, DataSource::OtherCache, Moesi::Shared),
-        (Moesi::Exclusive, Moesi::Shared, DataSource::OtherCache, Moesi::Shared),
-        (Moesi::Shared, Moesi::Shared, DataSource::OtherCache, Moesi::Shared),
+        (
+            Moesi::Modified,
+            Moesi::Owned,
+            DataSource::OtherCache,
+            Moesi::Shared,
+        ),
+        (
+            Moesi::Owned,
+            Moesi::Owned,
+            DataSource::OtherCache,
+            Moesi::Shared,
+        ),
+        (
+            Moesi::Exclusive,
+            Moesi::Shared,
+            DataSource::OtherCache,
+            Moesi::Shared,
+        ),
+        (
+            Moesi::Shared,
+            Moesi::Shared,
+            DataSource::OtherCache,
+            Moesi::Shared,
+        ),
     ];
     for (before, after, source, mine) in cases {
         let mut caches = machine(2);
@@ -46,14 +64,26 @@ fn read_miss_transition_matrix() {
 
 #[test]
 fn write_miss_transition_matrix() {
-    for before in [Moesi::Modified, Moesi::Owned, Moesi::Exclusive, Moesi::Shared] {
+    for before in [
+        Moesi::Modified,
+        Moesi::Owned,
+        Moesi::Exclusive,
+        Moesi::Shared,
+    ] {
         let mut caches = machine(2);
         caches[1].fill(CacheLine::new(blk(0), before));
         let out = supply(&mut caches, 0, blk(0), true, true, false, None);
         assert_eq!(out.new_state, Moesi::Modified, "writer always gets M");
-        assert!(caches[1].line(blk(0)).is_none(), "remote {before} invalidated");
+        assert!(
+            caches[1].line(blk(0)).is_none(),
+            "remote {before} invalidated"
+        );
         assert_eq!(out.invalidations, 1);
-        assert_eq!(out.source, DataSource::OtherCache, "any valid copy supplies");
+        assert_eq!(
+            out.source,
+            DataSource::OtherCache,
+            "any valid copy supplies"
+        );
     }
 }
 
@@ -79,7 +109,11 @@ fn four_way_sharing_then_single_writer() {
     for other in [0usize, 1, 3] {
         assert!(caches[other].line(blk(0)).is_none());
     }
-    assert_eq!(out.source, DataSource::OtherCache, "owner supplied before dying");
+    assert_eq!(
+        out.source,
+        DataSource::OtherCache,
+        "owner supplied before dying"
+    );
 }
 
 #[test]
@@ -98,8 +132,10 @@ fn preserve_keeps_foreign_tx_writers_only() {
     assert_eq!(out.displaced_tx.len(), 1);
     assert_eq!(out.displaced_tx[0].tx_meta().unwrap().tx, TxId(7));
     assert!(caches[1].line(blk(0)).is_none(), "own copy displaced");
-    assert!(caches[2].line(blk(0))
-        .is_some(), "foreign co-writer preserved");
+    assert!(
+        caches[2].line(blk(0)).is_some(),
+        "foreign co-writer preserved"
+    );
 }
 
 #[test]
@@ -150,5 +186,9 @@ fn displaced_lines_keep_complete_metadata() {
     assert_eq!(m.tx, TxId(3));
     assert!(m.read && m.write);
     assert!(m.write_words.get(WordIdx(5)));
-    assert_eq!(d.state(), Moesi::Modified, "dirtiness travels with the line");
+    assert_eq!(
+        d.state(),
+        Moesi::Modified,
+        "dirtiness travels with the line"
+    );
 }

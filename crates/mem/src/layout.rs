@@ -46,7 +46,11 @@ impl Region {
     /// Panics if the element is outside the region.
     pub fn word(&self, i: usize) -> VirtAddr {
         let off = i * WORD_SIZE;
-        assert!(off < self.bytes, "element {i} outside region '{}'", self.name);
+        assert!(
+            off < self.bytes,
+            "element {i} outside region '{}'",
+            self.name
+        );
         self.base.offset(off as u64)
     }
 

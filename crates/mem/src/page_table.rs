@@ -65,7 +65,10 @@ impl PageTable {
     ///
     /// Panics if the page was not previously swapped out.
     pub fn mark_resident(&mut self, vpn: Vpn, frame: FrameId) {
-        let e = self.entries.get_mut(&vpn).expect("swapping in unmapped page");
+        let e = self
+            .entries
+            .get_mut(&vpn)
+            .expect("swapping in unmapped page");
         assert!(
             matches!(e, Pte::Swapped(_)),
             "page {vpn} is already resident"

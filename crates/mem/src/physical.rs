@@ -7,7 +7,10 @@ use std::fmt;
 type FrameData = Box<[u8; PAGE_SIZE]>;
 
 fn zeroed_frame() -> FrameData {
-    vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("PAGE_SIZE sized")
+    vec![0u8; PAGE_SIZE]
+        .into_boxed_slice()
+        .try_into()
+        .expect("PAGE_SIZE sized")
 }
 
 /// Simulated physical memory: a bounded pool of 4 KiB frames with real data.

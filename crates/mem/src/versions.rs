@@ -79,8 +79,14 @@ impl SpecBuffers {
     /// to obtain the transaction's current view of the block (committed
     /// data, or the speculative location if the transaction previously
     /// overflowed a dirty version).
-    pub fn write_word<F>(&mut self, tx: TxId, block: PhysBlock, word: WordIdx, value: u32, snapshot: F)
-    where
+    pub fn write_word<F>(
+        &mut self,
+        tx: TxId,
+        block: PhysBlock,
+        word: WordIdx,
+        value: u32,
+        snapshot: F,
+    ) where
         F: FnOnce() -> [u8; BLOCK_SIZE],
     {
         let entry = self.map.entry((tx, block)).or_insert_with(|| SpecBlock {
@@ -126,12 +132,7 @@ impl SpecBuffers {
     /// Removes and returns all of `tx`'s buffers (commit applies them;
     /// abort discards them). Order is unspecified.
     pub fn drain_tx(&mut self, tx: TxId) -> Vec<(PhysBlock, SpecBlock)> {
-        let keys: Vec<_> = self
-            .map
-            .keys()
-            .filter(|(t, _)| *t == tx)
-            .copied()
-            .collect();
+        let keys: Vec<_> = self.map.keys().filter(|(t, _)| *t == tx).copied().collect();
         keys.into_iter()
             .map(|k| (k.1, self.map.remove(&k).expect("key just listed")))
             .collect()

@@ -9,7 +9,11 @@ use std::collections::HashMap;
 enum MemOp {
     Alloc,
     FreeNth(usize),
-    Write { frame_nth: usize, word: usize, value: u32 },
+    Write {
+        frame_nth: usize,
+        word: usize,
+        value: u32,
+    },
 }
 
 fn mem_op() -> impl Strategy<Value = MemOp> {
@@ -92,7 +96,7 @@ proptest! {
         }
 
         // Unwritten words in an existing buffer read the (zero) snapshot.
-        for ((tx, fr, _), _) in &model {
+        for (tx, fr, _) in model.keys() {
             let block = PhysBlock::new(frames[*fr as usize], BlockIdx(0));
             for w in 0..16u8 {
                 if !model.contains_key(&(*tx, *fr, w)) {

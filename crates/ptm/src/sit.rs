@@ -23,6 +23,10 @@ pub struct SitEntry {
     pub contested: BlockVec,
     /// The page's TAV list survives the swap untouched.
     pub tav_head: Option<TavRef>,
+    /// The read summary vector carried across the swap.
+    pub sum_read: BlockVec,
+    /// The write summary vector carried across the swap.
+    pub sum_write: BlockVec,
 }
 
 impl SitEntry {
@@ -40,6 +44,8 @@ impl SitEntry {
             sel: entry.sel,
             contested: entry.contested,
             tav_head: entry.tav_head,
+            sum_read: entry.sum_read,
+            sum_write: entry.sum_write,
         }
     }
 }

@@ -2,12 +2,18 @@
 //!
 //! An SPT entry (Figure 1) anchors everything PTM knows about a page: the
 //! shadow-page pointer (valid only once a dirty overflow allocated one), the
-//! Select-PTM selection vector, and the head of the page's horizontal TAV
-//! list.
+//! Select-PTM selection vector, the head of the page's horizontal TAV list,
+//! and the page's conflict *summary* vectors — the running union of every
+//! live transaction's read/write vectors for the page (§4.2.2), kept
+//! incrementally so a conflict check can reject most accesses in O(1)
+//! without walking the TAV list.
+//!
+//! The table itself is direct-indexed by frame number (a `Vec` of optional
+//! entries), matching the hardware's "indexed by physical page number"
+//! organization and avoiding hash lookups on the miss path.
 
 use crate::tav::TavRef;
 use ptm_types::{BlockIdx, BlockVec, FrameId};
-use std::collections::HashMap;
 
 /// One Shadow Page Table entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +34,13 @@ pub struct SptEntry {
     pub contested: BlockVec,
     /// Head of the page's horizontal TAV list.
     pub tav_head: Option<TavRef>,
+    /// Union of the read vectors of every node on the TAV list — the read
+    /// summary vector. Maintained incrementally on overflow and rebuilt when
+    /// a node is unlinked; always equals `TavArena::read_summary(tav_head)`.
+    pub sum_read: BlockVec,
+    /// Union of the write vectors of every node on the TAV list — the write
+    /// summary vector; always equals `TavArena::write_summary(tav_head)`.
+    pub sum_write: BlockVec,
 }
 
 impl SptEntry {
@@ -38,6 +51,8 @@ impl SptEntry {
             sel: BlockVec::EMPTY,
             contested: BlockVec::EMPTY,
             tav_head: None,
+            sum_read: BlockVec::EMPTY,
+            sum_write: BlockVec::EMPTY,
         }
     }
 
@@ -60,16 +75,24 @@ impl SptEntry {
     /// Panics if no shadow page is allocated; speculative placement is only
     /// meaningful once a dirty overflow allocated one.
     pub fn speculative_frame(&self, block: BlockIdx) -> FrameId {
-        let shadow = self.shadow.expect("speculative location needs a shadow page");
+        let shadow = self
+            .shadow
+            .expect("speculative location needs a shadow page");
         if self.sel.get(block) {
             self.home
         } else {
             shadow
         }
     }
+
+    /// Whether any live transaction overflowed *any* access (read or write)
+    /// of `block` — the O(1) conflict pre-filter test.
+    pub fn summary_hit(&self, block: BlockIdx) -> bool {
+        self.sum_read.get(block) || self.sum_write.get(block)
+    }
 }
 
-/// The Shadow Page Table, indexed by physical page number.
+/// The Shadow Page Table, direct-indexed by physical page number.
 ///
 /// # Examples
 ///
@@ -85,7 +108,8 @@ impl SptEntry {
 /// ```
 #[derive(Debug, Default)]
 pub struct ShadowPageTable {
-    entries: HashMap<FrameId, SptEntry>,
+    entries: Vec<Option<SptEntry>>,
+    live: usize,
 }
 
 impl ShadowPageTable {
@@ -94,48 +118,68 @@ impl ShadowPageTable {
         Self::default()
     }
 
+    fn grow_to(&mut self, home: FrameId) -> usize {
+        let idx = home.0 as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        idx
+    }
+
     /// Registers a freshly allocated physical page ("when a page is
     /// allocated, its entry in the SPT is initialized and marked as valid").
     pub fn on_page_alloc(&mut self, home: FrameId) {
-        self.entries.insert(home, SptEntry::new(home));
+        let idx = self.grow_to(home);
+        if self.entries[idx].is_none() {
+            self.live += 1;
+        }
+        self.entries[idx] = Some(SptEntry::new(home));
     }
 
     /// Removes a page's entry (frame freed or swapped out), returning it so
     /// paging can transfer it into the SIT.
     pub fn remove(&mut self, home: FrameId) -> Option<SptEntry> {
-        self.entries.remove(&home)
+        let taken = self.entries.get_mut(home.0 as usize)?.take();
+        if taken.is_some() {
+            self.live -= 1;
+        }
+        taken
     }
 
     /// Re-inserts an entry (swap-in migrates a SIT entry back here under the
     /// page's new frame).
     pub fn insert(&mut self, entry: SptEntry) {
-        self.entries.insert(entry.home, entry);
+        let idx = self.grow_to(entry.home);
+        if self.entries[idx].is_none() {
+            self.live += 1;
+        }
+        self.entries[idx] = Some(entry);
     }
 
     /// Looks up the entry for a home page. Shadow pages themselves have no
     /// valid entry, as in the paper.
     pub fn entry(&self, home: FrameId) -> Option<&SptEntry> {
-        self.entries.get(&home)
+        self.entries.get(home.0 as usize)?.as_ref()
     }
 
     /// Mutable lookup.
     pub fn entry_mut(&mut self, home: FrameId) -> Option<&mut SptEntry> {
-        self.entries.get_mut(&home)
+        self.entries.get_mut(home.0 as usize)?.as_mut()
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Returns `true` if the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// Iterates over all entries in unspecified order.
+    /// Iterates over all entries in frame order.
     pub fn iter(&self) -> impl Iterator<Item = &SptEntry> {
-        self.entries.values()
+        self.entries.iter().flatten()
     }
 }
 
@@ -192,5 +236,36 @@ mod tests {
         assert!(spt.entry(FrameId(7)).is_none());
         spt.insert(e);
         assert!(spt.entry(FrameId(7)).unwrap().sel.get(BlockIdx(1)));
+    }
+
+    #[test]
+    fn direct_index_tracks_live_count() {
+        let mut spt = ShadowPageTable::new();
+        assert!(spt.is_empty());
+        spt.on_page_alloc(FrameId(5));
+        spt.on_page_alloc(FrameId(0));
+        assert_eq!(spt.len(), 2);
+        // Re-registering an already-live frame must not double count.
+        spt.on_page_alloc(FrameId(5));
+        assert_eq!(spt.len(), 2);
+        assert!(spt.remove(FrameId(5)).is_some());
+        assert!(spt.remove(FrameId(5)).is_none(), "second remove is a no-op");
+        assert_eq!(spt.len(), 1);
+        // Out-of-range lookups are None, not panics.
+        assert!(spt.entry(FrameId(1_000)).is_none());
+        assert!(spt.remove(FrameId(1_000)).is_none());
+        assert_eq!(spt.iter().count(), 1);
+    }
+
+    #[test]
+    fn summary_hit_tests_both_vectors() {
+        let mut e = SptEntry::new(FrameId(0));
+        assert!(!e.summary_hit(BlockIdx(3)));
+        e.sum_read.set(BlockIdx(3));
+        assert!(e.summary_hit(BlockIdx(3)));
+        e.sum_read.clear(BlockIdx(3));
+        e.sum_write.set(BlockIdx(3));
+        assert!(e.summary_hit(BlockIdx(3)));
+        assert!(!e.summary_hit(BlockIdx(4)));
     }
 }

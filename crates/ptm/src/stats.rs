@@ -40,6 +40,11 @@ pub struct PtmStats {
     pub tav_cache_misses: u64,
     /// TAV nodes touched by memory walks.
     pub tav_walk_nodes: u64,
+    /// Conflict checks resolved by the per-page summary vectors alone —
+    /// the O(1) fast path that never touched the TAV list.
+    pub conflict_checks_fast: u64,
+    /// Conflict checks whose summary test hit, forcing a per-node TAV walk.
+    pub conflict_checks_slow: u64,
     /// Transactional pages swapped out (home+shadow pairs).
     pub tx_swap_outs: u64,
     /// Transactional pages swapped back in.
@@ -97,12 +102,14 @@ impl fmt::Display for PtmStats {
         )?;
         write!(
             f,
-            "vts: spt {}/{} tav {}/{} walk-nodes={} | conflicts={} toggles={}",
+            "vts: spt {}/{} tav {}/{} walk-nodes={} | checks fast/slow {}/{} conflicts={} toggles={}",
             self.spt_cache_hits,
             self.spt_cache_misses,
             self.tav_cache_hits,
             self.tav_cache_misses,
             self.tav_walk_nodes,
+            self.conflict_checks_fast,
+            self.conflict_checks_slow,
             self.overflow_conflicts,
             self.selection_toggles
         )

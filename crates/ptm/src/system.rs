@@ -128,6 +128,17 @@ impl PtmSystem {
         self.spt.entry(frame)
     }
 
+    /// Read-only view of the TAV arena (introspection: tests assert the
+    /// per-page summary vectors stay equal to the union over the TAV list).
+    pub fn tav_arena(&self) -> &TavArena {
+        &self.tavs
+    }
+
+    /// Read-only view of a swapped-out page's SIT entry.
+    pub fn sit_entry(&self, home_slot: SwapSlot) -> Option<&SitEntry> {
+        self.sit.entry(home_slot)
+    }
+
     /// Starts a transaction (outermost begin).
     pub fn begin(&mut self, tx: TxId, ordered_seq: Option<u64>) {
         self.tstate.begin(tx, ordered_seq);
@@ -182,9 +193,16 @@ impl PtmSystem {
             return outcome;
         };
         let head = entry.tav_head;
+        // The incrementally maintained per-page summary vectors — what the
+        // VTS reads out of its cached SPT entry. Copied out up front so the
+        // borrow of the entry ends before the cache/stat updates below.
+        let rsum = entry.sum_read;
+        let wsum = entry.sum_write;
 
-        let mut cost = VtsCost { lookups: 1, ..Default::default() };
-        let nodes = self.tavs.page_list(head);
+        let mut cost = VtsCost {
+            lookups: 1,
+            ..Default::default()
+        };
         match self.spt_cache.touch(frame) {
             crate::vts::Touch::Hit => self.stats.spt_cache_hits += 1,
             crate::vts::Touch::Miss { evicted_dirty } => {
@@ -192,40 +210,51 @@ impl PtmSystem {
                 // Walk: read the SPT entry, then every TAV node to rebuild
                 // the summary vectors; each walked node lands in the TAV
                 // cache (§4.2.2).
-                cost.memory_accesses += 1 + nodes.len() as u32;
-                if evicted_dirty {
-                    cost.memory_accesses += 1;
-                }
-                self.stats.tav_walk_nodes += nodes.len() as u64;
-                for r in &nodes {
-                    let tx = self.tavs.get(*r).tx;
+                let mut len = 0u32;
+                let mut cur = head;
+                while let Some(r) = cur {
+                    let n = self.tavs.get(r);
+                    let tx = n.tx;
+                    cur = n.next_in_page;
                     let _ = self.tav_cache.touch((frame, tx));
+                    len += 1;
                 }
+                cost.memory_accesses += 1 + len + u32::from(evicted_dirty);
+                self.stats.tav_walk_nodes += u64::from(len);
             }
         }
-
-        let wsum = self.tavs.write_summary(head);
-        let rsum = self.tavs.read_summary(head);
 
         let potential = match kind {
             AccessKind::Read => wsum.get(idx),
             AccessKind::Write => wsum.get(idx) || rsum.get(idx),
         };
 
-        if kind == AccessKind::Read {
+        if kind == AccessKind::Read && rsum.get(idx) {
             // Exclusive permission is denied while another transaction has
-            // an overflowed read of the block.
-            outcome.deny_exclusive = nodes.iter().any(|r| {
-                let n = self.tavs.get(*r);
-                n.read.get(idx) && Some(n.tx) != requester
-            });
+            // an overflowed read of the block. The summary bit proves *some*
+            // transaction read it; only a transactional requester needs the
+            // walk to rule out its own node.
+            outcome.deny_exclusive = match requester {
+                None => true,
+                Some(me) => self.tavs.page_iter(head).any(|r| {
+                    let n = self.tavs.get(r);
+                    n.read.get(idx) && n.tx != me
+                }),
+            };
         }
 
-        if potential {
+        if !potential {
+            // O(1) early exit: the summary vectors prove no overflowed
+            // access can conflict with this one.
+            self.stats.conflict_checks_fast += 1;
+        } else {
+            self.stats.conflict_checks_slow += 1;
             // Summary says "maybe": consult the per-transaction vectors.
             let word_in_page = idx.0 as usize * (BLOCK_SIZE / WORD_SIZE) + word.0 as usize;
-            for r in &nodes {
-                let n = self.tavs.get(*r);
+            let mut cur = head;
+            while let Some(r) = cur {
+                let n = self.tavs.get(r);
+                cur = n.next_in_page;
                 if Some(n.tx) == requester {
                     continue;
                 }
@@ -278,6 +307,7 @@ impl PtmSystem {
     /// possible in the word-granularity configurations) — it forces the
     /// merge path so the shared speculative page never loses that
     /// transaction's view.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_tx_eviction(
         &mut self,
         meta: &TxLineMeta,
@@ -298,7 +328,10 @@ impl PtmSystem {
 
         // The eviction's coherence message reaches the VTS.
         let mut done = bus.onchip_transfer(now);
-        let mut cost = VtsCost { lookups: 2, ..Default::default() };
+        let mut cost = VtsCost {
+            lookups: 2,
+            ..Default::default()
+        };
         match self.spt_cache.touch(frame) {
             crate::vts::Touch::Hit => self.stats.spt_cache_hits += 1,
             crate::vts::Touch::Miss { evicted_dirty } => {
@@ -318,13 +351,10 @@ impl PtmSystem {
         // Pre-update write summary (Copy-PTM needs to know whether this is
         // the block's first dirty overflow), and the pre-update *word*
         // summary (word-mode Copy-PTM backs words up individually).
-        let head = self.spt.entry(frame).expect("registered page").tav_head;
-        let wsum_before = self.tavs.write_summary(head);
-        let word_sum_before = self
-            .tavs
-            .page_list(head)
-            .iter()
-            .fold(ptm_types::WordVec::EMPTY, |acc, r| acc | self.tavs.get(*r).write_words);
+        let entry = self.spt.entry(frame).expect("registered page");
+        let head = entry.tav_head;
+        let wsum_before = entry.sum_write;
+        let word_sum_before = self.tavs.word_write_summary(head);
 
         // Find or create the (tx, page) TAV node.
         let node_ref = match self.tavs.find_in_page_list(head, tx) {
@@ -348,13 +378,27 @@ impl PtmSystem {
             // granularity: conflict *checks* ignore them in `wd:cache`, but
             // word-selective data movement (merge commits, view selection)
             // always needs them.
-            self.tavs.get_mut(node_ref).record_read(idx, Some(meta.read_words));
+            self.tavs
+                .get_mut(node_ref)
+                .record_read(idx, Some(meta.read_words));
+            self.spt
+                .entry_mut(frame)
+                .expect("registered page")
+                .sum_read
+                .set(idx);
         }
 
         if meta.write {
             let spec = spec.expect("dirty eviction must carry speculative data");
             let first_dirty_overflow = !wsum_before.get(idx);
-            self.tavs.get_mut(node_ref).record_write(idx, Some(meta.write_words));
+            self.tavs
+                .get_mut(node_ref)
+                .record_write(idx, Some(meta.write_words));
+            self.spt
+                .entry_mut(frame)
+                .expect("registered page")
+                .sum_write
+                .set(idx);
             self.ensure_shadow(frame, mem);
             let entry = self.spt.entry(frame).expect("registered page");
             let home_block = block;
@@ -375,7 +419,8 @@ impl PtmSystem {
                         let base = idx.0 as usize * (BLOCK_SIZE / WORD_SIZE);
                         let mut fresh = WordMask::EMPTY;
                         for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {
-                            if spec.written.get(WordIdx(w)) && !word_sum_before.get(base + w as usize)
+                            if spec.written.get(WordIdx(w))
+                                && !word_sum_before.get(base + w as usize)
                             {
                                 fresh.set(WordIdx(w));
                             }
@@ -466,8 +511,7 @@ impl PtmSystem {
         match (self.cfg.policy, entry.shadow) {
             (PtmPolicy::Copy, _) | (_, None) => frame,
             (PtmPolicy::Select, Some(shadow)) => {
-                let wsum = self.tavs.write_summary(entry.tav_head);
-                if wsum.get(idx) ^ entry.sel.get(idx) {
+                if entry.sum_write.get(idx) ^ entry.sel.get(idx) {
                     shadow
                 } else {
                     frame
@@ -488,9 +532,8 @@ impl PtmSystem {
             PtmPolicy::Copy => {
                 // If a live transaction's speculative data occupies the home
                 // block, the committed version is the shadow backup.
-                let wsum = self.tavs.write_summary(entry.tav_head);
                 match entry.shadow {
-                    Some(shadow) if wsum.get(idx) => shadow,
+                    Some(shadow) if entry.sum_write.get(idx) => shadow,
                     _ => frame,
                 }
             }
@@ -566,8 +609,11 @@ impl PtmSystem {
             return false;
         };
         let idx = block.index();
-        self.tavs.page_list(entry.tav_head).iter().any(|r| {
-            let n = self.tavs.get(*r);
+        if !entry.summary_hit(idx) {
+            return false;
+        }
+        self.tavs.page_iter(entry.tav_head).any(|r| {
+            let n = self.tavs.get(r);
             Some(n.tx) != exclude && (n.write.get(idx) || n.read.get(idx))
         })
     }
@@ -582,11 +628,13 @@ impl PtmSystem {
         let Some(entry) = self.spt.entry(block.frame()) else {
             return Vec::new();
         };
+        if !entry.sum_write.get(block.index()) {
+            return Vec::new();
+        }
         self.tavs
-            .page_list(entry.tav_head)
-            .iter()
-            .filter(|r| self.tavs.get(**r).write.get(block.index()))
-            .map(|r| self.tavs.get(*r).tx)
+            .page_iter(entry.tav_head)
+            .filter(|r| self.tavs.get(*r).write.get(block.index()))
+            .map(|r| self.tavs.get(r).tx)
             .collect()
     }
 
@@ -627,22 +675,36 @@ impl PtmSystem {
     /// Commits `tx`: logical commit is immediate; TAV cleanup (selection
     /// vector toggling for Select-PTM, node freeing) is charged lazily and
     /// installs per-page stall windows. Returns the cleanup-complete cycle.
-    pub fn commit(&mut self, tx: TxId, mem: &mut PhysicalMemory, now: Cycle, bus: &mut SystemBus) -> Cycle {
+    pub fn commit(
+        &mut self,
+        tx: TxId,
+        mem: &mut PhysicalMemory,
+        now: Cycle,
+        bus: &mut SystemBus,
+    ) -> Cycle {
         self.tstate.set_status(tx, TxStatus::Committing);
-        let nodes = self.tavs.tx_list(self.tstate.entry(tx).tav_head);
+        let head = self.tstate.entry(tx).tav_head;
         let mut t = now;
 
-        self.stats.tx_dirty_page_sum += nodes
-            .iter()
-            .filter(|r| !self.tavs.get(**r).write.is_empty())
+        self.stats.tx_dirty_page_sum += self
+            .tavs
+            .tx_iter(head)
+            .filter(|r| !self.tavs.get(*r).write.is_empty())
             .count() as u64;
 
-        for r in nodes {
-            let (frame, write_vec) = {
+        // Cursor walk: read each node's vertical link before its page-side
+        // unlink frees it.
+        let mut cur = head;
+        while let Some(r) = cur {
+            let (frame, write_vec, next) = {
                 let n = self.tavs.get(r);
-                (n.page, n.write)
+                (n.page, n.write, n.next_in_tx)
             };
-            let mut cost = VtsCost { lookups: 2, ..Default::default() };
+            cur = next;
+            let mut cost = VtsCost {
+                lookups: 2,
+                ..Default::default()
+            };
             match self.tav_cache.touch((frame, tx)) {
                 crate::vts::Touch::Hit => self.stats.tav_cache_hits += 1,
                 crate::vts::Touch::Miss { evicted_dirty } => {
@@ -688,17 +750,27 @@ impl PtmSystem {
     /// Aborts `tx`: Select-PTM only frees TAV nodes (selection bits already
     /// point at the committed data); Copy-PTM must restore every overwritten
     /// home block from its shadow backup. Returns the cleanup-complete cycle.
-    pub fn abort(&mut self, tx: TxId, mem: &mut PhysicalMemory, now: Cycle, bus: &mut SystemBus) -> Cycle {
+    pub fn abort(
+        &mut self,
+        tx: TxId,
+        mem: &mut PhysicalMemory,
+        now: Cycle,
+        bus: &mut SystemBus,
+    ) -> Cycle {
         self.tstate.set_status(tx, TxStatus::Aborting);
-        let nodes = self.tavs.tx_list(self.tstate.entry(tx).tav_head);
+        let mut cur = self.tstate.entry(tx).tav_head;
         let mut t = now;
 
-        for r in nodes {
-            let (frame, write_vec) = {
+        while let Some(r) = cur {
+            let (frame, write_vec, next) = {
                 let n = self.tavs.get(r);
-                (n.page, n.write)
+                (n.page, n.write, n.next_in_tx)
             };
-            let mut cost = VtsCost { lookups: 2, ..Default::default() };
+            cur = next;
+            let mut cost = VtsCost {
+                lookups: 2,
+                ..Default::default()
+            };
             match self.tav_cache.touch((frame, tx)) {
                 crate::vts::Touch::Hit => self.stats.tav_cache_hits += 1,
                 crate::vts::Touch::Miss { evicted_dirty } => {
@@ -744,14 +816,23 @@ impl PtmSystem {
     }
 
     fn other_writers(&self, frame: FrameId, idx: BlockIdx, tx: TxId) -> bool {
-        let head = self.spt.entry(frame).expect("page present").tav_head;
-        self.tavs.page_list(head).iter().any(|r| {
-            let n = self.tavs.get(*r);
+        let entry = self.spt.entry(frame).expect("page present");
+        if !entry.sum_write.get(idx) {
+            return false;
+        }
+        self.tavs.page_iter(entry.tav_head).any(|r| {
+            let n = self.tavs.get(r);
             n.tx != tx && n.write.get(idx)
         })
     }
 
-    fn merge_written_words(&mut self, node: TavRef, frame: FrameId, idx: BlockIdx, mem: &mut PhysicalMemory) {
+    fn merge_written_words(
+        &mut self,
+        node: TavRef,
+        frame: FrameId,
+        idx: BlockIdx,
+        mem: &mut PhysicalMemory,
+    ) {
         let mask = self.tavs.get(node).write_words.block_words(idx);
         let entry = self.spt.entry(frame).expect("page present");
         let spec = PhysBlock::new(frame, idx).on_frame(entry.speculative_frame(idx));
@@ -760,11 +841,16 @@ impl PtmSystem {
     }
 
     fn unlink_and_free(&mut self, r: TavRef, frame: FrameId, tx: TxId) {
-        let entry = self.spt.entry_mut(frame).expect("page present");
-        let head = entry.tav_head;
+        let head = self.spt.entry(frame).expect("page present").tav_head;
         let new_head = self.tavs.unlink_from_page_list(head, r);
-        self.spt.entry_mut(frame).expect("page present").tav_head = new_head;
         self.tavs.free(r);
+        // Summaries shrink on unlink, so rebuild them from the survivors —
+        // the only remaining full walk on the commit/abort path.
+        let (sum_read, sum_write) = self.tavs.block_summaries(new_head);
+        let entry = self.spt.entry_mut(frame).expect("page present");
+        entry.tav_head = new_head;
+        entry.sum_read = sum_read;
+        entry.sum_write = sum_write;
         self.tav_cache.remove(&(frame, tx));
     }
 
@@ -845,7 +931,8 @@ impl PtmSystem {
             slot
         });
 
-        self.sit.insert(SitEntry::from_spt(&entry, home_slot, shadow_slot));
+        self.sit
+            .insert(SitEntry::from_spt(&entry, home_slot, shadow_slot));
         self.spt_cache.remove(&frame);
         self.tav_cache.remove_matching(|(f, _)| *f == frame);
         if transactional {
@@ -883,9 +970,7 @@ impl PtmSystem {
         });
 
         // Repoint the page's TAV nodes at the new frame.
-        for r in self.tavs.page_list(sit_entry.tav_head) {
-            self.tavs.get_mut(r).page = home;
-        }
+        self.tavs.repoint_page_list(sit_entry.tav_head, home);
 
         self.spt.insert(SptEntry {
             home,
@@ -893,6 +978,8 @@ impl PtmSystem {
             sel: sit_entry.sel,
             contested: sit_entry.contested,
             tav_head: sit_entry.tav_head,
+            sum_read: sit_entry.sum_read,
+            sum_write: sit_entry.sum_write,
         });
         if sit_entry.tav_head.is_some() || shadow.is_some() {
             self.stats.tx_swap_ins += 1;
@@ -905,7 +992,8 @@ impl PtmSystem {
     /// shadow, migrate it to the home page and toggle the selection bit —
     /// unless a live transaction's speculative data occupies the home slot.
     pub fn on_nontx_dirty_writeback(&mut self, block: PhysBlock, mem: &mut PhysicalMemory) {
-        if self.cfg.policy != PtmPolicy::Select || self.cfg.shadow_free != ShadowFreePolicy::LazyMigrate
+        if self.cfg.policy != PtmPolicy::Select
+            || self.cfg.shadow_free != ShadowFreePolicy::LazyMigrate
         {
             return;
         }
@@ -922,7 +1010,7 @@ impl PtmSystem {
         }
         // The home slot currently holds (or may soon hold) speculative data
         // if any live transaction overflowed a write to this block.
-        if self.tavs.write_summary(entry.tav_head).get(idx) {
+        if entry.sum_write.get(idx) {
             return;
         }
         mem.copy_block(block.on_frame(shadow), block);

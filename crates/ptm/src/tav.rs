@@ -170,70 +170,160 @@ impl TavArena {
             .unwrap_or_else(|| panic!("use after free of {r}"))
     }
 
-    /// Walks a horizontal (per-page) list, collecting the node handles.
-    pub fn page_list(&self, head: Option<TavRef>) -> Vec<TavRef> {
-        self.walk(head, |n| n.next_in_page)
-    }
-
-    /// Walks a vertical (per-transaction) list, collecting the node handles.
-    pub fn tx_list(&self, head: Option<TavRef>) -> Vec<TavRef> {
-        self.walk(head, |n| n.next_in_tx)
-    }
-
-    fn walk<F>(&self, head: Option<TavRef>, next: F) -> Vec<TavRef>
-    where
-        F: Fn(&TavNode) -> Option<TavRef>,
-    {
-        let mut out = Vec::new();
-        let mut cur = head;
-        while let Some(r) = cur {
-            out.push(r);
-            cur = next(self.get(r));
+    /// Walks a horizontal (per-page) list without allocating.
+    pub fn page_iter(&self, head: Option<TavRef>) -> ListIter<'_> {
+        ListIter {
+            arena: self,
+            cur: head,
+            link: Link::Page,
         }
-        out
     }
 
-    /// Finds the node for `tx` in a page list, if present.
+    /// Walks a vertical (per-transaction) list without allocating.
+    pub fn tx_iter(&self, head: Option<TavRef>) -> ListIter<'_> {
+        ListIter {
+            arena: self,
+            cur: head,
+            link: Link::Tx,
+        }
+    }
+
+    /// Length of a horizontal list.
+    pub fn page_list_len(&self, head: Option<TavRef>) -> usize {
+        self.page_iter(head).count()
+    }
+
+    /// Finds the node for `tx` in a page list, if present (single pass).
     pub fn find_in_page_list(&self, head: Option<TavRef>, tx: TxId) -> Option<TavRef> {
-        self.page_list(head).into_iter().find(|r| self.get(*r).tx == tx)
+        self.page_iter(head).find(|r| self.get(*r).tx == tx)
     }
 
-    /// Unlinks `target` from a horizontal list headed at `head`, returning
-    /// the new head.
+    /// Unlinks `target` from a horizontal list headed at `head` in a single
+    /// pass, returning the new head.
     ///
     /// # Panics
     ///
     /// Panics if `target` is not on the list.
-    pub fn unlink_from_page_list(&mut self, head: Option<TavRef>, target: TavRef) -> Option<TavRef> {
-        let list = self.page_list(head);
-        let pos = list
-            .iter()
-            .position(|r| *r == target)
-            .unwrap_or_else(|| panic!("{target} not on page list"));
+    pub fn unlink_from_page_list(
+        &mut self,
+        head: Option<TavRef>,
+        target: TavRef,
+    ) -> Option<TavRef> {
         let next = self.get(target).next_in_page;
-        if pos == 0 {
-            next
-        } else {
-            let prev = list[pos - 1];
-            self.get_mut(prev).next_in_page = next;
-            head
+        if head == Some(target) {
+            return next;
         }
+        let mut prev = head.unwrap_or_else(|| panic!("{target} not on page list"));
+        while self.get(prev).next_in_page != Some(target) {
+            prev = self
+                .get(prev)
+                .next_in_page
+                .unwrap_or_else(|| panic!("{target} not on page list"));
+        }
+        self.get_mut(prev).next_in_page = next;
+        head
+    }
+
+    /// Single-pass retain over a horizontal list: every node failing `keep`
+    /// is unlinked *and freed*; returns the new head. The caller remains
+    /// responsible for any external bookkeeping keyed by the freed nodes.
+    pub fn retain_page_list<F>(&mut self, head: Option<TavRef>, mut keep: F) -> Option<TavRef>
+    where
+        F: FnMut(&TavNode) -> bool,
+    {
+        let mut head = head;
+        let mut prev: Option<TavRef> = None;
+        let mut cur = head;
+        while let Some(r) = cur {
+            let node = self.get(r);
+            let next = node.next_in_page;
+            if keep(node) {
+                prev = Some(r);
+            } else {
+                match prev {
+                    None => head = next,
+                    Some(p) => self.get_mut(p).next_in_page = next,
+                }
+                self.free(r);
+            }
+            cur = next;
+        }
+        head
+    }
+
+    /// Repoints every node of a horizontal list at a new home frame (the
+    /// page migrated across a swap-out/in cycle) in a single mutating pass.
+    pub fn repoint_page_list(&mut self, head: Option<TavRef>, new_page: FrameId) {
+        let mut cur = head;
+        while let Some(r) = cur {
+            let node = self.get_mut(r);
+            node.page = new_page;
+            cur = node.next_in_page;
+        }
+    }
+
+    /// ORs together the read and write vectors of a page list in one pass —
+    /// the VTS summary vectors (§4.2.2).
+    pub fn block_summaries(&self, head: Option<TavRef>) -> (BlockVec, BlockVec) {
+        self.page_iter(head)
+            .fold((BlockVec::EMPTY, BlockVec::EMPTY), |(r_acc, w_acc), r| {
+                let n = self.get(r);
+                (r_acc | n.read, w_acc | n.write)
+            })
     }
 
     /// ORs together the write vectors of a page list — the VTS write
     /// *summary* vector (§4.2.2).
     pub fn write_summary(&self, head: Option<TavRef>) -> BlockVec {
-        self.page_list(head)
-            .iter()
-            .fold(BlockVec::EMPTY, |acc, r| acc | self.get(*r).write)
+        self.page_iter(head)
+            .fold(BlockVec::EMPTY, |acc, r| acc | self.get(r).write)
     }
 
     /// ORs together the read vectors of a page list — the VTS read summary
     /// vector.
     pub fn read_summary(&self, head: Option<TavRef>) -> BlockVec {
-        self.page_list(head)
-            .iter()
-            .fold(BlockVec::EMPTY, |acc, r| acc | self.get(*r).read)
+        self.page_iter(head)
+            .fold(BlockVec::EMPTY, |acc, r| acc | self.get(r).read)
+    }
+
+    /// ORs together the word-granular write vectors of a page list.
+    pub fn word_write_summary(&self, head: Option<TavRef>) -> WordVec {
+        self.page_iter(head)
+            .fold(WordVec::EMPTY, |acc, r| acc | self.get(r).write_words)
+    }
+}
+
+/// Which link field a [`ListIter`] follows.
+#[derive(Debug, Clone, Copy)]
+enum Link {
+    Page,
+    Tx,
+}
+
+/// Allocation-free walk of a TAV linked list.
+///
+/// Reads each node's next pointer *before* yielding it, so the yielded node
+/// may be mutated (but not unlinked or freed) between `next` calls — for
+/// unlink-while-walking, use [`TavArena::retain_page_list`] or an explicit
+/// cursor that re-reads the link after the mutation.
+#[derive(Debug)]
+pub struct ListIter<'a> {
+    arena: &'a TavArena,
+    cur: Option<TavRef>,
+    link: Link,
+}
+
+impl Iterator for ListIter<'_> {
+    type Item = TavRef;
+
+    fn next(&mut self) -> Option<TavRef> {
+        let r = self.cur?;
+        let node = self.arena.get(r);
+        self.cur = match self.link {
+            Link::Page => node.next_in_page,
+            Link::Tx => node.next_in_tx,
+        };
+        Some(r)
     }
 }
 
@@ -273,7 +363,8 @@ mod tests {
         let r2 = a.alloc(TxId(2), FrameId(0));
         a.get_mut(r2).next_in_page = Some(r1);
         let head = Some(r2);
-        assert_eq!(a.page_list(head), vec![r2, r1]);
+        assert_eq!(a.page_iter(head).collect::<Vec<_>>(), vec![r2, r1]);
+        assert_eq!(a.page_list_len(head), 2);
         assert_eq!(a.find_in_page_list(head, TxId(1)), Some(r1));
         assert_eq!(a.find_in_page_list(head, TxId(3)), None);
     }
@@ -291,12 +382,107 @@ mod tests {
         // Unlink middle.
         let head = a.unlink_from_page_list(Some(r3), r2);
         assert_eq!(head, Some(r3));
-        assert_eq!(a.page_list(head), vec![r3, r1]);
+        assert_eq!(a.page_iter(head).collect::<Vec<_>>(), vec![r3, r1]);
 
         // Unlink head.
         let head = a.unlink_from_page_list(head, r3);
         assert_eq!(head, Some(r1));
-        assert_eq!(a.page_list(head), vec![r1]);
+        assert_eq!(a.page_iter(head).collect::<Vec<_>>(), vec![r1]);
+    }
+
+    /// Regression test for the single-pass unlink: removing the head, a
+    /// middle node, and the tail must each keep every surviving node's
+    /// `next_in_page` link intact.
+    #[test]
+    fn unlink_head_middle_tail_preserves_links() {
+        fn build(a: &mut TavArena) -> (Vec<TavRef>, Option<TavRef>) {
+            let refs: Vec<TavRef> = (0..4).map(|i| a.alloc(TxId(i), FrameId(0))).collect();
+            for w in refs.windows(2) {
+                a.get_mut(w[0]).next_in_page = Some(w[1]);
+            }
+            let head = Some(refs[0]);
+            (refs, head)
+        }
+
+        // Head.
+        let mut a = TavArena::new();
+        let (refs, head) = build(&mut a);
+        let head = a.unlink_from_page_list(head, refs[0]);
+        assert_eq!(
+            a.page_iter(head).collect::<Vec<_>>(),
+            vec![refs[1], refs[2], refs[3]]
+        );
+        assert_eq!(
+            a.get(refs[0]).next_in_page,
+            Some(refs[1]),
+            "unlinked node keeps its link"
+        );
+
+        // Middle.
+        let mut a = TavArena::new();
+        let (refs, head) = build(&mut a);
+        let head = a.unlink_from_page_list(head, refs[2]);
+        assert_eq!(
+            a.page_iter(head).collect::<Vec<_>>(),
+            vec![refs[0], refs[1], refs[3]]
+        );
+
+        // Tail.
+        let mut a = TavArena::new();
+        let (refs, head) = build(&mut a);
+        let head = a.unlink_from_page_list(head, refs[3]);
+        assert_eq!(
+            a.page_iter(head).collect::<Vec<_>>(),
+            vec![refs[0], refs[1], refs[2]]
+        );
+        assert_eq!(
+            a.get(refs[2]).next_in_page,
+            None,
+            "new tail terminates the list"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not on page list")]
+    fn unlink_missing_node_panics() {
+        let mut a = TavArena::new();
+        let r1 = a.alloc(TxId(1), FrameId(0));
+        let r2 = a.alloc(TxId(2), FrameId(1));
+        let _ = a.unlink_from_page_list(Some(r1), r2);
+    }
+
+    #[test]
+    fn retain_unlinks_and_frees_failing_nodes() {
+        let mut a = TavArena::new();
+        let refs: Vec<TavRef> = (0..5).map(|i| a.alloc(TxId(i), FrameId(0))).collect();
+        for w in refs.windows(2) {
+            a.get_mut(w[0]).next_in_page = Some(w[1]);
+        }
+        let head = a.retain_page_list(Some(refs[0]), |n| n.tx.0 % 2 == 0);
+        assert_eq!(
+            a.page_iter(head).collect::<Vec<_>>(),
+            vec![refs[0], refs[2], refs[4]]
+        );
+        assert_eq!(a.live(), 3, "failing nodes were freed");
+
+        // Dropping the head works too.
+        let head = a.retain_page_list(head, |n| n.tx != TxId(0));
+        assert_eq!(
+            a.page_iter(head).collect::<Vec<_>>(),
+            vec![refs[2], refs[4]]
+        );
+        assert_eq!(a.live(), 2);
+    }
+
+    #[test]
+    fn repoint_updates_every_node() {
+        let mut a = TavArena::new();
+        let r1 = a.alloc(TxId(1), FrameId(0));
+        let r2 = a.alloc(TxId(2), FrameId(0));
+        a.get_mut(r2).next_in_page = Some(r1);
+        a.repoint_page_list(Some(r2), FrameId(9));
+        assert_eq!(a.get(r1).page, FrameId(9));
+        assert_eq!(a.get(r2).page, FrameId(9));
     }
 
     #[test]
@@ -315,6 +501,7 @@ mod tests {
         let r = a.read_summary(head);
         assert!(r.get(BlockIdx(2)));
         assert_eq!(r.count(), 1);
+        assert_eq!(a.block_summaries(head), (r, w), "one-pass fold agrees");
     }
 
     #[test]
@@ -324,8 +511,12 @@ mod tests {
         let p0 = a.alloc(TxId(1), FrameId(0));
         let p1 = a.alloc(TxId(1), FrameId(1));
         a.get_mut(p0).next_in_tx = Some(p1);
-        assert_eq!(a.tx_list(Some(p0)), vec![p0, p1]);
-        assert_eq!(a.page_list(Some(p0)), vec![p0], "horizontal list separate");
+        assert_eq!(a.tx_iter(Some(p0)).collect::<Vec<_>>(), vec![p0, p1]);
+        assert_eq!(
+            a.page_iter(Some(p0)).collect::<Vec<_>>(),
+            vec![p0],
+            "horizontal list separate"
+        );
     }
 
     #[test]

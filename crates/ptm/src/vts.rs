@@ -146,12 +146,7 @@ impl VtsCost {
     /// Converts to a completion cycle: lookups are pipelined at
     /// `lookup_latency` each (taking the max as they overlap the request),
     /// memory accesses go through the controller's pipelined memory slots.
-    pub fn charge(
-        self,
-        now: Cycle,
-        lookup_latency: u64,
-        bus: &mut ptm_cache::SystemBus,
-    ) -> Cycle {
+    pub fn charge(self, now: Cycle, lookup_latency: u64, bus: &mut ptm_cache::SystemBus) -> Cycle {
         let mut done = now + lookup_latency * u64::from(self.lookups.min(2));
         for _ in 0..self.memory_accesses {
             done = bus.controller_mem_access(done.max(now));
@@ -168,7 +163,12 @@ mod tests {
     #[test]
     fn lru_tracker_hits_and_misses() {
         let mut t = LruTracker::new(2);
-        assert_eq!(t.touch(10), Touch::Miss { evicted_dirty: false });
+        assert_eq!(
+            t.touch(10),
+            Touch::Miss {
+                evicted_dirty: false
+            }
+        );
         assert_eq!(t.touch(10), Touch::Hit);
         t.touch(20);
         t.touch(30); // evicts 10
@@ -181,8 +181,18 @@ mod tests {
         let mut t = LruTracker::new(1);
         t.touch(1);
         t.mark_dirty(&1);
-        assert_eq!(t.touch(2), Touch::Miss { evicted_dirty: true });
-        assert_eq!(t.touch(3), Touch::Miss { evicted_dirty: false });
+        assert_eq!(
+            t.touch(2),
+            Touch::Miss {
+                evicted_dirty: true
+            }
+        );
+        assert_eq!(
+            t.touch(3),
+            Touch::Miss {
+                evicted_dirty: false
+            }
+        );
     }
 
     #[test]

@@ -53,12 +53,12 @@ fn block() -> PhysBlock {
 fn conflict_matrix_matches_section_4_3() {
     // (prior state, access kind) -> conflict expected with a DIFFERENT tx.
     let cases = [
-        (Prior::Read, AccessKind::Read, false),          // R/R: never
-        (Prior::Read, AccessKind::Write, true),          // WAR
-        (Prior::Write, AccessKind::Read, true),          // RAW
-        (Prior::Write, AccessKind::Write, true),         // WAW
-        (Prior::ReadAndWrite, AccessKind::Read, true),   // RAW
-        (Prior::ReadAndWrite, AccessKind::Write, true),  // WAR+WAW
+        (Prior::Read, AccessKind::Read, false),         // R/R: never
+        (Prior::Read, AccessKind::Write, true),         // WAR
+        (Prior::Write, AccessKind::Read, true),         // RAW
+        (Prior::Write, AccessKind::Write, true),        // WAW
+        (Prior::ReadAndWrite, AccessKind::Read, true),  // RAW
+        (Prior::ReadAndWrite, AccessKind::Write, true), // WAR+WAW
     ];
     for cfg in [PtmConfig::select(), PtmConfig::copy()] {
         for (prior, kind, expect) in cases {
@@ -77,7 +77,10 @@ fn conflict_matrix_matches_section_4_3() {
             }
             // The owner itself never conflicts:
             let own = ptm.check_conflict(Some(owner), block(), WordIdx(0), kind, 100, &mut bus);
-            assert!(own.conflicts.is_empty(), "owner self-conflicted: {prior:?} {kind:?}");
+            assert!(
+                own.conflicts.is_empty(),
+                "owner self-conflicted: {prior:?} {kind:?}"
+            );
             // Non-transactional requester sees the same conflicts:
             let nontx = ptm.check_conflict(None, block(), WordIdx(0), kind, 100, &mut bus);
             assert_eq!(
@@ -93,12 +96,33 @@ fn conflict_matrix_matches_section_4_3() {
 #[test]
 fn exclusivity_denied_only_for_foreign_reads() {
     let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), Prior::Read, TxId(0));
-    let other = ptm.check_conflict(Some(TxId(1)), block(), WordIdx(0), AccessKind::Read, 50, &mut bus);
+    let other = ptm.check_conflict(
+        Some(TxId(1)),
+        block(),
+        WordIdx(0),
+        AccessKind::Read,
+        50,
+        &mut bus,
+    );
     assert!(other.deny_exclusive, "foreign read overflow denies E");
-    let own = ptm.check_conflict(Some(TxId(0)), block(), WordIdx(0), AccessKind::Read, 50, &mut bus);
+    let own = ptm.check_conflict(
+        Some(TxId(0)),
+        block(),
+        WordIdx(0),
+        AccessKind::Read,
+        50,
+        &mut bus,
+    );
     assert!(!own.deny_exclusive, "own overflow does not");
     ptm.commit(TxId(0), &mut mem, 100, &mut bus);
-    let after = ptm.check_conflict(Some(TxId(1)), block(), WordIdx(0), AccessKind::Read, 5_000, &mut bus);
+    let after = ptm.check_conflict(
+        Some(TxId(1)),
+        block(),
+        WordIdx(0),
+        AccessKind::Read,
+        5_000,
+        &mut bus,
+    );
     assert!(!after.deny_exclusive, "cleared with the TAVs");
 }
 
@@ -116,8 +140,19 @@ fn multiple_readers_all_reported_to_a_writer() {
         meta.record_read(WordIdx(0));
         ptm.on_tx_eviction(&meta, block(), None, false, &mut mem, 0, &mut bus);
     }
-    let out = ptm.check_conflict(Some(TxId(9)), block(), WordIdx(0), AccessKind::Write, 100, &mut bus);
-    assert_eq!(out.conflicts, vec![TxId(0), TxId(1), TxId(2)], "every reader reported");
+    let out = ptm.check_conflict(
+        Some(TxId(9)),
+        block(),
+        WordIdx(0),
+        AccessKind::Write,
+        100,
+        &mut bus,
+    );
+    assert_eq!(
+        out.conflicts,
+        vec![TxId(0), TxId(1), TxId(2)],
+        "every reader reported"
+    );
 }
 
 #[test]
@@ -130,7 +165,14 @@ fn committed_and_aborted_transactions_never_conflict() {
             ptm.abort(TxId(0), &mut mem, 100, &mut bus);
         }
         // Past the cleanup window, nothing conflicts.
-        let out = ptm.check_conflict(Some(TxId(1)), block(), WordIdx(0), AccessKind::Write, 50_000, &mut bus);
+        let out = ptm.check_conflict(
+            Some(TxId(1)),
+            block(),
+            WordIdx(0),
+            AccessKind::Write,
+            50_000,
+            &mut bus,
+        );
         assert!(out.conflicts.is_empty());
         assert!(!ptm.has_overflows());
     }
@@ -141,7 +183,14 @@ fn conflicts_are_per_block_not_per_page() {
     let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), Prior::Write, TxId(0));
     for idx in [0u8, 1, 3, 63] {
         let other = PhysBlock::new(FrameId(0), BlockIdx(idx));
-        let out = ptm.check_conflict(Some(TxId(1)), other, WordIdx(0), AccessKind::Write, 50, &mut bus);
+        let out = ptm.check_conflict(
+            Some(TxId(1)),
+            other,
+            WordIdx(0),
+            AccessKind::Write,
+            50,
+            &mut bus,
+        );
         assert!(
             out.conflicts.is_empty(),
             "block {idx} shares only the page, never the conflict"

@@ -43,7 +43,15 @@ fn repeated_swap_cycles_preserve_all_state() {
     ptm.begin(tx, None);
     let block = PhysBlock::new(FrameId(0), BlockIdx(7));
     mem.write_word(block.addr(), 111);
-    ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(0, 222)), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &dirty(tx),
+        block,
+        Some(&spec(0, 222)),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
 
     // Three full swap-out/swap-in cycles while the transaction lives.
     let mut home = FrameId(0);
@@ -56,7 +64,11 @@ fn repeated_swap_cycles_preserve_all_state() {
     let nb = PhysBlock::new(home, BlockIdx(7));
     assert_eq!(mem.read_word(nb.addr()), 111, "committed survived 3 cycles");
     let shadow = ptm.spt_entry(home).unwrap().shadow.unwrap();
-    assert_eq!(mem.read_word(nb.on_frame(shadow).addr()), 222, "speculative survived");
+    assert_eq!(
+        mem.read_word(nb.on_frame(shadow).addr()),
+        222,
+        "speculative survived"
+    );
 
     // Conflict detection still targets the latest frame.
     let out = ptm.check_conflict(Some(TxId(1)), nb, WordIdx(0), AccessKind::Read, 10, &mut b);
@@ -76,7 +88,15 @@ fn copy_ptm_swap_preserves_backup_for_abort() {
     ptm.begin(tx, None);
     let block = PhysBlock::new(FrameId(0), BlockIdx(3));
     mem.write_word(block.addr(), 10);
-    ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(0, 77)), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &dirty(tx),
+        block,
+        Some(&spec(0, 77)),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
     assert_eq!(mem.read_word(block.addr()), 77, "home holds speculative");
 
     let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
@@ -85,7 +105,11 @@ fn copy_ptm_swap_preserves_backup_for_abort() {
     // Abort after migration: restore must come from the co-swapped backup.
     ptm.abort(tx, &mut mem, 50, &mut b);
     let nb = PhysBlock::new(home, BlockIdx(3));
-    assert_eq!(mem.read_word(nb.addr()), 10, "backup restored on the new frame");
+    assert_eq!(
+        mem.read_word(nb.addr()),
+        10,
+        "backup restored on the new frame"
+    );
 }
 
 #[test]
@@ -109,7 +133,15 @@ fn merge_on_swap_respects_live_transactions() {
     let tx = TxId(0);
     ptm.begin(tx, None);
     let block = PhysBlock::new(FrameId(0), BlockIdx(3));
-    ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(0, 9)), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &dirty(tx),
+        block,
+        Some(&spec(0, 9)),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
 
     let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
     assert_eq!(swap.used(), 2, "live TAV list blocks the merge");
@@ -126,7 +158,15 @@ fn contested_vector_survives_the_swap() {
     ptm.begin(TxId(0), None);
     ptm.mark_contested(block);
     assert!(ptm.is_contested(block));
-    ptm.on_tx_eviction(&dirty(TxId(0)), block, Some(&spec(0, 1)), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &dirty(TxId(0)),
+        block,
+        Some(&spec(0, 1)),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
 
     let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
     let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
@@ -149,7 +189,15 @@ fn lazy_migrate_drains_a_whole_page() {
         let tx = TxId(i as u64);
         ptm.begin(tx, None);
         let block = PhysBlock::new(FrameId(0), BlockIdx(*idx));
-        ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(0, 100 + i as u32)), false, &mut mem, 0, &mut b);
+        ptm.on_tx_eviction(
+            &dirty(tx),
+            block,
+            Some(&spec(0, 100 + i as u32)),
+            false,
+            &mut mem,
+            0,
+            &mut b,
+        );
         ptm.commit(tx, &mut mem, (i as u64 + 1) * 100, &mut b);
     }
     let entry = ptm.spt_entry(FrameId(0)).unwrap();
@@ -182,14 +230,30 @@ fn shadow_reuse_after_free_allocates_fresh() {
     let block = PhysBlock::new(FrameId(0), BlockIdx(3));
     // Generation 1: overflow + abort frees the shadow.
     ptm.begin(TxId(0), None);
-    ptm.on_tx_eviction(&dirty(TxId(0)), block, Some(&spec(0, 5)), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &dirty(TxId(0)),
+        block,
+        Some(&spec(0, 5)),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
     ptm.abort(TxId(0), &mut mem, 10, &mut b);
     assert_eq!(ptm.stats().shadow_frees, 1);
     assert!(ptm.spt_entry(FrameId(0)).unwrap().shadow.is_none());
 
     // Generation 2: a fresh overflow re-allocates.
     ptm.begin(TxId(1), None);
-    ptm.on_tx_eviction(&dirty(TxId(1)), block, Some(&spec(0, 6)), false, &mut mem, 20, &mut b);
+    ptm.on_tx_eviction(
+        &dirty(TxId(1)),
+        block,
+        Some(&spec(0, 6)),
+        false,
+        &mut mem,
+        20,
+        &mut b,
+    );
     assert_eq!(ptm.stats().shadow_allocs, 2);
     ptm.commit(TxId(1), &mut mem, 30, &mut b);
     let committed = ptm.committed_frame(block);

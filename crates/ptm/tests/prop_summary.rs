@@ -1,0 +1,170 @@
+//! Property test for the per-page conflict summary vectors: across random
+//! sequences of overflow inserts (read and write), commits, aborts, and
+//! swap-out/swap-in cycles, every SPT entry's `sum_read`/`sum_write` must
+//! stay exactly equal to the union of the read/write vectors over the
+//! page's live horizontal TAV list — the invariant the O(1) conflict
+//! pre-filter relies on.
+
+use proptest::prelude::*;
+use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
+use ptm_core::{PtmConfig, PtmSystem};
+use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
+use ptm_types::{BlockIdx, FrameId, Granularity, PhysBlock, WordIdx, WordMask, BLOCK_SIZE};
+
+const PAGES: usize = 2;
+const TXS: u8 = 3;
+
+#[derive(Debug, Clone)]
+enum Event {
+    /// Transaction `t` overflows an access to block `b` of page `p`;
+    /// `write` selects a dirty (write) vs clean (read) overflow.
+    Overflow { t: u8, p: u8, b: u8, write: bool },
+    /// Transaction `t` commits.
+    Commit { t: u8 },
+    /// Transaction `t` aborts (and will not return).
+    Abort { t: u8 },
+    /// Page `p` is swapped out and immediately back in.
+    SwapCycle { p: u8 },
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        5 => (0u8..TXS, 0u8..PAGES as u8, 0u8..8, any::<bool>())
+            .prop_map(|(t, p, b, write)| Event::Overflow { t, p, b, write }),
+        2 => (0u8..TXS).prop_map(|t| Event::Commit { t }),
+        1 => (0u8..TXS).prop_map(|t| Event::Abort { t }),
+        2 => (0u8..PAGES as u8).prop_map(|p| Event::SwapCycle { p }),
+    ]
+}
+
+fn configs() -> Vec<PtmConfig> {
+    vec![
+        PtmConfig::copy(),
+        PtmConfig::select(),
+        PtmConfig::select_with_granularity(Granularity::WordCacheMem),
+    ]
+}
+
+/// Asserts the summary invariant for one resident page.
+fn assert_summaries(ptm: &PtmSystem, frame: FrameId, ctx: &str) {
+    let Some(entry) = ptm.spt_entry(frame) else {
+        return;
+    };
+    let (union_read, union_write) = ptm.tav_arena().block_summaries(entry.tav_head);
+    assert_eq!(
+        entry.sum_read, union_read,
+        "{ctx}: read summary diverged from TAV union on {frame}"
+    );
+    assert_eq!(
+        entry.sum_write, union_write,
+        "{ctx}: write summary diverged from TAV union on {frame}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn summary_vectors_equal_tav_union(events in prop::collection::vec(event(), 1..80)) {
+        for cfg in configs() {
+            let mut ptm = PtmSystem::new(cfg);
+            let mut mem = PhysicalMemory::new(64);
+            let mut swap = SwapStore::new();
+            let mut bus = SystemBus::new(BusTimings::default());
+
+            let mut frames: Vec<FrameId> = (0..PAGES).map(|_| mem.alloc().unwrap()).collect();
+            for f in &frames {
+                ptm.on_page_alloc(*f);
+            }
+
+            let mut live = [false; TXS as usize];
+            let mut dead = [false; TXS as usize];
+            let mut ids = [ptm_types::TxId(0); TXS as usize];
+            let mut next_id = 0u64;
+            let mut now = 0u64;
+
+            for e in &events {
+                now += 100;
+                match *e {
+                    Event::Overflow { t, p, b, write } => {
+                        let ti = t as usize;
+                        if dead[ti] {
+                            continue;
+                        }
+                        if !live[ti] {
+                            ids[ti] = ptm_types::TxId(next_id);
+                            next_id += 1;
+                            ptm.begin(ids[ti], None);
+                            live[ti] = true;
+                        }
+                        // Keep writers word-disjoint (word = tx index) so the
+                        // sequence never violates what conflict detection
+                        // would forbid; the invariant itself is granularity-
+                        // agnostic.
+                        let word = WordIdx(t * 4);
+                        let frame = frames[p as usize];
+                        let mut meta = TxLineMeta::new(ids[ti]);
+                        let spec;
+                        let spec_ref = if write {
+                            meta.record_write(word);
+                            let mut written = WordMask::EMPTY;
+                            written.set(word);
+                            spec = SpecBlock { data: [0u8; BLOCK_SIZE], written };
+                            Some(&spec)
+                        } else {
+                            meta.record_read(word);
+                            None
+                        };
+                        ptm.on_tx_eviction(
+                            &meta,
+                            PhysBlock::new(frame, BlockIdx(b)),
+                            spec_ref,
+                            false,
+                            &mut mem,
+                            now,
+                            &mut bus,
+                        );
+                    }
+                    Event::Commit { t } => {
+                        let ti = t as usize;
+                        if live[ti] {
+                            ptm.commit(ids[ti], &mut mem, now, &mut bus);
+                            live[ti] = false;
+                        }
+                    }
+                    Event::Abort { t } => {
+                        let ti = t as usize;
+                        if live[ti] {
+                            ptm.abort(ids[ti], &mut mem, now, &mut bus);
+                            live[ti] = false;
+                            dead[ti] = true;
+                        }
+                    }
+                    Event::SwapCycle { p } => {
+                        let pi = p as usize;
+                        let out = ptm.on_swap_out(frames[pi], &mut mem, &mut swap);
+                        frames[pi] = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+                    }
+                }
+                for f in &frames {
+                    assert_summaries(&ptm, *f, &format!("after {e:?}"));
+                }
+            }
+
+            // Drain remaining transactions and re-check.
+            for ti in 0..TXS as usize {
+                if live[ti] {
+                    ptm.commit(ids[ti], &mut mem, now + 1_000, &mut bus);
+                }
+            }
+            for f in &frames {
+                assert_summaries(&ptm, *f, "after final drain");
+                // With no live transactions, summaries must be empty again.
+                if let Some(entry) = ptm.spt_entry(*f) {
+                    prop_assert!(entry.tav_head.is_none(), "all TAV nodes freed");
+                    prop_assert!(entry.sum_read.is_empty() && entry.sum_write.is_empty());
+                }
+            }
+        }
+    }
+}

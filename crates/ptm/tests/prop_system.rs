@@ -8,9 +8,7 @@ use proptest::prelude::*;
 use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
 use ptm_core::{PtmConfig, PtmSystem};
 use ptm_mem::{PhysicalMemory, SpecBlock};
-use ptm_types::{
-    BlockIdx, Granularity, PhysAddr, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE,
-};
+use ptm_types::{BlockIdx, Granularity, PhysAddr, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]

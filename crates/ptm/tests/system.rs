@@ -7,9 +7,7 @@ use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
 use ptm_core::system::AccessKind;
 use ptm_core::{PtmConfig, PtmSystem, ShadowFreePolicy, TxStatus};
 use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
-use ptm_types::{
-    BlockIdx, FrameId, Granularity, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE,
-};
+use ptm_types::{BlockIdx, FrameId, Granularity, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE};
 
 fn bus() -> SystemBus {
     SystemBus::new(BusTimings::default())
@@ -61,13 +59,28 @@ fn clean_overflow_creates_tav_and_no_shadow() {
     let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
     let tx = TxId(0);
     ptm.begin(tx, None);
-    ptm.on_tx_eviction(&read_meta(tx, &[0]), block(0, 5), None, false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &read_meta(tx, &[0]),
+        block(0, 5),
+        None,
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     assert!(ptm.has_overflows());
     assert_eq!(ptm.stats().clean_overflows, 1);
-    assert_eq!(ptm.stats().shadow_allocs, 0, "reads never allocate a shadow");
+    assert_eq!(
+        ptm.stats().shadow_allocs,
+        0,
+        "reads never allocate a shadow"
+    );
     let entry = ptm.spt_entry(FrameId(0)).unwrap();
     assert!(entry.shadow.is_none());
-    assert!(entry.tav_head.is_some(), "SPT entry without a shadow still anchors the TAV list");
+    assert!(
+        entry.tav_head.is_some(),
+        "SPT entry without a shadow still anchors the TAV list"
+    );
 }
 
 const OLD: u32 = 0xAAAA_0001;
@@ -81,7 +94,15 @@ fn dirty_overflow_select_writes_spec_to_shadow_home_untouched() {
     let b = block(0, 3);
     mem.write_word(b.addr(), OLD);
     let spec = spec_block(0, &[(0, NEW)]);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        b,
+        Some(&spec),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
 
     let entry = ptm.spt_entry(FrameId(0)).unwrap();
     let shadow = entry.shadow.expect("dirty overflow allocates shadow");
@@ -103,14 +124,30 @@ fn dirty_overflow_copy_backs_up_then_overwrites_home() {
     let b = block(0, 3);
     mem.write_word(b.addr(), OLD);
     let spec = spec_block(0, &[(0, NEW)]);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        b,
+        Some(&spec),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
 
     let entry = ptm.spt_entry(FrameId(0)).unwrap();
     let shadow = entry.shadow.unwrap();
     assert_eq!(mem.read_word(b.addr()), NEW, "home holds speculative");
-    assert_eq!(mem.read_word(b.on_frame(shadow).addr()), OLD, "shadow backup");
+    assert_eq!(
+        mem.read_word(b.on_frame(shadow).addr()),
+        OLD,
+        "shadow backup"
+    );
     assert_eq!(ptm.stats().backup_copies, 1);
-    assert_eq!(ptm.committed_frame(b), shadow, "committed redirects to backup");
+    assert_eq!(
+        ptm.committed_frame(b),
+        shadow,
+        "committed redirects to backup"
+    );
     assert_eq!(ptm.tx_view_frame(tx, b, WordIdx(0)), FrameId(0));
 }
 
@@ -121,9 +158,29 @@ fn copy_ptm_second_overflow_of_same_block_backs_up_once() {
     ptm.begin(tx, None);
     let b = block(0, 3);
     mem.write_word(b.addr(), OLD);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[1]), b, Some(&spec_block(0, &[(1, 7)])), false, &mut mem, 10, &mut bus);
-    assert_eq!(ptm.stats().backup_copies, 1, "backup only on first dirty overflow");
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, NEW)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[1]),
+        b,
+        Some(&spec_block(0, &[(1, 7)])),
+        false,
+        &mut mem,
+        10,
+        &mut bus,
+    );
+    assert_eq!(
+        ptm.stats().backup_copies,
+        1,
+        "backup only on first dirty overflow"
+    );
     assert_eq!(ptm.stats().dirty_overflows, 2);
 }
 
@@ -134,13 +191,25 @@ fn select_commit_toggles_selection_no_copy() {
     ptm.begin(tx, None);
     let b = block(0, 3);
     mem.write_word(b.addr(), OLD);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, NEW)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     let shadow = ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap();
 
     ptm.commit(tx, &mut mem, 100, &mut bus);
     assert_eq!(ptm.tstate().status(tx), Some(TxStatus::Committed));
     assert_eq!(ptm.stats().selection_toggles, 1);
-    assert_eq!(ptm.stats().backup_copies + ptm.stats().restore_copies, 0, "no data movement");
+    assert_eq!(
+        ptm.stats().backup_copies + ptm.stats().restore_copies,
+        0,
+        "no data movement"
+    );
     // Committed version is now in the shadow page.
     assert_eq!(ptm.committed_frame(b), shadow);
     assert_eq!(mem.read_word(b.on_frame(shadow).addr()), NEW);
@@ -154,7 +223,15 @@ fn select_abort_discards_without_copy() {
     ptm.begin(tx, None);
     let b = block(0, 3);
     mem.write_word(b.addr(), OLD);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, NEW)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
 
     ptm.abort(tx, &mut mem, 100, &mut bus);
     assert_eq!(ptm.tstate().status(tx), Some(TxStatus::Aborted));
@@ -171,7 +248,15 @@ fn copy_abort_restores_home_from_shadow() {
     ptm.begin(tx, None);
     let b = block(0, 3);
     mem.write_word(b.addr(), OLD);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, NEW)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     assert_eq!(mem.read_word(b.addr()), NEW);
 
     ptm.abort(tx, &mut mem, 100, &mut bus);
@@ -186,7 +271,15 @@ fn copy_commit_is_free_of_copies() {
     let tx = TxId(0);
     ptm.begin(tx, None);
     let b = block(0, 3);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, NEW)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     let copies_before = ptm.stats().backup_copies;
     ptm.commit(tx, &mut mem, 100, &mut bus);
     assert_eq!(mem.read_word(b.addr()), NEW, "speculative already in place");
@@ -202,7 +295,15 @@ fn raw_conflict_detected_for_reader_of_overflowed_write() {
     ptm.begin(writer, None);
     ptm.begin(reader, None);
     let b = block(0, 3);
-    ptm.on_tx_eviction(&dirty_meta(writer, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(writer, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, NEW)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
 
     let out = ptm.check_conflict(Some(reader), b, WordIdx(0), AccessKind::Read, 10, &mut bus);
     assert_eq!(out.conflicts, vec![writer]);
@@ -220,18 +321,55 @@ fn war_and_waw_conflicts_detected_for_writers() {
     ptm.begin(t0, None);
     ptm.begin(t1, None);
     // t0 overflowed a READ of block 3 → writer t1 conflicts (WAR).
-    ptm.on_tx_eviction(&read_meta(t0, &[0]), block(0, 3), None, false, &mut mem, 0, &mut bus);
-    let out = ptm.check_conflict(Some(t1), block(0, 3), WordIdx(0), AccessKind::Write, 5, &mut bus);
+    ptm.on_tx_eviction(
+        &read_meta(t0, &[0]),
+        block(0, 3),
+        None,
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
+    let out = ptm.check_conflict(
+        Some(t1),
+        block(0, 3),
+        WordIdx(0),
+        AccessKind::Write,
+        5,
+        &mut bus,
+    );
     assert_eq!(out.conflicts, vec![t0], "WAR");
 
     // t0 overflowed a WRITE of block 4 → writer t1 conflicts (WAW).
-    ptm.on_tx_eviction(&dirty_meta(t0, &[0]), block(0, 4), Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 6, &mut bus);
-    let out = ptm.check_conflict(Some(t1), block(0, 4), WordIdx(0), AccessKind::Write, 9, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(t0, &[0]),
+        block(0, 4),
+        Some(&spec_block(0, &[(0, 1)])),
+        false,
+        &mut mem,
+        6,
+        &mut bus,
+    );
+    let out = ptm.check_conflict(
+        Some(t1),
+        block(0, 4),
+        WordIdx(0),
+        AccessKind::Write,
+        9,
+        &mut bus,
+    );
     assert_eq!(out.conflicts, vec![t0], "WAW");
 
     // A read of block 3 (only read-overflowed) does not conflict but is
     // denied exclusivity.
-    let out = ptm.check_conflict(Some(t1), block(0, 3), WordIdx(0), AccessKind::Read, 9, &mut bus);
+    let out = ptm.check_conflict(
+        Some(t1),
+        block(0, 3),
+        WordIdx(0),
+        AccessKind::Read,
+        9,
+        &mut bus,
+    );
     assert!(out.conflicts.is_empty());
     assert!(out.deny_exclusive);
 }
@@ -241,9 +379,21 @@ fn non_transactional_access_sees_conflicts_too() {
     let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
     let tx = TxId(0);
     ptm.begin(tx, None);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), block(0, 3), Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        block(0, 3),
+        Some(&spec_block(0, &[(0, 1)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     let out = ptm.check_conflict(None, block(0, 3), WordIdx(0), AccessKind::Read, 5, &mut bus);
-    assert_eq!(out.conflicts, vec![tx], "non-tx read of spec-written block conflicts");
+    assert_eq!(
+        out.conflicts,
+        vec![tx],
+        "non-tx read of spec-written block conflicts"
+    );
 }
 
 #[test]
@@ -251,9 +401,27 @@ fn different_blocks_of_same_page_do_not_conflict() {
     let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
     let tx = TxId(0);
     ptm.begin(tx, None);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), block(0, 3), Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 0, &mut bus);
-    let out = ptm.check_conflict(Some(TxId(1)), block(0, 7), WordIdx(0), AccessKind::Write, 5, &mut bus);
-    assert!(out.conflicts.is_empty(), "bookkeeping is per page, detection per block");
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        block(0, 3),
+        Some(&spec_block(0, &[(0, 1)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
+    let out = ptm.check_conflict(
+        Some(TxId(1)),
+        block(0, 7),
+        WordIdx(0),
+        AccessKind::Write,
+        5,
+        &mut bus,
+    );
+    assert!(
+        out.conflicts.is_empty(),
+        "bookkeeping is per page, detection per block"
+    );
 }
 
 #[test]
@@ -265,7 +433,15 @@ fn fetch_rule_xor_of_summary_and_selection() {
     // No overflow state: fetch from home.
     assert_eq!(ptm.fetch_frame(b), FrameId(0));
 
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, NEW)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     let shadow = ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap();
     // wsum=1, sel=0 → XOR=1 → shadow (the speculative version).
     assert_eq!(ptm.fetch_frame(b), shadow);
@@ -282,12 +458,38 @@ fn cleanup_window_stalls_subsequent_access() {
     let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 16);
     let tx = TxId(0);
     ptm.begin(tx, None);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), block(0, 3), Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        block(0, 3),
+        Some(&spec_block(0, &[(0, 1)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     let done = ptm.commit(tx, &mut mem, 1000, &mut bus);
     assert!(done > 1000, "cleanup takes time");
-    let out = ptm.check_conflict(Some(TxId(1)), block(0, 3), WordIdx(0), AccessKind::Read, 1001, &mut bus);
-    assert_eq!(out.stall_until, Some(done), "access during lazy cleanup stalls");
-    let after = ptm.check_conflict(Some(TxId(1)), block(0, 3), WordIdx(0), AccessKind::Read, done + 1, &mut bus);
+    let out = ptm.check_conflict(
+        Some(TxId(1)),
+        block(0, 3),
+        WordIdx(0),
+        AccessKind::Read,
+        1001,
+        &mut bus,
+    );
+    assert_eq!(
+        out.stall_until,
+        Some(done),
+        "access during lazy cleanup stalls"
+    );
+    let after = ptm.check_conflict(
+        Some(TxId(1)),
+        block(0, 3),
+        WordIdx(0),
+        AccessKind::Read,
+        done + 1,
+        &mut bus,
+    );
     assert_eq!(after.stall_until, None);
 }
 
@@ -299,10 +501,21 @@ fn swap_out_and_in_preserves_tav_and_selection() {
     ptm.begin(tx, None);
     let b = block(0, 3);
     mem.write_word(b.addr(), OLD);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, NEW)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
 
     let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
-    assert!(ptm.spt_entry(FrameId(0)).is_none(), "SPT entry migrated to SIT");
+    assert!(
+        ptm.spt_entry(FrameId(0)).is_none(),
+        "SPT entry migrated to SIT"
+    );
     assert_eq!(swap.used(), 2, "home and shadow co-swapped");
 
     let new_home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
@@ -312,10 +525,21 @@ fn swap_out_and_in_preserves_tav_and_selection() {
     let nb = PhysBlock::new(new_home, BlockIdx(3));
     assert_eq!(mem.read_word(nb.addr()), OLD, "home data survived");
     let shadow = entry.shadow.unwrap();
-    assert_eq!(mem.read_word(nb.on_frame(shadow).addr()), NEW, "shadow data survived");
+    assert_eq!(
+        mem.read_word(nb.on_frame(shadow).addr()),
+        NEW,
+        "shadow data survived"
+    );
 
     // Conflict detection still works after the migration.
-    let out = ptm.check_conflict(Some(TxId(1)), nb, WordIdx(0), AccessKind::Read, 50, &mut bus);
+    let out = ptm.check_conflict(
+        Some(TxId(1)),
+        nb,
+        WordIdx(0),
+        AccessKind::Read,
+        50,
+        &mut bus,
+    );
     assert_eq!(out.conflicts, vec![tx]);
     ptm.commit(tx, &mut mem, 60, &mut bus);
     assert_eq!(ptm.committed_frame(nb), shadow);
@@ -329,7 +553,15 @@ fn merge_on_swap_folds_shadow_into_home() {
     ptm.begin(tx, None);
     let b = block(0, 3);
     mem.write_word(b.addr(), OLD);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, NEW)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     ptm.commit(tx, &mut mem, 10, &mut bus);
     // Committed data now lives in the shadow page, sel bit set.
 
@@ -340,7 +572,10 @@ fn merge_on_swap_folds_shadow_into_home() {
     let new_home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
     let entry = ptm.spt_entry(new_home).unwrap();
     assert!(entry.shadow.is_none());
-    assert!(entry.sel.is_empty(), "selection vector cleared by the merge");
+    assert!(
+        entry.sel.is_empty(),
+        "selection vector cleared by the merge"
+    );
     assert_eq!(
         mem.read_word(PhysBlock::new(new_home, BlockIdx(3)).addr()),
         NEW,
@@ -359,7 +594,15 @@ fn lazy_migrate_toggles_and_frees_shadow() {
     ptm.begin(tx, None);
     let b = block(0, 3);
     mem.write_word(b.addr(), OLD);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, NEW)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     ptm.commit(tx, &mut mem, 10, &mut bus);
     assert_eq!(ptm.spt_entry(FrameId(0)).unwrap().sel.count(), 1);
 
@@ -383,13 +626,33 @@ fn lazy_migrate_skips_blocks_with_live_speculative_writers() {
     // the same block; its speculative data occupies the home slot.
     let b = block(0, 3);
     ptm.begin(TxId(0), None);
-    ptm.on_tx_eviction(&dirty_meta(TxId(0), &[0]), b, Some(&spec_block(0, &[(0, NEW)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(TxId(0), &[0]),
+        b,
+        Some(&spec_block(0, &[(0, NEW)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     ptm.commit(TxId(0), &mut mem, 10, &mut bus);
     ptm.begin(TxId(1), None);
-    ptm.on_tx_eviction(&dirty_meta(TxId(1), &[0]), b, Some(&spec_block(0, &[(0, 77)])), false, &mut mem, 20, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(TxId(1), &[0]),
+        b,
+        Some(&spec_block(0, &[(0, 77)])),
+        false,
+        &mut mem,
+        20,
+        &mut bus,
+    );
 
     ptm.on_nontx_dirty_writeback(b, &mut mem);
-    assert_eq!(ptm.stats().lazy_migrations, 0, "migration must not clobber speculative data");
+    assert_eq!(
+        ptm.stats().lazy_migrations,
+        0,
+        "migration must not clobber speculative data"
+    );
 }
 
 #[test]
@@ -403,7 +666,15 @@ fn word_granularity_allows_disjoint_word_writers() {
     let b = block(0, 3);
     mem.write_word(b.addr(), OLD);
 
-    ptm.on_tx_eviction(&dirty_meta(t0, &[0]), b, Some(&spec_block(0, &[(0, 100)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(t0, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, 100)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     // t1 writes a DIFFERENT word of the same block: no conflict at word level.
     let out = ptm.check_conflict(Some(t1), b, WordIdx(5), AccessKind::Write, 5, &mut bus);
     assert!(out.conflicts.is_empty(), "disjoint words do not conflict");
@@ -411,7 +682,15 @@ fn word_granularity_allows_disjoint_word_writers() {
     let out = ptm.check_conflict(Some(t1), b, WordIdx(0), AccessKind::Write, 5, &mut bus);
     assert_eq!(out.conflicts, vec![t0]);
 
-    ptm.on_tx_eviction(&dirty_meta(t1, &[5]), b, Some(&spec_block(0, &[(5, 500)])), false, &mut mem, 10, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(t1, &[5]),
+        b,
+        Some(&spec_block(0, &[(5, 500)])),
+        false,
+        &mut mem,
+        10,
+        &mut bus,
+    );
 
     // Commit both; the committed image must contain both transactions' words.
     ptm.commit(t0, &mut mem, 20, &mut bus);
@@ -424,7 +703,10 @@ fn word_granularity_allows_disjoint_word_writers() {
         500,
         "t1's word survived"
     );
-    assert!(ptm.stats().word_merge_copies >= 1, "first committer merged words");
+    assert!(
+        ptm.stats().word_merge_copies >= 1,
+        "first committer merged words"
+    );
 }
 
 #[test]
@@ -433,10 +715,22 @@ fn block_granularity_flags_false_sharing_as_conflict() {
     let t0 = TxId(0);
     ptm.begin(t0, None);
     let b = block(0, 3);
-    ptm.on_tx_eviction(&dirty_meta(t0, &[0]), b, Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(t0, &[0]),
+        b,
+        Some(&spec_block(0, &[(0, 1)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
     // Different word, same block → conflict at block granularity.
     let out = ptm.check_conflict(Some(TxId(1)), b, WordIdx(5), AccessKind::Write, 5, &mut bus);
-    assert_eq!(out.conflicts, vec![t0], "false sharing conflicts in blk-only mode");
+    assert_eq!(
+        out.conflicts,
+        vec![t0],
+        "false sharing conflicts in blk-only mode"
+    );
 }
 
 #[test]
@@ -444,13 +738,31 @@ fn spt_cache_miss_costs_walk_hit_is_cheap() {
     let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 32);
     let tx = TxId(0);
     ptm.begin(tx, None);
-    ptm.on_tx_eviction(&dirty_meta(tx, &[0]), block(1, 0), Some(&spec_block(0, &[(0, 1)])), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &dirty_meta(tx, &[0]),
+        block(1, 0),
+        Some(&spec_block(0, &[(0, 1)])),
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
 
     // Many distinct pages to evict frame 1 from the 512-entry SPT cache is
     // impractical here; instead verify hit/miss accounting directly.
     let h0 = ptm.stats().spt_cache_hits;
-    let _ = ptm.check_conflict(Some(TxId(1)), block(1, 0), WordIdx(0), AccessKind::Read, 10, &mut bus);
-    assert!(ptm.stats().spt_cache_hits > h0, "page just touched by eviction is cached");
+    let _ = ptm.check_conflict(
+        Some(TxId(1)),
+        block(1, 0),
+        WordIdx(0),
+        AccessKind::Read,
+        10,
+        &mut bus,
+    );
+    assert!(
+        ptm.stats().spt_cache_hits > h0,
+        "page just touched by eviction is cached"
+    );
 }
 
 #[test]
@@ -480,12 +792,35 @@ fn two_transactions_on_same_page_have_separate_nodes() {
     let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), 32);
     ptm.begin(TxId(0), None);
     ptm.begin(TxId(1), None);
-    ptm.on_tx_eviction(&read_meta(TxId(0), &[0]), block(0, 1), None, false, &mut mem, 0, &mut bus);
-    ptm.on_tx_eviction(&read_meta(TxId(1), &[0]), block(0, 2), None, false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(
+        &read_meta(TxId(0), &[0]),
+        block(0, 1),
+        None,
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
+    ptm.on_tx_eviction(
+        &read_meta(TxId(1), &[0]),
+        block(0, 2),
+        None,
+        false,
+        &mut mem,
+        0,
+        &mut bus,
+    );
 
     // Aborting tx0 must leave tx1's bookkeeping intact.
     ptm.abort(TxId(0), &mut mem, 10, &mut bus);
     assert!(ptm.has_overflows());
-    let out = ptm.check_conflict(Some(TxId(2)), block(0, 2), WordIdx(0), AccessKind::Write, 20, &mut bus);
+    let out = ptm.check_conflict(
+        Some(TxId(2)),
+        block(0, 2),
+        WordIdx(0),
+        AccessKind::Write,
+        20,
+        &mut bus,
+    );
     assert_eq!(out.conflicts, vec![TxId(1)]);
 }

@@ -44,7 +44,15 @@ fn tiny_spt_cache_forces_table_walks() {
     ptm.begin(tx, None);
     let mut b = bus();
     for &f in &frames {
-        ptm.on_tx_eviction(&dirty(tx), PhysBlock::new(f, BlockIdx(0)), Some(&spec(1)), false, &mut mem, 0, &mut b);
+        ptm.on_tx_eviction(
+            &dirty(tx),
+            PhysBlock::new(f, BlockIdx(0)),
+            Some(&spec(1)),
+            false,
+            &mut mem,
+            0,
+            &mut b,
+        );
     }
     // Sweep conflict checks over all 8 pages twice: the 2-entry caches
     // cannot hold them, so misses (and walks) accumulate.
@@ -61,8 +69,15 @@ fn tiny_spt_cache_forces_table_walks() {
         }
     }
     let s = ptm.stats();
-    assert!(s.spt_cache_misses > 8, "SPT cache thrash: {}", s.spt_cache_misses);
-    assert!(s.tav_walk_nodes > 0, "misses rebuilt summaries by walking TAVs");
+    assert!(
+        s.spt_cache_misses > 8,
+        "SPT cache thrash: {}",
+        s.spt_cache_misses
+    );
+    assert!(
+        s.tav_walk_nodes > 0,
+        "misses rebuilt summaries by walking TAVs"
+    );
     ptm.commit(tx, &mut mem, 1_000, &mut b);
 }
 
@@ -76,19 +91,41 @@ fn conflict_check_is_cheap_on_cache_hits() {
     ptm.begin(tx, None);
     let mut b = bus();
     let block = PhysBlock::new(f, BlockIdx(0));
-    ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(1)), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &dirty(tx),
+        block,
+        Some(&spec(1)),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
 
     // First check warms the caches; the second must complete in lookup time
     // (no memory accesses).
     let mem_before = b.stats().mem_accesses;
-    let _ = ptm.check_conflict(Some(TxId(1)), block, WordIdx(0), AccessKind::Read, 1_000, &mut b);
-    let out = ptm.check_conflict(Some(TxId(1)), block, WordIdx(0), AccessKind::Read, 2_000, &mut b);
+    let _ = ptm.check_conflict(
+        Some(TxId(1)),
+        block,
+        WordIdx(0),
+        AccessKind::Read,
+        1_000,
+        &mut b,
+    );
+    let out = ptm.check_conflict(
+        Some(TxId(1)),
+        block,
+        WordIdx(0),
+        AccessKind::Read,
+        2_000,
+        &mut b,
+    );
     assert_eq!(
         b.stats().mem_accesses,
         mem_before,
         "hot checks never touch memory"
     );
-    assert!(out.done_at - 2_000 <= 2 * ptm.config().vts_lookup_latency as u64);
+    assert!(out.done_at - 2_000 <= 2 * ptm.config().vts_lookup_latency);
     ptm.commit(tx, &mut mem, 3_000, &mut b);
 }
 
@@ -107,7 +144,15 @@ fn select_commit_cleanup_grows_with_overflowed_pages() {
         ptm.begin(tx, None);
         let mut b = bus();
         for &f in &frames {
-            ptm.on_tx_eviction(&dirty(tx), PhysBlock::new(f, BlockIdx(0)), Some(&spec(1)), false, &mut mem, 0, &mut b);
+            ptm.on_tx_eviction(
+                &dirty(tx),
+                PhysBlock::new(f, BlockIdx(0)),
+                Some(&spec(1)),
+                false,
+                &mut mem,
+                0,
+                &mut b,
+            );
         }
         let done = ptm.commit(tx, &mut mem, 10_000, &mut b);
         cleanup_costs.push(done - 10_000);
@@ -166,12 +211,37 @@ fn cleanup_windows_expire() {
     ptm.begin(tx, None);
     let mut b = bus();
     let block = PhysBlock::new(f, BlockIdx(0));
-    ptm.on_tx_eviction(&dirty(tx), block, Some(&spec(1)), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &dirty(tx),
+        block,
+        Some(&spec(1)),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
     let done = ptm.commit(tx, &mut mem, 1_000, &mut b);
 
-    let stalled = ptm.check_conflict(Some(TxId(1)), block, WordIdx(0), AccessKind::Read, 1_001, &mut b);
+    let stalled = ptm.check_conflict(
+        Some(TxId(1)),
+        block,
+        WordIdx(0),
+        AccessKind::Read,
+        1_001,
+        &mut b,
+    );
     assert!(stalled.stall_until.is_some());
-    let clear = ptm.check_conflict(Some(TxId(1)), block, WordIdx(0), AccessKind::Read, done + 1, &mut b);
+    let clear = ptm.check_conflict(
+        Some(TxId(1)),
+        block,
+        WordIdx(0),
+        AccessKind::Read,
+        done + 1,
+        &mut b,
+    );
     assert!(clear.stall_until.is_none(), "window expired");
-    assert!(clear.conflicts.is_empty(), "committed state no longer conflicts");
+    assert!(
+        clear.conflicts.is_empty(),
+        "committed state no longer conflicts"
+    );
 }

@@ -6,9 +6,7 @@ use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
 use ptm_core::system::AccessKind;
 use ptm_core::{PtmConfig, PtmSystem};
 use ptm_mem::{PhysicalMemory, SpecBlock};
-use ptm_types::{
-    BlockIdx, FrameId, Granularity, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE,
-};
+use ptm_types::{BlockIdx, FrameId, Granularity, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE};
 
 fn bus() -> SystemBus {
     SystemBus::new(BusTimings::default())
@@ -48,11 +46,21 @@ fn blk(idx: u8) -> PhysBlock {
 
 #[test]
 fn uncontested_blocks_keep_the_toggle_fast_path() {
-    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCacheMem));
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(
+        Granularity::WordCacheMem,
+    ));
     let tx = TxId(0);
     ptm.begin(tx, None);
     mem.write_word(blk(3).addr(), 10);
-    ptm.on_tx_eviction(&meta_writing(tx, &[0]), blk(3), Some(&spec(&[(0, 20)])), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &meta_writing(tx, &[0]),
+        blk(3),
+        Some(&spec(&[(0, 20)])),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
     ptm.commit(tx, &mut mem, 10, &mut b);
     assert_eq!(ptm.stats().selection_toggles, 1, "sole writer toggles");
     assert_eq!(ptm.stats().word_merge_copies, 0);
@@ -63,15 +71,33 @@ fn uncontested_blocks_keep_the_toggle_fast_path() {
 
 #[test]
 fn contested_blocks_merge_instead_of_toggling() {
-    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCacheMem));
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(
+        Granularity::WordCacheMem,
+    ));
     let (t0, t1) = (TxId(0), TxId(1));
     ptm.begin(t0, None);
     ptm.begin(t1, None);
     mem.write_word(blk(3).addr(), 1);
 
-    ptm.on_tx_eviction(&meta_writing(t0, &[0]), blk(3), Some(&spec(&[(0, 100)])), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &meta_writing(t0, &[0]),
+        blk(3),
+        Some(&spec(&[(0, 100)])),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
     // t1's eviction sees t0's overflow: contested; both merge at commit.
-    ptm.on_tx_eviction(&meta_writing(t1, &[5]), blk(3), Some(&spec(&[(5, 500)])), false, &mut mem, 5, &mut b);
+    ptm.on_tx_eviction(
+        &meta_writing(t1, &[5]),
+        blk(3),
+        Some(&spec(&[(5, 500)])),
+        false,
+        &mut mem,
+        5,
+        &mut b,
+    );
     assert!(ptm.is_contested(blk(3)));
 
     ptm.commit(t0, &mut mem, 10, &mut b);
@@ -87,13 +113,22 @@ fn contested_blocks_merge_instead_of_toggling() {
 
 #[test]
 fn contested_is_sticky_across_generations() {
-    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCache));
+    let (mut ptm, mut mem, mut b) =
+        setup(PtmConfig::select_with_granularity(Granularity::WordCache));
     ptm.mark_contested(blk(7));
     // A later, completely solitary writer still takes the masked/merge path.
     let tx = TxId(0);
     ptm.begin(tx, None);
     mem.write_word(blk(7).addr(), 42);
-    ptm.on_tx_eviction(&meta_writing(tx, &[2]), blk(7), Some(&spec(&[(2, 9)])), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &meta_writing(tx, &[2]),
+        blk(7),
+        Some(&spec(&[(2, 9)])),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
     assert_eq!(
         mem.read_word(blk(7).addr()),
         42,
@@ -106,26 +141,49 @@ fn contested_is_sticky_across_generations() {
 
 #[test]
 fn mirror_location_points_at_live_speculative_pages() {
-    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCacheMem));
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(
+        Granularity::WordCacheMem,
+    ));
     let t0 = TxId(0);
     ptm.begin(t0, None);
-    assert!(ptm.mirror_location(blk(3), None).is_none(), "no overflow yet");
+    assert!(
+        ptm.mirror_location(blk(3), None).is_none(),
+        "no overflow yet"
+    );
 
-    ptm.on_tx_eviction(&meta_writing(t0, &[0]), blk(3), Some(&spec(&[(0, 1)])), false, &mut mem, 0, &mut b);
-    let m = ptm.mirror_location(blk(3), None).expect("live overflow writer");
-    assert_eq!(m.frame(), ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap());
+    ptm.on_tx_eviction(
+        &meta_writing(t0, &[0]),
+        blk(3),
+        Some(&spec(&[(0, 1)])),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
+    let m = ptm
+        .mirror_location(blk(3), None)
+        .expect("live overflow writer");
+    assert_eq!(
+        m.frame(),
+        ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap()
+    );
     assert!(
         ptm.mirror_location(blk(3), Some(t0)).is_none(),
         "excluding the only writer yields nothing"
     );
 
     ptm.commit(t0, &mut mem, 10, &mut b);
-    assert!(ptm.mirror_location(blk(3), None).is_none(), "nothing live after commit");
+    assert!(
+        ptm.mirror_location(blk(3), None).is_none(),
+        "nothing live after commit"
+    );
 }
 
 #[test]
 fn block_overflow_bit_reflects_reads_and_writes() {
-    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCacheMem));
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(
+        Granularity::WordCacheMem,
+    ));
     let tx = TxId(0);
     ptm.begin(tx, None);
     assert!(!ptm.block_overflowed(blk(3), None));
@@ -133,12 +191,18 @@ fn block_overflow_bit_reflects_reads_and_writes() {
     let mut m = TxLineMeta::new(tx);
     m.record_read(WordIdx(1));
     ptm.on_tx_eviction(&m, blk(3), None, false, &mut mem, 0, &mut b);
-    assert!(ptm.block_overflowed(blk(3), None), "read overflow sets the bit");
+    assert!(
+        ptm.block_overflowed(blk(3), None),
+        "read overflow sets the bit"
+    );
     assert!(
         !ptm.block_overflowed(blk(3), Some(tx)),
         "own state excluded on request"
     );
-    assert!(!ptm.block_overflowed(blk(9), None), "other blocks unaffected");
+    assert!(
+        !ptm.block_overflowed(blk(9), None),
+        "other blocks unaffected"
+    );
 
     ptm.commit(tx, &mut mem, 10, &mut b);
     assert!(!ptm.block_overflowed(blk(3), None), "cleared with the TAVs");
@@ -146,11 +210,21 @@ fn block_overflow_bit_reflects_reads_and_writes() {
 
 #[test]
 fn word_selective_view_reads_own_words_from_spec_only() {
-    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(Granularity::WordCacheMem));
+    let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(
+        Granularity::WordCacheMem,
+    ));
     let tx = TxId(0);
     ptm.begin(tx, None);
     mem.write_word(blk(3).addr(), 7); // committed word 0
-    ptm.on_tx_eviction(&meta_writing(tx, &[5]), blk(3), Some(&spec(&[(5, 55)])), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &meta_writing(tx, &[5]),
+        blk(3),
+        Some(&spec(&[(5, 55)])),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
 
     let shadow = ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap();
     assert_eq!(
@@ -180,9 +254,21 @@ fn copy_word_mode_abort_restores_only_written_words() {
 
     // Contested path: mark it so the home write is word-masked.
     ptm.mark_contested(blk(3));
-    ptm.on_tx_eviction(&meta_writing(tx, &[0]), blk(3), Some(&spec(&[(0, 99)])), false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(
+        &meta_writing(tx, &[0]),
+        blk(3),
+        Some(&spec(&[(0, 99)])),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    );
     assert_eq!(mem.read_word(blk(3).addr()), 99, "home word 0 speculative");
-    assert_eq!(mem.read_word(w5), 50, "home word 5 untouched by masked write");
+    assert_eq!(
+        mem.read_word(w5),
+        50,
+        "home word 5 untouched by masked write"
+    );
 
     ptm.abort(tx, &mut mem, 10, &mut b);
     assert_eq!(mem.read_word(blk(3).addr()), 10, "word 0 restored");
@@ -201,9 +287,24 @@ fn word_level_conflicts_only_in_word_in_memory_mode() {
         let (mut ptm, mut mem, mut b) = setup(PtmConfig::select_with_granularity(granularity));
         let t0 = TxId(0);
         ptm.begin(t0, None);
-        ptm.on_tx_eviction(&meta_writing(t0, &[0]), blk(3), Some(&spec(&[(0, 1)])), false, &mut mem, 0, &mut b);
+        ptm.on_tx_eviction(
+            &meta_writing(t0, &[0]),
+            blk(3),
+            Some(&spec(&[(0, 1)])),
+            false,
+            &mut mem,
+            0,
+            &mut b,
+        );
         // A different word of the same block:
-        let out = ptm.check_conflict(Some(TxId(1)), blk(3), WordIdx(9), AccessKind::Write, 5, &mut b);
+        let out = ptm.check_conflict(
+            Some(TxId(1)),
+            blk(3),
+            WordIdx(9),
+            AccessKind::Write,
+            5,
+            &mut b,
+        );
         assert_eq!(
             !out.conflicts.is_empty(),
             expect_conflict,

@@ -144,7 +144,12 @@ impl Kernel {
     ///
     /// Panics if a minor fault cannot allocate a frame — size the simulated
     /// memory for the workload.
-    pub fn translate(&mut self, pid: ProcessId, va: VirtAddr, mem: &mut PhysicalMemory) -> Translation {
+    pub fn translate(
+        &mut self,
+        pid: ProcessId,
+        va: VirtAddr,
+        mem: &mut PhysicalMemory,
+    ) -> Translation {
         let vpn = va.vpn();
         let mut cost = 0;
         match self.tlb.touch((pid, vpn)) {
@@ -216,7 +221,12 @@ impl Kernel {
 
     /// Swaps a page out *without* TM bookkeeping (for non-PTM backends):
     /// stores the frame data and updates the page table.
-    pub fn plain_swap_out(&mut self, pid: ProcessId, vpn: Vpn, mem: &mut PhysicalMemory) -> SwapSlot {
+    pub fn plain_swap_out(
+        &mut self,
+        pid: ProcessId,
+        vpn: Vpn,
+        mem: &mut PhysicalMemory,
+    ) -> SwapSlot {
         let frame = self
             .frame_of(pid, vpn)
             .unwrap_or_else(|| panic!("swapping non-resident page {vpn} of {pid}"));
@@ -231,7 +241,13 @@ impl Kernel {
     /// # Panics
     ///
     /// Panics if memory is exhausted.
-    pub fn plain_swap_in(&mut self, pid: ProcessId, vpn: Vpn, slot: SwapSlot, mem: &mut PhysicalMemory) -> FrameId {
+    pub fn plain_swap_in(
+        &mut self,
+        pid: ProcessId,
+        vpn: Vpn,
+        slot: SwapSlot,
+        mem: &mut PhysicalMemory,
+    ) -> FrameId {
         let frame = mem.alloc().expect("memory exhausted on swap-in");
         let data = self.swap.load(slot);
         mem.write_frame(frame, &data);
@@ -253,7 +269,12 @@ mod tests {
         let (mut k, mut mem) = kernel();
         let va = VirtAddr::new(0x1234);
         let t1 = k.translate(ProcessId(0), va, &mut mem);
-        let Translation::Resident { pa, cost, allocated } = t1 else {
+        let Translation::Resident {
+            pa,
+            cost,
+            allocated,
+        } = t1
+        else {
             panic!("expected resident");
         };
         assert!(allocated.is_some());
@@ -263,7 +284,12 @@ mod tests {
 
         // Second touch: TLB hit, no fault, zero cost.
         let t2 = k.translate(ProcessId(0), va, &mut mem);
-        let Translation::Resident { pa: pa2, cost: c2, allocated: a2 } = t2 else {
+        let Translation::Resident {
+            pa: pa2,
+            cost: c2,
+            allocated: a2,
+        } = t2
+        else {
             panic!("expected resident");
         };
         assert_eq!(pa2, pa);

@@ -183,7 +183,10 @@ impl LogTmSystem {
     /// then writes memory in place). Log writes are cacheable and charged
     /// nothing here; the price is paid on abort.
     pub fn log_write(&mut self, tx: TxId, addr: PhysAddr, old: u32) {
-        self.logs.entry(tx).or_default().push(UndoEntry { addr, old });
+        self.logs
+            .entry(tx)
+            .or_default()
+            .push(UndoEntry { addr, old });
         self.stats.log_entries += 1;
     }
 
@@ -300,7 +303,13 @@ impl LogTmSystem {
 
     /// Aborts: walk the undo log *backwards*, restoring every word — the
     /// expensive, software-handled path the paper calls out.
-    pub fn abort(&mut self, tx: TxId, mem: &mut PhysicalMemory, now: Cycle, bus: &mut SystemBus) -> Cycle {
+    pub fn abort(
+        &mut self,
+        tx: TxId,
+        mem: &mut PhysicalMemory,
+        now: Cycle,
+        bus: &mut SystemBus,
+    ) -> Cycle {
         self.tstate.set_status(tx, TxStatus::Aborting);
         let log = self.logs.remove(&tx).unwrap_or_default();
         // Software handler entry cost.
@@ -368,7 +377,11 @@ mod tests {
 
         let mut b = bus();
         sys.abort(TxId(0), &mut mem, 0, &mut b);
-        assert_eq!(mem.read_word(addr), 1, "reverse walk ends at the oldest value");
+        assert_eq!(
+            mem.read_word(addr),
+            1,
+            "reverse walk ends at the oldest value"
+        );
     }
 
     #[test]

@@ -23,11 +23,11 @@ use ptm_cache::{
 };
 use ptm_core::system::AccessKind;
 use ptm_mem::{PhysicalMemory, SpecBuffers};
-use ptm_types::{
-    Cycle, FrameId, PhysAddr, PhysBlock, ProcessId, TxId, VirtAddr, Vpn, WordIdx,
-    BLOCK_SIZE, WORD_SIZE,
-};
 use ptm_types::ids::TxIdSource;
+use ptm_types::{
+    Cycle, FrameId, PhysAddr, PhysBlock, ProcessId, TxId, VirtAddr, Vpn, WordIdx, BLOCK_SIZE,
+    WORD_SIZE,
+};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -56,6 +56,11 @@ pub struct MachineConfig {
     pub bus: BusTimings,
     /// OS parameters (TLB, faults, event injection).
     pub kernel: KernelConfig,
+    /// Per-core hardware TLB entries (direct-mapped, `(pid, vpn)`-tagged).
+    /// A hit serves the translation without consulting the kernel at all;
+    /// the kernel's own TLB/walk model is only exercised on core-TLB misses.
+    /// `0` disables the core TLB (every access goes through the kernel).
+    pub core_tlb_entries: usize,
     /// Cycles to take a register checkpoint at transaction begin.
     pub begin_cost: Cycle,
     /// Cycles for the logical (atomic) commit.
@@ -76,6 +81,7 @@ impl Default for MachineConfig {
             l2: CacheConfig::l2_default(),
             bus: BusTimings::default(),
             kernel: KernelConfig::default(),
+            core_tlb_entries: 64,
             begin_cost: 8,
             commit_cost: 20,
             abort_penalty: 150,
@@ -93,6 +99,19 @@ struct CoreState {
     cur_ordered: Option<OrderedSeq>,
     lock_stack: Vec<VirtAddr>,
     checksum: u64,
+    /// Direct-mapped hardware TLB, indexed by `vpn % len`. Entries are
+    /// `(pid, vpn)`-tagged, so they need no flush on context switch or
+    /// thread migration — only a mapping *change* (swap-out, remap)
+    /// invalidates them, via [`Machine::tlb_shootdown`].
+    tlb: Vec<Option<TlbEntry>>,
+}
+
+/// One core-TLB entry: a cached `(pid, vpn) → frame` translation.
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    pid: ProcessId,
+    vpn: Vpn,
+    frame: FrameId,
 }
 
 /// What an access attempt resolved to.
@@ -168,6 +187,7 @@ impl Machine {
                     cur_ordered: None,
                     lock_stack: Vec::new(),
                     checksum: 0,
+                    tlb: vec![None; cfg.core_tlb_entries],
                 })
                 .collect(),
             caches: (0..n).map(|_| Hierarchy::new(cfg.l1, cfg.l2)).collect(),
@@ -228,21 +248,22 @@ impl Machine {
         let mut guard: u64 = 0;
         let limit = 200_000_000u64
             .saturating_add(self.cores.iter().map(|c| c.prog.len() as u64).sum::<u64>() * 10_000);
-        loop {
-            let Some(idx) = self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| !c.prog.is_finished())
-                .min_by_key(|(_, c)| c.ready_at)
-                .map(|(i, _)| i)
-            else {
-                break;
-            };
+        while let Some(idx) = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.prog.is_finished())
+            .min_by_key(|(_, c)| c.ready_at)
+            .map(|(i, _)| i)
+        {
             self.step(idx);
             guard += 1;
-            if guard % 20_000_000 == 0 && std::env::var("PTM_TRACE_PROGRESS").is_ok() {
-                let pcs: Vec<_> = self.cores.iter().map(|c| (c.prog.thread().0, c.prog.pc(), c.ready_at)).collect();
+            if guard.is_multiple_of(20_000_000) && std::env::var("PTM_TRACE_PROGRESS").is_ok() {
+                let pcs: Vec<_> = self
+                    .cores
+                    .iter()
+                    .map(|c| (c.prog.thread().0, c.prog.pc(), c.ready_at))
+                    .collect();
                 eprintln!("[progress] steps={guard} {pcs:?}");
             }
             if guard >= limit {
@@ -264,7 +285,10 @@ impl Machine {
                     Backend::Ptm(p) => p.tstate().live_transactions(),
                     _ => Vec::new(),
                 };
-                let owners: Vec<_> = live.iter().map(|t| (*t, self.tx_owner.get(t).copied())).collect();
+                let owners: Vec<_> = live
+                    .iter()
+                    .map(|t| (*t, self.tx_owner.get(t).copied()))
+                    .collect();
                 panic!("machine stopped making progress: {state:#?} live={owners:?}");
             }
         }
@@ -289,7 +313,6 @@ impl Machine {
 
     fn step(&mut self, idx: usize) {
         let now = self.cores[idx].ready_at;
-
 
         // System-event injection (context switches, exceptions).
         if now >= self.cores[idx].next_cs {
@@ -326,8 +349,12 @@ impl Machine {
             Op::Begin { ordered, lock } => self.step_begin(idx, now, ordered, lock),
             Op::End => self.step_end(idx, now),
             Op::Read(va) => self.step_access(idx, now, va, AccessKind::Read, None),
-            Op::Write(va, v) => self.step_access(idx, now, va, AccessKind::Write, Some(WriteVal::Const(v))),
-            Op::Rmw(va, d) => self.step_access(idx, now, va, AccessKind::Write, Some(WriteVal::Delta(d))),
+            Op::Write(va, v) => {
+                self.step_access(idx, now, va, AccessKind::Write, Some(WriteVal::Const(v)))
+            }
+            Op::Rmw(va, d) => {
+                self.step_access(idx, now, va, AccessKind::Write, Some(WriteVal::Delta(d)))
+            }
             Op::Barrier(id) => self.step_barrier(idx, now, id),
         }
     }
@@ -658,9 +685,7 @@ impl Machine {
                         WriteVal::Delta(d) => old.wrapping_add(d as u32),
                     };
                     self.write_word_functional(tx, pid, va, pa, value);
-                    self.stats
-                        .pages
-                        .insert((pid, va.vpn()));
+                    self.stats.pages.insert((pid, va.vpn()));
                     if tx.is_some() {
                         self.stats.tx_write_pages.insert((pid, va.vpn()));
                     }
@@ -755,33 +780,90 @@ impl Machine {
         }
     }
 
+    /// Consults core `idx`'s TLB for `(pid, vpn)`.
+    fn tlb_lookup(&self, idx: usize, pid: ProcessId, vpn: Vpn) -> Option<FrameId> {
+        let tlb = &self.cores[idx].tlb;
+        if tlb.is_empty() {
+            return None;
+        }
+        let slot = vpn.0 as usize % tlb.len();
+        tlb[slot]
+            .filter(|e| e.pid == pid && e.vpn == vpn)
+            .map(|e| e.frame)
+    }
+
+    /// Installs a translation in core `idx`'s TLB (evicting whatever shared
+    /// its direct-mapped slot).
+    fn tlb_insert(&mut self, idx: usize, pid: ProcessId, vpn: Vpn, frame: FrameId) {
+        let tlb = &mut self.cores[idx].tlb;
+        if tlb.is_empty() {
+            return;
+        }
+        let slot = vpn.0 as usize % tlb.len();
+        tlb[slot] = Some(TlbEntry { pid, vpn, frame });
+    }
+
+    /// Invalidates every core's TLB entry for `(pid, vpn)` — the
+    /// inter-processor shootdown the OS broadcasts before it changes a
+    /// mapping. Called automatically on swap-out; tests that remap pages
+    /// directly through [`Machine::kernel_mut`] must call it themselves.
+    pub fn tlb_shootdown(&mut self, pid: ProcessId, vpn: Vpn) {
+        for core in &mut self.cores {
+            if core.tlb.is_empty() {
+                continue;
+            }
+            let slot = vpn.0 as usize % core.tlb.len();
+            if core.tlb[slot].is_some_and(|e| e.pid == pid && e.vpn == vpn) {
+                core.tlb[slot] = None;
+                self.stats.tlb_shootdowns += 1;
+            }
+        }
+    }
+
     fn access(&mut self, idx: usize, now: Cycle, va: VirtAddr, kind: AccessKind) -> AccessEffect {
         let pid = self.cores[idx].prog.pid();
 
-        // 1. Translate (TLB, page tables, demand paging).
-        let (pa, mut latency) = match self.kernel.translate(pid, va, &mut self.mem) {
-            Translation::Resident { pa, cost, allocated } => {
-                if let Some(frame) = allocated {
-                    if let Backend::Ptm(p) = &mut self.backend {
-                        p.on_page_alloc(frame);
+        // 1. Translate: the core's own TLB first (a hit bypasses the kernel
+        //    entirely — same zero cost as a kernel-TLB hit, but no kernel
+        //    work on the host either), then the kernel (TLB, page tables,
+        //    demand paging) on a miss.
+        let (pa, mut latency) = if let Some(frame) = self.tlb_lookup(idx, pid, va.vpn()) {
+            self.stats.tlb_hits += 1;
+            (PhysAddr::from_frame(frame, va.page_offset()), 0)
+        } else {
+            self.stats.tlb_misses += 1;
+            match self.kernel.translate(pid, va, &mut self.mem) {
+                Translation::Resident {
+                    pa,
+                    cost,
+                    allocated,
+                } => {
+                    if let Some(frame) = allocated {
+                        if let Backend::Ptm(p) = &mut self.backend {
+                            p.on_page_alloc(frame);
+                        }
+                        self.rev_map.insert(frame, (pid, va.vpn()));
                     }
-                    self.rev_map.insert(frame, (pid, va.vpn()));
+                    self.tlb_insert(idx, pid, va.vpn(), pa.frame());
+                    (pa, cost)
                 }
-                (pa, cost)
-            }
-            Translation::SwappedOut { slot, cost } => {
-                // Swap the page (and, under PTM, its shadow) back in, then
-                // retry the access after the fault latency.
-                let frame = match &mut self.backend {
-                    Backend::Ptm(p) => {
-                        let f = p.on_swap_in(slot, &mut self.mem, &mut self.kernel.swap);
-                        self.kernel.complete_swap_in(pid, va.vpn(), f);
-                        f
-                    }
-                    _ => self.kernel.plain_swap_in(pid, va.vpn(), slot, &mut self.mem),
-                };
-                self.rev_map.insert(frame, (pid, va.vpn()));
-                return AccessEffect::Stall(now + cost);
+                Translation::SwappedOut { slot, cost } => {
+                    // Swap the page (and, under PTM, its shadow) back in,
+                    // then retry the access after the fault latency. The
+                    // retry's translation installs the new TLB entry.
+                    let frame = match &mut self.backend {
+                        Backend::Ptm(p) => {
+                            let f = p.on_swap_in(slot, &mut self.mem, &mut self.kernel.swap);
+                            self.kernel.complete_swap_in(pid, va.vpn(), f);
+                            f
+                        }
+                        _ => self
+                            .kernel
+                            .plain_swap_in(pid, va.vpn(), slot, &mut self.mem),
+                    };
+                    self.rev_map.insert(frame, (pid, va.vpn()));
+                    return AccessEffect::Stall(now + cost);
+                }
             }
         };
         let block = pa.block();
@@ -884,12 +966,12 @@ impl Machine {
             }
             ProbeResult::Miss => {
                 self.caches[idx].l2_stats_mut().misses += 1;
-                let (extra, outcome) =
-                    match self.miss_conflicts_and_supply(idx, now, pid, va, block, word, kind, false)
-                    {
-                        Ok(v) => v,
-                        Err(effect) => return effect,
-                    };
+                let (extra, outcome) = match self
+                    .miss_conflicts_and_supply(idx, now, pid, va, block, word, kind, false)
+                {
+                    Ok(v) => v,
+                    Err(effect) => return effect,
+                };
                 latency += extra;
 
                 // Fill the line, tag it, and spill the victim.
@@ -1019,13 +1101,10 @@ impl Machine {
         // toggle fast path, whose snapshots could otherwise go stale.
         if is_write && word_mode {
             if let Backend::Ptm(p) = &mut self.backend {
-                let other_cached_writer = remote
-                    .iter()
-                    .any(|r| r.meta.write && Some(r.meta.tx) != tx);
-                let other_overflow_writer = p
-                    .overflow_writers(block)
-                    .into_iter()
-                    .any(|w| Some(w) != tx);
+                let other_cached_writer =
+                    remote.iter().any(|r| r.meta.write && Some(r.meta.tx) != tx);
+                let other_overflow_writer =
+                    p.overflow_writers(block).into_iter().any(|w| Some(w) != tx);
                 if other_cached_writer || other_overflow_writer {
                     p.mark_contested(block);
                 }
@@ -1151,7 +1230,11 @@ impl Machine {
     fn handle_eviction(&mut self, line: CacheLine, now: Cycle, requester: Option<TxId>) {
         if let Some(w) = trace_word() {
             if line.block().addr().page_offset() == (w as usize % 4096) & !63 {
-                eprintln!("[ptm-trace] evict {} meta={:?} now={now}", line.block(), line.tx_meta());
+                eprintln!(
+                    "[ptm-trace] evict {} meta={:?} now={now}",
+                    line.block(),
+                    line.tx_meta()
+                );
             }
         }
         if let Some(meta) = line.tx_meta().copied() {
@@ -1172,11 +1255,11 @@ impl Machine {
                         .into_iter()
                         .find(|w| *w != meta.tx && self.is_live_tx(*w));
                     if let Some(w) = other {
+                        // The requester wins outright; between bystanders,
+                        // the older transaction wins.
                         let victim = if Some(w) == requester {
                             meta.tx
-                        } else if Some(meta.tx) == requester {
-                            w
-                        } else if meta.tx.is_older_than(w) {
+                        } else if Some(meta.tx) == requester || meta.tx.is_older_than(w) {
                             w
                         } else {
                             meta.tx
@@ -1220,7 +1303,15 @@ impl Machine {
                 .any(|m| m.write && m.tx != meta.tx);
             match &mut self.backend {
                 Backend::Ptm(p) => {
-                    p.on_tx_eviction(&meta, line.block(), spec.as_ref(), in_cache_cowriter, &mut self.mem, now, &mut self.bus);
+                    p.on_tx_eviction(
+                        &meta,
+                        line.block(),
+                        spec.as_ref(),
+                        in_cache_cowriter,
+                        &mut self.mem,
+                        now,
+                        &mut self.bus,
+                    );
                 }
                 Backend::Vtm(v) => {
                     let (pid, vpn) = *self
@@ -1246,7 +1337,13 @@ impl Machine {
     // Functional data movement
     // ------------------------------------------------------------------
 
-    fn read_word_functional(&self, tx: Option<TxId>, pid: ProcessId, va: VirtAddr, pa: PhysAddr) -> u32 {
+    fn read_word_functional(
+        &self,
+        tx: Option<TxId>,
+        pid: ProcessId,
+        va: VirtAddr,
+        pa: PhysAddr,
+    ) -> u32 {
         let block = pa.block();
         let word = pa.word_in_block();
         if let Some(tx) = tx {
@@ -1261,7 +1358,8 @@ impl Machine {
             match &self.backend {
                 Backend::Ptm(p) => {
                     let f = p.tx_view_frame(tx, block, word);
-                    self.mem.read_word(PhysAddr::from_frame(f, pa.page_offset()))
+                    self.mem
+                        .read_word(PhysAddr::from_frame(f, pa.page_offset()))
                 }
                 Backend::Vtm(v) => v
                     .read_spec_word(tx, (pid, va), word)
@@ -1275,7 +1373,8 @@ impl Machine {
             match &self.backend {
                 Backend::Ptm(p) => {
                     let f = p.committed_frame(block);
-                    self.mem.read_word(PhysAddr::from_frame(f, pa.page_offset()))
+                    self.mem
+                        .read_word(PhysAddr::from_frame(f, pa.page_offset()))
                 }
                 _ => self.mem.read_word(pa),
             }
@@ -1337,7 +1436,13 @@ impl Machine {
 
     /// The transaction's consistent view of a whole block (used to seed a
     /// fresh speculative buffer).
-    fn tx_block_snapshot(&self, tx: TxId, pid: ProcessId, va: VirtAddr, block: PhysBlock) -> [u8; BLOCK_SIZE] {
+    fn tx_block_snapshot(
+        &self,
+        tx: TxId,
+        pid: ProcessId,
+        va: VirtAddr,
+        block: PhysBlock,
+    ) -> [u8; BLOCK_SIZE] {
         match &self.backend {
             Backend::Ptm(p) => {
                 let mut out = [0u8; BLOCK_SIZE];
@@ -1382,7 +1487,8 @@ impl Machine {
         match &self.backend {
             Backend::Ptm(p) => {
                 let f = p.committed_frame(pa.block());
-                self.mem.read_word(PhysAddr::from_frame(f, pa.page_offset()))
+                self.mem
+                    .read_word(PhysAddr::from_frame(f, pa.page_offset()))
             }
             _ => self.mem.read_word(pa),
         }
@@ -1412,6 +1518,9 @@ impl Machine {
     ///
     /// Panics if the page is not resident.
     pub fn force_swap_out(&mut self, pid: ProcessId, vpn: Vpn) {
+        // The mapping is about to die: no core may keep serving the old
+        // frame from its TLB.
+        self.tlb_shootdown(pid, vpn);
         match &mut self.backend {
             Backend::Ptm(p) => {
                 let frame = self
@@ -1426,6 +1535,12 @@ impl Machine {
                 let _ = self.kernel.plain_swap_out(pid, vpn, &mut self.mem);
             }
         }
+    }
+
+    /// The frame core `idx`'s TLB currently caches for `(pid, vpn)`, if any
+    /// (test introspection for shootdown coverage).
+    pub fn tlb_peek(&self, idx: usize, pid: ProcessId, vpn: Vpn) -> Option<FrameId> {
+        self.tlb_lookup(idx, pid, vpn)
     }
 
     /// Faults a page in ahead of execution (scenario setup: inter-process
@@ -1456,4 +1571,119 @@ impl Machine {
 enum WriteVal {
     Const(u32),
     Delta(i32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_types::{Granularity, ThreadId};
+
+    fn machine(kind: SystemKind) -> Machine {
+        let prog = ThreadProgram::new(ProcessId(0), ThreadId(0), vec![Op::Compute(1)]);
+        Machine::new(MachineConfig::default(), kind, vec![prog])
+    }
+
+    #[test]
+    fn stale_tlb_entry_never_survives_swap_out() {
+        // Both the PTM swap path (SPT→SIT migration) and the plain kernel
+        // path must shoot the mapping out of every core TLB, so the
+        // post-swap access takes the major fault instead of reading through
+        // a dangling frame.
+        for kind in [SystemKind::SelectPtm(Granularity::Block), SystemKind::Locks] {
+            let mut m = machine(kind);
+            let pid = ProcessId(0);
+            let va = VirtAddr::new(0x7000);
+            let frame = m.prefault(pid, va);
+            m.mem
+                .write_word(PhysAddr::from_frame(frame, va.page_offset()), 77);
+
+            // Warm core 0's TLB, then hit it once.
+            assert!(matches!(
+                m.access(0, 0, va, AccessKind::Read),
+                AccessEffect::Done(_)
+            ));
+            assert_eq!(m.tlb_peek(0, pid, va.vpn()), Some(frame));
+            assert!(matches!(
+                m.access(0, 50, va, AccessKind::Read),
+                AccessEffect::Done(_)
+            ));
+            assert_eq!(m.stats.tlb_hits, 1);
+            assert_eq!(m.stats.tlb_misses, 1);
+
+            m.force_swap_out(pid, va.vpn());
+            assert_eq!(
+                m.tlb_peek(0, pid, va.vpn()),
+                None,
+                "shootdown must clear the entry"
+            );
+            assert_eq!(m.stats.tlb_shootdowns, 1);
+
+            // The page is gone: the access must fault and swap it back in.
+            assert!(
+                matches!(
+                    m.access(0, 100, va, AccessKind::Read),
+                    AccessEffect::Stall(_)
+                ),
+                "swapped page must fault, not serve a stale TLB entry"
+            );
+            // The retry completes against the new mapping with the old data.
+            assert!(matches!(
+                m.access(0, 20_000, va, AccessKind::Read),
+                AccessEffect::Done(_)
+            ));
+            assert_eq!(m.read_committed(pid, va), 77);
+            let new_frame = m.kernel.frame_of(pid, va.vpn()).expect("resident again");
+            assert_eq!(m.tlb_peek(0, pid, va.vpn()), Some(new_frame));
+        }
+    }
+
+    #[test]
+    fn direct_mapped_tlb_evicts_on_slot_conflict() {
+        let mut m = machine(SystemKind::Serial);
+        let pid = ProcessId(0);
+        let stride = m.cfg.core_tlb_entries as u64 * 4096;
+        let a = VirtAddr::new(0x10_0000);
+        let b = VirtAddr::new(0x10_0000 + stride);
+        assert!(matches!(
+            m.access(0, 0, a, AccessKind::Read),
+            AccessEffect::Done(_)
+        ));
+        assert!(matches!(
+            m.access(0, 100, b, AccessKind::Read),
+            AccessEffect::Done(_)
+        ));
+        // `b` displaced `a` from their shared direct-mapped slot.
+        assert_eq!(m.tlb_peek(0, pid, a.vpn()), None);
+        assert!(m.tlb_peek(0, pid, b.vpn()).is_some());
+        assert!(matches!(
+            m.access(0, 200, a, AccessKind::Read),
+            AccessEffect::Done(_)
+        ));
+        assert_eq!(m.stats.tlb_hits, 0);
+        assert_eq!(m.stats.tlb_misses, 3);
+    }
+
+    #[test]
+    fn zero_sized_tlb_disables_cleanly() {
+        let prog = ThreadProgram::new(ProcessId(0), ThreadId(0), vec![Op::Compute(1)]);
+        let cfg = MachineConfig {
+            core_tlb_entries: 0,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg, SystemKind::Serial, vec![prog]);
+        let va = VirtAddr::new(0x3000);
+        assert!(matches!(
+            m.access(0, 0, va, AccessKind::Read),
+            AccessEffect::Done(_)
+        ));
+        assert!(matches!(
+            m.access(0, 100, va, AccessKind::Read),
+            AccessEffect::Done(_)
+        ));
+        assert_eq!(m.tlb_peek(0, ProcessId(0), va.vpn()), None);
+        assert_eq!(m.stats.tlb_hits, 0);
+        assert_eq!(m.stats.tlb_misses, 2);
+        m.tlb_shootdown(ProcessId(0), va.vpn());
+        assert_eq!(m.stats.tlb_shootdowns, 0);
+    }
 }

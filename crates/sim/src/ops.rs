@@ -68,7 +68,9 @@ impl Op {
 impl fmt::Display for Op {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Op::Begin { ordered: Some(o), .. } => write!(f, "begin[{}#{}]", o.group, o.seq),
+            Op::Begin {
+                ordered: Some(o), ..
+            } => write!(f, "begin[{}#{}]", o.group, o.seq),
             Op::Begin { ordered: None, .. } => write!(f, "begin"),
             Op::End => write!(f, "end"),
             Op::Read(a) => write!(f, "ld {a}"),

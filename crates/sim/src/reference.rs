@@ -199,24 +199,57 @@ mod tests {
 
     #[test]
     fn rmw_accumulates_in_reference() {
-        let p = prog(0, 0, vec![
-            begin(),
-            Op::Rmw(VirtAddr::new(0x1000), 5),
-            Op::Rmw(VirtAddr::new(0x1000), 7),
-            Op::End,
-        ]);
-        let log = vec![CommittedTx { tx: TxId(0), thread: ThreadId(0), core: 0, begin_pc: 0, end_pc: 3, at: 1 }];
+        let p = prog(
+            0,
+            0,
+            vec![
+                begin(),
+                Op::Rmw(VirtAddr::new(0x1000), 5),
+                Op::Rmw(VirtAddr::new(0x1000), 7),
+                Op::End,
+            ],
+        );
+        let log = vec![CommittedTx {
+            tx: TxId(0),
+            thread: ThreadId(0),
+            core: 0,
+            begin_pc: 0,
+            end_pc: 3,
+            at: 1,
+        }];
         let mem = serial_reference(&[p], &log);
         assert_eq!(mem[&(ProcessId(0), VirtAddr::new(0x1000))], 12);
     }
 
     #[test]
     fn commit_order_decides_write_winner() {
-        let a = prog(0, 0, vec![begin(), Op::Write(VirtAddr::new(0x1000), 1), Op::End]);
-        let b = prog(0, 1, vec![begin(), Op::Write(VirtAddr::new(0x1000), 2), Op::End]);
+        let a = prog(
+            0,
+            0,
+            vec![begin(), Op::Write(VirtAddr::new(0x1000), 1), Op::End],
+        );
+        let b = prog(
+            0,
+            1,
+            vec![begin(), Op::Write(VirtAddr::new(0x1000), 2), Op::End],
+        );
         let log = vec![
-            CommittedTx { tx: TxId(1), thread: ThreadId(1), core: 1, begin_pc: 0, end_pc: 2, at: 5 },
-            CommittedTx { tx: TxId(0), thread: ThreadId(0), core: 0, begin_pc: 0, end_pc: 2, at: 9 },
+            CommittedTx {
+                tx: TxId(1),
+                thread: ThreadId(1),
+                core: 1,
+                begin_pc: 0,
+                end_pc: 2,
+                at: 5,
+            },
+            CommittedTx {
+                tx: TxId(0),
+                thread: ThreadId(0),
+                core: 0,
+                begin_pc: 0,
+                end_pc: 2,
+                at: 9,
+            },
         ];
         let mem = serial_reference(&[a, b], &log);
         assert_eq!(
@@ -228,13 +261,24 @@ mod tests {
 
     #[test]
     fn non_tx_prefix_runs_before_the_thread_transaction() {
-        let p = prog(0, 0, vec![
-            Op::Write(VirtAddr::new(0x2000), 10),
-            begin(),
-            Op::Rmw(VirtAddr::new(0x2000), 1),
-            Op::End,
-        ]);
-        let log = vec![CommittedTx { tx: TxId(0), thread: ThreadId(0), core: 0, begin_pc: 1, end_pc: 3, at: 1 }];
+        let p = prog(
+            0,
+            0,
+            vec![
+                Op::Write(VirtAddr::new(0x2000), 10),
+                begin(),
+                Op::Rmw(VirtAddr::new(0x2000), 1),
+                Op::End,
+            ],
+        );
+        let log = vec![CommittedTx {
+            tx: TxId(0),
+            thread: ThreadId(0),
+            core: 0,
+            begin_pc: 1,
+            end_pc: 3,
+            at: 1,
+        }];
         let mem = serial_reference(&[p], &log);
         assert_eq!(mem[&(ProcessId(0), VirtAddr::new(0x2000))], 11);
     }

@@ -42,6 +42,13 @@ pub struct MachineStats {
     pub pages: HashSet<(ProcessId, Vpn)>,
     /// Unique pages updated by transactional writes — Table 1's "pg-x-wr".
     pub tx_write_pages: HashSet<(ProcessId, Vpn)>,
+    /// Core-TLB hits (translations served without consulting the kernel).
+    pub tlb_hits: u64,
+    /// Core-TLB misses (translations that went through the kernel's
+    /// TLB/walk/fault model).
+    pub tlb_misses: u64,
+    /// Core-TLB entries invalidated by mapping-change shootdowns.
+    pub tlb_shootdowns: u64,
     /// L2 demand misses across all cores.
     pub l2_misses: u64,
     /// L2 evictions across all cores (Table 1's "mop/evict" denominator).
@@ -81,10 +88,13 @@ impl fmt::Display for MachineStats {
         )?;
         write!(
             f,
-            "pages={} tx-write-pages={} ({:.1}% conservative) l2-miss={} evict={} mop/evict={:.1}",
+            "pages={} tx-write-pages={} ({:.1}% conservative) tlb {}/{} shootdowns={} l2-miss={} evict={} mop/evict={:.1}",
             self.pages.len(),
             self.tx_write_pages.len(),
             self.conservative_overhead() * 100.0,
+            self.tlb_hits,
+            self.tlb_misses,
+            self.tlb_shootdowns,
             self.l2_misses,
             self.l2_evictions,
             self.mops_per_evict()

@@ -72,7 +72,11 @@ fn shared_counter_is_exact_under_every_tm_system() {
 #[test]
 fn shared_counter_is_exact_under_locks() {
     let programs = counter_programs(4, 10);
-    let m = run(MachineConfig::default(), SystemKind::Locks, programs.clone());
+    let m = run(
+        MachineConfig::default(),
+        SystemKind::Locks,
+        programs.clone(),
+    );
     assert_eq!(m.read_committed(ProcessId(0), VirtAddr::new(0x10_0000)), 40);
     assert_serializable(&m, &programs);
 }
@@ -101,7 +105,10 @@ fn contention_causes_aborts_but_no_lost_updates() {
     );
     assert!(m.stats().aborts > 0, "long overlapping txns must conflict");
     assert_eq!(m.read_committed(ProcessId(0), VirtAddr::new(counter)), 20);
-    assert_eq!(m.read_committed(ProcessId(0), VirtAddr::new(counter + 4)), 20);
+    assert_eq!(
+        m.read_committed(ProcessId(0), VirtAddr::new(counter + 4)),
+        20
+    );
     assert_serializable(&m, &programs);
 }
 
@@ -338,10 +345,17 @@ fn context_switches_and_exceptions_are_survivable() {
         ..tiny_cache_config()
     };
     let programs = counter_programs(4, 25);
-    let m = run(cfg, SystemKind::SelectPtm(Granularity::Block), programs.clone());
+    let m = run(
+        cfg,
+        SystemKind::SelectPtm(Granularity::Block),
+        programs.clone(),
+    );
     assert!(m.kernel_stats().context_switches > 0);
     assert!(m.kernel_stats().exceptions > 0);
-    assert_eq!(m.read_committed(ProcessId(0), VirtAddr::new(0x10_0000)), 100);
+    assert_eq!(
+        m.read_committed(ProcessId(0), VirtAddr::new(0x10_0000)),
+        100
+    );
     assert_serializable(&m, &programs);
 }
 
@@ -374,7 +388,12 @@ fn inter_process_shared_physical_page_conflicts_under_ptm() {
     let t1 = ThreadProgram::new(
         ProcessId(1),
         ThreadId(1),
-        vec![Op::Compute(600), begin(lock0() + 64), Op::Rmw(va1, 10), Op::End],
+        vec![
+            Op::Compute(600),
+            begin(lock0() + 64),
+            Op::Rmw(va1, 10),
+            Op::End,
+        ],
     );
     let mut m = Machine::new(
         tiny_cache_config(),
@@ -448,7 +467,12 @@ fn migration_spills_left_behind_lines_through_overflow() {
     let t1 = ThreadProgram::new(
         ProcessId(0),
         ThreadId(1),
-        vec![Op::Compute(200), begin(lock0() + 64), Op::Rmw(VirtAddr::new(0x50_0000), 1), Op::End],
+        vec![
+            Op::Compute(200),
+            begin(lock0() + 64),
+            Op::Rmw(VirtAddr::new(0x50_0000), 1),
+            Op::End,
+        ],
     );
     let cfg = MachineConfig {
         kernel: ptm_sim::KernelConfig {
@@ -459,7 +483,11 @@ fn migration_spills_left_behind_lines_through_overflow() {
         ..MachineConfig::default()
     };
     let programs = vec![t0, t1];
-    let m = run(cfg, SystemKind::SelectPtm(Granularity::Block), programs.clone());
+    let m = run(
+        cfg,
+        SystemKind::SelectPtm(Granularity::Block),
+        programs.clone(),
+    );
     for blk in 0..16u64 {
         assert_eq!(
             m.read_committed(ProcessId(0), VirtAddr::new(base + blk * 64)),
@@ -498,7 +526,11 @@ fn logtm_prefers_stalling_over_aborting() {
         ThreadProgram::new(ProcessId(0), ThreadId(t), ops)
     };
     let programs: Vec<_> = (0..4).map(mk).collect();
-    let ptm = run(tiny_cache_config(), SystemKind::SelectPtm(Granularity::Block), programs.clone());
+    let ptm = run(
+        tiny_cache_config(),
+        SystemKind::SelectPtm(Granularity::Block),
+        programs.clone(),
+    );
     let log = run(tiny_cache_config(), SystemKind::LogTm, programs.clone());
     assert!(
         log.stats().aborts <= ptm.stats().aborts,
@@ -533,7 +565,10 @@ fn logtm_abort_restores_overflowed_writes() {
     let t1 = ThreadProgram::new(
         ProcessId(0),
         ThreadId(1),
-        vec![Op::Compute(6000), Op::Write(VirtAddr::new(base + 8 * 64 + 4), 99)],
+        vec![
+            Op::Compute(6000),
+            Op::Write(VirtAddr::new(base + 8 * 64 + 4), 99),
+        ],
     );
     let programs = vec![t0, t1];
     let m = run(tiny_cache_config(), SystemKind::LogTm, programs.clone());
@@ -541,7 +576,10 @@ fn logtm_abort_restores_overflowed_writes() {
     let l = m.backend().as_logtm().unwrap().stats();
     assert!(l.log_restores > 0, "the undo log was walked");
     assert_eq!(m.read_committed(ProcessId(0), VirtAddr::new(base)), 8);
-    assert_eq!(m.read_committed(ProcessId(0), VirtAddr::new(base + 8 * 64 + 4)), 99);
+    assert_eq!(
+        m.read_committed(ProcessId(0), VirtAddr::new(base + 8 * 64 + 4)),
+        99
+    );
     assert_serializable(&m, &programs);
 }
 
@@ -605,7 +643,11 @@ fn barriers_are_migration_safe() {
         ..MachineConfig::default()
     };
     let programs: Vec<_> = (0..4).map(mk).collect();
-    let m = run(cfg, SystemKind::SelectPtm(Granularity::Block), programs.clone());
+    let m = run(
+        cfg,
+        SystemKind::SelectPtm(Granularity::Block),
+        programs.clone(),
+    );
     assert!(m.kernel_stats().context_switches > 0);
     for t in 0..4u64 {
         assert_eq!(

@@ -29,11 +29,20 @@ fn tlb_capacity_shows_up_as_walk_latency() {
         }
         vec![ThreadProgram::new(ProcessId(0), ThreadId(0), ops)]
     };
-    let mut small = MachineConfig::default();
+    // Disable the per-core TLB so the kernel's TLB capacity is what the
+    // access stream actually exercises.
+    let mut small = MachineConfig {
+        core_tlb_entries: 0,
+        ..MachineConfig::default()
+    };
     small.kernel.tlb_entries = 4;
     let m_small = run(small, SystemKind::Serial, mk());
 
-    let m_big = run(MachineConfig::default(), SystemKind::Serial, mk());
+    let big = MachineConfig {
+        core_tlb_entries: 0,
+        ..MachineConfig::default()
+    };
+    let m_big = run(big, SystemKind::Serial, mk());
     assert!(
         m_small.kernel_stats().tlb_misses >= m_big.kernel_stats().tlb_misses + pages,
         "tiny TLB must keep missing: {} vs {}",
@@ -85,7 +94,11 @@ fn multi_lock_critical_sections_nest_correctly() {
         ThreadProgram::new(ProcessId(0), ThreadId(t as u32), ops)
     };
     let programs: Vec<_> = (0..4).map(mk).collect();
-    let m = run(MachineConfig::default(), SystemKind::Locks, programs.clone());
+    let m = run(
+        MachineConfig::default(),
+        SystemKind::Locks,
+        programs.clone(),
+    );
     assert_eq!(m.read_committed(ProcessId(0), VirtAddr::new(shared)), 48);
     for t in 0..4u64 {
         assert_eq!(
@@ -108,7 +121,10 @@ fn independent_ordered_groups_interleave_freely() {
                 ordered: Some(OrderedSeq { group, seq }),
                 lock: VirtAddr::new(0x100 + t * 64),
             });
-            ops.push(Op::Rmw(VirtAddr::new(0x30_0000 + u64::from(group) * 4096), 1));
+            ops.push(Op::Rmw(
+                VirtAddr::new(0x30_0000 + u64::from(group) * 4096),
+                1,
+            ));
             ops.push(Op::End);
             ops.push(Op::Compute(30));
         }
@@ -121,8 +137,14 @@ fn independent_ordered_groups_interleave_freely() {
         programs.clone(),
     );
     assert_eq!(m.stats().commits, 20);
-    assert_eq!(m.read_committed(ProcessId(0), VirtAddr::new(0x30_0000 + 4096)), 10);
-    assert_eq!(m.read_committed(ProcessId(0), VirtAddr::new(0x30_0000 + 8192)), 10);
+    assert_eq!(
+        m.read_committed(ProcessId(0), VirtAddr::new(0x30_0000 + 4096)),
+        10
+    );
+    assert_eq!(
+        m.read_committed(ProcessId(0), VirtAddr::new(0x30_0000 + 8192)),
+        10
+    );
     assert_serializable(&m, &programs);
 }
 
@@ -174,18 +196,17 @@ fn barrier_with_finished_threads_does_not_hang() {
         ops.push(Op::Barrier(1));
         ThreadProgram::new(ProcessId(0), ThreadId(t as u32), ops)
     };
-    let m = run(
-        MachineConfig::default(),
-        SystemKind::Serial,
-        vec![mk(0)],
-    );
+    let m = run(MachineConfig::default(), SystemKind::Serial, vec![mk(0)]);
     assert!(m.stats().cycles >= 10_000);
     let m = run(
         MachineConfig::default(),
         SystemKind::SelectPtm(Granularity::Block),
         (0..4).map(mk).collect(),
     );
-    assert!(m.stats().cycles >= 10_000, "everyone waited for the slow thread");
+    assert!(
+        m.stats().cycles >= 10_000,
+        "everyone waited for the slow thread"
+    );
 }
 
 #[test]

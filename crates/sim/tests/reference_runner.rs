@@ -56,7 +56,7 @@ fn reference_detects_injected_divergence() {
         vec![prog.clone()],
     );
     m.run();
-    assert!(diff_against_machine(&m, &[prog.clone()]).is_empty());
+    assert!(diff_against_machine(&m, std::slice::from_ref(&prog)).is_empty());
 
     // Corrupt the committed word behind the system's back.
     let frame = m.prefault(ProcessId(0), VirtAddr::new(0x2000));
@@ -75,7 +75,12 @@ fn serialization_preserves_total_work() {
             ThreadProgram::new(
                 ProcessId(0),
                 ThreadId(t),
-                vec![begin(0x100), Op::Rmw(VirtAddr::new(0x3000), 1), Op::End, Op::Compute(5)],
+                vec![
+                    begin(0x100),
+                    Op::Rmw(VirtAddr::new(0x3000), 1),
+                    Op::End,
+                    Op::Compute(5),
+                ],
             )
         })
         .collect();
@@ -129,8 +134,16 @@ fn checksums_are_deterministic_and_order_sensitive() {
             ],
         )]
     };
-    let m1 = run(MachineConfig::default(), SystemKind::SelectPtm(Granularity::Block), mk());
-    let m2 = run(MachineConfig::default(), SystemKind::SelectPtm(Granularity::Block), mk());
+    let m1 = run(
+        MachineConfig::default(),
+        SystemKind::SelectPtm(Granularity::Block),
+        mk(),
+    );
+    let m2 = run(
+        MachineConfig::default(),
+        SystemKind::SelectPtm(Granularity::Block),
+        mk(),
+    );
     assert_eq!(m1.checksums(), m2.checksums());
     assert_ne!(m1.checksums()[0], 0, "reads fed the checksum");
 }

@@ -337,7 +337,9 @@ mod tests {
 
     #[test]
     fn block_vec_iter_yields_ascending_set_bits() {
-        let v: BlockVec = [BlockIdx(3), BlockIdx(1), BlockIdx(60)].into_iter().collect();
+        let v: BlockVec = [BlockIdx(3), BlockIdx(1), BlockIdx(60)]
+            .into_iter()
+            .collect();
         let got: Vec<_> = v.iter().collect();
         assert_eq!(got, vec![BlockIdx(1), BlockIdx(3), BlockIdx(60)]);
     }

@@ -1,7 +1,10 @@
 //! Model-based property tests for the bit vectors PTM state is packed into.
 
 use proptest::prelude::*;
-use ptm_types::{BlockIdx, BlockVec, VirtAddr, WordIdx, WordMask, WordVec, BLOCKS_PER_PAGE, WORDS_PER_BLOCK, WORDS_PER_PAGE};
+use ptm_types::{
+    BlockIdx, BlockVec, VirtAddr, WordIdx, WordMask, WordVec, BLOCKS_PER_PAGE, WORDS_PER_BLOCK,
+    WORDS_PER_PAGE,
+};
 use std::collections::HashSet;
 
 fn block_idx() -> impl Strategy<Value = BlockIdx> {
@@ -70,7 +73,7 @@ proptest! {
         entries in prop::collection::vec((0..BLOCKS_PER_PAGE as u8, any::<u16>()), 0..32)
     ) {
         let mut v = WordVec::EMPTY;
-        let mut model = vec![0u16; BLOCKS_PER_PAGE];
+        let mut model = [0u16; BLOCKS_PER_PAGE];
         for (b, m) in entries {
             v.set_block_words(BlockIdx(b), WordMask(m));
             model[b as usize] |= m;

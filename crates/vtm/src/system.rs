@@ -159,7 +159,10 @@ impl VtmSystem {
         }
         self.stats.xf_maybe += 1;
 
-        let mut cost = VtsCost { lookups: 1, ..Default::default() };
+        let mut cost = VtsCost {
+            lookups: 1,
+            ..Default::default()
+        };
         match self.xadc.touch(key) {
             Touch::Hit => self.stats.xadc_hits += 1,
             Touch::Miss { evicted_dirty } => {
@@ -213,7 +216,10 @@ impl VtmSystem {
         let tx = meta.tx;
         self.xf.insert(key.1);
 
-        let mut cost = VtsCost { lookups: 1, ..Default::default() };
+        let mut cost = VtsCost {
+            lookups: 1,
+            ..Default::default()
+        };
         match self.xadc.touch(key) {
             Touch::Hit => self.stats.xadc_hits += 1,
             Touch::Miss { evicted_dirty } => {
@@ -244,7 +250,8 @@ impl VtmSystem {
 
     /// Reads a word of `tx`'s overflowed speculative data, if it exists.
     pub fn read_spec_word(&self, tx: TxId, key: XadtKey, word: WordIdx) -> Option<u32> {
-        self.xadt.read_spec_word((key.0, key.1.block_aligned()), tx, word)
+        self.xadt
+            .read_spec_word((key.0, key.1.block_aligned()), tx, word)
     }
 
     /// Whether `tx` has write-overflowed the block.
@@ -373,9 +380,23 @@ mod tests {
 
         let mut b = bus();
         vtm.begin(TxId(0));
-        vtm.on_tx_eviction(&dirty_meta(TxId(0)), key(0x1000), Some(&spec(0, 222)), mem.read_block(block), 0, &mut b);
-        assert_eq!(mem.read_word(block.addr()), 111, "speculative data buffered, not in memory");
-        assert_eq!(vtm.read_spec_word(TxId(0), key(0x1000), WordIdx(0)), Some(222));
+        vtm.on_tx_eviction(
+            &dirty_meta(TxId(0)),
+            key(0x1000),
+            Some(&spec(0, 222)),
+            mem.read_block(block),
+            0,
+            &mut b,
+        );
+        assert_eq!(
+            mem.read_word(block.addr()),
+            111,
+            "speculative data buffered, not in memory"
+        );
+        assert_eq!(
+            vtm.read_spec_word(TxId(0), key(0x1000), WordIdx(0)),
+            Some(222)
+        );
 
         vtm.commit(TxId(0), &mut mem, |_| Some(block), 100, &mut b);
         assert_eq!(mem.read_word(block.addr()), 222, "commit copies back");
@@ -393,7 +414,14 @@ mod tests {
 
         let mut b = bus();
         vtm.begin(TxId(0));
-        vtm.on_tx_eviction(&dirty_meta(TxId(0)), key(0x1000), Some(&spec(0, 222)), mem.read_block(block), 0, &mut b);
+        vtm.on_tx_eviction(
+            &dirty_meta(TxId(0)),
+            key(0x1000),
+            Some(&spec(0, 222)),
+            mem.read_block(block),
+            0,
+            &mut b,
+        );
         vtm.abort(TxId(0), 10, &mut b);
         assert_eq!(mem.read_word(block.addr()), 111, "no restore needed");
         assert_eq!(vtm.stats().commit_copy_blocks, 0);
@@ -405,7 +433,14 @@ mod tests {
         let mut vtm = VtmSystem::new(VtmConfig::baseline());
         let mut b = bus();
         vtm.begin(TxId(0));
-        let out = vtm.check_conflict(Some(TxId(1)), key(0x9000), WordIdx(0), AccessKind::Read, 0, &mut b);
+        let out = vtm.check_conflict(
+            Some(TxId(1)),
+            key(0x9000),
+            WordIdx(0),
+            AccessKind::Read,
+            0,
+            &mut b,
+        );
         assert!(out.conflicts.is_empty());
         assert_eq!(out.done_at, 0, "filtered check is free");
         assert_eq!(vtm.stats().xf_filtered, 1);
@@ -416,11 +451,32 @@ mod tests {
         let mut vtm = VtmSystem::new(VtmConfig::baseline());
         let mut b = bus();
         vtm.begin(TxId(0));
-        vtm.on_tx_eviction(&dirty_meta(TxId(0)), key(0x1000), Some(&spec(0, 1)), [0; BLOCK_SIZE], 0, &mut b);
+        vtm.on_tx_eviction(
+            &dirty_meta(TxId(0)),
+            key(0x1000),
+            Some(&spec(0, 1)),
+            [0; BLOCK_SIZE],
+            0,
+            &mut b,
+        );
 
-        let out = vtm.check_conflict(Some(TxId(1)), key(0x1000), WordIdx(0), AccessKind::Read, 5, &mut b);
+        let out = vtm.check_conflict(
+            Some(TxId(1)),
+            key(0x1000),
+            WordIdx(0),
+            AccessKind::Read,
+            5,
+            &mut b,
+        );
         assert_eq!(out.conflicts, vec![TxId(0)], "RAW through XADT");
-        let own = vtm.check_conflict(Some(TxId(0)), key(0x1000), WordIdx(0), AccessKind::Read, 5, &mut b);
+        let own = vtm.check_conflict(
+            Some(TxId(0)),
+            key(0x1000),
+            WordIdx(0),
+            AccessKind::Read,
+            5,
+            &mut b,
+        );
         assert!(own.conflicts.is_empty());
     }
 
@@ -429,11 +485,32 @@ mod tests {
         let mut vtm = VtmSystem::new(VtmConfig::baseline());
         let mut b = bus();
         vtm.begin(TxId(0));
-        vtm.on_tx_eviction(&read_meta(TxId(0)), key(0x2000), None, [0; BLOCK_SIZE], 0, &mut b);
-        let rd = vtm.check_conflict(Some(TxId(1)), key(0x2000), WordIdx(0), AccessKind::Read, 5, &mut b);
+        vtm.on_tx_eviction(
+            &read_meta(TxId(0)),
+            key(0x2000),
+            None,
+            [0; BLOCK_SIZE],
+            0,
+            &mut b,
+        );
+        let rd = vtm.check_conflict(
+            Some(TxId(1)),
+            key(0x2000),
+            WordIdx(0),
+            AccessKind::Read,
+            5,
+            &mut b,
+        );
         assert!(rd.conflicts.is_empty());
         assert!(rd.deny_exclusive);
-        let wr = vtm.check_conflict(Some(TxId(1)), key(0x2000), WordIdx(0), AccessKind::Write, 5, &mut b);
+        let wr = vtm.check_conflict(
+            Some(TxId(1)),
+            key(0x2000),
+            WordIdx(0),
+            AccessKind::Write,
+            5,
+            &mut b,
+        );
         assert_eq!(wr.conflicts, vec![TxId(0)]);
     }
 
@@ -445,12 +522,30 @@ mod tests {
         let block = PhysBlock::new(frame, BlockIdx(0));
         let mut b = bus();
         vtm.begin(TxId(0));
-        vtm.on_tx_eviction(&dirty_meta(TxId(0)), key(0x1000), Some(&spec(0, 1)), [0; BLOCK_SIZE], 0, &mut b);
+        vtm.on_tx_eviction(
+            &dirty_meta(TxId(0)),
+            key(0x1000),
+            Some(&spec(0, 1)),
+            [0; BLOCK_SIZE],
+            0,
+            &mut b,
+        );
         let done = vtm.commit(TxId(0), &mut mem, |_| Some(block), 1000, &mut b);
         assert!(done > 1000);
         vtm.begin(TxId(1));
-        let out = vtm.check_conflict(Some(TxId(1)), key(0x1000), WordIdx(0), AccessKind::Read, 1001, &mut b);
-        assert_eq!(out.stall_until, Some(done), "copy-back blocks other transactions");
+        let out = vtm.check_conflict(
+            Some(TxId(1)),
+            key(0x1000),
+            WordIdx(0),
+            AccessKind::Read,
+            1001,
+            &mut b,
+        );
+        assert_eq!(
+            out.stall_until,
+            Some(done),
+            "copy-back blocks other transactions"
+        );
     }
 
     #[test]
@@ -461,12 +556,26 @@ mod tests {
         let block = PhysBlock::new(frame, BlockIdx(0));
         let mut b = bus();
         vtm.begin(TxId(0));
-        vtm.on_tx_eviction(&dirty_meta(TxId(0)), key(0x1000), Some(&spec(0, 9)), [0; BLOCK_SIZE], 0, &mut b);
+        vtm.on_tx_eviction(
+            &dirty_meta(TxId(0)),
+            key(0x1000),
+            Some(&spec(0, 9)),
+            [0; BLOCK_SIZE],
+            0,
+            &mut b,
+        );
         let done = vtm.commit(TxId(0), &mut mem, |_| Some(block), 1000, &mut b);
         assert_eq!(done, 1000, "victim hit: commit completes instantly");
         assert_eq!(vtm.stats().victim_absorbed_commits, 1);
         vtm.begin(TxId(1));
-        let out = vtm.check_conflict(Some(TxId(1)), key(0x1000), WordIdx(0), AccessKind::Read, 1001, &mut b);
+        let out = vtm.check_conflict(
+            Some(TxId(1)),
+            key(0x1000),
+            WordIdx(0),
+            AccessKind::Read,
+            1001,
+            &mut b,
+        );
         assert_eq!(out.stall_until, None, "no stall window");
         assert_eq!(mem.read_word(block.addr()), 9, "data still copied back");
     }
@@ -476,11 +585,25 @@ mod tests {
         let mut vtm = VtmSystem::new(VtmConfig::baseline());
         let mut b = bus();
         vtm.begin(TxId(0));
-        vtm.on_tx_eviction(&dirty_meta(TxId(0)), key(0x1000), Some(&spec(0, 1)), [0; BLOCK_SIZE], 0, &mut b);
+        vtm.on_tx_eviction(
+            &dirty_meta(TxId(0)),
+            key(0x1000),
+            Some(&spec(0, 1)),
+            [0; BLOCK_SIZE],
+            0,
+            &mut b,
+        );
         // Same virtual address in another process: VTM sees no conflict —
         // the PTM paper's inter-process argument (§5.3).
         let other = (ProcessId(1), VirtAddr::new(0x1000));
-        let out = vtm.check_conflict(Some(TxId(1)), other, WordIdx(0), AccessKind::Write, 5, &mut b);
+        let out = vtm.check_conflict(
+            Some(TxId(1)),
+            other,
+            WordIdx(0),
+            AccessKind::Write,
+            5,
+            &mut b,
+        );
         assert!(out.conflicts.is_empty());
     }
 }

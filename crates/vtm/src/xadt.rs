@@ -294,21 +294,36 @@ mod tests {
         x.record_write(key(64), TxId(2), spec(0, 1), || [0u8; BLOCK_SIZE]);
 
         // Reader of a read-overflowed block: no conflict.
-        assert!(x.conflicting(key(0), Some(TxId(3)), false, WordIdx(0), false).is_empty());
+        assert!(x
+            .conflicting(key(0), Some(TxId(3)), false, WordIdx(0), false)
+            .is_empty());
         // Writer against a reader: WAR.
-        assert_eq!(x.conflicting(key(0), Some(TxId(3)), true, WordIdx(0), false), vec![TxId(1)]);
+        assert_eq!(
+            x.conflicting(key(0), Some(TxId(3)), true, WordIdx(0), false),
+            vec![TxId(1)]
+        );
         // Reader against a writer: RAW.
-        assert_eq!(x.conflicting(key(64), Some(TxId(3)), false, WordIdx(0), false), vec![TxId(2)]);
+        assert_eq!(
+            x.conflicting(key(64), Some(TxId(3)), false, WordIdx(0), false),
+            vec![TxId(2)]
+        );
         // The owner never conflicts with itself.
-        assert!(x.conflicting(key(64), Some(TxId(2)), true, WordIdx(0), false).is_empty());
+        assert!(x
+            .conflicting(key(64), Some(TxId(2)), true, WordIdx(0), false)
+            .is_empty());
     }
 
     #[test]
     fn word_level_check_ignores_disjoint_words() {
         let mut x = Xadt::new();
         x.record_write(key(0), TxId(1), spec(0, 1), || [0u8; BLOCK_SIZE]);
-        assert!(x.conflicting(key(0), Some(TxId(2)), false, WordIdx(5), true).is_empty());
-        assert_eq!(x.conflicting(key(0), Some(TxId(2)), false, WordIdx(0), true), vec![TxId(1)]);
+        assert!(x
+            .conflicting(key(0), Some(TxId(2)), false, WordIdx(5), true)
+            .is_empty());
+        assert_eq!(
+            x.conflicting(key(0), Some(TxId(2)), false, WordIdx(0), true),
+            vec![TxId(1)]
+        );
     }
 
     #[test]

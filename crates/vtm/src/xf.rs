@@ -154,7 +154,10 @@ mod tests {
         let fps = (100_000..110_000u64)
             .filter(|i| xf.may_contain(VirtAddr::new(i * 64)))
             .count();
-        assert!(fps < 100, "false-positive rate should be below 1%, got {fps}/10000");
+        assert!(
+            fps < 100,
+            "false-positive rate should be below 1%, got {fps}/10000"
+        );
     }
 
     #[test]

@@ -47,16 +47,34 @@ fn xadc_pressure_forces_walks() {
     let mut b = bus();
     vtm.begin(TxId(0));
     for i in 0..6u64 {
-        vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000 + i * 64), Some(&spec(0, i as u32)), [0; BLOCK_SIZE], 0, &mut b);
+        vtm.on_tx_eviction(
+            &dirty(TxId(0)),
+            key(0x1000 + i * 64),
+            Some(&spec(0, i as u32)),
+            [0; BLOCK_SIZE],
+            0,
+            &mut b,
+        );
     }
     // Sweep conflict checks across all six blocks twice: the 2-entry XADC
     // keeps missing.
     for _ in 0..2 {
         for i in 0..6u64 {
-            let _ = vtm.check_conflict(Some(TxId(1)), key(0x1000 + i * 64), WordIdx(0), AccessKind::Read, 100, &mut b);
+            let _ = vtm.check_conflict(
+                Some(TxId(1)),
+                key(0x1000 + i * 64),
+                WordIdx(0),
+                AccessKind::Read,
+                100,
+                &mut b,
+            );
         }
     }
-    assert!(vtm.stats().xadc_misses > 6, "XADC thrash: {}", vtm.stats().xadc_misses);
+    assert!(
+        vtm.stats().xadc_misses > 6,
+        "XADC thrash: {}",
+        vtm.stats().xadc_misses
+    );
 }
 
 #[test]
@@ -67,7 +85,14 @@ fn commit_copies_every_dirty_block_back() {
     let mut b = bus();
     vtm.begin(TxId(0));
     for i in 0..8u64 {
-        vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000 + i * 64), Some(&spec(0, 10 + i as u32)), [0; BLOCK_SIZE], 0, &mut b);
+        vtm.on_tx_eviction(
+            &dirty(TxId(0)),
+            key(0x1000 + i * 64),
+            Some(&spec(0, 10 + i as u32)),
+            [0; BLOCK_SIZE],
+            0,
+            &mut b,
+        );
     }
     let translate = |va: VirtAddr| Some(PhysBlock::new(frame, va.block_in_page()));
     let done = vtm.commit(TxId(0), &mut mem, translate, 10_000, &mut b);
@@ -93,7 +118,14 @@ fn victim_variant_absorbs_only_cached_blocks() {
     // Six blocks through a 2-entry victim cache: only the most recent stay
     // buffered; older ones must take the stall path at commit.
     for i in 0..6u64 {
-        vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000 + i * 64), Some(&spec(0, i as u32)), [0; BLOCK_SIZE], 0, &mut b);
+        vtm.on_tx_eviction(
+            &dirty(TxId(0)),
+            key(0x1000 + i * 64),
+            Some(&spec(0, i as u32)),
+            [0; BLOCK_SIZE],
+            0,
+            &mut b,
+        );
     }
     let translate = |va: VirtAddr| Some(PhysBlock::new(frame, va.block_in_page()));
     vtm.commit(TxId(0), &mut mem, translate, 10_000, &mut b);
@@ -122,7 +154,14 @@ fn filter_stays_clean_over_many_generations() {
     for g in 0..200u64 {
         let tx = TxId(g);
         vtm.begin(tx);
-        vtm.on_tx_eviction(&dirty(tx), key(0x1000), Some(&spec(0, g as u32)), [0; BLOCK_SIZE], g * 10, &mut b);
+        vtm.on_tx_eviction(
+            &dirty(tx),
+            key(0x1000),
+            Some(&spec(0, g as u32)),
+            [0; BLOCK_SIZE],
+            g * 10,
+            &mut b,
+        );
         let translate = |va: VirtAddr| Some(PhysBlock::new(frame, va.block_in_page()));
         vtm.commit(tx, &mut mem, translate, g * 10 + 5, &mut b);
     }
@@ -130,7 +169,14 @@ fn filter_stays_clean_over_many_generations() {
     // A check on the long-retired address must be filtered out.
     vtm.begin(TxId(1000));
     let before = vtm.stats().xf_filtered;
-    let _ = vtm.check_conflict(Some(TxId(1000)), key(0x1000), WordIdx(0), AccessKind::Read, 1_000_000, &mut b);
+    let _ = vtm.check_conflict(
+        Some(TxId(1000)),
+        key(0x1000),
+        WordIdx(0),
+        AccessKind::Read,
+        1_000_000,
+        &mut b,
+    );
     assert_eq!(vtm.stats().xf_filtered, before + 1, "filter fully drained");
 }
 
@@ -142,8 +188,22 @@ fn readers_release_without_copyback() {
     let mut b = bus();
     vtm.begin(TxId(0));
     vtm.begin(TxId(1));
-    vtm.on_tx_eviction(&read_meta(TxId(0)), key(0x2000), None, [0; BLOCK_SIZE], 0, &mut b);
-    vtm.on_tx_eviction(&read_meta(TxId(1)), key(0x2000), None, [0; BLOCK_SIZE], 0, &mut b);
+    vtm.on_tx_eviction(
+        &read_meta(TxId(0)),
+        key(0x2000),
+        None,
+        [0; BLOCK_SIZE],
+        0,
+        &mut b,
+    );
+    vtm.on_tx_eviction(
+        &read_meta(TxId(1)),
+        key(0x2000),
+        None,
+        [0; BLOCK_SIZE],
+        0,
+        &mut b,
+    );
 
     let translate = |va: VirtAddr| Some(PhysBlock::new(frame, va.block_in_page()));
     vtm.commit(TxId(0), &mut mem, translate, 100, &mut b);
@@ -159,12 +219,33 @@ fn abort_of_one_reader_preserves_the_other() {
     let mut b = bus();
     vtm.begin(TxId(0));
     vtm.begin(TxId(1));
-    vtm.on_tx_eviction(&read_meta(TxId(0)), key(0x2000), None, [0; BLOCK_SIZE], 0, &mut b);
-    vtm.on_tx_eviction(&read_meta(TxId(1)), key(0x2000), None, [0; BLOCK_SIZE], 0, &mut b);
+    vtm.on_tx_eviction(
+        &read_meta(TxId(0)),
+        key(0x2000),
+        None,
+        [0; BLOCK_SIZE],
+        0,
+        &mut b,
+    );
+    vtm.on_tx_eviction(
+        &read_meta(TxId(1)),
+        key(0x2000),
+        None,
+        [0; BLOCK_SIZE],
+        0,
+        &mut b,
+    );
     vtm.abort(TxId(0), 10, &mut b);
 
     // Writer still conflicts with the surviving reader.
-    let out = vtm.check_conflict(Some(TxId(2)), key(0x2000), WordIdx(0), AccessKind::Write, 20, &mut b);
+    let out = vtm.check_conflict(
+        Some(TxId(2)),
+        key(0x2000),
+        WordIdx(0),
+        AccessKind::Write,
+        20,
+        &mut b,
+    );
     assert_eq!(out.conflicts, vec![TxId(1)]);
 }
 
@@ -175,10 +256,30 @@ fn spec_data_merges_across_repeated_overflows() {
     let frame = mem.alloc().unwrap();
     let mut b = bus();
     vtm.begin(TxId(0));
-    vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000), Some(&spec(0, 1)), [0; BLOCK_SIZE], 0, &mut b);
-    vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000), Some(&spec(3, 4)), [0; BLOCK_SIZE], 10, &mut b);
-    assert_eq!(vtm.read_spec_word(TxId(0), key(0x1000), WordIdx(0)), Some(1));
-    assert_eq!(vtm.read_spec_word(TxId(0), key(0x1000), WordIdx(3)), Some(4));
+    vtm.on_tx_eviction(
+        &dirty(TxId(0)),
+        key(0x1000),
+        Some(&spec(0, 1)),
+        [0; BLOCK_SIZE],
+        0,
+        &mut b,
+    );
+    vtm.on_tx_eviction(
+        &dirty(TxId(0)),
+        key(0x1000),
+        Some(&spec(3, 4)),
+        [0; BLOCK_SIZE],
+        10,
+        &mut b,
+    );
+    assert_eq!(
+        vtm.read_spec_word(TxId(0), key(0x1000), WordIdx(0)),
+        Some(1)
+    );
+    assert_eq!(
+        vtm.read_spec_word(TxId(0), key(0x1000), WordIdx(3)),
+        Some(4)
+    );
 
     let translate = |va: VirtAddr| Some(PhysBlock::new(frame, va.block_in_page()));
     vtm.commit(TxId(0), &mut mem, translate, 100, &mut b);
@@ -193,7 +294,14 @@ fn peak_xadt_tracks_maximum_entries() {
     let mut b = bus();
     vtm.begin(TxId(0));
     for i in 0..5u64 {
-        vtm.on_tx_eviction(&dirty(TxId(0)), key(0x1000 + i * 64), Some(&spec(0, 1)), [0; BLOCK_SIZE], 0, &mut b);
+        vtm.on_tx_eviction(
+            &dirty(TxId(0)),
+            key(0x1000 + i * 64),
+            Some(&spec(0, 1)),
+            [0; BLOCK_SIZE],
+            0,
+            &mut b,
+        );
     }
     vtm.abort(TxId(0), 10, &mut b);
     assert_eq!(vtm.stats().peak_xadt_entries, 5);

@@ -243,7 +243,9 @@ mod tests {
         b.begin(VirtAddr::new(0), 3).end();
         let p = b.build();
         match p.op_at(0) {
-            Some(Op::Begin { ordered: Some(o), .. }) => {
+            Some(Op::Begin {
+                ordered: Some(o), ..
+            }) => {
                 assert_eq!(o.group, 7);
                 assert_eq!(o.seq, 3);
             }

@@ -66,7 +66,7 @@ mod tests {
         assert_eq!(names, vec!["fft", "lu", "radix", "ocean", "water"]);
         for w in &all {
             assert_eq!(w.programs.len(), THREADS, "{}", w.name);
-            assert!(w.programs.iter().all(|p| p.len() > 0), "{}", w.name);
+            assert!(w.programs.iter().all(|p| !p.is_empty()), "{}", w.name);
         }
     }
 

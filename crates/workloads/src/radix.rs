@@ -61,9 +61,9 @@ pub fn workload(scale: Scale) -> Workload {
             while i < my_keys.end {
                 let hi = (i + tx_chunk).min(my_keys.end);
                 b.begin(locks.offset((d * 1024 + t * 64) as u64), 0);
-                for k in i..hi {
+                for (k, &key) in key_vals.iter().enumerate().take(hi).skip(i) {
                     b.read(keys_base.offset(k as u64 * 4));
-                    b.rmw(hist_slot(digit(key_vals[k], d), t), 1);
+                    b.rmw(hist_slot(digit(key, d), t), 1);
                 }
                 b.end();
                 b.compute(40);

@@ -156,10 +156,17 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = workload(SyntheticConfig { seed: 1, ..Default::default() });
-        let b = workload(SyntheticConfig { seed: 2, ..Default::default() });
+        let a = workload(SyntheticConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = workload(SyntheticConfig {
+            seed: 2,
+            ..Default::default()
+        });
         let same = a.programs[0].len() == b.programs[0].len()
-            && (0..a.programs[0].len()).all(|pc| a.programs[0].op_at(pc) == b.programs[0].op_at(pc));
+            && (0..a.programs[0].len())
+                .all(|pc| a.programs[0].op_at(pc) == b.programs[0].op_at(pc));
         assert!(!same);
     }
 

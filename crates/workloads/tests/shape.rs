@@ -22,7 +22,11 @@ fn footprint_pages(programs: &[ThreadProgram]) -> usize {
 fn write_pages(programs: &[ThreadProgram]) -> usize {
     programs
         .iter()
-        .flat_map(|p| ops_of(p).filter(|op| op.is_write()).filter_map(|op| op.addr()))
+        .flat_map(|p| {
+            ops_of(p)
+                .filter(|op| op.is_write())
+                .filter_map(|op| op.addr())
+        })
         .map(|a| a.vpn())
         .collect::<HashSet<_>>()
         .len()
@@ -58,7 +62,12 @@ fn footprint_ordering_matches_table_1() {
     let all = splash2(Scale::Small);
     let pages: Vec<usize> = all.iter().map(|w| footprint_pages(&w.programs)).collect();
     let by = |n: &str| pages[names.iter().position(|x| *x == n).unwrap()];
-    assert!(by("ocean") > by("lu"), "ocean {} > lu {}", by("ocean"), by("lu"));
+    assert!(
+        by("ocean") > by("lu"),
+        "ocean {} > lu {}",
+        by("ocean"),
+        by("lu")
+    );
     assert!(by("ocean") > by("fft"));
     assert!(by("lu") + by("fft") > 2 * by("radix") / 2, "mid-size band");
     assert!(by("fft") > by("water"));
@@ -145,17 +154,28 @@ fn lock_programs_are_balanced_and_barrier_compatible() {
             })
             .collect();
         for t in 1..lock_programs.len() {
-            assert_eq!(seqs[0], seqs[t], "{}: lock-program barriers diverge", w.name);
+            assert_eq!(
+                seqs[0], seqs[t],
+                "{}: lock-program barriers diverge",
+                w.name
+            );
         }
     }
 }
 
 #[test]
 fn scales_are_strictly_nested() {
-    for (tiny, small) in splash2(Scale::Tiny).iter().zip(splash2(Scale::Small).iter()) {
+    for (tiny, small) in splash2(Scale::Tiny)
+        .iter()
+        .zip(splash2(Scale::Small).iter())
+    {
         let t: usize = tiny.programs.iter().map(|p| p.len()).sum();
         let s: usize = small.programs.iter().map(|p| p.len()).sum();
-        assert!(s > 2 * t, "{}: Small must dwarf Tiny ({s} vs {t})", tiny.name);
+        assert!(
+            s > 2 * t,
+            "{}: Small must dwarf Tiny ({s} vs {t})",
+            tiny.name
+        );
     }
 }
 

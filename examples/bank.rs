@@ -23,7 +23,9 @@ fn teller(t: u32) -> ThreadProgram {
     // Deterministic pseudo-random pairs per teller.
     let mut state = 0x9e37_79b9u64 ^ u64::from(t) << 32;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     };
     let mut ops = Vec::new();

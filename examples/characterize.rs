@@ -10,7 +10,9 @@ use unbounded_ptm::sim::{run, SystemKind};
 use unbounded_ptm::workloads::{by_name, Scale};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "radix".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "radix".to_owned());
     let Some(w) = by_name(&name, Scale::Small) else {
         eprintln!("unknown workload '{name}'; try fft, lu, radix, ocean, water");
         std::process::exit(1);
@@ -37,14 +39,29 @@ fn main() {
     println!("-- memory --");
     println!("  pages              : {}", s.pages.len());
     println!("  pg-x-wr            : {}", s.tx_write_pages.len());
-    println!("  conservative       : {:.1}%", s.conservative_overhead() * 100.0);
+    println!(
+        "  conservative       : {:.1}%",
+        s.conservative_overhead() * 100.0
+    );
     println!("  mem ops            : {}", s.mem_ops);
     println!("  l2 evictions       : {}", s.l2_evictions);
     println!("  mop/evict          : {:.1}", s.mops_per_evict());
     println!("-- ptm --");
-    println!("  overflows          : {} (clean {} / dirty {})", ptm.overflows(), ptm.clean_overflows, ptm.dirty_overflows);
-    println!("  shadow pages       : alloc {} / free {} / peak {}", ptm.shadow_allocs, ptm.shadow_frees, ptm.peak_shadow_pages);
+    println!(
+        "  overflows          : {} (clean {} / dirty {})",
+        ptm.overflows(),
+        ptm.clean_overflows,
+        ptm.dirty_overflows
+    );
+    println!(
+        "  shadow pages       : alloc {} / free {} / peak {}",
+        ptm.shadow_allocs, ptm.shadow_frees, ptm.peak_shadow_pages
+    );
     println!("  selection toggles  : {}", ptm.selection_toggles);
-    println!("  spt cache hit rate : {}/{}", ptm.spt_cache_hits, ptm.spt_cache_hits + ptm.spt_cache_misses);
+    println!(
+        "  spt cache hit rate : {}/{}",
+        ptm.spt_cache_hits,
+        ptm.spt_cache_hits + ptm.spt_cache_misses
+    );
     println!("  cycles             : {}", s.cycles);
 }

@@ -10,7 +10,9 @@ use unbounded_ptm::sim::{run, serialize_programs, speedup_percent, SystemKind};
 use unbounded_ptm::workloads::{by_name, Scale};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "water".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "water".to_owned());
     let Some(w) = by_name(&name, Scale::Small) else {
         eprintln!("unknown workload '{name}'; try fft, lu, radix, ocean, water");
         std::process::exit(1);
@@ -23,7 +25,10 @@ fn main() {
         serialize_programs(&w.programs_for(SystemKind::Serial)),
     );
     let serial_cycles = serial.stats().cycles;
-    println!("workload: {} | single-thread baseline: {serial_cycles} cycles\n", w.name);
+    println!(
+        "workload: {} | single-thread baseline: {serial_cycles} cycles\n",
+        w.name
+    );
     println!(
         "{:<14} {:>12} {:>10} {:>9} {:>9}",
         "system", "cycles", "speedup", "commits", "aborts"

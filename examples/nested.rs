@@ -59,7 +59,10 @@ fn main() {
         machine.stats().commits
     );
     assert_eq!(a + b, 0, "transfer conserved");
-    assert_eq!(b as u32, logged, "every transfer logged exactly once, atomically");
+    assert_eq!(
+        b as u32, logged,
+        "every transfer logged exactly once, atomically"
+    );
     assert_eq!(machine.stats().commits as usize, 4 * per_thread);
     println!("nested atomicity holds: transfers and their log entries never diverge");
 }

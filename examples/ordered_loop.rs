@@ -57,12 +57,7 @@ fn main() {
 
     // The commit log must be in iteration order even though four threads
     // raced through the loop.
-    let seqs: Vec<u64> = machine
-        .stats()
-        .commit_log
-        .iter()
-        .map(|c| c.at)
-        .collect();
+    let seqs: Vec<u64> = machine.stats().commit_log.iter().map(|c| c.at).collect();
     assert!(
         seqs.windows(2).all(|w| w[0] <= w[1]),
         "commit log is time-ordered"

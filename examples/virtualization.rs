@@ -8,8 +8,8 @@
 //! cargo run --example virtualization
 //! ```
 
-use unbounded_ptm::sim::{run, Machine, MachineConfig, Op, SystemKind, ThreadProgram};
 use unbounded_ptm::cache::CacheConfig;
+use unbounded_ptm::sim::{run, Machine, MachineConfig, Op, SystemKind, ThreadProgram};
 use unbounded_ptm::types::{ProcessId, ThreadId, VirtAddr};
 
 fn begin(lock: u64) -> Op {
@@ -43,14 +43,18 @@ fn main() {
     cfg.kernel.cs_interval = Some(1_000); // frequent switches...
     cfg.kernel.migrate_on_cs = true; // ...that also migrate the thread
 
-    let m = run(cfg, SystemKind::SelectPtm(Default::default()), vec![worker, helper]);
+    let m = run(
+        cfg,
+        SystemKind::SelectPtm(Default::default()),
+        vec![worker, helper],
+    );
     let ptm = m.backend().as_ptm().unwrap().stats();
     println!("— one transaction, 64 blocks, tiny caches, migrating switches —");
     println!("  context switches : {}", m.kernel_stats().context_switches);
     println!("  dirty overflows  : {}", ptm.dirty_overflows);
     println!("  shadow pages     : {} allocated", ptm.shadow_allocs);
-    let ok = (0..64u64)
-        .all(|blk| m.read_committed(ProcessId(0), VirtAddr::new(big + blk * 64)) == 1);
+    let ok =
+        (0..64u64).all(|blk| m.read_committed(ProcessId(0), VirtAddr::new(big + blk * 64)) == 1);
     println!("  all 64 updates committed: {ok}");
     assert!(ok);
     assert!(ptm.dirty_overflows > 0);
@@ -62,7 +66,11 @@ fn main() {
         ThreadId(0),
         vec![begin(0x100), Op::Rmw(data, 5), Op::End],
     );
-    let mut m = Machine::new(MachineConfig::default(), SystemKind::SelectPtm(Default::default()), vec![prog]);
+    let mut m = Machine::new(
+        MachineConfig::default(),
+        SystemKind::SelectPtm(Default::default()),
+        vec![prog],
+    );
     let frame = m.prefault(ProcessId(0), data);
     let pa = unbounded_ptm::types::PhysAddr::from_frame(frame, data.page_offset());
     m.memory_mut().write_word(pa, 1000);
@@ -70,7 +78,10 @@ fn main() {
     m.run();
     println!("\n— transaction over a swapped-out page —");
     println!("  major faults     : {}", m.kernel_stats().swap_ins);
-    println!("  final value      : {} (1000 swapped out + 5 transactional)", m.read_committed(ProcessId(0), data));
+    println!(
+        "  final value      : {} (1000 swapped out + 5 transactional)",
+        m.read_committed(ProcessId(0), data)
+    );
     assert_eq!(m.read_committed(ProcessId(0), data), 1005);
 
     // --- 3. Inter-process physical sharing --------------------------------
@@ -79,14 +90,24 @@ fn main() {
     let t0 = ThreadProgram::new(
         ProcessId(0),
         ThreadId(0),
-        vec![begin(0x100), Op::Rmw(va0, 1), Op::Compute(1500), Op::Rmw(va0, 1), Op::End],
+        vec![
+            begin(0x100),
+            Op::Rmw(va0, 1),
+            Op::Compute(1500),
+            Op::Rmw(va0, 1),
+            Op::End,
+        ],
     );
     let t1 = ThreadProgram::new(
         ProcessId(1),
         ThreadId(1),
         vec![Op::Compute(300), begin(0x140), Op::Rmw(va1, 10), Op::End],
     );
-    let mut m = Machine::new(MachineConfig::default(), SystemKind::SelectPtm(Default::default()), vec![t0, t1]);
+    let mut m = Machine::new(
+        MachineConfig::default(),
+        SystemKind::SelectPtm(Default::default()),
+        vec![t0, t1],
+    );
     let frame = m.prefault(ProcessId(0), va0);
     m.kernel_mut().map_shared(ProcessId(1), va1.vpn(), frame);
     m.run();

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim provides a
+//! minimal timed-loop bench runner with the API surface the workspace's
+//! benches use: `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Output is one line per benchmark: median ns/iter over `sample_size`
+//! samples. There are no plots, baselines, or statistical tests.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque value sink preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration timings.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            // Under `cargo test` each bench body runs exactly once, as a
+            // smoke test — matching real criterion's behavior.
+            black_box(f());
+            return;
+        }
+        // Calibrate: grow the batch until one batch takes >= 1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed.as_micros() >= 1_000 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// Names a parameterized benchmark (`group/function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The bench-runner handle passed to each registered bench function.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--test` to harness=false bench binaries under
+        // `cargo test`; in that mode each bench runs once as a smoke test.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&self, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("bench: {name} ... ok (test mode)");
+        } else {
+            println!("bench: {name:<48} {:>12.1} ns/iter", b.median_ns());
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let size = self.sample_size;
+        self.run_one(name, size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs a benchmark under `group/name`.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.effective_samples();
+        self.criterion.run_one(&full, samples, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.effective_samples();
+        self.criterion.run_one(&full, samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions under one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, i| {
+            b.iter(|| black_box(i * 2))
+        });
+        g.finish();
+    }
+}

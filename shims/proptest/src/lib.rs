@@ -1,0 +1,480 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim reimplements
+//! the slice of proptest the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, numeric-range and tuple strategies,
+//! `any::<T>()`, `Just`, weighted `prop_oneof!`, `prop::collection::vec`,
+//! and the `proptest!` test macro with `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Semantics: deterministic pseudo-random sampling, `cases` iterations per
+//! test, **no shrinking** (a failing case panics with the test name and
+//! case number; re-running reproduces it exactly — seeds are derived from
+//! the test name, not from time).
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Deterministic test RNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives a generator from a test name, stable across runs.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The value type generated.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let inner = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| inner.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            Union { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.options {
+                if pick < u64::from(*w) {
+                    return s.generate(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    /// `any::<T>()` marker strategy.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Builds the full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u64 + 1;
+                    (start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable length specifications for [`vec`].
+    pub trait SizeRange {
+        /// Samples a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy producing vectors of `element` with a length from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Builds a vector strategy.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration (`cases` is the only honored knob).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+        /// Accepted for source compatibility; ignored (no shrinking here).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+/// The `proptest::prelude::prop` facade module.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::prop_assert;
+    pub use crate::prop_assert_eq;
+    pub use crate::prop_assert_ne;
+    pub use crate::prop_oneof;
+    pub use crate::proptest;
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::TestRng;
+}
+
+/// Weighted or unweighted strategy union.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Property assertion (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// The `proptest!` test-definition macro: each `#[test] fn name(x in
+/// strategy, ...)` expands to a plain test running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])+
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let run = || $body;
+                let guard = CaseGuard { name: stringify!($name), case };
+                run();
+                std::mem::forget(guard);
+            }
+            /// Names the failing case on unwind (there is no shrinking, but
+            /// the sampling is deterministic, so the case re-runs exactly).
+            struct CaseGuard {
+                name: &'static str,
+                case: u32,
+            }
+            impl Drop for CaseGuard {
+                fn drop(&mut self) {
+                    eprintln!(
+                        "proptest shim: property '{}' failed at case {} (deterministic; re-run reproduces)",
+                        self.name, self.case
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("shim-self-test");
+        let s = (0u8..4, 10usize..=12).prop_map(|(a, b)| (a, b));
+        for _ in 0..200 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 4);
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights() {
+        let mut rng = TestRng::deterministic("weights");
+        let s = prop_oneof![
+            9 => Just(true),
+            1 => Just(false),
+        ];
+        let trues = (0..1000).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 800, "got {trues}");
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = collection::vec(0u32..5, 0..10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 10);
+            assert!(v.iter().all(|x| *x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_round_trips(x in 0u64..100, ys in collection::vec(0u8..4, 0..8)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.iter().filter(|y| **y >= 4).count(), 0);
+        }
+    }
+}

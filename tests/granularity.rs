@@ -86,14 +86,24 @@ fn wd_cache_aborts_on_multi_writer_overflow() {
         ..MachineConfig::default()
     };
 
-    let wd_cache = run(cfg, SystemKind::SelectPtm(Granularity::WordCache), programs.clone());
+    let wd_cache = run(
+        cfg,
+        SystemKind::SelectPtm(Granularity::WordCache),
+        programs.clone(),
+    );
     assert!(
         wd_cache.stats().aborts > 0,
         "wd:cache must abort when a multi-writer block overflows"
     );
     assert_serializable(&wd_cache, &programs);
-    assert_eq!(wd_cache.read_committed(ProcessId(0), VirtAddr::new(shared)), 1);
-    assert_eq!(wd_cache.read_committed(ProcessId(0), VirtAddr::new(shared + 4)), 1);
+    assert_eq!(
+        wd_cache.read_committed(ProcessId(0), VirtAddr::new(shared)),
+        1
+    );
+    assert_eq!(
+        wd_cache.read_committed(ProcessId(0), VirtAddr::new(shared + 4)),
+        1
+    );
 
     let wd_mem = run(
         cfg,
@@ -101,7 +111,8 @@ fn wd_cache_aborts_on_multi_writer_overflow() {
         programs.clone(),
     );
     assert_eq!(
-        wd_mem.stats().aborts, 0,
+        wd_mem.stats().aborts,
+        0,
         "word-granular overflow state holds both writers"
     );
     assert_serializable(&wd_mem, &programs);
@@ -113,8 +124,16 @@ fn block_granularity_is_strictly_more_conservative() {
     // reports (on this workload): abort counts are monotone in coarseness.
     let programs = false_sharing_programs(25);
     let mut aborts = Vec::new();
-    for g in [Granularity::WordCacheMem, Granularity::WordCache, Granularity::Block] {
-        let m = run(MachineConfig::default(), SystemKind::SelectPtm(g), programs.clone());
+    for g in [
+        Granularity::WordCacheMem,
+        Granularity::WordCache,
+        Granularity::Block,
+    ] {
+        let m = run(
+            MachineConfig::default(),
+            SystemKind::SelectPtm(g),
+            programs.clone(),
+        );
         aborts.push(m.stats().aborts);
     }
     assert!(

@@ -72,7 +72,8 @@ fn transactional_runs_commit_every_transaction_exactly_once() {
             w.programs(),
         );
         assert_eq!(
-            m.stats().commits as usize, expected,
+            m.stats().commits as usize,
+            expected,
             "{}: every outermost transaction commits exactly once",
             w.name
         );
@@ -90,7 +91,11 @@ fn water_forces_cancel_pairwise() {
 
     let w = unbounded_ptm::workloads::water::workload(Scale::Tiny);
     let programs = w.programs();
-    let m = run(w.machine_config(), SystemKind::SelectPtm(Granularity::Block), programs.clone());
+    let m = run(
+        w.machine_config(),
+        SystemKind::SelectPtm(Granularity::Block),
+        programs.clone(),
+    );
 
     // Collect every force word the pair loop wrote (Rmw targets in the
     // per-thread partial regions — pages 2..=5 of the layout) and sum
@@ -123,7 +128,11 @@ fn radix_cursor_totals_match_key_count() {
 
     let w = unbounded_ptm::workloads::radix::workload(Scale::Tiny);
     let programs = w.programs();
-    let m = run(w.machine_config(), SystemKind::SelectPtm(Granularity::Block), programs.clone());
+    let m = run(
+        w.machine_config(),
+        SystemKind::SelectPtm(Granularity::Block),
+        programs.clone(),
+    );
 
     let mut cursor_words = std::collections::HashSet::new();
     let mut bump_count: u64 = 0;
@@ -155,7 +164,12 @@ fn deterministic_replay_across_runs() {
     assert_eq!(m1.stats().cycles, m2.stats().cycles);
     assert_eq!(m1.stats().aborts, m2.stats().aborts);
     assert_eq!(m1.stats().commit_log.len(), m2.stats().commit_log.len());
-    for (a, b) in m1.stats().commit_log.iter().zip(m2.stats().commit_log.iter()) {
+    for (a, b) in m1
+        .stats()
+        .commit_log
+        .iter()
+        .zip(m2.stats().commit_log.iter())
+    {
         assert_eq!(a.tx, b.tx);
         assert_eq!(a.at, b.at);
     }

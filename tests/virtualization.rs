@@ -2,7 +2,9 @@
 //! paging, context switches, and inter-process physical sharing.
 
 use unbounded_ptm::cache::CacheConfig;
-use unbounded_ptm::sim::{assert_serializable, run, Machine, MachineConfig, Op, SystemKind, ThreadProgram};
+use unbounded_ptm::sim::{
+    assert_serializable, run, Machine, MachineConfig, Op, SystemKind, ThreadProgram,
+};
 use unbounded_ptm::types::{Granularity, ProcessId, ThreadId, VirtAddr};
 use unbounded_ptm::workloads::{splash2, Scale};
 
