@@ -345,4 +345,81 @@ criterion_group!(
     extra::bench_vtm_filtered_check,
     extra::bench_logtm_log_and_abort
 );
-criterion_main!(benches, extra_benches);
+
+// ---------------------------------------------------------------------
+// Appended: the machine scheduler's index-min heap (the canonical-order
+// oracle of both the sequential run loop and the epoch executor).
+// ---------------------------------------------------------------------
+
+mod sched {
+    use super::*;
+    use ptm_sim::ReadyHeap;
+
+    pub fn bench_ready_heap_upsert(c: &mut Criterion) {
+        // The per-step pattern of `Machine::run`: re-key the core that just
+        // stepped, then peek the new minimum.
+        c.bench_function("sched/ready-heap-upsert-peek-4", |b| {
+            let mut h = ReadyHeap::new(4);
+            for core in 0..4 {
+                h.upsert(core, core as u64);
+            }
+            let mut now = 4u64;
+            let mut core = 0usize;
+            b.iter(|| {
+                now += 7;
+                core = (core + 1) % 4;
+                h.upsert(core, now);
+                std::hint::black_box(h.peek())
+            })
+        });
+    }
+
+    pub fn bench_ready_heap_upsert_wide(c: &mut Criterion) {
+        // A wider machine (64 cores): the O(log n) re-key must stay far
+        // below the O(n) min-scan it replaced.
+        c.bench_function("sched/ready-heap-upsert-peek-64", |b| {
+            let mut h = ReadyHeap::new(64);
+            for core in 0..64 {
+                h.upsert(core, core as u64);
+            }
+            let mut now = 64u64;
+            let mut core = 0usize;
+            b.iter(|| {
+                now += 13;
+                core = (core + 17) % 64;
+                h.upsert(core, now);
+                std::hint::black_box(h.peek())
+            })
+        });
+    }
+
+    pub fn bench_min_scan_baseline(c: &mut Criterion) {
+        // The replaced pattern: linear min_by_key over every core's
+        // ready_at, once per simulated step.
+        c.bench_function("sched/min-scan-baseline-64", |b| {
+            let mut ready: Vec<u64> = (0..64).collect();
+            let mut now = 64u64;
+            let mut core = 0usize;
+            b.iter(|| {
+                now += 13;
+                core = (core + 17) % 64;
+                ready[core] = now;
+                std::hint::black_box(
+                    ready
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, r)| (**r, *i))
+                        .map(|(i, r)| (*r, i)),
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(
+    sched_benches,
+    sched::bench_ready_heap_upsert,
+    sched::bench_ready_heap_upsert_wide,
+    sched::bench_min_scan_baseline
+);
+criterion_main!(benches, extra_benches, sched_benches);

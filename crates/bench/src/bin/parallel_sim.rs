@@ -1,0 +1,183 @@
+//! The speculative-executor harness: runs every independent
+//! `(workload, system)` cell twice — once through the plain sequential
+//! `Machine::run`, once through the speculative epoch executor
+//! (`Machine::run_parallel`) — asserts the two passes produce bit-identical
+//! simulated results on every cell, and emits `BENCH_parallel_sim.json`
+//! with per-cell wall-clocks plus the executor's epoch/rollback counters.
+//!
+//! ```text
+//! cargo run -p ptm-bench --release --bin parallel_sim
+//! PTM_SCALE=tiny PTM_EXEC_THREADS=2 cargo run -p ptm-bench --release --bin parallel_sim
+//! PTM_BENCH_OUT=/tmp/x.json cargo run -p ptm-bench --release --bin parallel_sim
+//! ```
+
+use ptm_bench::parallel::{assert_cells_match, cells_from_env, run_cells_sequential, CellResult};
+use ptm_bench::parallel_sim::{
+    amdahl_projection_ns, epoch_cycles_from_env, exec_threads_from_env, run_cells_executor,
+};
+use ptm_sim::{ExecStats, ExecutorConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let (scale, specs) = cells_from_env();
+    let exec = ExecutorConfig {
+        threads: exec_threads_from_env(),
+        epoch_cycles: epoch_cycles_from_env(),
+    };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "parallel_sim: {} cells at {scale:?}, {} executor thread(s), epoch {} cycles, \
+         {host_cores} host core(s)",
+        specs.len(),
+        exec.threads,
+        exec.epoch_cycles,
+    );
+
+    let t0 = Instant::now();
+    let seq = run_cells_sequential(&specs);
+    let seq_wall = t0.elapsed().as_nanos() as u64;
+
+    let t1 = Instant::now();
+    let pairs = run_cells_executor(&specs, &exec);
+    let par_wall = t1.elapsed().as_nanos() as u64;
+    let par: Vec<CellResult> = pairs.iter().map(|(c, _)| c.clone()).collect();
+
+    assert_cells_match(&seq, &par);
+    eprintln!(
+        "parallel_sim: executor pass matched sequential pass bit-for-bit on all {} cells",
+        seq.len()
+    );
+
+    let mut totals = ExecStats::default();
+    for (_, xs) in &pairs {
+        totals.merge(xs);
+    }
+    let json = render_json(
+        scale, &exec, host_cores, &seq, &pairs, seq_wall, par_wall, &totals,
+    );
+    let out =
+        std::env::var("PTM_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel_sim.json".to_string());
+    std::fs::write(&out, json).expect("write benchmark report");
+
+    let speedup = seq_wall as f64 / par_wall.max(1) as f64;
+    let projected_4: u64 = seq
+        .iter()
+        .zip(&pairs)
+        .map(|(s, (_, xs))| amdahl_projection_ns(s.wall_ns, xs.spec_commit_fraction(), 4))
+        .sum();
+    eprintln!(
+        "parallel_sim: seq {:.2}s, executor {:.2}s ({speedup:.2}x measured on {host_cores} \
+         host core(s); {:.2}x Amdahl projection at 4 threads)",
+        seq_wall as f64 / 1e9,
+        par_wall as f64 / 1e9,
+        seq_wall as f64 / projected_4.max(1) as f64,
+    );
+    eprintln!(
+        "parallel_sim: {} epochs, {} spec steps ({} consumed, {:.1}% of all steps), \
+         {} rollbacks, {} re-executed, {} poison events",
+        totals.epochs,
+        totals.spec_steps,
+        totals.committed_spec_steps,
+        100.0 * totals.spec_commit_fraction(),
+        totals.rollbacks,
+        totals.reexecuted_steps,
+        totals.poison_events,
+    );
+    eprintln!("parallel_sim: wrote {out}");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: ptm_workloads::Scale,
+    exec: &ExecutorConfig,
+    host_cores: usize,
+    seq: &[CellResult],
+    pairs: &[(CellResult, ExecStats)],
+    seq_wall: u64,
+    par_wall: u64,
+    totals: &ExecStats,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(s, "  \"exec_threads\": {},", exec.threads);
+    let _ = writeln!(s, "  \"epoch_cycles\": {},", exec.epoch_cycles);
+    let _ = writeln!(s, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(s, "  \"cells\": [");
+    for (i, (a, (b, xs))) in seq.iter().zip(pairs).enumerate() {
+        let comma = if i + 1 == seq.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"family\": \"{}\", \"workload\": \"{}\", \"system\": \"{}\", \
+             \"cycles\": {}, \"commits\": {}, \"aborts\": {}, \
+             \"wall_seq_ns\": {}, \"wall_par_ns\": {}, \
+             \"epochs\": {}, \"spec_runs\": {}, \"spec_steps\": {}, \
+             \"committed_spec_steps\": {}, \"live_steps\": {}, \
+             \"rollbacks\": {}, \"reexecuted_steps\": {}, \"poison_events\": {}, \
+             \"spec_commit_fraction\": {:.4}, \
+             \"checksums_match\": {}}}{comma}",
+            a.spec.family,
+            a.spec.workload.name(),
+            a.spec.kind.label(),
+            a.cycles,
+            a.commits,
+            a.aborts,
+            a.wall_ns,
+            b.wall_ns,
+            xs.epochs,
+            xs.spec_runs,
+            xs.spec_steps,
+            xs.committed_spec_steps,
+            xs.live_steps,
+            xs.rollbacks,
+            xs.reexecuted_steps,
+            xs.poison_events,
+            xs.spec_commit_fraction(),
+            a.checksums == b.checksums,
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let projected_4: u64 = seq
+        .iter()
+        .zip(pairs)
+        .map(|(a, (_, xs))| amdahl_projection_ns(a.wall_ns, xs.spec_commit_fraction(), 4))
+        .sum();
+    let _ = writeln!(s, "  \"totals\": {{");
+    let _ = writeln!(s, "    \"seq_wall_ns\": {seq_wall},");
+    let _ = writeln!(s, "    \"par_wall_ns\": {par_wall},");
+    let _ = writeln!(
+        s,
+        "    \"measured_speedup\": {:.3},",
+        seq_wall as f64 / par_wall.max(1) as f64
+    );
+    let _ = writeln!(s, "    \"projected_amdahl_4threads_ns\": {projected_4},");
+    let _ = writeln!(
+        s,
+        "    \"projected_speedup_4threads\": {:.3},",
+        seq_wall as f64 / projected_4.max(1) as f64
+    );
+    let _ = writeln!(s, "    \"epochs\": {},", totals.epochs);
+    let _ = writeln!(s, "    \"spec_runs\": {},", totals.spec_runs);
+    let _ = writeln!(s, "    \"spec_steps\": {},", totals.spec_steps);
+    let _ = writeln!(
+        s,
+        "    \"committed_spec_steps\": {},",
+        totals.committed_spec_steps
+    );
+    let _ = writeln!(s, "    \"live_steps\": {},", totals.live_steps);
+    let _ = writeln!(s, "    \"rollbacks\": {},", totals.rollbacks);
+    let _ = writeln!(s, "    \"reexecuted_steps\": {},", totals.reexecuted_steps);
+    let _ = writeln!(s, "    \"poison_events\": {},", totals.poison_events);
+    let _ = writeln!(
+        s,
+        "    \"spec_commit_fraction\": {:.4}",
+        totals.spec_commit_fraction()
+    );
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"checksums_match\": true");
+    s.push_str("}\n");
+    s
+}

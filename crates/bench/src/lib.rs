@@ -5,6 +5,7 @@ use ptm_sim::{run, serialize_programs, speedup_percent, Machine, SystemKind};
 use ptm_workloads::{Scale, Workload};
 
 pub mod parallel;
+pub mod parallel_sim;
 
 /// One Table 1 row, as measured by a run under Select-PTM.
 #[derive(Debug, Clone)]

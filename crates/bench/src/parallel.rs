@@ -44,7 +44,7 @@ impl CellWorkload {
         }
     }
 
-    fn build(&self, scale: Scale) -> Workload {
+    pub(crate) fn build(&self, scale: Scale) -> Workload {
         match self {
             CellWorkload::Splash2(n) => by_name(n, scale).expect("known benchmark"),
             CellWorkload::SyntheticLow => synthetic::workload(SyntheticConfig {

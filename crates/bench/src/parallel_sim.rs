@@ -1,0 +1,133 @@
+//! Intra-machine speculative parallelism over benchmark cells.
+//!
+//! [`crate::parallel`] parallelises *across* independent cells; this module
+//! parallelises *inside* one machine run, driving each cell through the
+//! speculative epoch executor ([`ptm_sim::Machine::run_parallel`]) instead
+//! of the plain sequential step loop. The executor is bit-identical to
+//! sequential stepping by construction, so every simulated quantity in the
+//! returned [`CellResult`] must match the sequential pass exactly —
+//! [`crate::parallel::assert_cells_match`] applies unchanged.
+
+use crate::parallel::{CellResult, CellSpec};
+use ptm_sim::{run_parallel, serialize_programs, ExecStats, ExecutorConfig, SystemKind};
+use std::time::Instant;
+
+/// Runs one cell through the speculative epoch executor.
+pub fn run_cell_executor(spec: &CellSpec, exec: &ExecutorConfig) -> (CellResult, ExecStats) {
+    let w = spec.workload.build(spec.scale);
+    let cfg = w.machine_config();
+    let programs = if spec.kind == SystemKind::Serial {
+        serialize_programs(&w.programs_for(SystemKind::Serial))
+    } else {
+        w.programs_for(spec.kind)
+    };
+    let start = Instant::now();
+    let (m, xs) = run_parallel(cfg, spec.kind, programs, exec);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let (fast, slow) = m
+        .backend()
+        .as_ptm()
+        .map(|p| {
+            (
+                p.stats().conflict_checks_fast,
+                p.stats().conflict_checks_slow,
+            )
+        })
+        .unwrap_or((0, 0));
+    let result = CellResult {
+        spec: *spec,
+        cycles: m.stats().cycles,
+        commits: m.stats().commits,
+        aborts: m.stats().aborts,
+        checksums: m.checksums(),
+        tlb_hits: m.stats().tlb_hits,
+        tlb_misses: m.stats().tlb_misses,
+        tlb_shootdowns: m.stats().tlb_shootdowns,
+        conflict_checks_fast: fast,
+        conflict_checks_slow: slow,
+        wall_ns,
+    };
+    (result, xs)
+}
+
+/// Runs every cell through the executor on the calling thread, in order.
+/// (The parallelism lives *inside* each machine run.)
+pub fn run_cells_executor(
+    specs: &[CellSpec],
+    exec: &ExecutorConfig,
+) -> Vec<(CellResult, ExecStats)> {
+    specs.iter().map(|s| run_cell_executor(s, exec)).collect()
+}
+
+/// The executor thread count: `PTM_EXEC_THREADS` if set, else the host's
+/// parallelism.
+pub fn exec_threads_from_env() -> usize {
+    std::env::var("PTM_EXEC_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// The epoch length: `PTM_EPOCH_CYCLES` if set, else the executor default.
+pub fn epoch_cycles_from_env() -> u64 {
+    std::env::var("PTM_EPOCH_CYCLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(ExecutorConfig::DEFAULT_EPOCH_CYCLES)
+        .max(1)
+}
+
+/// Amdahl-style projection of one cell's executor wall-clock on a host with
+/// `threads` cores: the speculated-and-committed fraction `f` of steps
+/// overlaps perfectly, the rest stays sequential.
+pub fn amdahl_projection_ns(wall_ns: u64, spec_commit_fraction: f64, threads: usize) -> u64 {
+    let f = spec_commit_fraction.clamp(0.0, 1.0);
+    let t = threads.max(1) as f64;
+    (wall_ns as f64 * ((1.0 - f) + f / t)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{assert_cells_match, run_cells_sequential, CellWorkload};
+    use ptm_workloads::Scale;
+
+    #[test]
+    fn executor_cell_matches_sequential_cell() {
+        let specs = [
+            CellSpec {
+                family: "test",
+                workload: CellWorkload::SyntheticContended(5),
+                kind: SystemKind::SelectPtm(Default::default()),
+                scale: Scale::Tiny,
+            },
+            CellSpec {
+                family: "test",
+                workload: CellWorkload::SyntheticOverflowing(5),
+                kind: SystemKind::LogTm,
+                scale: Scale::Tiny,
+            },
+        ];
+        let seq = run_cells_sequential(&specs);
+        let exec = ExecutorConfig {
+            threads: 2,
+            epoch_cycles: 4096,
+        };
+        let par_pairs = run_cells_executor(&specs, &exec);
+        let par: Vec<CellResult> = par_pairs.iter().map(|(c, _)| c.clone()).collect();
+        assert_cells_match(&seq, &par);
+    }
+
+    #[test]
+    fn amdahl_projection_bounds() {
+        assert_eq!(amdahl_projection_ns(1000, 0.0, 4), 1000);
+        assert_eq!(amdahl_projection_ns(1000, 1.0, 4), 250);
+        let mid = amdahl_projection_ns(1000, 0.5, 4);
+        assert!(mid > 250 && mid < 1000, "{mid}");
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end determinism check: real benchmark cells (SPLASH-2 kernels and
+//! the ablation synthetics, tiny scale) run through the speculative epoch
+//! executor must reproduce the sequential pass bit-for-bit. Debug builds
+//! also revalidate every consumed speculative step inside the machine.
+
+use ptm_bench::parallel::{assert_cells_match, run_cells_sequential, CellSpec, CellWorkload};
+use ptm_bench::parallel_sim::run_cells_executor;
+use ptm_sim::{ExecutorConfig, SystemKind};
+use ptm_workloads::Scale;
+
+fn cells() -> Vec<CellSpec> {
+    let mut v = vec![
+        CellSpec {
+            family: "test",
+            workload: CellWorkload::Splash2("fft"),
+            kind: SystemKind::SelectPtm(Default::default()),
+            scale: Scale::Tiny,
+        },
+        CellSpec {
+            family: "test",
+            workload: CellWorkload::Splash2("water"),
+            kind: SystemKind::Vtm,
+            scale: Scale::Tiny,
+        },
+        CellSpec {
+            family: "test",
+            workload: CellWorkload::Splash2("radix"),
+            kind: SystemKind::LogTm,
+            scale: Scale::Tiny,
+        },
+        CellSpec {
+            family: "test",
+            workload: CellWorkload::Splash2("lu"),
+            kind: SystemKind::Locks,
+            scale: Scale::Tiny,
+        },
+        CellSpec {
+            family: "test",
+            workload: CellWorkload::Splash2("ocean"),
+            kind: SystemKind::Serial,
+            scale: Scale::Tiny,
+        },
+    ];
+    v.push(CellSpec {
+        family: "test",
+        workload: CellWorkload::SyntheticLow,
+        kind: SystemKind::CopyPtm,
+        scale: Scale::Tiny,
+    });
+    v
+}
+
+#[test]
+fn real_cells_are_bit_identical_through_the_executor() {
+    let specs = cells();
+    let seq = run_cells_sequential(&specs);
+    for threads in [1, 2] {
+        let exec = ExecutorConfig {
+            threads,
+            epoch_cycles: ExecutorConfig::DEFAULT_EPOCH_CYCLES,
+        };
+        let pairs = run_cells_executor(&specs, &exec);
+        let par: Vec<_> = pairs.iter().map(|(c, _)| c.clone()).collect();
+        assert_cells_match(&seq, &par);
+    }
+}
+
+#[test]
+fn real_cells_survive_tiny_epochs() {
+    // 64-cycle epochs force constant validation/rollback churn.
+    let specs = vec![
+        CellSpec {
+            family: "test",
+            workload: CellWorkload::Splash2("fft"),
+            kind: SystemKind::SelectPtm(Default::default()),
+            scale: Scale::Tiny,
+        },
+        CellSpec {
+            family: "test",
+            workload: CellWorkload::SyntheticContended(11),
+            kind: SystemKind::SelectPtm(Default::default()),
+            scale: Scale::Tiny,
+        },
+    ];
+    let seq = run_cells_sequential(&specs);
+    let exec = ExecutorConfig {
+        threads: 2,
+        epoch_cycles: 64,
+    };
+    let pairs = run_cells_executor(&specs, &exec);
+    let par: Vec<_> = pairs.iter().map(|(c, _)| c.clone()).collect();
+    assert_cells_match(&seq, &par);
+}

@@ -991,27 +991,31 @@ impl PtmSystem {
     /// dirty block is written back and its committed copy lives in the
     /// shadow, migrate it to the home page and toggle the selection bit —
     /// unless a live transaction's speculative data occupies the home slot.
-    pub fn on_nontx_dirty_writeback(&mut self, block: PhysBlock, mem: &mut PhysicalMemory) {
+    ///
+    /// Returns `true` when a migration actually happened (page data moved
+    /// and the selection bit flipped) so callers running under speculation
+    /// know their frozen committed-frame lookups just went stale.
+    pub fn on_nontx_dirty_writeback(&mut self, block: PhysBlock, mem: &mut PhysicalMemory) -> bool {
         if self.cfg.policy != PtmPolicy::Select
             || self.cfg.shadow_free != ShadowFreePolicy::LazyMigrate
         {
-            return;
+            return false;
         }
         let frame = block.frame();
         let idx = block.index();
         let Some(entry) = self.spt.entry(frame) else {
-            return;
+            return false;
         };
         let Some(shadow) = entry.shadow else {
-            return;
+            return false;
         };
         if !entry.sel.get(idx) {
-            return;
+            return false;
         }
         // The home slot currently holds (or may soon hold) speculative data
         // if any live transaction overflowed a write to this block.
         if entry.sum_write.get(idx) {
-            return;
+            return false;
         }
         mem.copy_block(block.on_frame(shadow), block);
         let entry = self.spt.entry_mut(frame).expect("just looked up");
@@ -1019,8 +1023,20 @@ impl PtmSystem {
         self.stats.lazy_migrations += 1;
         self.spt_cache.mark_dirty(&frame);
         self.maybe_free_shadow(frame, mem);
+        true
     }
 }
+
+/// The epoch executor in `crates/sim` shares a `&PtmSystem` across host
+/// threads during its speculation phase: every `&self` lookup it performs
+/// (`committed_frame`, `tx_view_frame`, `block_overflowed`, `mirror_location`,
+/// TAV walks) reads plain owned data, so the system is [`Sync`] by
+/// construction. This assertion keeps that seam from silently regressing if
+/// interior mutability (e.g. a `Cell`-based stats cache) is ever added.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<PtmSystem>();
+};
 
 /// Copies the masked words of `src` onto `dst`.
 fn restore_words(mem: &mut PhysicalMemory, src: PhysBlock, dst: PhysBlock, mask: WordMask) {

@@ -1,0 +1,832 @@
+//! The speculative epoch executor: Block-STM-style intra-machine
+//! parallelism with bit-identical results.
+//!
+//! [`Machine::run`] steps cores strictly in canonical order (smallest
+//! `(ready_at, core)` first). This module parallelizes the *computation* of
+//! those steps without changing their *order*:
+//!
+//! 1. **Speculate (phase A).** Host worker threads share a frozen
+//!    `&Machine` and run each core ahead through a bounded cycle window (an
+//!    *epoch*), recording side-effect-free [`SpecRun`]s. A run only
+//!    contains steps whose outcome is locally decidable — core-TLB hits
+//!    that hit the private cache silently (no coherence, no conflict
+//!    checks, no kernel) — plus pure compute; anything that could interact
+//!    with another core stops the run.
+//! 2. **Consume (phase B).** The canonical scheduler loop pops cores
+//!    oldest-first as always. If the popped core has a pending, still-valid
+//!    speculative step, its precomputed effect is applied directly (cheap);
+//!    otherwise the step executes live. Every live step that *could* have
+//!    invalidated speculation poisons the affected runs through
+//!    [`ExecLog`]: cross-core mutations (commits, aborts, migrations,
+//!    shootdowns, swap-ins, overflow creation) poison everything, a
+//!    coherence supply poisons cores whose caches hold the block, and an
+//!    epoch-local writers map catches same-block write/read ordering.
+//!    Poisoned runs are rolled back (discarded) and their steps re-execute
+//!    live — the sequential semantics are the only semantics.
+//!
+//! Because consumed steps apply their effects at exactly the canonical pop
+//! points, and validation discards any step whose inputs a preceding step
+//! changed, the final machine state — checksums, cycle counts,
+//! commit/abort/conflict/TLB counters, every byte of memory — is
+//! **bit-identical** to [`Machine::run`]. Debug builds additionally
+//! re-verify every consumed step against the live state
+//! (`debug_assertions`), so any gap in the poison rules fails loudly in
+//! tests instead of skewing results.
+
+use crate::backend::Backend;
+use crate::machine::{trace_word, Machine};
+use crate::ops::Op;
+use ptm_cache::{Hit, Moesi};
+use ptm_core::system::AccessKind;
+use ptm_types::{Cycle, PhysAddr, PhysBlock, ProcessId, TxId, VirtAddr, WordIdx, BLOCK_SIZE};
+use std::collections::{HashMap, HashSet};
+
+/// Host-side knobs for [`Machine::run_parallel`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Host worker threads for the speculation phase. `1` keeps everything
+    /// on the calling thread (still exercises the full epoch machinery).
+    pub threads: usize,
+    /// Cycle width of one epoch (the run-ahead window). Smaller epochs
+    /// validate more often; `1` forces every speculative step through a
+    /// fresh validation round (the rollback stress configuration).
+    pub epoch_cycles: Cycle,
+}
+
+impl ExecutorConfig {
+    /// Default epoch width: large enough to amortize the per-epoch barrier,
+    /// small enough that a poison does not waste much run-ahead.
+    pub const DEFAULT_EPOCH_CYCLES: Cycle = 16_384;
+
+    /// One speculation worker per available host core.
+    pub fn host_default() -> Self {
+        ExecutorConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            epoch_cycles: Self::DEFAULT_EPOCH_CYCLES,
+        }
+    }
+
+    /// A configuration with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecutorConfig {
+            threads,
+            ..Self::host_default()
+        }
+    }
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self::host_default()
+    }
+}
+
+/// Counters describing one [`Machine::run_parallel`] execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Epochs executed (validation rounds).
+    pub epochs: u64,
+    /// Non-empty speculative runs produced by phase A.
+    pub spec_runs: u64,
+    /// Steps speculated in phase A.
+    pub spec_steps: u64,
+    /// Speculated steps whose effects were consumed at their canonical pop
+    /// points (the parallel win).
+    pub committed_spec_steps: u64,
+    /// Steps executed live by phase B (never speculated, or re-executed
+    /// after a rollback).
+    pub live_steps: u64,
+    /// Speculative runs discarded with unconsumed steps (validation
+    /// failures and epoch-boundary leftovers).
+    pub rollbacks: u64,
+    /// Speculated-but-discarded steps that re-executed sequentially.
+    pub reexecuted_steps: u64,
+    /// Poison notifications raised by live steps (global + per-core).
+    pub poison_events: u64,
+}
+
+impl ExecStats {
+    /// Fraction of all executed steps that were served from speculation.
+    pub fn spec_commit_fraction(&self) -> f64 {
+        let total = self.committed_spec_steps + self.live_steps;
+        if total == 0 {
+            return 0.0;
+        }
+        self.committed_spec_steps as f64 / total as f64
+    }
+
+    /// Accumulates another run's counters into this one (for harness-level
+    /// aggregation across benchmark cells).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.epochs += other.epochs;
+        self.spec_runs += other.spec_runs;
+        self.spec_steps += other.spec_steps;
+        self.committed_spec_steps += other.committed_spec_steps;
+        self.live_steps += other.live_steps;
+        self.rollbacks += other.rollbacks;
+        self.reexecuted_steps += other.reexecuted_steps;
+        self.poison_events += other.poison_events;
+    }
+}
+
+/// Epoch-validation state embedded in the machine. Inert (`active: false`)
+/// during plain sequential runs, so the hooks sprinkled through the live
+/// step paths cost one predictable branch each.
+#[derive(Debug)]
+pub(crate) struct ExecLog {
+    /// Whether an epoch executor is driving this machine.
+    pub(crate) active: bool,
+    /// A cross-core mutation invalidated *every* pending run this epoch.
+    poison_all: bool,
+    /// Per-core poison (coherence supply touched a block this core's
+    /// pending run may depend on).
+    poisoned: Vec<bool>,
+    /// Which cores still have unconsumed speculative steps this epoch.
+    pending: Vec<bool>,
+    /// Last core to write each block this epoch (consumed speculative
+    /// writes and live functional writes alike). A consume against a block
+    /// another core wrote is discarded.
+    writers: HashMap<PhysBlock, usize>,
+    /// Total poison notifications (for [`ExecStats::poison_events`]).
+    pub(crate) poison_events: u64,
+}
+
+impl ExecLog {
+    /// The inert log a freshly built machine carries.
+    pub(crate) fn inactive() -> Self {
+        ExecLog {
+            active: false,
+            poison_all: false,
+            poisoned: Vec::new(),
+            pending: Vec::new(),
+            writers: HashMap::new(),
+            poison_events: 0,
+        }
+    }
+
+    fn activate(&mut self, cores: usize) {
+        self.active = true;
+        self.poison_all = false;
+        self.poisoned = vec![false; cores];
+        self.pending = vec![false; cores];
+        self.writers.clear();
+        self.poison_events = 0;
+    }
+
+    fn deactivate(&mut self) {
+        self.active = false;
+    }
+
+    fn begin_epoch(&mut self, pending: &[bool]) {
+        self.poison_all = false;
+        self.poisoned.iter_mut().for_each(|p| *p = false);
+        self.pending.copy_from_slice(pending);
+        self.writers.clear();
+    }
+
+    /// A live step mutated state that any core's run may depend on.
+    pub(crate) fn poison_all(&mut self) {
+        if self.active && !self.poison_all {
+            self.poison_all = true;
+            self.poison_events += 1;
+        }
+    }
+
+    /// A live step mutated state `core`'s pending run may depend on.
+    pub(crate) fn poison_core(&mut self, core: usize) {
+        if self.active && !self.poisoned[core] {
+            self.poisoned[core] = true;
+            self.poison_events += 1;
+        }
+    }
+
+    /// Whether `core` still has unconsumed speculative steps this epoch.
+    pub(crate) fn is_pending(&self, core: usize) -> bool {
+        self.active && self.pending[core]
+    }
+
+    /// Records a functional write for same-epoch ordering validation.
+    pub(crate) fn note_write(&mut self, block: PhysBlock, core: usize) {
+        if self.active {
+            self.writers.insert(block, core);
+        }
+    }
+
+    fn run_poisoned(&self, core: usize) -> bool {
+        self.poison_all || self.poisoned[core]
+    }
+
+    fn written_by_other(&self, block: PhysBlock, core: usize) -> bool {
+        self.writers.get(&block).is_some_and(|&w| w != core)
+    }
+
+    fn set_consumed(&mut self, core: usize) {
+        self.pending[core] = false;
+    }
+}
+
+/// Where a speculated write lands when consumed.
+#[derive(Debug)]
+enum WriteTarget {
+    /// PTM/VTM lazy versioning: the transaction's speculative buffer.
+    /// `snapshot` is the pre-image for the transaction's first write to the
+    /// block (precomputed from the frozen view).
+    TxBuffer {
+        snapshot: Option<Box<[u8; BLOCK_SIZE]>>,
+    },
+    /// LogTM eager versioning: log the old word, update memory in place.
+    TxLog,
+    /// Non-transactional store: `primary` is the committed location (PTM
+    /// redirects through the selection vector), `mirror` a live
+    /// word-granularity co-writer's speculative page to keep current.
+    Mem {
+        primary: PhysAddr,
+        mirror: Option<PhysAddr>,
+    },
+}
+
+/// One speculated step, carrying everything its consume needs.
+#[derive(Debug)]
+enum SpecStep {
+    Compute {
+        at: Cycle,
+        cost: Cycle,
+    },
+    Access {
+        at: Cycle,
+        va: VirtAddr,
+        pa: PhysAddr,
+        kind: AccessKind,
+        tx: Option<TxId>,
+        /// The value the load observes (feeds the checksum and RMW deltas).
+        old: u32,
+        write: Option<(u32, WriteTarget)>,
+        /// Hit latency (L1, or L1+L2 for an L1 miss that hits L2).
+        latency: Cycle,
+    },
+}
+
+impl SpecStep {
+    fn at(&self) -> Cycle {
+        match self {
+            SpecStep::Compute { at, .. } | SpecStep::Access { at, .. } => *at,
+        }
+    }
+}
+
+/// A core's speculative run-ahead through one epoch. `steps` is stored in
+/// reverse execution order so consuming pops from the back.
+#[derive(Debug)]
+struct SpecRun {
+    core: usize,
+    steps: Vec<SpecStep>,
+}
+
+impl SpecRun {
+    fn remaining(&self) -> u64 {
+        self.steps.len() as u64
+    }
+}
+
+/// Run-local state layered over the frozen machine during speculation: the
+/// effects this run's earlier steps will have had by the time a later step
+/// consumes.
+#[derive(Default)]
+struct RunOverlay {
+    /// Simulated L1 sets (`set index → (block, lru)` ways), lazily seeded
+    /// from the frozen array and replayed with [`CacheArray::insert`]
+    /// semantics so hit levels (and therefore latencies) stay exact.
+    ///
+    /// [`CacheArray::insert`]: ptm_cache::CacheArray::insert
+    l1_sets: HashMap<usize, Vec<(PhysBlock, u64)>>,
+    l1_clock: u64,
+    /// MOESI overrides (this run's writes leave lines Modified).
+    moesi: HashMap<PhysBlock, Moesi>,
+    /// Functional words this run wrote.
+    data: HashMap<(PhysBlock, WordIdx), u32>,
+    /// Blocks whose first transactional buffer this run creates (later
+    /// writes must not precompute another snapshot).
+    buffered: HashSet<PhysBlock>,
+}
+
+/// Frozen-lru values stay below this; overlay insertions count up from it,
+/// so simulated recency always orders after anything pre-existing.
+const OVERLAY_LRU_BASE: u64 = u64::MAX / 2;
+
+impl RunOverlay {
+    fn l1_set<'a>(
+        &'a mut self,
+        m: &Machine,
+        idx: usize,
+        block: PhysBlock,
+    ) -> &'a mut Vec<(PhysBlock, u64)> {
+        let l1 = m.caches[idx].l1();
+        let sets = l1.config().sets;
+        let block_number = block.addr().0 / BLOCK_SIZE as u64;
+        let set = (block_number as usize) & (sets - 1);
+        self.l1_sets
+            .entry(set)
+            .or_insert_with(|| l1.set_view(block).collect())
+    }
+
+    fn l1_contains(&mut self, m: &Machine, idx: usize, block: PhysBlock) -> bool {
+        self.l1_set(m, idx, block).iter().any(|(b, _)| *b == block)
+    }
+
+    /// Replays `CacheArray::insert` for the L1 presence refill `touch_mut`
+    /// performs at consume time.
+    fn l1_insert(&mut self, m: &Machine, idx: usize, block: PhysBlock) {
+        let ways = m.caches[idx].l1().config().ways;
+        self.l1_clock += 1;
+        let clock = OVERLAY_LRU_BASE + self.l1_clock;
+        let set = self.l1_set(m, idx, block);
+        if let Some(way) = set.iter_mut().find(|(b, _)| *b == block) {
+            way.1 = clock;
+            return;
+        }
+        if set.len() < ways {
+            set.push((block, clock));
+            return;
+        }
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, lru))| *lru)
+            .map(|(i, _)| i)
+            .expect("full set is non-empty");
+        set[victim] = (block, clock);
+    }
+}
+
+impl Machine {
+    /// Runs every program to completion through the speculative epoch
+    /// executor, producing **bit-identical** results to [`Machine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine stops making progress, like [`Machine::run`].
+    pub fn run_parallel(&mut self, exec: &ExecutorConfig) -> ExecStats {
+        let mut xs = ExecStats::default();
+        let threads = exec.threads.max(1);
+        let epoch_cycles = exec.epoch_cycles.max(1);
+        // Word tracing prints from the live paths speculation skips; keep
+        // traced runs fully sequential so the interleaving stays readable.
+        let spec_enabled = trace_word().is_none();
+        let mut guard: u64 = 0;
+        let limit = self.progress_limit();
+        let trace_progress = std::env::var("PTM_TRACE_PROGRESS").is_ok();
+
+        let n = self.cores.len();
+        self.exec_log.activate(n);
+        let mut heap = self.build_ready_heap();
+        let mut pending: Vec<Option<SpecRun>> = (0..n).map(|_| None).collect();
+        let mut pend_flags = vec![false; n];
+
+        while let Some((t0, _)) = heap.peek() {
+            let window_end = t0.saturating_add(epoch_cycles);
+            xs.epochs += 1;
+
+            // Phase A: side-effect-free run-ahead against the frozen state.
+            let runs = if spec_enabled {
+                self.speculate(window_end, threads)
+            } else {
+                Vec::new()
+            };
+            pend_flags.iter_mut().for_each(|p| *p = false);
+            for run in runs {
+                if !run.steps.is_empty() {
+                    xs.spec_runs += 1;
+                    xs.spec_steps += run.remaining();
+                    let core = run.core;
+                    pend_flags[core] = true;
+                    pending[core] = Some(run);
+                }
+            }
+            self.exec_log.begin_epoch(&pend_flags);
+
+            // Phase B: canonical-order consume/execute.
+            while let Some((t, idx)) = heap.peek() {
+                if t >= window_end {
+                    break;
+                }
+                if !self.try_consume(idx, &mut pending, &mut xs) {
+                    self.step(idx);
+                    xs.live_steps += 1;
+                }
+                self.sync_heap(&mut heap, idx);
+                guard += 1;
+                if trace_progress && guard.is_multiple_of(20_000_000) {
+                    let pcs: Vec<_> = self
+                        .cores
+                        .iter()
+                        .map(|c| (c.prog.thread().0, c.prog.pc(), c.ready_at))
+                        .collect();
+                    eprintln!("[progress] steps={guard} {pcs:?}");
+                }
+                if guard >= limit {
+                    self.progress_panic();
+                }
+            }
+
+            // Epoch boundary: whatever survived unconsumed (poisoned right
+            // at the end of the window) rolls back.
+            for slot in pending.iter_mut() {
+                if let Some(run) = slot.take() {
+                    xs.rollbacks += 1;
+                    xs.reexecuted_steps += run.remaining();
+                }
+            }
+        }
+
+        xs.poison_events = self.exec_log.poison_events;
+        self.exec_log.deactivate();
+        self.finalize_stats();
+        xs
+    }
+
+    /// Attempts to consume core `idx`'s next speculative step. Returns
+    /// `false` when the core has no valid pending step (the caller executes
+    /// live). Discards the rest of the run on any validation failure.
+    fn try_consume(
+        &mut self,
+        idx: usize,
+        pending: &mut [Option<SpecRun>],
+        xs: &mut ExecStats,
+    ) -> bool {
+        let Some(run) = pending[idx].as_mut() else {
+            return false;
+        };
+        let discard = self.exec_log.run_poisoned(idx)
+            || match run.steps.last() {
+                Some(SpecStep::Access { pa, .. }) => {
+                    self.exec_log.written_by_other(pa.block(), idx)
+                }
+                Some(SpecStep::Compute { .. }) => false,
+                None => true,
+            };
+        if discard {
+            let run = pending[idx].take().expect("pending run");
+            if run.remaining() > 0 {
+                xs.rollbacks += 1;
+                xs.reexecuted_steps += run.remaining();
+            }
+            self.exec_log.set_consumed(idx);
+            return false;
+        }
+        let step = run.steps.pop().expect("non-empty run");
+        let done = run.steps.is_empty();
+        self.apply_spec_step(idx, step);
+        xs.committed_spec_steps += 1;
+        if done {
+            pending[idx] = None;
+            self.exec_log.set_consumed(idx);
+        }
+        true
+    }
+
+    /// Applies a validated speculative step: the exact effects the live
+    /// silent-hit path would have produced, minus the lookups.
+    fn apply_spec_step(&mut self, idx: usize, step: SpecStep) {
+        let now = self.cores[idx].ready_at;
+        debug_assert_eq!(step.at(), now, "consume off the speculated schedule");
+        match step {
+            SpecStep::Compute { cost, .. } => {
+                debug_assert!(matches!(
+                    self.cores[idx].prog.current(),
+                    Some(Op::Compute(_))
+                ));
+                self.cores[idx].prog.advance();
+                self.cores[idx].ready_at = now + cost;
+            }
+            SpecStep::Access {
+                va,
+                pa,
+                kind,
+                tx,
+                old,
+                write,
+                latency,
+                ..
+            } => {
+                #[cfg(debug_assertions)]
+                self.debug_validate_access(idx, va, pa, kind, tx, old, write.is_some());
+                let block = pa.block();
+                let word = pa.word_in_block();
+                let pid = self.cores[idx].prog.pid();
+                let is_write = write.is_some();
+
+                // Timing-model effects of the silent hit.
+                self.stats.tlb_hits += 1;
+                self.caches[idx].l2_stats_mut().hits += 1;
+                let line = self.caches[idx].touch_mut(block).expect("speculated hit");
+                if is_write {
+                    line.set_state(Moesi::Modified);
+                }
+                if let Some(tx) = tx {
+                    let meta = line.tx_meta_for(tx);
+                    match kind {
+                        AccessKind::Read => meta.record_read(word),
+                        AccessKind::Write => {
+                            meta.record_read(word);
+                            meta.record_write(word);
+                        }
+                    }
+                }
+
+                // Functional effects.
+                self.cores[idx].checksum = self.cores[idx]
+                    .checksum
+                    .rotate_left(1)
+                    .wrapping_add(u64::from(old));
+                if let Some((value, target)) = write {
+                    match target {
+                        WriteTarget::TxBuffer { snapshot } => {
+                            let tx = tx.expect("buffered write is transactional");
+                            debug_assert_eq!(self.spec.has(tx, block), snapshot.is_none());
+                            self.spec.write_word(tx, block, word, value, || {
+                                *snapshot.expect("speculated snapshot")
+                            });
+                        }
+                        WriteTarget::TxLog => {
+                            let tx = tx.expect("logged write is transactional");
+                            let old_word = self.mem.read_word(pa);
+                            let Backend::LogTm(l) = &mut self.backend else {
+                                unreachable!("TxLog target outside LogTM")
+                            };
+                            l.log_write(tx, pa, old_word);
+                            self.mem.write_word(pa, value);
+                        }
+                        WriteTarget::Mem { primary, mirror } => {
+                            self.mem.write_word(primary, value);
+                            if let Some(m) = mirror {
+                                self.mem.write_word(m, value);
+                            }
+                        }
+                    }
+                    self.exec_log.note_write(block, idx);
+                    self.stats.pages.insert((pid, va.vpn()));
+                    if tx.is_some() {
+                        self.stats.tx_write_pages.insert((pid, va.vpn()));
+                    }
+                } else {
+                    self.stats.pages.insert((pid, va.vpn()));
+                }
+                self.stats.mem_ops += 1;
+                self.cores[idx].prog.advance();
+                self.cores[idx].ready_at = now + latency.max(1);
+            }
+        }
+    }
+
+    /// Debug-build revalidation: re-runs every gate of the live silent-hit
+    /// path against the *current* state. A failure here means a poison rule
+    /// is missing — the safety net that turns such a gap into a loud test
+    /// failure instead of silently skewed results.
+    #[cfg(debug_assertions)]
+    #[allow(clippy::too_many_arguments)]
+    fn debug_validate_access(
+        &self,
+        idx: usize,
+        va: VirtAddr,
+        pa: PhysAddr,
+        kind: AccessKind,
+        tx: Option<TxId>,
+        old: u32,
+        is_write: bool,
+    ) {
+        let pid = self.cores[idx].prog.pid();
+        let op = self.cores[idx].prog.current();
+        assert_eq!(
+            op.and_then(|o| o.addr()),
+            Some(va),
+            "speculated op diverged from the program"
+        );
+        assert_eq!(op.map(|o| o.is_write()), Some(is_write));
+        assert_eq!(self.tx_context(idx), tx, "tx context changed unpoisoned");
+        assert_eq!(
+            self.tlb_lookup(idx, pid, va.vpn()),
+            Some(pa.frame()),
+            "translation changed unpoisoned"
+        );
+        let block = pa.block();
+        let line = self.caches[idx].line(block).expect("line left the cache");
+        assert!(
+            line.tx_meta().is_none_or(|m| Some(m.tx) == tx),
+            "foreign transactional metadata appeared"
+        );
+        if is_write {
+            assert!(
+                line.state().allows_silent_write(),
+                "write lost silent-write rights"
+            );
+        }
+        assert!(
+            !self.hit_needs_overflow_check(idx, block, pa.word_in_block(), kind, tx),
+            "overflow check became necessary"
+        );
+        assert_eq!(
+            old,
+            self.read_word_functional(tx, pid, va, pa),
+            "speculated value diverged from the coherent view"
+        );
+    }
+
+    /// Phase A: produce speculative runs for every eligible core,
+    /// partitioned across `threads` host workers sharing the frozen
+    /// machine.
+    fn speculate(&self, window_end: Cycle, threads: usize) -> Vec<SpecRun> {
+        let eligible: Vec<usize> = (0..self.cores.len())
+            .filter(|&i| !self.cores[i].prog.is_finished() && self.cores[i].ready_at < window_end)
+            .collect();
+        if eligible.is_empty() {
+            return Vec::new();
+        }
+        let workers = threads.min(eligible.len());
+        if workers <= 1 {
+            return eligible
+                .iter()
+                .map(|&i| self.speculate_core(i, window_end))
+                .collect();
+        }
+        // &self is shared across the scope: speculation never mutates.
+        std::thread::scope(|s| {
+            let chunk = eligible.len().div_ceil(workers);
+            let handles: Vec<_> = eligible
+                .chunks(chunk)
+                .map(|cores| {
+                    s.spawn(move || {
+                        cores
+                            .iter()
+                            .map(|&i| self.speculate_core(i, window_end))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("speculation worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Runs core `idx` ahead through `[ready_at, window_end)` against the
+    /// frozen machine, stopping at the first step whose outcome is not
+    /// locally decidable.
+    fn speculate_core(&self, idx: usize, window_end: Cycle) -> SpecRun {
+        let core = &self.cores[idx];
+        let pid = core.prog.pid();
+        let tx = self.tx_context(idx);
+        let mut now = core.ready_at;
+        let mut pc = core.prog.pc();
+        let mut steps = Vec::new();
+        let mut ov = RunOverlay::default();
+
+        // Injection timers fire live; stop short of either.
+        while now < window_end && now < core.next_cs && now < core.next_exc {
+            let Some(op) = core.prog.op_at(pc) else { break };
+            let step = match op {
+                Op::Compute(c) => Some(SpecStep::Compute {
+                    at: now,
+                    cost: Cycle::from(c.max(1)),
+                }),
+                Op::Read(va) => self.speculate_access(idx, pid, tx, now, va, None, &mut ov),
+                Op::Write(va, v) => {
+                    self.speculate_access(idx, pid, tx, now, va, Some(Ok(v)), &mut ov)
+                }
+                Op::Rmw(va, d) => {
+                    self.speculate_access(idx, pid, tx, now, va, Some(Err(d)), &mut ov)
+                }
+                // Transaction boundaries, barriers and lock ops interact
+                // with shared structures: live only.
+                Op::Begin { .. } | Op::End | Op::Barrier(_) => None,
+            };
+            let Some(step) = step else { break };
+            now += match &step {
+                SpecStep::Compute { cost, .. } => *cost,
+                SpecStep::Access { latency, .. } => (*latency).max(1),
+            };
+            pc += 1;
+            steps.push(step);
+        }
+        steps.reverse(); // consume pops from the back
+        SpecRun { core: idx, steps }
+    }
+
+    /// Speculates one memory access, or returns `None` where the live path
+    /// could leave the silent-hit fast path. `write` is `Ok(const)` for
+    /// stores, `Err(delta)` for read-modify-writes.
+    #[allow(clippy::too_many_arguments)]
+    fn speculate_access(
+        &self,
+        idx: usize,
+        pid: ProcessId,
+        tx: Option<TxId>,
+        now: Cycle,
+        va: VirtAddr,
+        write: Option<Result<u32, i32>>,
+        ov: &mut RunOverlay,
+    ) -> Option<SpecStep> {
+        let kind = if write.is_some() {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        // Core-TLB hit required: a miss goes through the kernel (faults,
+        // allocation, swap) and can mutate global state.
+        let frame = self.tlb_lookup(idx, pid, va.vpn())?;
+        let pa = PhysAddr::from_frame(frame, va.page_offset());
+        let block = pa.block();
+        let word = pa.word_in_block();
+
+        // Private-cache hit required (L2 presence is frozen for the run:
+        // speculated steps never evict, and cross-core invalidations poison
+        // the run before consume).
+        let line = self.caches[idx].line(block)?;
+        // Any metadata owned by a different transaction (or any metadata at
+        // all for a non-transactional access) diverts the live path into
+        // conflict resolution and displacement — even dead metadata is
+        // displaced there.
+        if line.tx_meta().is_some_and(|m| Some(m.tx) != tx) {
+            return None;
+        }
+        let state = ov.moesi.get(&block).copied().unwrap_or(line.state());
+        if kind == AccessKind::Write && !state.allows_silent_write() {
+            return None; // upgrade: a real coherence transaction
+        }
+        // The silent hit must provably skip the overflow-structure check:
+        // non-transactional hits always do; transactional hits do when no
+        // migration can scatter own lines and the mode tracks whole blocks.
+        if tx.is_some()
+            && (self.cfg.kernel.migrate_on_cs || self.kind.granularity().word_in_cache())
+        {
+            return None;
+        }
+
+        // Functional read: this run's earlier writes first, then the frozen
+        // coherent view (validation guarantees it is still current at
+        // consume time).
+        let old = ov
+            .data
+            .get(&(block, word))
+            .copied()
+            .unwrap_or_else(|| self.read_word_functional(tx, pid, va, pa));
+
+        let hit = if ov.l1_contains(self, idx, block) {
+            Hit::L1
+        } else {
+            Hit::L2
+        };
+        let latency = self.caches[idx].hit_latency(hit);
+
+        let write = match write {
+            None => None,
+            Some(wv) => {
+                let value = match wv {
+                    Ok(v) => v,
+                    Err(d) => old.wrapping_add(d as u32),
+                };
+                let target = match (tx, &self.backend) {
+                    (Some(_), Backend::LogTm(_)) => WriteTarget::TxLog,
+                    (Some(t), _) => {
+                        let fresh = !self.spec.has(t, block) && !ov.buffered.contains(&block);
+                        let snapshot =
+                            fresh.then(|| Box::new(self.tx_block_snapshot(t, pid, va, block)));
+                        if fresh {
+                            ov.buffered.insert(block);
+                        }
+                        WriteTarget::TxBuffer { snapshot }
+                    }
+                    (None, Backend::Ptm(p)) => WriteTarget::Mem {
+                        primary: PhysAddr::from_frame(p.committed_frame(block), pa.page_offset()),
+                        mirror: p
+                            .mirror_location(block, None)
+                            .map(|m| PhysAddr::from_frame(m.frame(), pa.page_offset())),
+                    },
+                    (None, _) => WriteTarget::Mem {
+                        primary: pa,
+                        mirror: None,
+                    },
+                };
+                ov.data.insert((block, word), value);
+                ov.moesi.insert(block, Moesi::Modified);
+                Some((value, target))
+            }
+        };
+
+        // The consume's `touch_mut` refills L1; replay it for later probes.
+        ov.l1_insert(self, idx, block);
+
+        Some(SpecStep::Access {
+            at: now,
+            va,
+            pa,
+            kind,
+            tx,
+            old,
+            write,
+            latency,
+        })
+    }
+}

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod backend;
+pub mod executor;
 pub mod kernel;
 pub mod locks;
 pub mod logtm;
@@ -41,13 +42,16 @@ pub mod ordered;
 pub mod program;
 pub mod reference;
 pub mod runner;
+pub mod scheduler;
 pub mod stats;
 
 pub use backend::{Backend, SystemKind};
+pub use executor::{ExecStats, ExecutorConfig};
 pub use kernel::{Kernel, KernelConfig, KernelStats, Translation};
 pub use machine::{Machine, MachineConfig};
 pub use ops::{Op, OrderedSeq};
 pub use program::ThreadProgram;
 pub use reference::{assert_serializable, diff_against_machine, serial_reference};
-pub use runner::{run, serialize_programs, speedup_percent, speedup_vs_serial};
+pub use runner::{run, run_parallel, serialize_programs, speedup_percent, speedup_vs_serial};
+pub use scheduler::ReadyHeap;
 pub use stats::{CommittedTx, MachineStats};

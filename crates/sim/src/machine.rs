@@ -11,11 +11,13 @@
 //! discard data — which the serial reference executor verifies.
 
 use crate::backend::{Backend, SystemKind};
+use crate::executor::ExecLog;
 use crate::kernel::{Kernel, KernelConfig, Translation};
 use crate::locks::LockAttempt;
 use crate::ops::{Op, OrderedSeq};
 use crate::ordered::OrderedGate;
 use crate::program::ThreadProgram;
+use crate::scheduler::ReadyHeap;
 use crate::stats::{CommittedTx, MachineStats};
 use ptm_cache::{
     abort_tx_lines, commit_tx_lines, flush_non_tx_lines, peek_remote_tx_use, supply, BusTimings,
@@ -34,7 +36,7 @@ use std::sync::OnceLock;
 /// Debug tracing: set `PTM_TRACE_WORD=<word-aligned virtual address>` to log
 /// every event touching that word's block (accesses, evictions, commits,
 /// aborts) to stderr. Zero cost when unset.
-fn trace_word() -> Option<u64> {
+pub(crate) fn trace_word() -> Option<u64> {
     static WORD: OnceLock<Option<u64>> = OnceLock::new();
     *WORD.get_or_init(|| {
         std::env::var("PTM_TRACE_WORD")
@@ -91,14 +93,14 @@ impl Default for MachineConfig {
 }
 
 #[derive(Debug)]
-struct CoreState {
-    prog: ThreadProgram,
-    ready_at: Cycle,
-    next_cs: Cycle,
-    next_exc: Cycle,
+pub(crate) struct CoreState {
+    pub(crate) prog: ThreadProgram,
+    pub(crate) ready_at: Cycle,
+    pub(crate) next_cs: Cycle,
+    pub(crate) next_exc: Cycle,
     cur_ordered: Option<OrderedSeq>,
     lock_stack: Vec<VirtAddr>,
-    checksum: u64,
+    pub(crate) checksum: u64,
     /// Direct-mapped hardware TLB, indexed by `vpn % len`. Entries are
     /// `(pid, vpn)`-tagged, so they need no flush on context switch or
     /// thread migration — only a mapping *change* (swap-out, remap)
@@ -114,8 +116,18 @@ struct TlbEntry {
     frame: FrameId,
 }
 
+// The epoch executor's speculation workers share a frozen `&Machine` across
+// host threads and exchange per-core state between them; both bounds are
+// load-bearing and must never regress silently.
+fn _assert_thread_safety() {
+    fn is_sync<T: Sync>() {}
+    fn is_send<T: Send>() {}
+    is_sync::<Machine>();
+    is_send::<CoreState>();
+}
+
 /// What an access attempt resolved to.
-enum AccessEffect {
+pub(crate) enum AccessEffect {
     /// Completed; the op's latency in cycles.
     Done(Cycle),
     /// Must retry the same op at the given cycle (cleanup window, swap-in).
@@ -131,21 +143,28 @@ enum AccessEffect {
 /// [`Machine::run`], then read [`Machine::stats`] and the backend counters.
 #[derive(Debug)]
 pub struct Machine {
-    cfg: MachineConfig,
-    kind: SystemKind,
-    cores: Vec<CoreState>,
-    caches: Vec<Hierarchy>,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) kind: SystemKind,
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) caches: Vec<Hierarchy>,
     bus: SystemBus,
-    mem: PhysicalMemory,
+    pub(crate) mem: PhysicalMemory,
     kernel: Kernel,
-    backend: Backend,
-    spec: SpecBuffers,
+    pub(crate) backend: Backend,
+    pub(crate) spec: SpecBuffers,
     tx_src: TxIdSource,
     gate: OrderedGate,
     tx_owner: HashMap<TxId, usize>,
     rev_map: HashMap<FrameId, (ProcessId, Vpn)>,
     barriers: HashMap<u32, BarrierState>,
-    stats: MachineStats,
+    pub(crate) stats: MachineStats,
+    /// Cores whose `ready_at` (or program) was changed by a step acting on
+    /// a *different* core (abort penalties, thread migration). The run
+    /// loops drain this to re-key the ready heap.
+    pub(crate) ready_dirty: Vec<usize>,
+    /// Epoch-executor validation log (inert while [`ExecLog::active`] is
+    /// false, i.e. during plain sequential runs).
+    pub(crate) exec_log: ExecLog,
 }
 
 /// Arrival/release bookkeeping for one in-flight barrier. Arrivals are
@@ -202,6 +221,8 @@ impl Machine {
             rev_map: HashMap::new(),
             barriers: HashMap::new(),
             stats: MachineStats::default(),
+            ready_dirty: Vec::new(),
+            exec_log: ExecLog::inactive(),
             cfg,
             kind,
         }
@@ -246,19 +267,16 @@ impl Machine {
     /// workload property — oldest-wins arbitration guarantees progress).
     pub fn run(&mut self) {
         let mut guard: u64 = 0;
-        let limit = 200_000_000u64
-            .saturating_add(self.cores.iter().map(|c| c.prog.len() as u64).sum::<u64>() * 10_000);
-        while let Some(idx) = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| !c.prog.is_finished())
-            .min_by_key(|(_, c)| c.ready_at)
-            .map(|(i, _)| i)
-        {
+        let limit = self.progress_limit();
+        // Read the tracing knob once: `std::env::var` is a syscall and this
+        // is the hottest loop in the simulator.
+        let trace_progress = std::env::var("PTM_TRACE_PROGRESS").is_ok();
+        let mut heap = self.build_ready_heap();
+        while let Some((_, idx)) = heap.peek() {
             self.step(idx);
+            self.sync_heap(&mut heap, idx);
             guard += 1;
-            if guard.is_multiple_of(20_000_000) && std::env::var("PTM_TRACE_PROGRESS").is_ok() {
+            if trace_progress && guard.is_multiple_of(20_000_000) {
                 let pcs: Vec<_> = self
                     .cores
                     .iter()
@@ -267,35 +285,74 @@ impl Machine {
                 eprintln!("[progress] steps={guard} {pcs:?}");
             }
             if guard >= limit {
-                let state: Vec<String> = self
-                    .cores
-                    .iter()
-                    .map(|c| {
-                        format!(
-                            "pc={}/{} ready={} tx={:?} op={:?}",
-                            c.prog.pc(),
-                            c.prog.len(),
-                            c.ready_at,
-                            c.prog.cur_tx(),
-                            c.prog.current()
-                        )
-                    })
-                    .collect();
-                let live = match &self.backend {
-                    Backend::Ptm(p) => p.tstate().live_transactions(),
-                    _ => Vec::new(),
-                };
-                let owners: Vec<_> = live
-                    .iter()
-                    .map(|t| (*t, self.tx_owner.get(t).copied()))
-                    .collect();
-                panic!("machine stopped making progress: {state:#?} live={owners:?}");
+                self.progress_panic();
             }
         }
         self.finalize_stats();
     }
 
-    fn finalize_stats(&mut self) {
+    /// The step budget after which a run is declared stuck.
+    pub(crate) fn progress_limit(&self) -> u64 {
+        200_000_000u64
+            .saturating_add(self.cores.iter().map(|c| c.prog.len() as u64).sum::<u64>() * 10_000)
+    }
+
+    /// Panics with the full per-core + live-transaction state dump.
+    pub(crate) fn progress_panic(&self) -> ! {
+        let state: Vec<String> = self
+            .cores
+            .iter()
+            .map(|c| {
+                format!(
+                    "pc={}/{} ready={} tx={:?} op={:?}",
+                    c.prog.pc(),
+                    c.prog.len(),
+                    c.ready_at,
+                    c.prog.cur_tx(),
+                    c.prog.current()
+                )
+            })
+            .collect();
+        let live = match &self.backend {
+            Backend::Ptm(p) => p.tstate().live_transactions(),
+            _ => Vec::new(),
+        };
+        let owners: Vec<_> = live
+            .iter()
+            .map(|t| (*t, self.tx_owner.get(t).copied()))
+            .collect();
+        panic!("machine stopped making progress: {state:#?} live={owners:?}");
+    }
+
+    /// A [`ReadyHeap`] seeded with every unfinished core.
+    pub(crate) fn build_ready_heap(&self) -> ReadyHeap {
+        let mut heap = ReadyHeap::new(self.cores.len());
+        for (i, c) in self.cores.iter().enumerate() {
+            if !c.prog.is_finished() {
+                heap.upsert(i, c.ready_at);
+            }
+        }
+        heap
+    }
+
+    /// Re-keys `idx` plus any cores a cross-core effect (abort penalty,
+    /// migration swap) touched during the last step.
+    pub(crate) fn sync_heap(&mut self, heap: &mut ReadyHeap, idx: usize) {
+        self.sync_heap_core(heap, idx);
+        while let Some(d) = self.ready_dirty.pop() {
+            self.sync_heap_core(heap, d);
+        }
+    }
+
+    fn sync_heap_core(&self, heap: &mut ReadyHeap, core: usize) {
+        if self.cores[core].prog.is_finished() {
+            heap.remove(core);
+        } else {
+            heap.upsert(core, self.cores[core].ready_at);
+        }
+    }
+
+    pub(crate) fn finalize_stats(&mut self) {
         self.stats.cycles = self.cores.iter().map(|c| c.ready_at).max().unwrap_or(0);
         let mut misses = 0;
         let mut evictions = 0;
@@ -311,7 +368,7 @@ impl Machine {
     // The core step function
     // ------------------------------------------------------------------
 
-    fn step(&mut self, idx: usize) {
+    pub(crate) fn step(&mut self, idx: usize) {
         let now = self.cores[idx].ready_at;
 
         // System-event injection (context switches, exceptions).
@@ -414,6 +471,11 @@ impl Machine {
         if self.cores[other].ready_at > now {
             return;
         }
+        // A migration reorders which core runs which thread — nothing
+        // speculated before it can survive, and the partner core's key in
+        // the ready heap changes.
+        self.exec_log.poison_all();
+        self.ready_dirty.push(other);
         if trace_word().is_some() {
             eprintln!("[ptm-trace] migrate core {idx} <-> core {other} now={now}");
         }
@@ -563,6 +625,9 @@ impl Machine {
     }
 
     fn commit(&mut self, idx: usize, now: Cycle) {
+        // Commits move buffered data into committed frames, sweep every
+        // cache and open cleanup windows: all speculated state is stale.
+        self.exec_log.poison_all();
         let tx = self.cores[idx].prog.cur_tx().expect("commit inside tx");
         if trace_word().is_some() {
             eprintln!("[ptm-trace] commit {tx} now={now}");
@@ -685,6 +750,7 @@ impl Machine {
                         WriteVal::Delta(d) => old.wrapping_add(d as u32),
                     };
                     self.write_word_functional(tx, pid, va, pa, value);
+                    self.exec_log.note_write(pa.block(), idx);
                     self.stats.pages.insert((pid, va.vpn()));
                     if tx.is_some() {
                         self.stats.tx_write_pages.insert((pid, va.vpn()));
@@ -714,7 +780,7 @@ impl Machine {
     /// (word-granularity configurations only): the cached copy proves the
     /// block was fetched conflict-free, but an overflowed transaction may
     /// own *this word* if the access is the first touch of it.
-    fn hit_needs_overflow_check(
+    pub(crate) fn hit_needs_overflow_check(
         &self,
         idx: usize,
         block: PhysBlock,
@@ -772,7 +838,7 @@ impl Machine {
 
     /// The transaction context of a core, if it is inside one *and* the mode
     /// is transactional.
-    fn tx_context(&self, idx: usize) -> Option<TxId> {
+    pub(crate) fn tx_context(&self, idx: usize) -> Option<TxId> {
         if self.kind.is_transactional() {
             self.cores[idx].prog.cur_tx()
         } else {
@@ -781,7 +847,7 @@ impl Machine {
     }
 
     /// Consults core `idx`'s TLB for `(pid, vpn)`.
-    fn tlb_lookup(&self, idx: usize, pid: ProcessId, vpn: Vpn) -> Option<FrameId> {
+    pub(crate) fn tlb_lookup(&self, idx: usize, pid: ProcessId, vpn: Vpn) -> Option<FrameId> {
         let tlb = &self.cores[idx].tlb;
         if tlb.is_empty() {
             return None;
@@ -808,6 +874,8 @@ impl Machine {
     /// mapping. Called automatically on swap-out; tests that remap pages
     /// directly through [`Machine::kernel_mut`] must call it themselves.
     pub fn tlb_shootdown(&mut self, pid: ProcessId, vpn: Vpn) {
+        // A mapping is dying: speculated translations may be stale.
+        self.exec_log.poison_all();
         for core in &mut self.cores {
             if core.tlb.is_empty() {
                 continue;
@@ -851,6 +919,9 @@ impl Machine {
                     // Swap the page (and, under PTM, its shadow) back in,
                     // then retry the access after the fault latency. The
                     // retry's translation installs the new TLB entry.
+                    // Swap-in rewrites page tables and moves page data:
+                    // everything speculated from the old state is stale.
+                    self.exec_log.poison_all();
                     let frame = match &mut self.backend {
                         Backend::Ptm(p) => {
                             let f = p.on_swap_in(slot, &mut self.mem, &mut self.kernel.swap);
@@ -1159,6 +1230,17 @@ impl Machine {
         //    lines with word-disjoint writes are *preserved* (sub-block
         //    ownership); the hit path compensates by conflict-checking any
         //    hit on a word the line's own masks do not cover.
+        //
+        //    A supply can invalidate, downgrade or displace the block in any
+        //    other cache — if a core with a pending speculative run holds
+        //    it, that run was computed against state this step changes.
+        if self.exec_log.active {
+            for c in 0..self.caches.len() {
+                if c != idx && self.exec_log.is_pending(c) && self.caches[c].line(block).is_some() {
+                    self.exec_log.poison_core(c);
+                }
+            }
+        }
         let outcome = supply(
             &mut self.caches,
             idx,
@@ -1204,7 +1286,11 @@ impl Machine {
         if trace_word().is_some() {
             eprintln!("[ptm-trace] abort {tx} now={now}");
         }
+        // Aborts sweep caches, drain buffers, restore memory (Copy-PTM,
+        // LogTM) and rewind another core's program: globally invalidating.
+        self.exec_log.poison_all();
         let owner = *self.tx_owner.get(&tx).expect("abort of unknown tx");
+        self.ready_dirty.push(owner);
         // Migration can spread a transaction's lines across cores: sweep
         // every cache.
         for cache in &mut self.caches {
@@ -1243,6 +1329,10 @@ impl Machine {
                 // cleared only on its own core); drop it.
                 return;
             }
+            // A live transactional eviction creates or mutates overflow
+            // structures (and may abort a bystander): the frozen backend
+            // lookups speculation depends on are about to change.
+            self.exec_log.poison_all();
             // wd:cache (§6.3): coherence tracks words, but the overflowed
             // structures track one writer per block — evicting a dirty
             // block that a different live transaction already
@@ -1328,7 +1418,11 @@ impl Machine {
             // Non-transactional dirty writeback.
             let _ = self.bus.mem_access(now);
             if let Backend::Ptm(p) = &mut self.backend {
-                p.on_nontx_dirty_writeback(line.block(), &mut self.mem);
+                if p.on_nontx_dirty_writeback(line.block(), &mut self.mem) {
+                    // Lazy shadow migration moved page data and flipped the
+                    // select bit: committed-frame lookups are stale.
+                    self.exec_log.poison_all();
+                }
             }
         }
     }
@@ -1337,7 +1431,7 @@ impl Machine {
     // Functional data movement
     // ------------------------------------------------------------------
 
-    fn read_word_functional(
+    pub(crate) fn read_word_functional(
         &self,
         tx: Option<TxId>,
         pid: ProcessId,
@@ -1436,7 +1530,7 @@ impl Machine {
 
     /// The transaction's consistent view of a whole block (used to seed a
     /// fresh speculative buffer).
-    fn tx_block_snapshot(
+    pub(crate) fn tx_block_snapshot(
         &self,
         tx: TxId,
         pid: ProcessId,

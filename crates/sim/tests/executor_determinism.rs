@@ -1,0 +1,260 @@
+//! Determinism suite for the speculative epoch executor: the same
+//! (workload, system) cell must produce **bit-identical** results with 1,
+//! 2, and 4 executor threads — and all of them identical to the plain
+//! sequential `Machine::run`.
+//!
+//! Debug builds additionally re-verify every consumed speculative step
+//! against the live machine state (`debug_validate_access`), so these tests
+//! double as a proof harness for the executor's poison rules.
+
+use ptm_sim::{
+    run, run_parallel, ExecutorConfig, Machine, MachineConfig, Op, SystemKind, ThreadProgram,
+};
+use ptm_types::{Granularity, ProcessId, ThreadId, VirtAddr};
+
+/// Everything observable about a finished machine, in deterministic order.
+fn fingerprint(m: &Machine) -> String {
+    let s = m.stats();
+    let mut pages: Vec<_> = s.pages.iter().collect();
+    pages.sort();
+    let mut tx_pages: Vec<_> = s.tx_write_pages.iter().collect();
+    tx_pages.sort();
+    format!(
+        "cycles={} mem_ops={} begins={} commits={} aborts={} stalls={} \
+         tlb={}h/{}m/{}s l2={}miss/{}evict pages={pages:?} tx_pages={tx_pages:?} \
+         checksums={:?} commit_log={:?} kernel={:?} bus={:?}",
+        s.cycles,
+        s.mem_ops,
+        s.begins,
+        s.commits,
+        s.aborts,
+        s.stall_cycles,
+        s.tlb_hits,
+        s.tlb_misses,
+        s.tlb_shootdowns,
+        s.l2_misses,
+        s.l2_evictions,
+        m.checksums(),
+        s.commit_log,
+        m.kernel_stats(),
+        m.bus_stats(),
+    )
+}
+
+/// Committed memory contents over the workload's footprint.
+fn memory_image(m: &Machine, pid: ProcessId, words: &[u64]) -> Vec<u32> {
+    words
+        .iter()
+        .map(|&w| m.read_committed(pid, VirtAddr::new(w)))
+        .collect()
+}
+
+/// Runs the cell sequentially and with 1/2/4 executor threads, asserting
+/// bit-identical outcomes; returns the executor stats of the 4-thread run.
+fn assert_deterministic(
+    cfg: MachineConfig,
+    kind: SystemKind,
+    programs: Vec<ThreadProgram>,
+    epoch_cycles: u64,
+    footprint: &[u64],
+) -> ptm_sim::ExecStats {
+    let pid = programs[0].pid();
+    let seq = run(cfg, kind, programs.clone());
+    let want = fingerprint(&seq);
+    let want_mem = memory_image(&seq, pid, footprint);
+    let mut last = None;
+    for threads in [1, 2, 4] {
+        let exec = ExecutorConfig {
+            threads,
+            epoch_cycles,
+        };
+        let (m, xs) = run_parallel(cfg, kind, programs.clone(), &exec);
+        assert_eq!(
+            fingerprint(&m),
+            want,
+            "{kind} with {threads} executor threads diverged from sequential"
+        );
+        assert_eq!(
+            memory_image(&m, pid, footprint),
+            want_mem,
+            "{kind} with {threads} executor threads corrupted memory"
+        );
+        last = Some(xs);
+    }
+    last.expect("ran at least one configuration")
+}
+
+/// A contended transactional workload: every thread read-modify-writes a
+/// shared counter block inside transactions, with private work between.
+fn contended_programs(threads: usize, txs: usize) -> (Vec<ThreadProgram>, Vec<u64>) {
+    let pid = ProcessId(1);
+    let shared = 0x4000u64;
+    let mut footprint = vec![shared];
+    let progs = (0..threads)
+        .map(|t| {
+            let private = 0x10_0000 + (t as u64) * 0x2000;
+            footprint.push(private);
+            let mut ops = Vec::new();
+            for i in 0..txs {
+                ops.push(Op::Compute(3 + (t as u32 % 5)));
+                ops.push(Op::Begin {
+                    ordered: None,
+                    lock: VirtAddr::new(0x9000),
+                });
+                ops.push(Op::Rmw(VirtAddr::new(shared), 1));
+                ops.push(Op::Rmw(VirtAddr::new(private + (i as u64 % 16) * 4), 1));
+                ops.push(Op::End);
+                ops.push(Op::Write(VirtAddr::new(private), (t * 1000 + i) as u32));
+                ops.push(Op::Read(VirtAddr::new(shared)));
+            }
+            ThreadProgram::new(pid, ThreadId(t as u32), ops)
+        })
+        .collect();
+    (progs, footprint)
+}
+
+/// A mostly-disjoint workload with long private phases and one barrier,
+/// so speculation gets long uninterrupted runs.
+fn phased_programs(threads: usize) -> (Vec<ThreadProgram>, Vec<u64>) {
+    let pid = ProcessId(2);
+    let mut footprint = Vec::new();
+    let progs = (0..threads)
+        .map(|t| {
+            let base = 0x20_0000 + (t as u64) * 0x4000;
+            footprint.push(base);
+            footprint.push(base + 256);
+            let mut ops = Vec::new();
+            for i in 0..200u64 {
+                ops.push(Op::Write(VirtAddr::new(base + (i % 64) * 4), i as u32));
+                ops.push(Op::Compute(2));
+                ops.push(Op::Read(VirtAddr::new(base + ((i * 7) % 64) * 4)));
+            }
+            ops.push(Op::Barrier(1));
+            for i in 0..100u64 {
+                ops.push(Op::Rmw(VirtAddr::new(base + 256 + (i % 16) * 4), 2));
+            }
+            ThreadProgram::new(pid, ThreadId(t as u32), ops)
+        })
+        .collect();
+    (progs, footprint)
+}
+
+#[test]
+fn select_ptm_contended_is_bit_identical() {
+    let (progs, fp) = contended_programs(4, 40);
+    let xs = assert_deterministic(
+        MachineConfig::default(),
+        SystemKind::SelectPtm(Granularity::Block),
+        progs,
+        ExecutorConfig::DEFAULT_EPOCH_CYCLES,
+        &fp,
+    );
+    assert!(xs.spec_steps > 0, "nothing was speculated: {xs:?}");
+    assert!(xs.committed_spec_steps > 0, "nothing consumed: {xs:?}");
+}
+
+#[test]
+fn phased_disjoint_is_bit_identical_and_mostly_speculated() {
+    // Small epochs so speculation restarts often against warm caches
+    // (the workload is short; one default-size epoch would cover it all
+    // and the single cold-cache speculation pass would find nothing).
+    let (progs, fp) = phased_programs(4);
+    let xs = assert_deterministic(
+        MachineConfig::default(),
+        SystemKind::SelectPtm(Granularity::Block),
+        progs,
+        256,
+        &fp,
+    );
+    assert!(
+        xs.spec_commit_fraction() > 0.5,
+        "disjoint phases should speculate well: {xs:?}"
+    );
+}
+
+#[test]
+fn copy_ptm_and_vtm_and_logtm_are_bit_identical() {
+    for kind in [SystemKind::CopyPtm, SystemKind::Vtm, SystemKind::LogTm] {
+        let (progs, fp) = contended_programs(3, 25);
+        assert_deterministic(
+            MachineConfig::default(),
+            kind,
+            progs,
+            ExecutorConfig::DEFAULT_EPOCH_CYCLES,
+            &fp,
+        );
+    }
+}
+
+#[test]
+fn word_granularity_is_bit_identical() {
+    // wd:cache disables transactional speculation (the overflow-check gate);
+    // non-transactional runs must still match exactly.
+    let (progs, fp) = contended_programs(3, 20);
+    assert_deterministic(
+        MachineConfig::default(),
+        SystemKind::SelectPtm(Granularity::WordCache),
+        progs,
+        ExecutorConfig::DEFAULT_EPOCH_CYCLES,
+        &fp,
+    );
+}
+
+#[test]
+fn context_switches_and_migration_are_bit_identical() {
+    // Frequent context switches with thread migration: the strongest
+    // cross-core reordering stress (programs swap cores mid-run).
+    let mut cfg = MachineConfig::default();
+    cfg.kernel.cs_interval = Some(1_500);
+    cfg.kernel.cs_cost = 120;
+    cfg.kernel.migrate_on_cs = true;
+    cfg.kernel.exc_interval = Some(4_000);
+    let (progs, fp) = contended_programs(4, 30);
+    let xs = assert_deterministic(
+        cfg,
+        SystemKind::SelectPtm(Granularity::Block),
+        progs,
+        ExecutorConfig::DEFAULT_EPOCH_CYCLES,
+        &fp,
+    );
+    assert!(xs.poison_events > 0, "migrations must poison: {xs:?}");
+}
+
+#[test]
+fn epoch_size_one_forces_validation_and_stays_bit_identical() {
+    // One-cycle epochs: every speculative step crosses an epoch boundary,
+    // stressing rollback/re-execution continuously.
+    let (progs, fp) = contended_programs(4, 25);
+    let xs = assert_deterministic(
+        MachineConfig::default(),
+        SystemKind::SelectPtm(Granularity::Block),
+        progs,
+        1,
+        &fp,
+    );
+    assert!(
+        xs.rollbacks > 0,
+        "1-cycle epochs must discard run-ahead: {xs:?}"
+    );
+    assert!(xs.reexecuted_steps > 0, "{xs:?}");
+}
+
+#[test]
+fn serial_and_locks_modes_are_bit_identical() {
+    // Non-transactional execution modes go through the same hit fast path.
+    let (progs, fp) = contended_programs(2, 15);
+    for kind in [SystemKind::Locks, SystemKind::Serial] {
+        let progs = if kind == SystemKind::Serial {
+            vec![progs[0].clone()]
+        } else {
+            progs.clone()
+        };
+        assert_deterministic(
+            MachineConfig::default(),
+            kind,
+            progs,
+            ExecutorConfig::DEFAULT_EPOCH_CYCLES,
+            &fp,
+        );
+    }
+}
