@@ -8,7 +8,7 @@ use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
 use ptm_core::system::AccessKind;
 use ptm_core::vts::LruTracker;
 use ptm_core::{PtmConfig, PtmSystem};
-use ptm_mem::{PhysicalMemory, SpecBlock};
+use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
 use ptm_types::{BlockIdx, BlockVec, FrameId, PhysBlock, TxId, VirtAddr, WordIdx, WordMask};
 use ptm_vtm::CountingBloom;
 
@@ -90,7 +90,8 @@ fn bench_ptm_conflict_check(c: &mut Criterion) {
             &mut mem,
             0,
             &mut bus,
-        );
+        )
+        .unwrap();
     }
     c.bench_function("ptm/conflict-check-hot", |b| {
         let mut now = 1000u64;
@@ -137,7 +138,8 @@ fn bench_ptm_conflict_check_filtered(c: &mut Criterion) {
             &mut mem,
             0,
             &mut bus,
-        );
+        )
+        .unwrap();
     }
     c.bench_function("ptm/conflict-check-summary-filtered", |b| {
         let mut now = 1000u64;
@@ -229,9 +231,16 @@ fn bench_ptm_commit(c: &mut Criterion) {
                     &mut mem,
                     t * 100,
                     &mut bus,
-                );
+                )
+                .unwrap();
             }
-            std::hint::black_box(ptm.commit(tx, &mut mem, t * 100 + 50, &mut bus))
+            std::hint::black_box(ptm.commit(
+                tx,
+                &mut mem,
+                &mut SwapStore::new(),
+                t * 100 + 50,
+                &mut bus,
+            ))
         })
     });
 }

@@ -164,7 +164,7 @@ fn shadow_freeing_policies() {
 /// page, commit, then stream non-transactional writebacks over it.
 fn lazy_migrate_replay() -> (u64, u64, u64) {
     use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
-    use ptm_mem::{PhysicalMemory, SpecBlock};
+    use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
     use ptm_types::{BlockIdx, PhysBlock, TxId, WordIdx, WordMask};
 
     let cfg = PtmConfig {
@@ -189,8 +189,9 @@ fn lazy_migrate_replay() -> (u64, u64, u64) {
             data: [round as u8; 64],
             written: WordMask(1),
         };
-        ptm.on_tx_eviction(&meta, block, Some(&spec), false, &mut mem, 0, &mut bus);
-        ptm.commit(tx, &mut mem, 100, &mut bus);
+        ptm.on_tx_eviction(&meta, block, Some(&spec), false, &mut mem, 0, &mut bus)
+            .unwrap();
+        ptm.commit(tx, &mut mem, &mut SwapStore::new(), 100, &mut bus);
         // Non-transactional writeback drains the shadow.
         ptm.on_nontx_dirty_writeback(block, &mut mem);
     }

@@ -4,6 +4,7 @@
 use ptm_sim::{run, serialize_programs, speedup_percent, Machine, SystemKind};
 use ptm_workloads::{Scale, Workload};
 
+pub mod faults;
 pub mod parallel;
 pub mod parallel_sim;
 
@@ -106,13 +107,31 @@ pub fn run_workload(workload: &Workload, kind: SystemKind) -> Machine {
     run(workload.machine_config(), kind, workload.programs_for(kind))
 }
 
+/// Parses a scale name, case-insensitively. Unknown names are an error
+/// naming the valid options — a typo must not silently downgrade a `full`
+/// run to `small`.
+pub fn parse_scale(name: &str) -> Result<Scale, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!(
+            "unknown PTM_SCALE value {other:?}: expected one of tiny, small, full"
+        )),
+    }
+}
+
 /// The benchmark scale used by the regeneration binaries; override with the
-/// `PTM_SCALE` environment variable (`tiny`, `small`, `full`).
+/// `PTM_SCALE` environment variable (`tiny`, `small`, `full`, any case).
+/// Defaults to `small` when unset.
+///
+/// # Panics
+///
+/// Panics on an unrecognized `PTM_SCALE` value.
 pub fn scale_from_env() -> Scale {
-    match std::env::var("PTM_SCALE").as_deref() {
-        Ok("tiny") => Scale::Tiny,
-        Ok("full") => Scale::Full,
-        _ => Scale::Small,
+    match std::env::var("PTM_SCALE") {
+        Ok(v) => parse_scale(&v).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => Scale::Small,
     }
 }
 
@@ -133,6 +152,20 @@ mod tests {
     fn average_of_known_values() {
         assert_eq!(average(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(average(&[]), 0.0);
+    }
+
+    #[test]
+    fn parse_scale_is_case_insensitive() {
+        assert_eq!(parse_scale("tiny").unwrap(), Scale::Tiny);
+        assert_eq!(parse_scale("Small").unwrap(), Scale::Small);
+        assert_eq!(parse_scale("FULL").unwrap(), Scale::Full);
+    }
+
+    #[test]
+    fn parse_scale_rejects_unknown_values() {
+        let err = parse_scale("ful").unwrap_err();
+        assert!(err.contains("ful"), "{err}");
+        assert!(err.contains("tiny, small, full"), "{err}");
     }
 
     #[test]

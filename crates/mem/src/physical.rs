@@ -82,6 +82,12 @@ impl PhysicalMemory {
         self.high_water
     }
 
+    /// Number of frames currently free — lets exhaustion-aware callers
+    /// pre-check an allocation burst without mutating the pool.
+    pub fn free_frames(&self) -> usize {
+        self.free.len()
+    }
+
     /// Allocates a zeroed frame, or `None` if memory is exhausted.
     pub fn alloc(&mut self) -> Option<FrameId> {
         let id = self.free.pop()?;

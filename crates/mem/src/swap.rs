@@ -86,6 +86,36 @@ impl SwapStore {
         data
     }
 
+    /// Copies the page at `slot` without freeing the slot (lazy cleanup of
+    /// swapped transactional pages reads images in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn peek(&self, slot: SwapSlot) -> PageData {
+        self.slots
+            .get(slot.0 as usize)
+            .unwrap_or_else(|| panic!("{slot} out of range"))
+            .as_ref()
+            .unwrap_or_else(|| panic!("{slot} is empty"))
+            .clone()
+    }
+
+    /// Overwrites the page at `slot` in place (the slot keeps its identity,
+    /// so SIT entries and page tables referencing it stay valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn update(&mut self, slot: SwapSlot, data: PageData) {
+        let s = self
+            .slots
+            .get_mut(slot.0 as usize)
+            .unwrap_or_else(|| panic!("{slot} out of range"));
+        assert!(s.is_some(), "{slot} is empty");
+        *s = Some(data);
+    }
+
     /// Returns `true` if `slot` currently holds a page.
     pub fn is_occupied(&self, slot: SwapSlot) -> bool {
         self.slots
@@ -133,6 +163,25 @@ mod tests {
         swap.discard(s1);
         let s2 = swap.store(page(2));
         assert_eq!(s1, s2, "freed slot reused");
+    }
+
+    #[test]
+    fn peek_and_update_keep_the_slot() {
+        let mut swap = SwapStore::new();
+        let s = swap.store(page(3));
+        assert_eq!(swap.peek(s)[17], 3);
+        assert!(swap.is_occupied(s), "peek does not free");
+        swap.update(s, page(4));
+        assert_eq!(swap.load(s)[17], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn updating_empty_slot_panics() {
+        let mut swap = SwapStore::new();
+        let s = swap.store(page(0));
+        swap.discard(s);
+        swap.update(s, page(1));
     }
 
     #[test]

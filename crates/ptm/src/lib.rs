@@ -48,5 +48,5 @@ pub mod vts;
 
 pub use config::{PtmConfig, PtmPolicy, ShadowFreePolicy};
 pub use stats::PtmStats;
-pub use system::{AccessKind, ConflictOutcome, PtmSystem, SwapOut};
+pub use system::{AccessKind, ConflictOutcome, Exhaustion, PtmSystem, SwapOut};
 pub use tstate::TxStatus;

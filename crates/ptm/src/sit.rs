@@ -92,6 +92,12 @@ impl SwapIndexTable {
         self.entries.get(&home_slot)
     }
 
+    /// Mutable lookup — lazy commit/abort cleanup of a transaction whose
+    /// page is swapped out updates the entry in place (§3.5.1).
+    pub fn entry_mut(&mut self, home_slot: SwapSlot) -> Option<&mut SitEntry> {
+        self.entries.get_mut(&home_slot)
+    }
+
     /// Number of swapped transactional pages.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -60,6 +60,15 @@ pub struct PtmStats {
     /// shadow pages live at any instant if shadows were reclaimed the
     /// moment a transaction commits).
     pub tx_dirty_page_sum: u64,
+    /// Times a shadow-page (or swap-in frame) allocation found physical
+    /// memory exhausted and had to recover instead of panicking.
+    pub frame_exhaustions: u64,
+    /// Times a TAV-node allocation found the arena at capacity.
+    pub tav_exhaustions: u64,
+    /// Transactions aborted to free resources during exhaustion recovery.
+    pub exhaustion_aborts: u64,
+    /// Operations retried after an exhaustion-recovery abort freed room.
+    pub exhaustion_retries: u64,
 }
 
 impl PtmStats {
@@ -100,7 +109,7 @@ impl fmt::Display for PtmStats {
             self.restore_copies,
             self.word_merge_copies
         )?;
-        write!(
+        writeln!(
             f,
             "vts: spt {}/{} tav {}/{} walk-nodes={} | checks fast/slow {}/{} conflicts={} toggles={}",
             self.spt_cache_hits,
@@ -112,6 +121,14 @@ impl fmt::Display for PtmStats {
             self.conflict_checks_slow,
             self.overflow_conflicts,
             self.selection_toggles
+        )?;
+        write!(
+            f,
+            "exhaustion: frames={} tav={} recovery aborts={} retries={}",
+            self.frame_exhaustions,
+            self.tav_exhaustions,
+            self.exhaustion_aborts,
+            self.exhaustion_retries
         )
     }
 }

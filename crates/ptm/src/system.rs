@@ -62,6 +62,30 @@ pub struct SwapOut {
     pub home_slot: SwapSlot,
 }
 
+/// A PTM resource pool ran dry mid-operation.
+///
+/// Returned instead of panicking by the allocation-bearing entry points
+/// ([`PtmSystem::on_tx_eviction`], [`PtmSystem::on_swap_in`]) so the caller
+/// can recover — the simulator aborts the youngest live transaction to free
+/// resources and retries the operation. Every occurrence is counted in
+/// [`PtmStats::frame_exhaustions`] / [`PtmStats::tav_exhaustions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exhaustion {
+    /// The physical frame pool is empty (shadow allocation or swap-in).
+    Frames,
+    /// The TAV arena hit its configured capacity.
+    TavNodes,
+}
+
+impl std::fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exhaustion::Frames => write!(f, "physical frame pool exhausted"),
+            Exhaustion::TavNodes => write!(f, "TAV arena at capacity"),
+        }
+    }
+}
+
 /// The Page-based Transactional Memory system.
 ///
 /// See the crate-level documentation for the model; see [`PtmConfig`] for
@@ -154,6 +178,22 @@ impl PtmSystem {
     /// Whether `tx` is currently running.
     pub fn is_live(&self, tx: TxId) -> bool {
         self.tstate.is_live(tx)
+    }
+
+    /// Installs (or clears) a hard cap on live TAV nodes — fault injection
+    /// uses this to manufacture arena-capacity pressure.
+    pub fn set_tav_capacity(&mut self, capacity: Option<usize>) {
+        self.tavs.set_capacity(capacity);
+    }
+
+    /// Records a transaction aborted purely to relieve resource exhaustion.
+    pub fn note_exhaustion_abort(&mut self) {
+        self.stats.exhaustion_aborts += 1;
+    }
+
+    /// Records an operation retried after exhaustion recovery freed room.
+    pub fn note_exhaustion_retry(&mut self) {
+        self.stats.exhaustion_retries += 1;
     }
 
     // ------------------------------------------------------------------
@@ -295,13 +335,13 @@ impl PtmSystem {
     /// Handles the eviction of a transactional cache line.
     ///
     /// `spec` carries the speculative data when the line was dirty. Returns
-    /// the cycle the (background) overflow processing finishes.
+    /// the cycle the (background) overflow processing finishes, or
+    /// [`Exhaustion`] — *before any state is mutated* — when the operation
+    /// would need a shadow page with the frame pool empty, or a TAV node
+    /// with the arena at capacity. A failed call is side-effect free and may
+    /// be retried once the caller frees resources (by aborting a
+    /// transaction).
     ///
-    /// # Panics
-    ///
-    /// Panics if a shadow page is needed and physical memory is exhausted —
-    /// size the simulated memory generously (the OS-level reclamation the
-    /// paper assumes is out of scope).
     /// `in_cache_cowriter` reports whether another live transaction still
     /// holds a word-disjoint write copy of this block in some cache (only
     /// possible in the word-granularity configurations) — it forces the
@@ -317,7 +357,7 @@ impl PtmSystem {
         mem: &mut PhysicalMemory,
         now: Cycle,
         bus: &mut SystemBus,
-    ) -> Cycle {
+    ) -> Result<Cycle, Exhaustion> {
         let frame = block.frame();
         let idx = block.index();
         let tx = meta.tx;
@@ -325,6 +365,21 @@ impl PtmSystem {
             self.spt.entry(frame).is_some(),
             "eviction from unregistered page {frame}"
         );
+
+        // Exhaustion pre-checks, before any caches, stats or structures are
+        // touched, so an `Err` leaves the system exactly as it was.
+        {
+            let entry = self.spt.entry(frame).expect("registered page");
+            if self.tavs.find_in_page_list(entry.tav_head, tx).is_none() && self.tavs.at_capacity()
+            {
+                self.stats.tav_exhaustions += 1;
+                return Err(Exhaustion::TavNodes);
+            }
+            if meta.write && entry.shadow.is_none() && mem.free_frames() == 0 {
+                self.stats.frame_exhaustions += 1;
+                return Err(Exhaustion::Frames);
+            }
+        }
 
         // The eviction's coherence message reaches the VTS.
         let mut done = bus.onchip_transfer(now);
@@ -479,15 +534,16 @@ impl PtmSystem {
 
         self.stats.peak_tav_nodes = self.stats.peak_tav_nodes.max(self.tavs.peak() as u64);
         done = cost.charge(done, self.cfg.vts_lookup_latency, bus);
-        done
+        Ok(done)
     }
 
     fn ensure_shadow(&mut self, frame: FrameId, mem: &mut PhysicalMemory) {
         let entry = self.spt.entry_mut(frame).expect("registered page");
         if entry.shadow.is_none() {
+            // `on_tx_eviction` pre-checked the pool, so this cannot fail.
             let shadow = mem
                 .alloc()
-                .expect("physical memory exhausted allocating a shadow page");
+                .expect("shadow allocation despite free-frame pre-check");
             entry.shadow = Some(shadow);
             self.stats.shadow_allocs += 1;
             self.live_shadows += 1;
@@ -537,6 +593,29 @@ impl PtmSystem {
                     _ => frame,
                 }
             }
+        }
+    }
+
+    /// [`Self::committed_frame`] for a swapped-out page: the swap slot whose
+    /// image holds the *committed* version of block `idx`, given the home
+    /// image's slot. A Select page's set selection bit redirects the block
+    /// to the shadow image; a Copy page whose home block carries a live
+    /// writer's speculative data keeps the committed version in the backup.
+    pub fn committed_swap_slot(&self, slot: SwapSlot, idx: BlockIdx) -> SwapSlot {
+        let Some(entry) = self.sit.entry(slot) else {
+            return slot;
+        };
+        let Some(shadow_slot) = entry.shadow_slot else {
+            return slot;
+        };
+        let in_shadow = match self.cfg.policy {
+            PtmPolicy::Select => entry.sel.get(idx),
+            PtmPolicy::Copy => entry.sum_write.get(idx),
+        };
+        if in_shadow {
+            shadow_slot
+        } else {
+            slot
         }
     }
 
@@ -679,6 +758,7 @@ impl PtmSystem {
         &mut self,
         tx: TxId,
         mem: &mut PhysicalMemory,
+        swap: &mut SwapStore,
         now: Cycle,
         bus: &mut SystemBus,
     ) -> Cycle {
@@ -711,6 +791,34 @@ impl PtmSystem {
                     self.stats.tav_cache_misses += 1;
                     cost.memory_accesses += 1 + u32::from(evicted_dirty);
                 }
+            }
+
+            if let Some(slot) = sentinel_slot(frame) {
+                // The page was swapped out while this transaction still had
+                // overflowed state on it. Complete the commit against the
+                // SIT entry and the swap images in place (§3.5.1) — no
+                // swap-in, and therefore no frame allocation, is needed.
+                if self.cfg.policy == PtmPolicy::Select {
+                    for idx in write_vec.iter() {
+                        let entry = self.sit.entry(slot).expect("SIT entry for swapped page");
+                        if self.cfg.granularity.word_in_cache() && entry.contested.get(idx) {
+                            self.merge_written_words_swapped(r, slot, idx, swap);
+                            self.stats.word_merge_copies += 1;
+                            cost.memory_accesses += 2;
+                        } else {
+                            let entry = self
+                                .sit
+                                .entry_mut(slot)
+                                .expect("SIT entry for swapped page");
+                            entry.sel.toggle(idx);
+                            self.stats.selection_toggles += 1;
+                        }
+                    }
+                }
+                self.unlink_and_free_swapped(r, slot, tx);
+                t = cost.charge(t, self.cfg.vts_lookup_latency, bus);
+                self.maybe_free_shadow_swapped(slot, swap);
+                continue;
             }
 
             if self.cfg.policy == PtmPolicy::Select {
@@ -754,6 +862,7 @@ impl PtmSystem {
         &mut self,
         tx: TxId,
         mem: &mut PhysicalMemory,
+        swap: &mut SwapStore,
         now: Cycle,
         bus: &mut SystemBus,
     ) -> Cycle {
@@ -777,6 +886,39 @@ impl PtmSystem {
                     self.stats.tav_cache_misses += 1;
                     cost.memory_accesses += 1 + u32::from(evicted_dirty);
                 }
+            }
+
+            if let Some(slot) = sentinel_slot(frame) {
+                // Aborting a transaction whose page is swapped out: Copy-PTM
+                // restores the overwritten blocks of the swapped home image
+                // from the swapped shadow backup; Select-PTM needs no data
+                // movement (selection bits were never toggled). Either way
+                // the node is unlinked from the SIT entry in place.
+                if self.cfg.policy == PtmPolicy::Copy && !write_vec.is_empty() {
+                    let shadow_slot = self
+                        .sit
+                        .entry(slot)
+                        .expect("SIT entry for swapped page")
+                        .shadow_slot
+                        .expect("dirty overflow implies a shadow page");
+                    let mut home_img = swap.peek(slot);
+                    let shadow_img = swap.peek(shadow_slot);
+                    for idx in write_vec.iter() {
+                        if self.cfg.granularity.word_in_cache() {
+                            let mask = self.tavs.get(r).write_words.block_words(idx);
+                            copy_image_words(&shadow_img, &mut home_img, idx, mask);
+                        } else {
+                            copy_image_block(&shadow_img, &mut home_img, idx);
+                        }
+                        self.stats.restore_copies += 1;
+                        cost.memory_accesses += 2;
+                    }
+                    swap.update(slot, home_img);
+                }
+                self.unlink_and_free_swapped(r, slot, tx);
+                t = cost.charge(t, self.cfg.vts_lookup_latency, bus);
+                self.maybe_free_shadow_swapped(slot, swap);
+                continue;
             }
 
             if self.cfg.policy == PtmPolicy::Copy {
@@ -852,6 +994,87 @@ impl PtmSystem {
         entry.sum_read = sum_read;
         entry.sum_write = sum_write;
         self.tav_cache.remove(&(frame, tx));
+    }
+
+    /// `unlink_and_free` for a node whose page is swapped out: the list
+    /// anchor and summary vectors live in the SIT entry instead of the SPT.
+    fn unlink_and_free_swapped(&mut self, r: TavRef, slot: SwapSlot, tx: TxId) {
+        let head = self
+            .sit
+            .entry(slot)
+            .expect("SIT entry for swapped page")
+            .tav_head;
+        let new_head = self.tavs.unlink_from_page_list(head, r);
+        self.tavs.free(r);
+        let (sum_read, sum_write) = self.tavs.block_summaries(new_head);
+        let entry = self
+            .sit
+            .entry_mut(slot)
+            .expect("SIT entry for swapped page");
+        entry.tav_head = new_head;
+        entry.sum_read = sum_read;
+        entry.sum_write = sum_write;
+        self.tav_cache.remove(&(swap_sentinel(slot), tx));
+    }
+
+    /// `merge_written_words` against swap images: the committed copy of a
+    /// contested block lives in whichever swapped image the selection bit
+    /// points at; merge this transaction's written words into it in place.
+    fn merge_written_words_swapped(
+        &mut self,
+        node: TavRef,
+        slot: SwapSlot,
+        idx: BlockIdx,
+        swap: &mut SwapStore,
+    ) {
+        let mask = self.tavs.get(node).write_words.block_words(idx);
+        let entry = self.sit.entry(slot).expect("SIT entry for swapped page");
+        let shadow_slot = entry
+            .shadow_slot
+            .expect("contested overflow implies a shadow page");
+        // Committed block in the shadow iff the selection bit is set; the
+        // speculative copy is on the opposite page.
+        let (spec_slot, committed_slot) = if entry.sel.get(idx) {
+            (slot, shadow_slot)
+        } else {
+            (shadow_slot, slot)
+        };
+        let spec_img = swap.peek(spec_slot);
+        let mut committed_img = swap.peek(committed_slot);
+        copy_image_words(&spec_img, &mut committed_img, idx, mask);
+        swap.update(committed_slot, committed_img);
+    }
+
+    /// [`Self::maybe_free_shadow`] for a swapped-out page: once no TAV node
+    /// references the page, fold any committed shadow blocks into the home
+    /// image (Select-PTM) and discard the shadow's swap slot.
+    fn maybe_free_shadow_swapped(&mut self, slot: SwapSlot, swap: &mut SwapStore) {
+        let entry = self.sit.entry(slot).expect("SIT entry for swapped page");
+        if entry.tav_head.is_some() {
+            return;
+        }
+        let Some(shadow_slot) = entry.shadow_slot else {
+            return;
+        };
+        if self.cfg.policy == PtmPolicy::Select && !entry.sel.is_empty() {
+            // Merge-on-free, the swapped analogue of merge-on-swap: bring
+            // the committed blocks home so the shadow image can go.
+            let shadow_img = swap.peek(shadow_slot);
+            let mut home_img = swap.peek(slot);
+            let sel: Vec<BlockIdx> = entry.sel.iter().collect();
+            for idx in sel {
+                copy_image_block(&shadow_img, &mut home_img, idx);
+            }
+            swap.update(slot, home_img);
+        }
+        swap.discard(shadow_slot);
+        let entry = self
+            .sit
+            .entry_mut(slot)
+            .expect("SIT entry for swapped page");
+        entry.shadow_slot = None;
+        entry.sel = ptm_types::BlockVec::EMPTY;
+        self.stats.shadow_frees += 1;
     }
 
     /// Frees a page's shadow when it no longer holds any needed data: for
@@ -931,6 +1154,13 @@ impl PtmSystem {
             slot
         });
 
+        // Repoint the page's TAV nodes at the swap sentinel: a node must
+        // never keep referencing the freed frame (which the allocator may
+        // hand to an unrelated page), and the sentinel encodes the swap slot
+        // so commit/abort can clean up against the SIT while the page is
+        // out (§3.5.1).
+        self.tavs
+            .repoint_page_list(entry.tav_head, swap_sentinel(home_slot));
         self.sit
             .insert(SitEntry::from_spt(&entry, home_slot, shadow_slot));
         self.spt_cache.remove(&frame);
@@ -944,26 +1174,35 @@ impl PtmSystem {
     /// Swaps a page back in: allocates fresh frames for home (and shadow),
     /// reloads their data, migrates the SIT entry back to the SPT under the
     /// new frame number, and repoints the page's TAV nodes. Returns the new
-    /// home frame.
-    ///
-    /// # Panics
-    ///
-    /// Panics if physical memory is exhausted.
+    /// home frame, or [`Exhaustion::Frames`] — with the SIT entry left in
+    /// place, so the fault may simply be retried — when the pool cannot
+    /// cover the home frame plus its co-swapped shadow.
     pub fn on_swap_in(
         &mut self,
         home_slot: SwapSlot,
         mem: &mut PhysicalMemory,
         swap: &mut SwapStore,
-    ) -> FrameId {
-        let sit_entry = self
-            .sit
-            .remove(home_slot)
-            .unwrap_or_else(|| panic!("no SIT entry for {home_slot}"));
-        let home = mem.alloc().expect("memory exhausted on swap-in");
+    ) -> Result<FrameId, Exhaustion> {
+        // Pre-check the whole burst before removing the SIT entry: a failed
+        // swap-in must be idempotent.
+        let needed = {
+            let entry = self
+                .sit
+                .entry(home_slot)
+                .unwrap_or_else(|| panic!("no SIT entry for {home_slot}"));
+            1 + usize::from(entry.shadow_slot.is_some())
+        };
+        if mem.free_frames() < needed {
+            self.stats.frame_exhaustions += 1;
+            return Err(Exhaustion::Frames);
+        }
+
+        let sit_entry = self.sit.remove(home_slot).expect("entry checked above");
+        let home = mem.alloc().expect("pre-checked free frames");
         mem.write_frame(home, &swap.load(home_slot));
 
         let shadow = sit_entry.shadow_slot.map(|slot| {
-            let f = mem.alloc().expect("memory exhausted on shadow swap-in");
+            let f = mem.alloc().expect("pre-checked free frames");
             mem.write_frame(f, &swap.load(slot));
             self.live_shadows += 1;
             f
@@ -971,6 +1210,10 @@ impl PtmSystem {
 
         // Repoint the page's TAV nodes at the new frame.
         self.tavs.repoint_page_list(sit_entry.tav_head, home);
+        // Drop any sentinel-keyed TAV cache entries: the slot may be reused
+        // by an unrelated page once its data is loaded.
+        self.tav_cache
+            .remove_matching(|(f, _)| *f == swap_sentinel(home_slot));
 
         self.spt.insert(SptEntry {
             home,
@@ -984,7 +1227,7 @@ impl PtmSystem {
         if sit_entry.tav_head.is_some() || shadow.is_some() {
             self.stats.tx_swap_ins += 1;
         }
-        home
+        Ok(home)
     }
 
     /// Lazy shadow-page reclamation hook (§3.5.2): when a non-speculative
@@ -1039,6 +1282,48 @@ const _: fn() = || {
 };
 
 /// Copies the masked words of `src` onto `dst`.
+/// Frame-number sentinel for swapped-out pages. TAV nodes of a swapped page
+/// are repointed here so that (a) they can never alias a reallocated real
+/// frame and (b) commit/abort can recover the page's swap slot from the
+/// node alone, completing lazy cleanup without swapping the page back in.
+/// Physical frame numbers are bounded by memory size (thousands); the
+/// sentinel range grows downward from `u32::MAX`, so the two can never meet.
+const SWAP_SENTINEL_BASE: u32 = u32::MAX;
+
+fn swap_sentinel(slot: SwapSlot) -> FrameId {
+    FrameId(SWAP_SENTINEL_BASE - slot.0)
+}
+
+fn sentinel_slot(frame: FrameId) -> Option<SwapSlot> {
+    (frame.0 > SWAP_SENTINEL_BASE / 2).then(|| SwapSlot(SWAP_SENTINEL_BASE - frame.0))
+}
+
+/// Copies block `idx` from one swapped page image to another.
+fn copy_image_block(
+    src: &[u8; ptm_types::PAGE_SIZE],
+    dst: &mut [u8; ptm_types::PAGE_SIZE],
+    idx: BlockIdx,
+) {
+    let off = idx.0 as usize * BLOCK_SIZE;
+    dst[off..off + BLOCK_SIZE].copy_from_slice(&src[off..off + BLOCK_SIZE]);
+}
+
+/// Copies the masked words of block `idx` between swapped page images.
+fn copy_image_words(
+    src: &[u8; ptm_types::PAGE_SIZE],
+    dst: &mut [u8; ptm_types::PAGE_SIZE],
+    idx: BlockIdx,
+    mask: WordMask,
+) {
+    let base = idx.0 as usize * BLOCK_SIZE;
+    for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {
+        if mask.get(WordIdx(w)) {
+            let off = base + w as usize * WORD_SIZE;
+            dst[off..off + WORD_SIZE].copy_from_slice(&src[off..off + WORD_SIZE]);
+        }
+    }
+}
+
 fn restore_words(mem: &mut PhysicalMemory, src: PhysBlock, dst: PhysBlock, mask: WordMask) {
     let from = mem.read_block(src);
     let mut to = mem.read_block(dst);

@@ -100,6 +100,10 @@ pub struct TavArena {
     free: Vec<u32>,
     live: usize,
     peak: usize,
+    /// Optional hard cap on live nodes — models a fixed-size VTS arena.
+    /// `alloc` itself stays infallible; callers that care pre-check
+    /// [`TavArena::at_capacity`] and recover (abort a transaction) instead.
+    capacity: Option<usize>,
 }
 
 impl TavArena {
@@ -116,6 +120,22 @@ impl TavArena {
     /// Peak number of simultaneously live nodes.
     pub fn peak(&self) -> usize {
         self.peak
+    }
+
+    /// Installs (or clears) a hard cap on live nodes.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+    }
+
+    /// Current cap on live nodes, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// `true` when a cap is installed and every slot under it is live — the
+    /// next `alloc` would exceed the configured arena size.
+    pub fn at_capacity(&self) -> bool {
+        self.capacity.is_some_and(|cap| self.live >= cap)
     }
 
     /// Allocates a fresh node for `(tx, page)`.

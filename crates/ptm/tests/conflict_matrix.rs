@@ -5,7 +5,7 @@
 use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
 use ptm_core::system::AccessKind;
 use ptm_core::{PtmConfig, PtmSystem};
-use ptm_mem::{PhysicalMemory, SpecBlock};
+use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
 use ptm_types::{BlockIdx, FrameId, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,7 +41,8 @@ fn setup(cfg: PtmConfig, prior: Prior, owner: TxId) -> (PtmSystem, PhysicalMemor
             written,
         });
     }
-    ptm.on_tx_eviction(&meta, block(), spec.as_ref(), false, &mut mem, 0, &mut bus);
+    ptm.on_tx_eviction(&meta, block(), spec.as_ref(), false, &mut mem, 0, &mut bus)
+        .unwrap();
     (ptm, mem, bus)
 }
 
@@ -88,7 +89,7 @@ fn conflict_matrix_matches_section_4_3() {
                 expect,
                 "non-tx prior={prior:?} kind={kind:?}"
             );
-            ptm.abort(owner, &mut mem, 200, &mut bus);
+            ptm.abort(owner, &mut mem, &mut SwapStore::new(), 200, &mut bus);
         }
     }
 }
@@ -114,7 +115,7 @@ fn exclusivity_denied_only_for_foreign_reads() {
         &mut bus,
     );
     assert!(!own.deny_exclusive, "own overflow does not");
-    ptm.commit(TxId(0), &mut mem, 100, &mut bus);
+    ptm.commit(TxId(0), &mut mem, &mut SwapStore::new(), 100, &mut bus);
     let after = ptm.check_conflict(
         Some(TxId(1)),
         block(),
@@ -138,7 +139,8 @@ fn multiple_readers_all_reported_to_a_writer() {
         ptm.begin(tx, None);
         let mut meta = TxLineMeta::new(tx);
         meta.record_read(WordIdx(0));
-        ptm.on_tx_eviction(&meta, block(), None, false, &mut mem, 0, &mut bus);
+        ptm.on_tx_eviction(&meta, block(), None, false, &mut mem, 0, &mut bus)
+            .unwrap();
     }
     let out = ptm.check_conflict(
         Some(TxId(9)),
@@ -160,9 +162,9 @@ fn committed_and_aborted_transactions_never_conflict() {
     for finish_with_commit in [true, false] {
         let (mut ptm, mut mem, mut bus) = setup(PtmConfig::select(), Prior::Write, TxId(0));
         if finish_with_commit {
-            ptm.commit(TxId(0), &mut mem, 100, &mut bus);
+            ptm.commit(TxId(0), &mut mem, &mut SwapStore::new(), 100, &mut bus);
         } else {
-            ptm.abort(TxId(0), &mut mem, 100, &mut bus);
+            ptm.abort(TxId(0), &mut mem, &mut SwapStore::new(), 100, &mut bus);
         }
         // Past the cleanup window, nothing conflicts.
         let out = ptm.check_conflict(
@@ -196,5 +198,5 @@ fn conflicts_are_per_block_not_per_page() {
             "block {idx} shares only the page, never the conflict"
         );
     }
-    ptm.commit(TxId(0), &mut mem, 100, &mut bus);
+    ptm.commit(TxId(0), &mut mem, &mut SwapStore::new(), 100, &mut bus);
 }

@@ -51,14 +51,15 @@ fn repeated_swap_cycles_preserve_all_state() {
         &mut mem,
         0,
         &mut b,
-    );
+    )
+    .unwrap();
 
     // Three full swap-out/swap-in cycles while the transaction lives.
     let mut home = FrameId(0);
     for round in 0..3 {
         let out = ptm.on_swap_out(home, &mut mem, &mut swap);
         assert_eq!(swap.used(), 2, "round {round}: home and shadow co-swapped");
-        home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+        home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap).unwrap();
         assert_eq!(swap.used(), 0);
     }
     let nb = PhysBlock::new(home, BlockIdx(7));
@@ -75,7 +76,7 @@ fn repeated_swap_cycles_preserve_all_state() {
     assert_eq!(out.conflicts, vec![tx]);
 
     // Commit completes against the migrated page.
-    ptm.commit(tx, &mut mem, 20, &mut b);
+    ptm.commit(tx, &mut mem, &mut swap, 20, &mut b);
     assert_eq!(ptm.committed_frame(nb), shadow);
     assert_eq!(ptm.stats().tx_swap_outs, 3);
     assert_eq!(ptm.stats().tx_swap_ins, 3);
@@ -96,14 +97,15 @@ fn copy_ptm_swap_preserves_backup_for_abort() {
         &mut mem,
         0,
         &mut b,
-    );
+    )
+    .unwrap();
     assert_eq!(mem.read_word(block.addr()), 77, "home holds speculative");
 
     let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
-    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap).unwrap();
 
     // Abort after migration: restore must come from the co-swapped backup.
-    ptm.abort(tx, &mut mem, 50, &mut b);
+    ptm.abort(tx, &mut mem, &mut swap, 50, &mut b);
     let nb = PhysBlock::new(home, BlockIdx(3));
     assert_eq!(
         mem.read_word(nb.addr()),
@@ -118,7 +120,7 @@ fn swap_out_of_clean_page_keeps_no_shadow() {
     // Never touched transactionally: plain page, single slot.
     let out = ptm.on_swap_out(FrameId(1), &mut mem, &mut swap);
     assert_eq!(swap.used(), 1);
-    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap).unwrap();
     let entry = ptm.spt_entry(home).unwrap();
     assert!(entry.shadow.is_none());
     assert!(entry.tav_head.is_none());
@@ -141,13 +143,14 @@ fn merge_on_swap_respects_live_transactions() {
         &mut mem,
         0,
         &mut b,
-    );
+    )
+    .unwrap();
 
     let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
     assert_eq!(swap.used(), 2, "live TAV list blocks the merge");
-    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap).unwrap();
     assert!(ptm.spt_entry(home).unwrap().shadow.is_some());
-    ptm.commit(tx, &mut mem, 10, &mut b);
+    ptm.commit(tx, &mut mem, &mut swap, 10, &mut b);
 }
 
 #[test]
@@ -166,15 +169,16 @@ fn contested_vector_survives_the_swap() {
         &mut mem,
         0,
         &mut b,
-    );
+    )
+    .unwrap();
 
     let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
-    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap).unwrap();
     assert!(
         ptm.is_contested(PhysBlock::new(home, BlockIdx(5))),
         "contested bit migrated with the page"
     );
-    ptm.commit(TxId(0), &mut mem, 10, &mut b);
+    ptm.commit(TxId(0), &mut mem, &mut swap, 10, &mut b);
 }
 
 #[test]
@@ -197,8 +201,15 @@ fn lazy_migrate_drains_a_whole_page() {
             &mut mem,
             0,
             &mut b,
+        )
+        .unwrap();
+        ptm.commit(
+            tx,
+            &mut mem,
+            &mut SwapStore::new(),
+            (i as u64 + 1) * 100,
+            &mut b,
         );
-        ptm.commit(tx, &mut mem, (i as u64 + 1) * 100, &mut b);
     }
     let entry = ptm.spt_entry(FrameId(0)).unwrap();
     assert_eq!(entry.sel.count(), 4, "four blocks committed in the shadow");
@@ -238,8 +249,9 @@ fn shadow_reuse_after_free_allocates_fresh() {
         &mut mem,
         0,
         &mut b,
-    );
-    ptm.abort(TxId(0), &mut mem, 10, &mut b);
+    )
+    .unwrap();
+    ptm.abort(TxId(0), &mut mem, &mut SwapStore::new(), 10, &mut b);
     assert_eq!(ptm.stats().shadow_frees, 1);
     assert!(ptm.spt_entry(FrameId(0)).unwrap().shadow.is_none());
 
@@ -253,9 +265,143 @@ fn shadow_reuse_after_free_allocates_fresh() {
         &mut mem,
         20,
         &mut b,
-    );
+    )
+    .unwrap();
     assert_eq!(ptm.stats().shadow_allocs, 2);
-    ptm.commit(TxId(1), &mut mem, 30, &mut b);
+    ptm.commit(TxId(1), &mut mem, &mut SwapStore::new(), 30, &mut b);
     let committed = ptm.committed_frame(block);
     assert_eq!(mem.read_word(block.on_frame(committed).addr()), 6);
+}
+
+// ---------------------------------------------------------------------
+// Lazy cleanup of swapped pages (§3.5.1): a transaction that commits or
+// aborts while its page sits in swap completes against the SIT and the
+// swap images in place — no swap-in.
+// ---------------------------------------------------------------------
+
+#[test]
+fn select_commit_while_swapped_cleans_up_in_place() {
+    let (mut ptm, mut mem, mut swap, mut b) = setup(PtmConfig::select());
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let block = PhysBlock::new(FrameId(0), BlockIdx(7));
+    mem.write_word(block.addr(), 111);
+    ptm.on_tx_eviction(
+        &dirty(tx),
+        block,
+        Some(&spec(0, 222)),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    )
+    .unwrap();
+
+    let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
+    assert_eq!(swap.used(), 2, "home and shadow co-swapped");
+
+    // While swapped, the page's TAV node must not reference the (freed,
+    // reusable) home frame any more.
+    let sit = ptm.sit_entry(out.home_slot).unwrap();
+    let node = ptm.tav_arena().get(sit.tav_head.unwrap());
+    assert_ne!(node.page, FrameId(0), "node repointed off the dead frame");
+
+    // Commit without swapping in: selection toggles in the SIT, the TAV
+    // node is freed, and the now-dead shadow image is folded into the home
+    // image and discarded.
+    ptm.commit(tx, &mut mem, &mut swap, 50, &mut b);
+    assert_eq!(ptm.tav_arena().live(), 0, "TAV freed in place");
+    let sit = ptm.sit_entry(out.home_slot).unwrap();
+    assert!(sit.tav_head.is_none());
+    assert!(sit.shadow_slot.is_none(), "shadow slot reclaimed");
+    assert_eq!(swap.used(), 1, "only the home image remains");
+
+    // Swap back in: the committed value lives on the (merged) home page.
+    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap).unwrap();
+    let nb = PhysBlock::new(home, BlockIdx(7));
+    assert_eq!(mem.read_word(nb.addr()), 222, "committed value merged home");
+    let entry = ptm.spt_entry(home).unwrap();
+    assert!(entry.shadow.is_none());
+    assert!(entry.sel.is_empty());
+}
+
+#[test]
+fn copy_abort_while_swapped_restores_the_home_image() {
+    let (mut ptm, mut mem, mut swap, mut b) = setup(PtmConfig::copy());
+    let tx = TxId(0);
+    ptm.begin(tx, None);
+    let block = PhysBlock::new(FrameId(0), BlockIdx(3));
+    mem.write_word(block.addr(), 10);
+    ptm.on_tx_eviction(
+        &dirty(tx),
+        block,
+        Some(&spec(0, 77)),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    )
+    .unwrap();
+    assert_eq!(mem.read_word(block.addr()), 77, "home holds speculative");
+
+    let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
+
+    // Abort without swapping in: the backup block is copied shadow-image →
+    // home-image inside the swap store.
+    ptm.abort(tx, &mut mem, &mut swap, 50, &mut b);
+    let sit = ptm.sit_entry(out.home_slot).unwrap();
+    assert!(sit.tav_head.is_none());
+    assert!(sit.shadow_slot.is_none(), "backup discarded after restore");
+    assert_eq!(swap.used(), 1);
+
+    let home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap).unwrap();
+    let nb = PhysBlock::new(home, BlockIdx(3));
+    assert_eq!(
+        mem.read_word(nb.addr()),
+        10,
+        "pre-tx value restored in swap"
+    );
+}
+
+#[test]
+fn commit_of_resident_page_unaffected_by_another_swapped_tx() {
+    // Two transactions on two pages; one page swaps out. Committing the
+    // resident one must not disturb the swapped one's SIT state.
+    let (mut ptm, mut mem, mut swap, mut b) = setup(PtmConfig::select());
+    ptm.begin(TxId(0), None);
+    ptm.begin(TxId(1), None);
+    let b0 = PhysBlock::new(FrameId(0), BlockIdx(1));
+    let b1 = PhysBlock::new(FrameId(1), BlockIdx(2));
+    ptm.on_tx_eviction(
+        &dirty(TxId(0)),
+        b0,
+        Some(&spec(0, 5)),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    )
+    .unwrap();
+    ptm.on_tx_eviction(
+        &dirty(TxId(1)),
+        b1,
+        Some(&spec(0, 6)),
+        false,
+        &mut mem,
+        0,
+        &mut b,
+    )
+    .unwrap();
+
+    let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
+    ptm.commit(TxId(1), &mut mem, &mut swap, 10, &mut b);
+
+    let sit = ptm.sit_entry(out.home_slot).unwrap();
+    assert!(sit.tav_head.is_some(), "swapped tx untouched");
+    assert_eq!(ptm.tav_arena().get(sit.tav_head.unwrap()).tx, TxId(0));
+
+    // And the swapped transaction still commits cleanly afterwards.
+    ptm.commit(TxId(0), &mut mem, &mut swap, 20, &mut b);
+    assert_eq!(ptm.tav_arena().live(), 0);
+    assert_eq!(ptm.stats().commits, 2);
 }

@@ -123,19 +123,19 @@ proptest! {
                             &mut mem,
                             now,
                             &mut bus,
-                        );
+                        ).unwrap();
                     }
                     Event::Commit { t } => {
                         let ti = t as usize;
                         if live[ti] {
-                            ptm.commit(ids[ti], &mut mem, now, &mut bus);
+                            ptm.commit(ids[ti], &mut mem, &mut swap, now, &mut bus);
                             live[ti] = false;
                         }
                     }
                     Event::Abort { t } => {
                         let ti = t as usize;
                         if live[ti] {
-                            ptm.abort(ids[ti], &mut mem, now, &mut bus);
+                            ptm.abort(ids[ti], &mut mem, &mut swap, now, &mut bus);
                             live[ti] = false;
                             dead[ti] = true;
                         }
@@ -143,7 +143,7 @@ proptest! {
                     Event::SwapCycle { p } => {
                         let pi = p as usize;
                         let out = ptm.on_swap_out(frames[pi], &mut mem, &mut swap);
-                        frames[pi] = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+                        frames[pi] = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap).unwrap();
                     }
                 }
                 for f in &frames {
@@ -154,7 +154,7 @@ proptest! {
             // Drain remaining transactions and re-check.
             for ti in 0..TXS as usize {
                 if live[ti] {
-                    ptm.commit(ids[ti], &mut mem, now + 1_000, &mut bus);
+                    ptm.commit(ids[ti], &mut mem, &mut swap, now + 1_000, &mut bus);
                 }
             }
             for f in &frames {

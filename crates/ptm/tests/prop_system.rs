@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
 use ptm_core::{PtmConfig, PtmSystem};
-use ptm_mem::{PhysicalMemory, SpecBlock};
+use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
 use ptm_types::{BlockIdx, Granularity, PhysAddr, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE};
 use std::collections::HashMap;
 
@@ -143,12 +143,12 @@ proptest! {
                             &mut mem,
                             now,
                             &mut bus,
-                        );
+                        ).unwrap();
                     }
                     Event::Commit { t } => {
                         let ti = t as usize;
                         if live[ti] {
-                            ptm.commit(ids[ti], &mut mem, now, &mut bus);
+                            ptm.commit(ids[ti], &mut mem, &mut SwapStore::new(), now, &mut bus);
                             for ((b, w), v) in pending[ti].drain() {
                                 committed.insert((b, w), v);
                             }
@@ -158,7 +158,7 @@ proptest! {
                     Event::Abort { t } => {
                         let ti = t as usize;
                         if live[ti] {
-                            ptm.abort(ids[ti], &mut mem, now, &mut bus);
+                            ptm.abort(ids[ti], &mut mem, &mut SwapStore::new(), now, &mut bus);
                             pending[ti].clear();
                             live[ti] = false;
                             dead[ti] = true;
@@ -169,7 +169,7 @@ proptest! {
             // Finish everything still live so the committed view is final.
             for ti in 0..4 {
                 if live[ti] {
-                    ptm.commit(ids[ti], &mut mem, now + 1_000, &mut bus);
+                    ptm.commit(ids[ti], &mut mem, &mut SwapStore::new(), now + 1_000, &mut bus);
                     for ((b, w), v) in pending[ti].drain() {
                         committed.insert((b, w), v);
                     }

@@ -67,7 +67,8 @@ fn clean_overflow_creates_tav_and_no_shadow() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     assert!(ptm.has_overflows());
     assert_eq!(ptm.stats().clean_overflows, 1);
     assert_eq!(
@@ -102,7 +103,8 @@ fn dirty_overflow_select_writes_spec_to_shadow_home_untouched() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
 
     let entry = ptm.spt_entry(FrameId(0)).unwrap();
     let shadow = entry.shadow.expect("dirty overflow allocates shadow");
@@ -132,7 +134,8 @@ fn dirty_overflow_copy_backs_up_then_overwrites_home() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
 
     let entry = ptm.spt_entry(FrameId(0)).unwrap();
     let shadow = entry.shadow.unwrap();
@@ -166,7 +169,8 @@ fn copy_ptm_second_overflow_of_same_block_backs_up_once() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     ptm.on_tx_eviction(
         &dirty_meta(tx, &[1]),
         b,
@@ -175,7 +179,8 @@ fn copy_ptm_second_overflow_of_same_block_backs_up_once() {
         &mut mem,
         10,
         &mut bus,
-    );
+    )
+    .unwrap();
     assert_eq!(
         ptm.stats().backup_copies,
         1,
@@ -199,10 +204,11 @@ fn select_commit_toggles_selection_no_copy() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     let shadow = ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap();
 
-    ptm.commit(tx, &mut mem, 100, &mut bus);
+    ptm.commit(tx, &mut mem, &mut SwapStore::new(), 100, &mut bus);
     assert_eq!(ptm.tstate().status(tx), Some(TxStatus::Committed));
     assert_eq!(ptm.stats().selection_toggles, 1);
     assert_eq!(
@@ -231,9 +237,10 @@ fn select_abort_discards_without_copy() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
 
-    ptm.abort(tx, &mut mem, 100, &mut bus);
+    ptm.abort(tx, &mut mem, &mut SwapStore::new(), 100, &mut bus);
     assert_eq!(ptm.tstate().status(tx), Some(TxStatus::Aborted));
     assert_eq!(ptm.committed_frame(b), FrameId(0), "selection untouched");
     assert_eq!(mem.read_word(b.addr()), OLD, "committed value intact");
@@ -256,10 +263,11 @@ fn copy_abort_restores_home_from_shadow() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     assert_eq!(mem.read_word(b.addr()), NEW);
 
-    ptm.abort(tx, &mut mem, 100, &mut bus);
+    ptm.abort(tx, &mut mem, &mut SwapStore::new(), 100, &mut bus);
     assert_eq!(mem.read_word(b.addr()), OLD, "home restored");
     assert_eq!(ptm.stats().restore_copies, 1);
     assert_eq!(ptm.stats().shadow_frees, 1);
@@ -279,9 +287,10 @@ fn copy_commit_is_free_of_copies() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     let copies_before = ptm.stats().backup_copies;
-    ptm.commit(tx, &mut mem, 100, &mut bus);
+    ptm.commit(tx, &mut mem, &mut SwapStore::new(), 100, &mut bus);
     assert_eq!(mem.read_word(b.addr()), NEW, "speculative already in place");
     assert_eq!(ptm.stats().backup_copies, copies_before, "no commit copies");
     assert_eq!(ptm.committed_frame(b), FrameId(0));
@@ -303,7 +312,8 @@ fn raw_conflict_detected_for_reader_of_overflowed_write() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
 
     let out = ptm.check_conflict(Some(reader), b, WordIdx(0), AccessKind::Read, 10, &mut bus);
     assert_eq!(out.conflicts, vec![writer]);
@@ -329,7 +339,8 @@ fn war_and_waw_conflicts_detected_for_writers() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     let out = ptm.check_conflict(
         Some(t1),
         block(0, 3),
@@ -349,7 +360,8 @@ fn war_and_waw_conflicts_detected_for_writers() {
         &mut mem,
         6,
         &mut bus,
-    );
+    )
+    .unwrap();
     let out = ptm.check_conflict(
         Some(t1),
         block(0, 4),
@@ -387,7 +399,8 @@ fn non_transactional_access_sees_conflicts_too() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     let out = ptm.check_conflict(None, block(0, 3), WordIdx(0), AccessKind::Read, 5, &mut bus);
     assert_eq!(
         out.conflicts,
@@ -409,7 +422,8 @@ fn different_blocks_of_same_page_do_not_conflict() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     let out = ptm.check_conflict(
         Some(TxId(1)),
         block(0, 7),
@@ -441,12 +455,13 @@ fn fetch_rule_xor_of_summary_and_selection() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     let shadow = ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap();
     // wsum=1, sel=0 → XOR=1 → shadow (the speculative version).
     assert_eq!(ptm.fetch_frame(b), shadow);
 
-    ptm.commit(tx, &mut mem, 10, &mut bus);
+    ptm.commit(tx, &mut mem, &mut SwapStore::new(), 10, &mut bus);
     // wsum=0, sel=1 → XOR=1 → shadow (now the committed version).
     assert_eq!(ptm.fetch_frame(b), shadow);
     // Another block of the page: wsum=0, sel=0 → home.
@@ -466,8 +481,9 @@ fn cleanup_window_stalls_subsequent_access() {
         &mut mem,
         0,
         &mut bus,
-    );
-    let done = ptm.commit(tx, &mut mem, 1000, &mut bus);
+    )
+    .unwrap();
+    let done = ptm.commit(tx, &mut mem, &mut SwapStore::new(), 1000, &mut bus);
     assert!(done > 1000, "cleanup takes time");
     let out = ptm.check_conflict(
         Some(TxId(1)),
@@ -509,7 +525,8 @@ fn swap_out_and_in_preserves_tav_and_selection() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
 
     let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
     assert!(
@@ -518,7 +535,7 @@ fn swap_out_and_in_preserves_tav_and_selection() {
     );
     assert_eq!(swap.used(), 2, "home and shadow co-swapped");
 
-    let new_home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+    let new_home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap).unwrap();
     let entry = ptm.spt_entry(new_home).unwrap();
     assert!(entry.shadow.is_some());
     assert!(entry.tav_head.is_some(), "TAV list survives the swap");
@@ -541,7 +558,7 @@ fn swap_out_and_in_preserves_tav_and_selection() {
         &mut bus,
     );
     assert_eq!(out.conflicts, vec![tx]);
-    ptm.commit(tx, &mut mem, 60, &mut bus);
+    ptm.commit(tx, &mut mem, &mut swap, 60, &mut bus);
     assert_eq!(ptm.committed_frame(nb), shadow);
 }
 
@@ -561,15 +578,16 @@ fn merge_on_swap_folds_shadow_into_home() {
         &mut mem,
         0,
         &mut bus,
-    );
-    ptm.commit(tx, &mut mem, 10, &mut bus);
+    )
+    .unwrap();
+    ptm.commit(tx, &mut mem, &mut swap, 10, &mut bus);
     // Committed data now lives in the shadow page, sel bit set.
 
     let out = ptm.on_swap_out(FrameId(0), &mut mem, &mut swap);
     assert_eq!(swap.used(), 1, "shadow merged and freed, only home swapped");
     assert_eq!(ptm.stats().shadow_frees, 1);
 
-    let new_home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap);
+    let new_home = ptm.on_swap_in(out.home_slot, &mut mem, &mut swap).unwrap();
     let entry = ptm.spt_entry(new_home).unwrap();
     assert!(entry.shadow.is_none());
     assert!(
@@ -602,8 +620,9 @@ fn lazy_migrate_toggles_and_frees_shadow() {
         &mut mem,
         0,
         &mut bus,
-    );
-    ptm.commit(tx, &mut mem, 10, &mut bus);
+    )
+    .unwrap();
+    ptm.commit(tx, &mut mem, &mut SwapStore::new(), 10, &mut bus);
     assert_eq!(ptm.spt_entry(FrameId(0)).unwrap().sel.count(), 1);
 
     ptm.on_nontx_dirty_writeback(b, &mut mem);
@@ -634,8 +653,9 @@ fn lazy_migrate_skips_blocks_with_live_speculative_writers() {
         &mut mem,
         0,
         &mut bus,
-    );
-    ptm.commit(TxId(0), &mut mem, 10, &mut bus);
+    )
+    .unwrap();
+    ptm.commit(TxId(0), &mut mem, &mut SwapStore::new(), 10, &mut bus);
     ptm.begin(TxId(1), None);
     ptm.on_tx_eviction(
         &dirty_meta(TxId(1), &[0]),
@@ -645,7 +665,8 @@ fn lazy_migrate_skips_blocks_with_live_speculative_writers() {
         &mut mem,
         20,
         &mut bus,
-    );
+    )
+    .unwrap();
 
     ptm.on_nontx_dirty_writeback(b, &mut mem);
     assert_eq!(
@@ -674,7 +695,8 @@ fn word_granularity_allows_disjoint_word_writers() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     // t1 writes a DIFFERENT word of the same block: no conflict at word level.
     let out = ptm.check_conflict(Some(t1), b, WordIdx(5), AccessKind::Write, 5, &mut bus);
     assert!(out.conflicts.is_empty(), "disjoint words do not conflict");
@@ -690,11 +712,12 @@ fn word_granularity_allows_disjoint_word_writers() {
         &mut mem,
         10,
         &mut bus,
-    );
+    )
+    .unwrap();
 
     // Commit both; the committed image must contain both transactions' words.
-    ptm.commit(t0, &mut mem, 20, &mut bus);
-    ptm.commit(t1, &mut mem, 40, &mut bus);
+    ptm.commit(t0, &mut mem, &mut SwapStore::new(), 20, &mut bus);
+    ptm.commit(t1, &mut mem, &mut SwapStore::new(), 40, &mut bus);
     let committed = ptm.committed_frame(b);
     let base = b.on_frame(committed).addr();
     assert_eq!(mem.read_word(base), 100, "t0's word survived");
@@ -723,7 +746,8 @@ fn block_granularity_flags_false_sharing_as_conflict() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     // Different word, same block → conflict at block granularity.
     let out = ptm.check_conflict(Some(TxId(1)), b, WordIdx(5), AccessKind::Write, 5, &mut bus);
     assert_eq!(
@@ -746,7 +770,8 @@ fn spt_cache_miss_costs_walk_hit_is_cheap() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
 
     // Many distinct pages to evict frame 1 from the 512-entry SPT cache is
     // impractical here; instead verify hit/miss accounting directly.
@@ -779,10 +804,11 @@ fn multiple_pages_commit_frees_all_nodes() {
             &mut mem,
             0,
             &mut bus,
-        );
+        )
+        .unwrap();
     }
     assert!(ptm.has_overflows());
-    ptm.commit(tx, &mut mem, 100, &mut bus);
+    ptm.commit(tx, &mut mem, &mut SwapStore::new(), 100, &mut bus);
     assert!(!ptm.has_overflows(), "vertical list walk freed every node");
     assert_eq!(ptm.stats().selection_toggles, 3);
 }
@@ -800,7 +826,8 @@ fn two_transactions_on_same_page_have_separate_nodes() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
     ptm.on_tx_eviction(
         &read_meta(TxId(1), &[0]),
         block(0, 2),
@@ -809,10 +836,11 @@ fn two_transactions_on_same_page_have_separate_nodes() {
         &mut mem,
         0,
         &mut bus,
-    );
+    )
+    .unwrap();
 
     // Aborting tx0 must leave tx1's bookkeeping intact.
-    ptm.abort(TxId(0), &mut mem, 10, &mut bus);
+    ptm.abort(TxId(0), &mut mem, &mut SwapStore::new(), 10, &mut bus);
     assert!(ptm.has_overflows());
     let out = ptm.check_conflict(
         Some(TxId(2)),

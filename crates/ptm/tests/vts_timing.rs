@@ -4,7 +4,7 @@
 use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
 use ptm_core::system::AccessKind;
 use ptm_core::{PtmConfig, PtmSystem};
-use ptm_mem::{PhysicalMemory, SpecBlock};
+use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
 use ptm_types::{BlockIdx, FrameId, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE};
 
 fn bus() -> SystemBus {
@@ -52,7 +52,8 @@ fn tiny_spt_cache_forces_table_walks() {
             &mut mem,
             0,
             &mut b,
-        );
+        )
+        .unwrap();
     }
     // Sweep conflict checks over all 8 pages twice: the 2-entry caches
     // cannot hold them, so misses (and walks) accumulate.
@@ -78,7 +79,7 @@ fn tiny_spt_cache_forces_table_walks() {
         s.tav_walk_nodes > 0,
         "misses rebuilt summaries by walking TAVs"
     );
-    ptm.commit(tx, &mut mem, 1_000, &mut b);
+    ptm.commit(tx, &mut mem, &mut SwapStore::new(), 1_000, &mut b);
 }
 
 #[test]
@@ -99,7 +100,8 @@ fn conflict_check_is_cheap_on_cache_hits() {
         &mut mem,
         0,
         &mut b,
-    );
+    )
+    .unwrap();
 
     // First check warms the caches; the second must complete in lookup time
     // (no memory accesses).
@@ -126,7 +128,7 @@ fn conflict_check_is_cheap_on_cache_hits() {
         "hot checks never touch memory"
     );
     assert!(out.done_at - 2_000 <= 2 * ptm.config().vts_lookup_latency);
-    ptm.commit(tx, &mut mem, 3_000, &mut b);
+    ptm.commit(tx, &mut mem, &mut SwapStore::new(), 3_000, &mut b);
 }
 
 #[test]
@@ -152,9 +154,10 @@ fn select_commit_cleanup_grows_with_overflowed_pages() {
                 &mut mem,
                 0,
                 &mut b,
-            );
+            )
+            .unwrap();
         }
-        let done = ptm.commit(tx, &mut mem, 10_000, &mut b);
+        let done = ptm.commit(tx, &mut mem, &mut SwapStore::new(), 10_000, &mut b);
         cleanup_costs.push(done - 10_000);
     }
     assert!(
@@ -187,10 +190,11 @@ fn copy_abort_costs_more_than_select_abort() {
                     &mut mem,
                     0,
                     &mut b,
-                );
+                )
+                .unwrap();
             }
         }
-        let done = ptm.abort(tx, &mut mem, 100_000, &mut b);
+        let done = ptm.abort(tx, &mut mem, &mut SwapStore::new(), 100_000, &mut b);
         costs.push(done - 100_000);
     }
     assert!(
@@ -219,8 +223,9 @@ fn cleanup_windows_expire() {
         &mut mem,
         0,
         &mut b,
-    );
-    let done = ptm.commit(tx, &mut mem, 1_000, &mut b);
+    )
+    .unwrap();
+    let done = ptm.commit(tx, &mut mem, &mut SwapStore::new(), 1_000, &mut b);
 
     let stalled = ptm.check_conflict(
         Some(TxId(1)),

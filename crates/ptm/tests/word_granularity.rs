@@ -5,7 +5,7 @@
 use ptm_cache::{BusTimings, SystemBus, TxLineMeta};
 use ptm_core::system::AccessKind;
 use ptm_core::{PtmConfig, PtmSystem};
-use ptm_mem::{PhysicalMemory, SpecBlock};
+use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
 use ptm_types::{BlockIdx, FrameId, Granularity, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE};
 
 fn bus() -> SystemBus {
@@ -60,8 +60,9 @@ fn uncontested_blocks_keep_the_toggle_fast_path() {
         &mut mem,
         0,
         &mut b,
-    );
-    ptm.commit(tx, &mut mem, 10, &mut b);
+    )
+    .unwrap();
+    ptm.commit(tx, &mut mem, &mut SwapStore::new(), 10, &mut b);
     assert_eq!(ptm.stats().selection_toggles, 1, "sole writer toggles");
     assert_eq!(ptm.stats().word_merge_copies, 0);
     let committed = ptm.committed_frame(blk(3));
@@ -87,7 +88,8 @@ fn contested_blocks_merge_instead_of_toggling() {
         &mut mem,
         0,
         &mut b,
-    );
+    )
+    .unwrap();
     // t1's eviction sees t0's overflow: contested; both merge at commit.
     ptm.on_tx_eviction(
         &meta_writing(t1, &[5]),
@@ -97,11 +99,12 @@ fn contested_blocks_merge_instead_of_toggling() {
         &mut mem,
         5,
         &mut b,
-    );
+    )
+    .unwrap();
     assert!(ptm.is_contested(blk(3)));
 
-    ptm.commit(t0, &mut mem, 10, &mut b);
-    ptm.commit(t1, &mut mem, 20, &mut b);
+    ptm.commit(t0, &mut mem, &mut SwapStore::new(), 10, &mut b);
+    ptm.commit(t1, &mut mem, &mut SwapStore::new(), 20, &mut b);
     assert_eq!(ptm.stats().selection_toggles, 0, "contested: no toggles");
     assert_eq!(ptm.stats().word_merge_copies, 2);
     // Committed page stays home and has both words plus the original word 1.
@@ -128,13 +131,14 @@ fn contested_is_sticky_across_generations() {
         &mut mem,
         0,
         &mut b,
-    );
+    )
+    .unwrap();
     assert_eq!(
         mem.read_word(blk(7).addr()),
         42,
         "masked write leaves unwritten home words alone"
     );
-    ptm.commit(tx, &mut mem, 10, &mut b);
+    ptm.commit(tx, &mut mem, &mut SwapStore::new(), 10, &mut b);
     assert_eq!(ptm.stats().selection_toggles, 0);
     assert_eq!(ptm.stats().word_merge_copies, 1);
 }
@@ -159,7 +163,8 @@ fn mirror_location_points_at_live_speculative_pages() {
         &mut mem,
         0,
         &mut b,
-    );
+    )
+    .unwrap();
     let m = ptm
         .mirror_location(blk(3), None)
         .expect("live overflow writer");
@@ -172,7 +177,7 @@ fn mirror_location_points_at_live_speculative_pages() {
         "excluding the only writer yields nothing"
     );
 
-    ptm.commit(t0, &mut mem, 10, &mut b);
+    ptm.commit(t0, &mut mem, &mut SwapStore::new(), 10, &mut b);
     assert!(
         ptm.mirror_location(blk(3), None).is_none(),
         "nothing live after commit"
@@ -190,7 +195,8 @@ fn block_overflow_bit_reflects_reads_and_writes() {
 
     let mut m = TxLineMeta::new(tx);
     m.record_read(WordIdx(1));
-    ptm.on_tx_eviction(&m, blk(3), None, false, &mut mem, 0, &mut b);
+    ptm.on_tx_eviction(&m, blk(3), None, false, &mut mem, 0, &mut b)
+        .unwrap();
     assert!(
         ptm.block_overflowed(blk(3), None),
         "read overflow sets the bit"
@@ -204,7 +210,7 @@ fn block_overflow_bit_reflects_reads_and_writes() {
         "other blocks unaffected"
     );
 
-    ptm.commit(tx, &mut mem, 10, &mut b);
+    ptm.commit(tx, &mut mem, &mut SwapStore::new(), 10, &mut b);
     assert!(!ptm.block_overflowed(blk(3), None), "cleared with the TAVs");
 }
 
@@ -224,7 +230,8 @@ fn word_selective_view_reads_own_words_from_spec_only() {
         &mut mem,
         0,
         &mut b,
-    );
+    )
+    .unwrap();
 
     let shadow = ptm.spt_entry(FrameId(0)).unwrap().shadow.unwrap();
     assert_eq!(
@@ -237,7 +244,7 @@ fn word_selective_view_reads_own_words_from_spec_only() {
         FrameId(0),
         "unwritten word reads the committed page"
     );
-    ptm.commit(tx, &mut mem, 10, &mut b);
+    ptm.commit(tx, &mut mem, &mut SwapStore::new(), 10, &mut b);
 }
 
 #[test]
@@ -262,7 +269,8 @@ fn copy_word_mode_abort_restores_only_written_words() {
         &mut mem,
         0,
         &mut b,
-    );
+    )
+    .unwrap();
     assert_eq!(mem.read_word(blk(3).addr()), 99, "home word 0 speculative");
     assert_eq!(
         mem.read_word(w5),
@@ -270,7 +278,7 @@ fn copy_word_mode_abort_restores_only_written_words() {
         "home word 5 untouched by masked write"
     );
 
-    ptm.abort(tx, &mut mem, 10, &mut b);
+    ptm.abort(tx, &mut mem, &mut SwapStore::new(), 10, &mut b);
     assert_eq!(mem.read_word(blk(3).addr()), 10, "word 0 restored");
     assert_eq!(mem.read_word(w5), 50, "word 5 never disturbed");
     assert_eq!(ptm.stats().restore_copies, 1);
@@ -295,7 +303,8 @@ fn word_level_conflicts_only_in_word_in_memory_mode() {
             &mut mem,
             0,
             &mut b,
-        );
+        )
+        .unwrap();
         // A different word of the same block:
         let out = ptm.check_conflict(
             Some(TxId(1)),
@@ -310,6 +319,6 @@ fn word_level_conflicts_only_in_word_in_memory_mode() {
             expect_conflict,
             "{granularity:?}"
         );
-        ptm.commit(t0, &mut mem, 10, &mut b);
+        ptm.commit(t0, &mut mem, &mut SwapStore::new(), 10, &mut b);
     }
 }

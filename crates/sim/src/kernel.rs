@@ -88,6 +88,13 @@ pub enum Translation {
         /// Cost accrued so far (TLB miss + fault entry).
         cost: Cycle,
     },
+    /// A minor fault found the frame pool empty. The caller must free
+    /// memory (abort a transaction, release a hostage frame) and retry;
+    /// nothing was mapped.
+    OutOfMemory {
+        /// Cost accrued so far (TLB miss + fault entry).
+        cost: Cycle,
+    },
 }
 
 /// The operating-system model.
@@ -138,12 +145,9 @@ impl Kernel {
     }
 
     /// Translates `va` in `pid`'s address space, allocating the page on
-    /// first touch (minor fault).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a minor fault cannot allocate a frame — size the simulated
-    /// memory for the workload.
+    /// first touch (minor fault). When the frame pool is empty the minor
+    /// fault reports [`Translation::OutOfMemory`] instead of mapping
+    /// anything; the caller recovers and retries.
     pub fn translate(
         &mut self,
         pid: ProcessId,
@@ -174,9 +178,14 @@ impl Kernel {
                 }
             }
             None => {
-                let frame = mem
-                    .alloc()
-                    .expect("physical memory exhausted on minor fault");
+                let Some(frame) = mem.alloc() else {
+                    // Leave the page unmapped and drop the freshly touched
+                    // TLB entry so the retry repeats the full walk.
+                    self.tlb.remove(&(pid, vpn));
+                    return Translation::OutOfMemory {
+                        cost: cost + self.cfg.minor_fault_cost,
+                    };
+                };
                 self.table(pid).map(vpn, frame);
                 self.stats.minor_faults += 1;
                 Translation::Resident {
@@ -196,6 +205,18 @@ impl Kernel {
             .and_then(|pte| match pte {
                 Pte::Present(f) => Some(f),
                 Pte::Swapped(_) => None,
+            })
+    }
+
+    /// The swap slot holding `(pid, vpn)`'s home image, if the page is
+    /// swapped out.
+    pub fn swap_slot_of(&self, pid: ProcessId, vpn: Vpn) -> Option<SwapSlot> {
+        self.page_tables
+            .get(&pid)?
+            .entry(vpn)
+            .and_then(|pte| match pte {
+                Pte::Present(_) => None,
+                Pte::Swapped(slot) => Some(slot),
             })
     }
 
@@ -236,23 +257,21 @@ impl Kernel {
         slot
     }
 
-    /// Swaps a page in *without* TM bookkeeping.
-    ///
-    /// # Panics
-    ///
-    /// Panics if memory is exhausted.
+    /// Swaps a page in *without* TM bookkeeping. Returns `None` — with the
+    /// swap slot and page table untouched, so the fault can be retried —
+    /// when the frame pool is empty.
     pub fn plain_swap_in(
         &mut self,
         pid: ProcessId,
         vpn: Vpn,
         slot: SwapSlot,
         mem: &mut PhysicalMemory,
-    ) -> FrameId {
-        let frame = mem.alloc().expect("memory exhausted on swap-in");
+    ) -> Option<FrameId> {
+        let frame = mem.alloc()?;
         let data = self.swap.load(slot);
         mem.write_frame(frame, &data);
         self.complete_swap_in(pid, vpn, frame);
-        frame
+        Some(frame)
     }
 }
 
@@ -360,7 +379,7 @@ mod tests {
         let t = k.translate(pid, va, &mut mem);
         assert!(matches!(t, Translation::SwappedOut { slot: s, .. } if s == slot));
 
-        let frame = k.plain_swap_in(pid, va.vpn(), slot, &mut mem);
+        let frame = k.plain_swap_in(pid, va.vpn(), slot, &mut mem).unwrap();
         let Translation::Resident { pa: pa2, .. } = k.translate(pid, va, &mut mem) else {
             panic!()
         };

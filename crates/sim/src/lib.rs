@@ -33,6 +33,7 @@
 
 pub mod backend;
 pub mod executor;
+pub mod faults;
 pub mod kernel;
 pub mod locks;
 pub mod logtm;
@@ -47,6 +48,9 @@ pub mod stats;
 
 pub use backend::{Backend, SystemKind};
 pub use executor::{ExecStats, ExecutorConfig};
+pub use faults::{
+    assert_invariants, check_invariants, FaultAction, FaultEvent, FaultInjector, FaultPlan,
+};
 pub use kernel::{Kernel, KernelConfig, KernelStats, Translation};
 pub use machine::{Machine, MachineConfig};
 pub use ops::{Op, OrderedSeq};

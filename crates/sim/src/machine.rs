@@ -45,6 +45,13 @@ pub(crate) fn trace_word() -> Option<u64> {
     })
 }
 
+/// Debug tracing: set `PTM_TRACE_STALL` to log every access stall to stderr.
+/// Read once — the stall path sits inside the simulator's hottest loop.
+pub(crate) fn trace_stall() -> bool {
+    static STALL: OnceLock<bool> = OnceLock::new();
+    *STALL.get_or_init(|| std::env::var("PTM_TRACE_STALL").is_ok())
+}
+
 /// Machine configuration (defaults follow §6.1).
 #[derive(Debug, Clone, Copy)]
 pub struct MachineConfig {
@@ -147,17 +154,20 @@ pub struct Machine {
     pub(crate) kind: SystemKind,
     pub(crate) cores: Vec<CoreState>,
     pub(crate) caches: Vec<Hierarchy>,
-    bus: SystemBus,
+    pub(crate) bus: SystemBus,
     pub(crate) mem: PhysicalMemory,
-    kernel: Kernel,
+    pub(crate) kernel: Kernel,
     pub(crate) backend: Backend,
     pub(crate) spec: SpecBuffers,
     tx_src: TxIdSource,
     gate: OrderedGate,
-    tx_owner: HashMap<TxId, usize>,
-    rev_map: HashMap<FrameId, (ProcessId, Vpn)>,
+    pub(crate) tx_owner: HashMap<TxId, usize>,
+    pub(crate) rev_map: HashMap<FrameId, (ProcessId, Vpn)>,
     barriers: HashMap<u32, BarrierState>,
     pub(crate) stats: MachineStats,
+    /// Extra cycles every swap-in stalls for — zero except under an active
+    /// `DelaySwapIns` fault, so plain runs are timing-identical.
+    pub(crate) swap_in_delay: Cycle,
     /// Cores whose `ready_at` (or program) was changed by a step acting on
     /// a *different* core (abort penalties, thread migration). The run
     /// loops drain this to re-key the ready heap.
@@ -221,6 +231,7 @@ impl Machine {
             rev_map: HashMap::new(),
             barriers: HashMap::new(),
             stats: MachineStats::default(),
+            swap_in_delay: 0,
             ready_dirty: Vec::new(),
             exec_log: ExecLog::inactive(),
             cfg,
@@ -344,7 +355,7 @@ impl Machine {
         }
     }
 
-    fn sync_heap_core(&self, heap: &mut ReadyHeap, core: usize) {
+    pub(crate) fn sync_heap_core(&self, heap: &mut ReadyHeap, core: usize) {
         if self.cores[core].prog.is_finished() {
             heap.remove(core);
         } else {
@@ -461,7 +472,7 @@ impl Machine {
     /// structures by coherence when the transaction touches them again, or
     /// simply supply data — PTM needs no reverse address translation for
     /// either, unlike VTM.
-    fn migrate_thread(&mut self, idx: usize, now: Cycle) {
+    pub(crate) fn migrate_thread(&mut self, idx: usize, now: Cycle) {
         let other = (idx + 1) % self.cores.len();
         // Fairness guard: if the partner core is still busy (typically
         // because it just context-switched itself), stealing its thread
@@ -638,7 +649,7 @@ impl Machine {
         // toggling / XADT copy-back).
         match &mut self.backend {
             Backend::Ptm(p) => {
-                p.commit(tx, &mut self.mem, now, &mut self.bus);
+                p.commit(tx, &mut self.mem, &mut self.kernel.swap, now, &mut self.bus);
             }
             Backend::Vtm(v) => {
                 let kernel = &self.kernel;
@@ -764,7 +775,7 @@ impl Machine {
             }
             AccessEffect::Stall(until) => {
                 let until = until.max(now + 1);
-                if std::env::var("PTM_TRACE_STALL").is_ok() {
+                if trace_stall() {
                     eprintln!("[stall] core {idx} va {va} until {until} (now {now})");
                 }
                 self.stats.stall_cycles += until - now;
@@ -888,7 +899,13 @@ impl Machine {
         }
     }
 
-    fn access(&mut self, idx: usize, now: Cycle, va: VirtAddr, kind: AccessKind) -> AccessEffect {
+    pub(crate) fn access(
+        &mut self,
+        idx: usize,
+        now: Cycle,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> AccessEffect {
         let pid = self.cores[idx].prog.pid();
 
         // 1. Translate: the core's own TLB first (a hit bypasses the kernel
@@ -923,17 +940,46 @@ impl Machine {
                     // everything speculated from the old state is stale.
                     self.exec_log.poison_all();
                     let frame = match &mut self.backend {
-                        Backend::Ptm(p) => {
-                            let f = p.on_swap_in(slot, &mut self.mem, &mut self.kernel.swap);
-                            self.kernel.complete_swap_in(pid, va.vpn(), f);
-                            f
+                        Backend::Ptm(_) => match self.ptm_swap_in_with_recovery(idx, slot, now) {
+                            Ok(f) => {
+                                self.kernel.complete_swap_in(pid, va.vpn(), f);
+                                f
+                            }
+                            Err(effect) => return effect,
+                        },
+                        _ => {
+                            match self
+                                .kernel
+                                .plain_swap_in(pid, va.vpn(), slot, &mut self.mem)
+                            {
+                                Some(f) => f,
+                                // Pool empty (memory-squeeze fault): wait for
+                                // frames to come back, then re-fault.
+                                None => {
+                                    return AccessEffect::Stall(
+                                        now + cost.max(self.cfg.retry_poll),
+                                    );
+                                }
+                            }
                         }
-                        _ => self
-                            .kernel
-                            .plain_swap_in(pid, va.vpn(), slot, &mut self.mem),
                     };
                     self.rev_map.insert(frame, (pid, va.vpn()));
-                    return AccessEffect::Stall(now + cost);
+                    return AccessEffect::Stall(now + cost + self.swap_in_delay);
+                }
+                Translation::OutOfMemory { cost } => {
+                    // A minor fault found the frame pool empty. Recover by
+                    // aborting the youngest live transaction (its shadow
+                    // pages and buffers come back to the pool), then let the
+                    // retry take the minor fault again.
+                    self.exec_log.poison_all();
+                    let requester = self.tx_context(idx);
+                    if let Some(victim) = self.youngest_live_tx(requester) {
+                        self.abort_tx(victim, now);
+                        if let Backend::Ptm(p) = &mut self.backend {
+                            p.note_exhaustion_abort();
+                        }
+                    }
+                    return AccessEffect::Stall(now + cost.max(self.cfg.retry_poll));
                 }
             }
         };
@@ -988,8 +1034,8 @@ impl Machine {
                     // Displace whatever survives (the foreign line, or
                     // nothing if the abort already invalidated it).
                     if let Some(line) = self.caches[idx].invalidate(block) {
-                        if line.is_transactional() {
-                            self.handle_eviction(line, now, tx);
+                        if line.is_transactional() && self.handle_eviction(line, now, tx) {
+                            return AccessEffect::SelfAborted;
                         }
                     }
                     return match self.access(idx, now, va, kind) {
@@ -1062,7 +1108,9 @@ impl Machine {
                 }
                 let victim = self.caches[idx].fill(line);
                 if let Some(ev) = victim {
-                    self.handle_eviction(ev.line, now, tx);
+                    if self.handle_eviction(ev.line, now, tx) {
+                        return AccessEffect::SelfAborted;
+                    }
                 }
                 AccessEffect::Done(latency)
             }
@@ -1253,7 +1301,9 @@ impl Machine {
 
         // e. Displaced remote transactional lines overflow.
         for line in outcome.displaced_tx.clone() {
-            self.handle_eviction(line, now, tx);
+            if self.handle_eviction(line, now, tx) {
+                return Err(AccessEffect::SelfAborted);
+            }
         }
 
         // f. Latency: the snoop round, plus the memory fetch when no cache
@@ -1271,7 +1321,7 @@ impl Machine {
         Ok((done.saturating_sub(now), outcome))
     }
 
-    fn is_live_tx(&self, tx: TxId) -> bool {
+    pub(crate) fn is_live_tx(&self, tx: TxId) -> bool {
         match &self.backend {
             Backend::Ptm(p) => p.is_live(tx),
             Backend::Vtm(v) => v.is_live(tx),
@@ -1280,9 +1330,73 @@ impl Machine {
         }
     }
 
+    /// The *youngest* live transaction other than `exclude` — the
+    /// exhaustion-recovery victim (youngest has done the least work, and
+    /// aborting it can never abort an older conflict winner). Sorted before
+    /// selection: `live_transactions()` iterates a hash map.
+    pub(crate) fn youngest_live_tx(&self, exclude: Option<TxId>) -> Option<TxId> {
+        let mut live = match &self.backend {
+            Backend::Ptm(p) => p.tstate().live_transactions(),
+            _ => return None,
+        };
+        live.sort();
+        live.into_iter().rfind(|t| Some(*t) != exclude)
+    }
+
+    /// PTM swap-in with exhaustion recovery: aborts youngest-first until the
+    /// pool covers the home+shadow burst. Falls back to aborting the
+    /// requester itself, and to a plain stall (frames may return later — a
+    /// memory-squeeze fault releases its hostages) when even that cannot
+    /// free a frame.
+    fn ptm_swap_in_with_recovery(
+        &mut self,
+        idx: usize,
+        slot: ptm_types::SwapSlot,
+        now: Cycle,
+    ) -> Result<FrameId, AccessEffect> {
+        let requester = self.tx_context(idx);
+        let mut recovered = false;
+        loop {
+            let attempt = match &mut self.backend {
+                Backend::Ptm(p) => p.on_swap_in(slot, &mut self.mem, &mut self.kernel.swap),
+                _ => unreachable!("PTM swap-in"),
+            };
+            match attempt {
+                Ok(frame) => {
+                    if recovered {
+                        if let Backend::Ptm(p) = &mut self.backend {
+                            p.note_exhaustion_retry();
+                        }
+                    }
+                    return Ok(frame);
+                }
+                Err(_) => {
+                    if let Some(victim) = self.youngest_live_tx(requester) {
+                        self.abort_tx(victim, now);
+                        if let Backend::Ptm(p) = &mut self.backend {
+                            p.note_exhaustion_abort();
+                        }
+                        recovered = true;
+                        continue;
+                    }
+                    if let Some(me) = requester {
+                        if self.is_live_tx(me) {
+                            self.abort_tx(me, now);
+                            if let Backend::Ptm(p) = &mut self.backend {
+                                p.note_exhaustion_abort();
+                            }
+                            return Err(AccessEffect::SelfAborted);
+                        }
+                    }
+                    return Err(AccessEffect::Stall(now + self.cfg.retry_poll));
+                }
+            }
+        }
+    }
+
     /// Aborts `tx` wherever it runs: cache invalidation, buffer discard,
     /// backend processing (Copy-PTM restore!), program rewind, backoff.
-    fn abort_tx(&mut self, tx: TxId, now: Cycle) {
+    pub(crate) fn abort_tx(&mut self, tx: TxId, now: Cycle) {
         if trace_word().is_some() {
             eprintln!("[ptm-trace] abort {tx} now={now}");
         }
@@ -1298,7 +1412,9 @@ impl Machine {
         }
         let _ = self.spec.drain_tx(tx);
         let done = match &mut self.backend {
-            Backend::Ptm(p) => p.abort(tx, &mut self.mem, now, &mut self.bus),
+            Backend::Ptm(p) => {
+                p.abort(tx, &mut self.mem, &mut self.kernel.swap, now, &mut self.bus)
+            }
             Backend::Vtm(v) => v.abort(tx, now, &mut self.bus),
             Backend::LogTm(l) => l.abort(tx, &mut self.mem, now, &mut self.bus),
             _ => unreachable!("aborts only in transactional modes"),
@@ -1312,8 +1428,15 @@ impl Machine {
 
     /// Spills an evicted (or coherence-displaced) line into the overflow
     /// structures / writeback path. `requester` is the transaction whose
-    /// access displaced the line (it must never be aborted from here).
-    fn handle_eviction(&mut self, line: CacheLine, now: Cycle, requester: Option<TxId>) {
+    /// access displaced the line; it is only ever aborted as the *last
+    /// resort* of exhaustion recovery, signalled by the `true` return (the
+    /// caller must then unwind with [`AccessEffect::SelfAborted`]).
+    pub(crate) fn handle_eviction(
+        &mut self,
+        line: CacheLine,
+        now: Cycle,
+        requester: Option<TxId>,
+    ) -> bool {
         if let Some(w) = trace_word() {
             if line.block().addr().page_offset() == (w as usize % 4096) & !63 {
                 eprintln!(
@@ -1327,7 +1450,7 @@ impl Machine {
             if !self.is_live_tx(meta.tx) {
                 // A line of an already-finished transaction (tags are lazily
                 // cleared only on its own core); drop it.
-                return;
+                return false;
             }
             // A live transactional eviction creates or mutates overflow
             // structures (and may abort a bystander): the frozen backend
@@ -1357,7 +1480,7 @@ impl Machine {
                         self.abort_tx(victim, now);
                         if victim == meta.tx {
                             // The evicted line died with its transaction.
-                            return;
+                            return false;
                         }
                     }
                 }
@@ -1366,7 +1489,7 @@ impl Machine {
                 // Eager versioning keeps no buffered data: the eviction only
                 // leaves sticky conflict state behind.
                 l.on_tx_eviction(&meta, line.block());
-                return;
+                return false;
             }
             let spec = if meta.write {
                 let s = self.spec.take(meta.tx, line.block());
@@ -1392,16 +1515,75 @@ impl Machine {
                 .filter_map(|l| l.tx_meta())
                 .any(|m| m.write && m.tx != meta.tx);
             match &mut self.backend {
-                Backend::Ptm(p) => {
-                    p.on_tx_eviction(
-                        &meta,
-                        line.block(),
-                        spec.as_ref(),
-                        in_cache_cowriter,
-                        &mut self.mem,
-                        now,
-                        &mut self.bus,
-                    );
+                Backend::Ptm(_) => {
+                    // Overflow processing can exhaust the frame pool (shadow
+                    // allocation) or the TAV arena. Recover by aborting the
+                    // youngest live bystander and retrying; a failed
+                    // `on_tx_eviction` is side-effect free.
+                    let mut recovered = false;
+                    loop {
+                        let attempt = match &mut self.backend {
+                            Backend::Ptm(p) => p.on_tx_eviction(
+                                &meta,
+                                line.block(),
+                                spec.as_ref(),
+                                in_cache_cowriter,
+                                &mut self.mem,
+                                now,
+                                &mut self.bus,
+                            ),
+                            _ => unreachable!("checked above"),
+                        };
+                        match attempt {
+                            Ok(_) => {
+                                if recovered {
+                                    if let Backend::Ptm(p) = &mut self.backend {
+                                        p.note_exhaustion_retry();
+                                    }
+                                }
+                                return false;
+                            }
+                            Err(_) => {
+                                // Victims: youngest live transaction that is
+                                // neither the line's owner nor the requester.
+                                let victim = {
+                                    let mut live = match &self.backend {
+                                        Backend::Ptm(p) => p.tstate().live_transactions(),
+                                        _ => unreachable!("checked above"),
+                                    };
+                                    live.sort();
+                                    live.into_iter()
+                                        .rfind(|t| *t != meta.tx && Some(*t) != requester)
+                                };
+                                let victim = match victim {
+                                    Some(v) => v,
+                                    None if Some(meta.tx) != requester => {
+                                        // Abort the line's owner: the line
+                                        // dies with it, nothing to overflow.
+                                        self.abort_tx(meta.tx, now);
+                                        if let Backend::Ptm(p) = &mut self.backend {
+                                            p.note_exhaustion_abort();
+                                        }
+                                        return false;
+                                    }
+                                    None => {
+                                        // The requester owns the line and is
+                                        // the only live transaction left.
+                                        self.abort_tx(meta.tx, now);
+                                        if let Backend::Ptm(p) = &mut self.backend {
+                                            p.note_exhaustion_abort();
+                                        }
+                                        return true;
+                                    }
+                                };
+                                self.abort_tx(victim, now);
+                                if let Backend::Ptm(p) = &mut self.backend {
+                                    p.note_exhaustion_abort();
+                                }
+                                recovered = true;
+                            }
+                        }
+                    }
                 }
                 Backend::Vtm(v) => {
                     let (pid, vpn) = *self
@@ -1425,6 +1607,7 @@ impl Machine {
                 }
             }
         }
+        false
     }
 
     // ------------------------------------------------------------------
@@ -1574,18 +1757,36 @@ impl Machine {
     /// Reads the committed value of a word as the coherent, non-speculative
     /// world would see it (used by the serial reference check).
     pub fn read_committed(&self, pid: ProcessId, va: VirtAddr) -> u32 {
-        let Some(frame) = self.kernel.frame_of(pid, va.vpn()) else {
-            return 0;
-        };
-        let pa = PhysAddr::from_frame(frame, va.page_offset());
-        match &self.backend {
-            Backend::Ptm(p) => {
-                let f = p.committed_frame(pa.block());
-                self.mem
-                    .read_word(PhysAddr::from_frame(f, pa.page_offset()))
-            }
-            _ => self.mem.read_word(pa),
+        if let Some(frame) = self.kernel.frame_of(pid, va.vpn()) {
+            let pa = PhysAddr::from_frame(frame, va.page_offset());
+            return match &self.backend {
+                Backend::Ptm(p) => {
+                    let f = p.committed_frame(pa.block());
+                    self.mem
+                        .read_word(PhysAddr::from_frame(f, pa.page_offset()))
+                }
+                _ => self.mem.read_word(pa),
+            };
         }
+        // Swapped-out pages are still part of the committed state: their
+        // home image lives in the swap store, and for PTM the SIT says
+        // whether a block's committed version was left in the shadow image
+        // instead (§3.5).
+        let Some(slot) = self.kernel.swap_slot_of(pid, va.vpn()) else {
+            return 0; // Never mapped: untouched memory reads as zero.
+        };
+        let img_slot = match &self.backend {
+            Backend::Ptm(p) => {
+                let idx = PhysAddr::from_frame(FrameId(0), va.page_offset())
+                    .block()
+                    .index();
+                p.committed_swap_slot(slot, idx)
+            }
+            _ => slot,
+        };
+        let img = self.kernel.swap.peek(img_slot);
+        let off = va.page_offset();
+        u32::from_le_bytes(img[off..off + WORD_SIZE].try_into().expect("word in page"))
     }
 
     /// The programs' thread count.
@@ -1656,6 +1857,9 @@ impl Machine {
                 pa.frame()
             }
             Translation::SwappedOut { .. } => panic!("prefault hit a swapped page"),
+            Translation::OutOfMemory { .. } => {
+                panic!("prefault exhausted the physical frame pool")
+            }
         }
     }
 }

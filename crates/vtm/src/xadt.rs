@@ -168,11 +168,18 @@ impl Xadt {
 
     /// All blocks `tx` currently appears in.
     pub fn blocks_of(&self, tx: TxId) -> Vec<XadtKey> {
-        self.entries
+        let mut keys: Vec<XadtKey> = self
+            .entries
             .iter()
             .filter(|(_, e)| e.users().any(|t| t == tx))
             .map(|(k, _)| *k)
-            .collect()
+            .collect();
+        // The entry map iterates in hash order, which varies between
+        // processes; commit/abort charge sequential bus latencies per block,
+        // so an unsorted walk gives each block a run-dependent cleanup
+        // deadline (observable as nondeterministic stall cycles).
+        keys.sort();
+        keys
     }
 
     /// Conflict check: transactions (≠ `requester`) whose overflowed use of

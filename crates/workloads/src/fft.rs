@@ -36,10 +36,22 @@ pub fn workload(scale: Scale) -> Workload {
     layout.region("twiddles", 2 * n * n * 4);
     layout.region("locks", 4096);
     let layout = layout.build();
-    let matrix = layout.region("matrix").unwrap().base();
-    let scratch = layout.region("scratch").unwrap().base();
-    let twiddles = layout.region("twiddles").unwrap().base();
-    let locks = layout.region("locks").unwrap().base();
+    let matrix = layout
+        .region("matrix")
+        .expect("fft workload layout has no region \"matrix\"")
+        .base();
+    let scratch = layout
+        .region("scratch")
+        .expect("fft workload layout has no region \"scratch\"")
+        .base();
+    let twiddles = layout
+        .region("twiddles")
+        .expect("fft workload layout has no region \"twiddles\"")
+        .base();
+    let locks = layout
+        .region("locks")
+        .expect("fft workload layout has no region \"locks\"")
+        .base();
 
     let at = |base: VirtAddr, r: usize, c: usize| base.offset((r * n + c) as u64 * 4);
 

@@ -34,9 +34,18 @@ pub fn workload(scale: Scale) -> Workload {
     layout.region("pivots", 3 * 4096);
     layout.region("locks", 4096 * 2);
     let layout = layout.build();
-    let matrix = layout.region("matrix").unwrap().base();
-    let pivots = layout.region("pivots").unwrap().base();
-    let locks = layout.region("locks").unwrap().base();
+    let matrix = layout
+        .region("matrix")
+        .expect("lu workload layout has no region \"matrix\"")
+        .base();
+    let pivots = layout
+        .region("pivots")
+        .expect("lu workload layout has no region \"pivots\"")
+        .base();
+    let locks = layout
+        .region("locks")
+        .expect("lu workload layout has no region \"locks\"")
+        .base();
 
     let at = |r: usize, c: usize| matrix.offset((r * n + c) as u64 * 4);
     // 2D block scatter: block (bi, bj) belongs to thread (bi + bj) % THREADS.

@@ -42,12 +42,25 @@ pub fn workload(scale: Scale) -> Workload {
     layout.region("locks", 4096 * 2);
     let layout = layout.build();
     let grids: Vec<VirtAddr> = (0..GRIDS)
-        .map(|g| layout.region(&format!("grid{g}")).unwrap().base())
+        .map(|g| {
+            layout
+                .region(&format!("grid{g}"))
+                .unwrap_or_else(|| panic!("ocean workload layout has no region \"grid{g}\""))
+                .base()
+        })
         .collect();
     let ro: Vec<VirtAddr> = (0..RO_GRIDS)
-        .map(|g| layout.region(&format!("ro{g}")).unwrap().base())
+        .map(|g| {
+            layout
+                .region(&format!("ro{g}"))
+                .unwrap_or_else(|| panic!("ocean workload layout has no region \"ro{g}\""))
+                .base()
+        })
         .collect();
-    let locks = layout.region("locks").unwrap().base();
+    let locks = layout
+        .region("locks")
+        .expect("ocean workload layout has no region \"locks\"")
+        .base();
 
     let at = |g: usize, r: usize, c: usize| grids[g].offset((r * n + c) as u64 * 4);
     let ro_at = |g: usize, r: usize, c: usize| ro[g].offset((r * n + c) as u64 * 4);

@@ -40,11 +40,26 @@ pub fn workload(scale: Scale) -> Workload {
     layout.region("cursors", BUCKETS * THREADS * 4);
     layout.region("locks", 4096);
     let layout = layout.build();
-    let keys_base = layout.region("keys").unwrap().base();
-    let out_base = layout.region("output").unwrap().base();
-    let hist = layout.region("hist").unwrap().base();
-    let cursors = layout.region("cursors").unwrap().base();
-    let locks = layout.region("locks").unwrap().base();
+    let keys_base = layout
+        .region("keys")
+        .expect("radix workload layout has no region \"keys\"")
+        .base();
+    let out_base = layout
+        .region("output")
+        .expect("radix workload layout has no region \"output\"")
+        .base();
+    let hist = layout
+        .region("hist")
+        .expect("radix workload layout has no region \"hist\"")
+        .base();
+    let cursors = layout
+        .region("cursors")
+        .expect("radix workload layout has no region \"cursors\"")
+        .base();
+    let locks = layout
+        .region("locks")
+        .expect("radix workload layout has no region \"locks\"")
+        .base();
 
     let digit = |v: u32, d: usize| ((v >> (d as u32 * RADIX_BITS)) as usize) & (BUCKETS - 1);
     let hist_slot = |b: usize, t: usize| hist.offset(((t * BUCKETS + b) * 4) as u64);

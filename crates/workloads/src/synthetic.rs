@@ -65,8 +65,14 @@ pub fn workload(cfg: SyntheticConfig) -> Workload {
     }
     layout.region("locks", PAGE_SIZE);
     let layout = layout.build();
-    let shared = layout.region("shared").unwrap().base();
-    let locks = layout.region("locks").unwrap().base();
+    let shared = layout
+        .region("shared")
+        .expect("synthetic workload layout has no region \"shared\"")
+        .base();
+    let locks = layout
+        .region("locks")
+        .expect("synthetic workload layout has no region \"locks\"")
+        .base();
 
     let shared_words = cfg.shared_pages * PAGE_SIZE / 4;
     let private_words = cfg.private_pages * PAGE_SIZE / 4;
@@ -74,7 +80,10 @@ pub fn workload(cfg: SyntheticConfig) -> Workload {
     let programs = (0..cfg.threads)
         .map(|t| {
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9e37));
-            let private = layout.region(&format!("private{t}")).unwrap().base();
+            let private = layout
+                .region(&format!("private{t}"))
+                .unwrap_or_else(|| panic!("synthetic workload layout has no region \"private{t}\""))
+                .base();
             let mut b = ProgramBuilder::new(t);
             for _ in 0..cfg.txs_per_thread {
                 b.begin(locks.offset((t * 64) as u64), 0);

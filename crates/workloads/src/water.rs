@@ -37,10 +37,22 @@ pub fn workload(scale: Scale) -> Workload {
     layout.region("globals", 4096);
     layout.region("locks", 4096);
     let layout = layout.build();
-    let mols = layout.region("molecules").unwrap().base();
-    let tables = layout.region("tables").unwrap().base();
-    let globals = layout.region("globals").unwrap().base();
-    let locks = layout.region("locks").unwrap().base();
+    let mols = layout
+        .region("molecules")
+        .expect("water workload layout has no region \"molecules\"")
+        .base();
+    let tables = layout
+        .region("tables")
+        .expect("water workload layout has no region \"tables\"")
+        .base();
+    let globals = layout
+        .region("globals")
+        .expect("water workload layout has no region \"globals\"")
+        .base();
+    let locks = layout
+        .region("locks")
+        .expect("water workload layout has no region \"locks\"")
+        .base();
 
     let pos = |i: usize, w: usize| mols.offset((i * MOL_WORDS + w) as u64 * 4);
     let force = |i: usize, w: usize| mols.offset((i * MOL_WORDS + 8 + w) as u64 * 4);
@@ -54,7 +66,10 @@ pub fn workload(scale: Scale) -> Workload {
 
     let programs = (0..THREADS)
         .map(|t| {
-            let partial = layout.region(&format!("partial{t}")).unwrap().base();
+            let partial = layout
+                .region(&format!("partial{t}"))
+                .unwrap_or_else(|| panic!("water workload layout has no region \"partial{t}\""))
+                .base();
             let pforce = |i: usize, w: usize| partial.offset((i * 4 + w) as u64 * 4);
             let mut b = ProgramBuilder::new(t);
             for it in 0..iters as u32 {
