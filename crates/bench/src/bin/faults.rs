@@ -107,6 +107,7 @@ fn render_json(
     s.push_str("{\n");
     let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(s, "  \"plan_seed\": {seed},");
+    let _ = writeln!(s, "  \"plan_digest\": {},", plan.digest());
     let _ = writeln!(s, "  \"plan_events\": {},", plan.events.len());
     let _ = writeln!(s, "  \"empty_plan_bit_identical\": true,");
     let _ = writeln!(s, "  \"cells\": [");

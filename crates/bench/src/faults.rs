@@ -91,7 +91,7 @@ fn report(
     }
 }
 
-fn cell_machine(spec: &CellSpec) -> (Machine, Vec<ptm_sim::ThreadProgram>) {
+pub(crate) fn cell_machine(spec: &CellSpec) -> (Machine, Vec<ptm_sim::ThreadProgram>) {
     let w = spec.workload.build(spec.scale);
     let programs = if spec.kind == SystemKind::Serial {
         serialize_programs(&w.programs_for(SystemKind::Serial))

@@ -4,6 +4,7 @@
 use ptm_sim::{run, serialize_programs, speedup_percent, Machine, SystemKind};
 use ptm_workloads::{Scale, Workload};
 
+pub mod crash;
 pub mod faults;
 pub mod parallel;
 pub mod parallel_sim;

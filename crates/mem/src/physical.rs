@@ -33,6 +33,7 @@ fn zeroed_frame() -> FrameData {
 /// mem.free(a);
 /// assert_eq!(mem.frames_in_use(), 1);
 /// ```
+#[derive(Clone)]
 pub struct PhysicalMemory {
     frames: Vec<Option<FrameData>>,
     free: Vec<FrameId>,

@@ -24,7 +24,7 @@ type PageData = Box<[u8; PAGE_SIZE]>;
 /// let back = swap.load(slot);
 /// assert_eq!(back[0], 0x7f);
 /// ```
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct SwapStore {
     slots: Vec<Option<PageData>>,
     free: Vec<SwapSlot>,

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod config;
+pub mod recovery;
 pub mod sit;
 pub mod spt;
 pub mod stats;
@@ -47,6 +48,7 @@ pub mod tstate;
 pub mod vts;
 
 pub use config::{PtmConfig, PtmPolicy, ShadowFreePolicy};
+pub use recovery::{recover, tear_youngest_tav_tail, RecoveryStats};
 pub use stats::PtmStats;
 pub use system::{AccessKind, ConflictOutcome, Exhaustion, PtmSystem, SwapOut};
 pub use tstate::TxStatus;

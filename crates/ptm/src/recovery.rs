@@ -1,0 +1,270 @@
+//! Crash recovery for PTM metadata.
+//!
+//! The crash model (DESIGN.md decision 19) says that physical memory, the
+//! swap device and the PTM metadata tables (SPT, SIT, TAV arena, T-State)
+//! survive a crash-stop, while everything cache-like — speculative buffers,
+//! the VTS SPT/TAV caches, lazy-cleanup timers — is lost. Recovery therefore
+//! has one job: discard every transaction that was live at the crash point
+//! and put the surviving durable state back into the canonical "no
+//! transactions anywhere" shape, so that a plain read of each home page (or
+//! swapped home image) yields exactly the committed data.
+//!
+//! Per policy that means:
+//!
+//! * **Copy-PTM** — live transactions' overflowed writes landed in the home
+//!   page with the committed backup in the shadow, so each written block is
+//!   restored shadow → home (word-masked at word granularity, mirroring
+//!   [`PtmSystem::abort`]).
+//! * **Select-PTM** — speculative overflow data went to the non-committed
+//!   side of each selection bit, so discarding a live transaction moves no
+//!   data; recovery folds the committed side of every set selection bit back
+//!   into the home page so the shadow can be freed.
+//!
+//! The only torn-write case in the model is the youngest in-flight TAV
+//! publish: a node already linked into its page's horizontal list whose
+//! T-State vertical-list head update never landed. Such orphans are found by
+//! reachability (page-list nodes not on any transaction's chain) and
+//! discarded like any other live node — their access vectors are intact, so
+//! Copy-PTM restore still works. [`tear_youngest_tav_tail`] injects exactly
+//! this state for testing.
+//!
+//! Recovery is idempotent: a second pass over a recovered system finds no
+//! live transactions, no TAV nodes and no shadows, and reports all-zero
+//! [`RecoveryStats`].
+
+use crate::config::PtmPolicy;
+use crate::system::{copy_image_block, copy_image_words, restore_words, PtmSystem};
+use crate::tav::TavRef;
+use crate::tstate::TxStatus;
+use ptm_mem::{PhysicalMemory, SwapStore};
+use ptm_types::{BlockVec, FrameId, PhysBlock, SwapSlot, TxId};
+use std::collections::HashSet;
+
+/// What a recovery pass did, for reporting and idempotence checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Live transactions discarded (set to `Aborted`).
+    pub transactions_discarded: u64,
+    /// Blocks copied to put committed data back in home pages: Copy-PTM
+    /// shadow → home restores plus Select-PTM selection folds, resident and
+    /// swapped alike.
+    pub blocks_restored: u64,
+    /// TAV nodes that were on a page list but on no transaction's chain —
+    /// torn publishes — and were repaired (discarded with their data
+    /// restored).
+    pub torn_nodes_repaired: u64,
+    /// Shadow pages released (resident frames freed plus swapped shadow
+    /// slots discarded).
+    pub shadow_pages_freed: u64,
+    /// TAV nodes freed in total (torn ones included).
+    pub tav_nodes_freed: u64,
+}
+
+impl RecoveryStats {
+    /// Whether the pass found nothing to do (the system was already clean).
+    pub fn is_noop(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+}
+
+/// Simulates the model's one torn-write case: the youngest live
+/// transaction's most recent TAV publish got its node linked into the page
+/// list, but the crash hit before the T-State chain head was updated.
+///
+/// Unlinks the head node of the youngest live transaction's chain from that
+/// chain only — the node stays on its page list with its access vectors
+/// intact. Returns the affected transaction, or `None` if no live
+/// transaction has an overflowed node to tear.
+pub fn tear_youngest_tav_tail(sys: &mut PtmSystem) -> Option<TxId> {
+    let mut live = sys.tstate.live_transactions();
+    live.sort();
+    for tx in live.into_iter().rev() {
+        if let Some(head) = sys.tstate.entry(tx).tav_head {
+            let next = sys.tavs.get(head).next_in_tx;
+            sys.tstate.entry_mut(tx).tav_head = next;
+            return Some(tx);
+        }
+    }
+    None
+}
+
+/// Walks the durable image and discards every live transaction, restoring
+/// committed data into the home pages and releasing all shadows and TAV
+/// nodes. See the module docs for the per-policy rules.
+pub fn recover(
+    sys: &mut PtmSystem,
+    mem: &mut PhysicalMemory,
+    swap: &mut SwapStore,
+) -> RecoveryStats {
+    let mut out = RecoveryStats::default();
+
+    // Nodes reachable from some transaction's vertical chain. Page-list
+    // nodes outside this set are torn publishes.
+    let mut reachable: HashSet<TavRef> = HashSet::new();
+    for tx in sys.tstate.live_transactions() {
+        let mut cur = sys.tstate.entry(tx).tav_head;
+        while let Some(r) = cur {
+            reachable.insert(r);
+            cur = sys.tavs.get(r).next_in_tx;
+        }
+    }
+
+    let frames: Vec<FrameId> = sys.spt.iter().map(|e| e.home).collect();
+    for frame in frames {
+        recover_resident_page(sys, mem, frame, &reachable, &mut out);
+    }
+
+    let slots: Vec<SwapSlot> = sys.sit.iter().map(|e| e.home_slot).collect();
+    for slot in slots {
+        recover_swapped_page(sys, swap, slot, &reachable, &mut out);
+    }
+
+    let mut live = sys.tstate.live_transactions();
+    live.sort();
+    for tx in live {
+        sys.tstate.entry_mut(tx).tav_head = None;
+        sys.tstate.set_status(tx, TxStatus::Aborted);
+        sys.stats.aborts += 1;
+        out.transactions_discarded += 1;
+    }
+
+    // Volatile VTS state dies with the machine.
+    sys.spt_cache.remove_matching(|_| true);
+    sys.tav_cache.remove_matching(|_| true);
+    sys.cleanup_pages.clear();
+
+    debug_assert_eq!(sys.tavs.live(), 0, "recovery must drain the TAV arena");
+    debug_assert_eq!(sys.live_shadows, 0, "recovery must free every shadow");
+    debug_assert!(sys.tstate.live_transactions().is_empty());
+    out
+}
+
+fn recover_resident_page(
+    sys: &mut PtmSystem,
+    mem: &mut PhysicalMemory,
+    frame: FrameId,
+    reachable: &HashSet<TavRef>,
+    out: &mut RecoveryStats,
+) {
+    let (head, shadow) = {
+        let e = sys.spt.entry(frame).expect("frame listed by the SPT");
+        (e.tav_head, e.shadow)
+    };
+
+    let nodes: Vec<TavRef> = sys.tavs.page_iter(head).collect();
+    for r in nodes {
+        let (write, write_words) = {
+            let n = sys.tavs.get(r);
+            (n.write, n.write_words)
+        };
+        if sys.cfg.policy == PtmPolicy::Copy && !write.is_empty() {
+            let shadow = shadow.expect("dirty overflow implies a shadow page");
+            for idx in write.iter() {
+                let home_block = PhysBlock::new(frame, idx);
+                let shadow_block = home_block.on_frame(shadow);
+                if sys.cfg.granularity.word_in_cache() {
+                    restore_words(mem, shadow_block, home_block, write_words.block_words(idx));
+                } else {
+                    mem.copy_block(shadow_block, home_block);
+                }
+                sys.stats.restore_copies += 1;
+                out.blocks_restored += 1;
+            }
+        }
+        if !reachable.contains(&r) {
+            out.torn_nodes_repaired += 1;
+        }
+        sys.tavs.free(r);
+        out.tav_nodes_freed += 1;
+    }
+
+    let entry = sys.spt.entry_mut(frame).expect("frame listed by the SPT");
+    entry.tav_head = None;
+    entry.sum_read = BlockVec::EMPTY;
+    entry.sum_write = BlockVec::EMPTY;
+    entry.contested = BlockVec::EMPTY;
+    let sel = std::mem::replace(&mut entry.sel, BlockVec::EMPTY);
+    let shadow = entry.shadow.take();
+
+    if let Some(shadow) = shadow {
+        if sys.cfg.policy == PtmPolicy::Select {
+            // Fold the committed side of every set selection bit back into
+            // the home page before dropping the shadow.
+            for idx in sel.iter() {
+                let home_block = PhysBlock::new(frame, idx);
+                mem.copy_block(home_block.on_frame(shadow), home_block);
+                out.blocks_restored += 1;
+            }
+        }
+        mem.free(shadow);
+        sys.stats.shadow_frees += 1;
+        sys.live_shadows -= 1;
+        out.shadow_pages_freed += 1;
+    }
+}
+
+fn recover_swapped_page(
+    sys: &mut PtmSystem,
+    swap: &mut SwapStore,
+    slot: SwapSlot,
+    reachable: &HashSet<TavRef>,
+    out: &mut RecoveryStats,
+) {
+    let (head, shadow_slot) = {
+        let e = sys.sit.entry(slot).expect("slot listed by the SIT");
+        (e.tav_head, e.shadow_slot)
+    };
+    let mut home_img = swap.peek(slot);
+    let shadow_img = shadow_slot.map(|s| swap.peek(s));
+
+    let nodes: Vec<TavRef> = sys.tavs.page_iter(head).collect();
+    for r in nodes {
+        let (write, write_words) = {
+            let n = sys.tavs.get(r);
+            (n.write, n.write_words)
+        };
+        if sys.cfg.policy == PtmPolicy::Copy && !write.is_empty() {
+            let shadow_img = shadow_img
+                .as_ref()
+                .expect("dirty overflow implies a shadow page");
+            for idx in write.iter() {
+                if sys.cfg.granularity.word_in_cache() {
+                    copy_image_words(shadow_img, &mut home_img, idx, write_words.block_words(idx));
+                } else {
+                    copy_image_block(shadow_img, &mut home_img, idx);
+                }
+                sys.stats.restore_copies += 1;
+                out.blocks_restored += 1;
+            }
+        }
+        if !reachable.contains(&r) {
+            out.torn_nodes_repaired += 1;
+        }
+        sys.tavs.free(r);
+        out.tav_nodes_freed += 1;
+    }
+
+    let entry = sys.sit.entry_mut(slot).expect("slot listed by the SIT");
+    entry.tav_head = None;
+    entry.sum_read = BlockVec::EMPTY;
+    entry.sum_write = BlockVec::EMPTY;
+    entry.contested = BlockVec::EMPTY;
+    let sel = std::mem::replace(&mut entry.sel, BlockVec::EMPTY);
+    let shadow_slot = entry.shadow_slot.take();
+
+    if let Some(shadow_slot) = shadow_slot {
+        if sys.cfg.policy == PtmPolicy::Select {
+            let shadow_img = shadow_img.as_ref().expect("shadow slot has an image");
+            for idx in sel.iter() {
+                copy_image_block(shadow_img, &mut home_img, idx);
+                out.blocks_restored += 1;
+            }
+        }
+        swap.discard(shadow_slot);
+        // Swapped shadows already left `live_shadows` at swap-out time.
+        sys.stats.shadow_frees += 1;
+        out.shadow_pages_freed += 1;
+    }
+
+    swap.update(slot, home_img);
+}

@@ -66,7 +66,7 @@ impl SitEntry {
 /// sit.insert(SitEntry::from_spt(&e, SwapSlot(3), None));
 /// assert!(sit.entry(SwapSlot(3)).is_some());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SwapIndexTable {
     entries: HashMap<SwapSlot, SitEntry>,
 }
@@ -106,6 +106,15 @@ impl SwapIndexTable {
     /// Returns `true` if no swapped pages are tracked.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// All swapped pages' entries, in home-slot order. The backing map is
+    /// a `HashMap`, so walkers (recovery, diagnostics) must go through this
+    /// to stay deterministic.
+    pub fn iter(&self) -> impl Iterator<Item = &SitEntry> {
+        let mut slots: Vec<SwapSlot> = self.entries.keys().copied().collect();
+        slots.sort();
+        slots.into_iter().map(|s| &self.entries[&s])
     }
 }
 

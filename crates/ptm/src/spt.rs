@@ -106,7 +106,7 @@ impl SptEntry {
 /// assert_eq!(e.committed_frame(BlockIdx(0)), FrameId(3));
 /// assert!(e.shadow.is_none());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ShadowPageTable {
     entries: Vec<Option<SptEntry>>,
     live: usize,

@@ -90,19 +90,19 @@ impl std::fmt::Display for Exhaustion {
 ///
 /// See the crate-level documentation for the model; see [`PtmConfig`] for
 /// the Copy/Select policy switch and the Figure 5 granularities.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PtmSystem {
-    cfg: PtmConfig,
-    spt: ShadowPageTable,
-    sit: SwapIndexTable,
-    tavs: TavArena,
-    tstate: TStateTable,
-    spt_cache: LruTracker<FrameId>,
-    tav_cache: LruTracker<(FrameId, TxId)>,
+    pub(crate) cfg: PtmConfig,
+    pub(crate) spt: ShadowPageTable,
+    pub(crate) sit: SwapIndexTable,
+    pub(crate) tavs: TavArena,
+    pub(crate) tstate: TStateTable,
+    pub(crate) spt_cache: LruTracker<FrameId>,
+    pub(crate) tav_cache: LruTracker<(FrameId, TxId)>,
     /// Pages whose lazy commit/abort cleanup completes at the given cycle.
-    cleanup_pages: HashMap<FrameId, Cycle>,
-    live_shadows: u64,
-    stats: PtmStats,
+    pub(crate) cleanup_pages: HashMap<FrameId, Cycle>,
+    pub(crate) live_shadows: u64,
+    pub(crate) stats: PtmStats,
 }
 
 impl PtmSystem {
@@ -1290,16 +1290,16 @@ const _: fn() = || {
 /// sentinel range grows downward from `u32::MAX`, so the two can never meet.
 const SWAP_SENTINEL_BASE: u32 = u32::MAX;
 
-fn swap_sentinel(slot: SwapSlot) -> FrameId {
+pub(crate) fn swap_sentinel(slot: SwapSlot) -> FrameId {
     FrameId(SWAP_SENTINEL_BASE - slot.0)
 }
 
-fn sentinel_slot(frame: FrameId) -> Option<SwapSlot> {
+pub(crate) fn sentinel_slot(frame: FrameId) -> Option<SwapSlot> {
     (frame.0 > SWAP_SENTINEL_BASE / 2).then(|| SwapSlot(SWAP_SENTINEL_BASE - frame.0))
 }
 
 /// Copies block `idx` from one swapped page image to another.
-fn copy_image_block(
+pub(crate) fn copy_image_block(
     src: &[u8; ptm_types::PAGE_SIZE],
     dst: &mut [u8; ptm_types::PAGE_SIZE],
     idx: BlockIdx,
@@ -1309,7 +1309,7 @@ fn copy_image_block(
 }
 
 /// Copies the masked words of block `idx` between swapped page images.
-fn copy_image_words(
+pub(crate) fn copy_image_words(
     src: &[u8; ptm_types::PAGE_SIZE],
     dst: &mut [u8; ptm_types::PAGE_SIZE],
     idx: BlockIdx,
@@ -1324,7 +1324,12 @@ fn copy_image_words(
     }
 }
 
-fn restore_words(mem: &mut PhysicalMemory, src: PhysBlock, dst: PhysBlock, mask: WordMask) {
+pub(crate) fn restore_words(
+    mem: &mut PhysicalMemory,
+    src: PhysBlock,
+    dst: PhysBlock,
+    mask: WordMask,
+) {
     let from = mem.read_block(src);
     let mut to = mem.read_block(dst);
     for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {

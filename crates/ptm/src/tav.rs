@@ -94,7 +94,7 @@ impl TavNode {
 /// arena.free(r);
 /// assert_eq!(arena.live(), 0);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TavArena {
     nodes: Vec<Option<TavNode>>,
     free: Vec<u32>,

@@ -78,7 +78,7 @@ pub struct TStateEntry {
 /// t.set_status(TxId(1), TxStatus::Committing);
 /// assert!(!t.status(TxId(1)).unwrap().is_live());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TStateTable {
     entries: HashMap<TxId, TStateEntry>,
 }

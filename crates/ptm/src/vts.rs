@@ -52,7 +52,7 @@ impl Touch {
 /// assert!(!t.touch(3).is_hit()); // evicts 2 (LRU)
 /// assert!(!t.touch(2).is_hit());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LruTracker<K: Eq + Hash + Clone> {
     capacity: usize,
     entries: HashMap<K, (u64, bool)>,

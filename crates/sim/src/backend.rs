@@ -100,7 +100,7 @@ impl fmt::Display for SystemKind {
 // One Backend exists per machine and it never moves after construction, so
 // the variant size spread costs nothing; boxing would only add indirection.
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Backend {
     /// No concurrency control (serial execution).
     Serial,

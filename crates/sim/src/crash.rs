@@ -1,0 +1,278 @@
+//! Crash-stop injection and the durable crash image.
+//!
+//! A [`CrashPlan`] halts a [`Machine`] at an arbitrary scheduler-step
+//! boundary, the way a hostile power cut would: nothing gets to flush,
+//! nothing gets to finish. [`Machine::run_until_crash`] captures a
+//! [`CrashImage`] — exactly the state the durable substrates would hold at
+//! that instant:
+//!
+//! * physical memory and the swap device (functional data is write-through,
+//!   so no cache flush is owed — caches and TLBs are timing-only);
+//! * the OS page tables (inside the cloned [`Kernel`]);
+//! * the backend's transactional metadata: PTM's SPT/SIT/TAV/T-State
+//!   tables, VTM's XADT, LogTM's undo logs.
+//!
+//! Speculative buffers, VTS caches and other cache-like state are volatile
+//! and simply absent from the image. The optional *torn* mode additionally
+//! truncates the youngest in-flight transaction's last TAV publish (see
+//! [`ptm_core::recovery`]) — the model's only multi-word metadata update
+//! that can be caught halfway.
+//!
+//! [`CrashImage::recover`] runs the per-backend recovery pass and
+//! [`CrashImage::assert_matches_reference`] checks the recovered committed
+//! memory word-for-word against the committed-prefix oracle
+//! ([`crate::reference::crash_reference`]).
+
+use crate::backend::{Backend, SystemKind};
+use crate::kernel::Kernel;
+use crate::machine::Machine;
+use crate::program::ThreadProgram;
+use crate::reference::{crash_reference, Mismatch};
+use crate::stats::CommittedTx;
+use ptm_core::recovery::{self, RecoveryStats};
+use ptm_mem::PhysicalMemory;
+use ptm_types::rng::{Fnv1a64, SplitMix64};
+use ptm_types::{FrameId, PhysAddr, ProcessId, ThreadId, TxId, VirtAddr, WORD_SIZE};
+use std::collections::HashMap;
+
+/// Where (and how) to crash a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The scheduler step *before* which the machine halts: step `0` crashes
+    /// before any work, a step past the end of the run crashes a finished
+    /// machine.
+    pub step: u64,
+    /// Whether to additionally tear the youngest in-flight TAV publish in
+    /// the captured image (PTM backends only; a no-op when nothing is
+    /// in flight).
+    pub torn: bool,
+}
+
+impl CrashPlan {
+    /// A clean crash-stop at `step`.
+    pub fn at_step(step: u64) -> Self {
+        CrashPlan { step, torn: false }
+    }
+
+    /// A crash-stop at `step` with the torn-metadata mode on.
+    pub fn torn_at_step(step: u64) -> Self {
+        CrashPlan { step, torn: true }
+    }
+
+    /// Derives a plan from a seed: a step in `0..=max_step` and a coin flip
+    /// for the torn mode, both from the shared SplitMix64 stream.
+    pub fn from_seed(seed: u64, max_step: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        CrashPlan {
+            step: rng.next_u64() % (max_step + 1),
+            torn: rng.next_u64() & 1 == 1,
+        }
+    }
+
+    /// FNV-1a digest of the plan, recorded in bench reports so a sweep is
+    /// reproducible from its JSON alone.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a64::new();
+        h.write_u64(self.step);
+        h.write_u64(u64::from(self.torn));
+        h.finish()
+    }
+}
+
+/// The durable state a crash-stop leaves behind. See the module docs for
+/// what is captured and why.
+#[derive(Debug, Clone)]
+pub struct CrashImage {
+    /// The system that was running.
+    pub kind: SystemKind,
+    /// The step actually reached (equals the plan's step unless the run
+    /// finished first).
+    pub step: u64,
+    /// Whether the run completed before the crash point.
+    pub finished: bool,
+    /// The transaction whose TAV publish was torn, if the plan asked for it
+    /// and a live overflowed transaction existed.
+    pub torn: Option<TxId>,
+    /// Commit order up to the crash (durable: commits are atomic steps).
+    pub commit_log: Vec<CommittedTx>,
+    /// Per-thread durability watermark: the first pc whose effects were not
+    /// durable at the crash.
+    pub watermarks: HashMap<ThreadId, usize>,
+    /// Physical memory as the crash left it.
+    pub mem: PhysicalMemory,
+    /// OS state: page tables and the swap device.
+    pub kernel: Kernel,
+    /// The backend's durable metadata.
+    pub backend: Backend,
+}
+
+impl Machine {
+    /// Runs until the plan's crash step (or completion, whichever comes
+    /// first) and captures the durable [`CrashImage`]. The machine itself is
+    /// left at the crash point and should be discarded — a crash-stop has no
+    /// "afterwards".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine stops making progress before the crash step (a
+    /// simulator bug, not a workload property).
+    pub fn run_until_crash(&mut self, plan: &CrashPlan) -> CrashImage {
+        let mut guard: u64 = 0;
+        let limit = self.progress_limit();
+        let mut heap = self.build_ready_heap();
+        let mut finished = true;
+        while let Some((_, idx)) = heap.peek() {
+            if guard >= plan.step {
+                finished = false;
+                break;
+            }
+            self.step(idx);
+            self.sync_heap(&mut heap, idx);
+            guard += 1;
+            if guard >= limit {
+                self.progress_panic();
+            }
+        }
+        self.finalize_stats();
+
+        let transactional = self.kind.is_transactional();
+        let watermarks = self
+            .cores
+            .iter()
+            .map(|c| {
+                let wm = if transactional {
+                    c.prog.tx_begin_pc().unwrap_or(c.prog.pc())
+                } else {
+                    // Locks and serial execution have no rollback: every
+                    // executed operation is already durable.
+                    c.prog.pc()
+                };
+                (c.prog.thread(), wm)
+            })
+            .collect();
+
+        let mut backend = self.backend.clone();
+        let torn = if plan.torn {
+            match &mut backend {
+                Backend::Ptm(p) => recovery::tear_youngest_tav_tail(p),
+                _ => None,
+            }
+        } else {
+            None
+        };
+
+        CrashImage {
+            kind: self.kind,
+            step: guard,
+            finished,
+            torn,
+            commit_log: self.stats.commit_log.clone(),
+            watermarks,
+            mem: self.mem.clone(),
+            kernel: self.kernel.clone(),
+            backend,
+        }
+    }
+}
+
+impl CrashImage {
+    /// Runs the backend's recovery pass in place, discarding every
+    /// transaction that was live at the crash. Idempotent: a second call
+    /// reports [`RecoveryStats::is_noop`].
+    ///
+    /// For LogTM, `blocks_restored` counts undo-log words rolled back; VTM
+    /// discards speculative XADT blocks without restoring anything, so it
+    /// reports only `transactions_discarded`.
+    pub fn recover(&mut self) -> RecoveryStats {
+        match &mut self.backend {
+            Backend::Ptm(p) => recovery::recover(p, &mut self.mem, &mut self.kernel.swap),
+            Backend::Vtm(v) => {
+                let (discarded, _released) = v.recover();
+                RecoveryStats {
+                    transactions_discarded: discarded,
+                    ..Default::default()
+                }
+            }
+            Backend::LogTm(l) => {
+                let (discarded, restored) = l.recover(&mut self.mem);
+                RecoveryStats {
+                    transactions_discarded: discarded,
+                    blocks_restored: restored,
+                    ..Default::default()
+                }
+            }
+            Backend::Serial | Backend::Locks(_) => RecoveryStats::default(),
+        }
+    }
+
+    /// Reads the committed value of a word from the image, the same way
+    /// [`Machine::read_committed`] does on a live machine.
+    pub fn read_committed(&self, pid: ProcessId, va: VirtAddr) -> u32 {
+        if let Some(frame) = self.kernel.frame_of(pid, va.vpn()) {
+            let pa = PhysAddr::from_frame(frame, va.page_offset());
+            return match &self.backend {
+                Backend::Ptm(p) => {
+                    let f = p.committed_frame(pa.block());
+                    self.mem
+                        .read_word(PhysAddr::from_frame(f, pa.page_offset()))
+                }
+                _ => self.mem.read_word(pa),
+            };
+        }
+        let Some(slot) = self.kernel.swap_slot_of(pid, va.vpn()) else {
+            return 0;
+        };
+        let img_slot = match &self.backend {
+            Backend::Ptm(p) => {
+                let idx = PhysAddr::from_frame(FrameId(0), va.page_offset())
+                    .block()
+                    .index();
+                p.committed_swap_slot(slot, idx)
+            }
+            _ => slot,
+        };
+        let img = self.kernel.swap.peek(img_slot);
+        let off = va.page_offset();
+        u32::from_le_bytes(img[off..off + WORD_SIZE].try_into().expect("word in page"))
+    }
+
+    /// Compares every word the committed-prefix oracle wrote against the
+    /// image's committed memory. Call after [`CrashImage::recover`]; before
+    /// recovery, LogTM's eager speculative writes are still in place.
+    pub fn diff_committed(&self, programs: &[ThreadProgram]) -> Vec<Mismatch> {
+        let reference = crash_reference(programs, &self.commit_log, &self.watermarks);
+        let mut mismatches: Vec<Mismatch> = reference
+            .into_iter()
+            .filter_map(|((pid, va), expected)| {
+                let actual = self.read_committed(pid, va);
+                (actual != expected).then_some(Mismatch {
+                    key: (pid, va),
+                    expected,
+                    actual,
+                })
+            })
+            .collect();
+        mismatches.sort_by_key(|m| m.key);
+        mismatches
+    }
+
+    /// Panics with a readable report if the recovered image diverged from
+    /// the committed-prefix oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any mismatch — recovery resurrected or lost data.
+    pub fn assert_matches_reference(&self, programs: &[ThreadProgram]) {
+        let mismatches = self.diff_committed(programs);
+        assert!(
+            mismatches.is_empty(),
+            "recovered image diverged from committed-prefix oracle under {} at step {} \
+             (torn={:?}): {} mismatches, first: {:?}",
+            self.kind,
+            self.step,
+            self.torn,
+            mismatches.len(),
+            mismatches.first()
+        );
+    }
+}

@@ -22,6 +22,7 @@ use crate::backend::Backend;
 use crate::machine::Machine;
 use crate::scheduler::ReadyHeap;
 use ptm_cache::flush_non_tx_lines;
+use ptm_types::rng::{splitmix64, Fnv1a64};
 use ptm_types::{FrameId, PhysBlock, ProcessId, Vpn};
 
 /// One adversarial event.
@@ -69,16 +70,6 @@ pub struct FaultEvent {
 pub struct FaultPlan {
     /// Events; fired in `step` order (ties fire in list order).
     pub events: Vec<FaultEvent>,
-}
-
-/// SplitMix64 — tiny, seedable, and good enough for plan generation. The
-/// simulator must stay deterministic, so no OS entropy anywhere.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 impl FaultPlan {
@@ -155,6 +146,31 @@ impl FaultPlan {
     /// `true` if no events will ever fire.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// An FNV-1a fingerprint of the full event list (steps and every action
+    /// payload). Recorded in benchmark reports so a committed JSON names
+    /// the exact plan that produced it, independent of seed defaults.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a64::new();
+        h.write_u64(self.events.len() as u64);
+        for e in &self.events {
+            h.write_u64(e.step);
+            let (tag, arg) = match e.action {
+                FaultAction::ForceContextSwitch { core } => (0, u64::from(core)),
+                FaultAction::ForceMigration { core } => (1, u64::from(core)),
+                FaultAction::SwapOutHotPage { nth } => (2, u64::from(nth)),
+                FaultAction::AbortStorm { count } => (3, u64::from(count)),
+                FaultAction::SqueezeMemory { leave } => (4, u64::from(leave)),
+                FaultAction::ReleaseMemory => (5, 0),
+                FaultAction::CapTavArena { slack } => (6, u64::from(slack)),
+                FaultAction::UncapTavArena => (7, 0),
+                FaultAction::DelaySwapIns { delay } => (8, u64::from(delay)),
+            };
+            h.write_u64(tag);
+            h.write_u64(arg);
+        }
+        h.finish()
     }
 }
 
@@ -482,6 +498,15 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.events.windows(2).all(|w| w[0].step <= w[1].step));
         assert!(a.events.len() >= 8);
+    }
+
+    #[test]
+    fn digest_distinguishes_plans() {
+        let a = FaultPlan::from_seed(1, 10_000, 8);
+        let b = FaultPlan::from_seed(2, 10_000, 8);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.clone().digest());
+        assert_ne!(FaultPlan::empty().digest(), a.digest());
     }
 
     #[test]

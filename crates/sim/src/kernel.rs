@@ -98,7 +98,11 @@ pub enum Translation {
 }
 
 /// The operating-system model.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the whole OS state — page tables, swap store, TLB,
+/// counters — which is how a [`crate::crash::CrashImage`] captures the
+/// durable paging state at a crash point.
+#[derive(Debug, Clone)]
 pub struct Kernel {
     cfg: KernelConfig,
     page_tables: HashMap<ProcessId, PageTable>,

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod backend;
+pub mod crash;
 pub mod executor;
 pub mod faults;
 pub mod kernel;
@@ -47,6 +48,7 @@ pub mod scheduler;
 pub mod stats;
 
 pub use backend::{Backend, SystemKind};
+pub use crash::{CrashImage, CrashPlan};
 pub use executor::{ExecStats, ExecutorConfig};
 pub use faults::{
     assert_invariants, check_invariants, FaultAction, FaultEvent, FaultInjector, FaultPlan,
@@ -55,7 +57,7 @@ pub use kernel::{Kernel, KernelConfig, KernelStats, Translation};
 pub use machine::{Machine, MachineConfig};
 pub use ops::{Op, OrderedSeq};
 pub use program::ThreadProgram;
-pub use reference::{assert_serializable, diff_against_machine, serial_reference};
+pub use reference::{assert_serializable, crash_reference, diff_against_machine, serial_reference};
 pub use runner::{run, run_parallel, serialize_programs, speedup_percent, speedup_vs_serial};
 pub use scheduler::ReadyHeap;
 pub use stats::{CommittedTx, MachineStats};

@@ -32,7 +32,7 @@ pub enum LockAttempt {
 /// locks.release(l, ThreadId(0));
 /// assert_eq!(locks.acquire(l, ThreadId(1), 9), LockAttempt::Acquired);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LockTable {
     held: HashMap<VirtAddr, (ThreadId, Cycle)>,
     stats: LockStats,

@@ -36,7 +36,7 @@ pub struct UndoEntry {
 }
 
 /// The directory's memory of evicted transactional state ("sticky" states).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StickyTable {
     entries: HashMap<PhysBlock, StickyUse>,
 }
@@ -136,7 +136,7 @@ pub enum Resolution {
 }
 
 /// The LogTM system state.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LogTmSystem {
     logs: HashMap<TxId, Vec<UndoEntry>>,
     sticky: StickyTable,
@@ -324,6 +324,30 @@ impl LogTmSystem {
         self.tstate.set_status(tx, TxStatus::Aborted);
         self.stats.aborts += 1;
         t
+    }
+
+    /// Crash recovery: discard every live transaction without any timing
+    /// model — walk each undo log backwards restoring old values (the logs
+    /// are durable software structures), drop sticky and stalling state.
+    /// Returns `(transactions discarded, words restored)`. Idempotent: a
+    /// second call finds no live transactions and does nothing.
+    pub fn recover(&mut self, mem: &mut PhysicalMemory) -> (u64, u64) {
+        let mut live = self.tstate.live_transactions();
+        live.sort();
+        let mut restored = 0u64;
+        for tx in &live {
+            let log = self.logs.remove(tx).unwrap_or_default();
+            for entry in log.iter().rev() {
+                mem.write_word(entry.addr, entry.old);
+                restored += 1;
+                self.stats.log_restores += 1;
+            }
+            self.sticky.release(*tx);
+            self.stalling.remove(tx);
+            self.tstate.set_status(*tx, TxStatus::Aborted);
+            self.stats.aborts += 1;
+        }
+        (live.len() as u64, restored)
     }
 }
 

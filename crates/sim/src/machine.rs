@@ -33,6 +33,11 @@ use ptm_types::{
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
+/// Hard cap on exhaustion abort-and-retry rounds. Each round aborts one live
+/// transaction, so a recovery that loops past the largest plausible live set
+/// is cycling, not converging — fail loudly instead of spinning forever.
+const MAX_EXHAUSTION_RETRIES: u32 = 64;
+
 /// Debug tracing: set `PTM_TRACE_WORD=<word-aligned virtual address>` to log
 /// every event touching that word's block (accesses, evictions, commits,
 /// aborts) to stderr. Zero cost when unset.
@@ -1356,6 +1361,7 @@ impl Machine {
     ) -> Result<FrameId, AccessEffect> {
         let requester = self.tx_context(idx);
         let mut recovered = false;
+        let mut retries: u32 = 0;
         loop {
             let attempt = match &mut self.backend {
                 Backend::Ptm(p) => p.on_swap_in(slot, &mut self.mem, &mut self.kernel.swap),
@@ -1370,7 +1376,17 @@ impl Machine {
                     }
                     return Ok(frame);
                 }
-                Err(_) => {
+                Err(e) => {
+                    retries += 1;
+                    if retries > MAX_EXHAUSTION_RETRIES {
+                        panic!(
+                            "swap-in exhaustion recovery did not converge after {MAX_EXHAUSTION_RETRIES} \
+                             abort-and-retry rounds (slot={slot:?} requester={requester:?} last={e:?} \
+                             free_frames={}): every abort must shrink the live set, so this is a \
+                             simulator bug, not resource pressure",
+                            self.mem.free_frames()
+                        );
+                    }
                     if let Some(victim) = self.youngest_live_tx(requester) {
                         self.abort_tx(victim, now);
                         if let Backend::Ptm(p) = &mut self.backend {
@@ -1521,6 +1537,7 @@ impl Machine {
                     // youngest live bystander and retrying; a failed
                     // `on_tx_eviction` is side-effect free.
                     let mut recovered = false;
+                    let mut retries: u32 = 0;
                     loop {
                         let attempt = match &mut self.backend {
                             Backend::Ptm(p) => p.on_tx_eviction(
@@ -1543,7 +1560,20 @@ impl Machine {
                                 }
                                 return false;
                             }
-                            Err(_) => {
+                            Err(e) => {
+                                retries += 1;
+                                if retries > MAX_EXHAUSTION_RETRIES {
+                                    panic!(
+                                        "eviction exhaustion recovery did not converge after \
+                                         {MAX_EXHAUSTION_RETRIES} abort-and-retry rounds \
+                                         (block={} owner={} requester={requester:?} last={e:?} \
+                                         free_frames={}): every abort must shrink the live set, \
+                                         so this is a simulator bug, not resource pressure",
+                                        line.block(),
+                                        meta.tx,
+                                        self.mem.free_frames()
+                                    );
+                                }
                                 // Victims: youngest live transaction that is
                                 // neither the line's owner nor the requester.
                                 let victim = {

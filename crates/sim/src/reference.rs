@@ -91,6 +91,61 @@ pub fn serial_reference(programs: &[ThreadProgram], commit_log: &[CommittedTx]) 
     mem
 }
 
+/// The committed-prefix oracle for crash points: replays the committed
+/// transactions in commit order plus each thread's non-transactional
+/// operations up to its *watermark* — the first program counter whose
+/// effects were not yet durable when the machine stopped. For a thread
+/// inside a transaction at the crash the watermark is that transaction's
+/// `Begin`; otherwise it is the thread's current pc (non-transactional
+/// writes are write-through and durable immediately).
+///
+/// With every watermark at `len()` and the full commit log this degenerates
+/// to [`serial_reference`], so a "crash" past the end of the run must match
+/// the final committed state.
+pub fn crash_reference(
+    programs: &[ThreadProgram],
+    commit_log: &[CommittedTx],
+    watermarks: &HashMap<ptm_types::ThreadId, usize>,
+) -> RefMemory {
+    let mut mem = RefMemory::new();
+    let mut done: Vec<usize> = vec![0; programs.len()];
+    for c in commit_log {
+        let i = programs
+            .iter()
+            .position(|p| p.thread() == c.thread)
+            .expect("commit log references a known thread");
+        let prog = &programs[i];
+        let pid = prog.pid();
+        while done[i] < c.begin_pc {
+            if let Some(op) = prog.op_at(done[i]) {
+                exec_op(&mut mem, pid, op);
+            }
+            done[i] += 1;
+        }
+        for pc in c.begin_pc..=c.end_pc {
+            if let Some(op) = prog.op_at(pc) {
+                exec_op(&mut mem, pid, op);
+            }
+        }
+        done[i] = c.end_pc + 1;
+    }
+    // Durable non-transactional tails, cut at each thread's watermark.
+    for (i, prog) in programs.iter().enumerate() {
+        let pid = prog.pid();
+        let stop = watermarks
+            .get(&prog.thread())
+            .copied()
+            .unwrap_or(0)
+            .min(prog.len());
+        for pc in done[i]..stop {
+            if let Some(op) = prog.op_at(pc) {
+                exec_op(&mut mem, pid, op);
+            }
+        }
+    }
+    mem
+}
+
 /// Replays programs with barrier synchronization but no transactional
 /// reordering: each thread runs to its next barrier, then all cross it
 /// together. Sound when, within any phase, cross-thread writes to the same

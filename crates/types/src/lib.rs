@@ -20,6 +20,7 @@
 pub mod addr;
 pub mod bitvec;
 pub mod ids;
+pub mod rng;
 
 pub use addr::{
     BlockIdx, FrameId, PhysAddr, PhysBlock, SwapSlot, VirtAddr, Vpn, WordIdx, BLOCKS_PER_PAGE,
@@ -27,6 +28,7 @@ pub use addr::{
 };
 pub use bitvec::{BlockVec, WordMask, WordVec};
 pub use ids::{CoreId, ProcessId, ThreadId, TxId};
+pub use rng::{splitmix64, Fnv1a64, SplitMix64};
 
 /// Conflict-detection granularity (§6.3, Figure 5).
 ///

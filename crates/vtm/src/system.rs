@@ -68,7 +68,7 @@ impl Default for VtmConfig {
 ///   commit must copy every dirty overflowed block back (bus traffic +
 ///   stalls) while abort is cheap;
 /// * a counting Bloom filter (XF) screens misses before any XADC/XADT work.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VtmSystem {
     cfg: VtmConfig,
     xadt: Xadt,
@@ -331,6 +331,34 @@ impl VtmSystem {
         self.tstate.set_status(tx, TxStatus::Aborted);
         self.stats.aborts += 1;
         t
+    }
+
+    /// Crash recovery: discard every live transaction without any timing
+    /// model. Speculative data lives only in the XADT, so home memory is
+    /// already committed-clean — releasing each live transaction's entries
+    /// (and the XF counts and XADC tags that shadow them) is the whole job.
+    /// Pending commit copy-backs finished atomically inside their commit
+    /// step, so `committing_blocks` holds only stall windows, which die with
+    /// the machine. Returns `(transactions discarded, blocks released)`.
+    /// Idempotent: a second call finds nothing live.
+    pub fn recover(&mut self) -> (u64, u64) {
+        let mut live = self.tstate.live_transactions();
+        live.sort();
+        let mut released = 0u64;
+        for tx in &live {
+            for key in self.xadt.blocks_of(*tx) {
+                let (_spec, removed) = self.xadt.release(key, *tx);
+                released += 1;
+                if removed {
+                    self.xf.remove(key.1);
+                    self.xadc.remove(&key);
+                }
+            }
+            self.tstate.set_status(*tx, TxStatus::Aborted);
+            self.stats.aborts += 1;
+        }
+        self.committing_blocks.clear();
+        (live.len() as u64, released)
     }
 }
 

@@ -57,7 +57,7 @@ impl XadtEntry {
 /// xadt.record_read(key, TxId(1), || [0u8; 64]);
 /// assert_eq!(xadt.entry(key).unwrap().readers, vec![TxId(1)]);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Xadt {
     entries: HashMap<XadtKey, XadtEntry>,
     peak: usize,
