@@ -22,14 +22,74 @@ fn bench_block_vec(c: &mut Criterion) {
     });
 }
 
+fn bench_word_vec_kernels(c: &mut Criterion) {
+    use ptm_types::WordVec;
+    // The word-parallel kernels vs. their bit-at-a-time shape: one shifted
+    // OR per block mask and four group tests per limb for the collapse.
+    c.bench_function("wordvec/set-block-words+collapse", |b| {
+        let mut v = WordVec::EMPTY;
+        let mut i = 0u8;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            v.set_block_words(BlockIdx(i % 64), WordMask(0x0f0f));
+            std::hint::black_box(v.to_block_vec())
+        })
+    });
+    // Reference loop for the same work, kept for before/after comparison:
+    // per-word probes through the public single-bit API.
+    c.bench_function("wordvec/set-block-words-bit-at-a-time", |b| {
+        let mut v = WordVec::EMPTY;
+        let mut i = 0u8;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let base = (i % 64) as usize * 16;
+            let mask = WordMask(0x0f0f);
+            for w in 0..16u8 {
+                if mask.get(WordIdx(w)) {
+                    v.set(base + w as usize);
+                }
+            }
+            let mut bv = BlockVec::EMPTY;
+            for blk in BlockIdx::all() {
+                if !v.block_words(blk).is_empty() {
+                    bv.set(blk);
+                }
+            }
+            std::hint::black_box(bv)
+        })
+    });
+}
+
+fn bench_tav_cursor_step(c: &mut Criterion) {
+    // The inlined TAV cursor step (`next_in_page` on the SoA link column)
+    // chased down a 64-node list: dense u32 links, no Option<Box> hops.
+    use ptm_core::tav::TavArena;
+    let mut arena = TavArena::new();
+    let mut head = None;
+    for t in 0..64u64 {
+        let r = arena.alloc(TxId(t), FrameId(0));
+        arena.set_next_in_page(r, head);
+        head = Some(r);
+    }
+    c.bench_function("tav/cursor-step-64-nodes", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            let mut cur = head;
+            while let Some(r) = cur {
+                n += 1;
+                cur = arena.next_in_page(r);
+            }
+            std::hint::black_box(n)
+        })
+    });
+}
+
 fn bench_tav_arena(c: &mut Criterion) {
     c.bench_function("tav/alloc-record-free", |b| {
         let mut arena = ptm_core::tav::TavArena::new();
         b.iter(|| {
             let r = arena.alloc(TxId(1), FrameId(0));
-            arena
-                .get_mut(r)
-                .record_write(BlockIdx(3), Some(WordMask(0xf)));
+            arena.record_write(r, BlockIdx(3), Some(WordMask(0xf)));
             let w = arena.write_summary(Some(r));
             arena.free(r);
             std::hint::black_box(w)
@@ -183,17 +243,15 @@ fn bench_tav_page_iter(c: &mut Criterion) {
     let mut head = None;
     for t in 0..16u64 {
         let r = arena.alloc(TxId(t), FrameId(0));
-        arena
-            .get_mut(r)
-            .record_write(BlockIdx((t % 64) as u8), None);
-        arena.get_mut(r).next_in_page = head;
+        arena.record_write(r, BlockIdx((t % 64) as u8), None);
+        arena.set_next_in_page(r, head);
         head = Some(r);
     }
     c.bench_function("tav/page-iter-16-nodes", |b| {
         b.iter(|| {
             let mut touched = 0u32;
             for node in arena.page_iter(head) {
-                if arena.get(node).write.get(BlockIdx(3)) {
+                if arena.write_vec(node).get(BlockIdx(3)) {
                     touched += 1;
                 }
             }
@@ -248,6 +306,8 @@ fn bench_ptm_commit(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_block_vec,
+    bench_word_vec_kernels,
+    bench_tav_cursor_step,
     bench_tav_arena,
     bench_lru_tracker,
     bench_bloom,

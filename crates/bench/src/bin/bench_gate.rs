@@ -1,0 +1,71 @@
+//! The bench-history regression gate.
+//!
+//! Compares the cycle-loop throughput of the *last* history entries of two
+//! `BENCH_hotpath.json` reports — typically base and head builds run on the
+//! same CI machine — and exits non-zero when head's throughput regressed by
+//! more than the allowed fraction.
+//!
+//! ```text
+//! bench_gate <base.json> <head.json> [--max-regression 0.10]
+//! ```
+//!
+//! The two runs must be comparable (same scale, cell count and host width);
+//! comparing across hosts is refused rather than silently passed, because a
+//! wall-clock ratio between different machines is noise, not a verdict.
+
+use ptm_bench::history::{entry_from_report, throughput_ratio};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut max_regression = 0.10f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regression" => {
+                i += 1;
+                max_regression = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--max-regression needs a fraction, e.g. 0.10"));
+            }
+            f => files.push(f.to_string()),
+        }
+        i += 1;
+    }
+    if files.len() != 2 {
+        die("usage: bench_gate <base.json> <head.json> [--max-regression 0.10]");
+    }
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")))
+    };
+    let base = entry_from_report(&read(&files[0]))
+        .unwrap_or_else(|| die(&format!("{}: no usable trajectory point", files[0])));
+    let head = entry_from_report(&read(&files[1]))
+        .unwrap_or_else(|| die(&format!("{}: no usable trajectory point", files[1])));
+
+    let ratio = throughput_ratio(&base, &head).unwrap_or_else(|e| die(&e));
+    let floor = 1.0 - max_regression;
+    println!(
+        "bench_gate: base {} @ {} cyc/s, head {} @ {} cyc/s -> ratio {ratio:.3} (floor {floor:.3})",
+        base.git_rev,
+        base.throughput_cycles_per_s(),
+        head.git_rev,
+        head.throughput_cycles_per_s(),
+    );
+    if ratio < floor {
+        eprintln!(
+            "bench_gate: FAIL - cycle-loop throughput regressed {:.1}% (> {:.1}% allowed)",
+            (1.0 - ratio) * 100.0,
+            max_regression * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench_gate: ok");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_gate: {msg}");
+    std::process::exit(2);
+}

@@ -93,6 +93,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
+    s.push_str(&ptm_bench::meta::json_fields());
     let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(s, "  \"plan_seed\": {seed},");
     let _ = writeln!(

@@ -11,6 +11,7 @@
 //! PTM_BENCH_OUT=/tmp/x.json cargo run -p ptm-bench --release --bin hotpath
 //! ```
 
+use ptm_bench::history::{prior_entries, render_history, HistoryEntry};
 use ptm_bench::parallel::{
     assert_cells_match, cells_from_env, projected_makespan, run_cells_parallel,
     run_cells_sequential, workers_from_env, CellResult,
@@ -21,9 +22,7 @@ use std::time::Instant;
 fn main() {
     let (scale, specs) = cells_from_env();
     let workers = workers_from_env();
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_cores = ptm_bench::meta::host_cores();
     eprintln!(
         "hotpath: {} cells at {scale:?}, {workers} worker(s), {host_cores} host core(s)",
         specs.len()
@@ -45,6 +44,36 @@ fn main() {
 
     let walls: Vec<u64> = seq.iter().map(|c| c.wall_ns).collect();
     let projected_4 = projected_makespan(&walls, 4);
+    let out = std::env::var("PTM_BENCH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".to_string());
+
+    // The history trajectory: append this run to the entries of the prior
+    // report. `PTM_BENCH_HISTORY` overrides where the prior entries come
+    // from (default: the output file, falling back to the committed report);
+    // `PTM_BENCH_HISTORY=none` starts a fresh trajectory.
+    let prior = match std::env::var("PTM_BENCH_HISTORY").as_deref() {
+        Ok("none") => Vec::new(),
+        Ok(path) => prior_entries(&std::fs::read_to_string(path).unwrap_or_default()),
+        Err(_) => {
+            let from_out = std::fs::read_to_string(&out).unwrap_or_default();
+            let text = if prior_entries(&from_out).is_empty() {
+                std::fs::read_to_string("BENCH_hotpath.json").unwrap_or_default()
+            } else {
+                from_out
+            };
+            prior_entries(&text)
+        }
+    };
+    let entry = HistoryEntry {
+        git_rev: ptm_bench::meta::git_rev(),
+        rustc: ptm_bench::meta::rustc_version().to_string(),
+        host_cores,
+        scale: format!("{scale:?}"),
+        workers,
+        cells: seq.len(),
+        total_cycles: seq.iter().map(|c| c.cycles).sum(),
+        seq_wall_ns: seq_wall,
+    };
+
     let json = render_json(
         scale,
         workers,
@@ -54,8 +83,8 @@ fn main() {
         seq_wall,
         par_wall,
         projected_4,
+        &render_history(&prior, &entry),
     );
-    let out = std::env::var("PTM_BENCH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".to_string());
     std::fs::write(&out, json).expect("write benchmark report");
 
     let speedup = seq_wall as f64 / par_wall.max(1) as f64;
@@ -89,6 +118,7 @@ fn render_json(
     seq_wall: u64,
     par_wall: u64,
     projected_4: u64,
+    history_block: &str,
 ) -> String {
     let mut s = String::new();
     let fast: u64 = seq.iter().map(|c| c.conflict_checks_fast).sum();
@@ -100,6 +130,9 @@ fn render_json(
     let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(s, "  \"workers\": {workers},");
     let _ = writeln!(s, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(s, "  \"git_rev\": \"{}\",", ptm_bench::meta::git_rev());
+    let _ = writeln!(s, "  \"rustc\": \"{}\",", ptm_bench::meta::rustc_version());
+    s.push_str(history_block);
     let _ = writeln!(s, "  \"cells\": [");
     for (i, (a, b)) in seq.iter().zip(par).enumerate() {
         let comma = if i + 1 == seq.len() { "" } else { "," };

@@ -25,9 +25,7 @@ fn main() {
         threads: exec_threads_from_env(),
         epoch_cycles: epoch_cycles_from_env(),
     };
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_cores = ptm_bench::meta::host_cores();
     eprintln!(
         "parallel_sim: {} cells at {scale:?}, {} executor thread(s), epoch {} cycles, \
          {host_cores} host core(s)",
@@ -55,9 +53,7 @@ fn main() {
     for (_, xs) in &pairs {
         totals.merge(xs);
     }
-    let json = render_json(
-        scale, &exec, host_cores, &seq, &pairs, seq_wall, par_wall, &totals,
-    );
+    let json = render_json(scale, &exec, &seq, &pairs, seq_wall, par_wall, &totals);
     let out =
         std::env::var("PTM_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel_sim.json".to_string());
     std::fs::write(&out, json).expect("write benchmark report");
@@ -93,7 +89,6 @@ fn main() {
 fn render_json(
     scale: ptm_workloads::Scale,
     exec: &ExecutorConfig,
-    host_cores: usize,
     seq: &[CellResult],
     pairs: &[(CellResult, ExecStats)],
     seq_wall: u64,
@@ -102,10 +97,10 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
+    s.push_str(&ptm_bench::meta::json_fields());
     let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(s, "  \"exec_threads\": {},", exec.threads);
     let _ = writeln!(s, "  \"epoch_cycles\": {},", exec.epoch_cycles);
-    let _ = writeln!(s, "  \"host_cores\": {host_cores},");
     let _ = writeln!(s, "  \"cells\": [");
     for (i, (a, (b, xs))) in seq.iter().zip(pairs).enumerate() {
         let comma = if i + 1 == seq.len() { "" } else { "," };

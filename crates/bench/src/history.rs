@@ -1,0 +1,304 @@
+//! The benchmark-history trajectory embedded in `BENCH_hotpath.json`.
+//!
+//! Each hotpath run appends one [`HistoryEntry`] — commit, toolchain, host,
+//! scale and the measured cycle-loop throughput — to the report's
+//! `"history"` array, turning the committed JSON into a performance
+//! trajectory instead of a single point. The `bench_gate` binary compares
+//! the last entries of two reports (measured on the *same* host, e.g. a CI
+//! runner building base and head) and fails on a throughput regression.
+//!
+//! The reports are hand-written JSON, so this module does the minimal
+//! parsing the trajectory needs: verbatim extraction of the existing entry
+//! objects by bracket scanning, and flat field lookups inside one entry.
+//! Entries are flat objects (no nested arrays or objects, no brackets in
+//! strings), which keeps both scans exact.
+
+/// One point of the performance trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Short git revision the run was built from (`-dirty` if uncommitted).
+    pub git_rev: String,
+    /// `rustc --version` of the build.
+    pub rustc: String,
+    /// Host cores visible to the run.
+    pub host_cores: usize,
+    /// Benchmark scale (`Tiny`, `Small`, `Full`).
+    pub scale: String,
+    /// Worker threads of the parallel pass.
+    pub workers: usize,
+    /// Number of benchmark cells.
+    pub cells: usize,
+    /// Simulated cycles summed over all cells (the work done).
+    pub total_cycles: u64,
+    /// Wall time of the sequential pass, nanoseconds (the time it took).
+    pub seq_wall_ns: u64,
+}
+
+impl HistoryEntry {
+    /// Cycle-loop throughput: simulated cycles advanced per wall second.
+    pub fn throughput_cycles_per_s(&self) -> u64 {
+        ((self.total_cycles as u128 * 1_000_000_000) / u128::from(self.seq_wall_ns.max(1))) as u64
+    }
+
+    /// Renders the entry as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"git_rev\": \"{}\", \"rustc\": \"{}\", \"host_cores\": {}, \
+             \"scale\": \"{}\", \"workers\": {}, \"cells\": {}, \
+             \"total_cycles\": {}, \"seq_wall_ns\": {}, \
+             \"throughput_cycles_per_s\": {}}}",
+            self.git_rev,
+            self.rustc,
+            self.host_cores,
+            self.scale,
+            self.workers,
+            self.cells,
+            self.total_cycles,
+            self.seq_wall_ns,
+            self.throughput_cycles_per_s(),
+        )
+    }
+
+    /// Parses the fields back out of one entry object. Returns `None` if a
+    /// required field is missing or malformed.
+    pub fn parse(entry: &str) -> Option<HistoryEntry> {
+        Some(HistoryEntry {
+            git_rev: string_field(entry, "git_rev")?,
+            rustc: string_field(entry, "rustc")?,
+            host_cores: number_field(entry, "host_cores")? as usize,
+            scale: string_field(entry, "scale")?,
+            workers: number_field(entry, "workers")? as usize,
+            cells: number_field(entry, "cells")? as usize,
+            total_cycles: number_field(entry, "total_cycles")?,
+            seq_wall_ns: number_field(entry, "seq_wall_ns")?,
+        })
+    }
+}
+
+/// Locates `"key":` in a flat JSON object and returns the raw value text.
+fn raw_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = obj.find(&tag)? + tag.len();
+    let rest = obj[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let raw = raw_field(obj, key)?;
+    Some(raw.strip_prefix('"')?.strip_suffix('"')?.to_string())
+}
+
+fn number_field(obj: &str, key: &str) -> Option<u64> {
+    raw_field(obj, key)?.parse().ok()
+}
+
+/// Extracts the verbatim entry objects of a report's `"history"` array.
+/// Returns an empty list when the report has no history (or `json` is not a
+/// report at all) — the trajectory then starts fresh.
+pub fn prior_entries(json: &str) -> Vec<String> {
+    let Some(tag) = json.find("\"history\":") else {
+        return Vec::new();
+    };
+    let Some(open) = json[tag..].find('[') else {
+        return Vec::new();
+    };
+    let body = &json[tag + open + 1..];
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        entries.push(body[s..=i].to_string());
+                    }
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    entries
+}
+
+/// The last entry of a report's history, parsed.
+pub fn last_entry(json: &str) -> Option<HistoryEntry> {
+    prior_entries(json)
+        .last()
+        .and_then(|e| HistoryEntry::parse(e))
+}
+
+/// The report's latest trajectory point — the last `"history"` entry when
+/// one exists, otherwise an entry synthesized from the report's own fields
+/// (pre-trajectory reports carried scale, host and wall times at the top
+/// level and per-cell simulated cycles). Lets the gate compare against a
+/// base build that predates the history array.
+pub fn entry_from_report(json: &str) -> Option<HistoryEntry> {
+    if let Some(e) = last_entry(json) {
+        return Some(e);
+    }
+    let cells_open = json.find("\"cells\": [")?;
+    let cells_body = &json[cells_open..];
+    let cells_end = cells_body.find("\n  ],").unwrap_or(cells_body.len());
+    let cells_body = &cells_body[..cells_end];
+    let mut total_cycles = 0u64;
+    let mut cells = 0usize;
+    let mut rest = cells_body;
+    while let Some(pos) = rest.find("\"cycles\":") {
+        rest = &rest[pos..];
+        total_cycles += number_field(rest, "cycles")?;
+        cells += 1;
+        rest = &rest[9..];
+    }
+    Some(HistoryEntry {
+        git_rev: string_field(json, "git_rev").unwrap_or_else(|| "unknown".into()),
+        rustc: string_field(json, "rustc").unwrap_or_else(|| "unknown".into()),
+        host_cores: number_field(json, "host_cores")? as usize,
+        scale: string_field(json, "scale")?,
+        workers: number_field(json, "workers").unwrap_or(1) as usize,
+        cells,
+        total_cycles,
+        seq_wall_ns: number_field(json, "seq_wall_ns")?,
+    })
+}
+
+/// Renders the `"history"` array block (prior entries plus the new one),
+/// indented for the top level of a report object, ending in `,\n`.
+pub fn render_history(prior: &[String], new_entry: &HistoryEntry) -> String {
+    let mut s = String::from("  \"history\": [\n");
+    for e in prior {
+        s.push_str("    ");
+        s.push_str(e);
+        s.push_str(",\n");
+    }
+    s.push_str("    ");
+    s.push_str(&new_entry.to_json());
+    s.push_str("\n  ],\n");
+    s
+}
+
+/// Compares two trajectory points measured on the same host: `Ok(ratio)`
+/// with `ratio = new/old` throughput when comparable, `Err` when the
+/// points were measured under different conditions (scale, cell count or
+/// host width) and a wall-clock comparison would be meaningless.
+pub fn throughput_ratio(old: &HistoryEntry, new: &HistoryEntry) -> Result<f64, String> {
+    if old.scale != new.scale || old.cells != new.cells {
+        return Err(format!(
+            "incomparable runs: {} cells at {} vs {} cells at {}",
+            old.cells, old.scale, new.cells, new.scale
+        ));
+    }
+    if old.host_cores != new.host_cores {
+        return Err(format!(
+            "incomparable hosts: {} cores vs {} cores",
+            old.host_cores, new.host_cores
+        ));
+    }
+    Ok(new.throughput_cycles_per_s() as f64 / old.throughput_cycles_per_s().max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(cycles: u64, wall: u64) -> HistoryEntry {
+        HistoryEntry {
+            git_rev: "abc123def456".into(),
+            rustc: "rustc 1.95.0".into(),
+            host_cores: 4,
+            scale: "Tiny".into(),
+            workers: 1,
+            cells: 49,
+            total_cycles: cycles,
+            seq_wall_ns: wall,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_json() {
+        let e = entry(123_456_789, 1_000_000_000);
+        let parsed = HistoryEntry::parse(&e.to_json()).unwrap();
+        assert_eq!(parsed, e);
+        assert_eq!(parsed.throughput_cycles_per_s(), 123_456_789);
+    }
+
+    #[test]
+    fn history_extraction_survives_rewrites() {
+        let e1 = entry(100, 10);
+        let e2 = entry(200, 10);
+        let report = format!(
+            "{{\n  \"scale\": \"Tiny\",\n{}  \"totals\": {{\"x\": 1}}\n}}\n",
+            render_history(&[e1.to_json()], &e2)
+        );
+        let prior = prior_entries(&report);
+        assert_eq!(prior.len(), 2);
+        assert_eq!(HistoryEntry::parse(&prior[0]).unwrap(), e1);
+        assert_eq!(last_entry(&report).unwrap(), e2);
+        // Appending a third entry preserves the first two verbatim.
+        let e3 = entry(300, 10);
+        let report2 = format!("{{\n{}  \"ok\": true\n}}\n", render_history(&prior, &e3));
+        assert_eq!(prior_entries(&report2).len(), 3);
+        assert_eq!(last_entry(&report2).unwrap(), e3);
+    }
+
+    #[test]
+    fn missing_history_starts_fresh() {
+        assert!(prior_entries("{\"scale\": \"Tiny\"}").is_empty());
+        assert!(last_entry("not json at all").is_none());
+    }
+
+    #[test]
+    fn legacy_reports_yield_a_synthesized_point() {
+        // A pre-trajectory report: no "history" array, per-cell cycles only.
+        let report = concat!(
+            "{\n",
+            "  \"scale\": \"Tiny\",\n",
+            "  \"workers\": 2,\n",
+            "  \"host_cores\": 4,\n",
+            "  \"cells\": [\n",
+            "    {\"family\": \"t1\", \"cycles\": 100, \"wall_seq_ns\": 5},\n",
+            "    {\"family\": \"t1\", \"cycles\": 250, \"wall_seq_ns\": 5}\n",
+            "  ],\n",
+            "  \"totals\": {\n    \"seq_wall_ns\": 700\n  }\n",
+            "}\n",
+        );
+        let e = entry_from_report(report).unwrap();
+        assert_eq!(e.git_rev, "unknown");
+        assert_eq!(e.scale, "Tiny");
+        assert_eq!(e.workers, 2);
+        assert_eq!(e.host_cores, 4);
+        assert_eq!(e.cells, 2);
+        assert_eq!(e.total_cycles, 350);
+        assert_eq!(e.seq_wall_ns, 700);
+
+        // With a history array present, the last entry wins instead.
+        let e2 = entry(42, 7);
+        let with_history = format!("{{\n{}  \"ok\": true\n}}\n", render_history(&[], &e2));
+        assert_eq!(entry_from_report(&with_history).unwrap(), e2);
+    }
+
+    #[test]
+    fn ratio_detects_regressions_and_refuses_apples_to_oranges() {
+        let old = entry(1_000_000, 1_000_000_000);
+        let new = entry(850_000, 1_000_000_000);
+        let r = throughput_ratio(&old, &new).unwrap();
+        assert!((r - 0.85).abs() < 1e-9);
+
+        let mut other_scale = new.clone();
+        other_scale.scale = "Full".into();
+        assert!(throughput_ratio(&old, &other_scale).is_err());
+
+        let mut other_host = new.clone();
+        other_host.host_cores = 64;
+        assert!(throughput_ratio(&old, &other_host).is_err());
+    }
+}

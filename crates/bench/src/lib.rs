@@ -6,6 +6,8 @@ use ptm_workloads::{Scale, Workload};
 
 pub mod crash;
 pub mod faults;
+pub mod history;
+pub mod meta;
 pub mod parallel;
 pub mod parallel_sim;
 

@@ -118,6 +118,20 @@ impl SystemBus {
         self.slot_access(now)
     }
 
+    /// Drains a burst of `n` chained controller-side accesses in one call:
+    /// each access issues at the completion of the previous one, exactly as
+    /// if [`Self::controller_mem_access`] were called `n` times in a loop.
+    /// Walk costs (VTS TAV walks, summary rebuilds) arrive as a count, so
+    /// batching the charge keeps the per-event call out of the hot loop
+    /// while leaving slot state and statistics bit-identical.
+    pub fn controller_mem_accesses(&mut self, now: Cycle, n: u32) -> Cycle {
+        let mut done = now;
+        for _ in 0..n {
+            done = self.slot_access(done);
+        }
+        done
+    }
+
     fn slot_access(&mut self, issued: Cycle) -> Cycle {
         let slot = self
             .mem_slots
@@ -198,6 +212,23 @@ mod tests {
         assert_eq!(d3, 200);
         assert_eq!(d4, 400, "fourth request waits for a slot");
         assert_eq!(bus.stats().mem_wait_cycles, 200);
+    }
+
+    #[test]
+    fn batched_controller_accesses_match_loop() {
+        let mut a = SystemBus::new(BusTimings::default());
+        let mut b = SystemBus::new(BusTimings::default());
+        // Interleave bursts with demand traffic; both orders must agree.
+        for (now, n) in [(0u64, 4u32), (150, 1), (900, 3), (901, 0)] {
+            let mut done_loop = now;
+            for _ in 0..n {
+                done_loop = a.controller_mem_access(done_loop);
+            }
+            let done_batch = b.controller_mem_accesses(now, n);
+            assert_eq!(done_loop, done_batch);
+            assert_eq!(a.mem_access(done_loop), b.mem_access(done_batch));
+            assert_eq!(a.stats(), b.stats());
+        }
     }
 
     #[test]

@@ -53,22 +53,17 @@ pub fn peek_remote_tx_use(
     caches: &[Hierarchy],
     requester: usize,
     block: PhysBlock,
-) -> Vec<RemoteTxUse> {
-    let mut out = Vec::new();
-    for (i, h) in caches.iter().enumerate() {
+) -> impl Iterator<Item = RemoteTxUse> + '_ {
+    caches.iter().enumerate().filter_map(move |(i, h)| {
         if i == requester {
-            continue;
+            return None;
         }
-        if let Some(line) = h.line(block) {
-            if let Some(meta) = line.tx_meta() {
-                out.push(RemoteTxUse {
-                    core: i,
-                    meta: *meta,
-                });
-            }
-        }
-    }
-    out
+        let meta = h.line(block)?.tx_meta()?;
+        Some(RemoteTxUse {
+            core: i,
+            meta: *meta,
+        })
+    })
 }
 
 /// Performs the MOESI transitions for a miss by `requester` on `block`.
@@ -294,7 +289,7 @@ mod tests {
         let mut tx_line = CacheLine::new(blk(0), Moesi::Shared);
         tx_line.tx_meta_for(TxId(2)).record_read(WordIdx(1));
         caches[2].fill(tx_line);
-        let uses = peek_remote_tx_use(&caches, 0, blk(0));
+        let uses: Vec<_> = peek_remote_tx_use(&caches, 0, blk(0)).collect();
         assert_eq!(uses.len(), 1);
         assert_eq!(uses[0].core, 2);
         assert_eq!(uses[0].meta.tx, TxId(2));
@@ -307,7 +302,7 @@ mod tests {
         let mut line = CacheLine::new(blk(0), Moesi::Modified);
         line.tx_meta_for(TxId(1));
         caches[0].fill(line);
-        assert!(peek_remote_tx_use(&caches, 0, blk(0)).is_empty());
+        assert!(peek_remote_tx_use(&caches, 0, blk(0)).next().is_none());
     }
 
     #[test]

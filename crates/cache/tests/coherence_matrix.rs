@@ -147,7 +147,7 @@ fn snoop_sees_word_masks() {
     meta.record_write(WordIdx(9));
     caches[1].fill(line);
 
-    let uses = peek_remote_tx_use(&caches, 0, blk(3));
+    let uses: Vec<_> = peek_remote_tx_use(&caches, 0, blk(3)).collect();
     assert_eq!(uses.len(), 1);
     let m = uses[0].meta;
     assert!(m.read_words.get(WordIdx(2)));

@@ -1,7 +1,6 @@
 //! Per-process page tables.
 
-use ptm_types::{FrameId, PhysAddr, SwapSlot, VirtAddr, Vpn};
-use std::collections::HashMap;
+use ptm_types::{FastMap, FrameId, PhysAddr, SwapSlot, VirtAddr, Vpn};
 use std::fmt;
 
 /// A page-table entry: where a virtual page currently lives.
@@ -34,7 +33,7 @@ pub enum Pte {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    entries: HashMap<Vpn, Pte>,
+    entries: FastMap<Vpn, Pte>,
 }
 
 impl PageTable {

@@ -16,8 +16,7 @@
 //! Buffers also remember *which words* the transaction wrote, which the
 //! word-granularity configurations need for selective merging.
 
-use ptm_types::{PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE, WORD_SIZE};
-use std::collections::HashMap;
+use ptm_types::{FastMap, PhysBlock, TxId, WordIdx, WordMask, BLOCK_SIZE, WORD_SIZE};
 
 /// A speculative snapshot of one block for one transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +53,7 @@ impl SpecBlock {
 /// ```
 #[derive(Debug, Default)]
 pub struct SpecBuffers {
-    map: HashMap<(TxId, PhysBlock), SpecBlock>,
+    map: FastMap<(TxId, PhysBlock), SpecBlock>,
 }
 
 impl SpecBuffers {
@@ -154,11 +153,9 @@ impl SpecBuffers {
 /// transaction wrote are copied, so concurrent disjoint-word writers do not
 /// clobber each other.
 pub fn apply_written_words(target: &mut [u8; BLOCK_SIZE], spec: &SpecBlock) {
-    for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {
-        if spec.written.get(WordIdx(w)) {
-            let off = w as usize * WORD_SIZE;
-            target[off..off + WORD_SIZE].copy_from_slice(&spec.data[off..off + WORD_SIZE]);
-        }
+    for w in spec.written.iter() {
+        let off = w.0 as usize * WORD_SIZE;
+        target[off..off + WORD_SIZE].copy_from_slice(&spec.data[off..off + WORD_SIZE]);
     }
 }
 

@@ -37,8 +37,7 @@ use crate::system::{copy_image_block, copy_image_words, restore_words, PtmSystem
 use crate::tav::TavRef;
 use crate::tstate::TxStatus;
 use ptm_mem::{PhysicalMemory, SwapStore};
-use ptm_types::{BlockVec, FrameId, PhysBlock, SwapSlot, TxId};
-use std::collections::HashSet;
+use ptm_types::{BlockVec, FastSet, FrameId, PhysBlock, SwapSlot, TxId};
 
 /// What a recovery pass did, for reporting and idempotence checks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -80,7 +79,7 @@ pub fn tear_youngest_tav_tail(sys: &mut PtmSystem) -> Option<TxId> {
     live.sort();
     for tx in live.into_iter().rev() {
         if let Some(head) = sys.tstate.entry(tx).tav_head {
-            let next = sys.tavs.get(head).next_in_tx;
+            let next = sys.tavs.next_in_tx(head);
             sys.tstate.entry_mut(tx).tav_head = next;
             return Some(tx);
         }
@@ -100,12 +99,12 @@ pub fn recover(
 
     // Nodes reachable from some transaction's vertical chain. Page-list
     // nodes outside this set are torn publishes.
-    let mut reachable: HashSet<TavRef> = HashSet::new();
+    let mut reachable: FastSet<TavRef> = FastSet::default();
     for tx in sys.tstate.live_transactions() {
         let mut cur = sys.tstate.entry(tx).tav_head;
         while let Some(r) = cur {
             reachable.insert(r);
-            cur = sys.tavs.get(r).next_in_tx;
+            cur = sys.tavs.next_in_tx(r);
         }
     }
 
@@ -143,7 +142,7 @@ fn recover_resident_page(
     sys: &mut PtmSystem,
     mem: &mut PhysicalMemory,
     frame: FrameId,
-    reachable: &HashSet<TavRef>,
+    reachable: &FastSet<TavRef>,
     out: &mut RecoveryStats,
 ) {
     let (head, shadow) = {
@@ -153,17 +152,15 @@ fn recover_resident_page(
 
     let nodes: Vec<TavRef> = sys.tavs.page_iter(head).collect();
     for r in nodes {
-        let (write, write_words) = {
-            let n = sys.tavs.get(r);
-            (n.write, n.write_words)
-        };
+        let write = sys.tavs.write_vec(r);
         if sys.cfg.policy == PtmPolicy::Copy && !write.is_empty() {
             let shadow = shadow.expect("dirty overflow implies a shadow page");
             for idx in write.iter() {
                 let home_block = PhysBlock::new(frame, idx);
                 let shadow_block = home_block.on_frame(shadow);
                 if sys.cfg.granularity.word_in_cache() {
-                    restore_words(mem, shadow_block, home_block, write_words.block_words(idx));
+                    let mask = sys.tavs.write_words(r).block_words(idx);
+                    restore_words(mem, shadow_block, home_block, mask);
                 } else {
                     mem.copy_block(shadow_block, home_block);
                 }
@@ -178,10 +175,10 @@ fn recover_resident_page(
         out.tav_nodes_freed += 1;
     }
 
+    sys.spt
+        .set_summaries(frame, BlockVec::EMPTY, BlockVec::EMPTY);
     let entry = sys.spt.entry_mut(frame).expect("frame listed by the SPT");
     entry.tav_head = None;
-    entry.sum_read = BlockVec::EMPTY;
-    entry.sum_write = BlockVec::EMPTY;
     entry.contested = BlockVec::EMPTY;
     let sel = std::mem::replace(&mut entry.sel, BlockVec::EMPTY);
     let shadow = entry.shadow.take();
@@ -207,7 +204,7 @@ fn recover_swapped_page(
     sys: &mut PtmSystem,
     swap: &mut SwapStore,
     slot: SwapSlot,
-    reachable: &HashSet<TavRef>,
+    reachable: &FastSet<TavRef>,
     out: &mut RecoveryStats,
 ) {
     let (head, shadow_slot) = {
@@ -219,17 +216,15 @@ fn recover_swapped_page(
 
     let nodes: Vec<TavRef> = sys.tavs.page_iter(head).collect();
     for r in nodes {
-        let (write, write_words) = {
-            let n = sys.tavs.get(r);
-            (n.write, n.write_words)
-        };
+        let write = sys.tavs.write_vec(r);
         if sys.cfg.policy == PtmPolicy::Copy && !write.is_empty() {
             let shadow_img = shadow_img
                 .as_ref()
                 .expect("dirty overflow implies a shadow page");
             for idx in write.iter() {
                 if sys.cfg.granularity.word_in_cache() {
-                    copy_image_words(shadow_img, &mut home_img, idx, write_words.block_words(idx));
+                    let mask = sys.tavs.write_words(r).block_words(idx);
+                    copy_image_words(shadow_img, &mut home_img, idx, mask);
                 } else {
                     copy_image_block(shadow_img, &mut home_img, idx);
                 }

@@ -8,7 +8,6 @@
 use crate::spt::SptEntry;
 use crate::tav::TavRef;
 use ptm_types::{BlockVec, SwapSlot};
-use std::collections::HashMap;
 
 /// PTM state of one swapped-out page.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +67,11 @@ impl SitEntry {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct SwapIndexTable {
-    entries: HashMap<SwapSlot, SitEntry>,
+    /// Direct-indexed by home slot number, like the SPT is by frame number:
+    /// swap slots are small dense integers handed out by the swap store, so
+    /// a flat vector replaces hashing on every lookup.
+    entries: Vec<Option<SitEntry>>,
+    live: usize,
 }
 
 impl SwapIndexTable {
@@ -79,42 +82,53 @@ impl SwapIndexTable {
 
     /// Records a swapped-out page's PTM state.
     pub fn insert(&mut self, entry: SitEntry) {
-        self.entries.insert(entry.home_slot, entry);
+        let idx = entry.home_slot.0 as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        if self.entries[idx].is_none() {
+            self.live += 1;
+        }
+        self.entries[idx] = Some(entry);
     }
 
     /// Removes the state for a page being swapped back in.
     pub fn remove(&mut self, home_slot: SwapSlot) -> Option<SitEntry> {
-        self.entries.remove(&home_slot)
+        let taken = self.entries.get_mut(home_slot.0 as usize)?.take();
+        if taken.is_some() {
+            self.live -= 1;
+        }
+        taken
     }
 
     /// Looks up a swapped page's state.
+    #[inline]
     pub fn entry(&self, home_slot: SwapSlot) -> Option<&SitEntry> {
-        self.entries.get(&home_slot)
+        self.entries.get(home_slot.0 as usize)?.as_ref()
     }
 
     /// Mutable lookup — lazy commit/abort cleanup of a transaction whose
     /// page is swapped out updates the entry in place (§3.5.1).
+    #[inline]
     pub fn entry_mut(&mut self, home_slot: SwapSlot) -> Option<&mut SitEntry> {
-        self.entries.get_mut(&home_slot)
+        self.entries.get_mut(home_slot.0 as usize)?.as_mut()
     }
 
     /// Number of swapped transactional pages.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Returns `true` if no swapped pages are tracked.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// All swapped pages' entries, in home-slot order. The backing map is
-    /// a `HashMap`, so walkers (recovery, diagnostics) must go through this
-    /// to stay deterministic.
+    /// All swapped pages' entries, in home-slot order — the direct index
+    /// yields that order naturally, so walkers (recovery, diagnostics) are
+    /// deterministic with no sort.
     pub fn iter(&self) -> impl Iterator<Item = &SitEntry> {
-        let mut slots: Vec<SwapSlot> = self.entries.keys().copied().collect();
-        slots.sort();
-        slots.into_iter().map(|s| &self.entries[&s])
+        self.entries.iter().flatten()
     }
 }
 
@@ -147,6 +161,30 @@ mod tests {
         spt.entry_mut(FrameId(0)).unwrap().shadow = Some(FrameId(5));
         let e = spt.remove(FrameId(0)).unwrap();
         let _ = SitEntry::from_spt(&e, SwapSlot(1), None);
+    }
+
+    #[test]
+    fn iter_is_slot_ordered_and_len_tracks_live() {
+        let mut spt = ShadowPageTable::new();
+        let mut sit = SwapIndexTable::new();
+        for f in [0u32, 1, 2] {
+            spt.on_page_alloc(FrameId(f));
+        }
+        // Insert out of order; iteration must come back slot-sorted.
+        for slot in [5u32, 1, 9] {
+            let e = spt.remove(FrameId(slot % 3)).unwrap();
+            sit.insert(SitEntry::from_spt(&e, SwapSlot(slot), None));
+        }
+        let order: Vec<SwapSlot> = sit.iter().map(|e| e.home_slot).collect();
+        assert_eq!(order, vec![SwapSlot(1), SwapSlot(5), SwapSlot(9)]);
+        assert_eq!(sit.len(), 3);
+        assert!(sit.remove(SwapSlot(5)).is_some());
+        assert!(
+            sit.remove(SwapSlot(5)).is_none(),
+            "second remove is a no-op"
+        );
+        assert_eq!(sit.len(), 2);
+        assert!(sit.entry(SwapSlot(1_000)).is_none());
     }
 
     #[test]

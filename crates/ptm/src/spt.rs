@@ -8,14 +8,25 @@
 //! incrementally so a conflict check can reject most accesses in O(1)
 //! without walking the TAV list.
 //!
-//! The table itself is direct-indexed by frame number (a `Vec` of optional
-//! entries), matching the hardware's "indexed by physical page number"
-//! organization and avoiding hash lookups on the miss path.
+//! The table itself is direct-indexed by frame number, matching the
+//! hardware's "indexed by physical page number" organization and avoiding
+//! hash lookups on the miss path.
+//!
+//! # Layout
+//!
+//! Storage is split hot/cold. The summary vectors — the only fields the
+//! O(1) conflict pre-filter reads — live in two dense `Vec<BlockVec>`
+//! columns (16 bytes per frame across both, four frames per cache line,
+//! `EMPTY` when the frame has no entry). Everything else sits in a parallel
+//! cold column of [`SptMeta`]. [`SptEntry`] remains the full
+//! gather/scatter value type used at the paging boundary (SIT migration,
+//! swap-out/in round trips).
 
 use crate::tav::TavRef;
 use ptm_types::{BlockIdx, BlockVec, FrameId};
 
-/// One Shadow Page Table entry.
+/// One Shadow Page Table entry, as a plain value: the gather/scatter form
+/// used when an entry crosses the paging boundary (into or out of the SIT).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SptEntry {
     /// The home page this entry describes.
@@ -56,10 +67,34 @@ impl SptEntry {
         }
     }
 
+    /// Whether any live transaction overflowed *any* access (read or write)
+    /// of `block` — the O(1) conflict pre-filter test.
+    pub fn summary_hit(&self, block: BlockIdx) -> bool {
+        self.sum_read.get(block) || self.sum_write.get(block)
+    }
+}
+
+/// The cold column of an SPT entry: everything except the summary vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SptMeta {
+    /// The home page this entry describes.
+    pub home: FrameId,
+    /// The shadow page, once allocated by a dirty overflow.
+    pub shadow: Option<FrameId>,
+    /// Selection vector (see [`SptEntry::sel`]).
+    pub sel: BlockVec,
+    /// Contested-block vector (see [`SptEntry::contested`]).
+    pub contested: BlockVec,
+    /// Head of the page's horizontal TAV list.
+    pub tav_head: Option<TavRef>,
+}
+
+impl SptMeta {
     /// The frame currently holding the *committed* version of `block`.
     ///
     /// With no shadow page (or a clear selection bit) that is the home page;
     /// a set selection bit redirects to the shadow.
+    #[inline]
     pub fn committed_frame(&self, block: BlockIdx) -> FrameId {
         match self.shadow {
             Some(shadow) if self.sel.get(block) => shadow,
@@ -74,6 +109,7 @@ impl SptEntry {
     ///
     /// Panics if no shadow page is allocated; speculative placement is only
     /// meaningful once a dirty overflow allocated one.
+    #[inline]
     pub fn speculative_frame(&self, block: BlockIdx) -> FrameId {
         let shadow = self
             .shadow
@@ -84,15 +120,10 @@ impl SptEntry {
             shadow
         }
     }
-
-    /// Whether any live transaction overflowed *any* access (read or write)
-    /// of `block` — the O(1) conflict pre-filter test.
-    pub fn summary_hit(&self, block: BlockIdx) -> bool {
-        self.sum_read.get(block) || self.sum_write.get(block)
-    }
 }
 
-/// The Shadow Page Table, direct-indexed by physical page number.
+/// The Shadow Page Table, direct-indexed by physical page number, with the
+/// summary vectors split into dense hot columns.
 ///
 /// # Examples
 ///
@@ -105,10 +136,16 @@ impl SptEntry {
 /// let e = spt.entry(FrameId(3)).unwrap();
 /// assert_eq!(e.committed_frame(BlockIdx(0)), FrameId(3));
 /// assert!(e.shadow.is_none());
+/// assert!(!spt.summary_hit(FrameId(3), BlockIdx(0)));
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct ShadowPageTable {
-    entries: Vec<Option<SptEntry>>,
+    /// Hot column: per-frame read summary (`EMPTY` when absent).
+    sum_read: Vec<BlockVec>,
+    /// Hot column: per-frame write summary (`EMPTY` when absent).
+    sum_write: Vec<BlockVec>,
+    /// Cold column: the rest of the entry.
+    metas: Vec<Option<SptMeta>>,
     live: usize,
 }
 
@@ -120,8 +157,10 @@ impl ShadowPageTable {
 
     fn grow_to(&mut self, home: FrameId) -> usize {
         let idx = home.0 as usize;
-        if idx >= self.entries.len() {
-            self.entries.resize(idx + 1, None);
+        if idx >= self.metas.len() {
+            self.metas.resize(idx + 1, None);
+            self.sum_read.resize(idx + 1, BlockVec::EMPTY);
+            self.sum_write.resize(idx + 1, BlockVec::EMPTY);
         }
         idx
     }
@@ -130,41 +169,123 @@ impl ShadowPageTable {
     /// allocated, its entry in the SPT is initialized and marked as valid").
     pub fn on_page_alloc(&mut self, home: FrameId) {
         let idx = self.grow_to(home);
-        if self.entries[idx].is_none() {
+        if self.metas[idx].is_none() {
             self.live += 1;
         }
-        self.entries[idx] = Some(SptEntry::new(home));
+        let fresh = SptEntry::new(home);
+        self.metas[idx] = Some(SptMeta {
+            home: fresh.home,
+            shadow: fresh.shadow,
+            sel: fresh.sel,
+            contested: fresh.contested,
+            tav_head: fresh.tav_head,
+        });
+        self.sum_read[idx] = BlockVec::EMPTY;
+        self.sum_write[idx] = BlockVec::EMPTY;
     }
 
-    /// Removes a page's entry (frame freed or swapped out), returning it so
-    /// paging can transfer it into the SIT.
+    /// Removes a page's entry (frame freed or swapped out), gathering the
+    /// hot and cold columns back into a full [`SptEntry`] so paging can
+    /// transfer it into the SIT.
     pub fn remove(&mut self, home: FrameId) -> Option<SptEntry> {
-        let taken = self.entries.get_mut(home.0 as usize)?.take();
-        if taken.is_some() {
-            self.live -= 1;
-        }
-        taken
+        let idx = home.0 as usize;
+        let meta = self.metas.get_mut(idx)?.take()?;
+        self.live -= 1;
+        let sum_read = std::mem::replace(&mut self.sum_read[idx], BlockVec::EMPTY);
+        let sum_write = std::mem::replace(&mut self.sum_write[idx], BlockVec::EMPTY);
+        Some(SptEntry {
+            home: meta.home,
+            shadow: meta.shadow,
+            sel: meta.sel,
+            contested: meta.contested,
+            tav_head: meta.tav_head,
+            sum_read,
+            sum_write,
+        })
     }
 
     /// Re-inserts an entry (swap-in migrates a SIT entry back here under the
-    /// page's new frame).
+    /// page's new frame), scattering it across the hot and cold columns.
     pub fn insert(&mut self, entry: SptEntry) {
         let idx = self.grow_to(entry.home);
-        if self.entries[idx].is_none() {
+        if self.metas[idx].is_none() {
             self.live += 1;
         }
-        self.entries[idx] = Some(entry);
+        self.sum_read[idx] = entry.sum_read;
+        self.sum_write[idx] = entry.sum_write;
+        self.metas[idx] = Some(SptMeta {
+            home: entry.home,
+            shadow: entry.shadow,
+            sel: entry.sel,
+            contested: entry.contested,
+            tav_head: entry.tav_head,
+        });
     }
 
-    /// Looks up the entry for a home page. Shadow pages themselves have no
-    /// valid entry, as in the paper.
-    pub fn entry(&self, home: FrameId) -> Option<&SptEntry> {
-        self.entries.get(home.0 as usize)?.as_ref()
+    /// Looks up the (cold) entry for a home page. Shadow pages themselves
+    /// have no valid entry, as in the paper.
+    #[inline]
+    pub fn entry(&self, home: FrameId) -> Option<&SptMeta> {
+        self.metas.get(home.0 as usize)?.as_ref()
     }
 
-    /// Mutable lookup.
-    pub fn entry_mut(&mut self, home: FrameId) -> Option<&mut SptEntry> {
-        self.entries.get_mut(home.0 as usize)?.as_mut()
+    /// Mutable lookup of the cold column.
+    #[inline]
+    pub fn entry_mut(&mut self, home: FrameId) -> Option<&mut SptMeta> {
+        self.metas.get_mut(home.0 as usize)?.as_mut()
+    }
+
+    /// The page's read summary vector (`EMPTY` for unregistered frames).
+    #[inline(always)]
+    pub fn sum_read(&self, home: FrameId) -> BlockVec {
+        self.sum_read
+            .get(home.0 as usize)
+            .copied()
+            .unwrap_or(BlockVec::EMPTY)
+    }
+
+    /// The page's write summary vector (`EMPTY` for unregistered frames).
+    #[inline(always)]
+    pub fn sum_write(&self, home: FrameId) -> BlockVec {
+        self.sum_write
+            .get(home.0 as usize)
+            .copied()
+            .unwrap_or(BlockVec::EMPTY)
+    }
+
+    /// Both summary vectors in one load pair — the conflict-check read.
+    #[inline(always)]
+    pub fn summaries(&self, home: FrameId) -> (BlockVec, BlockVec) {
+        (self.sum_read(home), self.sum_write(home))
+    }
+
+    /// Whether any live transaction overflowed *any* access (read or write)
+    /// of `block` on this page — the O(1) conflict pre-filter, straight off
+    /// the dense hot columns.
+    #[inline(always)]
+    pub fn summary_hit(&self, home: FrameId, block: BlockIdx) -> bool {
+        (self.sum_read(home) | self.sum_write(home)).get(block)
+    }
+
+    /// Sets the read-summary bit for `block` (incremental maintenance on
+    /// overflow).
+    #[inline]
+    pub fn mark_sum_read(&mut self, home: FrameId, block: BlockIdx) {
+        self.sum_read[home.0 as usize].set(block);
+    }
+
+    /// Sets the write-summary bit for `block`.
+    #[inline]
+    pub fn mark_sum_write(&mut self, home: FrameId, block: BlockIdx) {
+        self.sum_write[home.0 as usize].set(block);
+    }
+
+    /// Replaces both summary vectors (rebuild after a TAV unlink).
+    #[inline]
+    pub fn set_summaries(&mut self, home: FrameId, sum_read: BlockVec, sum_write: BlockVec) {
+        let idx = home.0 as usize;
+        self.sum_read[idx] = sum_read;
+        self.sum_write[idx] = sum_write;
     }
 
     /// Number of entries.
@@ -177,9 +298,9 @@ impl ShadowPageTable {
         self.live == 0
     }
 
-    /// Iterates over all entries in frame order.
-    pub fn iter(&self) -> impl Iterator<Item = &SptEntry> {
-        self.entries.iter().flatten()
+    /// Iterates over all (cold) entries in frame order.
+    pub fn iter(&self) -> impl Iterator<Item = &SptMeta> {
+        self.metas.iter().flatten()
     }
 }
 
@@ -215,7 +336,9 @@ mod tests {
     fn selection_bit_without_shadow_still_reads_home() {
         // A stale selection bit with no shadow (e.g. Copy-PTM) must not
         // redirect anywhere.
-        let mut e = SptEntry::new(FrameId(2));
+        let mut spt = ShadowPageTable::new();
+        spt.on_page_alloc(FrameId(2));
+        let e = spt.entry_mut(FrameId(2)).unwrap();
         e.sel.set(BlockIdx(0));
         assert_eq!(e.committed_frame(BlockIdx(0)), FrameId(2));
     }
@@ -223,8 +346,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "needs a shadow page")]
     fn speculative_without_shadow_panics() {
-        let e = SptEntry::new(FrameId(2));
-        let _ = e.speculative_frame(BlockIdx(0));
+        let mut spt = ShadowPageTable::new();
+        spt.on_page_alloc(FrameId(2));
+        let _ = spt
+            .entry(FrameId(2))
+            .unwrap()
+            .speculative_frame(BlockIdx(0));
     }
 
     #[test]
@@ -232,10 +359,20 @@ mod tests {
         let mut spt = ShadowPageTable::new();
         spt.on_page_alloc(FrameId(7));
         spt.entry_mut(FrameId(7)).unwrap().sel.set(BlockIdx(1));
+        spt.mark_sum_write(FrameId(7), BlockIdx(2));
         let e = spt.remove(FrameId(7)).unwrap();
         assert!(spt.entry(FrameId(7)).is_none());
+        assert!(
+            spt.sum_write(FrameId(7)).is_empty(),
+            "hot column cleared on remove"
+        );
+        assert!(e.sum_write.get(BlockIdx(2)), "sums gathered into the value");
         spt.insert(e);
         assert!(spt.entry(FrameId(7)).unwrap().sel.get(BlockIdx(1)));
+        assert!(
+            spt.sum_write(FrameId(7)).get(BlockIdx(2)),
+            "sums scattered back"
+        );
     }
 
     #[test]
@@ -259,13 +396,25 @@ mod tests {
 
     #[test]
     fn summary_hit_tests_both_vectors() {
+        let mut spt = ShadowPageTable::new();
+        spt.on_page_alloc(FrameId(0));
+        assert!(!spt.summary_hit(FrameId(0), BlockIdx(3)));
+        spt.mark_sum_read(FrameId(0), BlockIdx(3));
+        assert!(spt.summary_hit(FrameId(0), BlockIdx(3)));
+        spt.set_summaries(FrameId(0), BlockVec::EMPTY, BlockVec::EMPTY);
+        assert!(!spt.summary_hit(FrameId(0), BlockIdx(3)));
+        spt.mark_sum_write(FrameId(0), BlockIdx(3));
+        assert!(spt.summary_hit(FrameId(0), BlockIdx(3)));
+        assert!(!spt.summary_hit(FrameId(0), BlockIdx(4)));
+        // Unregistered frames read as all-empty, never as a hit.
+        assert!(!spt.summary_hit(FrameId(999), BlockIdx(0)));
+    }
+
+    #[test]
+    fn value_type_summary_hit_matches() {
         let mut e = SptEntry::new(FrameId(0));
         assert!(!e.summary_hit(BlockIdx(3)));
         e.sum_read.set(BlockIdx(3));
         assert!(e.summary_hit(BlockIdx(3)));
-        e.sum_read.clear(BlockIdx(3));
-        e.sum_write.set(BlockIdx(3));
-        assert!(e.summary_hit(BlockIdx(3)));
-        assert!(!e.summary_hit(BlockIdx(4)));
     }
 }

@@ -18,7 +18,7 @@
 
 use crate::config::{PtmConfig, PtmPolicy, ShadowFreePolicy};
 use crate::sit::{SitEntry, SwapIndexTable};
-use crate::spt::{ShadowPageTable, SptEntry};
+use crate::spt::{ShadowPageTable, SptEntry, SptMeta};
 use crate::stats::PtmStats;
 use crate::tav::{TavArena, TavRef};
 use crate::tstate::{TStateTable, TxStatus};
@@ -26,9 +26,9 @@ use crate::vts::{LruTracker, VtsCost};
 use ptm_cache::{SystemBus, TxLineMeta};
 use ptm_mem::{PhysicalMemory, SpecBlock, SwapStore};
 use ptm_types::{
-    BlockIdx, Cycle, FrameId, PhysBlock, SwapSlot, TxId, WordIdx, WordMask, BLOCK_SIZE, WORD_SIZE,
+    BlockIdx, BlockVec, Cycle, FastMap, FrameId, PhysBlock, SwapSlot, TxId, WordIdx, WordMask,
+    BLOCK_SIZE, WORD_SIZE,
 };
-use std::collections::HashMap;
 
 /// Whether an access is a read or a write, for conflict classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,7 +100,7 @@ pub struct PtmSystem {
     pub(crate) spt_cache: LruTracker<FrameId>,
     pub(crate) tav_cache: LruTracker<(FrameId, TxId)>,
     /// Pages whose lazy commit/abort cleanup completes at the given cycle.
-    pub(crate) cleanup_pages: HashMap<FrameId, Cycle>,
+    pub(crate) cleanup_pages: FastMap<FrameId, Cycle>,
     pub(crate) live_shadows: u64,
     pub(crate) stats: PtmStats,
 }
@@ -115,7 +115,7 @@ impl PtmSystem {
             tstate: TStateTable::new(),
             spt_cache: LruTracker::new(cfg.spt_cache_entries),
             tav_cache: LruTracker::new(cfg.tav_cache_entries),
-            cleanup_pages: HashMap::new(),
+            cleanup_pages: FastMap::default(),
             live_shadows: 0,
             stats: PtmStats::default(),
             cfg,
@@ -147,9 +147,16 @@ impl PtmSystem {
         self.spt.on_page_alloc(frame);
     }
 
-    /// Read-only view of a page's SPT entry.
-    pub fn spt_entry(&self, frame: FrameId) -> Option<&SptEntry> {
+    /// Read-only view of a page's SPT entry (the cold column; summary
+    /// vectors are exposed separately via [`Self::spt_summaries`]).
+    pub fn spt_entry(&self, frame: FrameId) -> Option<&SptMeta> {
         self.spt.entry(frame)
+    }
+
+    /// The page's (read, write) conflict summary vectors, straight off the
+    /// SPT's dense hot columns (`EMPTY` pair for unregistered frames).
+    pub fn spt_summaries(&self, frame: FrameId) -> (BlockVec, BlockVec) {
+        self.spt.summaries(frame)
     }
 
     /// Read-only view of the TAV arena (introspection: tests assert the
@@ -234,10 +241,9 @@ impl PtmSystem {
         };
         let head = entry.tav_head;
         // The incrementally maintained per-page summary vectors — what the
-        // VTS reads out of its cached SPT entry. Copied out up front so the
-        // borrow of the entry ends before the cache/stat updates below.
-        let rsum = entry.sum_read;
-        let wsum = entry.sum_write;
+        // VTS reads out of its cached SPT entry; one load pair off the dense
+        // hot columns.
+        let (rsum, wsum) = self.spt.summaries(frame);
 
         let mut cost = VtsCost {
             lookups: 1,
@@ -253,9 +259,8 @@ impl PtmSystem {
                 let mut len = 0u32;
                 let mut cur = head;
                 while let Some(r) = cur {
-                    let n = self.tavs.get(r);
-                    let tx = n.tx;
-                    cur = n.next_in_page;
+                    let tx = self.tavs.tx_of(r);
+                    cur = self.tavs.next_in_page(r);
                     let _ = self.tav_cache.touch((frame, tx));
                     len += 1;
                 }
@@ -276,10 +281,10 @@ impl PtmSystem {
             // walk to rule out its own node.
             outcome.deny_exclusive = match requester {
                 None => true,
-                Some(me) => self.tavs.page_iter(head).any(|r| {
-                    let n = self.tavs.get(r);
-                    n.read.get(idx) && n.tx != me
-                }),
+                Some(me) => self
+                    .tavs
+                    .page_iter(head)
+                    .any(|r| self.tavs.read_vec(r).get(idx) && self.tavs.tx_of(r) != me),
             };
         }
 
@@ -293,24 +298,28 @@ impl PtmSystem {
             let word_in_page = idx.0 as usize * (BLOCK_SIZE / WORD_SIZE) + word.0 as usize;
             let mut cur = head;
             while let Some(r) = cur {
-                let n = self.tavs.get(r);
-                cur = n.next_in_page;
-                if Some(n.tx) == requester {
+                let tx = self.tavs.tx_of(r);
+                cur = self.tavs.next_in_page(r);
+                if Some(tx) == requester {
                     continue;
                 }
                 let hit = match (kind, self.cfg.granularity.word_in_memory()) {
-                    (AccessKind::Read, false) => n.write.get(idx),
-                    (AccessKind::Read, true) => n.write_words.get(word_in_page),
-                    (AccessKind::Write, false) => n.write.get(idx) || n.read.get(idx),
+                    (AccessKind::Read, false) => self.tavs.write_vec(r).get(idx),
+                    (AccessKind::Read, true) => self.tavs.write_words(r).get(word_in_page),
+                    (AccessKind::Write, false) => {
+                        let v = self.tavs.write_vec(r) | self.tavs.read_vec(r);
+                        v.get(idx)
+                    }
                     (AccessKind::Write, true) => {
-                        n.write_words.get(word_in_page) || n.read_words.get(word_in_page)
+                        self.tavs.write_words(r).get(word_in_page)
+                            || self.tavs.read_words(r).get(word_in_page)
                     }
                 };
                 if hit {
-                    outcome.conflicts.push(n.tx);
+                    outcome.conflicts.push(tx);
                 }
                 cost.lookups += 1;
-                match self.tav_cache.touch((frame, n.tx)) {
+                match self.tav_cache.touch((frame, tx)) {
                     crate::vts::Touch::Hit => self.stats.tav_cache_hits += 1,
                     crate::vts::Touch::Miss { evicted_dirty } => {
                         self.stats.tav_cache_misses += 1;
@@ -406,9 +415,8 @@ impl PtmSystem {
         // Pre-update write summary (Copy-PTM needs to know whether this is
         // the block's first dirty overflow), and the pre-update *word*
         // summary (word-mode Copy-PTM backs words up individually).
-        let entry = self.spt.entry(frame).expect("registered page");
-        let head = entry.tav_head;
-        let wsum_before = entry.sum_write;
+        let head = self.spt.entry(frame).expect("registered page").tav_head;
+        let wsum_before = self.spt.sum_write(frame);
         let word_sum_before = self.tavs.word_write_summary(head);
 
         // Find or create the (tx, page) TAV node.
@@ -417,12 +425,11 @@ impl PtmSystem {
             None => {
                 let r = self.tavs.alloc(tx, frame);
                 // Link at the head of the horizontal (page) list...
-                self.tavs.get_mut(r).next_in_page = head;
+                self.tavs.set_next_in_page(r, head);
                 self.spt.entry_mut(frame).expect("registered page").tav_head = Some(r);
                 // ...and of the vertical (transaction) list.
-                let tstate = self.tstate.entry_mut(tx);
-                self.tavs.get_mut(r).next_in_tx = tstate.tav_head;
-                // Reborrow: update head after arena link is set.
+                let tx_head = self.tstate.entry_mut(tx).tav_head;
+                self.tavs.set_next_in_tx(r, tx_head);
                 self.tstate.entry_mut(tx).tav_head = Some(r);
                 r
             }
@@ -433,27 +440,16 @@ impl PtmSystem {
             // granularity: conflict *checks* ignore them in `wd:cache`, but
             // word-selective data movement (merge commits, view selection)
             // always needs them.
-            self.tavs
-                .get_mut(node_ref)
-                .record_read(idx, Some(meta.read_words));
-            self.spt
-                .entry_mut(frame)
-                .expect("registered page")
-                .sum_read
-                .set(idx);
+            self.tavs.record_read(node_ref, idx, Some(meta.read_words));
+            self.spt.mark_sum_read(frame, idx);
         }
 
         if meta.write {
             let spec = spec.expect("dirty eviction must carry speculative data");
             let first_dirty_overflow = !wsum_before.get(idx);
             self.tavs
-                .get_mut(node_ref)
-                .record_write(idx, Some(meta.write_words));
-            self.spt
-                .entry_mut(frame)
-                .expect("registered page")
-                .sum_write
-                .set(idx);
+                .record_write(node_ref, idx, Some(meta.write_words));
+            self.spt.mark_sum_write(frame, idx);
             self.ensure_shadow(frame, mem);
             let entry = self.spt.entry(frame).expect("registered page");
             let home_block = block;
@@ -473,11 +469,9 @@ impl PtmSystem {
                         // time any live transaction's overflow claims it.
                         let base = idx.0 as usize * (BLOCK_SIZE / WORD_SIZE);
                         let mut fresh = WordMask::EMPTY;
-                        for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {
-                            if spec.written.get(WordIdx(w))
-                                && !word_sum_before.get(base + w as usize)
-                            {
-                                fresh.set(WordIdx(w));
+                        for w in spec.written.iter() {
+                            if !word_sum_before.get(base + w.0 as usize) {
+                                fresh.set(w);
                             }
                         }
                         if !fresh.is_empty() {
@@ -567,7 +561,7 @@ impl PtmSystem {
         match (self.cfg.policy, entry.shadow) {
             (PtmPolicy::Copy, _) | (_, None) => frame,
             (PtmPolicy::Select, Some(shadow)) => {
-                if entry.sum_write.get(idx) ^ entry.sel.get(idx) {
+                if self.spt.sum_write(frame).get(idx) ^ entry.sel.get(idx) {
                     shadow
                 } else {
                     frame
@@ -589,7 +583,7 @@ impl PtmSystem {
                 // If a live transaction's speculative data occupies the home
                 // block, the committed version is the shadow backup.
                 match entry.shadow {
-                    Some(shadow) if entry.sum_write.get(idx) => shadow,
+                    Some(shadow) if self.spt.sum_write(frame).get(idx) => shadow,
                     _ => frame,
                 }
             }
@@ -631,14 +625,13 @@ impl PtmSystem {
         let Some(node_ref) = self.tavs.find_in_page_list(entry.tav_head, tx) else {
             return self.committed_frame(block);
         };
-        let node = self.tavs.get(node_ref);
         let wrote = if self.cfg.granularity.word_in_cache() {
             // Word modes: the speculative page only holds the words this
             // transaction wrote; everything else reads the committed page.
             let word_in_page = idx.0 as usize * (BLOCK_SIZE / WORD_SIZE) + word.0 as usize;
-            node.write_words.get(word_in_page)
+            self.tavs.write_words(node_ref).get(word_in_page)
         } else {
-            node.write.get(idx)
+            self.tavs.write_vec(node_ref).get(idx)
         };
         if !wrote {
             return self.committed_frame(block);
@@ -656,7 +649,7 @@ impl PtmSystem {
         };
         self.tavs
             .find_in_page_list(entry.tav_head, tx)
-            .map(|r| self.tavs.get(r).write.get(block.index()))
+            .map(|r| self.tavs.write_vec(r).get(block.index()))
             .unwrap_or(false)
     }
 
@@ -688,12 +681,12 @@ impl PtmSystem {
             return false;
         };
         let idx = block.index();
-        if !entry.summary_hit(idx) {
+        if !self.spt.summary_hit(block.frame(), idx) {
             return false;
         }
         self.tavs.page_iter(entry.tav_head).any(|r| {
-            let n = self.tavs.get(r);
-            Some(n.tx) != exclude && (n.write.get(idx) || n.read.get(idx))
+            Some(self.tavs.tx_of(r)) != exclude
+                && (self.tavs.write_vec(r) | self.tavs.read_vec(r)).get(idx)
         })
     }
 
@@ -703,18 +696,19 @@ impl PtmSystem {
     /// structures track only one writer per block, so evicting a block that
     /// a *different* transaction already write-overflowed forces an abort
     /// (§6.3).
-    pub fn overflow_writers(&self, block: PhysBlock) -> Vec<TxId> {
-        let Some(entry) = self.spt.entry(block.frame()) else {
-            return Vec::new();
+    pub fn overflow_writers(&self, block: PhysBlock) -> impl Iterator<Item = TxId> + '_ {
+        let idx = block.index();
+        // The write-summary pre-filter: when the page has no dirty overflow
+        // of this block at all, the walk never starts.
+        let head = if self.spt.sum_write(block.frame()).get(idx) {
+            self.spt.entry(block.frame()).and_then(|e| e.tav_head)
+        } else {
+            None
         };
-        if !entry.sum_write.get(block.index()) {
-            return Vec::new();
-        }
         self.tavs
-            .page_iter(entry.tav_head)
-            .filter(|r| self.tavs.get(*r).write.get(block.index()))
-            .map(|r| self.tavs.get(r).tx)
-            .collect()
+            .page_iter(head)
+            .filter(move |r| self.tavs.write_vec(*r).get(idx))
+            .map(|r| self.tavs.tx_of(r))
     }
 
     /// Where committed-side word writes must be *mirrored* in the
@@ -769,18 +763,16 @@ impl PtmSystem {
         self.stats.tx_dirty_page_sum += self
             .tavs
             .tx_iter(head)
-            .filter(|r| !self.tavs.get(*r).write.is_empty())
+            .filter(|r| !self.tavs.write_vec(*r).is_empty())
             .count() as u64;
 
         // Cursor walk: read each node's vertical link before its page-side
         // unlink frees it.
         let mut cur = head;
         while let Some(r) = cur {
-            let (frame, write_vec, next) = {
-                let n = self.tavs.get(r);
-                (n.page, n.write, n.next_in_tx)
-            };
-            cur = next;
+            let frame = self.tavs.page_of(r);
+            let write_vec = self.tavs.write_vec(r);
+            cur = self.tavs.next_in_tx(r);
             let mut cost = VtsCost {
                 lookups: 2,
                 ..Default::default()
@@ -871,11 +863,9 @@ impl PtmSystem {
         let mut t = now;
 
         while let Some(r) = cur {
-            let (frame, write_vec, next) = {
-                let n = self.tavs.get(r);
-                (n.page, n.write, n.next_in_tx)
-            };
-            cur = next;
+            let frame = self.tavs.page_of(r);
+            let write_vec = self.tavs.write_vec(r);
+            cur = self.tavs.next_in_tx(r);
             let mut cost = VtsCost {
                 lookups: 2,
                 ..Default::default()
@@ -905,7 +895,7 @@ impl PtmSystem {
                     let shadow_img = swap.peek(shadow_slot);
                     for idx in write_vec.iter() {
                         if self.cfg.granularity.word_in_cache() {
-                            let mask = self.tavs.get(r).write_words.block_words(idx);
+                            let mask = self.tavs.write_words(r).block_words(idx);
                             copy_image_words(&shadow_img, &mut home_img, idx, mask);
                         } else {
                             copy_image_block(&shadow_img, &mut home_img, idx);
@@ -931,7 +921,7 @@ impl PtmSystem {
                     if self.cfg.granularity.word_in_cache() {
                         // Home holds word-masked speculative writes: restore
                         // exactly those words from the backup.
-                        let mask = self.tavs.get(r).write_words.block_words(idx);
+                        let mask = self.tavs.write_words(r).block_words(idx);
                         restore_words(mem, shadow_block, home_block, mask);
                     } else {
                         mem.copy_block(shadow_block, home_block);
@@ -958,14 +948,13 @@ impl PtmSystem {
     }
 
     fn other_writers(&self, frame: FrameId, idx: BlockIdx, tx: TxId) -> bool {
-        let entry = self.spt.entry(frame).expect("page present");
-        if !entry.sum_write.get(idx) {
+        if !self.spt.sum_write(frame).get(idx) {
             return false;
         }
-        self.tavs.page_iter(entry.tav_head).any(|r| {
-            let n = self.tavs.get(r);
-            n.tx != tx && n.write.get(idx)
-        })
+        let entry = self.spt.entry(frame).expect("page present");
+        self.tavs
+            .page_iter(entry.tav_head)
+            .any(|r| self.tavs.tx_of(r) != tx && self.tavs.write_vec(r).get(idx))
     }
 
     fn merge_written_words(
@@ -975,7 +964,7 @@ impl PtmSystem {
         idx: BlockIdx,
         mem: &mut PhysicalMemory,
     ) {
-        let mask = self.tavs.get(node).write_words.block_words(idx);
+        let mask = self.tavs.write_words(node).block_words(idx);
         let entry = self.spt.entry(frame).expect("page present");
         let spec = PhysBlock::new(frame, idx).on_frame(entry.speculative_frame(idx));
         let committed = PhysBlock::new(frame, idx).on_frame(entry.committed_frame(idx));
@@ -989,10 +978,8 @@ impl PtmSystem {
         // Summaries shrink on unlink, so rebuild them from the survivors —
         // the only remaining full walk on the commit/abort path.
         let (sum_read, sum_write) = self.tavs.block_summaries(new_head);
-        let entry = self.spt.entry_mut(frame).expect("page present");
-        entry.tav_head = new_head;
-        entry.sum_read = sum_read;
-        entry.sum_write = sum_write;
+        self.spt.entry_mut(frame).expect("page present").tav_head = new_head;
+        self.spt.set_summaries(frame, sum_read, sum_write);
         self.tav_cache.remove(&(frame, tx));
     }
 
@@ -1027,7 +1014,7 @@ impl PtmSystem {
         idx: BlockIdx,
         swap: &mut SwapStore,
     ) {
-        let mask = self.tavs.get(node).write_words.block_words(idx);
+        let mask = self.tavs.write_words(node).block_words(idx);
         let entry = self.sit.entry(slot).expect("SIT entry for swapped page");
         let shadow_slot = entry
             .shadow_slot
@@ -1100,7 +1087,11 @@ impl PtmSystem {
     }
 
     fn prune_cleanup(&mut self, now: Cycle) {
-        self.cleanup_pages.retain(|_, t| *t > now);
+        // Hot-path guard: the map is empty for the vast majority of checks,
+        // and `retain` on a HashMap still walks every bucket.
+        if !self.cleanup_pages.is_empty() {
+            self.cleanup_pages.retain(|_, t| *t > now);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1257,7 +1248,7 @@ impl PtmSystem {
         }
         // The home slot currently holds (or may soon hold) speculative data
         // if any live transaction overflowed a write to this block.
-        if entry.sum_write.get(idx) {
+        if self.spt.sum_write(frame).get(idx) {
             return false;
         }
         mem.copy_block(block.on_frame(shadow), block);
@@ -1316,11 +1307,9 @@ pub(crate) fn copy_image_words(
     mask: WordMask,
 ) {
     let base = idx.0 as usize * BLOCK_SIZE;
-    for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {
-        if mask.get(WordIdx(w)) {
-            let off = base + w as usize * WORD_SIZE;
-            dst[off..off + WORD_SIZE].copy_from_slice(&src[off..off + WORD_SIZE]);
-        }
+    for w in mask.iter() {
+        let off = base + w.0 as usize * WORD_SIZE;
+        dst[off..off + WORD_SIZE].copy_from_slice(&src[off..off + WORD_SIZE]);
     }
 }
 
@@ -1332,11 +1321,9 @@ pub(crate) fn restore_words(
 ) {
     let from = mem.read_block(src);
     let mut to = mem.read_block(dst);
-    for w in 0..(BLOCK_SIZE / WORD_SIZE) as u8 {
-        if mask.get(WordIdx(w)) {
-            let off = w as usize * WORD_SIZE;
-            to[off..off + WORD_SIZE].copy_from_slice(&from[off..off + WORD_SIZE]);
-        }
+    for w in mask.iter() {
+        let off = w.0 as usize * WORD_SIZE;
+        to[off..off + WORD_SIZE].copy_from_slice(&from[off..off + WORD_SIZE]);
     }
     mem.write_block(dst, &to);
 }

@@ -13,6 +13,16 @@
 //! Nodes live in an arena ([`TavArena`]) with a free list, mirroring the
 //! paper's "freed when the corresponding transaction either commits or
 //! aborts".
+//!
+//! # Layout
+//!
+//! The arena is struct-of-arrays: each logical node field lives in its own
+//! dense column, indexed by the node's slot. Conflict-detection walks touch
+//! only the *hot* columns (`tx`, `page`, block vectors, links — 40 bytes per
+//! node across five cache-friendly arrays) while the 128-byte word-granular
+//! vectors sit in separate *cold* columns that only the `wd:cache+mem`
+//! configurations ever read. Links are raw `u32` slot indices with a `NIL`
+//! sentinel, translated to `Option<TavRef>` at the API boundary.
 
 use ptm_types::{BlockIdx, BlockVec, FrameId, TxId, WordMask, WordVec};
 use std::fmt;
@@ -27,60 +37,23 @@ impl fmt::Display for TavRef {
     }
 }
 
-/// One TAV node: a transaction's overflowed access vectors for one page.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TavNode {
-    /// The transaction this node belongs to.
-    pub tx: TxId,
-    /// The (home) frame of the page this node describes. Updated when the
-    /// page migrates between frames across a swap-out/in cycle.
-    pub page: FrameId,
-    /// Blocks of the page the transaction read and then overflowed.
-    pub read: BlockVec,
-    /// Blocks of the page the transaction dirtied and then overflowed.
-    pub write: BlockVec,
-    /// Word-granular read vector (`wd:cache+mem` only).
-    pub read_words: WordVec,
-    /// Word-granular write vector (`wd:cache+mem` only).
-    pub write_words: WordVec,
-    /// Next node in this page's horizontal list.
-    pub next_in_page: Option<TavRef>,
-    /// Next node in this transaction's vertical list.
-    pub next_in_tx: Option<TavRef>,
-}
+/// Internal link sentinel: no next node.
+const NIL: u32 = u32::MAX;
 
-impl TavNode {
-    fn new(tx: TxId, page: FrameId) -> Self {
-        TavNode {
-            tx,
-            page,
-            read: BlockVec::EMPTY,
-            write: BlockVec::EMPTY,
-            read_words: WordVec::EMPTY,
-            write_words: WordVec::EMPTY,
-            next_in_page: None,
-            next_in_tx: None,
-        }
-    }
-
-    /// Records an overflowed read of `block` (and words, if tracking them).
-    pub fn record_read(&mut self, block: BlockIdx, words: Option<WordMask>) {
-        self.read.set(block);
-        if let Some(w) = words {
-            self.read_words.set_block_words(block, w);
-        }
-    }
-
-    /// Records an overflowed write of `block` (and words, if tracking them).
-    pub fn record_write(&mut self, block: BlockIdx, words: Option<WordMask>) {
-        self.write.set(block);
-        if let Some(w) = words {
-            self.write_words.set_block_words(block, w);
-        }
+#[inline(always)]
+fn pack(link: Option<TavRef>) -> u32 {
+    match link {
+        Some(r) => r.0,
+        None => NIL,
     }
 }
 
-/// Arena of TAV nodes with a free list.
+#[inline(always)]
+fn unpack(raw: u32) -> Option<TavRef> {
+    (raw != NIL).then_some(TavRef(raw))
+}
+
+/// Arena of TAV nodes with a free list, stored struct-of-arrays.
 ///
 /// # Examples
 ///
@@ -90,13 +63,24 @@ impl TavNode {
 ///
 /// let mut arena = TavArena::new();
 /// let r = arena.alloc(TxId(1), FrameId(0));
-/// assert_eq!(arena.get(r).tx, TxId(1));
+/// assert_eq!(arena.tx_of(r), TxId(1));
 /// arena.free(r);
 /// assert_eq!(arena.live(), 0);
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct TavArena {
-    nodes: Vec<Option<TavNode>>,
+    // Hot columns: everything a conflict-detection or commit walk reads.
+    tx: Vec<TxId>,
+    page: Vec<FrameId>,
+    read: Vec<BlockVec>,
+    write: Vec<BlockVec>,
+    next_in_page: Vec<u32>,
+    next_in_tx: Vec<u32>,
+    /// Liveness bitmap backing the use-after-free / double-free checks.
+    alive: Vec<bool>,
+    // Cold columns: 128-byte word vectors, only touched in word mode.
+    read_words: Vec<WordVec>,
+    write_words: Vec<WordVec>,
     free: Vec<u32>,
     live: usize,
     peak: usize,
@@ -140,17 +124,33 @@ impl TavArena {
 
     /// Allocates a fresh node for `(tx, page)`.
     pub fn alloc(&mut self, tx: TxId, page: FrameId) -> TavRef {
-        let node = TavNode::new(tx, page);
         self.live += 1;
         self.peak = self.peak.max(self.live);
         match self.free.pop() {
             Some(i) => {
-                self.nodes[i as usize] = Some(node);
+                let s = i as usize;
+                self.tx[s] = tx;
+                self.page[s] = page;
+                self.read[s] = BlockVec::EMPTY;
+                self.write[s] = BlockVec::EMPTY;
+                self.read_words[s] = WordVec::EMPTY;
+                self.write_words[s] = WordVec::EMPTY;
+                self.next_in_page[s] = NIL;
+                self.next_in_tx[s] = NIL;
+                self.alive[s] = true;
                 TavRef(i)
             }
             None => {
-                self.nodes.push(Some(node));
-                TavRef((self.nodes.len() - 1) as u32)
+                self.tx.push(tx);
+                self.page.push(page);
+                self.read.push(BlockVec::EMPTY);
+                self.write.push(BlockVec::EMPTY);
+                self.read_words.push(WordVec::EMPTY);
+                self.write_words.push(WordVec::EMPTY);
+                self.next_in_page.push(NIL);
+                self.next_in_tx.push(NIL);
+                self.alive.push(true);
+                TavRef((self.tx.len() - 1) as u32)
             }
         }
     }
@@ -161,36 +161,116 @@ impl TavArena {
     ///
     /// Panics on double free.
     pub fn free(&mut self, r: TavRef) {
-        let slot = &mut self.nodes[r.0 as usize];
-        assert!(slot.is_some(), "double free of {r}");
-        *slot = None;
+        assert!(self.alive[r.0 as usize], "double free of {r}");
+        self.alive[r.0 as usize] = false;
         self.free.push(r.0);
         self.live -= 1;
     }
 
-    /// Borrows a node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the node has been freed.
-    pub fn get(&self, r: TavRef) -> &TavNode {
-        self.nodes[r.0 as usize]
-            .as_ref()
-            .unwrap_or_else(|| panic!("use after free of {r}"))
+    #[inline(always)]
+    fn check(&self, r: TavRef) -> usize {
+        if !self.alive[r.0 as usize] {
+            dead_node(r);
+        }
+        r.0 as usize
     }
 
-    /// Mutably borrows a node.
+    /// The transaction a node belongs to.
     ///
     /// # Panics
     ///
-    /// Panics if the node has been freed.
-    pub fn get_mut(&mut self, r: TavRef) -> &mut TavNode {
-        self.nodes[r.0 as usize]
-            .as_mut()
-            .unwrap_or_else(|| panic!("use after free of {r}"))
+    /// Panics (like every accessor) if the node has been freed.
+    #[inline(always)]
+    pub fn tx_of(&self, r: TavRef) -> TxId {
+        let s = self.check(r);
+        self.tx[s]
+    }
+
+    /// The (home) frame of the page a node describes.
+    #[inline(always)]
+    pub fn page_of(&self, r: TavRef) -> FrameId {
+        let s = self.check(r);
+        self.page[s]
+    }
+
+    /// Blocks of the page the transaction read and then overflowed.
+    #[inline(always)]
+    pub fn read_vec(&self, r: TavRef) -> BlockVec {
+        let s = self.check(r);
+        self.read[s]
+    }
+
+    /// Blocks of the page the transaction dirtied and then overflowed.
+    #[inline(always)]
+    pub fn write_vec(&self, r: TavRef) -> BlockVec {
+        let s = self.check(r);
+        self.write[s]
+    }
+
+    /// Word-granular read vector (`wd:cache+mem` only).
+    #[inline(always)]
+    pub fn read_words(&self, r: TavRef) -> &WordVec {
+        let s = self.check(r);
+        &self.read_words[s]
+    }
+
+    /// Word-granular write vector (`wd:cache+mem` only).
+    #[inline(always)]
+    pub fn write_words(&self, r: TavRef) -> &WordVec {
+        let s = self.check(r);
+        &self.write_words[s]
+    }
+
+    /// Next node in the page's horizontal list — the TAV cursor step.
+    #[inline(always)]
+    pub fn next_in_page(&self, r: TavRef) -> Option<TavRef> {
+        let s = self.check(r);
+        unpack(self.next_in_page[s])
+    }
+
+    /// Next node in the transaction's vertical list — the TAV cursor step.
+    #[inline(always)]
+    pub fn next_in_tx(&self, r: TavRef) -> Option<TavRef> {
+        let s = self.check(r);
+        unpack(self.next_in_tx[s])
+    }
+
+    /// Relinks a node's horizontal (per-page) successor.
+    #[inline(always)]
+    pub fn set_next_in_page(&mut self, r: TavRef, next: Option<TavRef>) {
+        let s = self.check(r);
+        self.next_in_page[s] = pack(next);
+    }
+
+    /// Relinks a node's vertical (per-transaction) successor.
+    #[inline(always)]
+    pub fn set_next_in_tx(&mut self, r: TavRef, next: Option<TavRef>) {
+        let s = self.check(r);
+        self.next_in_tx[s] = pack(next);
+    }
+
+    /// Records an overflowed read of `block` (and words, if tracking them).
+    #[inline]
+    pub fn record_read(&mut self, r: TavRef, block: BlockIdx, words: Option<WordMask>) {
+        let s = self.check(r);
+        self.read[s].set(block);
+        if let Some(w) = words {
+            self.read_words[s].set_block_words(block, w);
+        }
+    }
+
+    /// Records an overflowed write of `block` (and words, if tracking them).
+    #[inline]
+    pub fn record_write(&mut self, r: TavRef, block: BlockIdx, words: Option<WordMask>) {
+        let s = self.check(r);
+        self.write[s].set(block);
+        if let Some(w) = words {
+            self.write_words[s].set_block_words(block, w);
+        }
     }
 
     /// Walks a horizontal (per-page) list without allocating.
+    #[inline]
     pub fn page_iter(&self, head: Option<TavRef>) -> ListIter<'_> {
         ListIter {
             arena: self,
@@ -200,6 +280,7 @@ impl TavArena {
     }
 
     /// Walks a vertical (per-transaction) list without allocating.
+    #[inline]
     pub fn tx_iter(&self, head: Option<TavRef>) -> ListIter<'_> {
         ListIter {
             arena: self,
@@ -214,8 +295,9 @@ impl TavArena {
     }
 
     /// Finds the node for `tx` in a page list, if present (single pass).
+    #[inline]
     pub fn find_in_page_list(&self, head: Option<TavRef>, tx: TxId) -> Option<TavRef> {
-        self.page_iter(head).find(|r| self.get(*r).tx == tx)
+        self.page_iter(head).find(|r| self.tx_of(*r) == tx)
     }
 
     /// Unlinks `target` from a horizontal list headed at `head` in a single
@@ -229,18 +311,17 @@ impl TavArena {
         head: Option<TavRef>,
         target: TavRef,
     ) -> Option<TavRef> {
-        let next = self.get(target).next_in_page;
+        let next = self.next_in_page(target);
         if head == Some(target) {
             return next;
         }
         let mut prev = head.unwrap_or_else(|| panic!("{target} not on page list"));
-        while self.get(prev).next_in_page != Some(target) {
+        while self.next_in_page(prev) != Some(target) {
             prev = self
-                .get(prev)
-                .next_in_page
+                .next_in_page(prev)
                 .unwrap_or_else(|| panic!("{target} not on page list"));
         }
-        self.get_mut(prev).next_in_page = next;
+        self.set_next_in_page(prev, next);
         head
     }
 
@@ -249,20 +330,19 @@ impl TavArena {
     /// responsible for any external bookkeeping keyed by the freed nodes.
     pub fn retain_page_list<F>(&mut self, head: Option<TavRef>, mut keep: F) -> Option<TavRef>
     where
-        F: FnMut(&TavNode) -> bool,
+        F: FnMut(&TavArena, TavRef) -> bool,
     {
         let mut head = head;
         let mut prev: Option<TavRef> = None;
         let mut cur = head;
         while let Some(r) = cur {
-            let node = self.get(r);
-            let next = node.next_in_page;
-            if keep(node) {
+            let next = self.next_in_page(r);
+            if keep(self, r) {
                 prev = Some(r);
             } else {
                 match prev {
                     None => head = next,
-                    Some(p) => self.get_mut(p).next_in_page = next,
+                    Some(p) => self.set_next_in_page(p, next),
                 }
                 self.free(r);
             }
@@ -276,41 +356,59 @@ impl TavArena {
     pub fn repoint_page_list(&mut self, head: Option<TavRef>, new_page: FrameId) {
         let mut cur = head;
         while let Some(r) = cur {
-            let node = self.get_mut(r);
-            node.page = new_page;
-            cur = node.next_in_page;
+            let s = self.check(r);
+            self.page[s] = new_page;
+            cur = unpack(self.next_in_page[s]);
         }
     }
 
     /// ORs together the read and write vectors of a page list in one pass —
     /// the VTS summary vectors (§4.2.2).
     pub fn block_summaries(&self, head: Option<TavRef>) -> (BlockVec, BlockVec) {
-        self.page_iter(head)
-            .fold((BlockVec::EMPTY, BlockVec::EMPTY), |(r_acc, w_acc), r| {
-                let n = self.get(r);
-                (r_acc | n.read, w_acc | n.write)
-            })
+        let mut r_acc = BlockVec::EMPTY;
+        let mut w_acc = BlockVec::EMPTY;
+        let mut cur = head;
+        while let Some(r) = cur {
+            let s = self.check(r);
+            r_acc = r_acc | self.read[s];
+            w_acc = w_acc | self.write[s];
+            cur = unpack(self.next_in_page[s]);
+        }
+        (r_acc, w_acc)
     }
 
     /// ORs together the write vectors of a page list — the VTS write
     /// *summary* vector (§4.2.2).
     pub fn write_summary(&self, head: Option<TavRef>) -> BlockVec {
         self.page_iter(head)
-            .fold(BlockVec::EMPTY, |acc, r| acc | self.get(r).write)
+            .fold(BlockVec::EMPTY, |acc, r| acc | self.write_vec(r))
     }
 
     /// ORs together the read vectors of a page list — the VTS read summary
     /// vector.
     pub fn read_summary(&self, head: Option<TavRef>) -> BlockVec {
         self.page_iter(head)
-            .fold(BlockVec::EMPTY, |acc, r| acc | self.get(r).read)
+            .fold(BlockVec::EMPTY, |acc, r| acc | self.read_vec(r))
     }
 
-    /// ORs together the word-granular write vectors of a page list.
+    /// ORs together the word-granular write vectors of a page list, in
+    /// place — no 128-byte temporaries per node.
     pub fn word_write_summary(&self, head: Option<TavRef>) -> WordVec {
-        self.page_iter(head)
-            .fold(WordVec::EMPTY, |acc, r| acc | self.get(r).write_words)
+        let mut acc = WordVec::EMPTY;
+        let mut cur = head;
+        while let Some(r) = cur {
+            let s = self.check(r);
+            acc.union_with(&self.write_words[s]);
+            cur = unpack(self.next_in_page[s]);
+        }
+        acc
     }
+}
+
+#[cold]
+#[inline(never)]
+fn dead_node(r: TavRef) -> ! {
+    panic!("use after free of {r}");
 }
 
 /// Which link field a [`ListIter`] follows.
@@ -336,12 +434,12 @@ pub struct ListIter<'a> {
 impl Iterator for ListIter<'_> {
     type Item = TavRef;
 
+    #[inline]
     fn next(&mut self) -> Option<TavRef> {
         let r = self.cur?;
-        let node = self.arena.get(r);
         self.cur = match self.link {
-            Link::Page => node.next_in_page,
-            Link::Tx => node.next_in_tx,
+            Link::Page => self.arena.next_in_page(r),
+            Link::Tx => self.arena.next_in_tx(r),
         };
         Some(r)
     }
@@ -364,16 +462,34 @@ mod tests {
     }
 
     #[test]
+    fn reused_slot_starts_clean() {
+        let mut a = TavArena::new();
+        let r1 = a.alloc(TxId(1), FrameId(0));
+        a.record_write(r1, BlockIdx(5), Some(WordMask(0b11)));
+        a.set_next_in_page(r1, None);
+        a.free(r1);
+        let r2 = a.alloc(TxId(2), FrameId(1));
+        assert_eq!(r1, r2);
+        assert!(a.read_vec(r2).is_empty());
+        assert!(a.write_vec(r2).is_empty());
+        assert!(a.write_words(r2).is_empty());
+        assert_eq!(a.next_in_page(r2), None);
+        assert_eq!(a.next_in_tx(r2), None);
+    }
+
+    #[test]
     fn record_accesses_set_vectors() {
         let mut a = TavArena::new();
         let r = a.alloc(TxId(1), FrameId(0));
-        a.get_mut(r).record_read(BlockIdx(3), None);
-        a.get_mut(r).record_write(BlockIdx(5), Some(WordMask(0b11)));
-        let n = a.get(r);
-        assert!(n.read.get(BlockIdx(3)));
-        assert!(n.write.get(BlockIdx(5)));
-        assert_eq!(n.write_words.block_words(BlockIdx(5)), WordMask(0b11));
-        assert!(n.read_words.is_empty(), "words only tracked when provided");
+        a.record_read(r, BlockIdx(3), None);
+        a.record_write(r, BlockIdx(5), Some(WordMask(0b11)));
+        assert!(a.read_vec(r).get(BlockIdx(3)));
+        assert!(a.write_vec(r).get(BlockIdx(5)));
+        assert_eq!(a.write_words(r).block_words(BlockIdx(5)), WordMask(0b11));
+        assert!(
+            a.read_words(r).is_empty(),
+            "words only tracked when provided"
+        );
     }
 
     #[test]
@@ -381,7 +497,7 @@ mod tests {
         let mut a = TavArena::new();
         let r1 = a.alloc(TxId(1), FrameId(0));
         let r2 = a.alloc(TxId(2), FrameId(0));
-        a.get_mut(r2).next_in_page = Some(r1);
+        a.set_next_in_page(r2, Some(r1));
         let head = Some(r2);
         assert_eq!(a.page_iter(head).collect::<Vec<_>>(), vec![r2, r1]);
         assert_eq!(a.page_list_len(head), 2);
@@ -396,8 +512,8 @@ mod tests {
         let r2 = a.alloc(TxId(2), FrameId(0));
         let r3 = a.alloc(TxId(3), FrameId(0));
         // List: r3 -> r2 -> r1
-        a.get_mut(r3).next_in_page = Some(r2);
-        a.get_mut(r2).next_in_page = Some(r1);
+        a.set_next_in_page(r3, Some(r2));
+        a.set_next_in_page(r2, Some(r1));
 
         // Unlink middle.
         let head = a.unlink_from_page_list(Some(r3), r2);
@@ -418,7 +534,7 @@ mod tests {
         fn build(a: &mut TavArena) -> (Vec<TavRef>, Option<TavRef>) {
             let refs: Vec<TavRef> = (0..4).map(|i| a.alloc(TxId(i), FrameId(0))).collect();
             for w in refs.windows(2) {
-                a.get_mut(w[0]).next_in_page = Some(w[1]);
+                a.set_next_in_page(w[0], Some(w[1]));
             }
             let head = Some(refs[0]);
             (refs, head)
@@ -433,7 +549,7 @@ mod tests {
             vec![refs[1], refs[2], refs[3]]
         );
         assert_eq!(
-            a.get(refs[0]).next_in_page,
+            a.next_in_page(refs[0]),
             Some(refs[1]),
             "unlinked node keeps its link"
         );
@@ -456,7 +572,7 @@ mod tests {
             vec![refs[0], refs[1], refs[2]]
         );
         assert_eq!(
-            a.get(refs[2]).next_in_page,
+            a.next_in_page(refs[2]),
             None,
             "new tail terminates the list"
         );
@@ -476,9 +592,9 @@ mod tests {
         let mut a = TavArena::new();
         let refs: Vec<TavRef> = (0..5).map(|i| a.alloc(TxId(i), FrameId(0))).collect();
         for w in refs.windows(2) {
-            a.get_mut(w[0]).next_in_page = Some(w[1]);
+            a.set_next_in_page(w[0], Some(w[1]));
         }
-        let head = a.retain_page_list(Some(refs[0]), |n| n.tx.0 % 2 == 0);
+        let head = a.retain_page_list(Some(refs[0]), |a, r| a.tx_of(r).0 % 2 == 0);
         assert_eq!(
             a.page_iter(head).collect::<Vec<_>>(),
             vec![refs[0], refs[2], refs[4]]
@@ -486,7 +602,7 @@ mod tests {
         assert_eq!(a.live(), 3, "failing nodes were freed");
 
         // Dropping the head works too.
-        let head = a.retain_page_list(head, |n| n.tx != TxId(0));
+        let head = a.retain_page_list(head, |a, r| a.tx_of(r) != TxId(0));
         assert_eq!(
             a.page_iter(head).collect::<Vec<_>>(),
             vec![refs[2], refs[4]]
@@ -499,10 +615,10 @@ mod tests {
         let mut a = TavArena::new();
         let r1 = a.alloc(TxId(1), FrameId(0));
         let r2 = a.alloc(TxId(2), FrameId(0));
-        a.get_mut(r2).next_in_page = Some(r1);
+        a.set_next_in_page(r2, Some(r1));
         a.repoint_page_list(Some(r2), FrameId(9));
-        assert_eq!(a.get(r1).page, FrameId(9));
-        assert_eq!(a.get(r2).page, FrameId(9));
+        assert_eq!(a.page_of(r1), FrameId(9));
+        assert_eq!(a.page_of(r2), FrameId(9));
     }
 
     #[test]
@@ -510,10 +626,10 @@ mod tests {
         let mut a = TavArena::new();
         let r1 = a.alloc(TxId(1), FrameId(0));
         let r2 = a.alloc(TxId(2), FrameId(0));
-        a.get_mut(r1).record_write(BlockIdx(0), None);
-        a.get_mut(r2).record_write(BlockIdx(1), None);
-        a.get_mut(r2).record_read(BlockIdx(2), None);
-        a.get_mut(r2).next_in_page = Some(r1);
+        a.record_write(r1, BlockIdx(0), None);
+        a.record_write(r2, BlockIdx(1), None);
+        a.record_read(r2, BlockIdx(2), None);
+        a.set_next_in_page(r2, Some(r1));
         let head = Some(r2);
         let w = a.write_summary(head);
         assert!(w.get(BlockIdx(0)) && w.get(BlockIdx(1)));
@@ -525,12 +641,24 @@ mod tests {
     }
 
     #[test]
+    fn word_write_summary_unions_in_place() {
+        let mut a = TavArena::new();
+        let r1 = a.alloc(TxId(1), FrameId(0));
+        let r2 = a.alloc(TxId(2), FrameId(0));
+        a.record_write(r1, BlockIdx(0), Some(WordMask(0b01)));
+        a.record_write(r2, BlockIdx(0), Some(WordMask(0b10)));
+        a.set_next_in_page(r2, Some(r1));
+        let sum = a.word_write_summary(Some(r2));
+        assert_eq!(sum.block_words(BlockIdx(0)), WordMask(0b11));
+    }
+
+    #[test]
     fn vertical_list_is_independent_of_horizontal() {
         let mut a = TavArena::new();
         // tx 1 touches two pages.
         let p0 = a.alloc(TxId(1), FrameId(0));
         let p1 = a.alloc(TxId(1), FrameId(1));
-        a.get_mut(p0).next_in_tx = Some(p1);
+        a.set_next_in_tx(p0, Some(p1));
         assert_eq!(a.tx_iter(Some(p0)).collect::<Vec<_>>(), vec![p0, p1]);
         assert_eq!(
             a.page_iter(Some(p0)).collect::<Vec<_>>(),
@@ -545,7 +673,16 @@ mod tests {
         let mut a = TavArena::new();
         let r = a.alloc(TxId(1), FrameId(0));
         a.free(r);
-        let _ = a.get(r);
+        let _ = a.tx_of(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = TavArena::new();
+        let r = a.alloc(TxId(1), FrameId(0));
+        a.free(r);
+        a.free(r);
     }
 
     #[test]

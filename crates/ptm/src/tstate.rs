@@ -8,8 +8,7 @@
 //! commit/abort); the TAV cleanup then proceeds lazily.
 
 use crate::tav::TavRef;
-use ptm_types::TxId;
-use std::collections::HashMap;
+use ptm_types::{FastMap, TxId};
 use std::fmt;
 
 /// Lifecycle states of a transaction.
@@ -80,7 +79,7 @@ pub struct TStateEntry {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct TStateTable {
-    entries: HashMap<TxId, TStateEntry>,
+    entries: FastMap<TxId, TStateEntry>,
 }
 
 impl TStateTable {

@@ -11,8 +11,7 @@
 //! of the in-memory structures — real accesses through the shared memory
 //! pipeline, which is how VTS pressure shows up in Figure 4.
 
-use ptm_types::Cycle;
-use std::collections::HashMap;
+use ptm_types::{Cycle, FastMap};
 use std::hash::Hash;
 
 /// Outcome of touching an LRU-tracked cache.
@@ -35,10 +34,26 @@ impl Touch {
     }
 }
 
+/// Slab index used as a null link.
+const NIL: u32 = u32::MAX;
+
+/// A node in the tracker's recency list (a slab-allocated intrusive
+/// doubly-linked list: head = most recent, tail = eviction victim).
+#[derive(Debug, Clone)]
+struct LruNode<K> {
+    key: K,
+    prev: u32,
+    next: u32,
+    dirty: bool,
+}
+
 /// A fully associative LRU *presence* tracker with bounded capacity.
 ///
 /// Tracks which keys a hardware cache would currently hold, plus a dirty bit
-/// per key; contents always come from the authoritative structures.
+/// per key; contents always come from the authoritative structures. Touch
+/// and eviction are O(1): recency is an intrusive doubly-linked list over a
+/// slab, so finding the LRU victim is reading the list tail rather than
+/// scanning every entry.
 ///
 /// # Examples
 ///
@@ -55,8 +70,11 @@ impl Touch {
 #[derive(Debug, Clone)]
 pub struct LruTracker<K: Eq + Hash + Clone> {
     capacity: usize,
-    entries: HashMap<K, (u64, bool)>,
-    clock: u64,
+    index: FastMap<K, u32>,
+    nodes: Vec<LruNode<K>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
 }
 
 impl<K: Eq + Hash + Clone> LruTracker<K> {
@@ -69,59 +87,122 @@ impl<K: Eq + Hash + Clone> LruTracker<K> {
         assert!(capacity > 0, "cache capacity must be positive");
         LruTracker {
             capacity,
-            entries: HashMap::new(),
-            clock: 0,
+            index: FastMap::default(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
         }
+    }
+
+    /// Detaches node `i` from the recency list (its slot stays allocated).
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[i as usize];
+            (n.prev, n.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n as usize].prev = prev,
+        }
+    }
+
+    /// Links node `i` at the head (most recently used).
+    fn push_front(&mut self, i: u32) {
+        let old = self.head;
+        {
+            let n = &mut self.nodes[i as usize];
+            n.prev = NIL;
+            n.next = old;
+        }
+        match old {
+            NIL => self.tail = i,
+            h => self.nodes[h as usize].prev = i,
+        }
+        self.head = i;
     }
 
     /// Touches `key`: refreshes it if present, otherwise inserts it,
     /// evicting the LRU entry when full.
     pub fn touch(&mut self, key: K) -> Touch {
-        self.clock += 1;
-        if let Some((lru, _)) = self.entries.get_mut(&key) {
-            *lru = self.clock;
+        if let Some(&i) = self.index.get(&key) {
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
             return Touch::Hit;
         }
         let mut evicted_dirty = false;
-        if self.entries.len() >= self.capacity {
-            let victim = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (lru, _))| *lru)
-                .map(|(k, (_, dirty))| (k.clone(), *dirty))
-                .expect("full cache has entries");
-            evicted_dirty = victim.1;
-            self.entries.remove(&victim.0);
-        }
-        self.entries.insert(key, (self.clock, false));
+        let slot = if self.index.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let node = &mut self.nodes[victim as usize];
+            evicted_dirty = node.dirty;
+            let old_key = std::mem::replace(&mut node.key, key.clone());
+            node.dirty = false;
+            self.index.remove(&old_key);
+            victim
+        } else if let Some(slot) = self.free.pop() {
+            let node = &mut self.nodes[slot as usize];
+            node.key = key.clone();
+            node.dirty = false;
+            slot
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(LruNode {
+                key: key.clone(),
+                prev: NIL,
+                next: NIL,
+                dirty: false,
+            });
+            slot
+        };
+        self.index.insert(key, slot);
+        self.push_front(slot);
         Touch::Miss { evicted_dirty }
     }
 
     /// Marks a (present) key dirty; no-op when absent.
     pub fn mark_dirty(&mut self, key: &K) {
-        if let Some((_, dirty)) = self.entries.get_mut(key) {
-            *dirty = true;
+        if let Some(&i) = self.index.get(key) {
+            self.nodes[i as usize].dirty = true;
         }
     }
 
     /// Drops a key without a writeback (structure moved/freed in memory).
     pub fn remove(&mut self, key: &K) {
-        self.entries.remove(key);
+        if let Some(i) = self.index.remove(key) {
+            self.unlink(i);
+            self.free.push(i);
+        }
     }
 
     /// Drops every key matching the predicate.
     pub fn remove_matching<F: FnMut(&K) -> bool>(&mut self, mut pred: F) {
-        self.entries.retain(|k, _| !pred(k));
+        let mut i = self.head;
+        while i != NIL {
+            let next = self.nodes[i as usize].next;
+            if pred(&self.nodes[i as usize].key) {
+                self.index.remove(&self.nodes[i as usize].key);
+                self.unlink(i);
+                self.free.push(i);
+            }
+            i = next;
+        }
     }
 
     /// Number of cached keys.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Returns `true` if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 }
 
@@ -147,11 +228,10 @@ impl VtsCost {
     /// `lookup_latency` each (taking the max as they overlap the request),
     /// memory accesses go through the controller's pipelined memory slots.
     pub fn charge(self, now: Cycle, lookup_latency: u64, bus: &mut ptm_cache::SystemBus) -> Cycle {
-        let mut done = now + lookup_latency * u64::from(self.lookups.min(2));
-        for _ in 0..self.memory_accesses {
-            done = bus.controller_mem_access(done.max(now));
-        }
-        done
+        let done = now + lookup_latency * u64::from(self.lookups.min(2));
+        // The whole walk is charged as one batched burst: each access chains
+        // off the previous completion, identical to a per-access loop.
+        bus.controller_mem_accesses(done, self.memory_accesses)
     }
 }
 
@@ -210,6 +290,85 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = LruTracker::<u8>::new(0);
+    }
+
+    #[test]
+    fn removed_slots_are_reused() {
+        let mut t = LruTracker::new(3);
+        t.touch(1u32);
+        t.touch(2);
+        t.touch(3);
+        t.remove(&2);
+        assert_eq!(t.len(), 2);
+        assert!(!t.touch(4).is_hit(), "room after removal, no eviction");
+        assert_eq!(t.len(), 3);
+        assert!(t.touch(1).is_hit());
+        assert!(t.touch(3).is_hit());
+    }
+
+    /// The linked-list tracker must agree, operation for operation, with a
+    /// brute-force model that scans for the oldest entry (the semantics the
+    /// tracker had when it stored explicit clocks).
+    #[test]
+    fn matches_min_clock_scan_model() {
+        struct Model {
+            capacity: usize,
+            entries: Vec<(u32, u64, bool)>, // (key, last-touch clock, dirty)
+            clock: u64,
+        }
+        impl Model {
+            fn touch(&mut self, key: u32) -> Touch {
+                self.clock += 1;
+                if let Some(e) = self.entries.iter_mut().find(|e| e.0 == key) {
+                    e.1 = self.clock;
+                    return Touch::Hit;
+                }
+                let mut evicted_dirty = false;
+                if self.entries.len() >= self.capacity {
+                    let (pos, _) = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.1)
+                        .expect("full");
+                    evicted_dirty = self.entries.remove(pos).2;
+                }
+                self.entries.push((key, self.clock, false));
+                Touch::Miss { evicted_dirty }
+            }
+        }
+
+        let mut rng = ptm_types::SplitMix64::new(0xC0FFEE);
+        let mut t = LruTracker::new(8);
+        let mut m = Model {
+            capacity: 8,
+            entries: Vec::new(),
+            clock: 0,
+        };
+        for _ in 0..4000 {
+            let r = rng.next_u64();
+            let key = (r >> 8) as u32 % 24;
+            match r % 10 {
+                0 => {
+                    t.mark_dirty(&key);
+                    if let Some(e) = m.entries.iter_mut().find(|e| e.0 == key) {
+                        e.2 = true;
+                    }
+                }
+                1 => {
+                    t.remove(&key);
+                    m.entries.retain(|e| e.0 != key);
+                }
+                2 => {
+                    t.remove_matching(|k| k % 5 == key % 5);
+                    m.entries.retain(|e| e.0 % 5 != key % 5);
+                }
+                _ => {
+                    assert_eq!(t.touch(key), m.touch(key), "key {key}");
+                }
+            }
+            assert_eq!(t.len(), m.entries.len());
+        }
     }
 
     #[test]

@@ -303,8 +303,12 @@ fn select_commit_while_swapped_cleans_up_in_place() {
     // While swapped, the page's TAV node must not reference the (freed,
     // reusable) home frame any more.
     let sit = ptm.sit_entry(out.home_slot).unwrap();
-    let node = ptm.tav_arena().get(sit.tav_head.unwrap());
-    assert_ne!(node.page, FrameId(0), "node repointed off the dead frame");
+    let node = sit.tav_head.unwrap();
+    assert_ne!(
+        ptm.tav_arena().page_of(node),
+        FrameId(0),
+        "node repointed off the dead frame"
+    );
 
     // Commit without swapping in: selection toggles in the SIT, the TAV
     // node is freed, and the now-dead shadow image is folded into the home
@@ -398,7 +402,7 @@ fn commit_of_resident_page_unaffected_by_another_swapped_tx() {
 
     let sit = ptm.sit_entry(out.home_slot).unwrap();
     assert!(sit.tav_head.is_some(), "swapped tx untouched");
-    assert_eq!(ptm.tav_arena().get(sit.tav_head.unwrap()).tx, TxId(0));
+    assert_eq!(ptm.tav_arena().tx_of(sit.tav_head.unwrap()), TxId(0));
 
     // And the swapped transaction still commits cleanly afterwards.
     ptm.commit(TxId(0), &mut mem, &mut swap, 20, &mut b);

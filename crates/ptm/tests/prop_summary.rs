@@ -51,12 +51,13 @@ fn assert_summaries(ptm: &PtmSystem, frame: FrameId, ctx: &str) {
         return;
     };
     let (union_read, union_write) = ptm.tav_arena().block_summaries(entry.tav_head);
+    let (sum_read, sum_write) = ptm.spt_summaries(frame);
     assert_eq!(
-        entry.sum_read, union_read,
+        sum_read, union_read,
         "{ctx}: read summary diverged from TAV union on {frame}"
     );
     assert_eq!(
-        entry.sum_write, union_write,
+        sum_write, union_write,
         "{ctx}: write summary diverged from TAV union on {frame}"
     );
 }
@@ -162,7 +163,8 @@ proptest! {
                 // With no live transactions, summaries must be empty again.
                 if let Some(entry) = ptm.spt_entry(*f) {
                     prop_assert!(entry.tav_head.is_none(), "all TAV nodes freed");
-                    prop_assert!(entry.sum_read.is_empty() && entry.sum_write.is_empty());
+                    let (sum_read, sum_write) = ptm.spt_summaries(*f);
+                    prop_assert!(sum_read.is_empty() && sum_write.is_empty());
                 }
             }
         }

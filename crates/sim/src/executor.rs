@@ -38,8 +38,9 @@ use crate::machine::{trace_word, Machine};
 use crate::ops::Op;
 use ptm_cache::{Hit, Moesi};
 use ptm_core::system::AccessKind;
-use ptm_types::{Cycle, PhysAddr, PhysBlock, ProcessId, TxId, VirtAddr, WordIdx, BLOCK_SIZE};
-use std::collections::{HashMap, HashSet};
+use ptm_types::{
+    Cycle, FastMap, FastSet, PhysAddr, PhysBlock, ProcessId, TxId, VirtAddr, WordIdx, BLOCK_SIZE,
+};
 
 /// Host-side knobs for [`Machine::run_parallel`].
 #[derive(Debug, Clone, Copy)]
@@ -148,7 +149,7 @@ pub(crate) struct ExecLog {
     /// Last core to write each block this epoch (consumed speculative
     /// writes and live functional writes alike). A consume against a block
     /// another core wrote is discarded.
-    writers: HashMap<PhysBlock, usize>,
+    writers: FastMap<PhysBlock, usize>,
     /// Total poison notifications (for [`ExecStats::poison_events`]).
     pub(crate) poison_events: u64,
 }
@@ -161,7 +162,7 @@ impl ExecLog {
             poison_all: false,
             poisoned: Vec::new(),
             pending: Vec::new(),
-            writers: HashMap::new(),
+            writers: FastMap::default(),
             poison_events: 0,
         }
     }
@@ -300,15 +301,15 @@ struct RunOverlay {
     /// semantics so hit levels (and therefore latencies) stay exact.
     ///
     /// [`CacheArray::insert`]: ptm_cache::CacheArray::insert
-    l1_sets: HashMap<usize, Vec<(PhysBlock, u64)>>,
+    l1_sets: FastMap<usize, Vec<(PhysBlock, u64)>>,
     l1_clock: u64,
     /// MOESI overrides (this run's writes leave lines Modified).
-    moesi: HashMap<PhysBlock, Moesi>,
+    moesi: FastMap<PhysBlock, Moesi>,
     /// Functional words this run wrote.
-    data: HashMap<(PhysBlock, WordIdx), u32>,
+    data: FastMap<(PhysBlock, WordIdx), u32>,
     /// Blocks whose first transactional buffer this run creates (later
     /// writes must not precompute another snapshot).
-    buffered: HashSet<PhysBlock>,
+    buffered: FastSet<PhysBlock>,
 }
 
 /// Frozen-lru values stay below this; overlay insertions count up from it,
@@ -566,12 +567,9 @@ impl Machine {
                         }
                     }
                     self.exec_log.note_write(block, idx);
-                    self.stats.pages.insert((pid, va.vpn()));
-                    if tx.is_some() {
-                        self.stats.tx_write_pages.insert((pid, va.vpn()));
-                    }
+                    self.note_page_touch(idx, pid, va.vpn(), tx.is_some());
                 } else {
-                    self.stats.pages.insert((pid, va.vpn()));
+                    self.note_page_touch(idx, pid, va.vpn(), false);
                 }
                 self.stats.mem_ops += 1;
                 self.cores[idx].prog.advance();

@@ -4,8 +4,7 @@
 
 use ptm_core::vts::{LruTracker, Touch};
 use ptm_mem::{PageTable, PhysicalMemory, Pte, SwapStore};
-use ptm_types::{Cycle, FrameId, PhysAddr, ProcessId, SwapSlot, VirtAddr, Vpn};
-use std::collections::HashMap;
+use ptm_types::{Cycle, FastMap, FrameId, PhysAddr, ProcessId, SwapSlot, VirtAddr, Vpn};
 
 /// OS-model parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,7 +104,7 @@ pub enum Translation {
 #[derive(Debug, Clone)]
 pub struct Kernel {
     cfg: KernelConfig,
-    page_tables: HashMap<ProcessId, PageTable>,
+    page_tables: FastMap<ProcessId, PageTable>,
     /// The swap store (shared with the PTM paging hooks).
     pub swap: SwapStore,
     tlb: LruTracker<(ProcessId, Vpn)>,
@@ -117,7 +116,7 @@ impl Kernel {
     pub fn new(cfg: KernelConfig) -> Self {
         Kernel {
             tlb: LruTracker::new(cfg.tlb_entries),
-            page_tables: HashMap::new(),
+            page_tables: FastMap::default(),
             swap: SwapStore::new(),
             stats: KernelStats::default(),
             cfg,

@@ -5,8 +5,7 @@
 //! (spinning while held) and `End` releases it; the body runs
 //! non-transactionally, since mutual exclusion already serializes it.
 
-use ptm_types::{Cycle, ThreadId, VirtAddr};
-use std::collections::HashMap;
+use ptm_types::{Cycle, FastMap, ThreadId, VirtAddr};
 
 /// Result of a lock acquisition attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +33,7 @@ pub enum LockAttempt {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct LockTable {
-    held: HashMap<VirtAddr, (ThreadId, Cycle)>,
+    held: FastMap<VirtAddr, (ThreadId, Cycle)>,
     stats: LockStats,
 }
 

@@ -23,8 +23,7 @@
 use ptm_cache::{SystemBus, TxLineMeta};
 use ptm_core::tstate::{TStateTable, TxStatus};
 use ptm_mem::PhysicalMemory;
-use ptm_types::{Cycle, PhysAddr, PhysBlock, TxId};
-use std::collections::HashMap;
+use ptm_types::{Cycle, FastMap, PhysAddr, PhysBlock, TxId};
 
 /// One undo-log record: the word's address and its pre-transaction value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +37,7 @@ pub struct UndoEntry {
 /// The directory's memory of evicted transactional state ("sticky" states).
 #[derive(Debug, Default, Clone)]
 pub struct StickyTable {
-    entries: HashMap<PhysBlock, StickyUse>,
+    entries: FastMap<PhysBlock, StickyUse>,
 }
 
 /// Which transactions an overflowed block is sticky to.
@@ -138,12 +137,12 @@ pub enum Resolution {
 /// The LogTM system state.
 #[derive(Debug, Default, Clone)]
 pub struct LogTmSystem {
-    logs: HashMap<TxId, Vec<UndoEntry>>,
+    logs: FastMap<TxId, Vec<UndoEntry>>,
     sticky: StickyTable,
     tstate: TStateTable,
     /// Transactions currently stalling on a conflict (the possible-cycle
     /// flag of the real protocol).
-    stalling: HashMap<TxId, bool>,
+    stalling: FastMap<TxId, bool>,
     stats: LogTmStats,
 }
 

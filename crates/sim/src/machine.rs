@@ -27,10 +27,9 @@ use ptm_core::system::AccessKind;
 use ptm_mem::{PhysicalMemory, SpecBuffers};
 use ptm_types::ids::TxIdSource;
 use ptm_types::{
-    Cycle, FrameId, PhysAddr, PhysBlock, ProcessId, TxId, VirtAddr, Vpn, WordIdx, BLOCK_SIZE,
-    WORD_SIZE,
+    Cycle, FastMap, FrameId, PhysAddr, PhysBlock, ProcessId, TxId, VirtAddr, Vpn, WordIdx,
+    BLOCK_SIZE, WORD_SIZE,
 };
-use std::collections::HashMap;
 use std::sync::OnceLock;
 
 /// Hard cap on exhaustion abort-and-retry rounds. Each round aborts one live
@@ -113,6 +112,12 @@ pub(crate) struct CoreState {
     cur_ordered: Option<OrderedSeq>,
     lock_stack: Vec<VirtAddr>,
     pub(crate) checksum: u64,
+    /// Stats-dedup memos: the last `(pid, vpn)` this core inserted into
+    /// `stats.pages` / `stats.tx_write_pages`. Consecutive ops overwhelmingly
+    /// touch the same page, so the memo skips the idempotent hash insert.
+    /// Purely a fast path — a stale memo only re-inserts an existing key.
+    last_stat_page: Option<(ProcessId, Vpn)>,
+    last_tx_write_page: Option<(ProcessId, Vpn)>,
     /// Direct-mapped hardware TLB, indexed by `vpn % len`. Entries are
     /// `(pid, vpn)`-tagged, so they need no flush on context switch or
     /// thread migration — only a mapping *change* (swap-out, remap)
@@ -166,9 +171,9 @@ pub struct Machine {
     pub(crate) spec: SpecBuffers,
     tx_src: TxIdSource,
     gate: OrderedGate,
-    pub(crate) tx_owner: HashMap<TxId, usize>,
-    pub(crate) rev_map: HashMap<FrameId, (ProcessId, Vpn)>,
-    barriers: HashMap<u32, BarrierState>,
+    pub(crate) tx_owner: FastMap<TxId, usize>,
+    pub(crate) rev_map: FastMap<FrameId, (ProcessId, Vpn)>,
+    barriers: FastMap<u32, BarrierState>,
     pub(crate) stats: MachineStats,
     /// Extra cycles every swap-in stalls for — zero except under an active
     /// `DelaySwapIns` fault, so plain runs are timing-identical.
@@ -221,6 +226,8 @@ impl Machine {
                     cur_ordered: None,
                     lock_stack: Vec::new(),
                     checksum: 0,
+                    last_stat_page: None,
+                    last_tx_write_page: None,
                     tlb: vec![None; cfg.core_tlb_entries],
                 })
                 .collect(),
@@ -232,9 +239,9 @@ impl Machine {
             spec: SpecBuffers::new(),
             tx_src: TxIdSource::new(),
             gate: OrderedGate::new(),
-            tx_owner: HashMap::new(),
-            rev_map: HashMap::new(),
-            barriers: HashMap::new(),
+            tx_owner: FastMap::default(),
+            rev_map: FastMap::default(),
+            barriers: FastMap::default(),
             stats: MachineStats::default(),
             swap_in_delay: 0,
             ready_dirty: Vec::new(),
@@ -289,20 +296,37 @@ impl Machine {
         let trace_progress = std::env::var("PTM_TRACE_PROGRESS").is_ok();
         let mut heap = self.build_ready_heap();
         while let Some((_, idx)) = heap.peek() {
-            self.step(idx);
+            // Run-ahead dispatch: keep stepping this core while its key stays
+            // strictly below the heap's runner-up, no cross-core effect needs
+            // re-keying, and the program has more work. Every iteration steps
+            // exactly the core a peek would have yielded — heap traffic is
+            // skipped, not reordered — so the schedule is canonical-order
+            // identical to the one-step-per-peek loop.
+            loop {
+                self.step(idx);
+                guard += 1;
+                if trace_progress && guard.is_multiple_of(20_000_000) {
+                    let pcs: Vec<_> = self
+                        .cores
+                        .iter()
+                        .map(|c| (c.prog.thread().0, c.prog.pc(), c.ready_at))
+                        .collect();
+                    eprintln!("[progress] steps={guard} {pcs:?}");
+                }
+                if guard >= limit {
+                    self.progress_panic();
+                }
+                if !self.ready_dirty.is_empty() || self.cores[idx].prog.is_finished() {
+                    break;
+                }
+                match heap.runner_up() {
+                    // (ready_at, core) keys are unique, so strict less-than
+                    // is exactly "still the global minimum".
+                    Some(bound) if (self.cores[idx].ready_at, idx) > bound => break,
+                    _ => {}
+                }
+            }
             self.sync_heap(&mut heap, idx);
-            guard += 1;
-            if trace_progress && guard.is_multiple_of(20_000_000) {
-                let pcs: Vec<_> = self
-                    .cores
-                    .iter()
-                    .map(|c| (c.prog.thread().0, c.prog.pc(), c.ready_at))
-                    .collect();
-                eprintln!("[progress] steps={guard} {pcs:?}");
-            }
-            if guard >= limit {
-                self.progress_panic();
-            }
         }
         self.finalize_stats();
     }
@@ -767,12 +791,9 @@ impl Machine {
                     };
                     self.write_word_functional(tx, pid, va, pa, value);
                     self.exec_log.note_write(pa.block(), idx);
-                    self.stats.pages.insert((pid, va.vpn()));
-                    if tx.is_some() {
-                        self.stats.tx_write_pages.insert((pid, va.vpn()));
-                    }
+                    self.note_page_touch(idx, pid, va.vpn(), tx.is_some());
                 } else {
-                    self.stats.pages.insert((pid, va.vpn()));
+                    self.note_page_touch(idx, pid, va.vpn(), false);
                 }
                 self.stats.mem_ops += 1;
                 self.cores[idx].prog.advance();
@@ -814,9 +835,7 @@ impl Machine {
         // them via a coherence transaction (which displaces them into the
         // overflow structures), or the transaction forks its own line.
         if self.cfg.kernel.migrate_on_cs
-            && peek_remote_tx_use(&self.caches, idx, block)
-                .iter()
-                .any(|r| r.meta.tx == tx)
+            && peek_remote_tx_use(&self.caches, idx, block).any(|r| r.meta.tx == tx)
         {
             return true;
         }
@@ -827,9 +846,7 @@ impl Machine {
         // *other* transaction still holds a preserved word-disjoint copy of
         // the block in another cache, or has overflowed state for it (the
         // §4.6 per-block overflow bit).
-        let remote_tx_copy = peek_remote_tx_use(&self.caches, idx, block)
-            .iter()
-            .any(|r| r.meta.tx != tx);
+        let remote_tx_copy = peek_remote_tx_use(&self.caches, idx, block).any(|r| r.meta.tx != tx);
         if !remote_tx_copy {
             match &self.backend {
                 Backend::Ptm(p) => {
@@ -849,6 +866,21 @@ impl Machine {
                 AccessKind::Write => !m.write_words.get(word),
             },
             _ => true,
+        }
+    }
+
+    /// Records page-touch statistics for one memory op, memoized per core:
+    /// consecutive ops on the same page skip the hash-set insert entirely.
+    #[inline]
+    pub(crate) fn note_page_touch(&mut self, idx: usize, pid: ProcessId, vpn: Vpn, tx_write: bool) {
+        let key = (pid, vpn);
+        if self.cores[idx].last_stat_page != Some(key) {
+            self.stats.pages.insert(key);
+            self.cores[idx].last_stat_page = Some(key);
+        }
+        if tx_write && self.cores[idx].last_tx_write_page != Some(key) {
+            self.stats.tx_write_pages.insert(key);
+            self.cores[idx].last_tx_write_page = Some(key);
         }
     }
 
@@ -1196,12 +1228,16 @@ impl Machine {
             }
         }
 
-        // b. In-cache conflict check via the snoop.
-        let remote = peek_remote_tx_use(&self.caches, idx, block);
-        for r in &remote {
+        // b. In-cache conflict check via the snoop — one pass over the
+        //    remote caches collects the conflicting owners and, for the
+        //    word-granularity write path, whether any *other* writer's line
+        //    is cached (the contested-block test reuses the same snoop).
+        let mut other_cached_writer = false;
+        for r in peek_remote_tx_use(&self.caches, idx, block) {
             if Some(r.meta.tx) == tx {
                 continue;
             }
+            other_cached_writer |= r.meta.write;
             let hit = match (kind, word_mode) {
                 (AccessKind::Read, false) => r.meta.write,
                 (AccessKind::Read, true) => r.meta.write_words.get(word),
@@ -1225,8 +1261,6 @@ impl Machine {
         // toggle fast path, whose snapshots could otherwise go stale.
         if is_write && word_mode {
             if let Backend::Ptm(p) = &mut self.backend {
-                let other_cached_writer =
-                    remote.iter().any(|r| r.meta.write && Some(r.meta.tx) != tx);
                 let other_overflow_writer =
                     p.overflow_writers(block).into_iter().any(|w| Some(w) != tx);
                 if other_cached_writer || other_overflow_writer {
@@ -1294,7 +1328,7 @@ impl Machine {
                 }
             }
         }
-        let outcome = supply(
+        let mut outcome = supply(
             &mut self.caches,
             idx,
             block,
@@ -1304,8 +1338,10 @@ impl Machine {
             tx,
         );
 
-        // e. Displaced remote transactional lines overflow.
-        for line in outcome.displaced_tx.clone() {
+        // e. Displaced remote transactional lines overflow. Taking the list
+        //    (callers never read it from the outcome) avoids cloning the
+        //    lines just to iterate them.
+        for line in std::mem::take(&mut outcome.displaced_tx) {
             if self.handle_eviction(line, now, tx) {
                 return Err(AccessEffect::SelfAborted);
             }

@@ -5,7 +5,6 @@
 //! every lower sequence number in the group has committed.
 
 use crate::ops::OrderedSeq;
-use std::collections::HashMap;
 
 /// Tracks, per ordered group, the next sequence number allowed to commit.
 ///
@@ -25,7 +24,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Default)]
 pub struct OrderedGate {
-    next: HashMap<u32, u64>,
+    next: ptm_types::FastMap<u32, u64>,
 }
 
 impl OrderedGate {

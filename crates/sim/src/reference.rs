@@ -12,11 +12,11 @@
 use crate::ops::Op;
 use crate::program::ThreadProgram;
 use crate::stats::CommittedTx;
-use ptm_types::{ProcessId, VirtAddr};
+use ptm_types::{FastMap, ProcessId, VirtAddr};
 use std::collections::HashMap;
 
 /// A word-level reference memory.
-pub type RefMemory = HashMap<(ProcessId, VirtAddr), u32>;
+pub type RefMemory = FastMap<(ProcessId, VirtAddr), u32>;
 
 /// Executes one operation against the reference memory.
 fn exec_op(mem: &mut RefMemory, pid: ProcessId, op: Op) {
@@ -48,7 +48,7 @@ pub fn serial_reference(programs: &[ThreadProgram], commit_log: &[CommittedTx]) 
         // legitimately reuse shared words across barrier-separated phases).
         return barrier_ordered_replay(programs);
     }
-    let mut mem = RefMemory::new();
+    let mut mem = RefMemory::default();
     let mut done: Vec<usize> = vec![0; programs.len()];
     // Transactions are attributed to *threads* (stable across core
     // migration), not the cores they happened to commit on.
@@ -107,7 +107,7 @@ pub fn crash_reference(
     commit_log: &[CommittedTx],
     watermarks: &HashMap<ptm_types::ThreadId, usize>,
 ) -> RefMemory {
-    let mut mem = RefMemory::new();
+    let mut mem = RefMemory::default();
     let mut done: Vec<usize> = vec![0; programs.len()];
     for c in commit_log {
         let i = programs
@@ -151,7 +151,7 @@ pub fn crash_reference(
 /// together. Sound when, within any phase, cross-thread writes to the same
 /// word are commutative `Rmw`s or absent — the workload convention.
 fn barrier_ordered_replay(programs: &[ThreadProgram]) -> RefMemory {
-    let mut mem = RefMemory::new();
+    let mut mem = RefMemory::default();
     let mut pc: Vec<usize> = vec![0; programs.len()];
     loop {
         let mut progressed = false;

@@ -69,6 +69,19 @@ impl ReadyHeap {
         self.heap.first().copied()
     }
 
+    /// The second-earliest key: the smaller of the root's two children (the
+    /// heap property puts the runner-up there). The run-ahead dispatcher
+    /// keeps stepping the current core while its key stays strictly below
+    /// this bound, skipping all heap traffic for same-core bursts.
+    #[inline]
+    pub fn runner_up(&self) -> Option<(Cycle, usize)> {
+        match (self.heap.get(1), self.heap.get(2)) {
+            (Some(&l), Some(&r)) => Some(l.min(r)),
+            (Some(&l), None) => Some(l),
+            _ => None,
+        }
+    }
+
     /// Inserts `core` with key `ready_at`, or re-keys it if already queued.
     pub fn upsert(&mut self, core: usize, ready_at: Cycle) {
         match self.pos[core] {
@@ -195,6 +208,17 @@ mod tests {
             }
             assert_eq!(heap.peek(), scan_min(&ready));
             assert_eq!(heap.len(), ready.iter().flatten().count());
+            // The runner-up must be the scan's second-smallest key.
+            let second = {
+                let mut keys: Vec<(Cycle, usize)> = ready
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.map(|r| (r, i)))
+                    .collect();
+                keys.sort();
+                keys.get(1).copied()
+            };
+            assert_eq!(heap.runner_up(), second);
         }
     }
 

@@ -1,7 +1,6 @@
 //! Machine-level statistics — the raw material for Table 1.
 
-use ptm_types::{Cycle, ProcessId, ThreadId, TxId, Vpn};
-use std::collections::HashSet;
+use ptm_types::{Cycle, FastSet, ProcessId, ThreadId, TxId, Vpn};
 use std::fmt;
 
 /// A committed transaction, in commit order, with enough provenance to
@@ -39,9 +38,9 @@ pub struct MachineStats {
     /// spins and swap faults.
     pub stall_cycles: u64,
     /// Unique pages touched (transactional and not) — Table 1's "pages".
-    pub pages: HashSet<(ProcessId, Vpn)>,
+    pub pages: FastSet<(ProcessId, Vpn)>,
     /// Unique pages updated by transactional writes — Table 1's "pg-x-wr".
-    pub tx_write_pages: HashSet<(ProcessId, Vpn)>,
+    pub tx_write_pages: FastSet<(ProcessId, Vpn)>,
     /// Core-TLB hits (translations served without consulting the kernel).
     pub tlb_hits: u64,
     /// Core-TLB misses (translations that went through the kernel's

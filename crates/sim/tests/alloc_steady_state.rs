@@ -1,0 +1,94 @@
+//! Steady-state allocation discipline for the sequential cycle loop.
+//!
+//! The raw-speed pass moved the hot structures to preallocated
+//! arena/slab layouts, so once a machine has warmed up (pages touched,
+//! caches filled, TLB slab built) the cycle loop must not allocate at
+//! all. Rather than instrument the loop itself, this test measures the
+//! *total* allocation count of two runs that differ only in how many
+//! times they replay the same working set: every allocation lives in
+//! setup or first touch, so doubling the op count must not change the
+//! count. A per-op (or per-cycle) allocation anywhere in the loop makes
+//! the counts diverge by thousands and fails loudly.
+//!
+//! The workloads are non-transactional on purpose: transactional commits
+//! legitimately grow per-transaction logs, while the plain cycle loop —
+//! fetch, translate, cache, coherence, stats — claims to be allocation
+//! free.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ptm_sim::{run, MachineConfig, Op, SystemKind, ThreadProgram};
+use ptm_types::{ProcessId, ThreadId, VirtAddr};
+
+/// Forwards to the system allocator, counting every alloc/realloc call.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Two threads replaying reads, writes and RMWs over a fixed 16-page
+/// working set, `reps` times. Identical first-touch footprint for any
+/// `reps >= 1`; only the number of steady-state loop iterations varies.
+fn programs(reps: usize) -> Vec<ThreadProgram> {
+    let base = 0x40_0000u64;
+    let pages = 16u64;
+    (0..2u32)
+        .map(|t| {
+            let mut ops = Vec::new();
+            for r in 0..reps {
+                for p in 0..pages {
+                    let addr = VirtAddr::new(base + p * 4096 + u64::from(t) * 64);
+                    ops.push(Op::Write(addr, (r as u32) ^ (p as u32)));
+                    ops.push(Op::Read(addr));
+                    ops.push(Op::Rmw(addr, 3));
+                    ops.push(Op::Compute(2));
+                }
+            }
+            ThreadProgram::new(ProcessId(0), ThreadId(t), ops)
+        })
+        .collect()
+}
+
+/// Allocation count of one full machine run (construction + cycle loop).
+fn allocs_for(reps: usize) -> u64 {
+    let programs = programs(reps);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let m = run(MachineConfig::default(), SystemKind::Vtm, programs);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(m.stats().cycles > 0, "machine ran");
+    after - before
+}
+
+#[test]
+fn steady_state_cycle_loop_is_allocation_free() {
+    // Warm-up run so lazily initialized process/test-harness state does
+    // not bill its allocations to the first measured run.
+    let _ = allocs_for(1);
+
+    let short = allocs_for(50);
+    let long = allocs_for(100);
+    assert_eq!(
+        short, long,
+        "doubling the steady-state iteration count changed the allocation \
+         count: the cycle loop allocates per-op ({short} vs {long} allocations)"
+    );
+}

@@ -38,18 +38,21 @@ impl BlockVec {
     pub const FULL: BlockVec = BlockVec(u64::MAX);
 
     /// Returns the bit for `block`.
+    #[inline(always)]
     pub fn get(self, block: BlockIdx) -> bool {
         debug_assert!((block.0 as usize) < BLOCKS_PER_PAGE);
         (self.0 >> block.0) & 1 == 1
     }
 
     /// Sets the bit for `block`.
+    #[inline(always)]
     pub fn set(&mut self, block: BlockIdx) {
         debug_assert!((block.0 as usize) < BLOCKS_PER_PAGE);
         self.0 |= 1u64 << block.0;
     }
 
     /// Clears the bit for `block`.
+    #[inline(always)]
     pub fn clear(&mut self, block: BlockIdx) {
         debug_assert!((block.0 as usize) < BLOCKS_PER_PAGE);
         self.0 &= !(1u64 << block.0);
@@ -57,27 +60,32 @@ impl BlockVec {
 
     /// Toggles the bit for `block` — the Select-PTM commit operation on a
     /// selection vector.
+    #[inline(always)]
     pub fn toggle(&mut self, block: BlockIdx) {
         debug_assert!((block.0 as usize) < BLOCKS_PER_PAGE);
         self.0 ^= 1u64 << block.0;
     }
 
     /// Returns `true` if no bit is set.
+    #[inline(always)]
     pub fn is_empty(self) -> bool {
         self.0 == 0
     }
 
     /// Number of set bits.
+    #[inline(always)]
     pub fn count(self) -> u32 {
         self.0.count_ones()
     }
 
     /// Iterates over the indices of set bits, ascending.
+    #[inline]
     pub fn iter(self) -> BlockVecIter {
         BlockVecIter(self.0)
     }
 
     /// Returns `true` if any bit of `self` overlaps a bit of `other`.
+    #[inline(always)]
     pub fn intersects(self, other: BlockVec) -> bool {
         self.0 & other.0 != 0
     }
@@ -85,6 +93,7 @@ impl BlockVec {
 
 impl BitOr for BlockVec {
     type Output = BlockVec;
+    #[inline(always)]
     fn bitor(self, rhs: Self) -> Self {
         BlockVec(self.0 | rhs.0)
     }
@@ -92,6 +101,7 @@ impl BitOr for BlockVec {
 
 impl BitAnd for BlockVec {
     type Output = BlockVec;
+    #[inline(always)]
     fn bitand(self, rhs: Self) -> Self {
         BlockVec(self.0 & rhs.0)
     }
@@ -99,6 +109,7 @@ impl BitAnd for BlockVec {
 
 impl BitXor for BlockVec {
     type Output = BlockVec;
+    #[inline(always)]
     fn bitxor(self, rhs: Self) -> Self {
         BlockVec(self.0 ^ rhs.0)
     }
@@ -157,36 +168,63 @@ impl WordMask {
     pub const FULL: WordMask = WordMask(u16::MAX);
 
     /// Returns the bit for `word`.
+    #[inline(always)]
     pub fn get(self, word: WordIdx) -> bool {
         debug_assert!((word.0 as usize) < WORDS_PER_BLOCK);
         (self.0 >> word.0) & 1 == 1
     }
 
     /// Sets the bit for `word`.
+    #[inline(always)]
     pub fn set(&mut self, word: WordIdx) {
         debug_assert!((word.0 as usize) < WORDS_PER_BLOCK);
         self.0 |= 1u16 << word.0;
     }
 
+    /// Clears the bit for `word`.
+    #[inline(always)]
+    pub fn clear(&mut self, word: WordIdx) {
+        debug_assert!((word.0 as usize) < WORDS_PER_BLOCK);
+        self.0 &= !(1u16 << word.0);
+    }
+
+    /// Toggles the bit for `word`.
+    #[inline(always)]
+    pub fn toggle(&mut self, word: WordIdx) {
+        debug_assert!((word.0 as usize) < WORDS_PER_BLOCK);
+        self.0 ^= 1u16 << word.0;
+    }
+
     /// Returns `true` if no word bit is set.
+    #[inline(always)]
     pub fn is_empty(self) -> bool {
         self.0 == 0
     }
 
     /// Returns `true` if any word overlaps `other` — a *true* (word-level)
     /// conflict, as opposed to block-level false sharing.
+    #[inline(always)]
     pub fn intersects(self, other: WordMask) -> bool {
         self.0 & other.0 != 0
     }
 
     /// Number of set word bits.
+    #[inline(always)]
     pub fn count(self) -> u32 {
         self.0.count_ones()
+    }
+
+    /// Iterates over the indices of set word bits, ascending — the
+    /// word-parallel replacement for testing all 16 bits one at a time.
+    #[inline]
+    pub fn iter(self) -> WordMaskIter {
+        WordMaskIter(self.0)
     }
 }
 
 impl BitOr for WordMask {
     type Output = WordMask;
+    #[inline(always)]
     fn bitor(self, rhs: Self) -> Self {
         WordMask(self.0 | rhs.0)
     }
@@ -194,8 +232,35 @@ impl BitOr for WordMask {
 
 impl BitAnd for WordMask {
     type Output = WordMask;
+    #[inline(always)]
     fn bitand(self, rhs: Self) -> Self {
         WordMask(self.0 & rhs.0)
+    }
+}
+
+impl BitXor for WordMask {
+    type Output = WordMask;
+    #[inline(always)]
+    fn bitxor(self, rhs: Self) -> Self {
+        WordMask(self.0 ^ rhs.0)
+    }
+}
+
+/// Iterator over set word indices of a [`WordMask`], via `trailing_zeros`.
+#[derive(Debug, Clone)]
+pub struct WordMaskIter(u16);
+
+impl Iterator for WordMaskIter {
+    type Item = WordIdx;
+
+    #[inline]
+    fn next(&mut self) -> Option<WordIdx> {
+        if self.0 == 0 {
+            return None;
+        }
+        let tz = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(WordIdx(tz as u8))
     }
 }
 
@@ -222,6 +287,7 @@ impl WordVec {
     /// # Panics
     ///
     /// Panics if `word >= WORDS_PER_PAGE`.
+    #[inline]
     pub fn get(self, word: usize) -> bool {
         assert!(word < WORDS_PER_PAGE, "word index {word} out of range");
         (self.0[word / 64] >> (word % 64)) & 1 == 1
@@ -232,22 +298,32 @@ impl WordVec {
     /// # Panics
     ///
     /// Panics if `word >= WORDS_PER_PAGE`.
+    #[inline]
     pub fn set(&mut self, word: usize) {
         assert!(word < WORDS_PER_PAGE, "word index {word} out of range");
         self.0[word / 64] |= 1u64 << (word % 64);
     }
 
     /// Sets the bits for the words of `block` given by `mask`.
+    ///
+    /// `WORDS_PER_BLOCK` (16) divides 64, so a block's mask occupies one
+    /// 16-bit group of a single limb: the whole mask lands with one shifted
+    /// OR instead of 16 bit-at-a-time probes.
+    #[inline(always)]
     pub fn set_block_words(&mut self, block: BlockIdx, mask: WordMask) {
         let base = block.0 as usize * WORDS_PER_BLOCK;
-        for w in 0..WORDS_PER_BLOCK {
-            if mask.get(WordIdx(w as u8)) {
-                self.set(base + w);
-            }
-        }
+        self.0[base / 64] |= (mask.0 as u64) << (base % 64);
+    }
+
+    /// Clears the bits for the words of `block` given by `mask`.
+    #[inline(always)]
+    pub fn clear_block_words(&mut self, block: BlockIdx, mask: WordMask) {
+        let base = block.0 as usize * WORDS_PER_BLOCK;
+        self.0[base / 64] &= !((mask.0 as u64) << (base % 64));
     }
 
     /// Extracts the word mask for a single block.
+    #[inline(always)]
     pub fn block_words(self, block: BlockIdx) -> WordMask {
         let base = block.0 as usize * WORDS_PER_BLOCK;
         let lane = self.0[base / 64];
@@ -256,30 +332,57 @@ impl WordVec {
     }
 
     /// Returns `true` if no bit is set.
+    #[inline]
     pub fn is_empty(self) -> bool {
         self.0.iter().all(|&w| w == 0)
     }
 
     /// Returns `true` if any word bit overlaps `other`.
+    #[inline]
     pub fn intersects(self, other: WordVec) -> bool {
         self.0.iter().zip(other.0.iter()).any(|(a, b)| a & b != 0)
     }
 
     /// Number of set word bits.
+    #[inline]
     pub fn count(self) -> u32 {
         self.0.iter().map(|w| w.count_ones()).sum()
     }
 
+    /// ORs `other` into `self` in place — the allocation-free form of
+    /// `self = self | other` for summary folds over TAV lists.
+    #[inline]
+    pub fn union_with(&mut self, other: &WordVec) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates over the indices of set word bits, ascending, skipping
+    /// whole empty limbs and stepping set bits via `trailing_zeros`.
+    #[inline]
+    pub fn iter(self) -> WordVecIter {
+        WordVecIter { vec: self, lane: 0 }
+    }
+
     /// Collapses to block granularity: a block bit is set if any of its
     /// word bits is.
+    ///
+    /// Word-parallel: each limb covers four blocks (4 × 16-bit groups), so
+    /// one limb test produces four block bits without touching per-block
+    /// masks.
     pub fn to_block_vec(self) -> BlockVec {
-        let mut v = BlockVec::EMPTY;
-        for b in BlockIdx::all() {
-            if !self.block_words(b).is_empty() {
-                v.set(b);
-            }
+        const BLOCKS_PER_LANE: usize = 64 / WORDS_PER_BLOCK;
+        let mut out = 0u64;
+        for (i, &lane) in self.0.iter().enumerate() {
+            let mut bits = 0u64;
+            bits |= u64::from(lane & 0xffff != 0);
+            bits |= u64::from(lane & 0xffff_0000 != 0) << 1;
+            bits |= u64::from(lane & 0xffff_0000_0000 != 0) << 2;
+            bits |= u64::from(lane & 0xffff_0000_0000_0000 != 0) << 3;
+            out |= bits << (BLOCKS_PER_LANE * i);
         }
-        v
+        BlockVec(out)
     }
 }
 
@@ -291,12 +394,64 @@ impl Default for WordVec {
 
 impl BitOr for WordVec {
     type Output = WordVec;
+    #[inline]
     fn bitor(self, rhs: Self) -> Self {
         let mut out = self;
         for (a, b) in out.0.iter_mut().zip(rhs.0.iter()) {
             *a |= b;
         }
         out
+    }
+}
+
+impl BitAnd for WordVec {
+    type Output = WordVec;
+    #[inline]
+    fn bitand(self, rhs: Self) -> Self {
+        let mut out = self;
+        for (a, b) in out.0.iter_mut().zip(rhs.0.iter()) {
+            *a &= b;
+        }
+        out
+    }
+}
+
+impl BitXor for WordVec {
+    type Output = WordVec;
+    #[inline]
+    fn bitxor(self, rhs: Self) -> Self {
+        let mut out = self;
+        for (a, b) in out.0.iter_mut().zip(rhs.0.iter()) {
+            *a ^= b;
+        }
+        out
+    }
+}
+
+/// Iterator over set word indices of a [`WordVec`]: skips empty limbs and
+/// walks set bits of the current limb via `trailing_zeros`.
+#[derive(Debug, Clone)]
+pub struct WordVecIter {
+    vec: WordVec,
+    lane: usize,
+}
+
+impl Iterator for WordVecIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.lane < WORDS_PER_PAGE / 64 {
+            let limb = self.vec.0[self.lane];
+            if limb == 0 {
+                self.lane += 1;
+                continue;
+            }
+            let tz = limb.trailing_zeros() as usize;
+            self.vec.0[self.lane] &= limb - 1;
+            return Some(self.lane * 64 + tz);
+        }
+        None
     }
 }
 

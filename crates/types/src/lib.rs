@@ -19,6 +19,7 @@
 
 pub mod addr;
 pub mod bitvec;
+pub mod fasthash;
 pub mod ids;
 pub mod rng;
 
@@ -27,6 +28,7 @@ pub use addr::{
     BLOCK_SIZE, PAGE_SIZE, WORDS_PER_BLOCK, WORDS_PER_PAGE, WORD_SIZE,
 };
 pub use bitvec::{BlockVec, WordMask, WordVec};
+pub use fasthash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use ids::{CoreId, ProcessId, ThreadId, TxId};
 pub use rng::{splitmix64, Fnv1a64, SplitMix64};
 

@@ -1,0 +1,212 @@
+//! Property tests pinning the word-parallel bit-vector kernels to
+//! bit-at-a-time reference implementations.
+//!
+//! The hot path relies on single-lane and limb-parallel shortcuts
+//! (`set_block_words` as one shifted OR, `to_block_vec` as four group tests
+//! per limb, `iter` via `trailing_zeros`). Each shortcut is checked here
+//! against the obvious loop over individual bits, so a lane-math mistake
+//! fails a property rather than silently corrupting TAV state.
+
+use proptest::prelude::*;
+use ptm_types::{
+    BlockIdx, BlockVec, WordIdx, WordMask, WordVec, BLOCKS_PER_PAGE, WORDS_PER_BLOCK,
+    WORDS_PER_PAGE,
+};
+
+fn block_idx() -> impl Strategy<Value = BlockIdx> {
+    (0..BLOCKS_PER_PAGE as u8).prop_map(BlockIdx)
+}
+
+fn word_idx() -> impl Strategy<Value = WordIdx> {
+    (0..WORDS_PER_BLOCK as u8).prop_map(WordIdx)
+}
+
+/// Bit-at-a-time reference for `WordVec`: a plain bool-per-word array.
+#[derive(Clone)]
+struct RefWordVec([bool; WORDS_PER_PAGE]);
+
+impl RefWordVec {
+    fn empty() -> Self {
+        RefWordVec([false; WORDS_PER_PAGE])
+    }
+
+    fn set_block_words(&mut self, block: BlockIdx, mask: WordMask) {
+        for w in 0..WORDS_PER_BLOCK {
+            if (mask.0 >> w) & 1 == 1 {
+                self.0[block.0 as usize * WORDS_PER_BLOCK + w] = true;
+            }
+        }
+    }
+
+    fn clear_block_words(&mut self, block: BlockIdx, mask: WordMask) {
+        for w in 0..WORDS_PER_BLOCK {
+            if (mask.0 >> w) & 1 == 1 {
+                self.0[block.0 as usize * WORDS_PER_BLOCK + w] = false;
+            }
+        }
+    }
+
+    fn block_words(&self, block: BlockIdx) -> u16 {
+        let mut m = 0u16;
+        for w in 0..WORDS_PER_BLOCK {
+            if self.0[block.0 as usize * WORDS_PER_BLOCK + w] {
+                m |= 1 << w;
+            }
+        }
+        m
+    }
+
+    fn count(&self) -> u32 {
+        self.0.iter().filter(|&&b| b).count() as u32
+    }
+
+    fn set_words(&self) -> Vec<usize> {
+        (0..WORDS_PER_PAGE).filter(|&w| self.0[w]).collect()
+    }
+
+    fn to_blocks(&self) -> Vec<bool> {
+        (0..BLOCKS_PER_PAGE)
+            .map(|b| (0..WORDS_PER_BLOCK).any(|w| self.0[b * WORDS_PER_BLOCK + w]))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum WvOp {
+    SetBlockWords(BlockIdx, WordMask),
+    ClearBlockWords(BlockIdx, WordMask),
+    SetWord(usize),
+}
+
+fn wv_op() -> impl Strategy<Value = WvOp> {
+    prop_oneof![
+        (block_idx(), any::<u16>()).prop_map(|(b, m)| WvOp::SetBlockWords(b, WordMask(m))),
+        (block_idx(), any::<u16>()).prop_map(|(b, m)| WvOp::ClearBlockWords(b, WordMask(m))),
+        (0..WORDS_PER_PAGE).prop_map(WvOp::SetWord),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn word_vec_ops_match_bit_at_a_time_reference(
+        ops in prop::collection::vec(wv_op(), 0..120)
+    ) {
+        let mut v = WordVec::EMPTY;
+        let mut model = RefWordVec::empty();
+        for op in ops {
+            match op {
+                WvOp::SetBlockWords(b, m) => {
+                    v.set_block_words(b, m);
+                    model.set_block_words(b, m);
+                }
+                WvOp::ClearBlockWords(b, m) => {
+                    v.clear_block_words(b, m);
+                    model.clear_block_words(b, m);
+                }
+                WvOp::SetWord(w) => {
+                    v.set(w);
+                    model.0[w] = true;
+                }
+            }
+        }
+        for w in 0..WORDS_PER_PAGE {
+            prop_assert_eq!(v.get(w), model.0[w]);
+        }
+        for b in BlockIdx::all() {
+            prop_assert_eq!(v.block_words(b).0, model.block_words(b));
+        }
+        prop_assert_eq!(v.count(), model.count());
+        prop_assert_eq!(v.is_empty(), model.count() == 0);
+        // iter yields exactly the set words, ascending.
+        let got: Vec<usize> = v.iter().collect();
+        prop_assert_eq!(got, model.set_words());
+        // to_block_vec collapses exactly like the per-word reference.
+        let bv = v.to_block_vec();
+        let ref_blocks = model.to_blocks();
+        for b in BlockIdx::all() {
+            prop_assert_eq!(bv.get(b), ref_blocks[b.0 as usize]);
+        }
+    }
+
+    #[test]
+    fn word_vec_bulk_ops_match_per_word_ops(
+        xs in prop::collection::vec(0..WORDS_PER_PAGE, 0..80),
+        ys in prop::collection::vec(0..WORDS_PER_PAGE, 0..80),
+    ) {
+        let mut a = WordVec::EMPTY;
+        let mut b = WordVec::EMPTY;
+        for &x in &xs { a.set(x); }
+        for &y in &ys { b.set(y); }
+        let union = a | b;
+        let inter = a & b;
+        let sym = a ^ b;
+        let mut in_place = a;
+        in_place.union_with(&b);
+        for w in 0..WORDS_PER_PAGE {
+            let (ia, ib) = (xs.contains(&w), ys.contains(&w));
+            prop_assert_eq!(union.get(w), ia || ib);
+            prop_assert_eq!(inter.get(w), ia && ib);
+            prop_assert_eq!(sym.get(w), ia != ib);
+            prop_assert_eq!(in_place.get(w), ia || ib);
+        }
+        prop_assert_eq!(a.intersects(b), !inter.is_empty());
+    }
+
+    #[test]
+    fn word_mask_ops_match_reference(a in any::<u16>(), b in any::<u16>(), w in word_idx()) {
+        let (ma, mb) = (WordMask(a), WordMask(b));
+        prop_assert_eq!((ma | mb).0, a | b);
+        prop_assert_eq!((ma & mb).0, a & b);
+        prop_assert_eq!((ma ^ mb).0, a ^ b);
+        prop_assert_eq!(ma.intersects(mb), a & b != 0);
+        prop_assert_eq!(ma.count(), a.count_ones());
+
+        let mut m = ma;
+        m.set(w);
+        prop_assert_eq!(m.0, a | (1 << w.0));
+        m.clear(w);
+        prop_assert_eq!(m.0, a & !(1 << w.0));
+        m.toggle(w);
+        prop_assert_eq!(m.0, (a & !(1 << w.0)) ^ (1 << w.0));
+
+        // iter yields the set bits ascending, and round-trips.
+        let rebuilt = ma.iter().fold(WordMask::EMPTY, |mut acc, i| {
+            acc.set(i);
+            acc
+        });
+        prop_assert_eq!(rebuilt, ma);
+        let idxs: Vec<u8> = ma.iter().map(|i| i.0).collect();
+        let expected: Vec<u8> = (0..16).filter(|i| (a >> i) & 1 == 1).collect();
+        prop_assert_eq!(idxs, expected);
+    }
+
+    #[test]
+    fn block_vec_clear_toggle_iter_round_trip(bits in any::<u64>(), b in block_idx()) {
+        let v = BlockVec(bits);
+        // iter/FromIterator round-trip.
+        let rebuilt: BlockVec = v.iter().collect();
+        prop_assert_eq!(rebuilt, v);
+        prop_assert_eq!(v.count(), bits.count_ones());
+
+        let mut m = v;
+        m.clear(b);
+        prop_assert_eq!(m.0, bits & !(1u64 << b.0));
+        m.set(b);
+        prop_assert_eq!(m.0, bits | (1u64 << b.0));
+        m.toggle(b);
+        prop_assert_eq!(m.0, (bits | (1u64 << b.0)) ^ (1u64 << b.0));
+    }
+
+    #[test]
+    fn set_block_words_never_leaks_into_neighbors(b in block_idx(), m in any::<u16>()) {
+        let mut v = WordVec::EMPTY;
+        v.set_block_words(b, WordMask(m));
+        for other in BlockIdx::all() {
+            if other == b {
+                prop_assert_eq!(v.block_words(other).0, m);
+            } else {
+                prop_assert_eq!(v.block_words(other), WordMask::EMPTY);
+            }
+        }
+    }
+}

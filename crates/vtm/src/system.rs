@@ -9,8 +9,7 @@ use ptm_core::system::{AccessKind, ConflictOutcome};
 use ptm_core::tstate::{TStateTable, TxStatus};
 use ptm_core::vts::{LruTracker, Touch, VtsCost};
 use ptm_mem::{PhysicalMemory, SpecBlock};
-use ptm_types::{Cycle, Granularity, PhysBlock, TxId, VirtAddr, WordIdx, BLOCK_SIZE};
-use std::collections::HashMap;
+use ptm_types::{Cycle, FastMap, Granularity, PhysBlock, TxId, VirtAddr, WordIdx, BLOCK_SIZE};
 
 /// VTM configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +74,7 @@ pub struct VtmSystem {
     xf: CountingBloom,
     xadc: LruTracker<XadtKey>,
     tstate: TStateTable,
-    committing_blocks: HashMap<XadtKey, Cycle>,
+    committing_blocks: FastMap<XadtKey, Cycle>,
     stats: VtmStats,
 }
 
@@ -87,7 +86,7 @@ impl VtmSystem {
             xf: CountingBloom::new(cfg.xf_counters, 4),
             xadc: LruTracker::new(cfg.xadc_entries),
             tstate: TStateTable::new(),
-            committing_blocks: HashMap::new(),
+            committing_blocks: FastMap::default(),
             stats: VtmStats::default(),
             cfg,
         }

@@ -7,8 +7,7 @@
 //! VTM cannot cover inter-process physical sharing the way PTM does (§5.3).
 
 use ptm_mem::SpecBlock;
-use ptm_types::{ProcessId, TxId, VirtAddr, WordMask, BLOCK_SIZE};
-use std::collections::HashMap;
+use ptm_types::{FastMap, ProcessId, TxId, VirtAddr, WordMask, BLOCK_SIZE};
 
 /// Key of an XADT entry: which process's address space, which block.
 pub type XadtKey = (ProcessId, VirtAddr);
@@ -59,7 +58,7 @@ impl XadtEntry {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct Xadt {
-    entries: HashMap<XadtKey, XadtEntry>,
+    entries: FastMap<XadtKey, XadtEntry>,
     peak: usize,
 }
 
