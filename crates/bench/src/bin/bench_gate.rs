@@ -1,24 +1,29 @@
 //! The bench-history regression gate.
 //!
-//! Compares the cycle-loop throughput of the *last* history entries of two
-//! `BENCH_hotpath.json` reports — typically base and head builds run on the
-//! same CI machine — and exits non-zero when head's throughput regressed by
-//! more than the allowed fraction.
+//! Compares the *last* history entries of two benchmark reports — typically
+//! base and head builds run on the same CI machine — and exits non-zero when
+//! head regressed by more than the allowed fraction.
 //!
 //! ```text
-//! bench_gate <base.json> <head.json> [--max-regression 0.10]
+//! bench_gate <base.json> <head.json> [--max-regression 0.10] [--parallel]
 //! ```
+//!
+//! The default mode gates the sequential cycle-loop throughput of
+//! `BENCH_hotpath.json` trajectories. `--parallel` gates the parallel-pass
+//! throughput of `BENCH_parallel_sim.json` trajectories instead, and
+//! additionally refuses comparisons across differing worker counts.
 //!
 //! The two runs must be comparable (same scale, cell count and host width);
 //! comparing across hosts is refused rather than silently passed, because a
 //! wall-clock ratio between different machines is noise, not a verdict.
 
-use ptm_bench::history::{entry_from_report, throughput_ratio};
+use ptm_bench::history::{entry_from_report, parallel_ratio, throughput_ratio};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut max_regression = 0.10f64;
+    let mut parallel = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,12 +34,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--max-regression needs a fraction, e.g. 0.10"));
             }
+            "--parallel" => parallel = true,
             f => files.push(f.to_string()),
         }
         i += 1;
     }
     if files.len() != 2 {
-        die("usage: bench_gate <base.json> <head.json> [--max-regression 0.10]");
+        die("usage: bench_gate <base.json> <head.json> [--max-regression 0.10] [--parallel]");
     }
 
     let read = |path: &str| {
@@ -45,18 +51,32 @@ fn main() {
     let head = entry_from_report(&read(&files[1]))
         .unwrap_or_else(|| die(&format!("{}: no usable trajectory point", files[1])));
 
-    let ratio = throughput_ratio(&base, &head).unwrap_or_else(|e| die(&e));
+    let (what, ratio, base_t, head_t) = if parallel {
+        let ratio = parallel_ratio(&base, &head).unwrap_or_else(|e| die(&e));
+        (
+            "parallel-pass",
+            ratio,
+            base.parallel_throughput_cycles_per_s().unwrap_or(0),
+            head.parallel_throughput_cycles_per_s().unwrap_or(0),
+        )
+    } else {
+        let ratio = throughput_ratio(&base, &head).unwrap_or_else(|e| die(&e));
+        (
+            "cycle-loop",
+            ratio,
+            base.throughput_cycles_per_s(),
+            head.throughput_cycles_per_s(),
+        )
+    };
     let floor = 1.0 - max_regression;
     println!(
-        "bench_gate: base {} @ {} cyc/s, head {} @ {} cyc/s -> ratio {ratio:.3} (floor {floor:.3})",
-        base.git_rev,
-        base.throughput_cycles_per_s(),
-        head.git_rev,
-        head.throughput_cycles_per_s(),
+        "bench_gate: {what} base {} @ {base_t} cyc/s, head {} @ {head_t} cyc/s \
+         -> ratio {ratio:.3} (floor {floor:.3})",
+        base.git_rev, head.git_rev,
     );
     if ratio < floor {
         eprintln!(
-            "bench_gate: FAIL - cycle-loop throughput regressed {:.1}% (> {:.1}% allowed)",
+            "bench_gate: FAIL - {what} throughput regressed {:.1}% (> {:.1}% allowed)",
             (1.0 - ratio) * 100.0,
             max_regression * 100.0
         );

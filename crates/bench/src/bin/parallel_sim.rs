@@ -11,6 +11,7 @@
 //! PTM_BENCH_OUT=/tmp/x.json cargo run -p ptm-bench --release --bin parallel_sim
 //! ```
 
+use ptm_bench::history::{prior_entries, render_history, HistoryEntry};
 use ptm_bench::parallel::{assert_cells_match, cells_from_env, run_cells_sequential, CellResult};
 use ptm_bench::parallel_sim::{
     amdahl_projection_ns, epoch_cycles_from_env, exec_threads_from_env, run_cells_executor,
@@ -53,9 +54,49 @@ fn main() {
     for (_, xs) in &pairs {
         totals.merge(xs);
     }
-    let json = render_json(scale, &exec, &seq, &pairs, seq_wall, par_wall, &totals);
     let out =
         std::env::var("PTM_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel_sim.json".to_string());
+
+    // The history trajectory: append this run to the entries of the prior
+    // report. `PTM_BENCH_HISTORY` overrides where the prior entries come
+    // from (default: the output file, falling back to the committed report);
+    // `PTM_BENCH_HISTORY=none` starts a fresh trajectory.
+    let prior = match std::env::var("PTM_BENCH_HISTORY").as_deref() {
+        Ok("none") => Vec::new(),
+        Ok(path) => prior_entries(&std::fs::read_to_string(path).unwrap_or_default()),
+        Err(_) => {
+            let from_out = std::fs::read_to_string(&out).unwrap_or_default();
+            let text = if prior_entries(&from_out).is_empty() {
+                std::fs::read_to_string("BENCH_parallel_sim.json").unwrap_or_default()
+            } else {
+                from_out
+            };
+            prior_entries(&text)
+        }
+    };
+    let entry = HistoryEntry {
+        git_rev: ptm_bench::meta::git_rev(),
+        rustc: ptm_bench::meta::rustc_version().to_string(),
+        host_cores,
+        scale: format!("{scale:?}"),
+        workers: exec.threads,
+        cells: seq.len(),
+        total_cycles: seq.iter().map(|c| c.cycles).sum(),
+        seq_wall_ns: seq_wall,
+        parallel_wall_ns: Some(par_wall),
+        spec_commit_fraction: Some(totals.spec_commit_fraction()),
+    };
+    let json = render_json(
+        scale,
+        &exec,
+        host_cores,
+        &seq,
+        &pairs,
+        seq_wall,
+        par_wall,
+        &totals,
+        &render_history(&prior, &entry),
+    );
     std::fs::write(&out, json).expect("write benchmark report");
 
     let speedup = seq_wall as f64 / par_wall.max(1) as f64;
@@ -64,13 +105,40 @@ fn main() {
         .zip(&pairs)
         .map(|(s, (_, xs))| amdahl_projection_ns(s.wall_ns, xs.spec_commit_fraction(), 4))
         .sum();
-    eprintln!(
-        "parallel_sim: seq {:.2}s, executor {:.2}s ({speedup:.2}x measured on {host_cores} \
-         host core(s); {:.2}x Amdahl projection at 4 threads)",
-        seq_wall as f64 / 1e9,
-        par_wall as f64 / 1e9,
-        seq_wall as f64 / projected_4.max(1) as f64,
-    );
+    if host_cores == 1 {
+        eprintln!(
+            "parallel_sim: seq {:.2}s, executor {:.2}s (single host core: the {speedup:.2} \
+             wall ratio measures executor overhead, not speedup; {:.2}x Amdahl projection \
+             at 4 threads)",
+            seq_wall as f64 / 1e9,
+            par_wall as f64 / 1e9,
+            seq_wall as f64 / projected_4.max(1) as f64,
+        );
+    } else {
+        eprintln!(
+            "parallel_sim: seq {:.2}s, executor {:.2}s ({speedup:.2}x measured on {host_cores} \
+             host core(s); {:.2}x Amdahl projection at 4 threads)",
+            seq_wall as f64 / 1e9,
+            par_wall as f64 / 1e9,
+            seq_wall as f64 / projected_4.max(1) as f64,
+        );
+    }
+    // Opt-in speedup floor (`PTM_MIN_SPEEDUP=1.5`), for multi-core runners
+    // that want the run to fail on lost parallelism. Skipped on a
+    // single-core host, where the wall ratio is warm-up noise by
+    // construction.
+    if let Ok(min) = std::env::var("PTM_MIN_SPEEDUP") {
+        let min: f64 = min.parse().expect("PTM_MIN_SPEEDUP must be a number");
+        if host_cores == 1 {
+            eprintln!("parallel_sim: skipping speedup assertion (1 host core)");
+        } else {
+            assert!(
+                speedup >= min,
+                "measured speedup {speedup:.2}x below the PTM_MIN_SPEEDUP={min} floor \
+                 on {host_cores} host cores"
+            );
+        }
+    }
     eprintln!(
         "parallel_sim: {} epochs, {} spec steps ({} consumed, {:.1}% of all steps), \
          {} rollbacks, {} re-executed, {} poison events",
@@ -82,6 +150,26 @@ fn main() {
         totals.reexecuted_steps,
         totals.poison_events,
     );
+    eprintln!(
+        "parallel_sim: {} spec txs ({} committed from runs), {} incarnations, \
+         {} validation waves, {} word conflicts, {} estimate markers",
+        totals.spec_txs,
+        totals.spec_tx_commits,
+        totals.incarnations,
+        totals.validation_waves,
+        totals.word_conflicts,
+        totals.estimate_markers,
+    );
+    eprintln!(
+        "parallel_sim: {} replayed steps ({} skews absorbed, {} mispredicts discarded)",
+        totals.replayed_steps, totals.replay_skews, totals.replay_mispredicts,
+    );
+    let refusals: Vec<String> = ptm_sim::Refusal::LABELS
+        .iter()
+        .zip(totals.refusals)
+        .map(|(l, n)| format!("{l}={n}"))
+        .collect();
+    eprintln!("parallel_sim: run stops: {}", refusals.join(" "));
     eprintln!("parallel_sim: wrote {out}");
 }
 
@@ -89,11 +177,13 @@ fn main() {
 fn render_json(
     scale: ptm_workloads::Scale,
     exec: &ExecutorConfig,
+    host_cores: usize,
     seq: &[CellResult],
     pairs: &[(CellResult, ExecStats)],
     seq_wall: u64,
     par_wall: u64,
     totals: &ExecStats,
+    history_block: &str,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -101,6 +191,7 @@ fn render_json(
     let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(s, "  \"exec_threads\": {},", exec.threads);
     let _ = writeln!(s, "  \"epoch_cycles\": {},", exec.epoch_cycles);
+    s.push_str(history_block);
     let _ = writeln!(s, "  \"cells\": [");
     for (i, (a, (b, xs))) in seq.iter().zip(pairs).enumerate() {
         let comma = if i + 1 == seq.len() { "" } else { "," };
@@ -112,6 +203,10 @@ fn render_json(
              \"epochs\": {}, \"spec_runs\": {}, \"spec_steps\": {}, \
              \"committed_spec_steps\": {}, \"live_steps\": {}, \
              \"rollbacks\": {}, \"reexecuted_steps\": {}, \"poison_events\": {}, \
+             \"spec_txs\": {}, \"spec_tx_commits\": {}, \"incarnations\": {}, \
+             \"validation_waves\": {}, \"word_conflicts\": {}, \
+             \"estimate_markers\": {}, \"replayed_steps\": {}, \
+             \"replay_skews\": {}, \"replay_mispredicts\": {}, \
              \"spec_commit_fraction\": {:.4}, \
              \"checksums_match\": {}}}{comma}",
             a.spec.family,
@@ -130,6 +225,15 @@ fn render_json(
             xs.rollbacks,
             xs.reexecuted_steps,
             xs.poison_events,
+            xs.spec_txs,
+            xs.spec_tx_commits,
+            xs.incarnations,
+            xs.validation_waves,
+            xs.word_conflicts,
+            xs.estimate_markers,
+            xs.replayed_steps,
+            xs.replay_skews,
+            xs.replay_mispredicts,
             xs.spec_commit_fraction(),
             a.checksums == b.checksums,
         );
@@ -143,9 +247,17 @@ fn render_json(
     let _ = writeln!(s, "  \"totals\": {{");
     let _ = writeln!(s, "    \"seq_wall_ns\": {seq_wall},");
     let _ = writeln!(s, "    \"par_wall_ns\": {par_wall},");
+    // On a single-core host the wall ratio measures executor overhead, not
+    // parallelism: label it as such so downstream readers never mistake
+    // warm-up noise for a measured speedup.
+    let ratio_key = if host_cores == 1 {
+        "single_core_wall_ratio"
+    } else {
+        "measured_speedup"
+    };
     let _ = writeln!(
         s,
-        "    \"measured_speedup\": {:.3},",
+        "    \"{ratio_key}\": {:.3},",
         seq_wall as f64 / par_wall.max(1) as f64
     );
     let _ = writeln!(s, "    \"projected_amdahl_4threads_ns\": {projected_4},");
@@ -166,6 +278,25 @@ fn render_json(
     let _ = writeln!(s, "    \"rollbacks\": {},", totals.rollbacks);
     let _ = writeln!(s, "    \"reexecuted_steps\": {},", totals.reexecuted_steps);
     let _ = writeln!(s, "    \"poison_events\": {},", totals.poison_events);
+    let _ = writeln!(s, "    \"spec_txs\": {},", totals.spec_txs);
+    let _ = writeln!(s, "    \"spec_tx_commits\": {},", totals.spec_tx_commits);
+    let _ = writeln!(s, "    \"incarnations\": {},", totals.incarnations);
+    let _ = writeln!(s, "    \"validation_waves\": {},", totals.validation_waves);
+    let _ = writeln!(s, "    \"word_conflicts\": {},", totals.word_conflicts);
+    let _ = writeln!(s, "    \"estimate_markers\": {},", totals.estimate_markers);
+    let _ = writeln!(s, "    \"replayed_steps\": {},", totals.replayed_steps);
+    let _ = writeln!(s, "    \"replay_skews\": {},", totals.replay_skews);
+    let _ = writeln!(
+        s,
+        "    \"replay_mispredicts\": {},",
+        totals.replay_mispredicts
+    );
+    let refusals: Vec<String> = ptm_sim::Refusal::LABELS
+        .iter()
+        .zip(totals.refusals)
+        .map(|(l, n)| format!("\"{l}\": {n}"))
+        .collect();
+    let _ = writeln!(s, "    \"refusals\": {{{}}},", refusals.join(", "));
     let _ = writeln!(
         s,
         "    \"spec_commit_fraction\": {:.4}",

@@ -32,6 +32,12 @@ pub struct HistoryEntry {
     pub total_cycles: u64,
     /// Wall time of the sequential pass, nanoseconds (the time it took).
     pub seq_wall_ns: u64,
+    /// Wall time of the parallel/executor pass, nanoseconds. `None` for
+    /// trajectories that only measure the sequential loop (hotpath).
+    pub parallel_wall_ns: Option<u64>,
+    /// Fraction of executed steps served from speculation in the parallel
+    /// pass. `None` for sequential-only trajectories.
+    pub spec_commit_fraction: Option<f64>,
 }
 
 impl HistoryEntry {
@@ -40,13 +46,27 @@ impl HistoryEntry {
         ((self.total_cycles as u128 * 1_000_000_000) / u128::from(self.seq_wall_ns.max(1))) as u64
     }
 
+    /// Parallel-pass throughput, when the entry carries a parallel point.
+    pub fn parallel_throughput_cycles_per_s(&self) -> Option<u64> {
+        let wall = self.parallel_wall_ns?;
+        Some(((self.total_cycles as u128 * 1_000_000_000) / u128::from(wall.max(1))) as u64)
+    }
+
+    /// Wall-clock speedup of the parallel pass over the sequential pass.
+    /// Only meaningful when `host_cores > 1`; on a single-core host the
+    /// ratio measures executor overhead, not parallelism.
+    pub fn speedup(&self) -> Option<f64> {
+        let wall = self.parallel_wall_ns?;
+        Some(self.seq_wall_ns as f64 / wall.max(1) as f64)
+    }
+
     /// Renders the entry as a single-line JSON object.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut s = format!(
             "{{\"git_rev\": \"{}\", \"rustc\": \"{}\", \"host_cores\": {}, \
              \"scale\": \"{}\", \"workers\": {}, \"cells\": {}, \
              \"total_cycles\": {}, \"seq_wall_ns\": {}, \
-             \"throughput_cycles_per_s\": {}}}",
+             \"throughput_cycles_per_s\": {}",
             self.git_rev,
             self.rustc,
             self.host_cores,
@@ -56,11 +76,23 @@ impl HistoryEntry {
             self.total_cycles,
             self.seq_wall_ns,
             self.throughput_cycles_per_s(),
-        )
+        );
+        if let Some(wall) = self.parallel_wall_ns {
+            s.push_str(&format!(
+                ", \"parallel_wall_ns\": {wall}, \"speedup\": {:.4}",
+                self.speedup().expect("parallel wall present")
+            ));
+        }
+        if let Some(f) = self.spec_commit_fraction {
+            s.push_str(&format!(", \"spec_commit_fraction\": {f:.4}"));
+        }
+        s.push('}');
+        s
     }
 
     /// Parses the fields back out of one entry object. Returns `None` if a
-    /// required field is missing or malformed.
+    /// required field is missing or malformed; the parallel fields are
+    /// optional so sequential-only (hotpath) entries round-trip too.
     pub fn parse(entry: &str) -> Option<HistoryEntry> {
         Some(HistoryEntry {
             git_rev: string_field(entry, "git_rev")?,
@@ -71,6 +103,8 @@ impl HistoryEntry {
             cells: number_field(entry, "cells")? as usize,
             total_cycles: number_field(entry, "total_cycles")?,
             seq_wall_ns: number_field(entry, "seq_wall_ns")?,
+            parallel_wall_ns: number_field(entry, "parallel_wall_ns"),
+            spec_commit_fraction: float_field(entry, "spec_commit_fraction"),
         })
     }
 }
@@ -90,6 +124,10 @@ fn string_field(obj: &str, key: &str) -> Option<String> {
 }
 
 fn number_field(obj: &str, key: &str) -> Option<u64> {
+    raw_field(obj, key)?.parse().ok()
+}
+
+fn float_field(obj: &str, key: &str) -> Option<f64> {
     raw_field(obj, key)?.parse().ok()
 }
 
@@ -159,15 +197,23 @@ pub fn entry_from_report(json: &str) -> Option<HistoryEntry> {
         cells += 1;
         rest = &rest[9..];
     }
+    // The parallel numbers live in the totals block; scanning from there
+    // skips the per-cell objects that repeat the same keys. Pre-trajectory
+    // parallel_sim reports record the thread count as "exec_threads".
+    let totals = json.find("\"totals\":").map_or("", |i| &json[i..]);
     Some(HistoryEntry {
         git_rev: string_field(json, "git_rev").unwrap_or_else(|| "unknown".into()),
         rustc: string_field(json, "rustc").unwrap_or_else(|| "unknown".into()),
         host_cores: number_field(json, "host_cores")? as usize,
         scale: string_field(json, "scale")?,
-        workers: number_field(json, "workers").unwrap_or(1) as usize,
+        workers: number_field(json, "workers")
+            .or_else(|| number_field(json, "exec_threads"))
+            .unwrap_or(1) as usize,
         cells,
         total_cycles,
         seq_wall_ns: number_field(json, "seq_wall_ns")?,
+        parallel_wall_ns: number_field(totals, "par_wall_ns"),
+        spec_commit_fraction: float_field(totals, "spec_commit_fraction"),
     })
 }
 
@@ -206,6 +252,40 @@ pub fn throughput_ratio(old: &HistoryEntry, new: &HistoryEntry) -> Result<f64, S
     Ok(new.throughput_cycles_per_s() as f64 / old.throughput_cycles_per_s().max(1) as f64)
 }
 
+/// Compares the *parallel-pass* throughput of two trajectory points:
+/// `Ok(ratio)` with `ratio = new/old` when comparable. On top of
+/// [`throughput_ratio`]'s conditions, the two runs must use the same
+/// worker count — a 1-worker vs 4-worker wall-clock ratio measures the
+/// configuration change, not a regression — and both must actually carry a
+/// parallel measurement.
+pub fn parallel_ratio(old: &HistoryEntry, new: &HistoryEntry) -> Result<f64, String> {
+    if old.scale != new.scale || old.cells != new.cells {
+        return Err(format!(
+            "incomparable runs: {} cells at {} vs {} cells at {}",
+            old.cells, old.scale, new.cells, new.scale
+        ));
+    }
+    if old.host_cores != new.host_cores {
+        return Err(format!(
+            "incomparable hosts: {} cores vs {} cores",
+            old.host_cores, new.host_cores
+        ));
+    }
+    if old.workers != new.workers {
+        return Err(format!(
+            "incomparable worker counts: {} vs {}",
+            old.workers, new.workers
+        ));
+    }
+    let (Some(old_t), Some(new_t)) = (
+        old.parallel_throughput_cycles_per_s(),
+        new.parallel_throughput_cycles_per_s(),
+    ) else {
+        return Err("a run carries no parallel trajectory point".into());
+    };
+    Ok(new_t as f64 / old_t.max(1) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +300,17 @@ mod tests {
             cells: 49,
             total_cycles: cycles,
             seq_wall_ns: wall,
+            parallel_wall_ns: None,
+            spec_commit_fraction: None,
+        }
+    }
+
+    fn parallel_entry(cycles: u64, seq_wall: u64, par_wall: u64) -> HistoryEntry {
+        HistoryEntry {
+            workers: 4,
+            parallel_wall_ns: Some(par_wall),
+            spec_commit_fraction: Some(0.5),
+            ..entry(cycles, seq_wall)
         }
     }
 
@@ -229,6 +320,19 @@ mod tests {
         let parsed = HistoryEntry::parse(&e.to_json()).unwrap();
         assert_eq!(parsed, e);
         assert_eq!(parsed.throughput_cycles_per_s(), 123_456_789);
+        assert_eq!(parsed.parallel_throughput_cycles_per_s(), None);
+        assert_eq!(parsed.speedup(), None);
+    }
+
+    #[test]
+    fn parallel_entry_round_trips_through_json() {
+        let e = parallel_entry(1_000_000, 2_000_000_000, 1_000_000_000);
+        let parsed = HistoryEntry::parse(&e.to_json()).unwrap();
+        assert_eq!(parsed, e);
+        assert_eq!(parsed.parallel_throughput_cycles_per_s(), Some(1_000_000));
+        assert_eq!(parsed.speedup(), Some(2.0));
+        // A parallel entry still parses as a valid sequential point.
+        assert_eq!(parsed.throughput_cycles_per_s(), 500_000);
     }
 
     #[test]
@@ -279,6 +383,29 @@ mod tests {
         assert_eq!(e.cells, 2);
         assert_eq!(e.total_cycles, 350);
         assert_eq!(e.seq_wall_ns, 700);
+        assert_eq!(e.parallel_wall_ns, None);
+
+        // A pre-trajectory parallel_sim report: thread count under
+        // "exec_threads", parallel wall and commit fraction in the totals
+        // block (the per-cell copies of the same keys must be skipped).
+        let parallel_report = concat!(
+            "{\n",
+            "  \"scale\": \"Tiny\",\n",
+            "  \"exec_threads\": 2,\n",
+            "  \"host_cores\": 4,\n",
+            "  \"cells\": [\n",
+            "    {\"family\": \"t1\", \"cycles\": 100, \"spec_commit_fraction\": 0.9000}\n",
+            "  ],\n",
+            "  \"totals\": {\n",
+            "    \"seq_wall_ns\": 700,\n    \"par_wall_ns\": 350,\n",
+            "    \"spec_commit_fraction\": 0.2500\n  }\n",
+            "}\n",
+        );
+        let p = entry_from_report(parallel_report).unwrap();
+        assert_eq!(p.workers, 2);
+        assert_eq!(p.parallel_wall_ns, Some(350));
+        assert_eq!(p.spec_commit_fraction, Some(0.25));
+        assert_eq!(p.speedup(), Some(2.0));
 
         // With a history array present, the last entry wins instead.
         let e2 = entry(42, 7);
@@ -300,5 +427,25 @@ mod tests {
         let mut other_host = new.clone();
         other_host.host_cores = 64;
         assert!(throughput_ratio(&old, &other_host).is_err());
+    }
+
+    #[test]
+    fn parallel_ratio_gates_workers_and_presence() {
+        let old = parallel_entry(1_000_000, 2_000_000_000, 1_000_000_000);
+        let new = parallel_entry(1_000_000, 2_000_000_000, 2_000_000_000);
+        let r = parallel_ratio(&old, &new).unwrap();
+        assert!((r - 0.5).abs() < 1e-9, "half the parallel throughput: {r}");
+
+        let mut other_workers = new.clone();
+        other_workers.workers = 8;
+        assert!(parallel_ratio(&old, &other_workers).is_err());
+
+        let mut other_host = new.clone();
+        other_host.host_cores = 64;
+        assert!(parallel_ratio(&old, &other_host).is_err());
+
+        // A sequential-only point (e.g. synthesized from a pre-trajectory
+        // report) cannot be parallel-gated.
+        assert!(parallel_ratio(&entry(1_000_000, 1), &new).is_err());
     }
 }

@@ -187,6 +187,15 @@ impl PtmSystem {
         self.tstate.is_live(tx)
     }
 
+    /// Whether `tx` has overflowed any state out of the caches (a non-empty
+    /// vertical TAV list). A transaction with no overflow commits and
+    /// aborts without touching memory, shadow pages or selection vectors —
+    /// the speculative executor uses this to scope invalidation to the
+    /// words the commit actually publishes instead of poisoning the world.
+    pub fn tx_has_overflow(&self, tx: TxId) -> bool {
+        self.tstate.status(tx).is_some() && self.tstate.entry(tx).tav_head.is_some()
+    }
+
     /// Installs (or clears) a hard cap on live TAV nodes — fault injection
     /// uses this to manufacture arena-capacity pressure.
     pub fn set_tav_capacity(&mut self, capacity: Option<usize>) {

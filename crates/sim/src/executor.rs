@@ -1,28 +1,43 @@
-//! The speculative epoch executor: Block-STM-style intra-machine
-//! parallelism with bit-identical results.
+//! The transaction-level Block-STM executor: optimistic whole-transaction
+//! speculation with bit-identical results.
 //!
 //! [`Machine::run`] steps cores strictly in canonical order (smallest
 //! `(ready_at, core)` first). This module parallelizes the *computation* of
 //! those steps without changing their *order*:
 //!
-//! 1. **Speculate (phase A).** Host worker threads share a frozen
-//!    `&Machine` and run each core ahead through a bounded cycle window (an
-//!    *epoch*), recording side-effect-free [`SpecRun`]s. A run only
-//!    contains steps whose outcome is locally decidable — core-TLB hits
-//!    that hit the private cache silently (no coherence, no conflict
-//!    checks, no kernel) — plus pure compute; anything that could interact
-//!    with another core stops the run.
+//! 1. **Speculate (phase A).** A Block-STM [`Scheduler`](crate::scheduler::Scheduler)
+//!    dispenses per-core execution tasks to host worker threads sharing a
+//!    frozen `&Machine`. Each task runs its core ahead through a bounded
+//!    cycle window (an *epoch*), recording a [`SpecRun`] — and, unlike the
+//!    old step-granularity executor, the run carries **whole simulated
+//!    transactions**: `Begin`/`End` boundaries become [`SpecStep::Boundary`]
+//!    steps, transactional loads and stores inside a not-yet-begun
+//!    transaction reference a slot in the run's transaction table (the real
+//!    `TxId` is late-bound at the canonical `Begin`), and stores buffer
+//!    through the run's overlay exactly as the live lazy-versioning path
+//!    would. Anything whose outcome is not locally decidable — cache
+//!    misses, upgrades, lock ops, ordered commits, barriers, injection
+//!    timers — still stops the run; those steps (and everything
+//!    non-transactional that follows them) fall back to the canonical
+//!    sequential loop.
 //! 2. **Consume (phase B).** The canonical scheduler loop pops cores
-//!    oldest-first as always. If the popped core has a pending, still-valid
-//!    speculative step, its precomputed effect is applied directly (cheap);
-//!    otherwise the step executes live. Every live step that *could* have
-//!    invalidated speculation poisons the affected runs through
-//!    [`ExecLog`]: cross-core mutations (commits, aborts, migrations,
-//!    shootdowns, swap-ins, overflow creation) poison everything, a
-//!    coherence supply poisons cores whose caches hold the block, and an
-//!    epoch-local writers map catches same-block write/read ordering.
-//!    Poisoned runs are rolled back (discarded) and their steps re-execute
-//!    live — the sequential semantics are the only semantics.
+//!    oldest-first as always. A pending, still-valid speculative step is
+//!    applied directly (cheap); `Boundary` steps execute the live
+//!    `Begin`/commit at exactly their canonical points (binding slot
+//!    transactions, draining buffers, publishing writes); everything else
+//!    executes live. Validation is word-granular through the shared
+//!    [`MvMap`]: every canonically-applied write (live or consumed)
+//!    publishes a version keyed by `(core, incarnation)`, and a speculated
+//!    step is discarded when a *foreign* version exists for a word it read
+//!    (or for any word of a block whose snapshot it precomputed). Aborted
+//!    eager-versioning (LogTM) transactions publish **ESTIMATE** markers
+//!    for the words their rollback rewrote. Cross-core mutations that
+//!    word-level tracking cannot scope — overflow processing, migrations,
+//!    shootdowns, swap-ins, selection flips, word-granularity
+//!    commits/aborts — still poison globally through [`ExecLog`], and a
+//!    coherence supply poisons cores whose caches hold the block. A
+//!    discarded run bumps its core's **incarnation**; the next epoch
+//!    re-executes it against fresh state.
 //!
 //! Because consumed steps apply their effects at exactly the canonical pop
 //! points, and validation discards any step whose inputs a preceding step
@@ -35,12 +50,17 @@
 
 use crate::backend::Backend;
 use crate::machine::{trace_word, Machine};
+use crate::mvmap::{MvMap, TxnVersion};
 use crate::ops::Op;
-use ptm_cache::{Hit, Moesi};
+use crate::scheduler::{Scheduler, Task};
+use crate::SystemKind;
+use ptm_cache::{Hit, Moesi, ProbeResult};
 use ptm_core::system::AccessKind;
 use ptm_types::{
     Cycle, FastMap, FastSet, PhysAddr, PhysBlock, ProcessId, TxId, VirtAddr, WordIdx, BLOCK_SIZE,
+    WORD_SIZE,
 };
+use std::sync::Mutex;
 
 /// Host-side knobs for [`Machine::run_parallel`].
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +126,75 @@ pub struct ExecStats {
     pub reexecuted_steps: u64,
     /// Poison notifications raised by live steps (global + per-core).
     pub poison_events: u64,
+    /// Whole simulated transactions entered inside speculative runs
+    /// (`Begin` boundaries speculated).
+    pub spec_txs: u64,
+    /// Whole simulated transactions whose commit was consumed at its
+    /// canonical point from a speculative run (the transaction-granularity
+    /// win: begin, body and commit all rode one run).
+    pub spec_tx_commits: u64,
+    /// Core re-incarnations: discarded runs whose cores re-executed under
+    /// a bumped incarnation number in a later epoch.
+    pub incarnations: u64,
+    /// Decreasing validation waves triggered in the phase-A scheduler.
+    pub validation_waves: u64,
+    /// Speculative steps discarded by a word-granular MvMap conflict
+    /// (foreign version or ESTIMATE marker on a word they read).
+    pub word_conflicts: u64,
+    /// ESTIMATE markers published by eager-versioning aborts.
+    pub estimate_markers: u64,
+    /// Speculated cache-miss/upgrade steps that executed through the live
+    /// path at their canonical points (replays). A replay is live-cost
+    /// work, but it keeps the run alive so the cheap steps behind the miss
+    /// stay consumable.
+    pub replayed_steps: u64,
+    /// Replays that did not complete their op (a stall, a conflict
+    /// self-abort, an injected system event) plus post-replay state
+    /// re-verification failures: the run's tail was discarded.
+    pub replay_mispredicts: u64,
+    /// Replays whose live latency diverged from the frozen-bus prediction
+    /// (contention from other cores' consumed traffic). The tail survives —
+    /// speculated steps are time-shift invariant — rescheduled by the skew.
+    pub replay_skews: u64,
+    /// Why runs stopped speculating, indexed by [`Refusal`]. Diagnostic:
+    /// shows which live-path behaviour bounds run length.
+    pub refusals: [u64; Refusal::COUNT],
+}
+
+/// Reasons phase A stops a speculative run (indices into
+/// [`ExecStats::refusals`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Refusal {
+    /// Core-TLB miss: the live path enters the kernel.
+    Tlb = 0,
+    /// Block absent from the private cache *while overflow structures are
+    /// live* (the fetch's conflict walk is unpredictable). Overflow-free
+    /// misses become [`SpecStep::Replay`]s instead of stopping the run.
+    CacheMiss = 1,
+    /// Foreign (or dead) transactional metadata on the line.
+    Meta = 2,
+    /// Write needing an ownership upgrade while overflow structures are
+    /// live. Overflow-free upgrades replay.
+    Upgrade = 3,
+    /// Transactional access under migration or word-granularity tracking.
+    TxMode = 4,
+    /// Unspeculable boundary (ordered/retry Begin, lock op, barrier).
+    Boundary = 5,
+}
+
+impl Refusal {
+    /// Number of refusal reasons.
+    pub const COUNT: usize = 6;
+    /// Short labels, index-aligned with [`ExecStats::refusals`].
+    pub const LABELS: [&'static str; Self::COUNT] = [
+        "tlb",
+        "cache_miss",
+        "meta",
+        "upgrade",
+        "tx_mode",
+        "boundary",
+    ];
 }
 
 impl ExecStats {
@@ -129,6 +218,18 @@ impl ExecStats {
         self.rollbacks += other.rollbacks;
         self.reexecuted_steps += other.reexecuted_steps;
         self.poison_events += other.poison_events;
+        self.spec_txs += other.spec_txs;
+        self.spec_tx_commits += other.spec_tx_commits;
+        self.incarnations += other.incarnations;
+        self.validation_waves += other.validation_waves;
+        self.word_conflicts += other.word_conflicts;
+        self.estimate_markers += other.estimate_markers;
+        self.replayed_steps += other.replayed_steps;
+        self.replay_mispredicts += other.replay_mispredicts;
+        self.replay_skews += other.replay_skews;
+        for (a, b) in self.refusals.iter_mut().zip(other.refusals) {
+            *a += b;
+        }
     }
 }
 
@@ -146,12 +247,20 @@ pub(crate) struct ExecLog {
     poisoned: Vec<bool>,
     /// Which cores still have unconsumed speculative steps this epoch.
     pending: Vec<bool>,
-    /// Last core to write each block this epoch (consumed speculative
-    /// writes and live functional writes alike). A consume against a block
-    /// another core wrote is discarded.
-    writers: FastMap<PhysBlock, usize>,
+    /// The epoch's multi-version map: every canonically-applied write
+    /// (consumed speculative writes and live functional writes alike)
+    /// publishes a version keyed by `(core, incarnation)`; ESTIMATE
+    /// markers stand in for words an abort rolled back. A consume whose
+    /// read word carries a *foreign* version is discarded.
+    mv: MvMap,
+    /// Per-core incarnation numbers: how many times each core's
+    /// speculative run has been discarded and re-executed. Persist across
+    /// epochs (an epoch is one execution wave).
+    incarnations: Vec<u32>,
     /// Total poison notifications (for [`ExecStats::poison_events`]).
     pub(crate) poison_events: u64,
+    /// ESTIMATE markers published (for [`ExecStats::estimate_markers`]).
+    pub(crate) estimate_markers: u64,
 }
 
 impl ExecLog {
@@ -162,8 +271,10 @@ impl ExecLog {
             poison_all: false,
             poisoned: Vec::new(),
             pending: Vec::new(),
-            writers: FastMap::default(),
+            mv: MvMap::new(),
+            incarnations: Vec::new(),
             poison_events: 0,
+            estimate_markers: 0,
         }
     }
 
@@ -172,8 +283,10 @@ impl ExecLog {
         self.poison_all = false;
         self.poisoned = vec![false; cores];
         self.pending = vec![false; cores];
-        self.writers.clear();
+        self.mv.clear();
+        self.incarnations = vec![0; cores];
         self.poison_events = 0;
+        self.estimate_markers = 0;
     }
 
     fn deactivate(&mut self) {
@@ -184,7 +297,7 @@ impl ExecLog {
         self.poison_all = false;
         self.poisoned.iter_mut().for_each(|p| *p = false);
         self.pending.copy_from_slice(pending);
-        self.writers.clear();
+        self.mv.clear();
     }
 
     /// A live step mutated state that any core's run may depend on.
@@ -208,10 +321,34 @@ impl ExecLog {
         self.active && self.pending[core]
     }
 
-    /// Records a functional write for same-epoch ordering validation.
-    pub(crate) fn note_write(&mut self, block: PhysBlock, core: usize) {
+    /// Publishes a canonically-applied functional write for word-granular
+    /// same-epoch ordering validation.
+    pub(crate) fn note_write(&mut self, block: PhysBlock, word: WordIdx, core: usize, value: u32) {
         if self.active {
-            self.writers.insert(block, core);
+            let version = self.version_of(core);
+            self.mv.write((block, word), version, value);
+        }
+    }
+
+    /// Publishes an ESTIMATE marker: an abort rolled this word back and the
+    /// owner is likely to rewrite it on retry.
+    pub(crate) fn note_estimate(&mut self, block: PhysBlock, word: WordIdx, core: usize) {
+        if self.active {
+            let version = self.version_of(core);
+            self.mv.write_estimate((block, word), version);
+            self.estimate_markers += 1;
+        }
+    }
+
+    /// A core's run was discarded: its next execution is a new incarnation.
+    pub(crate) fn note_rollback(&mut self, core: usize) {
+        self.incarnations[core] += 1;
+    }
+
+    fn version_of(&self, core: usize) -> TxnVersion {
+        TxnVersion {
+            tx_index: core as u32,
+            incarnation: self.incarnations[core],
         }
     }
 
@@ -219,8 +356,15 @@ impl ExecLog {
         self.poison_all || self.poisoned[core]
     }
 
-    fn written_by_other(&self, block: PhysBlock, core: usize) -> bool {
-        self.writers.get(&block).is_some_and(|&w| w != core)
+    /// Whether a foreign version (value or ESTIMATE) exists for one word.
+    fn word_written_by_other(&self, block: PhysBlock, word: WordIdx, core: usize) -> bool {
+        self.mv.latest_foreign((block, word), core as u32).is_some()
+    }
+
+    /// Whether a foreign version exists anywhere in `block` (invalidates
+    /// precomputed whole-block snapshots).
+    fn block_written_by_other(&self, block: PhysBlock, core: usize) -> bool {
+        self.mv.block_has_foreign(block, core as u32)
     }
 
     fn set_consumed(&mut self, core: usize) {
@@ -248,6 +392,38 @@ enum WriteTarget {
     },
 }
 
+/// The transaction context a speculated access runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxRef {
+    /// Non-transactional.
+    None,
+    /// A transaction that was already in flight when the run was frozen —
+    /// its `TxId` is known.
+    Live(TxId),
+    /// A transaction this run *itself* begins: the `TxId` is allocated by
+    /// the live `Begin` at its canonical point and bound into the run's
+    /// slot table ([`SpecRun::txs`]).
+    Slot(usize),
+}
+
+/// A transaction boundary carried inside a speculative run. The boundary
+/// executes **live** at its canonical consume point (allocating IDs,
+/// draining buffers, committing against the real backend); the run only
+/// pre-schedules it, which is sound because unordered boundaries never
+/// stall: `Begin` costs exactly `begin_cost`, an unordered outermost `End`
+/// exactly `commit_cost`, nested/serial boundaries exactly 1 cycle.
+#[derive(Debug, Clone, Copy)]
+enum BoundaryKind {
+    /// Serial-mode or flattened-nested begin/end: advance + 1 cycle.
+    Trivial,
+    /// Outermost `Begin` of a fresh, unordered transaction. The live step
+    /// allocates its `TxId`, which the consume binds to `slot`.
+    Begin { slot: usize },
+    /// Outermost unordered `End`: the live commit of the run's current
+    /// transaction.
+    Commit,
+}
+
 /// One speculated step, carrying everything its consume needs.
 #[derive(Debug)]
 enum SpecStep {
@@ -260,19 +436,42 @@ enum SpecStep {
         va: VirtAddr,
         pa: PhysAddr,
         kind: AccessKind,
-        tx: Option<TxId>,
+        tx: TxRef,
         /// The value the load observes (feeds the checksum and RMW deltas).
         old: u32,
         write: Option<(u32, WriteTarget)>,
         /// Hit latency (L1, or L1+L2 for an L1 miss that hits L2).
         latency: Cycle,
     },
+    Boundary {
+        at: Cycle,
+        kind: BoundaryKind,
+        /// Predicted `ready_at` advance of the live step (checked in debug
+        /// builds; all speculated boundary flavours are constant-cost).
+        cost: Cycle,
+    },
+    /// A step whose outcome phase A cannot compute from the frozen state —
+    /// a cache-miss fill or an ownership upgrade. It executes **live** at
+    /// its canonical point (full coherence transaction, conflict
+    /// arbitration, fill, eviction), which is trivially bit-identical; the
+    /// speculation is the *schedule*: `cost` predicts the live latency from
+    /// the frozen bus so the steps behind the miss stay consumable. If the
+    /// live step lands anywhere else (bus contention, a conflict abort, a
+    /// stall), the rest of the run is discarded — yield lost, never
+    /// correctness.
+    Replay {
+        at: Cycle,
+        cost: Cycle,
+    },
 }
 
 impl SpecStep {
     fn at(&self) -> Cycle {
         match self {
-            SpecStep::Compute { at, .. } | SpecStep::Access { at, .. } => *at,
+            SpecStep::Compute { at, .. }
+            | SpecStep::Access { at, .. }
+            | SpecStep::Boundary { at, .. }
+            | SpecStep::Replay { at, .. } => *at,
         }
     }
 }
@@ -283,6 +482,30 @@ impl SpecStep {
 struct SpecRun {
     core: usize,
     steps: Vec<SpecStep>,
+    /// Late-bound `TxId`s of the transactions this run begins, indexed by
+    /// [`TxRef::Slot`] / [`BoundaryKind::Begin`] slot number. Bound at the
+    /// canonical `Begin`; `None` until then.
+    txs: Vec<Option<TxId>>,
+    /// Why the walk stopped, by [`Refusal`] (diagnostic, aggregated into
+    /// [`ExecStats::refusals`]).
+    refusals: [u64; Refusal::COUNT],
+    /// Set once the consume executes one of this run's [`SpecStep::Replay`]
+    /// steps. Before the first replay every prediction is provably exact
+    /// (frozen state + own-effect overlay + poison rules); after it, the
+    /// real fill's victim choice and supplied MOESI state are only
+    /// *predicted*, so later `Access` consumes re-verify the live fast-path
+    /// gates against the current cache ([`Machine::verify_spec_access`]),
+    /// and the consume refuses once the core's clock crosses an injection
+    /// timer (a skewed schedule could otherwise slide a speculated step
+    /// past the point where the live path injects a system event).
+    replayed: bool,
+    /// Accumulated difference between each replay's live completion time
+    /// and its frozen-bus prediction. Speculated steps only encode
+    /// *durations* (`cost`/`latency`); their absolute schedule shifts by
+    /// this skew without affecting validity, so the invariant
+    /// `ready_at == step.at + skew` holds at every consume point (checked
+    /// in debug builds).
+    skew: i64,
 }
 
 impl SpecRun {
@@ -310,6 +533,13 @@ struct RunOverlay {
     /// Blocks whose first transactional buffer this run creates (later
     /// writes must not precompute another snapshot).
     buffered: FastSet<PhysBlock>,
+    /// Blocks this run's replayed misses fill, keyed to the transaction
+    /// context that will tag the new line — the frozen array does not
+    /// contain them, so later probes resolve presence and metadata here
+    /// (state lives in `moesi`).
+    filled: FastMap<PhysBlock, TxRef>,
+    /// Why this run's walk stopped, by [`Refusal`] (at most one is set).
+    refusals: [u64; Refusal::COUNT],
 }
 
 /// Frozen-lru values stay below this; overlay insertions count up from it,
@@ -317,6 +547,12 @@ struct RunOverlay {
 const OVERLAY_LRU_BASE: u64 = u64::MAX / 2;
 
 impl RunOverlay {
+    /// Records why the walk stops; typed to chain as `return ov.refuse(r)`.
+    fn refuse<T>(&mut self, r: Refusal) -> Option<T> {
+        self.refusals[r as usize] += 1;
+        None
+    }
+
     fn l1_set<'a>(
         &'a mut self,
         m: &Machine,
@@ -385,13 +621,26 @@ impl Machine {
         let mut pending: Vec<Option<SpecRun>> = (0..n).map(|_| None).collect();
         let mut pend_flags = vec![false; n];
 
+        // Consecutive unproductive epochs (nothing consumed). While cores
+        // sit at unspeculable steps (miss bursts, barriers, contended
+        // phases), re-speculating every few cycles is wasted overhead —
+        // back the live window off exponentially until speculation lands
+        // again, then snap back to eager re-freezing.
+        let mut dry: u32 = 0;
+
         while let Some((t0, _)) = heap.peek() {
-            let window_end = t0.saturating_add(epoch_cycles);
+            let window = if dry == 0 {
+                epoch_cycles
+            } else {
+                (128u64 << dry.min(16)).min(epoch_cycles)
+            };
+            let window_end = t0.saturating_add(window);
             xs.epochs += 1;
 
-            // Phase A: side-effect-free run-ahead against the frozen state.
+            // Phase A: side-effect-free run-ahead against the frozen state,
+            // dispensed by the Block-STM scheduler.
             let runs = if spec_enabled {
-                self.speculate(window_end, threads)
+                self.speculate(window_end, threads, &mut xs)
             } else {
                 Vec::new()
             };
@@ -407,9 +656,19 @@ impl Machine {
             }
             self.exec_log.begin_epoch(&pend_flags);
 
-            // Phase B: canonical-order consume/execute.
+            // Phase B: canonical-order consume/execute. The window bounds
+            // the epoch, but a productive epoch ends as soon as every
+            // speculative run is drained: re-freezing immediately lets the
+            // next phase A pick up right after the miss/upgrade that
+            // stopped the runs, instead of stepping the rest of the window
+            // live. Unproductive epochs (nothing consumed) run their full
+            // window so the speculation overhead stays amortized.
+            let consumed0 = xs.committed_spec_steps;
             while let Some((t, idx)) = heap.peek() {
                 if t >= window_end {
+                    break;
+                }
+                if xs.committed_spec_steps > consumed0 && pending.iter().all(Option::is_none) {
                     break;
                 }
                 if !self.try_consume(idx, &mut pending, &mut xs) {
@@ -432,16 +691,29 @@ impl Machine {
             }
 
             // Epoch boundary: whatever survived unconsumed (poisoned right
-            // at the end of the window) rolls back.
+            // at the end of the window) rolls back and re-incarnates.
             for slot in pending.iter_mut() {
                 if let Some(run) = slot.take() {
                     xs.rollbacks += 1;
                     xs.reexecuted_steps += run.remaining();
+                    self.exec_log.note_rollback(run.core);
                 }
             }
+            dry = if xs.committed_spec_steps > consumed0 {
+                0
+            } else {
+                dry.saturating_add(1)
+            };
         }
 
         xs.poison_events = self.exec_log.poison_events;
+        xs.estimate_markers = self.exec_log.estimate_markers;
+        xs.incarnations = self
+            .exec_log
+            .incarnations
+            .iter()
+            .map(|&i| u64::from(i))
+            .sum();
         self.exec_log.deactivate();
         self.finalize_stats();
         xs
@@ -459,27 +731,161 @@ impl Machine {
         let Some(run) = pending[idx].as_mut() else {
             return false;
         };
+        let mut word_conflict = false;
+        let mut state_mispredict = false;
+        // A replay-skewed schedule may slide a step onto (or past) an
+        // injection timer; the live path would inject the system event
+        // first, so the step must run live. Exact-schedule runs provably
+        // stop short of both timers during speculation.
+        let injection_due = run.replayed && {
+            let c = &self.cores[idx];
+            c.ready_at >= c.next_cs || c.ready_at >= c.next_exc
+        };
         let discard = self.exec_log.run_poisoned(idx)
+            || injection_due
             || match run.steps.last() {
-                Some(SpecStep::Access { pa, .. }) => {
-                    self.exec_log.written_by_other(pa.block(), idx)
+                Some(SpecStep::Access {
+                    pa,
+                    kind,
+                    tx,
+                    write,
+                    latency,
+                    ..
+                }) => {
+                    // Word-granular validation: a foreign version (or
+                    // ESTIMATE) on the word this step read means a
+                    // preceding canonical step changed its input. A
+                    // precomputed whole-block snapshot (first buffered
+                    // write of a transaction) additionally requires the
+                    // whole block clean of foreign versions.
+                    let block = pa.block();
+                    let snapshot_write = matches!(
+                        write,
+                        Some((_, WriteTarget::TxBuffer { snapshot: Some(_) }))
+                    );
+                    word_conflict =
+                        self.exec_log
+                            .word_written_by_other(block, pa.word_in_block(), idx)
+                            || (snapshot_write && self.exec_log.block_written_by_other(block, idx));
+                    // After a replay the run's cache-state predictions are
+                    // no longer provably exact: re-run the live fast-path
+                    // gates against the current hierarchy.
+                    if !word_conflict && run.replayed {
+                        let resolved = match tx {
+                            TxRef::None => None,
+                            TxRef::Live(t) => Some(*t),
+                            TxRef::Slot(s) => {
+                                Some(run.txs[*s].expect("slot bound by its Begin boundary"))
+                            }
+                        };
+                        state_mispredict = !self.verify_spec_access(
+                            idx,
+                            *pa,
+                            *kind,
+                            resolved,
+                            *latency,
+                            write.is_some(),
+                        );
+                    }
+                    word_conflict || state_mispredict
                 }
-                Some(SpecStep::Compute { .. }) => false,
+                Some(SpecStep::Compute { .. })
+                | Some(SpecStep::Boundary { .. })
+                | Some(SpecStep::Replay { .. }) => false,
                 None => true,
             };
         if discard {
+            if word_conflict {
+                xs.word_conflicts += 1;
+            }
+            if state_mispredict {
+                xs.replay_mispredicts += 1;
+            }
             let run = pending[idx].take().expect("pending run");
             if run.remaining() > 0 {
                 xs.rollbacks += 1;
                 xs.reexecuted_steps += run.remaining();
+                self.exec_log.note_rollback(idx);
             }
             self.exec_log.set_consumed(idx);
             return false;
         }
+        let skew = run.skew;
         let step = run.steps.pop().expect("non-empty run");
         let done = run.steps.is_empty();
-        self.apply_spec_step(idx, step);
-        xs.committed_spec_steps += 1;
+        match step {
+            SpecStep::Replay { at, cost } => {
+                run.replayed = true;
+                debug_assert_eq!(
+                    self.cores[idx].ready_at,
+                    at.wrapping_add_signed(run.skew),
+                    "replay off schedule"
+                );
+                let predicted = self.cores[idx].ready_at + cost;
+                let pc_before = self.cores[idx].prog.pc();
+                self.step(idx);
+                xs.replayed_steps += 1;
+                xs.live_steps += 1;
+                if self.cores[idx].prog.pc() != pc_before + 1 {
+                    // The op did not complete (a stall, a conflict
+                    // self-abort, an injected event): the tail no longer
+                    // lines up with the program. Discard it — the replay
+                    // itself was canonical work, nothing to undo.
+                    xs.replay_mispredicts += 1;
+                    let run = pending[idx].take().expect("pending run");
+                    if run.remaining() > 0 {
+                        xs.rollbacks += 1;
+                        xs.reexecuted_steps += run.remaining();
+                        self.exec_log.note_rollback(idx);
+                    }
+                    self.exec_log.set_consumed(idx);
+                    return true;
+                }
+                // Completed off the predicted latency (bus contention from
+                // other cores' consumed traffic): the tail stays valid —
+                // speculated steps encode durations, not absolute times —
+                // it just runs on a shifted schedule.
+                let actual = self.cores[idx].ready_at;
+                if actual != predicted {
+                    xs.replay_skews += 1;
+                    run.skew += actual as i64 - predicted as i64;
+                }
+            }
+            SpecStep::Boundary { at, kind, cost } => {
+                if !self.consume_boundary(idx, at, kind, cost, pending, xs) {
+                    // The live boundary diverged from the prediction on a
+                    // replay-perturbed run: the tail no longer lines up
+                    // with the program. The boundary itself was canonical
+                    // work, nothing to undo.
+                    let run = pending[idx].take().expect("pending run");
+                    if run.remaining() > 0 {
+                        xs.rollbacks += 1;
+                        xs.reexecuted_steps += run.remaining();
+                        self.exec_log.note_rollback(idx);
+                    }
+                    self.exec_log.set_consumed(idx);
+                    return true;
+                }
+                xs.committed_spec_steps += 1;
+            }
+            step => {
+                // Resolve a slot reference through the run's (immutable
+                // for this step) transaction table.
+                let tx = match step {
+                    SpecStep::Access { tx, .. } => match tx {
+                        TxRef::None => None,
+                        TxRef::Live(t) => Some(t),
+                        TxRef::Slot(s) => Some(
+                            pending[idx].as_ref().expect("pending run").txs[s]
+                                .expect("slot bound by its Begin boundary"),
+                        ),
+                    },
+                    _ => None,
+                };
+                self.apply_spec_step(idx, step, tx, skew);
+                xs.committed_spec_steps += 1;
+            }
+        }
         if done {
             pending[idx] = None;
             self.exec_log.set_consumed(idx);
@@ -487,11 +893,75 @@ impl Machine {
         true
     }
 
+    /// Consumes a transaction boundary: the op executes **live** at its
+    /// canonical point (allocating the `TxId`, running the real backend
+    /// begin/commit), then the prediction the rest of the run was built on
+    /// is checked and `Begin` slots are bound. On an exact-schedule run the
+    /// prediction is provably right (debug-asserted); after a replay the
+    /// live boundary may land off the predicted latency — the divergence
+    /// folds into the run's skew — or fail to advance at all, in which
+    /// case the tail is invalid and `false` is returned so the caller
+    /// discards it.
+    fn consume_boundary(
+        &mut self,
+        idx: usize,
+        at: Cycle,
+        kind: BoundaryKind,
+        cost: Cycle,
+        pending: &mut [Option<SpecRun>],
+        xs: &mut ExecStats,
+    ) -> bool {
+        let (replayed, skew) = {
+            let run = pending[idx].as_ref().expect("pending run");
+            (run.replayed, run.skew)
+        };
+        debug_assert_eq!(
+            self.cores[idx].ready_at,
+            at.wrapping_add_signed(skew),
+            "boundary off schedule"
+        );
+        let predicted = self.cores[idx].ready_at + cost;
+        let pc_before = self.cores[idx].prog.pc();
+        self.step(idx);
+        if self.cores[idx].prog.pc() != pc_before + 1 {
+            debug_assert!(replayed, "exact-schedule boundary did not advance");
+            xs.replay_mispredicts += 1;
+            return false;
+        }
+        if let BoundaryKind::Commit = kind {
+            xs.spec_tx_commits += 1;
+        }
+        if let BoundaryKind::Begin { slot } = kind {
+            let tx = self.tx_context(idx).expect("begin bound a transaction");
+            let run = pending[idx].as_mut().expect("pending run");
+            run.txs[slot] = Some(tx);
+        }
+        let actual = self.cores[idx].ready_at;
+        if actual != predicted {
+            debug_assert!(
+                replayed,
+                "exact-schedule boundary cost diverged (kind {kind:?})"
+            );
+            xs.replay_skews += 1;
+            let run = pending[idx].as_mut().expect("pending run");
+            run.skew += actual as i64 - predicted as i64;
+        }
+        let _ = replayed;
+        true
+    }
+
     /// Applies a validated speculative step: the exact effects the live
-    /// silent-hit path would have produced, minus the lookups.
-    fn apply_spec_step(&mut self, idx: usize, step: SpecStep) {
+    /// silent-hit path would have produced, minus the lookups. `tx` is the
+    /// step's transaction context with any [`TxRef::Slot`] already resolved
+    /// to the `TxId` its canonical `Begin` allocated.
+    fn apply_spec_step(&mut self, idx: usize, step: SpecStep, tx: Option<TxId>, skew: i64) {
         let now = self.cores[idx].ready_at;
-        debug_assert_eq!(step.at(), now, "consume off the speculated schedule");
+        debug_assert_eq!(
+            step.at().wrapping_add_signed(skew),
+            now,
+            "consume off the speculated schedule"
+        );
+        let _ = skew;
         match step {
             SpecStep::Compute { cost, .. } => {
                 debug_assert!(matches!(
@@ -501,11 +971,12 @@ impl Machine {
                 self.cores[idx].prog.advance();
                 self.cores[idx].ready_at = now + cost;
             }
+            SpecStep::Boundary { .. } => unreachable!("boundaries consume via consume_boundary"),
+            SpecStep::Replay { .. } => unreachable!("replays execute live in try_consume"),
             SpecStep::Access {
                 va,
                 pa,
                 kind,
-                tx,
                 old,
                 write,
                 latency,
@@ -549,6 +1020,9 @@ impl Machine {
                             self.spec.write_word(tx, block, word, value, || {
                                 *snapshot.expect("speculated snapshot")
                             });
+                            // Buffered writes stay invisible until commit —
+                            // no multi-version publication; the commit seam
+                            // publishes the drained words instead.
                         }
                         WriteTarget::TxLog => {
                             let tx = tx.expect("logged write is transactional");
@@ -558,15 +1032,18 @@ impl Machine {
                             };
                             l.log_write(tx, pa, old_word);
                             self.mem.write_word(pa, value);
+                            // Eager versioning writes memory in place:
+                            // immediately visible, so publish the version.
+                            self.exec_log.note_write(block, word, idx, value);
                         }
                         WriteTarget::Mem { primary, mirror } => {
                             self.mem.write_word(primary, value);
                             if let Some(m) = mirror {
                                 self.mem.write_word(m, value);
                             }
+                            self.exec_log.note_write(block, word, idx, value);
                         }
                     }
-                    self.exec_log.note_write(block, idx);
                     self.note_page_touch(idx, pid, va.vpn(), tx.is_some());
                 } else {
                     self.note_page_touch(idx, pid, va.vpn(), false);
@@ -575,6 +1052,43 @@ impl Machine {
                 self.cores[idx].prog.advance();
                 self.cores[idx].ready_at = now + latency.max(1);
             }
+        }
+    }
+
+    /// Post-replay re-verification of a speculated silent hit against the
+    /// *current* cache state, in all build profiles. Before a run's first
+    /// replay every prediction is provably exact (frozen state, own-effect
+    /// overlay, poison rules); a replayed fill's real victim cascade and
+    /// supplied MOESI state, however, are only predicted, so every later
+    /// `Access` of that run re-checks the gates the live fast path would
+    /// take. A mismatch discards the run's tail — speculation yield lost,
+    /// never correctness.
+    fn verify_spec_access(
+        &self,
+        idx: usize,
+        pa: PhysAddr,
+        kind: AccessKind,
+        tx: Option<TxId>,
+        latency: Cycle,
+        is_write: bool,
+    ) -> bool {
+        let block = pa.block();
+        let Some(line) = self.caches[idx].line(block) else {
+            return false;
+        };
+        let meta_ok = match tx {
+            Some(t) => line.tx_meta().is_none_or(|m| m.tx == t),
+            None => line.tx_meta().is_none(),
+        };
+        if !meta_ok || (is_write && !line.state().allows_silent_write()) {
+            return false;
+        }
+        if self.hit_needs_overflow_check(idx, block, pa.word_in_block(), kind, tx) {
+            return false;
+        }
+        match self.caches[idx].probe(block) {
+            ProbeResult::Hit(h) => self.caches[idx].hit_latency(h) == latency,
+            ProbeResult::Miss => false,
         }
     }
 
@@ -631,10 +1145,19 @@ impl Machine {
         );
     }
 
-    /// Phase A: produce speculative runs for every eligible core,
-    /// partitioned across `threads` host workers sharing the frozen
-    /// machine.
-    fn speculate(&self, window_end: Cycle, threads: usize) -> Vec<SpecRun> {
+    /// Phase A: produce speculative runs for every eligible core. Each
+    /// eligible core is one Block-STM transaction; `threads` host workers
+    /// share the frozen machine and pull [`Task`]s from the [`Scheduler`]
+    /// until its DONE marker latches.
+    ///
+    /// Speculation against the frozen snapshot is side-effect-free, so
+    /// phase A itself never aborts an incarnation: the scheduler's
+    /// validation tasks all pass and its role here is work dispensing and
+    /// completion detection. The *real* validation — the one that aborts
+    /// and re-incarnates — is phase B's canonical-order consume against the
+    /// multi-version map (see DESIGN.md decision 21 for why this mapping
+    /// preserves bit-identity).
+    fn speculate(&self, window_end: Cycle, threads: usize, xs: &mut ExecStats) -> Vec<SpecRun> {
         let eligible: Vec<usize> = (0..self.cores.len())
             .filter(|&i| !self.cores[i].prog.is_finished() && self.cores[i].ready_at < window_end)
             .collect();
@@ -642,43 +1165,97 @@ impl Machine {
             return Vec::new();
         }
         let workers = threads.min(eligible.len());
+        let sched = Scheduler::new(eligible.len());
+        let slots: Vec<Mutex<Option<SpecRun>>> =
+            (0..eligible.len()).map(|_| Mutex::new(None)).collect();
+
+        let drive = |sched: &Scheduler| {
+            let mut task = sched.next_task();
+            loop {
+                task = match task {
+                    Task::Execution(v) => {
+                        let slot = v.tx_index as usize;
+                        let run = self.speculate_core(eligible[slot], window_end);
+                        *slots[slot].lock().expect("run slot") = Some(run);
+                        sched.finish_execution(v, false)
+                    }
+                    Task::Validation(v) => sched.finish_validation(v, false),
+                    Task::Retry => {
+                        std::hint::spin_loop();
+                        sched.next_task()
+                    }
+                    Task::Done => break,
+                };
+            }
+        };
+
         if workers <= 1 {
-            return eligible
-                .iter()
-                .map(|&i| self.speculate_core(i, window_end))
-                .collect();
+            drive(&sched);
+        } else {
+            // &self is shared across the scope: speculation never mutates.
+            std::thread::scope(|s| {
+                let drive = &drive;
+                let sched = &sched;
+                for _ in 0..workers {
+                    s.spawn(move || drive(sched));
+                }
+            });
         }
-        // &self is shared across the scope: speculation never mutates.
-        std::thread::scope(|s| {
-            let chunk = eligible.len().div_ceil(workers);
-            let handles: Vec<_> = eligible
-                .chunks(chunk)
-                .map(|cores| {
-                    s.spawn(move || {
-                        cores
-                            .iter()
-                            .map(|&i| self.speculate_core(i, window_end))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("speculation worker panicked"))
-                .collect()
-        })
+
+        xs.validation_waves += sched.validation_waves() as u64;
+        let runs: Vec<SpecRun> = slots
+            .into_iter()
+            .filter_map(|m| m.into_inner().expect("run slot"))
+            .collect();
+        for run in &runs {
+            for (a, b) in xs.refusals.iter_mut().zip(run.refusals) {
+                *a += b;
+            }
+        }
+        xs.spec_txs += runs
+            .iter()
+            .flat_map(|r| &r.steps)
+            .filter(|s| {
+                matches!(
+                    s,
+                    SpecStep::Boundary {
+                        kind: BoundaryKind::Commit,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        runs
     }
 
     /// Runs core `idx` ahead through `[ready_at, window_end)` against the
     /// frozen machine, stopping at the first step whose outcome is not
-    /// locally decidable.
+    /// locally decidable. The walk speculates *through* transaction
+    /// boundaries whose cost is provably constant (see [`BoundaryKind`]),
+    /// tracking nesting depth and the transaction context each access runs
+    /// under as [`TxRef`]s.
     fn speculate_core(&self, idx: usize, window_end: Cycle) -> SpecRun {
         let core = &self.cores[idx];
         let pid = core.prog.pid();
-        let tx = self.tx_context(idx);
+        // A rewound retry (aborted transaction back at its Begin) reuses
+        // its old TxId and replays attempt accounting: live only.
+        let frozen_retry = core.prog.cur_tx().is_some() && core.prog.nest() == 0;
+        // Word-granularity modes poison every commit/abort (precomputed
+        // mirror pointers go stale), and migration rebinds transaction
+        // ownership mid-flight: no boundary speculation there.
+        let boundaries_ok = self.kind.is_transactional()
+            && !self.kind.granularity().word_in_cache()
+            && !self.cfg.kernel.migrate_on_cs;
+        let mut nest = core.prog.nest();
+        let mut tx_ctx = if nest > 0 {
+            TxRef::Live(core.prog.cur_tx().expect("nested implies a tx"))
+        } else {
+            TxRef::None
+        };
         let mut now = core.ready_at;
         let mut pc = core.prog.pc();
         let mut steps = Vec::new();
+        let mut txs: Vec<Option<TxId>> = Vec::new();
         let mut ov = RunOverlay::default();
 
         // Injection timers fire live; stop short of either.
@@ -689,27 +1266,128 @@ impl Machine {
                     at: now,
                     cost: Cycle::from(c.max(1)),
                 }),
-                Op::Read(va) => self.speculate_access(idx, pid, tx, now, va, None, &mut ov),
+                Op::Read(va) => self.speculate_access(idx, pid, tx_ctx, now, va, None, &mut ov),
                 Op::Write(va, v) => {
-                    self.speculate_access(idx, pid, tx, now, va, Some(Ok(v)), &mut ov)
+                    self.speculate_access(idx, pid, tx_ctx, now, va, Some(Ok(v)), &mut ov)
                 }
                 Op::Rmw(va, d) => {
-                    self.speculate_access(idx, pid, tx, now, va, Some(Err(d)), &mut ov)
+                    self.speculate_access(idx, pid, tx_ctx, now, va, Some(Err(d)), &mut ov)
                 }
-                // Transaction boundaries, barriers and lock ops interact
-                // with shared structures: live only.
-                Op::Begin { .. } | Op::End | Op::Barrier(_) => None,
+                Op::Begin { ordered, .. } => match self.kind {
+                    // Serial begin: advance + 1 cycle, no shared state.
+                    SystemKind::Serial => Some(SpecStep::Boundary {
+                        at: now,
+                        kind: BoundaryKind::Trivial,
+                        cost: 1,
+                    }),
+                    // Lock acquisition is a contended RMW: live only.
+                    SystemKind::Locks => ov.refuse(Refusal::Boundary),
+                    _ if nest > 0 => {
+                        // Flattened nesting: depth bump + 1 cycle.
+                        nest += 1;
+                        Some(SpecStep::Boundary {
+                            at: now,
+                            kind: BoundaryKind::Trivial,
+                            cost: 1,
+                        })
+                    }
+                    // Ordered transactions gate their End (it can stall);
+                    // retries replay abort accounting: both live only.
+                    _ if !boundaries_ok || ordered.is_some() || frozen_retry => {
+                        ov.refuse(Refusal::Boundary)
+                    }
+                    _ => {
+                        let slot = txs.len();
+                        txs.push(None);
+                        nest = 1;
+                        tx_ctx = TxRef::Slot(slot);
+                        // Speculative buffers are per-transaction: the new
+                        // transaction starts with none.
+                        ov.buffered.clear();
+                        Some(SpecStep::Boundary {
+                            at: now,
+                            kind: BoundaryKind::Begin { slot },
+                            cost: self.cfg.begin_cost,
+                        })
+                    }
+                },
+                Op::End => match self.kind {
+                    SystemKind::Serial => Some(SpecStep::Boundary {
+                        at: now,
+                        kind: BoundaryKind::Trivial,
+                        cost: 1,
+                    }),
+                    SystemKind::Locks => ov.refuse(Refusal::Boundary),
+                    _ if nest > 1 => {
+                        nest -= 1;
+                        Some(SpecStep::Boundary {
+                            at: now,
+                            kind: BoundaryKind::Trivial,
+                            cost: 1,
+                        })
+                    }
+                    // Outermost end: an unordered commit never stalls and
+                    // costs exactly commit_cost. `cur_ordered` is the frozen
+                    // live transaction's flag; slot transactions are
+                    // unordered by construction (ordered Begins refused).
+                    _ if !boundaries_ok
+                        || (matches!(tx_ctx, TxRef::Live(_)) && core.cur_ordered.is_some()) =>
+                    {
+                        ov.refuse(Refusal::Boundary)
+                    }
+                    _ if nest == 1 => {
+                        nest = 0;
+                        let was_live = matches!(tx_ctx, TxRef::Live(_));
+                        // The live commit clears transactional tags on the
+                        // committed transaction's lines (`commit_tx_lines`);
+                        // mirror it on the run's own replay-filled blocks.
+                        for fctx in ov.filled.values_mut() {
+                            if *fctx == tx_ctx {
+                                *fctx = TxRef::None;
+                            }
+                        }
+                        tx_ctx = TxRef::None;
+                        ov.buffered.clear();
+                        let commit = SpecStep::Boundary {
+                            at: now,
+                            kind: BoundaryKind::Commit,
+                            cost: self.cfg.commit_cost,
+                        };
+                        if was_live {
+                            // A frozen-live transaction may hold buffered
+                            // writes from *before* this window; the frozen
+                            // committed view goes stale the moment they
+                            // drain. End the run at the commit.
+                            steps.push(commit);
+                            break;
+                        }
+                        Some(commit)
+                    }
+                    // Unmatched End: let the live path handle it.
+                    _ => ov.refuse(Refusal::Boundary),
+                },
+                // Barriers block on every other thread: live only.
+                Op::Barrier(_) => ov.refuse(Refusal::Boundary),
             };
             let Some(step) = step else { break };
             now += match &step {
-                SpecStep::Compute { cost, .. } => *cost,
+                SpecStep::Compute { cost, .. }
+                | SpecStep::Boundary { cost, .. }
+                | SpecStep::Replay { cost, .. } => (*cost).max(1),
                 SpecStep::Access { latency, .. } => (*latency).max(1),
             };
             pc += 1;
             steps.push(step);
         }
         steps.reverse(); // consume pops from the back
-        SpecRun { core: idx, steps }
+        SpecRun {
+            core: idx,
+            steps,
+            txs,
+            refusals: ov.refusals,
+            replayed: false,
+            skew: 0,
+        }
     }
 
     /// Speculates one memory access, or returns `None` where the live path
@@ -720,7 +1398,7 @@ impl Machine {
         &self,
         idx: usize,
         pid: ProcessId,
-        tx: Option<TxId>,
+        tx: TxRef,
         now: Cycle,
         va: VirtAddr,
         write: Option<Result<u32, i32>>,
@@ -733,43 +1411,89 @@ impl Machine {
         };
         // Core-TLB hit required: a miss goes through the kernel (faults,
         // allocation, swap) and can mutate global state.
-        let frame = self.tlb_lookup(idx, pid, va.vpn())?;
+        let Some(frame) = self.tlb_lookup(idx, pid, va.vpn()) else {
+            return ov.refuse(Refusal::Tlb);
+        };
         let pa = PhysAddr::from_frame(frame, va.page_offset());
         let block = pa.block();
         let word = pa.word_in_block();
 
-        // Private-cache hit required (L2 presence is frozen for the run:
-        // speculated steps never evict, and cross-core invalidations poison
-        // the run before consume).
-        let line = self.caches[idx].line(block)?;
-        // Any metadata owned by a different transaction (or any metadata at
-        // all for a non-transactional access) diverts the live path into
-        // conflict resolution and displacement — even dead metadata is
-        // displaced there.
-        if line.tx_meta().is_some_and(|m| Some(m.tx) != tx) {
-            return None;
-        }
-        let state = ov.moesi.get(&block).copied().unwrap_or(line.state());
-        if kind == AccessKind::Write && !state.allows_silent_write() {
-            return None; // upgrade: a real coherence transaction
-        }
-        // The silent hit must provably skip the overflow-structure check:
-        // non-transactional hits always do; transactional hits do when no
-        // migration can scatter own lines and the mode tracks whole blocks.
-        if tx.is_some()
+        // Transactional accesses under migration or word-granularity
+        // tracking leave the fast path in too many places (overflow checks
+        // on hits, contested-block marking, mirror maintenance): live only.
+        if !matches!(tx, TxRef::None)
             && (self.cfg.kernel.migrate_on_cs || self.kind.granularity().word_in_cache())
         {
-            return None;
+            return ov.refuse(Refusal::TxMode);
+        }
+
+        // Presence and line identity: the frozen hierarchy, or a block this
+        // run's own replayed miss already fills. A genuinely absent block
+        // becomes a *replay* — the miss executes live at its canonical
+        // point, with a latency predicted from the frozen bus, and the run
+        // keeps speculating behind it — unless overflow structures are live
+        // (the fetch would take the conflict walk, whose stalls and VTS/XADT
+        // traffic defeat any latency prediction).
+        let cached = match self.caches[idx].line(block) {
+            // Any metadata owned by a different transaction (or any
+            // metadata at all for a non-transactional access or a
+            // transaction whose TxId is not allocated yet) diverts the live
+            // path into conflict resolution and displacement — even dead
+            // metadata is displaced there.
+            Some(line) => {
+                let meta_ok = match tx {
+                    TxRef::Live(t) => line.tx_meta().is_none_or(|m| m.tx == t),
+                    TxRef::None | TxRef::Slot(_) => line.tx_meta().is_none(),
+                };
+                Some((line.state(), meta_ok))
+            }
+            None => ov.filled.get(&block).map(|&fctx| {
+                let state = ov
+                    .moesi
+                    .get(&block)
+                    .copied()
+                    .expect("filled blocks carry a predicted state");
+                (state, matches!(fctx, TxRef::None) || fctx == tx)
+            }),
+        };
+        let Some((frozen_state, meta_ok)) = cached else {
+            if self.backend.has_overflows() {
+                return ov.refuse(Refusal::CacheMiss);
+            }
+            return self.speculate_replay(idx, pid, tx, now, va, pa, write, None, ov);
+        };
+        if !meta_ok {
+            return ov.refuse(Refusal::Meta);
+        }
+        let state = ov.moesi.get(&block).copied().unwrap_or(frozen_state);
+        if kind == AccessKind::Write && !state.allows_silent_write() {
+            // A real coherence transaction (ownership upgrade): replay it
+            // live when its latency is predictable, like a miss.
+            if self.backend.has_overflows() {
+                return ov.refuse(Refusal::Upgrade);
+            }
+            let hit = if ov.l1_contains(self, idx, block) {
+                Hit::L1
+            } else {
+                Hit::L2
+            };
+            let hit_latency = self.caches[idx].hit_latency(hit);
+            return self.speculate_replay(idx, pid, tx, now, va, pa, write, Some(hit_latency), ov);
         }
 
         // Functional read: this run's earlier writes first, then the frozen
         // coherent view (validation guarantees it is still current at
-        // consume time).
+        // consume time). A slot transaction has no history, so its view is
+        // the committed one.
+        let read_ctx = match tx {
+            TxRef::Live(t) => Some(t),
+            TxRef::None | TxRef::Slot(_) => None,
+        };
         let old = ov
             .data
             .get(&(block, word))
             .copied()
-            .unwrap_or_else(|| self.read_word_functional(tx, pid, va, pa));
+            .unwrap_or_else(|| self.read_word_functional(read_ctx, pid, va, pa));
 
         let hit = if ov.l1_contains(self, idx, block) {
             Hit::L1
@@ -786,23 +1510,38 @@ impl Machine {
                     Err(d) => old.wrapping_add(d as u32),
                 };
                 let target = match (tx, &self.backend) {
-                    (Some(_), Backend::LogTm(_)) => WriteTarget::TxLog,
-                    (Some(t), _) => {
+                    (TxRef::Live(_) | TxRef::Slot(_), Backend::LogTm(_)) => WriteTarget::TxLog,
+                    (TxRef::Live(t), _) => {
                         let fresh = !self.spec.has(t, block) && !ov.buffered.contains(&block);
-                        let snapshot =
-                            fresh.then(|| Box::new(self.tx_block_snapshot(t, pid, va, block)));
+                        let snapshot = fresh.then(|| {
+                            let mut snap = Box::new(self.tx_block_snapshot(t, pid, va, block));
+                            patch_snapshot(&mut snap, ov, block);
+                            snap
+                        });
                         if fresh {
                             ov.buffered.insert(block);
                         }
                         WriteTarget::TxBuffer { snapshot }
                     }
-                    (None, Backend::Ptm(p)) => WriteTarget::Mem {
+                    (TxRef::Slot(_), _) => {
+                        let fresh = !ov.buffered.contains(&block);
+                        let snapshot = fresh.then(|| {
+                            let mut snap = Box::new(self.committed_block_snapshot(block));
+                            patch_snapshot(&mut snap, ov, block);
+                            snap
+                        });
+                        if fresh {
+                            ov.buffered.insert(block);
+                        }
+                        WriteTarget::TxBuffer { snapshot }
+                    }
+                    (TxRef::None, Backend::Ptm(p)) => WriteTarget::Mem {
                         primary: PhysAddr::from_frame(p.committed_frame(block), pa.page_offset()),
                         mirror: p
                             .mirror_location(block, None)
                             .map(|m| PhysAddr::from_frame(m.frame(), pa.page_offset())),
                     },
-                    (None, _) => WriteTarget::Mem {
+                    (TxRef::None, _) => WriteTarget::Mem {
                         primary: pa,
                         mirror: None,
                     },
@@ -826,5 +1565,104 @@ impl Machine {
             write,
             latency,
         })
+    }
+
+    /// Emits a [`SpecStep::Replay`] for a cache miss (`upgrade == None`) or
+    /// an ownership upgrade (`upgrade == Some(hit_latency)`): the step will
+    /// execute through the full live path at its canonical point, so
+    /// nothing here affects correctness. What *is* predicted — latency from
+    /// the frozen bus, post-fill MOESI state, the functional value — only
+    /// schedules the rest of the run; the consume discards the tail on any
+    /// divergence.
+    #[allow(clippy::too_many_arguments)]
+    fn speculate_replay(
+        &self,
+        idx: usize,
+        pid: ProcessId,
+        tx: TxRef,
+        now: Cycle,
+        va: VirtAddr,
+        pa: PhysAddr,
+        write: Option<Result<u32, i32>>,
+        upgrade: Option<Cycle>,
+        ov: &mut RunOverlay,
+    ) -> Option<SpecStep> {
+        let block = pa.block();
+        let word = pa.word_in_block();
+        let is_write = write.is_some();
+
+        // Timing: mirror `miss_conflicts_and_supply` step (f) against the
+        // frozen bus — a snoop round, chained into the memory pipeline when
+        // no remote cache can supply the block (upgrades never fetch data).
+        let remote_holder =
+            (0..self.caches.len()).any(|c| c != idx && self.caches[c].line(block).is_some());
+        let cost = match upgrade {
+            Some(hit_latency) => {
+                hit_latency + (self.bus.peek_miss_fill(now, false).saturating_sub(now))
+            }
+            None => self
+                .bus
+                .peek_miss_fill(now, !remote_holder)
+                .saturating_sub(now),
+        }
+        .max(1);
+
+        // Post-state: mirror `supply` — writes take Modified (remote copies
+        // invalidated), reads take Exclusive only while no other copy
+        // exists.
+        let new_state = if is_write {
+            Moesi::Modified
+        } else if remote_holder {
+            Moesi::Shared
+        } else {
+            Moesi::Exclusive
+        };
+
+        // Functional prediction, same as a hit: the run's own effects over
+        // the frozen coherent view (a fill does not change word values).
+        let read_ctx = match tx {
+            TxRef::Live(t) => Some(t),
+            TxRef::None | TxRef::Slot(_) => None,
+        };
+        let old = ov
+            .data
+            .get(&(block, word))
+            .copied()
+            .unwrap_or_else(|| self.read_word_functional(read_ctx, pid, va, pa));
+        if let Some(wv) = write {
+            let value = match wv {
+                Ok(v) => v,
+                Err(d) => old.wrapping_add(d as u32),
+            };
+            ov.data.insert((block, word), value);
+            // The live replay itself creates the transaction's speculative
+            // buffer for this block; later speculated writes must not
+            // precompute another snapshot.
+            if !matches!(
+                (tx, &self.backend),
+                (TxRef::None, _) | (_, Backend::LogTm(_))
+            ) {
+                ov.buffered.insert(block);
+            }
+        }
+        ov.moesi.insert(block, new_state);
+        if upgrade.is_none() {
+            ov.filled.insert(block, tx);
+        }
+        ov.l1_insert(self, idx, block);
+
+        Some(SpecStep::Replay { at: now, cost })
+    }
+}
+
+/// Overwrites `snap` with the words this run already wrote to `block`: a
+/// precomputed fresh-buffer snapshot must reflect the run's own earlier
+/// effects, not just the frozen view.
+fn patch_snapshot(snap: &mut [u8; BLOCK_SIZE], ov: &RunOverlay, block: PhysBlock) {
+    for (&(b, w), &v) in &ov.data {
+        if b == block {
+            let off = w.0 as usize * WORD_SIZE;
+            snap[off..off + WORD_SIZE].copy_from_slice(&v.to_le_bytes());
+        }
     }
 }

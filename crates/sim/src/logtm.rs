@@ -189,6 +189,17 @@ impl LogTmSystem {
         self.stats.log_entries += 1;
     }
 
+    /// The physical word addresses `tx`'s undo log would restore on abort,
+    /// oldest first. The speculative executor captures these *before* the
+    /// abort runs so it can publish ESTIMATE markers for exactly the words
+    /// the rollback rewrites instead of invalidating every pending run.
+    pub fn log_addrs(&self, tx: TxId) -> Vec<PhysAddr> {
+        self.logs
+            .get(&tx)
+            .map(|log| log.iter().map(|e| e.addr).collect())
+            .unwrap_or_default()
+    }
+
     /// Records an evicted transactional line as sticky.
     pub fn on_tx_eviction(&mut self, meta: &TxLineMeta, block: PhysBlock) {
         self.sticky.record(meta, block);

@@ -109,7 +109,7 @@ pub(crate) struct CoreState {
     pub(crate) ready_at: Cycle,
     pub(crate) next_cs: Cycle,
     pub(crate) next_exc: Cycle,
-    cur_ordered: Option<OrderedSeq>,
+    pub(crate) cur_ordered: Option<OrderedSeq>,
     lock_stack: Vec<VirtAddr>,
     pub(crate) checksum: u64,
     /// Stats-dedup memos: the last `(pid, vpn)` this core inserted into
@@ -665,10 +665,25 @@ impl Machine {
     }
 
     fn commit(&mut self, idx: usize, now: Cycle) {
-        // Commits move buffered data into committed frames, sweep every
-        // cache and open cleanup windows: all speculated state is stale.
-        self.exec_log.poison_all();
         let tx = self.cores[idx].prog.cur_tx().expect("commit inside tx");
+        // A non-overflowed commit under block granularity only drains this
+        // transaction's buffers and clears its tags: its effects are
+        // word-precise, so publish them to the multi-version map instead of
+        // poisoning every run. Overflowed commits toggle selection vectors /
+        // copy back overflow structures (whole frames change meaning), and
+        // word-granularity modes carry precomputed mirror pointers into
+        // co-writers' speculative pages that the cleanup below frees — both
+        // invalidate speculated state wholesale.
+        let overflowed = match &self.backend {
+            Backend::Ptm(p) => p.tx_has_overflow(tx),
+            Backend::Vtm(v) => v.tx_has_overflow(tx),
+            _ => false,
+        };
+        let precise =
+            self.exec_log.active && !self.kind.granularity().word_in_cache() && !overflowed;
+        if !precise {
+            self.exec_log.poison_all();
+        }
         if trace_word().is_some() {
             eprintln!("[ptm-trace] commit {tx} now={now}");
         }
@@ -709,6 +724,14 @@ impl Machine {
                 Backend::Ptm(p) => (p.committed_frame(block), p.mirror_location(block, Some(tx))),
                 _ => (block.frame(), None),
             };
+            if precise {
+                // The drained words become globally visible right here:
+                // publish each so concurrent speculated readers of stale
+                // values fail validation word-by-word.
+                for w in specb.written.iter() {
+                    self.exec_log.note_write(block, w, idx, specb.read_word(w));
+                }
+            }
             let tgt = block.on_frame(frame);
             let mut data = self.mem.read_block(tgt);
             ptm_mem::versions::apply_written_words(&mut data, &specb);
@@ -790,7 +813,14 @@ impl Machine {
                         WriteVal::Delta(d) => old.wrapping_add(d as u32),
                     };
                     self.write_word_functional(tx, pid, va, pa, value);
-                    self.exec_log.note_write(pa.block(), idx);
+                    // Publish globally visible writes to the multi-version
+                    // map: non-transactional stores and LogTM's eager
+                    // in-place updates. Lazily buffered transactional
+                    // writes stay invisible until their commit drains them.
+                    if tx.is_none() || matches!(self.backend, Backend::LogTm(_)) {
+                        self.exec_log
+                            .note_write(pa.block(), pa.word_in_block(), idx, value);
+                    }
                     self.note_page_touch(idx, pid, va.vpn(), tx.is_some());
                 } else {
                     self.note_page_touch(idx, pid, va.vpn(), false);
@@ -1452,10 +1482,33 @@ impl Machine {
         if trace_word().is_some() {
             eprintln!("[ptm-trace] abort {tx} now={now}");
         }
-        // Aborts sweep caches, drain buffers, restore memory (Copy-PTM,
-        // LogTM) and rewind another core's program: globally invalidating.
-        self.exec_log.poison_all();
         let owner = *self.tx_owner.get(&tx).expect("abort of unknown tx");
+        // A non-overflowed abort under block granularity only touches the
+        // owner: tags swept, lazy buffers discarded (never visible), and —
+        // LogTM only — logged words rolled back in place. The owner's run is
+        // dead either way, but other cores' runs survive: mark each rolled
+        // back word as an ESTIMATE so speculated reads of the undone values
+        // fail validation precisely. Everything else (overflow structures,
+        // word-granularity mirror pointers) invalidates wholesale.
+        let overflowed = match &self.backend {
+            Backend::Ptm(p) => p.tx_has_overflow(tx),
+            Backend::Vtm(v) => v.tx_has_overflow(tx),
+            _ => false,
+        };
+        let precise =
+            self.exec_log.active && !self.kind.granularity().word_in_cache() && !overflowed;
+        if precise {
+            self.exec_log.poison_core(owner);
+            if let Backend::LogTm(l) = &self.backend {
+                // Capture before `abort` consumes the log below.
+                for pa in l.log_addrs(tx) {
+                    self.exec_log
+                        .note_estimate(pa.block(), pa.word_in_block(), owner);
+                }
+            }
+        } else {
+            self.exec_log.poison_all();
+        }
         self.ready_dirty.push(owner);
         // Migration can spread a transaction's lines across cores: sweep
         // every cache.
@@ -1812,6 +1865,19 @@ impl Machine {
                 }
                 out
             }
+            _ => self.mem.read_block(block),
+        }
+    }
+
+    /// The committed (non-transactional) view of a whole block — what a
+    /// freshly begun transaction with no buffered history observes. Seeds
+    /// speculative buffers for transactions the epoch executor itself
+    /// begins, whose `TxId` does not exist yet at speculation time.
+    pub(crate) fn committed_block_snapshot(&self, block: PhysBlock) -> [u8; BLOCK_SIZE] {
+        match &self.backend {
+            Backend::Ptm(p) => self
+                .mem
+                .read_block(block.on_frame(p.committed_frame(block))),
             _ => self.mem.read_block(block),
         }
     }

@@ -1,0 +1,347 @@
+//! Multi-version memory map for the Block-STM executor.
+//!
+//! Block-STM (PAPERS.md: arxiv 2203.06871 lineage, via the progressive/
+//! optimistic STM designs the issue cites) resolves speculation conflicts
+//! through a *multi-version* map: every writer publishes its writes keyed
+//! by `(tx_index, incarnation)`, readers observe the latest version below
+//! their own index, and an aborted incarnation leaves **ESTIMATE** markers
+//! behind so dependent readers suspend instead of consuming data that the
+//! next incarnation is likely to overwrite.
+//!
+//! [`MvMap`] implements that contract at the simulator's natural
+//! granularity — one version list per `(PhysBlock, WordIdx)` word — and is
+//! used two ways:
+//!
+//! - **Standalone Block-STM semantics** ([`MvMap::read`]): versioned
+//!   read-below-latest with `Value` / `Estimate` / `NotFound` outcomes,
+//!   exercised directly by the unit tests here and the
+//!   `mvmap_prop` reference-model property test.
+//! - **Epoch validation** ([`MvMap::latest_foreign`],
+//!   [`MvMap::block_has_foreign`]): the epoch executor publishes every
+//!   canonically-applied write (live or consumed) and asks, at each
+//!   consume point, whether a *foreign* version exists for the word a
+//!   speculated step read — word-granular invalidation that replaces the
+//!   old block-level writers map.
+
+use ptm_types::{FastMap, PhysBlock, WordIdx};
+
+/// One attempt of one transaction: `tx_index` orders writers, an aborted
+/// attempt re-executes as `incarnation + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnVersion {
+    /// Position of the transaction in the preset (canonical) order.
+    pub tx_index: u32,
+    /// Re-execution count of that transaction.
+    pub incarnation: u32,
+}
+
+/// A word-granular memory location.
+pub type Location = (PhysBlock, WordIdx);
+
+/// What a version slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cell {
+    /// A concrete written value.
+    Value(u32),
+    /// The ESTIMATE marker an abort leaves behind: "this transaction wrote
+    /// here last incarnation and will probably write here again".
+    Estimate,
+}
+
+/// Outcome of a versioned [`MvMap::read`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadResult {
+    /// No version below the reader: fall through to committed storage.
+    NotFound,
+    /// The latest version below the reader, with its provenance (the
+    /// reader records `version` in its read set and revalidates against
+    /// it).
+    Value { version: TxnVersion, value: u32 },
+    /// The latest version below the reader is an abort placeholder; the
+    /// reader should suspend on `tx_index` rather than speculate through
+    /// likely-stale data.
+    Estimate {
+        /// The transaction whose re-execution the reader depends on.
+        tx_index: u32,
+    },
+}
+
+/// The multi-version map: per-word version lists plus an owner index so
+/// aborts can flip their entries to ESTIMATE without a full scan.
+#[derive(Debug, Default)]
+pub struct MvMap {
+    /// `block → word → versions`, each version list sorted by `tx_index`
+    /// (at most one entry per transaction — a newer incarnation replaces
+    /// the older one's entry in place).
+    blocks: FastMap<PhysBlock, FastMap<WordIdx, Vec<(TxnVersion, Cell)>>>,
+    /// `tx_index → locations it has entries at` (may hold duplicates and
+    /// stale locations; consumers re-check ownership).
+    by_owner: FastMap<u32, Vec<Location>>,
+    /// Live version count across all locations.
+    versions: usize,
+}
+
+impl MvMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes `value` at `loc` for `version`. A transaction has at most
+    /// one entry per location: re-publishing (a later incarnation, or a
+    /// re-executed write of the same incarnation) replaces it in place.
+    pub fn write(&mut self, loc: Location, version: TxnVersion, value: u32) {
+        self.put(loc, version, Cell::Value(value));
+    }
+
+    /// Publishes an ESTIMATE marker at `loc` for `version` (used directly
+    /// by the epoch executor when an eager-versioning abort rolls back
+    /// in-place memory writes).
+    pub fn write_estimate(&mut self, loc: Location, version: TxnVersion) {
+        self.put(loc, version, Cell::Estimate);
+    }
+
+    fn put(&mut self, loc: Location, version: TxnVersion, cell: Cell) {
+        let list = self
+            .blocks
+            .entry(loc.0)
+            .or_default()
+            .entry(loc.1)
+            .or_default();
+        match list.binary_search_by_key(&version.tx_index, |(v, _)| v.tx_index) {
+            Ok(i) => {
+                debug_assert!(
+                    list[i].0.incarnation <= version.incarnation,
+                    "version regression at {loc:?}"
+                );
+                list[i] = (version, cell);
+            }
+            Err(i) => {
+                list.insert(i, (version, cell));
+                self.versions += 1;
+                self.by_owner.entry(version.tx_index).or_default().push(loc);
+            }
+        }
+    }
+
+    /// Converts every entry owned by `tx_index` into an ESTIMATE marker —
+    /// the abort path of Block-STM. The entries stay in place (keeping
+    /// readers suspended) until the next incarnation overwrites them or
+    /// [`MvMap::remove`] deletes them.
+    pub fn mark_estimates(&mut self, tx_index: u32) {
+        let Some(locs) = self.by_owner.get(&tx_index) else {
+            return;
+        };
+        for &(block, word) in locs {
+            if let Some(list) = self.blocks.get_mut(&block).and_then(|b| b.get_mut(&word)) {
+                if let Ok(i) = list.binary_search_by_key(&tx_index, |(v, _)| v.tx_index) {
+                    list[i].1 = Cell::Estimate;
+                }
+            }
+        }
+    }
+
+    /// Deletes every entry owned by `tx_index` (a re-incarnation whose new
+    /// write set dropped locations, or a transaction leaving the window).
+    pub fn remove(&mut self, tx_index: u32) {
+        let Some(locs) = self.by_owner.remove(&tx_index) else {
+            return;
+        };
+        for (block, word) in locs {
+            if let Some(list) = self.blocks.get_mut(&block).and_then(|b| b.get_mut(&word)) {
+                if let Ok(i) = list.binary_search_by_key(&tx_index, |(v, _)| v.tx_index) {
+                    list.remove(i);
+                    self.versions -= 1;
+                }
+            }
+        }
+    }
+
+    /// The Block-STM read rule: the latest version *strictly below* the
+    /// reader's transaction index, an [`ReadResult::Estimate`] if that
+    /// version is an abort marker, or [`ReadResult::NotFound`] when no
+    /// lower version exists (read committed storage).
+    pub fn read(&self, loc: Location, reader_tx_index: u32) -> ReadResult {
+        let Some(list) = self.blocks.get(&loc.0).and_then(|b| b.get(&loc.1)) else {
+            return ReadResult::NotFound;
+        };
+        let below = match list.binary_search_by_key(&reader_tx_index, |(v, _)| v.tx_index) {
+            Ok(i) | Err(i) => i,
+        };
+        match below.checked_sub(1).map(|i| list[i]) {
+            None => ReadResult::NotFound,
+            Some((version, Cell::Value(value))) => ReadResult::Value { version, value },
+            Some((version, Cell::Estimate)) => ReadResult::Estimate {
+                tx_index: version.tx_index,
+            },
+        }
+    }
+
+    /// The latest version at `loc` published by any owner other than `me`
+    /// (the epoch executor's word-granular invalidation probe).
+    pub fn latest_foreign(&self, loc: Location, me: u32) -> Option<TxnVersion> {
+        let list = self.blocks.get(&loc.0).and_then(|b| b.get(&loc.1))?;
+        list.iter()
+            .rev()
+            .find(|(v, _)| v.tx_index != me)
+            .map(|(v, _)| *v)
+    }
+
+    /// Whether *any* word of `block` carries a version from an owner other
+    /// than `me` (invalidates precomputed whole-block snapshots).
+    pub fn block_has_foreign(&self, block: PhysBlock, me: u32) -> bool {
+        self.blocks.get(&block).is_some_and(|words| {
+            words
+                .values()
+                .any(|list| list.iter().any(|(v, _)| v.tx_index != me))
+        })
+    }
+
+    /// Live version count.
+    pub fn len(&self) -> usize {
+        self.versions
+    }
+
+    /// Whether the map holds no versions.
+    pub fn is_empty(&self) -> bool {
+        self.versions == 0
+    }
+
+    /// Drops every version (epoch boundary).
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.by_owner.clear();
+        self.versions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_types::{BlockIdx, FrameId};
+
+    fn blk(n: u32) -> PhysBlock {
+        PhysBlock::new(FrameId(n), BlockIdx(0))
+    }
+
+    fn loc(b: u32, w: u8) -> Location {
+        (blk(b), WordIdx(w))
+    }
+
+    fn v(tx: u32, inc: u32) -> TxnVersion {
+        TxnVersion {
+            tx_index: tx,
+            incarnation: inc,
+        }
+    }
+
+    #[test]
+    fn read_sees_latest_version_below_reader() {
+        let mut m = MvMap::new();
+        m.write(loc(1, 0), v(2, 0), 20);
+        m.write(loc(1, 0), v(5, 0), 50);
+        assert_eq!(m.read(loc(1, 0), 1), ReadResult::NotFound);
+        assert_eq!(
+            m.read(loc(1, 0), 3),
+            ReadResult::Value {
+                version: v(2, 0),
+                value: 20
+            }
+        );
+        // A reader at the writer's own index does not see its own entry.
+        assert_eq!(
+            m.read(loc(1, 0), 5),
+            ReadResult::Value {
+                version: v(2, 0),
+                value: 20
+            }
+        );
+        assert_eq!(
+            m.read(loc(1, 0), 9),
+            ReadResult::Value {
+                version: v(5, 0),
+                value: 50
+            }
+        );
+        assert_eq!(m.read(loc(1, 1), 9), ReadResult::NotFound);
+    }
+
+    #[test]
+    fn reincarnation_replaces_in_place() {
+        let mut m = MvMap::new();
+        m.write(loc(1, 3), v(4, 0), 1);
+        m.write(loc(1, 3), v(4, 1), 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m.read(loc(1, 3), 8),
+            ReadResult::Value {
+                version: v(4, 1),
+                value: 2
+            }
+        );
+    }
+
+    #[test]
+    fn estimates_mask_reads_until_overwritten() {
+        let mut m = MvMap::new();
+        m.write(loc(2, 1), v(3, 0), 7);
+        m.write(loc(9, 0), v(3, 0), 8);
+        m.write(loc(2, 1), v(1, 0), 5);
+        m.mark_estimates(3);
+        assert_eq!(m.read(loc(2, 1), 6), ReadResult::Estimate { tx_index: 3 });
+        assert_eq!(m.read(loc(9, 0), 6), ReadResult::Estimate { tx_index: 3 });
+        // Readers below the estimate still see the older value.
+        assert_eq!(
+            m.read(loc(2, 1), 2),
+            ReadResult::Value {
+                version: v(1, 0),
+                value: 5
+            }
+        );
+        // The next incarnation's write replaces the marker.
+        m.write(loc(2, 1), v(3, 1), 9);
+        assert_eq!(
+            m.read(loc(2, 1), 6),
+            ReadResult::Value {
+                version: v(3, 1),
+                value: 9
+            }
+        );
+    }
+
+    #[test]
+    fn remove_deletes_versions() {
+        let mut m = MvMap::new();
+        m.write(loc(1, 0), v(2, 0), 1);
+        m.write(loc(1, 1), v(2, 0), 2);
+        m.write(loc(1, 0), v(4, 0), 3);
+        m.remove(2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.read(loc(1, 0), 3), ReadResult::NotFound);
+        assert_eq!(m.read(loc(1, 1), 9), ReadResult::NotFound);
+        assert_eq!(
+            m.read(loc(1, 0), 9),
+            ReadResult::Value {
+                version: v(4, 0),
+                value: 3
+            }
+        );
+    }
+
+    #[test]
+    fn foreign_probes_are_word_granular() {
+        let mut m = MvMap::new();
+        m.write(loc(1, 0), v(0, 0), 1);
+        m.write(loc(1, 2), v(3, 0), 2);
+        assert_eq!(m.latest_foreign(loc(1, 0), 0), None);
+        assert_eq!(m.latest_foreign(loc(1, 0), 3), Some(v(0, 0)));
+        assert_eq!(m.latest_foreign(loc(1, 1), 3), None);
+        assert!(m.block_has_foreign(blk(1), 7));
+        assert!(!m.block_has_foreign(blk(2), 7));
+        // A block written only by me is not foreign to me.
+        m.clear();
+        m.write(loc(1, 0), v(5, 2), 1);
+        assert!(!m.block_has_foreign(blk(1), 5));
+        assert!(m.block_has_foreign(blk(1), 6));
+    }
+}

@@ -1,0 +1,286 @@
+//! Property tests for the Block-STM layer: the multi-version map against a
+//! sequential reference model, and executor determinism over random
+//! (workload, thread-count) pairs.
+//!
+//! The workspace's proptest shim samples deterministically (seeds derived
+//! from the test name) and reports the failing case number instead of
+//! shrinking; re-running reproduces a failure exactly.
+
+use proptest::prelude::*;
+use ptm_sim::{
+    run, run_parallel, ExecutorConfig, Machine, MachineConfig, MvMap, Op, ReadResult, SystemKind,
+    ThreadProgram, TxnVersion,
+};
+use ptm_types::{
+    BlockIdx, FrameId, Granularity, PhysBlock, ProcessId, ThreadId, VirtAddr, WordIdx,
+};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Part 1: MvMap vs a sequential reference map.
+// ---------------------------------------------------------------------------
+
+/// One step of a Block-STM interaction history. Incarnations are tracked
+/// per transaction by the driver (they only move forward, as in the real
+/// scheduler), so events carry transaction and location indices only.
+#[derive(Debug, Clone)]
+enum MvEvent {
+    /// `tx` publishes a value at the location (derived from the indices).
+    Write { t: u8, b: u8, w: u8 },
+    /// `tx` aborts: every entry it owns flips to ESTIMATE and its next
+    /// execution runs as a higher incarnation.
+    Abort { t: u8 },
+    /// `tx` leaves the window: every entry it owns is deleted.
+    Remove { t: u8 },
+}
+
+fn mv_event() -> impl Strategy<Value = MvEvent> {
+    prop_oneof![
+        5 => (0u8..6, 0u8..4, 0u8..4).prop_map(|(t, b, w)| MvEvent::Write { t, b, w }),
+        2 => (0u8..6).prop_map(|t| MvEvent::Abort { t }),
+        1 => (0u8..6).prop_map(|t| MvEvent::Remove { t }),
+    ]
+}
+
+fn blk(n: u32) -> PhysBlock {
+    PhysBlock::new(FrameId(n), BlockIdx(0))
+}
+
+/// Per location: `tx_index → (version, Some(value) | None-for-ESTIMATE)`.
+type RefVersions = BTreeMap<u32, (TxnVersion, Option<u32>)>;
+
+/// The reference: per location, an ordered version map updated by the
+/// obvious sequential rules. `read` scans for the greatest key strictly
+/// below the reader.
+#[derive(Default)]
+struct RefMap {
+    locs: BTreeMap<(u32, u8), RefVersions>,
+}
+
+impl RefMap {
+    fn read(&self, loc: (u32, u8), reader: u32) -> ReadResult {
+        let Some(list) = self.locs.get(&loc) else {
+            return ReadResult::NotFound;
+        };
+        match list.range(..reader).next_back() {
+            None => ReadResult::NotFound,
+            Some((_, (version, Some(value)))) => ReadResult::Value {
+                version: *version,
+                value: *value,
+            },
+            Some((tx, (_, None))) => ReadResult::Estimate { tx_index: *tx },
+        }
+    }
+
+    fn latest_foreign(&self, loc: (u32, u8), me: u32) -> Option<TxnVersion> {
+        let list = self.locs.get(&loc)?;
+        list.iter()
+            .rev()
+            .find(|(tx, _)| **tx != me)
+            .map(|(_, (v, _))| *v)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Any interleaving of writes, aborts (ESTIMATE markers) and removals
+    /// at arbitrary (tx_index, incarnation) pairs reads identically to the
+    /// sequential reference map, for every (location, reader) pair, after
+    /// every event.
+    #[test]
+    fn mvmap_matches_sequential_reference(events in prop::collection::vec(mv_event(), 1..80)) {
+        let mut mv = MvMap::new();
+        let mut reference = RefMap::default();
+        let mut incarnation = [0u32; 6];
+        let mut model_len = 0usize;
+
+        for ev in &events {
+            match *ev {
+                MvEvent::Write { t, b, w } => {
+                    let tx = u32::from(t);
+                    let version = TxnVersion { tx_index: tx, incarnation: incarnation[t as usize] };
+                    let value = 1 + u32::from(t) * 100 + u32::from(b) * 10 + u32::from(w);
+                    mv.write((blk(u32::from(b)), WordIdx(w)), version, value);
+                    let slot = reference.locs.entry((u32::from(b), w)).or_default();
+                    if slot.insert(tx, (version, Some(value))).is_none() {
+                        model_len += 1;
+                    }
+                }
+                MvEvent::Abort { t } => {
+                    let tx = u32::from(t);
+                    mv.mark_estimates(tx);
+                    incarnation[t as usize] += 1;
+                    for list in reference.locs.values_mut() {
+                        if let Some(entry) = list.get_mut(&tx) {
+                            entry.1 = None;
+                        }
+                    }
+                }
+                MvEvent::Remove { t } => {
+                    let tx = u32::from(t);
+                    mv.remove(tx);
+                    for list in reference.locs.values_mut() {
+                        if list.remove(&tx).is_some() {
+                            model_len -= 1;
+                        }
+                    }
+                }
+            }
+
+            prop_assert_eq!(mv.len(), model_len);
+            for b in 0..4u32 {
+                for w in 0..4u8 {
+                    let loc = (blk(b), WordIdx(w));
+                    for reader in 0..8u32 {
+                        prop_assert_eq!(
+                            mv.read(loc, reader),
+                            reference.read((b, w), reader),
+                            "read at block {} word {} by tx {} after {:?}",
+                            b, w, reader, ev
+                        );
+                        prop_assert_eq!(
+                            mv.latest_foreign(loc, reader),
+                            reference.latest_foreign((b, w), reader),
+                            "latest_foreign at block {} word {} vs {}",
+                            b, w, reader
+                        );
+                    }
+                }
+                let foreign_model = (0..8u32).map(|me| {
+                    (0..4u8).any(|w| reference.latest_foreign((b, w), me).is_some())
+                });
+                for (me, want) in foreign_model.enumerate() {
+                    prop_assert_eq!(mv.block_has_foreign(blk(b), me as u32), want);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: executor determinism over random (workload, thread-count) pairs.
+// ---------------------------------------------------------------------------
+
+/// One generated slot of a thread program: either a plain op or a whole
+/// transaction over a handful of addresses.
+#[derive(Debug, Clone)]
+enum Segment {
+    Compute(u32),
+    Read(u8),
+    Write(u8, u32),
+    Rmw(u8, i32),
+    /// `(address index, is_write)` accesses wrapped in Begin/End.
+    Tx(Vec<(u8, bool)>),
+}
+
+fn segment() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        2 => (1u32..6).prop_map(Segment::Compute),
+        2 => (0u8..12).prop_map(Segment::Read),
+        2 => (0u8..12, 1u32..1000).prop_map(|(a, v)| Segment::Write(a, v)),
+        2 => (0u8..12, 1i32..5).prop_map(|(a, d)| Segment::Rmw(a, d)),
+        3 => prop::collection::vec((0u8..12, any::<bool>()), 1..5).prop_map(Segment::Tx),
+    ]
+}
+
+/// Address pool: indices 0..4 hit one shared region (cross-thread
+/// conflicts), 4..12 hit a per-thread private region (speculation-friendly
+/// disjoint work).
+fn addr(thread: usize, idx: u8) -> VirtAddr {
+    if idx < 4 {
+        VirtAddr::new(0x4000 + u64::from(idx) * 4)
+    } else {
+        VirtAddr::new(0x10_0000 + (thread as u64) * 0x2000 + u64::from(idx - 4) * 4)
+    }
+}
+
+fn programs_from(segments: &[Vec<Segment>]) -> Vec<ThreadProgram> {
+    let pid = ProcessId(3);
+    segments
+        .iter()
+        .enumerate()
+        .map(|(t, segs)| {
+            let mut ops = Vec::new();
+            for seg in segs {
+                match seg {
+                    Segment::Compute(c) => ops.push(Op::Compute(*c)),
+                    Segment::Read(a) => ops.push(Op::Read(addr(t, *a))),
+                    Segment::Write(a, v) => ops.push(Op::Write(addr(t, *a), *v)),
+                    Segment::Rmw(a, d) => ops.push(Op::Rmw(addr(t, *a), *d)),
+                    Segment::Tx(accesses) => {
+                        ops.push(Op::Begin {
+                            ordered: None,
+                            lock: VirtAddr::new(0x9000),
+                        });
+                        for (a, is_write) in accesses {
+                            if *is_write {
+                                ops.push(Op::Rmw(addr(t, *a), 1));
+                            } else {
+                                ops.push(Op::Read(addr(t, *a)));
+                            }
+                        }
+                        ops.push(Op::End);
+                    }
+                }
+            }
+            ThreadProgram::new(pid, ThreadId(t as u32), ops)
+        })
+        .collect()
+}
+
+/// Everything observable about a finished machine, in deterministic order.
+fn fingerprint(m: &Machine) -> String {
+    let s = m.stats();
+    format!(
+        "cycles={} mem_ops={} begins={} commits={} aborts={} stalls={} \
+         tlb={}h/{}m l2={}miss checksums={:?} commit_log={:?} kernel={:?} bus={:?}",
+        s.cycles,
+        s.mem_ops,
+        s.begins,
+        s.commits,
+        s.aborts,
+        s.stall_cycles,
+        s.tlb_hits,
+        s.tlb_misses,
+        s.l2_misses,
+        m.checksums(),
+        s.commit_log,
+        m.kernel_stats(),
+        m.bus_stats(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random workloads stay bit-identical to `Machine::run` at every
+    /// executor thread count in {1, 2, 4, 8} and across epoch sizes.
+    #[test]
+    fn executor_is_deterministic_across_thread_counts(
+        segments in prop::collection::vec(prop::collection::vec(segment(), 5..40), 2..5),
+        kind_idx in 0u8..4,
+        epoch_cycles in prop_oneof![Just(256u64), Just(4096u64), Just(16384u64)],
+    ) {
+        let kind = match kind_idx {
+            0 => SystemKind::SelectPtm(Granularity::Block),
+            1 => SystemKind::CopyPtm,
+            2 => SystemKind::Vtm,
+            _ => SystemKind::LogTm,
+        };
+        let programs = programs_from(&segments);
+        let cfg = MachineConfig::default();
+        let seq = run(cfg, kind, programs.clone());
+        let want = fingerprint(&seq);
+        for threads in [1usize, 2, 4, 8] {
+            let exec = ExecutorConfig { threads, epoch_cycles };
+            let (m, _) = run_parallel(cfg, kind, programs.clone(), &exec);
+            prop_assert_eq!(
+                fingerprint(&m),
+                want.clone(),
+                "{} with {} executor threads (epoch {}) diverged from sequential",
+                kind, threads, epoch_cycles
+            );
+        }
+    }
+}
