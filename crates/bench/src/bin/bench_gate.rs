@@ -5,25 +5,30 @@
 //! head regressed by more than the allowed fraction.
 //!
 //! ```text
-//! bench_gate <base.json> <head.json> [--max-regression 0.10] [--parallel]
+//! bench_gate <base.json> <head.json> [--max-regression 0.10] [--parallel | --durable]
 //! ```
 //!
 //! The default mode gates the sequential cycle-loop throughput of
 //! `BENCH_hotpath.json` trajectories. `--parallel` gates the parallel-pass
 //! throughput of `BENCH_parallel_sim.json` trajectories instead, and
 //! additionally refuses comparisons across differing worker counts.
+//! `--durable` gates `BENCH_durable.json` trajectories and refuses
+//! comparisons across differing log-force policies — commit latency is the
+//! very thing the policies trade, so a cross-policy ratio would gate a
+//! configuration change as a regression.
 //!
 //! The two runs must be comparable (same scale, cell count and host width);
 //! comparing across hosts is refused rather than silently passed, because a
 //! wall-clock ratio between different machines is noise, not a verdict.
 
-use ptm_bench::history::{entry_from_report, parallel_ratio, throughput_ratio};
+use ptm_bench::history::{durable_ratio, entry_from_report, parallel_ratio, throughput_ratio};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut max_regression = 0.10f64;
     let mut parallel = false;
+    let mut durable = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,12 +40,19 @@ fn main() {
                     .unwrap_or_else(|| die("--max-regression needs a fraction, e.g. 0.10"));
             }
             "--parallel" => parallel = true,
+            "--durable" => durable = true,
             f => files.push(f.to_string()),
         }
         i += 1;
     }
     if files.len() != 2 {
-        die("usage: bench_gate <base.json> <head.json> [--max-regression 0.10] [--parallel]");
+        die(
+            "usage: bench_gate <base.json> <head.json> [--max-regression 0.10] \
+             [--parallel | --durable]",
+        );
+    }
+    if parallel && durable {
+        die("--parallel and --durable are mutually exclusive");
     }
 
     let read = |path: &str| {
@@ -51,7 +63,15 @@ fn main() {
     let head = entry_from_report(&read(&files[1]))
         .unwrap_or_else(|| die(&format!("{}: no usable trajectory point", files[1])));
 
-    let (what, ratio, base_t, head_t) = if parallel {
+    let (what, ratio, base_t, head_t) = if durable {
+        let ratio = durable_ratio(&base, &head).unwrap_or_else(|e| die(&e));
+        (
+            "durable-sweep",
+            ratio,
+            base.throughput_cycles_per_s(),
+            head.throughput_cycles_per_s(),
+        )
+    } else if parallel {
         let ratio = parallel_ratio(&base, &head).unwrap_or_else(|e| die(&e));
         (
             "parallel-pass",

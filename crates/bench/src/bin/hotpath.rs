@@ -76,6 +76,7 @@ fn main() {
         // parallel-pass trajectory lives in BENCH_parallel_sim.json.
         parallel_wall_ns: None,
         spec_commit_fraction: None,
+        force_policy: None,
     };
 
     let json = render_json(

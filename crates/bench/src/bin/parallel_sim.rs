@@ -85,6 +85,7 @@ fn main() {
         seq_wall_ns: seq_wall,
         parallel_wall_ns: Some(par_wall),
         spec_commit_fraction: Some(totals.spec_commit_fraction()),
+        force_policy: None,
     };
     let json = render_json(
         scale,

@@ -38,6 +38,13 @@ pub struct HistoryEntry {
     /// Fraction of executed steps served from speculation in the parallel
     /// pass. `None` for sequential-only trajectories.
     pub spec_commit_fraction: Option<f64>,
+    /// Log-force policy of a durable-sweep entry (`"eager"`, `"lazy"`,
+    /// `"group4"`, or `"mixed"` for a whole-matrix sweep). `None` for
+    /// non-durable trajectories. Durable entries are only gate-comparable
+    /// against the same policy — commit latency is the very thing the
+    /// policies trade, so a cross-policy ratio measures the configuration,
+    /// not a regression.
+    pub force_policy: Option<String>,
 }
 
 impl HistoryEntry {
@@ -86,6 +93,9 @@ impl HistoryEntry {
         if let Some(f) = self.spec_commit_fraction {
             s.push_str(&format!(", \"spec_commit_fraction\": {f:.4}"));
         }
+        if let Some(p) = &self.force_policy {
+            s.push_str(&format!(", \"force_policy\": \"{p}\""));
+        }
         s.push('}');
         s
     }
@@ -105,6 +115,7 @@ impl HistoryEntry {
             seq_wall_ns: number_field(entry, "seq_wall_ns")?,
             parallel_wall_ns: number_field(entry, "parallel_wall_ns"),
             spec_commit_fraction: float_field(entry, "spec_commit_fraction"),
+            force_policy: string_field(entry, "force_policy"),
         })
     }
 }
@@ -214,6 +225,11 @@ pub fn entry_from_report(json: &str) -> Option<HistoryEntry> {
         seq_wall_ns: number_field(json, "seq_wall_ns")?,
         parallel_wall_ns: number_field(totals, "par_wall_ns"),
         spec_commit_fraction: float_field(totals, "spec_commit_fraction"),
+        // Durable reports carry the swept policy at the top level.
+        force_policy: string_field(
+            &json[..json.find("\"cells\": [").unwrap_or(json.len())],
+            "force_policy",
+        ),
     })
 }
 
@@ -286,6 +302,25 @@ pub fn parallel_ratio(old: &HistoryEntry, new: &HistoryEntry) -> Result<f64, Str
     Ok(new_t as f64 / old_t.max(1) as f64)
 }
 
+/// Compares two *durable-sweep* trajectory points: `Ok(ratio)` with
+/// `ratio = new/old` throughput when comparable. On top of
+/// [`throughput_ratio`]'s conditions, both entries must carry a force
+/// policy and the policies must match — eager/lazy/group trade commit
+/// latency for durability by design, so a cross-policy ratio would gate a
+/// configuration change as if it were a regression.
+pub fn durable_ratio(old: &HistoryEntry, new: &HistoryEntry) -> Result<f64, String> {
+    let (Some(old_p), Some(new_p)) = (&old.force_policy, &new.force_policy) else {
+        return Err("a run carries no durable trajectory point (no force_policy)".into());
+    };
+    if old_p != new_p {
+        return Err(format!(
+            "incomparable force policies: {old_p} vs {new_p} — \
+             commit latency is the policy trade-off, not a regression"
+        ));
+    }
+    throughput_ratio(old, new)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +337,7 @@ mod tests {
             seq_wall_ns: wall,
             parallel_wall_ns: None,
             spec_commit_fraction: None,
+            force_policy: None,
         }
     }
 
@@ -427,6 +463,31 @@ mod tests {
         let mut other_host = new.clone();
         other_host.host_cores = 64;
         assert!(throughput_ratio(&old, &other_host).is_err());
+    }
+
+    #[test]
+    fn durable_entry_round_trips_and_ratio_refuses_cross_policy() {
+        let mut old = entry(1_000_000, 1_000_000_000);
+        old.force_policy = Some("eager".into());
+        let parsed = HistoryEntry::parse(&old.to_json()).unwrap();
+        assert_eq!(parsed, old);
+
+        let mut new = entry(900_000, 1_000_000_000);
+        new.force_policy = Some("eager".into());
+        let r = durable_ratio(&old, &new).unwrap();
+        assert!((r - 0.9).abs() < 1e-9);
+
+        let mut lazy = new.clone();
+        lazy.force_policy = Some("lazy".into());
+        let err = durable_ratio(&old, &lazy).unwrap_err();
+        assert!(err.contains("eager") && err.contains("lazy"), "{err}");
+
+        // A non-durable point cannot be durable-gated.
+        assert!(durable_ratio(&entry(1, 1), &new).is_err());
+        // The base throughput refusals still apply.
+        let mut other_scale = new.clone();
+        other_scale.scale = "Full".into();
+        assert!(durable_ratio(&old, &other_scale).is_err());
     }
 
     #[test]

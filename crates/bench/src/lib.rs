@@ -5,6 +5,7 @@ use ptm_sim::{run, serialize_programs, speedup_percent, Machine, SystemKind};
 use ptm_workloads::{Scale, Workload};
 
 pub mod crash;
+pub mod durable;
 pub mod faults;
 pub mod history;
 pub mod meta;

@@ -30,12 +30,14 @@
 //! ```
 
 pub mod layout;
+pub mod logdev;
 pub mod page_table;
 pub mod physical;
 pub mod swap;
 pub mod versions;
 
 pub use layout::{Layout, LayoutBuilder, Region};
+pub use logdev::{LogAppendError, LogDevConfig, LogDevStats, LogDevice, LogFaultPlan, LogImage};
 pub use page_table::{PageTable, Pte};
 pub use physical::PhysicalMemory;
 pub use swap::SwapStore;

@@ -1,0 +1,673 @@
+//! A write-behind log device model for durable PTM.
+//!
+//! [`LogDevice`] is an append-only byte device with segments, a bounded
+//! in-flight queue and configurable latencies — the persistence substrate
+//! HTPM/DUMBO-style durable transactional memory forces commit records and
+//! undo/redo payloads through. The model is *functional* (every appended
+//! byte is really stored and comes back in the crash image) and *hostile*:
+//! a seed-driven [`LogFaultPlan`] injects the four failure modes a real
+//! device exhibits:
+//!
+//! * **transient errors** — an append is rejected and must be retried by
+//!   the caller (with exponential backoff); the device bounds consecutive
+//!   rejections of the same record so a bounded retry loop always wins;
+//! * **full-device stalls** — the device refuses all work until a deadline;
+//!   callers degrade to throttled commits (poll-and-retry), never deadlock;
+//! * **reordered flush completions** — in-flight appends complete out of
+//!   submission order, so a crash can leave a *later* record durable while
+//!   an earlier one is still a hole;
+//! * **torn appends** — an append caught in flight by a crash persists only
+//!   a prefix of its bytes.
+//!
+//! The last two only matter at a crash: [`LogDevice::crash_image`] resolves
+//! every still-in-flight append through the fault plan and returns the
+//! [`LogImage`] a recovery pass scans. Un-persisted byte ranges read as
+//! zeroes (unwritten media), so checksummed record framing detects both
+//! holes and torn tails.
+//!
+//! Timing is charged to the caller as returned cycle counts; with zero
+//! latencies and [`LogFaultPlan::none`] the device is a timing no-op, which
+//! is what makes the durable mode bit-identical to the volatile machine in
+//! the zero-cost configuration (see the `durable_recovery` suite).
+
+use ptm_types::rng::SplitMix64;
+use ptm_types::Cycle;
+use std::collections::VecDeque;
+
+/// How many consecutive transient rejections the device may deal a single
+/// record before it must accept it. Keeps every caller retry loop bounded
+/// by construction: `MAX_CONSECUTIVE_TRANSIENTS + 1` attempts always win.
+pub const MAX_CONSECUTIVE_TRANSIENTS: u32 = 2;
+
+/// Log-device geometry and latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogDevConfig {
+    /// Bytes per append-only segment; a segment seals when the append
+    /// offset crosses its boundary (counted in [`LogDevStats`]).
+    pub segment_bytes: usize,
+    /// Maximum appends in flight before the device applies backpressure
+    /// (an append must wait for the oldest completion).
+    pub max_in_flight: usize,
+    /// Cycles for an append to reach durable media after submission.
+    pub append_latency: Cycle,
+    /// Extra cycles a force (flush barrier) costs on top of waiting out
+    /// the in-flight queue.
+    pub flush_latency: Cycle,
+}
+
+impl Default for LogDevConfig {
+    fn default() -> Self {
+        LogDevConfig {
+            segment_bytes: 1 << 16,
+            max_in_flight: 8,
+            append_latency: 0,
+            flush_latency: 0,
+        }
+    }
+}
+
+impl LogDevConfig {
+    /// A zero-latency device: appends and forces charge no cycles. Used by
+    /// the bit-identity tests — durable mode in this configuration must not
+    /// perturb machine timing at all.
+    pub fn zero_cost() -> Self {
+        LogDevConfig::default()
+    }
+
+    /// A device with realistic (simulated-cycle) latencies for benches.
+    pub fn realistic() -> Self {
+        LogDevConfig {
+            segment_bytes: 1 << 16,
+            max_in_flight: 8,
+            append_latency: 150,
+            flush_latency: 900,
+        }
+    }
+}
+
+/// Why an append was refused. Both variants are retryable; neither has any
+/// device-side effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogAppendError {
+    /// A transient device error; retry after a backoff. The device bounds
+    /// consecutive occurrences per record by
+    /// [`MAX_CONSECUTIVE_TRANSIENTS`].
+    Transient,
+    /// The device is stalled and refuses all work until `until`; the caller
+    /// should throttle (re-poll at or after the deadline) rather than spin.
+    Stalled {
+        /// First cycle at which the device will accept work again.
+        until: Cycle,
+    },
+}
+
+/// The fate the fault plan assigns an append still in flight at a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrashFate {
+    /// The append completed early (out of order) — fully durable.
+    Durable,
+    /// Only a byte prefix reached the media.
+    Torn,
+    /// Nothing reached the media.
+    Lost,
+}
+
+/// Seed-driven fault injection for a [`LogDevice`].
+///
+/// All decisions are pure functions of `(seed, append sequence number)`
+/// through SplitMix64, so a plan is reproducible from its seed alone and
+/// two devices given the same seed misbehave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogFaultPlan {
+    /// The seed the decision stream derives from (reports record it).
+    pub seed: u64,
+    /// Percent (0–100) of appends rejected with a transient error.
+    pub transient_pct: u8,
+    /// Percent (0–100) of appends that find the device entering a stall
+    /// window.
+    pub stall_pct: u8,
+    /// Length of an injected stall window, cycles.
+    pub stall_window: Cycle,
+    /// Percent (0–100) of appends whose completion is jittered (the
+    /// reordering source).
+    pub reorder_pct: u8,
+    /// Maximum completion jitter, cycles (uniform in `0..=max`).
+    pub reorder_jitter: Cycle,
+    /// Percent (0–100) of crash-caught in-flight appends that persist only
+    /// a prefix (vs. completing early or being lost).
+    pub torn_pct: u8,
+}
+
+impl LogFaultPlan {
+    /// The fault-free plan: the device never misbehaves and a crash
+    /// persists exactly the completed appends.
+    pub fn none() -> Self {
+        LogFaultPlan {
+            seed: 0,
+            transient_pct: 0,
+            stall_pct: 0,
+            stall_window: 0,
+            reorder_pct: 0,
+            reorder_jitter: 0,
+            torn_pct: 0,
+        }
+    }
+
+    /// Derives a hostile plan from a seed: moderate rates for all four
+    /// fault kinds, with the emphasis (which kind dominates) rotating with
+    /// the seed so a small seed set covers every kind.
+    pub fn from_seed(seed: u64) -> Self {
+        if seed == 0 {
+            return LogFaultPlan::none();
+        }
+        let mut rng = SplitMix64::new(seed);
+        let boost = rng.next_u64() % 4; // which fault kind gets emphasized
+        let pct = |rng: &mut SplitMix64, base: u64, boosted: bool| -> u8 {
+            let extra = rng.next_u64() % 10;
+            (base + extra + if boosted { 25 } else { 0 }) as u8
+        };
+        LogFaultPlan {
+            seed,
+            transient_pct: pct(&mut rng, 8, boost == 0),
+            stall_pct: pct(&mut rng, 4, boost == 1),
+            stall_window: 2_000 + rng.next_u64() % 6_000,
+            reorder_pct: pct(&mut rng, 20, boost == 2),
+            reorder_jitter: 500 + rng.next_u64() % 2_000,
+            torn_pct: pct(&mut rng, 30, boost == 3),
+        }
+    }
+
+    /// Per-op decision stream: hash of `(seed, op, salt)`.
+    fn roll(&self, op: u64, salt: u64) -> u64 {
+        let mut x = self
+            .seed
+            .wrapping_add(op.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(salt.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        ptm_types::rng::splitmix64(&mut x)
+    }
+
+    fn transient(&self, op: u64) -> bool {
+        self.transient_pct > 0 && self.roll(op, 1) % 100 < u64::from(self.transient_pct)
+    }
+
+    fn stall(&self, op: u64) -> Option<Cycle> {
+        (self.stall_pct > 0 && self.roll(op, 2) % 100 < u64::from(self.stall_pct))
+            .then(|| 1 + self.roll(op, 3) % self.stall_window.max(1))
+    }
+
+    fn jitter(&self, op: u64) -> Cycle {
+        if self.reorder_pct > 0 && self.roll(op, 4) % 100 < u64::from(self.reorder_pct) {
+            self.roll(op, 5) % (self.reorder_jitter + 1)
+        } else {
+            0
+        }
+    }
+
+    fn crash_fate(&self, op: u64) -> CrashFate {
+        let r = self.roll(op, 6) % 100;
+        if r < u64::from(self.torn_pct) {
+            CrashFate::Torn
+        } else if r < u64::from(self.torn_pct) + 30 {
+            CrashFate::Durable
+        } else {
+            CrashFate::Lost
+        }
+    }
+
+    /// How many bytes of an `len`-byte torn append persist (at least 1,
+    /// fewer than `len`).
+    fn torn_prefix(&self, op: u64, len: usize) -> usize {
+        if len <= 1 {
+            return 0;
+        }
+        1 + (self.roll(op, 7) as usize) % (len - 1)
+    }
+}
+
+/// Device observability: every counter the durable bench reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogDevStats {
+    /// Appends accepted (one per record that reached the queue).
+    pub appends: u64,
+    /// Bytes accepted.
+    pub bytes_appended: u64,
+    /// Forces (flush barriers) executed.
+    pub forces: u64,
+    /// Transient errors dealt to callers.
+    pub transient_errors: u64,
+    /// Stall windows entered.
+    pub stall_events: u64,
+    /// Appends refused because the device was inside a stall window.
+    pub stalled_rejections: u64,
+    /// Appends that had to wait out the oldest in-flight completion
+    /// because the queue was full (backpressure).
+    pub backpressure_waits: u64,
+    /// Cycles callers spent waiting on backpressure, total.
+    pub backpressure_cycles: u64,
+    /// Completions that finished out of submission order.
+    pub reordered_completions: u64,
+    /// Segments sealed (append offset crossed a segment boundary).
+    pub segments_sealed: u64,
+    /// Peak in-flight queue depth observed.
+    pub in_flight_peak: u64,
+}
+
+/// One append still in flight.
+#[derive(Debug, Clone)]
+struct Pending {
+    /// Submission sequence number (fault-plan key).
+    seq: u64,
+    /// Byte offset of this record in the device image.
+    offset: usize,
+    len: usize,
+    complete_at: Cycle,
+}
+
+/// What a crash leaves on the media: the device image recovery scans, plus
+/// enough accounting to report what was lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogImage {
+    /// The durable bytes, holes and torn tails zero-filled.
+    pub bytes: Vec<u8>,
+    /// Records ever accepted by the device (durable or not).
+    pub records_appended: u64,
+    /// In-flight appends the crash caught and the plan tore (prefix only).
+    pub torn_appends: u64,
+    /// In-flight appends the crash caught and the plan lost entirely.
+    pub lost_appends: u64,
+    /// In-flight appends the crash caught that completed early
+    /// (out-of-order durability).
+    pub early_appends: u64,
+    /// Device counters at the crash.
+    pub stats: LogDevStats,
+}
+
+impl LogImage {
+    /// An image of an absent device (volatile runs).
+    pub fn empty() -> Self {
+        LogImage {
+            bytes: Vec::new(),
+            records_appended: 0,
+            torn_appends: 0,
+            lost_appends: 0,
+            early_appends: 0,
+            stats: LogDevStats::default(),
+        }
+    }
+
+    /// Truncates the image after a recovery scan found its valid prefix,
+    /// so a second recovery sees a clean log (idempotence).
+    pub fn truncate(&mut self, len: usize) {
+        self.bytes.truncate(len);
+    }
+}
+
+/// The write-behind log device. See the module docs.
+#[derive(Debug, Clone)]
+pub struct LogDevice {
+    cfg: LogDevConfig,
+    plan: LogFaultPlan,
+    /// Every accepted byte at its assigned offset. In-flight ranges are
+    /// present here (the data *was* submitted); [`LogDevice::crash_image`]
+    /// zeroes the ranges the crash proves never reached media.
+    buf: Vec<u8>,
+    pending: VecDeque<Pending>,
+    /// Submission sequence counter (fault-plan key); also counts records.
+    seq: u64,
+    /// Completion time of the most recently *drained* append — used to
+    /// detect out-of-order completions.
+    last_drained_seq: Option<u64>,
+    /// Device-wide stall deadline (0 = not stalled).
+    stall_until: Cycle,
+    /// The record that triggered the most recent stall window. A record
+    /// opens at most one window, so a caller that waits out the deadline
+    /// and retries is guaranteed to get past the stall — throttled commits
+    /// are bounded by construction.
+    last_stall_seq: Option<u64>,
+    /// Consecutive transient rejections dealt to the record currently being
+    /// retried (bounded by [`MAX_CONSECUTIVE_TRANSIENTS`]).
+    consecutive_transients: u32,
+    stats: LogDevStats,
+}
+
+impl LogDevice {
+    /// Creates a device with the given geometry and fault plan.
+    pub fn new(cfg: LogDevConfig, plan: LogFaultPlan) -> Self {
+        assert!(cfg.max_in_flight > 0, "in-flight queue needs capacity");
+        LogDevice {
+            cfg,
+            plan,
+            buf: Vec::new(),
+            pending: VecDeque::new(),
+            seq: 0,
+            last_drained_seq: None,
+            stall_until: 0,
+            last_stall_seq: None,
+            consecutive_transients: 0,
+            stats: LogDevStats::default(),
+        }
+    }
+
+    /// Device counters.
+    pub fn stats(&self) -> &LogDevStats {
+        &self.stats
+    }
+
+    /// Bytes accepted so far (durable or in flight).
+    pub fn appended_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Completes every in-flight append whose completion time has passed.
+    pub fn poll(&mut self, now: Cycle) {
+        // Reordered completions: drain by completion time, not queue order.
+        loop {
+            let due: Option<usize> = self
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.complete_at <= now)
+                .min_by_key(|(_, p)| (p.complete_at, p.seq))
+                .map(|(i, _)| i);
+            let Some(i) = due else { break };
+            let p = self.pending.remove(i).expect("index from enumerate");
+            if let Some(last) = self.last_drained_seq {
+                if p.seq < last {
+                    self.stats.reordered_completions += 1;
+                }
+            }
+            self.last_drained_seq = Some(self.last_drained_seq.unwrap_or(0).max(p.seq));
+        }
+    }
+
+    /// Whether the device refuses work at `now` (inside a stall window).
+    /// Returns the deadline to re-poll at.
+    pub fn stalled_until(&self, now: Cycle) -> Option<Cycle> {
+        (now < self.stall_until).then_some(self.stall_until)
+    }
+
+    /// Submits `record` for write-behind persistence. On success returns
+    /// the cycles the *submission* cost the caller (only backpressure waits
+    /// — the write itself completes asynchronously `append_latency` later).
+    ///
+    /// # Errors
+    ///
+    /// [`LogAppendError::Transient`] (retry after backoff) or
+    /// [`LogAppendError::Stalled`] (re-poll at the deadline). Neither has
+    /// any device-side effect; consecutive transients for one record are
+    /// bounded by [`MAX_CONSECUTIVE_TRANSIENTS`].
+    pub fn append(&mut self, record: &[u8], now: Cycle) -> Result<Cycle, LogAppendError> {
+        self.poll(now);
+        if let Some(until) = self.stalled_until(now) {
+            self.stats.stalled_rejections += 1;
+            return Err(LogAppendError::Stalled { until });
+        }
+        let seq = self.seq;
+        if self.last_stall_seq != Some(seq) {
+            if let Some(window) = self.plan.stall(seq) {
+                self.stall_until = now + window;
+                self.last_stall_seq = Some(seq);
+                self.stats.stall_events += 1;
+                self.stats.stalled_rejections += 1;
+                return Err(LogAppendError::Stalled {
+                    until: self.stall_until,
+                });
+            }
+        }
+        if self.consecutive_transients < MAX_CONSECUTIVE_TRANSIENTS && self.plan.transient(seq) {
+            self.consecutive_transients += 1;
+            self.stats.transient_errors += 1;
+            return Err(LogAppendError::Transient);
+        }
+        self.consecutive_transients = 0;
+
+        // Bounded in-flight queue: wait out the oldest completion.
+        let mut wait = 0;
+        if self.pending.len() >= self.cfg.max_in_flight {
+            let earliest = self
+                .pending
+                .iter()
+                .map(|p| p.complete_at)
+                .min()
+                .expect("queue is full, so non-empty");
+            wait = earliest.saturating_sub(now);
+            self.stats.backpressure_waits += 1;
+            self.stats.backpressure_cycles += wait;
+            self.poll(now + wait);
+        }
+
+        let offset = self.buf.len();
+        self.buf.extend_from_slice(record);
+        let sealed_before = (offset / self.cfg.segment_bytes) as u64;
+        let sealed_after = (self.buf.len() / self.cfg.segment_bytes) as u64;
+        self.stats.segments_sealed += sealed_after - sealed_before;
+
+        self.pending.push_back(Pending {
+            seq,
+            offset,
+            len: record.len(),
+            complete_at: now + wait + self.cfg.append_latency + self.plan.jitter(seq),
+        });
+        self.seq += 1;
+        self.stats.appends += 1;
+        self.stats.bytes_appended += record.len() as u64;
+        self.stats.in_flight_peak = self.stats.in_flight_peak.max(self.pending.len() as u64);
+        Ok(wait)
+    }
+
+    /// Flush barrier: waits out every in-flight append (and any stall
+    /// window), making everything accepted so far durable. Returns the
+    /// cycles charged to the caller.
+    pub fn force(&mut self, now: Cycle) -> Cycle {
+        self.stats.forces += 1;
+        let mut done_at = now.max(self.stall_until);
+        for p in &self.pending {
+            done_at = done_at.max(p.complete_at);
+        }
+        self.poll(done_at);
+        debug_assert!(self.pending.is_empty(), "force drains the queue");
+        done_at - now + self.cfg.flush_latency
+    }
+
+    /// Resolves the crash-boundary state of the device: completed appends
+    /// are durable; each append still in flight is resolved through the
+    /// fault plan (completed early / torn prefix / lost), with un-persisted
+    /// ranges zero-filled. `now` is the machine cycle of the crash.
+    pub fn crash_image(&self, now: Cycle) -> LogImage {
+        let mut bytes = self.buf.clone();
+        let mut img = LogImage {
+            bytes: Vec::new(),
+            records_appended: self.seq,
+            torn_appends: 0,
+            lost_appends: 0,
+            early_appends: 0,
+            stats: self.stats,
+        };
+        for p in &self.pending {
+            if p.complete_at <= now {
+                continue; // Completed, just not yet drained: durable.
+            }
+            match self.plan.crash_fate(p.seq) {
+                CrashFate::Durable => img.early_appends += 1,
+                CrashFate::Torn => {
+                    let keep = self.plan.torn_prefix(p.seq, p.len);
+                    bytes[p.offset + keep..p.offset + p.len].fill(0);
+                    img.torn_appends += 1;
+                }
+                CrashFate::Lost => {
+                    bytes[p.offset..p.offset + p.len].fill(0);
+                    img.lost_appends += 1;
+                }
+            }
+        }
+        img.bytes = bytes;
+        img
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_append_and_force_are_zero_cost() {
+        let mut dev = LogDevice::new(LogDevConfig::zero_cost(), LogFaultPlan::none());
+        for i in 0..100u8 {
+            assert_eq!(dev.append(&[i; 32], 1_000), Ok(0));
+        }
+        assert_eq!(dev.force(1_000), 0);
+        assert_eq!(dev.stats().appends, 100);
+        assert_eq!(dev.stats().transient_errors, 0);
+        assert_eq!(dev.stats().stall_events, 0);
+        let img = dev.crash_image(1_000);
+        assert_eq!(img.bytes.len(), 3_200);
+        assert_eq!(img.torn_appends + img.lost_appends, 0);
+    }
+
+    #[test]
+    fn backpressure_waits_out_the_oldest_completion() {
+        let cfg = LogDevConfig {
+            max_in_flight: 2,
+            append_latency: 100,
+            ..LogDevConfig::default()
+        };
+        let mut dev = LogDevice::new(cfg, LogFaultPlan::none());
+        assert_eq!(dev.append(&[1; 8], 0), Ok(0));
+        assert_eq!(dev.append(&[2; 8], 0), Ok(0));
+        // Queue full; the third append waits for the first completion.
+        assert_eq!(dev.append(&[3; 8], 0), Ok(100));
+        assert_eq!(dev.stats().backpressure_waits, 1);
+        assert_eq!(dev.stats().backpressure_cycles, 100);
+    }
+
+    #[test]
+    fn transient_streaks_are_bounded_per_record() {
+        let plan = LogFaultPlan {
+            transient_pct: 100, // every roll says "reject"
+            ..LogFaultPlan::from_seed(7)
+        };
+        let plan = LogFaultPlan {
+            stall_pct: 0,
+            ..plan
+        };
+        let mut dev = LogDevice::new(LogDevConfig::zero_cost(), plan);
+        let mut rejections = 0;
+        loop {
+            match dev.append(&[9; 16], 0) {
+                Ok(_) => break,
+                Err(LogAppendError::Transient) => rejections += 1,
+                Err(LogAppendError::Stalled { .. }) => unreachable!("stall_pct is 0"),
+            }
+            assert!(rejections <= MAX_CONSECUTIVE_TRANSIENTS);
+        }
+        assert_eq!(rejections, MAX_CONSECUTIVE_TRANSIENTS);
+    }
+
+    #[test]
+    fn stall_windows_are_finite_and_refuse_work() {
+        let plan = LogFaultPlan {
+            stall_pct: 100,
+            stall_window: 500,
+            transient_pct: 0,
+            ..LogFaultPlan::from_seed(11)
+        };
+        let mut dev = LogDevice::new(LogDevConfig::zero_cost(), plan);
+        let Err(LogAppendError::Stalled { until }) = dev.append(&[1; 8], 1_000) else {
+            panic!("expected a stall");
+        };
+        assert!(until > 1_000 && until <= 1_500, "finite window: {until}");
+        // Mid-window work is refused with the same deadline.
+        assert!(matches!(
+            dev.append(&[1; 8], until - 1),
+            Err(LogAppendError::Stalled { until: u }) if u == until
+        ));
+        // At the deadline the device recovers (the next roll may stall
+        // again, but each window is finite — step until accepted).
+        let mut now = until;
+        for _ in 0..100 {
+            match dev.append(&[1; 8], now) {
+                Ok(_) => return,
+                Err(LogAppendError::Stalled { until }) => now = until,
+                Err(LogAppendError::Transient) => {}
+            }
+        }
+        panic!("device never recovered from stalls");
+    }
+
+    #[test]
+    fn crash_resolves_in_flight_appends_through_the_plan() {
+        let cfg = LogDevConfig {
+            append_latency: 10_000, // nothing completes before the crash
+            max_in_flight: 64,
+            ..LogDevConfig::default()
+        };
+        let plan = LogFaultPlan {
+            transient_pct: 0,
+            stall_pct: 0,
+            torn_pct: 50,
+            ..LogFaultPlan::from_seed(13)
+        };
+        let mut dev = LogDevice::new(cfg, plan);
+        for i in 0..40u8 {
+            dev.append(&[i + 1; 64], 0).expect("no refusals configured");
+        }
+        let img = dev.crash_image(0);
+        assert_eq!(img.records_appended, 40);
+        assert!(img.torn_appends > 0, "plan must tear something");
+        assert!(img.lost_appends > 0, "plan must lose something");
+        assert!(img.early_appends > 0, "plan must complete something early");
+        // A torn append keeps a non-empty strict prefix: its range holds
+        // some non-zero then zero bytes.
+        assert_eq!(img.bytes.len(), 40 * 64);
+        // Determinism: the same device state resolves identically.
+        assert_eq!(dev.crash_image(0), img);
+    }
+
+    #[test]
+    fn force_makes_everything_durable_despite_faults() {
+        let cfg = LogDevConfig {
+            append_latency: 5_000,
+            flush_latency: 100,
+            max_in_flight: 4,
+            ..LogDevConfig::default()
+        };
+        let plan = LogFaultPlan {
+            transient_pct: 0,
+            stall_pct: 0,
+            ..LogFaultPlan::from_seed(17)
+        };
+        let mut dev = LogDevice::new(cfg, plan);
+        for i in 0..10u8 {
+            dev.append(&[i + 1; 16], 0).expect("no refusals configured");
+        }
+        let cost = dev.force(0);
+        assert!(cost >= 5_000 + 100, "force waits out the queue: {cost}");
+        let img = dev.crash_image(0);
+        assert_eq!(img.torn_appends + img.lost_appends + img.early_appends, 0);
+        assert!(img.bytes.iter().all(|b| *b != 0), "all forced bytes kept");
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_seed_sensitive() {
+        let a = LogFaultPlan::from_seed(101);
+        let b = LogFaultPlan::from_seed(101);
+        let c = LogFaultPlan::from_seed(102);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(LogFaultPlan::from_seed(0), LogFaultPlan::none());
+    }
+
+    #[test]
+    fn segments_seal_as_offsets_cross_boundaries() {
+        let cfg = LogDevConfig {
+            segment_bytes: 128,
+            ..LogDevConfig::zero_cost()
+        };
+        let mut dev = LogDevice::new(cfg, LogFaultPlan::none());
+        for _ in 0..10 {
+            dev.append(&[7; 48], 0).unwrap();
+        }
+        // 480 bytes over 128-byte segments: offset crossed 128/256/384.
+        assert_eq!(dev.stats().segments_sealed, 3);
+    }
+}

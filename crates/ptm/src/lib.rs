@@ -38,6 +38,7 @@
 //! ```
 
 pub mod config;
+pub mod durability;
 pub mod recovery;
 pub mod sit;
 pub mod spt;
@@ -48,7 +49,11 @@ pub mod tstate;
 pub mod vts;
 
 pub use config::{PtmConfig, PtmPolicy, ShadowFreePolicy};
-pub use recovery::{recover, tear_youngest_tav_tail, RecoveryStats};
+pub use durability::{
+    parse_force_policy, scan_records, undo_payload_checksum, DurStats, DurabilityConfig,
+    DurableLog, ForcePolicy, LogRecord, LogRecordKind, UndoPayload,
+};
+pub use recovery::{recover, recover_log, tear_youngest_tav_tail, RecoveryStats};
 pub use stats::PtmStats;
 pub use system::{AccessKind, ConflictOutcome, Exhaustion, PtmSystem, SwapOut};
 pub use tstate::TxStatus;

@@ -57,13 +57,106 @@ pub struct RecoveryStats {
     pub shadow_pages_freed: u64,
     /// TAV nodes freed in total (torn ones included).
     pub tav_nodes_freed: u64,
+    /// Log-device records discarded by the bounded tail scan (the frame at
+    /// the cut; everything behind it is in `log_bytes_truncated`).
+    pub log_records_discarded: u64,
+    /// Discarded frames whose header parsed but whose checksum failed
+    /// (torn appends caught red-handed, vs. structural holes).
+    pub log_checksum_mismatches: u64,
+    /// Bytes cut off the device image past its last valid record. The cut
+    /// *repairs* the image — a second scan finds a clean log.
+    pub log_bytes_truncated: u64,
+    /// Live-transaction undo payloads whose committed pre-image did not
+    /// match recovered memory (must be zero — replay reconciliation).
+    pub log_replay_mismatches: u64,
+    /// Durable commit records naming transactions the machine never
+    /// committed (must be zero — a phantom commit is corruption).
+    pub log_phantom_commits: u64,
+    /// Valid commit records found in the log (observation only).
+    pub log_commit_records: u64,
+    /// Valid abort records found in the log (observation only).
+    pub log_abort_records: u64,
+    /// Valid undo records found in the log (observation only).
+    pub log_undo_records: u64,
+    /// Valid redo records found in the log (observation only).
+    pub log_redo_records: u64,
+    /// Writing commits the machine performed whose commit record did not
+    /// survive in the durable log — zero under eager forcing; lazy/group
+    /// trade exactly this for commit latency (observation only).
+    pub log_commits_missing: u64,
+    /// Live-transaction undo payloads verified word-identical against
+    /// recovered memory (observation only).
+    pub log_replay_verified: u64,
+    /// Undo records skipped because an abort voided them: the pre-image
+    /// belongs to an earlier incarnation of a retried transaction, so it
+    /// may legitimately be stale (observation only).
+    pub log_undo_stale: u64,
 }
 
 impl RecoveryStats {
-    /// Whether the pass found nothing to do (the system was already clean).
+    /// Whether the pass found nothing to *do*. Compares the mutation and
+    /// integrity-violation fields only: pure observations (records merely
+    /// counted in an already-valid log, commits a lazy policy legitimately
+    /// never forced) repeat on every pass over the same image and must not
+    /// make an idempotent recovery look like it did work.
     pub fn is_noop(&self) -> bool {
-        *self == RecoveryStats::default()
+        let RecoveryStats {
+            transactions_discarded,
+            blocks_restored,
+            torn_nodes_repaired,
+            shadow_pages_freed,
+            tav_nodes_freed,
+            log_records_discarded,
+            log_checksum_mismatches,
+            log_bytes_truncated,
+            log_replay_mismatches,
+            log_phantom_commits,
+            // Observation-only fields, deliberately ignored:
+            log_commit_records: _,
+            log_abort_records: _,
+            log_undo_records: _,
+            log_redo_records: _,
+            log_commits_missing: _,
+            log_replay_verified: _,
+            log_undo_stale: _,
+        } = *self;
+        transactions_discarded == 0
+            && blocks_restored == 0
+            && torn_nodes_repaired == 0
+            && shadow_pages_freed == 0
+            && tav_nodes_freed == 0
+            && log_records_discarded == 0
+            && log_checksum_mismatches == 0
+            && log_bytes_truncated == 0
+            && log_replay_mismatches == 0
+            && log_phantom_commits == 0
     }
+}
+
+/// Scans a crashed log-device image for valid records, discards the torn
+/// tail (bounded single pass — see [`crate::durability::scan_records`]) and
+/// truncates the image to its valid prefix so a second recovery finds a
+/// clean log. Counts everything into `stats`; returns the valid records
+/// for the caller's reconciliation pass.
+pub fn recover_log(
+    image: &mut ptm_mem::LogImage,
+    stats: &mut RecoveryStats,
+) -> Vec<crate::durability::LogRecord> {
+    use crate::durability::LogRecordKind;
+    let scan = crate::durability::scan_records(&image.bytes);
+    stats.log_records_discarded += scan.records_discarded;
+    stats.log_checksum_mismatches += scan.checksum_mismatches;
+    stats.log_bytes_truncated += scan.bytes_discarded;
+    for r in &scan.records {
+        match r.kind {
+            LogRecordKind::Commit => stats.log_commit_records += 1,
+            LogRecordKind::Abort => stats.log_abort_records += 1,
+            LogRecordKind::Undo => stats.log_undo_records += 1,
+            LogRecordKind::Redo => stats.log_redo_records += 1,
+        }
+    }
+    image.truncate(scan.valid_len);
+    scan.records
 }
 
 /// Simulates the model's one torn-write case: the youngest live

@@ -122,6 +122,33 @@ impl PtmSystem {
         }
     }
 
+    /// A clone capturing only the *durable* subset of the system: the
+    /// SPT/SIT/TAV/T-State tables, shadow accounting and counters. The
+    /// volatile VTS caches and lazy-cleanup timers come back empty — a
+    /// crash loses them, recovery rebuilds nothing from them, and cloning
+    /// them per sweep point was pure waste (see
+    /// [`crate::recovery::recover`], which drops them unconditionally).
+    pub fn durable_clone(&self) -> PtmSystem {
+        PtmSystem {
+            cfg: self.cfg,
+            spt: self.spt.clone(),
+            sit: self.sit.clone(),
+            tavs: self.tavs.clone(),
+            tstate: self.tstate.clone(),
+            spt_cache: LruTracker::new(self.cfg.spt_cache_entries),
+            tav_cache: LruTracker::new(self.cfg.tav_cache_entries),
+            cleanup_pages: FastMap::default(),
+            live_shadows: self.live_shadows,
+            stats: self.stats,
+        }
+    }
+
+    /// Whether every volatile (cache-like) part of the system is empty.
+    /// Crash images assert this: only durable state may be captured.
+    pub fn volatile_state_is_empty(&self) -> bool {
+        self.spt_cache.is_empty() && self.tav_cache.is_empty() && self.cleanup_pages.is_empty()
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &PtmConfig {
         &self.cfg

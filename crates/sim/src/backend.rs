@@ -154,6 +154,18 @@ impl Backend {
         }
     }
 
+    /// Clones only the durable subset of the backend for a crash image.
+    ///
+    /// PTM's VTS caches and deferred-cleanup queue are volatile controller
+    /// state (DESIGN decision 19) and are reset to empty in the copy; every
+    /// other backend keeps its full write-through state.
+    pub fn durable_clone(&self) -> Backend {
+        match self {
+            Backend::Ptm(p) => Backend::Ptm(p.durable_clone()),
+            other => other.clone(),
+        }
+    }
+
     /// Whether any transactional block has overflowed the caches.
     pub fn has_overflows(&self) -> bool {
         match self {

@@ -29,11 +29,17 @@ use crate::machine::Machine;
 use crate::program::ThreadProgram;
 use crate::reference::{crash_reference, Mismatch};
 use crate::stats::CommittedTx;
+use ptm_core::durability::{
+    decode_undo_payload, undo_payload_checksum, DurStats, LogRecord, LogRecordKind,
+};
 use ptm_core::recovery::{self, RecoveryStats};
-use ptm_mem::PhysicalMemory;
+use ptm_mem::{LogImage, PhysicalMemory};
 use ptm_types::rng::{Fnv1a64, SplitMix64};
-use ptm_types::{FrameId, PhysAddr, ProcessId, ThreadId, TxId, VirtAddr, WORD_SIZE};
-use std::collections::HashMap;
+use ptm_types::{
+    FastMap, FastSet, FrameId, Granularity, PhysAddr, ProcessId, ThreadId, TxId, VirtAddr,
+    BLOCK_SIZE, WORD_SIZE,
+};
+use std::collections::{HashMap, HashSet};
 
 /// Where (and how) to crash a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +110,22 @@ pub struct CrashImage {
     pub kernel: Kernel,
     /// The backend's durable metadata.
     pub backend: Backend,
+    /// The write-behind log device's media image, when the machine ran
+    /// with a durable log attached. In-flight appends have been resolved
+    /// to their crash fates (durable / torn / lost).
+    pub log: Option<LogImage>,
+    /// Caller-side durability counters at the crash. Harness bookkeeping
+    /// like `watermarks`, not recovery input.
+    pub dur: Option<DurStats>,
+    /// Transactions that committed via the read-only fast path and so
+    /// wrote no commit record by design. Harness bookkeeping: lets log
+    /// reconciliation tell a fast-path commit from a lost record.
+    pub ro_commits: FastSet<TxId>,
+    /// Checksums of each transaction's *current* undo payloads (logged by
+    /// its latest incarnation — an abort voids the earlier ones). Harness
+    /// bookkeeping: lets undo replay skip stale pre-images from aborted
+    /// incarnations instead of miscounting them as corruption.
+    pub undo_sums: FastMap<TxId, Vec<u64>>,
 }
 
 impl Machine {
@@ -151,7 +173,21 @@ impl Machine {
             })
             .collect();
 
-        let mut backend = self.backend.clone();
+        // Only the durable subset may survive into the image: the clones
+        // drop caches, TLBs and deferred-cleanup queues, and the asserts
+        // keep that contract honest if new volatile state grows later.
+        let mut backend = self.backend.durable_clone();
+        if let Backend::Ptm(p) = &backend {
+            assert!(
+                p.volatile_state_is_empty(),
+                "durable PTM clone leaked volatile VTS state into the crash image"
+            );
+        }
+        let kernel = self.kernel.durable_clone();
+        assert!(
+            kernel.volatile_state_is_empty(),
+            "durable kernel clone leaked volatile TLB state into the crash image"
+        );
         let torn = if plan.torn {
             match &mut backend {
                 Backend::Ptm(p) => recovery::tear_youngest_tav_tail(p),
@@ -159,6 +195,16 @@ impl Machine {
             }
         } else {
             None
+        };
+
+        let (log, dur, ro_commits, undo_sums) = match &self.durable {
+            Some(d) => (
+                Some(d.crash_image(self.stats.cycles)),
+                Some(*d.stats()),
+                d.ro_committed().clone(),
+                d.undo_checksums().clone(),
+            ),
+            None => (None, None, FastSet::default(), FastMap::default()),
         };
 
         CrashImage {
@@ -169,22 +215,37 @@ impl Machine {
             commit_log: self.stats.commit_log.clone(),
             watermarks,
             mem: self.mem.clone(),
-            kernel: self.kernel.clone(),
+            kernel,
             backend,
+            log,
+            dur,
+            ro_commits,
+            undo_sums,
         }
     }
 }
 
 impl CrashImage {
     /// Runs the backend's recovery pass in place, discarding every
-    /// transaction that was live at the crash. Idempotent: a second call
-    /// reports [`RecoveryStats::is_noop`].
+    /// transaction that was live at the crash, then — when a durable log
+    /// image was captured — replays the log: scans it, truncates the torn
+    /// tail, and reconciles its records against the commit log and the
+    /// recovered memory. Idempotent: a second call reports
+    /// [`RecoveryStats::is_noop`] (the first pass repaired the log image,
+    /// and no transaction is live anymore).
     ///
     /// For LogTM, `blocks_restored` counts undo-log words rolled back; VTM
     /// discards speculative XADT blocks without restoring anything, so it
     /// reports only `transactions_discarded`.
     pub fn recover(&mut self) -> RecoveryStats {
-        match &mut self.backend {
+        // Capture the live set before the backend pass discards it: the
+        // undo-replay verification below applies exactly to transactions
+        // that were still live at the crash.
+        let live: Vec<TxId> = match &self.backend {
+            Backend::Ptm(p) => p.tstate().live_transactions(),
+            _ => Vec::new(),
+        };
+        let mut stats = match &mut self.backend {
             Backend::Ptm(p) => recovery::recover(p, &mut self.mem, &mut self.kernel.swap),
             Backend::Vtm(v) => {
                 let (discarded, _released) = v.recover();
@@ -202,6 +263,84 @@ impl CrashImage {
                 }
             }
             Backend::Serial | Backend::Locks(_) => RecoveryStats::default(),
+        };
+        let records = match &mut self.log {
+            Some(img) => recovery::recover_log(img, &mut stats),
+            None => Vec::new(),
+        };
+        if self.log.is_some() {
+            self.reconcile_log(&records, &live, &mut stats);
+        }
+        stats
+    }
+
+    /// Reconciles the log's valid records against the machine's durable
+    /// commit log and the recovered committed memory.
+    ///
+    /// * a durable commit record for a transaction the machine never
+    ///   committed is a *phantom* (corruption — must be zero);
+    /// * a writing commit whose record did not survive counts as
+    ///   *missing* — zero under eager forcing, a legitimate trade under
+    ///   lazy/group (read-only fast-path commits are exempt: they wrote no
+    ///   record by design);
+    /// * each live-at-crash transaction's *current* undo payload must
+    ///   match the recovered committed memory word for word — block
+    ///   granularity only, since word granularities admit co-writers whose
+    ///   commits legitimately change other words of an undo-logged block.
+    ///   "Current" is decided by checksum against the image's `undo_sums`:
+    ///   an aborted incarnation's pre-image can be stale (the same `TxId`
+    ///   retries, and other transactions may commit in between), so those
+    ///   records count as `log_undo_stale`, not corruption.
+    fn reconcile_log(&self, records: &[LogRecord], live: &[TxId], stats: &mut RecoveryStats) {
+        let committed: HashSet<TxId> = self.commit_log.iter().map(|c| c.tx).collect();
+        let logged: HashSet<TxId> = records
+            .iter()
+            .filter(|r| r.kind == LogRecordKind::Commit)
+            .map(|r| r.tx)
+            .collect();
+        stats.log_phantom_commits +=
+            logged.iter().filter(|t| !committed.contains(t)).count() as u64;
+        stats.log_commits_missing += committed
+            .iter()
+            .filter(|t| !self.ro_commits.contains(t) && !logged.contains(t))
+            .count() as u64;
+
+        if self.kind.granularity() != Granularity::Block {
+            return;
+        }
+        let live: HashSet<TxId> = live.iter().copied().collect();
+        for r in records
+            .iter()
+            .filter(|r| r.kind == LogRecordKind::Undo && live.contains(&r.tx))
+        {
+            let current = self
+                .undo_sums
+                .get(&r.tx)
+                .is_some_and(|sums| sums.contains(&undo_payload_checksum(&r.payload)));
+            if !current {
+                stats.log_undo_stale += 1;
+                continue;
+            }
+            let Some(p) = decode_undo_payload(&r.payload) else {
+                // A checksummed record with a malformed payload is
+                // corruption, not a torn tail.
+                stats.log_replay_mismatches += 1;
+                continue;
+            };
+            let base = p.vpn.block_addr(p.block);
+            let verified = (0..BLOCK_SIZE / WORD_SIZE).all(|w| {
+                let expect = u32::from_le_bytes(
+                    p.data[w * WORD_SIZE..(w + 1) * WORD_SIZE]
+                        .try_into()
+                        .expect("word in block"),
+                );
+                self.read_committed(p.pid, VirtAddr(base.0 + (w * WORD_SIZE) as u64)) == expect
+            });
+            if verified {
+                stats.log_replay_verified += 1;
+            } else {
+                stats.log_replay_mismatches += 1;
+            }
         }
     }
 

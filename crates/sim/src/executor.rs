@@ -605,6 +605,12 @@ impl Machine {
     ///
     /// Panics if the machine stops making progress, like [`Machine::run`].
     pub fn run_parallel(&mut self, exec: &ExecutorConfig) -> ExecStats {
+        assert!(
+            self.durable.is_none(),
+            "the epoch executor does not support a durable log: speculation \
+             replays steps, which would double-append log records — use \
+             Machine::run for durable machines"
+        );
         let mut xs = ExecStats::default();
         let threads = exec.threads.max(1);
         let epoch_cycles = exec.epoch_cycles.max(1);

@@ -128,6 +128,26 @@ impl Kernel {
         &self.cfg
     }
 
+    /// A clone capturing only the *durable* OS state: page tables, swap
+    /// store and event counters. The TLB is a cache — a crash loses it and
+    /// every post-recovery translation re-walks the page tables — so the
+    /// clone leaves it empty instead of copying it per sweep point.
+    pub fn durable_clone(&self) -> Kernel {
+        Kernel {
+            cfg: self.cfg,
+            page_tables: self.page_tables.clone(),
+            swap: self.swap.clone(),
+            tlb: LruTracker::new(self.cfg.tlb_entries),
+            stats: self.stats,
+        }
+    }
+
+    /// Whether the volatile (cache-like) OS state is empty. Crash images
+    /// assert this: only durable state may be captured.
+    pub fn volatile_state_is_empty(&self) -> bool {
+        self.tlb.is_empty()
+    }
+
     /// Event counters.
     pub fn stats(&self) -> &KernelStats {
         &self.stats

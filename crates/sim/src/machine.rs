@@ -23,8 +23,9 @@ use ptm_cache::{
     abort_tx_lines, commit_tx_lines, flush_non_tx_lines, peek_remote_tx_use, supply, BusTimings,
     CacheConfig, CacheLine, DataSource, Hierarchy, ProbeResult, SystemBus,
 };
+use ptm_core::durability::{DurStats, DurabilityConfig, DurableLog, UndoPayload};
 use ptm_core::system::AccessKind;
-use ptm_mem::{PhysicalMemory, SpecBuffers};
+use ptm_mem::{LogDevStats, PhysicalMemory, SpecBuffers};
 use ptm_types::ids::TxIdSource;
 use ptm_types::{
     Cycle, FastMap, FrameId, PhysAddr, PhysBlock, ProcessId, TxId, VirtAddr, Vpn, WordIdx,
@@ -169,6 +170,10 @@ pub struct Machine {
     pub(crate) kernel: Kernel,
     pub(crate) backend: Backend,
     pub(crate) spec: SpecBuffers,
+    /// Write-behind durable log (commit records, undo/redo payloads).
+    /// `None` by default: volatile machines pay zero cycles and zero
+    /// bookkeeping, keeping every pre-existing run bit-identical.
+    pub(crate) durable: Option<DurableLog>,
     tx_src: TxIdSource,
     gate: OrderedGate,
     pub(crate) tx_owner: FastMap<TxId, usize>,
@@ -237,6 +242,7 @@ impl Machine {
             kernel: Kernel::new(cfg.kernel),
             backend: Backend::for_kind(kind),
             spec: SpecBuffers::new(),
+            durable: None,
             tx_src: TxIdSource::new(),
             gate: OrderedGate::new(),
             tx_owner: FastMap::default(),
@@ -264,6 +270,23 @@ impl Machine {
     /// The backend (PTM/VTM counters live there).
     pub fn backend(&self) -> &Backend {
         &self.backend
+    }
+
+    /// Attaches a durable write-behind log. Call before running: commits
+    /// append records (and force per the policy), dirty overflows append
+    /// undo pre-images, and crash images capture the device state.
+    pub fn enable_durability(&mut self, cfg: DurabilityConfig) {
+        self.durable = Some(DurableLog::new(cfg));
+    }
+
+    /// Caller-side durability counters, when a durable log is attached.
+    pub fn durable_stats(&self) -> Option<&DurStats> {
+        self.durable.as_ref().map(|d| d.stats())
+    }
+
+    /// Log-device counters, when a durable log is attached.
+    pub fn log_dev_stats(&self) -> Option<&LogDevStats> {
+        self.durable.as_ref().map(|d| d.dev_stats())
     }
 
     /// OS statistics (context switches, exceptions, faults).
@@ -659,6 +682,19 @@ impl Machine {
                         return;
                     }
                 }
+                // Durable mode: a writing commit must not start while the
+                // log device is stalled — throttle to the stall deadline
+                // instead. Bounded: the device's stall window has a fixed
+                // end, so commits degrade gracefully, never deadlock.
+                if let (Some(d), Some(tx)) = (self.durable.as_mut(), self.cores[idx].prog.cur_tx())
+                {
+                    if let Some(until) = d.commit_blocked(tx, now) {
+                        let until = until.max(now + 1);
+                        self.stats.stall_cycles += until - now;
+                        self.cores[idx].ready_at = until;
+                        return;
+                    }
+                }
                 self.commit(idx, now);
             }
         }
@@ -720,6 +756,16 @@ impl Machine {
         // the newest version and correctly lands last).
         let buffers = self.spec.drain_tx(tx);
         for (block, specb) in buffers {
+            // Durable mode: the published words ride the write-behind log
+            // as a redo payload before the commit record below seals them.
+            if let Some(d) = self.durable.as_mut() {
+                let words: Vec<(u8, u32)> = specb
+                    .written
+                    .iter()
+                    .map(|w| (w.0, specb.read_word(w)))
+                    .collect();
+                d.append_redo(tx, block, &words, now);
+            }
             let (frame, mirror) = match &self.backend {
                 Backend::Ptm(p) => (p.committed_frame(block), p.mirror_location(block, Some(tx))),
                 _ => (block.frame(), None),
@@ -770,9 +816,16 @@ impl Machine {
             at: now,
         });
 
+        // Durable mode: the commit record (plus any policy force, retry
+        // backoff or stall wait) extends the commit latency. Read-only
+        // transactions take the fast path and append nothing.
+        let durable_lat = match self.durable.as_mut() {
+            Some(d) => d.commit_tx(tx, self.cores[idx].prog.thread().0, now),
+            None => 0,
+        };
         self.cores[idx].prog.finish_tx();
         self.cores[idx].prog.advance();
-        self.cores[idx].ready_at = now + self.cfg.commit_cost;
+        self.cores[idx].ready_at = now + self.cfg.commit_cost + durable_lat;
         self.stats.commits += 1;
     }
 
@@ -813,6 +866,9 @@ impl Machine {
                         WriteVal::Delta(d) => old.wrapping_add(d as u32),
                     };
                     self.write_word_functional(tx, pid, va, pa, value);
+                    if let (Some(d), Some(tx)) = (self.durable.as_mut(), tx) {
+                        d.note_tx_write(tx);
+                    }
                     // Publish globally visible writes to the multi-version
                     // map: non-transactional stores and LogTM's eager
                     // in-place updates. Lazily buffered transactional
@@ -1524,6 +1580,11 @@ impl Machine {
             Backend::LogTm(l) => l.abort(tx, &mut self.mem, now, &mut self.bus),
             _ => unreachable!("aborts only in transactional modes"),
         };
+        // Durable mode: void the transaction's undo/redo records with an
+        // abort record (write-behind — its cost hides under the penalty).
+        if let Some(d) = self.durable.as_mut() {
+            let _ = d.abort_tx(tx, now);
+        }
         let attempts = u64::from(self.cores[owner].prog.attempts());
         self.cores[owner].prog.rewind();
         let penalty = self.cfg.abort_penalty * (attempts + 1);
@@ -1619,6 +1680,23 @@ impl Machine {
                 .filter_map(|h| h.line(line.block()))
                 .filter_map(|l| l.tx_meta())
                 .any(|m| m.write && m.tx != meta.tx);
+            // Durable mode (PTM): the first time a transaction's dirty
+            // write overflows a block, its committed pre-image rides the
+            // log as an undo payload (deduplicated per (tx, block) inside
+            // the log). Captured *before* the overflow mutates anything.
+            if meta.write && self.durable.is_some() && matches!(self.backend, Backend::Ptm(_)) {
+                if let Some(&(pid, vpn)) = self.rev_map.get(&line.block().frame()) {
+                    let payload = UndoPayload {
+                        pid,
+                        vpn,
+                        block: line.block().index(),
+                        data: self.committed_block_snapshot(line.block()),
+                    };
+                    if let Some(d) = self.durable.as_mut() {
+                        let _ = d.append_undo(meta.tx, line.block(), payload, now);
+                    }
+                }
+            }
             match &mut self.backend {
                 Backend::Ptm(_) => {
                     // Overflow processing can exhaust the frame pool (shadow

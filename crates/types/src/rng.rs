@@ -72,6 +72,15 @@ impl Fnv1a64 {
         }
     }
 
+    /// Folds a byte slice into the digest (canonical FNV-1a over bytes;
+    /// `write_bytes(&v.to_le_bytes())` equals `write_u64(v)`).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for byte in bytes {
+            self.hash ^= u64::from(*byte);
+            self.hash = self.hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
     /// The digest so far.
     pub fn finish(&self) -> u64 {
         self.hash
