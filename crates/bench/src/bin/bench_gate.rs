@@ -63,6 +63,19 @@ fn main() {
     let head = entry_from_report(&read(&files[1]))
         .unwrap_or_else(|| die(&format!("{}: no usable trajectory point", files[1])));
 
+    // A `-dirty` point was measured on a tree that no longer exists; the
+    // comparison still runs (the wall-clocks are real), but its verdict
+    // cannot be reproduced, so say so.
+    for (file, entry) in [(&files[0], &base), (&files[1], &head)] {
+        if entry.git_rev.ends_with("-dirty") {
+            eprintln!(
+                "bench_gate: warning - {file} trajectory point {} was measured \
+                 on a dirty working tree and cannot be rebuilt for comparison",
+                entry.git_rev
+            );
+        }
+    }
+
     let (what, ratio, base_t, head_t) = if durable {
         let ratio = durable_ratio(&base, &head).unwrap_or_else(|e| die(&e));
         (

@@ -18,7 +18,7 @@ use ptm_bench::durable::{
     durable_cells, fault_seeds_from_env, force_policies_from_env, sweep_durable_cell,
     DurableCellReport,
 };
-use ptm_bench::history::{prior_entries, render_history, HistoryEntry};
+use ptm_bench::history::{prior_entries, render_history_or_die, HistoryEntry};
 use ptm_bench::scale_from_env;
 use ptm_core::durability::ForcePolicy;
 use ptm_types::rng::SplitMix64;
@@ -187,7 +187,7 @@ fn main() {
         &policy_label,
         &seeds,
         &reports,
-        &render_history(&prior, &entry),
+        &render_history_or_die("durable", &prior, &entry),
     );
     std::fs::write(&out, json).expect("write benchmark report");
     eprintln!("durable: wrote {out}");

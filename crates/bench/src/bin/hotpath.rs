@@ -11,7 +11,7 @@
 //! PTM_BENCH_OUT=/tmp/x.json cargo run -p ptm-bench --release --bin hotpath
 //! ```
 
-use ptm_bench::history::{prior_entries, render_history, HistoryEntry};
+use ptm_bench::history::{prior_entries, render_history_or_die, HistoryEntry};
 use ptm_bench::parallel::{
     assert_cells_match, cells_from_env, projected_makespan, run_cells_parallel,
     run_cells_sequential, workers_from_env, CellResult,
@@ -88,7 +88,7 @@ fn main() {
         seq_wall,
         par_wall,
         projected_4,
-        &render_history(&prior, &entry),
+        &render_history_or_die("hotpath", &prior, &entry),
     );
     std::fs::write(&out, json).expect("write benchmark report");
 

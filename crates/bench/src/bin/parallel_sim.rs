@@ -11,7 +11,7 @@
 //! PTM_BENCH_OUT=/tmp/x.json cargo run -p ptm-bench --release --bin parallel_sim
 //! ```
 
-use ptm_bench::history::{prior_entries, render_history, HistoryEntry};
+use ptm_bench::history::{prior_entries, render_history_or_die, HistoryEntry};
 use ptm_bench::parallel::{assert_cells_match, cells_from_env, run_cells_sequential, CellResult};
 use ptm_bench::parallel_sim::{
     amdahl_projection_ns, epoch_cycles_from_env, exec_threads_from_env, run_cells_executor,
@@ -96,7 +96,7 @@ fn main() {
         seq_wall,
         par_wall,
         &totals,
-        &render_history(&prior, &entry),
+        &render_history_or_die("parallel_sim", &prior, &entry),
     );
     std::fs::write(&out, json).expect("write benchmark report");
 

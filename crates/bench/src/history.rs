@@ -61,10 +61,19 @@ impl HistoryEntry {
 
     /// Wall-clock speedup of the parallel pass over the sequential pass.
     /// Only meaningful when `host_cores > 1`; on a single-core host the
-    /// ratio measures executor overhead, not parallelism.
-    pub fn speedup(&self) -> Option<f64> {
-        let wall = self.parallel_wall_ns?;
-        Some(self.seq_wall_ns as f64 / wall.max(1) as f64)
+    /// ratio measures executor overhead, not parallelism. A hard error —
+    /// not a panic — when the entry carries no parallel wall time (a
+    /// hand-edited or pre-trajectory point), naming the entry so the
+    /// refusal is actionable.
+    pub fn speedup(&self) -> Result<f64, String> {
+        let Some(wall) = self.parallel_wall_ns else {
+            return Err(format!(
+                "history entry {} ({} workers, {} cells at {}) carries no \
+                 parallel_wall_ns — cannot compute a speedup",
+                self.git_rev, self.workers, self.cells, self.scale
+            ));
+        };
+        Ok(self.seq_wall_ns as f64 / wall.max(1) as f64)
     }
 
     /// Renders the entry as a single-line JSON object.
@@ -85,9 +94,11 @@ impl HistoryEntry {
             self.throughput_cycles_per_s(),
         );
         if let Some(wall) = self.parallel_wall_ns {
+            // Computed from `wall` directly: `speedup()` is for readers
+            // that must handle entries without a parallel point.
             s.push_str(&format!(
                 ", \"parallel_wall_ns\": {wall}, \"speedup\": {:.4}",
-                self.speedup().expect("parallel wall present")
+                self.seq_wall_ns as f64 / wall.max(1) as f64
             ));
         }
         if let Some(f) = self.spec_commit_fraction {
@@ -233,9 +244,41 @@ pub fn entry_from_report(json: &str) -> Option<HistoryEntry> {
     })
 }
 
+/// Environment variable that permits appending `-dirty` trajectory points.
+pub const ALLOW_DIRTY_ENV: &str = "PTM_BENCH_ALLOW_DIRTY";
+
+/// Whether the user explicitly opted into appending unreproducible points.
+pub fn dirty_allowed() -> bool {
+    std::env::var(ALLOW_DIRTY_ENV).is_ok_and(|v| v == "1")
+}
+
+/// Refuses a trajectory point that can never be rebuilt for comparison: a
+/// `-dirty` revision has no checkout to re-measure, so committing it into a
+/// BENCH_*.json pollutes the trajectory. `allow_dirty` (normally
+/// [`dirty_allowed`]) overrides for local experimentation.
+pub fn check_appendable(entry: &HistoryEntry, allow_dirty: bool) -> Result<(), String> {
+    if entry.git_rev.ends_with("-dirty") && !allow_dirty {
+        return Err(format!(
+            "refusing to append history entry for {}: the working tree has \
+             uncommitted changes, so this point can never be rebuilt for \
+             comparison — commit first, or set {ALLOW_DIRTY_ENV}=1 to \
+             record it anyway",
+            entry.git_rev
+        ));
+    }
+    Ok(())
+}
+
 /// Renders the `"history"` array block (prior entries plus the new one),
 /// indented for the top level of a report object, ending in `,\n`.
-pub fn render_history(prior: &[String], new_entry: &HistoryEntry) -> String {
+/// Refuses (per [`check_appendable`]) to extend the trajectory with a
+/// `-dirty` point unless `allow_dirty` is set.
+pub fn render_history(
+    prior: &[String],
+    new_entry: &HistoryEntry,
+    allow_dirty: bool,
+) -> Result<String, String> {
+    check_appendable(new_entry, allow_dirty)?;
     let mut s = String::from("  \"history\": [\n");
     for e in prior {
         s.push_str("    ");
@@ -245,7 +288,17 @@ pub fn render_history(prior: &[String], new_entry: &HistoryEntry) -> String {
     s.push_str("    ");
     s.push_str(&new_entry.to_json());
     s.push_str("\n  ],\n");
-    s
+    Ok(s)
+}
+
+/// Bin-side wrapper around [`render_history`]: renders the history block,
+/// or exits 2 with the refusal message — the bench emitters' uniform
+/// refuse-don't-pollute behavior. `bin` prefixes the message.
+pub fn render_history_or_die(bin: &str, prior: &[String], entry: &HistoryEntry) -> String {
+    render_history(prior, entry, dirty_allowed()).unwrap_or_else(|e| {
+        eprintln!("{bin}: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Compares two trajectory points measured on the same host: `Ok(ratio)`
@@ -293,11 +346,19 @@ pub fn parallel_ratio(old: &HistoryEntry, new: &HistoryEntry) -> Result<f64, Str
             old.workers, new.workers
         ));
     }
-    let (Some(old_t), Some(new_t)) = (
-        old.parallel_throughput_cycles_per_s(),
-        new.parallel_throughput_cycles_per_s(),
-    ) else {
-        return Err("a run carries no parallel trajectory point".into());
+    let Some(old_t) = old.parallel_throughput_cycles_per_s() else {
+        return Err(format!(
+            "base entry {} carries no parallel trajectory point \
+             (missing parallel_wall_ns)",
+            old.git_rev
+        ));
+    };
+    let Some(new_t) = new.parallel_throughput_cycles_per_s() else {
+        return Err(format!(
+            "head entry {} carries no parallel trajectory point \
+             (missing parallel_wall_ns)",
+            new.git_rev
+        ));
     };
     Ok(new_t as f64 / old_t.max(1) as f64)
 }
@@ -357,7 +418,11 @@ mod tests {
         assert_eq!(parsed, e);
         assert_eq!(parsed.throughput_cycles_per_s(), 123_456_789);
         assert_eq!(parsed.parallel_throughput_cycles_per_s(), None);
-        assert_eq!(parsed.speedup(), None);
+        let err = parsed.speedup().unwrap_err();
+        assert!(
+            err.contains("abc123def456") && err.contains("parallel_wall_ns"),
+            "speedup refusal must name the entry: {err}"
+        );
     }
 
     #[test]
@@ -366,7 +431,7 @@ mod tests {
         let parsed = HistoryEntry::parse(&e.to_json()).unwrap();
         assert_eq!(parsed, e);
         assert_eq!(parsed.parallel_throughput_cycles_per_s(), Some(1_000_000));
-        assert_eq!(parsed.speedup(), Some(2.0));
+        assert_eq!(parsed.speedup(), Ok(2.0));
         // A parallel entry still parses as a valid sequential point.
         assert_eq!(parsed.throughput_cycles_per_s(), 500_000);
     }
@@ -377,7 +442,7 @@ mod tests {
         let e2 = entry(200, 10);
         let report = format!(
             "{{\n  \"scale\": \"Tiny\",\n{}  \"totals\": {{\"x\": 1}}\n}}\n",
-            render_history(&[e1.to_json()], &e2)
+            render_history(&[e1.to_json()], &e2, false).unwrap()
         );
         let prior = prior_entries(&report);
         assert_eq!(prior.len(), 2);
@@ -385,7 +450,10 @@ mod tests {
         assert_eq!(last_entry(&report).unwrap(), e2);
         // Appending a third entry preserves the first two verbatim.
         let e3 = entry(300, 10);
-        let report2 = format!("{{\n{}  \"ok\": true\n}}\n", render_history(&prior, &e3));
+        let report2 = format!(
+            "{{\n{}  \"ok\": true\n}}\n",
+            render_history(&prior, &e3, false).unwrap()
+        );
         assert_eq!(prior_entries(&report2).len(), 3);
         assert_eq!(last_entry(&report2).unwrap(), e3);
     }
@@ -441,11 +509,14 @@ mod tests {
         assert_eq!(p.workers, 2);
         assert_eq!(p.parallel_wall_ns, Some(350));
         assert_eq!(p.spec_commit_fraction, Some(0.25));
-        assert_eq!(p.speedup(), Some(2.0));
+        assert_eq!(p.speedup(), Ok(2.0));
 
         // With a history array present, the last entry wins instead.
         let e2 = entry(42, 7);
-        let with_history = format!("{{\n{}  \"ok\": true\n}}\n", render_history(&[], &e2));
+        let with_history = format!(
+            "{{\n{}  \"ok\": true\n}}\n",
+            render_history(&[], &e2, false).unwrap()
+        );
         assert_eq!(entry_from_report(&with_history).unwrap(), e2);
     }
 
@@ -488,6 +559,48 @@ mod tests {
         let mut other_scale = new.clone();
         other_scale.scale = "Full".into();
         assert!(durable_ratio(&old, &other_scale).is_err());
+    }
+
+    #[test]
+    fn dirty_entries_are_refused_unless_allowed() {
+        let mut dirty = entry(100, 10);
+        dirty.git_rev = "abc123def456-dirty".into();
+
+        let err = check_appendable(&dirty, false).unwrap_err();
+        assert!(
+            err.contains("abc123def456-dirty") && err.contains(ALLOW_DIRTY_ENV),
+            "refusal must name the entry and the override: {err}"
+        );
+        let err = render_history(&[], &dirty, false).unwrap_err();
+        assert!(err.contains("-dirty"), "{err}");
+
+        // The explicit override records the point anyway.
+        check_appendable(&dirty, true).unwrap();
+        let block = render_history(&[], &dirty, true).unwrap();
+        assert!(block.contains("abc123def456-dirty"));
+
+        // Clean entries append regardless.
+        check_appendable(&entry(100, 10), false).unwrap();
+    }
+
+    #[test]
+    fn parallel_ratio_refusal_names_the_entry_without_a_parallel_point() {
+        let good = parallel_entry(1_000_000, 2_000_000_000, 1_000_000_000);
+        let mut bare = good.clone();
+        bare.git_rev = "feedfacecafe".into();
+        bare.parallel_wall_ns = None;
+        bare.spec_commit_fraction = None;
+
+        let err = parallel_ratio(&good, &bare).unwrap_err();
+        assert!(
+            err.contains("feedfacecafe") && err.contains("parallel_wall_ns"),
+            "head refusal must name the entry: {err}"
+        );
+        let err = parallel_ratio(&bare, &good).unwrap_err();
+        assert!(
+            err.contains("feedfacecafe") && err.contains("base"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod history;
 pub mod meta;
 pub mod parallel;
 pub mod parallel_sim;
+pub mod service;
 
 /// One Table 1 row, as measured by a run under Select-PTM.
 #[derive(Debug, Clone)]

@@ -22,6 +22,15 @@
 //! Read-only transactions take the DUMBO fast path regardless of policy:
 //! they wrote nothing, so they append no record and never force.
 //!
+//! Eager-versioning backends (LogTM) put the log in **WAL mode**
+//! ([`DurableLog::set_wal`]): their stores update memory in place, so the
+//! word pre-image ([`LogRecordKind::WordUndo`]) must be durable *before*
+//! the store — each word-undo append is forced, as is the abort record
+//! that voids a retried incarnation's pre-images. Commit records keep the
+//! configured force policy; commit-ness is recovered from the durable
+//! T-State table, so a lost lazy commit record costs an observation, not
+//! data.
+//!
 //! Every record is framed with a 16-byte header and an FNV-1a checksum
 //! trailer ([`ptm_types::rng::Fnv1a64`]), so [`scan_records`] can detect
 //! torn tails and holes left by reordered or torn in-flight appends. The
@@ -39,7 +48,9 @@
 
 use ptm_mem::logdev::{LogAppendError, LogDevConfig, LogDevStats, LogDevice, LogFaultPlan};
 use ptm_types::rng::Fnv1a64;
-use ptm_types::{BlockIdx, Cycle, FastMap, FastSet, PhysBlock, ProcessId, TxId, Vpn, BLOCK_SIZE};
+use ptm_types::{
+    BlockIdx, Cycle, FastMap, FastSet, PhysAddr, PhysBlock, ProcessId, TxId, Vpn, BLOCK_SIZE,
+};
 
 /// Record-frame magic ("PTLG" little-endian).
 pub const RECORD_MAGIC: u32 = 0x474C_5450;
@@ -125,6 +136,9 @@ pub enum LogRecordKind {
     Undo,
     /// Words a commit published from its speculative buffers.
     Redo,
+    /// Pre-image of one word an eager-versioning (LogTM) store updated in
+    /// place — forced before the store lands (WAL mode).
+    WordUndo,
 }
 
 impl LogRecordKind {
@@ -134,6 +148,7 @@ impl LogRecordKind {
             LogRecordKind::Abort => 2,
             LogRecordKind::Undo => 3,
             LogRecordKind::Redo => 4,
+            LogRecordKind::WordUndo => 5,
         }
     }
 
@@ -143,6 +158,7 @@ impl LogRecordKind {
             2 => Some(LogRecordKind::Abort),
             3 => Some(LogRecordKind::Undo),
             4 => Some(LogRecordKind::Redo),
+            5 => Some(LogRecordKind::WordUndo),
             _ => None,
         }
     }
@@ -222,6 +238,26 @@ pub fn decode_undo_payload(bytes: &[u8]) -> Option<UndoPayload> {
         vpn: Vpn(u64::from_le_bytes(bytes[4..12].try_into().ok()?)),
         data: bytes[12..].try_into().ok()?,
     })
+}
+
+/// Encodes a word-undo payload: the physical word address plus its
+/// pre-transaction value.
+pub fn encode_word_undo_payload(pa: PhysAddr, old: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&pa.0.to_le_bytes());
+    out.extend_from_slice(&old.to_le_bytes());
+    out
+}
+
+/// Decodes a word-undo payload; `None` if the payload is malformed.
+pub fn decode_word_undo_payload(bytes: &[u8]) -> Option<(PhysAddr, u32)> {
+    if bytes.len() != 12 {
+        return None;
+    }
+    Some((
+        PhysAddr(u64::from_le_bytes(bytes[0..8].try_into().ok()?)),
+        u32::from_le_bytes(bytes[8..12].try_into().ok()?),
+    ))
 }
 
 /// Encodes a redo payload: the block plus each `(word, value)` published.
@@ -367,10 +403,15 @@ pub struct DurStats {
     pub undo_records: u64,
     /// Redo payloads appended.
     pub redo_records: u64,
+    /// Word pre-images appended by eager-versioning stores (WAL mode).
+    pub word_undo_records: u64,
     /// Read-only commits that skipped the log entirely (DUMBO fast path).
     pub ro_fastpath_commits: u64,
     /// Forces issued by the policy.
     pub policy_forces: u64,
+    /// Forces issued by WAL mode (word-undo and abort appends), on top of
+    /// whatever the commit policy forces.
+    pub wal_forces: u64,
     /// Extra cycles charged to commits (appends, forces, backoff, stall
     /// waits) — the commit-latency cost of durability.
     pub commit_latency_cycles: u64,
@@ -412,6 +453,9 @@ pub struct DurableLog {
     ro_committed: FastSet<TxId>,
     /// Writing commits since the last policy force (group commit).
     commits_since_force: u32,
+    /// Write-ahead mode for eager-versioning backends: word-undo and abort
+    /// appends are forced regardless of the commit policy.
+    wal: bool,
     stats: DurStats,
 }
 
@@ -426,6 +470,7 @@ impl DurableLog {
             undo_sums: FastMap::default(),
             ro_committed: FastSet::default(),
             commits_since_force: 0,
+            wal: false,
             stats: DurStats::default(),
         }
     }
@@ -433,6 +478,17 @@ impl DurableLog {
     /// The active force policy.
     pub fn policy(&self) -> ForcePolicy {
         self.policy
+    }
+
+    /// Switches write-ahead mode on or off (see [`DurableLog::wal`]'s
+    /// field docs). Eager-versioning machines set it before running.
+    pub fn set_wal(&mut self, wal: bool) {
+        self.wal = wal;
+    }
+
+    /// Whether the log runs in write-ahead mode.
+    pub fn wal(&self) -> bool {
+        self.wal
     }
 
     /// Caller-side counters.
@@ -494,6 +550,24 @@ impl DurableLog {
         self.append_retrying(&rec, now)
     }
 
+    /// Appends the pre-image of one word an eager-versioning store is about
+    /// to overwrite in place, and forces it durable — the write-ahead rule:
+    /// memory must never get ahead of the undo record it would take to roll
+    /// the store back, or a crash strands a live transaction's write with
+    /// no way to retire it. Returns the cycles charged to the store.
+    pub fn append_word_undo(&mut self, tx: TxId, pa: PhysAddr, old: u32, now: Cycle) -> Cycle {
+        let rec = encode_record(
+            LogRecordKind::WordUndo,
+            tx,
+            &encode_word_undo_payload(pa, old),
+        );
+        self.stats.word_undo_records += 1;
+        let mut lat = self.append_retrying(&rec, now);
+        self.stats.wal_forces += 1;
+        lat += self.dev.force(now + lat);
+        lat
+    }
+
     /// Appends the redo payload of one committed speculative buffer.
     pub fn append_redo(
         &mut self,
@@ -539,9 +613,9 @@ impl DurableLog {
         lat
     }
 
-    /// Aborts `tx`: appends an abort record (write-behind) if the
-    /// transaction ever wrote, voiding its undo/redo records for the
-    /// scan's reconciliation.
+    /// Aborts `tx`: appends an abort record if the transaction ever wrote,
+    /// voiding its undo/redo records for the scan's reconciliation.
+    /// Write-behind normally; forced in WAL mode.
     pub fn abort_tx(&mut self, tx: TxId, now: Cycle) -> Cycle {
         self.undo_logged.remove(&tx);
         self.undo_sums.remove(&tx);
@@ -550,7 +624,17 @@ impl DurableLog {
         }
         let rec = encode_record(LogRecordKind::Abort, tx, &[]);
         self.stats.abort_records += 1;
-        self.append_retrying(&rec, now)
+        let mut lat = self.append_retrying(&rec, now);
+        if self.wal {
+            // WAL mode: the abort voids the incarnation's word-undo records,
+            // and a retry re-logs fresh pre-images under the same `TxId` —
+            // recovery must never see the new records without the abort that
+            // retired the old ones, so the void is forced like the records
+            // it voids.
+            self.stats.wal_forces += 1;
+            lat += self.dev.force(now + lat);
+        }
+        lat
     }
 
     /// The crash-boundary device image.
@@ -751,6 +835,42 @@ mod tests {
         log.append_undo(TxId(8), block, p.clone(), 0);
         log.append_undo(TxId(8), block, p, 0);
         assert_eq!(log.stats().undo_records, 1);
+    }
+
+    #[test]
+    fn word_undo_payload_round_trips() {
+        let bytes = encode_word_undo_payload(PhysAddr(0xDEAD_BEEF_0123), 42);
+        assert_eq!(
+            decode_word_undo_payload(&bytes),
+            Some((PhysAddr(0xDEAD_BEEF_0123), 42))
+        );
+        assert_eq!(decode_word_undo_payload(&bytes[..7]), None);
+    }
+
+    #[test]
+    fn wal_mode_forces_word_undo_and_abort_appends() {
+        let mut log = DurableLog::new(DurabilityConfig {
+            policy: ForcePolicy::Lazy,
+            ..DurabilityConfig::zero_cost_eager()
+        });
+        log.set_wal(true);
+        log.note_tx_write(TxId(1));
+        log.append_word_undo(TxId(1), PhysAddr(64), 7, 10);
+        log.append_word_undo(TxId(1), PhysAddr(68), 9, 20);
+        log.abort_tx(TxId(1), 30);
+        assert_eq!(log.stats().word_undo_records, 2);
+        assert_eq!(log.stats().abort_records, 1);
+        assert_eq!(log.stats().wal_forces, 3, "every WAL append forces");
+        assert_eq!(log.stats().policy_forces, 0, "lazy policy never forces");
+        let scan = scan_records(&log.crash_image(30).bytes);
+        assert_eq!(
+            scan.records.iter().map(|r| r.kind).collect::<Vec<_>>(),
+            vec![
+                LogRecordKind::WordUndo,
+                LogRecordKind::WordUndo,
+                LogRecordKind::Abort
+            ]
+        );
     }
 
     #[test]

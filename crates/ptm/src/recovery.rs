@@ -80,6 +80,9 @@ pub struct RecoveryStats {
     pub log_undo_records: u64,
     /// Valid redo records found in the log (observation only).
     pub log_redo_records: u64,
+    /// Valid word-undo records found in the log — eager-versioning WAL
+    /// pre-images (observation only).
+    pub log_word_undo_records: u64,
     /// Writing commits the machine performed whose commit record did not
     /// survive in the durable log — zero under eager forcing; lazy/group
     /// trade exactly this for commit latency (observation only).
@@ -116,6 +119,7 @@ impl RecoveryStats {
             log_abort_records: _,
             log_undo_records: _,
             log_redo_records: _,
+            log_word_undo_records: _,
             log_commits_missing: _,
             log_replay_verified: _,
             log_undo_stale: _,
@@ -153,6 +157,7 @@ pub fn recover_log(
             LogRecordKind::Abort => stats.log_abort_records += 1,
             LogRecordKind::Undo => stats.log_undo_records += 1,
             LogRecordKind::Redo => stats.log_redo_records += 1,
+            LogRecordKind::WordUndo => stats.log_word_undo_records += 1,
         }
     }
     image.truncate(scan.valid_len);

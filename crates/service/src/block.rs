@@ -1,0 +1,334 @@
+//! Block compilation and execution: a batch of client transactions
+//! becomes per-shard thread programs, runs on fresh simulator machines,
+//! and folds back into the service's balance table.
+
+use crate::config::{ServiceConfig, Strategy};
+use crate::shard::ShardMap;
+use ptm_sim::{run, run_parallel, Machine, Op, ThreadProgram};
+use ptm_types::{Cycle, FastMap, ProcessId, ThreadId, VirtAddr, BLOCK_SIZE, PAGE_SIZE, WORD_SIZE};
+use ptm_workloads::ClientTx;
+use std::time::Instant;
+
+/// Base virtual address of the ledger words inside a shard machine.
+const DATA_BASE: u64 = 0x10_000;
+
+/// The service's answer for one client transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Receipt {
+    /// Echo of [`ClientTx::id`].
+    pub tx_id: u64,
+    /// The shard that served the request.
+    pub shard: usize,
+    /// What happened.
+    pub status: ReceiptStatus,
+}
+
+/// Outcome of one client transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiptStatus {
+    /// The transfer committed on its shard machine. `seq` is its position
+    /// in the shard's commit order, `at` the simulated commit cycle —
+    /// together they pin the execution schedule, which is what the
+    /// Sequential ≡ Parallel bit-identity check compares.
+    Committed {
+        /// Position in the shard's commit order.
+        seq: u64,
+        /// Simulated commit cycle.
+        at: Cycle,
+    },
+    /// A read-only balance probe answered from the service's balance
+    /// table without entering any shard machine (the frontend's
+    /// read-only fast path).
+    ReadOnly {
+        /// The balance observed as of the previous block boundary.
+        balance: u32,
+    },
+    /// Admission-checked only (the `ValidateOnly` strategy): `ok` is the
+    /// well-formedness verdict, nothing executed.
+    Validated {
+        /// Whether the transaction passed admission checks.
+        ok: bool,
+    },
+}
+
+/// Per-block statistics, one entry of the bench's time series.
+#[derive(Debug, Clone, Default)]
+pub struct BlockStats {
+    /// Client transactions in the block.
+    pub txs: usize,
+    /// Transfers that entered shard machines.
+    pub transfers: usize,
+    /// Read-only probes answered from the balance table.
+    pub read_only_hits: u64,
+    /// Transfers whose `from`/`to` fall in different key ranges (executed
+    /// whole on the `from` owner; see crate docs).
+    pub cross_shard: u64,
+    /// Committed simulator transactions, summed over shards.
+    pub commits: u64,
+    /// Aborted-and-retried simulator transactions, summed over shards.
+    pub aborts: u64,
+    /// Transfers routed to each shard.
+    pub shard_txs: Vec<usize>,
+    /// Load imbalance: max shard load over mean shard load (1.0 = even).
+    pub shard_skew: f64,
+    /// Simulated cycles of the slowest shard machine.
+    pub max_shard_cycles: Cycle,
+    /// Host wall time spent executing the block.
+    pub wall_ns: u64,
+}
+
+impl BlockStats {
+    /// Aborts per attempted simulator transaction.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+}
+
+/// Everything a block execution produces: receipts in client-id order,
+/// stats, and the net ledger deltas to fold into the balance table.
+#[derive(Debug, Clone)]
+pub struct BlockOutcome {
+    /// One receipt per client transaction, sorted by `tx_id`.
+    pub receipts: Vec<Receipt>,
+    /// Execution counters.
+    pub stats: BlockStats,
+    /// Net wrapping delta per touched account, sorted by account.
+    pub deltas: Vec<(u64, u32)>,
+}
+
+/// One shard's compiled programs plus the maps to decode its commit log.
+struct ShardPlan {
+    /// Dense index → account id, in first-touch order.
+    accounts: Vec<u64>,
+    /// Account id → dense index.
+    index: FastMap<u64, usize>,
+    /// Per-thread operation streams.
+    thread_ops: Vec<Vec<Op>>,
+    /// `(thread, begin_pc)` → client tx id, for receipt decoding.
+    tx_of: FastMap<(u32, usize), u64>,
+    /// Transfers routed here.
+    txs: usize,
+}
+
+impl ShardPlan {
+    fn new(threads: usize) -> Self {
+        ShardPlan {
+            accounts: Vec::new(),
+            index: FastMap::default(),
+            thread_ops: vec![Vec::new(); threads],
+            tx_of: FastMap::default(),
+            txs: 0,
+        }
+    }
+
+    /// Dense index of `account`, allocating on first touch.
+    fn index_of(&mut self, account: u64) -> usize {
+        if let Some(&i) = self.index.get(&account) {
+            return i;
+        }
+        let i = self.accounts.len();
+        self.accounts.push(account);
+        self.index.insert(account, i);
+        i
+    }
+}
+
+/// Ledger word address of a dense account index. One account per 64-byte
+/// block, so two accounts never share a conflict-detection unit: all
+/// contention the bench measures is *true* Zipfian contention, not false
+/// sharing from packing.
+fn addr_of(idx: usize) -> VirtAddr {
+    VirtAddr::new(DATA_BASE + (idx * BLOCK_SIZE) as u64)
+}
+
+/// Compiles the transfers of `block` into per-shard thread programs.
+fn compile(cfg: &ServiceConfig, map: &ShardMap, block: &[ClientTx]) -> Vec<ShardPlan> {
+    let mut plans: Vec<ShardPlan> = (0..cfg.shards)
+        .map(|_| ShardPlan::new(cfg.threads_per_shard))
+        .collect();
+    for tx in block.iter().filter(|t| !t.read_only) {
+        let shard = map.owner(tx);
+        let plan = &mut plans[shard];
+        let from = plan.index_of(tx.from);
+        let to = plan.index_of(tx.to);
+        // Round-robin transfers over the shard's cores.
+        let thread = plan.txs % cfg.threads_per_shard;
+        plan.txs += 1;
+        let ops = &mut plan.thread_ops[thread];
+        let begin_pc = ops.len();
+        plan.tx_of.insert((thread as u32, begin_pc), tx.id);
+        ops.push(Op::Begin {
+            ordered: None,
+            // Lock word for the lock-based execution mode: stripe by the
+            // debited account so independent transfers don't serialize.
+            lock: VirtAddr::new(((from % 1024) * WORD_SIZE) as u64),
+        });
+        ops.push(Op::Rmw(addr_of(from), -(tx.amount as i32)));
+        ops.push(Op::Rmw(addr_of(to), tx.amount as i32));
+        ops.push(Op::End);
+    }
+    plans
+}
+
+/// Runs one compiled shard and decodes its commit log into receipts.
+fn run_shard(
+    cfg: &ServiceConfig,
+    shard: usize,
+    plan: &ShardPlan,
+    parallel: bool,
+) -> (Vec<Receipt>, u64, u64, Cycle, Vec<(u64, u32)>) {
+    let programs: Vec<ThreadProgram> = plan
+        .thread_ops
+        .iter()
+        .enumerate()
+        .map(|(t, ops)| ThreadProgram::new(ProcessId(0), ThreadId(t as u32), ops.clone()))
+        .collect();
+    let mut mcfg = cfg.machine;
+    // Ledger pages actually touched, plus generous room for backend
+    // metadata (shadow blocks, TAV nodes). Sizing frames to the block's
+    // footprint instead of the account space is what lets the service
+    // front a multi-million-account ledger with tiny shard machines.
+    let data_pages = (plan.accounts.len() * BLOCK_SIZE).div_ceil(PAGE_SIZE);
+    mcfg.mem_frames = (data_pages * 4 + 64).max(128);
+    let machine: Machine = if parallel {
+        run_parallel(mcfg, cfg.kind, programs, &cfg.exec).0
+    } else {
+        run(mcfg, cfg.kind, programs)
+    };
+    let stats = machine.stats();
+    let mut receipts = Vec::with_capacity(plan.txs);
+    for (seq, c) in stats.commit_log.iter().enumerate() {
+        let id = *plan
+            .tx_of
+            .get(&(c.thread.0, c.begin_pc))
+            .expect("every committed tx was compiled from a client tx");
+        receipts.push(Receipt {
+            tx_id: id,
+            shard,
+            status: ReceiptStatus::Committed {
+                seq: seq as u64,
+                at: c.at,
+            },
+        });
+    }
+    let deltas: Vec<(u64, u32)> = plan
+        .accounts
+        .iter()
+        .enumerate()
+        .map(|(i, &acct)| (acct, machine.read_committed(ProcessId(0), addr_of(i))))
+        .filter(|&(_, d)| d != 0)
+        .collect();
+    (receipts, stats.commits, stats.aborts, stats.cycles, deltas)
+}
+
+/// Executes one block of client transactions against `balances` (the
+/// state as of the previous block boundary) and returns receipts, stats
+/// and the ledger deltas to fold forward.
+///
+/// This is the synchronous core the ingest loop, the tests and the bench
+/// all share; it is a pure function of `(cfg, block, balances)` except
+/// for the `wall_ns` stat.
+pub fn run_block(
+    cfg: &ServiceConfig,
+    block: &[ClientTx],
+    balances: &FastMap<u64, u32>,
+) -> BlockOutcome {
+    let start = Instant::now();
+    let map = ShardMap::new(cfg.shards, cfg.accounts);
+    let mut stats = BlockStats {
+        txs: block.len(),
+        shard_txs: vec![0; cfg.shards],
+        ..BlockStats::default()
+    };
+    let mut receipts = Vec::with_capacity(block.len());
+
+    // Read-only fast path: answered from the balance table, never
+    // compiled into a shard machine.
+    for tx in block {
+        if tx.read_only {
+            stats.read_only_hits += 1;
+            receipts.push(Receipt {
+                tx_id: tx.id,
+                shard: map.owner(tx),
+                status: ReceiptStatus::ReadOnly {
+                    balance: balances.get(&tx.from).copied().unwrap_or(0),
+                },
+            });
+        } else {
+            stats.transfers += 1;
+            stats.shard_txs[map.owner(tx)] += 1;
+            if map.is_cross_shard(tx) {
+                stats.cross_shard += 1;
+            }
+        }
+    }
+
+    let mut deltas: Vec<(u64, u32)> = Vec::new();
+    match cfg.strategy {
+        Strategy::ValidateOnly => {
+            for tx in block.iter().filter(|t| !t.read_only) {
+                let ok = tx.from < cfg.accounts
+                    && tx.to < cfg.accounts
+                    && tx.from != tx.to
+                    && tx.amount > 0;
+                receipts.push(Receipt {
+                    tx_id: tx.id,
+                    shard: map.owner(tx),
+                    status: ReceiptStatus::Validated { ok },
+                });
+            }
+        }
+        Strategy::Sequential | Strategy::Parallel => {
+            let parallel = matches!(cfg.strategy, Strategy::Parallel);
+            let plans = compile(cfg, &map, block);
+            let mut fold: FastMap<u64, u32> = FastMap::default();
+            for (shard, plan) in plans.iter().enumerate() {
+                if plan.txs == 0 {
+                    continue;
+                }
+                let (rs, commits, aborts, cycles, ds) = run_shard(cfg, shard, plan, parallel);
+                receipts.extend(rs);
+                stats.commits += commits;
+                stats.aborts += aborts;
+                stats.max_shard_cycles = stats.max_shard_cycles.max(cycles);
+                for (acct, d) in ds {
+                    let e = fold.entry(acct).or_insert(0);
+                    *e = e.wrapping_add(d);
+                }
+            }
+            deltas = fold.into_iter().collect();
+            deltas.sort_unstable();
+        }
+    }
+
+    let loaded: Vec<usize> = stats.shard_txs.iter().copied().filter(|&t| t > 0).collect();
+    stats.shard_skew = if loaded.is_empty() {
+        0.0
+    } else {
+        let max = *loaded.iter().max().expect("non-empty") as f64;
+        let mean = stats.transfers as f64 / cfg.shards as f64;
+        max / mean
+    };
+
+    receipts.sort_unstable_by_key(|r| r.tx_id);
+    stats.wall_ns = start.elapsed().as_nanos() as u64;
+    BlockOutcome {
+        receipts,
+        stats,
+        deltas,
+    }
+}
+
+/// Folds a block's deltas into the balance table (wrapping ledger
+/// arithmetic, matching the simulator's 32-bit words).
+pub fn fold_deltas(balances: &mut FastMap<u64, u32>, deltas: &[(u64, u32)]) {
+    for &(acct, d) in deltas {
+        let e = balances.entry(acct).or_insert(0);
+        *e = e.wrapping_add(d);
+    }
+}

@@ -1,0 +1,81 @@
+//! Service tuning knobs.
+
+use ptm_sim::{ExecutorConfig, MachineConfig, SystemKind};
+use std::time::Duration;
+
+/// How a block's shard machines are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// `Machine::run`: the deterministic sequential core loop.
+    Sequential,
+    /// `Machine::run_parallel`: the speculative epoch executor,
+    /// bit-identical results to `Sequential` by construction — the
+    /// service bench asserts this on every cell.
+    Parallel,
+    /// Admission checks only; nothing executes and no state changes.
+    /// Useful to measure frontend overhead and as a dry-run mode.
+    ValidateOnly,
+}
+
+impl Strategy {
+    /// Stable label for stats and bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Sequential => "sequential",
+            Strategy::Parallel => "parallel",
+            Strategy::ValidateOnly => "validate-only",
+        }
+    }
+}
+
+/// Frontend configuration: account space, sharding, execution strategy
+/// and admission knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Size of the account space (ids `0..accounts`).
+    pub accounts: u64,
+    /// Independent shard machines; accounts partition by key range.
+    pub shards: usize,
+    /// Simulated cores per shard machine.
+    pub threads_per_shard: usize,
+    /// Backend each shard machine runs (default: the paper's PTM-Select).
+    pub kind: SystemKind,
+    /// Execution strategy for shard machines.
+    pub strategy: Strategy,
+    /// Epoch-executor knobs, used by [`Strategy::Parallel`].
+    pub exec: ExecutorConfig,
+    /// Shard machine template; `mem_frames` is resized per block.
+    pub machine: MachineConfig,
+    /// Admission: a block is sealed as soon as it holds this many
+    /// transactions.
+    pub max_batch: usize,
+    /// Admission: a non-empty partial block is sealed after waiting this
+    /// long for more arrivals.
+    pub batch_deadline: Duration,
+}
+
+impl ServiceConfig {
+    /// Defaults for an `accounts`-sized ledger over `shards` shards.
+    pub fn new(accounts: u64, shards: usize) -> Self {
+        ServiceConfig {
+            accounts,
+            shards,
+            threads_per_shard: 4,
+            kind: SystemKind::SelectPtm(Default::default()),
+            strategy: Strategy::Sequential,
+            exec: ExecutorConfig {
+                threads: 2,
+                epoch_cycles: ExecutorConfig::DEFAULT_EPOCH_CYCLES,
+            },
+            machine: MachineConfig::default(),
+            max_batch: 256,
+            batch_deadline: Duration::from_millis(5),
+        }
+    }
+
+    /// Same config with a different strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}

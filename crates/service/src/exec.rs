@@ -1,0 +1,97 @@
+//! The executor abstraction: one object per [`Strategy`], all driving the
+//! shared block core in [`crate::block`].
+
+use crate::block::{run_block, BlockOutcome};
+use crate::config::{ServiceConfig, Strategy};
+use ptm_types::FastMap;
+use ptm_workloads::ClientTx;
+
+/// Executes one sealed block of client transactions.
+///
+/// Implementations must be pure functions of `(cfg, block, balances)` up
+/// to wall-clock stats: given the same inputs, the receipts and deltas
+/// must be bit-identical. The service bench leans on this to assert
+/// `Sequential` ≡ `Parallel`.
+pub trait TxExecutor: Send + Sync {
+    /// Stable label for stats and bench output.
+    fn label(&self) -> &'static str;
+
+    /// Runs the block against the balance table as of the previous block
+    /// boundary.
+    fn execute(
+        &self,
+        cfg: &ServiceConfig,
+        block: &[ClientTx],
+        balances: &FastMap<u64, u32>,
+    ) -> BlockOutcome;
+}
+
+/// [`Strategy::Sequential`]: shard machines run on the deterministic
+/// sequential core loop.
+pub struct SequentialExec;
+
+/// [`Strategy::Parallel`]: shard machines run on the speculative epoch
+/// executor (Block-STM-style), bit-identical to [`SequentialExec`].
+pub struct ParallelExec;
+
+/// [`Strategy::ValidateOnly`]: admission checks only.
+pub struct ValidateOnlyExec;
+
+impl TxExecutor for SequentialExec {
+    fn label(&self) -> &'static str {
+        Strategy::Sequential.label()
+    }
+
+    fn execute(
+        &self,
+        cfg: &ServiceConfig,
+        block: &[ClientTx],
+        balances: &FastMap<u64, u32>,
+    ) -> BlockOutcome {
+        let cfg = cfg.with_strategy(Strategy::Sequential);
+        run_block(&cfg, block, balances)
+    }
+}
+
+impl TxExecutor for ParallelExec {
+    fn label(&self) -> &'static str {
+        Strategy::Parallel.label()
+    }
+
+    fn execute(
+        &self,
+        cfg: &ServiceConfig,
+        block: &[ClientTx],
+        balances: &FastMap<u64, u32>,
+    ) -> BlockOutcome {
+        let cfg = cfg.with_strategy(Strategy::Parallel);
+        run_block(&cfg, block, balances)
+    }
+}
+
+impl TxExecutor for ValidateOnlyExec {
+    fn label(&self) -> &'static str {
+        Strategy::ValidateOnly.label()
+    }
+
+    fn execute(
+        &self,
+        cfg: &ServiceConfig,
+        block: &[ClientTx],
+        balances: &FastMap<u64, u32>,
+    ) -> BlockOutcome {
+        let cfg = cfg.with_strategy(Strategy::ValidateOnly);
+        run_block(&cfg, block, balances)
+    }
+}
+
+impl Strategy {
+    /// The executor object for this strategy.
+    pub fn executor(&self) -> &'static dyn TxExecutor {
+        match self {
+            Strategy::Sequential => &SequentialExec,
+            Strategy::Parallel => &ParallelExec,
+            Strategy::ValidateOnly => &ValidateOnlyExec,
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The ingest loop: a worker thread that accepts a stream of client
+//! transactions, seals them into blocks under the admission knobs, and
+//! executes each block through the configured strategy.
+//!
+//! Admission seals a block when either trigger fires:
+//! - **size**: the batch reaches [`ServiceConfig::max_batch`], or
+//! - **deadline**: the batch is non-empty and no new transaction arrived
+//!   within [`ServiceConfig::batch_deadline`].
+//!
+//! Shutdown (dropping the submit side) flushes the final partial block,
+//! so every accepted transaction gets a receipt.
+
+use crate::block::{fold_deltas, BlockOutcome};
+use crate::config::ServiceConfig;
+use ptm_types::FastMap;
+use ptm_workloads::ClientTx;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::thread::{self, JoinHandle};
+
+/// Totals accumulated over a service's lifetime, returned by
+/// [`Service::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceReport {
+    /// Blocks executed.
+    pub blocks: u64,
+    /// Client transactions served (receipts issued).
+    pub txs: u64,
+    /// Committed simulator transactions across all blocks and shards.
+    pub commits: u64,
+    /// Aborted-and-retried simulator transactions.
+    pub aborts: u64,
+    /// Read-only probes answered on the fast path.
+    pub read_only_hits: u64,
+    /// Final non-zero balances, sorted by account.
+    pub balances: Vec<(u64, u32)>,
+}
+
+/// A running PTM-as-a-service frontend.
+///
+/// Submissions are accepted from any thread holding the handle; sealed
+/// block outcomes stream back in order on [`Service::outcomes`].
+pub struct Service {
+    submit: Option<Sender<ClientTx>>,
+    outcomes: Receiver<BlockOutcome>,
+    worker: Option<JoinHandle<ServiceReport>>,
+}
+
+impl Service {
+    /// Starts the ingest worker.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let (submit, rx) = mpsc::channel::<ClientTx>();
+        let (out_tx, outcomes) = mpsc::channel::<BlockOutcome>();
+        let worker = thread::spawn(move || ingest_loop(cfg, rx, out_tx));
+        Service {
+            submit: Some(submit),
+            outcomes,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submits one client transaction. Returns `false` if the service
+    /// has already shut down.
+    pub fn submit(&self, tx: ClientTx) -> bool {
+        match &self.submit {
+            Some(s) => s.send(tx).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Block outcomes, in execution order.
+    pub fn outcomes(&self) -> &Receiver<BlockOutcome> {
+        &self.outcomes
+    }
+
+    /// Closes the submit side, flushes the final partial block, joins the
+    /// worker and returns lifetime totals. Unread outcomes remain
+    /// readable on [`Service::outcomes`] until `self` drops.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.submit.take();
+        self.worker
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("ingest worker must not panic")
+    }
+}
+
+fn ingest_loop(
+    cfg: ServiceConfig,
+    rx: Receiver<ClientTx>,
+    out: Sender<BlockOutcome>,
+) -> ServiceReport {
+    let executor = cfg.strategy.executor();
+    let mut balances: FastMap<u64, u32> = FastMap::default();
+    let mut report = ServiceReport::default();
+    let mut batch: Vec<ClientTx> = Vec::with_capacity(cfg.max_batch);
+    let mut open = true;
+
+    let flush = |batch: &mut Vec<ClientTx>,
+                 balances: &mut FastMap<u64, u32>,
+                 report: &mut ServiceReport| {
+        if batch.is_empty() {
+            return;
+        }
+        let outcome = executor.execute(&cfg, batch, balances);
+        fold_deltas(balances, &outcome.deltas);
+        report.blocks += 1;
+        report.txs += outcome.stats.txs as u64;
+        report.commits += outcome.stats.commits;
+        report.aborts += outcome.stats.aborts;
+        report.read_only_hits += outcome.stats.read_only_hits;
+        // The receiver side may have been dropped (caller only wants the
+        // final report); executing is still required for the balances.
+        let _ = out.send(outcome);
+        batch.clear();
+    };
+
+    while open {
+        // Fill greedily from whatever is already queued, then wait out
+        // the deadline for stragglers.
+        loop {
+            match rx.try_recv() {
+                Ok(tx) => {
+                    batch.push(tx);
+                    if batch.len() >= cfg.max_batch {
+                        break;
+                    }
+                }
+                Err(TryRecvError::Empty) => {
+                    if batch.len() >= cfg.max_batch {
+                        break;
+                    }
+                    match rx.recv_timeout(cfg.batch_deadline) {
+                        Ok(tx) => {
+                            batch.push(tx);
+                            if batch.len() >= cfg.max_batch {
+                                break;
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            open = false;
+                            break;
+                        }
+                    }
+                }
+                Err(TryRecvError::Disconnected) => {
+                    open = false;
+                    break;
+                }
+            }
+        }
+        flush(&mut batch, &mut balances, &mut report);
+    }
+
+    let mut balances: Vec<(u64, u32)> = balances.into_iter().filter(|&(_, b)| b != 0).collect();
+    balances.sort_unstable();
+    report.balances = balances;
+    report
+}

@@ -1,0 +1,108 @@
+//! Key-range sharding of the account space.
+
+use ptm_workloads::ClientTx;
+
+/// Partitions accounts `0..accounts` into `shards` contiguous key ranges
+/// of near-equal width.
+///
+/// Routing is a **pure function of the key**: `shard_of` reads nothing but
+/// its arguments and the two immutable fields, so the same account always
+/// lands on the same shard — within a block, across blocks, and across
+/// service restarts. The map is also monotone (`a <= b` implies
+/// `shard_of(a) <= shard_of(b)`), which is what makes the ranges
+/// contiguous.
+///
+/// A transaction that touches accounts in two different ranges is a
+/// *cross-shard* transaction. It is routed whole to the **owner shard of
+/// its debited account** (`from`); see the crate docs for the consistency
+/// limitation this implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    accounts: u64,
+}
+
+impl ShardMap {
+    /// A map over `0..accounts` split into `shards` ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero or there are fewer accounts than
+    /// shards (an empty shard would make skew metrics meaningless).
+    pub fn new(shards: usize, accounts: u64) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            accounts >= shards as u64,
+            "need at least one account per shard ({accounts} accounts, {shards} shards)"
+        );
+        ShardMap { shards, accounts }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Size of the account space.
+    pub fn accounts(&self) -> u64 {
+        self.accounts
+    }
+
+    /// The shard owning `account`. Pure and total over `0..accounts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `account` is out of range.
+    pub fn shard_of(&self, account: u64) -> usize {
+        assert!(
+            account < self.accounts,
+            "account {account} out of range 0..{}",
+            self.accounts
+        );
+        // Widening to u128 keeps the product exact for any u64 account
+        // space; the result is < shards by construction.
+        ((account as u128 * self.shards as u128) / self.accounts as u128) as usize
+    }
+
+    /// The shard a client transaction executes on: the owner of its
+    /// debited (or probed) account.
+    pub fn owner(&self, tx: &ClientTx) -> usize {
+        self.shard_of(tx.from)
+    }
+
+    /// Whether a transfer spans two shards' key ranges.
+    pub fn is_cross_shard(&self, tx: &ClientTx) -> bool {
+        !tx.read_only && self.shard_of(tx.from) != self.shard_of(tx.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_shards_and_respects_bounds() {
+        let map = ShardMap::new(4, 1000);
+        assert_eq!(map.shard_of(0), 0);
+        assert_eq!(map.shard_of(999), 3);
+        let mut seen = [false; 4];
+        for a in 0..1000 {
+            seen[map.shard_of(a)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let map = ShardMap::new(1, 17);
+        for a in 0..17 {
+            assert_eq!(map.shard_of(a), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_account_is_refused() {
+        ShardMap::new(2, 10).shard_of(10);
+    }
+}

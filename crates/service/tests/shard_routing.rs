@@ -1,0 +1,81 @@
+//! Property tests for shard routing: the route must be a pure, total,
+//! monotone function of the account key, independent of everything else
+//! the service does.
+
+use proptest::prelude::*;
+use ptm_service::ShardMap;
+use ptm_workloads::ClientTx;
+
+proptest! {
+    /// Routing is pure: only `(shards, accounts, account)` determine the
+    /// shard — rebuilding the map or re-asking gives the same answer —
+    /// and the answer is always in range.
+    #[test]
+    fn routing_is_a_pure_in_range_function_of_the_key(
+        shards in 1usize..=8,
+        extra in 0u64..2_000_000,
+        account_frac in 0.0f64..1.0,
+    ) {
+        let accounts = shards as u64 + extra;
+        let account = ((accounts as f64 * account_frac) as u64).min(accounts - 1);
+        let map = ShardMap::new(shards, accounts);
+        let s = map.shard_of(account);
+        prop_assert!(s < shards);
+        prop_assert_eq!(s, map.shard_of(account));
+        prop_assert_eq!(s, ShardMap::new(shards, accounts).shard_of(account));
+    }
+
+    /// Key ranges are contiguous: routing is monotone in the account id,
+    /// and the extreme keys land on the extreme shards.
+    #[test]
+    fn routing_is_monotone_with_full_coverage(
+        shards in 1usize..=8,
+        extra in 0u64..100_000,
+        a in 0u64..100_000,
+        b in 0u64..100_000,
+    ) {
+        let accounts = shards as u64 + extra;
+        let (a, b) = (a % accounts, b % accounts);
+        let map = ShardMap::new(shards, accounts);
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(map.shard_of(lo) <= map.shard_of(hi));
+        prop_assert_eq!(map.shard_of(0), 0);
+        prop_assert_eq!(map.shard_of(accounts - 1), shards - 1);
+    }
+
+    /// A transaction's owner is exactly the route of its debited account,
+    /// for transfers and read-only probes alike.
+    #[test]
+    fn owner_follows_the_debited_account(
+        shards in 1usize..=8,
+        extra in 0u64..1_000_000,
+        from in 0u64..1_000_000,
+        to in 0u64..1_000_000,
+        read_only in any::<bool>(),
+    ) {
+        let accounts = shards as u64 + extra;
+        let (from, to) = (from % accounts, to % accounts);
+        let map = ShardMap::new(shards, accounts);
+        let tx = ClientTx { id: 1, from, to, amount: 5, read_only };
+        prop_assert_eq!(map.owner(&tx), map.shard_of(from));
+        // Cross-shard classification agrees with the two routes.
+        let cross = !read_only && map.shard_of(from) != map.shard_of(to);
+        prop_assert_eq!(map.is_cross_shard(&tx), cross);
+    }
+
+    /// Load balance of the ranges themselves: with `accounts` divisible
+    /// by `shards`, every shard owns exactly `accounts / shards` keys.
+    #[test]
+    fn even_spaces_split_evenly(
+        shards in 1usize..=8,
+        per_shard in 1u64..512,
+    ) {
+        let accounts = per_shard * shards as u64;
+        let map = ShardMap::new(shards, accounts);
+        let mut counts = vec![0u64; shards];
+        for a in 0..accounts {
+            counts[map.shard_of(a)] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == per_shard), "{:?}", counts);
+    }
+}

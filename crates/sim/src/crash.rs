@@ -30,7 +30,8 @@ use crate::program::ThreadProgram;
 use crate::reference::{crash_reference, Mismatch};
 use crate::stats::CommittedTx;
 use ptm_core::durability::{
-    decode_undo_payload, undo_payload_checksum, DurStats, LogRecord, LogRecordKind,
+    decode_undo_payload, decode_word_undo_payload, undo_payload_checksum, DurStats, LogRecord,
+    LogRecordKind,
 };
 use ptm_core::recovery::{self, RecoveryStats};
 use ptm_mem::{LogImage, PhysicalMemory};
@@ -196,6 +197,16 @@ impl Machine {
         } else {
             None
         };
+        if self.durable.is_some() {
+            if let Backend::LogTm(l) = &mut backend {
+                // With a unified durable log attached, LogTM's software
+                // undo log is ordinary DRAM and does not survive the
+                // crash; recovery replays the device's forced word-undo
+                // records instead. (The T-State table stays: transaction
+                // status is write-through metadata, as for PTM.)
+                l.drop_logs();
+            }
+        }
 
         let (log, dur, ro_commits, undo_sums) = match &self.durable {
             Some(d) => (
@@ -226,31 +237,53 @@ impl Machine {
 }
 
 impl CrashImage {
-    /// Runs the backend's recovery pass in place, discarding every
-    /// transaction that was live at the crash, then — when a durable log
-    /// image was captured — replays the log: scans it, truncates the torn
-    /// tail, and reconciles its records against the commit log and the
-    /// recovered memory. Idempotent: a second call reports
-    /// [`RecoveryStats::is_noop`] (the first pass repaired the log image,
-    /// and no transaction is live anymore).
+    /// Recovers the image in place: scans the durable log (when one was
+    /// captured), truncating its torn tail; runs the backend's recovery
+    /// pass, discarding every transaction that was live at the crash — for
+    /// durable LogTM machines that pass *replays the log's word-undo
+    /// records*, the single unified log standing in for the volatile
+    /// software undo logs; and finally reconciles the log records against
+    /// the commit log and the recovered memory. Idempotent: a second call
+    /// reports [`RecoveryStats::is_noop`] (the first pass repaired the log
+    /// image, and no transaction is live anymore).
     ///
-    /// For LogTM, `blocks_restored` counts undo-log words rolled back; VTM
+    /// For LogTM, `blocks_restored` counts undo words rolled back; VTM
     /// discards speculative XADT blocks without restoring anything, so it
     /// reports only `transactions_discarded`.
     pub fn recover(&mut self) -> RecoveryStats {
-        // Capture the live set before the backend pass discards it: the
-        // undo-replay verification below applies exactly to transactions
-        // that were still live at the crash.
+        // Capture the live set before the backend pass discards it: log
+        // reconciliation and the unified word-undo replay below apply
+        // exactly to transactions that were still live at the crash.
         let live: Vec<TxId> = match &self.backend {
             Backend::Ptm(p) => p.tstate().live_transactions(),
+            Backend::LogTm(l) => l.tstate().live_transactions(),
             _ => Vec::new(),
         };
-        let mut stats = match &mut self.backend {
+        // Scan and truncate the device log up front: LogTM's unified
+        // recovery consumes its word-undo records in place of the volatile
+        // software log the crash destroyed.
+        let mut stats = RecoveryStats::default();
+        let records = match &mut self.log {
+            Some(img) => recovery::recover_log(img, &mut stats),
+            None => Vec::new(),
+        };
+        let backend_pass = match &mut self.backend {
             Backend::Ptm(p) => recovery::recover(p, &mut self.mem, &mut self.kernel.swap),
             Backend::Vtm(v) => {
                 let (discarded, _released) = v.recover();
                 RecoveryStats {
                     transactions_discarded: discarded,
+                    ..Default::default()
+                }
+            }
+            Backend::LogTm(l) if self.log.is_some() => {
+                // Unified durable log: one reverse replay of the forced
+                // word-undo records does exactly what the lost software
+                // undo logs would have.
+                let restored = replay_word_undo(&records, &live, &mut self.mem);
+                RecoveryStats {
+                    transactions_discarded: l.discard_live(),
+                    blocks_restored: restored,
                     ..Default::default()
                 }
             }
@@ -264,10 +297,11 @@ impl CrashImage {
             }
             Backend::Serial | Backend::Locks(_) => RecoveryStats::default(),
         };
-        let records = match &mut self.log {
-            Some(img) => recovery::recover_log(img, &mut stats),
-            None => Vec::new(),
-        };
+        stats.transactions_discarded += backend_pass.transactions_discarded;
+        stats.blocks_restored += backend_pass.blocks_restored;
+        stats.torn_nodes_repaired += backend_pass.torn_nodes_repaired;
+        stats.shadow_pages_freed += backend_pass.shadow_pages_freed;
+        stats.tav_nodes_freed += backend_pass.tav_nodes_freed;
         if self.log.is_some() {
             self.reconcile_log(&records, &live, &mut stats);
         }
@@ -414,4 +448,39 @@ impl CrashImage {
             mismatches.first()
         );
     }
+}
+
+/// Replays the unified durable log's word-undo records for the
+/// transactions live at the crash: the same backward walk LogTM's software
+/// abort handler performs, driven by the device log instead of the (lost)
+/// DRAM structures. A forward pass first drops records a commit or abort
+/// record retired — a retried `TxId`'s earlier incarnation; the abort was
+/// *forced* after that incarnation's last word-undo, so it always sits in
+/// the log's valid prefix ahead of any later incarnation's records.
+/// Surviving records are restored in global reverse order, undoing the
+/// interleaved in-place stores youngest-first. Returns words restored.
+fn replay_word_undo(records: &[LogRecord], live: &[TxId], mem: &mut PhysicalMemory) -> u64 {
+    let live: HashSet<TxId> = live.iter().copied().collect();
+    let mut current: FastMap<TxId, Vec<usize>> = FastMap::default();
+    for (i, r) in records.iter().enumerate() {
+        match r.kind {
+            LogRecordKind::WordUndo if live.contains(&r.tx) => {
+                current.entry(r.tx).or_default().push(i);
+            }
+            LogRecordKind::Commit | LogRecordKind::Abort => {
+                current.remove(&r.tx);
+            }
+            _ => {}
+        }
+    }
+    let mut idxs: Vec<usize> = current.into_values().flatten().collect();
+    idxs.sort_unstable();
+    let mut restored = 0u64;
+    for i in idxs.into_iter().rev() {
+        if let Some((pa, old)) = decode_word_undo_payload(&records[i].payload) {
+            mem.write_word(pa, old);
+            restored += 1;
+        }
+    }
+    restored
 }

@@ -336,11 +336,14 @@ impl LogTmSystem {
         t
     }
 
-    /// Crash recovery: discard every live transaction without any timing
-    /// model — walk each undo log backwards restoring old values (the logs
-    /// are durable software structures), drop sticky and stalling state.
+    /// Crash recovery for machines *without* a unified durable log: discard
+    /// every live transaction without any timing model — walk each undo log
+    /// backwards restoring old values (the logs are assumed durable
+    /// software structures in that mode), drop sticky and stalling state.
     /// Returns `(transactions discarded, words restored)`. Idempotent: a
-    /// second call finds no live transactions and does nothing.
+    /// second call finds no live transactions and does nothing. Durable
+    /// machines replay the device log's word-undo records and call
+    /// [`LogTmSystem::discard_live`] instead.
     pub fn recover(&mut self, mem: &mut PhysicalMemory) -> (u64, u64) {
         let mut live = self.tstate.live_transactions();
         live.sort();
@@ -358,6 +361,32 @@ impl LogTmSystem {
             self.stats.aborts += 1;
         }
         (live.len() as u64, restored)
+    }
+
+    /// Drops the in-DRAM undo logs. A machine running with a unified
+    /// durable log calls this when capturing a crash image: the software
+    /// log is ordinary volatile memory there, and recovery replays the
+    /// device log's word-undo records instead ([`crate::crash`]).
+    pub fn drop_logs(&mut self) {
+        self.logs.clear();
+    }
+
+    /// Discards every live transaction *without* touching memory — the
+    /// unified durable log's word-undo replay already rolled their stores
+    /// back. Drops log, sticky and stalling state and marks each
+    /// transaction aborted. Returns the count discarded. Idempotent: a
+    /// second call finds no live transactions.
+    pub fn discard_live(&mut self) -> u64 {
+        let mut live = self.tstate.live_transactions();
+        live.sort();
+        for tx in &live {
+            self.logs.remove(tx);
+            self.sticky.release(*tx);
+            self.stalling.remove(tx);
+            self.tstate.set_status(*tx, TxStatus::Aborted);
+            self.stats.aborts += 1;
+        }
+        live.len() as u64
     }
 }
 

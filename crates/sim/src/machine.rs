@@ -276,7 +276,15 @@ impl Machine {
     /// append records (and force per the policy), dirty overflows append
     /// undo pre-images, and crash images capture the device state.
     pub fn enable_durability(&mut self, cfg: DurabilityConfig) {
-        self.durable = Some(DurableLog::new(cfg));
+        let mut log = DurableLog::new(cfg);
+        // LogTM's eager in-place stores make the durable log a write-ahead
+        // log: word pre-images (and the abort records that void them) are
+        // forced regardless of the commit-record policy, and recovery
+        // replays them in place of the volatile software undo log.
+        if matches!(self.backend, Backend::LogTm(_)) {
+            log.set_wal(true);
+        }
+        self.durable = Some(log);
     }
 
     /// Caller-side durability counters, when a durable log is attached.
@@ -865,7 +873,7 @@ impl Machine {
                         WriteVal::Const(v) => v,
                         WriteVal::Delta(d) => old.wrapping_add(d as u32),
                     };
-                    self.write_word_functional(tx, pid, va, pa, value);
+                    let wal_latency = self.write_word_functional(tx, pid, va, pa, value, now);
                     if let (Some(d), Some(tx)) = (self.durable.as_mut(), tx) {
                         d.note_tx_write(tx);
                     }
@@ -878,9 +886,14 @@ impl Machine {
                             .note_write(pa.block(), pa.word_in_block(), idx, value);
                     }
                     self.note_page_touch(idx, pid, va.vpn(), tx.is_some());
-                } else {
-                    self.note_page_touch(idx, pid, va.vpn(), false);
+                    self.stats.mem_ops += 1;
+                    self.cores[idx].prog.advance();
+                    // WAL latency: eager-versioning stores wait for their
+                    // word pre-image to be forced durable.
+                    self.cores[idx].ready_at = now + (latency + wal_latency).max(1);
+                    return;
                 }
+                self.note_page_touch(idx, pid, va.vpn(), false);
                 self.stats.mem_ops += 1;
                 self.cores[idx].prog.advance();
                 self.cores[idx].ready_at = now + latency.max(1);
@@ -1855,6 +1868,8 @@ impl Machine {
         }
     }
 
+    /// Returns the extra cycles the store owes the core — non-zero only for
+    /// WAL-forced word-undo appends on durable eager-versioning machines.
     fn write_word_functional(
         &mut self,
         tx: Option<TxId>,
@@ -1862,7 +1877,8 @@ impl Machine {
         va: VirtAddr,
         pa: PhysAddr,
         value: u32,
-    ) {
+        now: Cycle,
+    ) -> Cycle {
         let block = pa.block();
         let word = pa.word_in_block();
         if let Some(w) = trace_word() {
@@ -1874,12 +1890,21 @@ impl Machine {
             }
         }
         if let Some(tx) = tx {
-            if let Backend::LogTm(l) = &mut self.backend {
+            if matches!(self.backend, Backend::LogTm(_)) {
                 // Eager versioning: log the old value, update in place.
+                // With a durable log attached, the pre-image is write-ahead
+                // logged and forced first — memory must never get ahead of
+                // the undo record it takes to roll this store back.
                 let old = self.mem.read_word(pa);
-                l.log_write(tx, pa, old);
+                let wal_latency = match self.durable.as_mut() {
+                    Some(d) => d.append_word_undo(tx, pa, old, now),
+                    None => 0,
+                };
+                if let Backend::LogTm(l) = &mut self.backend {
+                    l.log_write(tx, pa, old);
+                }
                 self.mem.write_word(pa, value);
-                return;
+                return wal_latency;
             }
             let snapshot = if self.spec.has(tx, block) {
                 None
@@ -1906,6 +1931,7 @@ impl Machine {
                 _ => self.mem.write_word(pa, value),
             }
         }
+        0
     }
 
     /// The transaction's consistent view of a whole block (used to seed a

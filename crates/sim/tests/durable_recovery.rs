@@ -78,10 +78,11 @@ fn programs_from(segments: &[Vec<Segment>]) -> Vec<ThreadProgram> {
 }
 
 fn kind_of(choice: u8) -> SystemKind {
-    match choice % 3 {
+    match choice % 4 {
         0 => SystemKind::CopyPtm,
         1 => SystemKind::SelectPtm(Granularity::Block),
-        _ => SystemKind::SelectPtm(Granularity::WordCache),
+        2 => SystemKind::SelectPtm(Granularity::WordCache),
+        _ => SystemKind::LogTm,
     }
 }
 
@@ -112,11 +113,11 @@ proptest! {
 
     /// A zero-cost, fault-free, eager-forced log is observationally free:
     /// the durable run is bit-identical to the volatile run on every
-    /// system kind and workload.
+    /// system kind and workload — LogTM's forced WAL appends included.
     #[test]
     fn zero_cost_eager_durability_is_transparent(
         segments in prop::collection::vec(prop::collection::vec(segment(), 1..12), 1..4),
-        kind_choice in 0u8..3,
+        kind_choice in 0u8..4,
     ) {
         let kind = kind_of(kind_choice);
         let programs = programs_from(&segments);
@@ -183,6 +184,66 @@ proptest! {
         prop_assert_eq!(img.diff_committed(&programs), Vec::new());
         prop_assert!(img.recover().is_noop(), "second recovery must be a no-op");
     }
+
+    /// LogTM's undo records route through the same durable log: crashing a
+    /// fault-injected eager-versioning run anywhere and replaying the
+    /// *device* log — the software undo logs are volatile and cleared from
+    /// the image — satisfies the committed-prefix oracle, is idempotent,
+    /// and upholds the integrity invariants under eager, lazy and group
+    /// forcing (the WAL appends are forced regardless of policy).
+    #[test]
+    fn logtm_unified_log_crash_recovery_is_oracle_clean_and_idempotent(
+        segments in prop::collection::vec(prop::collection::vec(segment(), 1..12), 1..4),
+        policy_choice in 0u8..3,
+        fault_seed in 0u64..16,
+        crash_fraction in 0.0f64..1.0,
+    ) {
+        let policy = match policy_choice {
+            0 => ForcePolicy::Eager,
+            1 => ForcePolicy::Lazy,
+            _ => ForcePolicy::Group(4),
+        };
+        let cfg = DurabilityConfig {
+            policy,
+            dev: LogDevConfig::realistic(),
+            faults: LogFaultPlan::from_seed(fault_seed),
+        };
+        let programs = programs_from(&segments);
+
+        let total = {
+            let mut m = Machine::new(MachineConfig::default(), SystemKind::LogTm, programs.clone());
+            m.enable_durability(cfg);
+            m.run_until_crash(&CrashPlan::at_step(u64::MAX)).step
+        };
+        let crash_step = ((total as f64) * crash_fraction) as u64;
+
+        let mut m = Machine::new(MachineConfig::default(), SystemKind::LogTm, programs.clone());
+        m.enable_durability(cfg);
+        let mut img = m.run_until_crash(&CrashPlan::at_step(crash_step));
+        prop_assert!(img.log.is_some(), "durable crash image must carry the log");
+
+        // The software undo logs must not have leaked into the durable
+        // image: the unified log is the only recovery source.
+        let logtm = img.backend.as_logtm().expect("LogTM backend");
+        for tx in logtm.tstate().live_transactions() {
+            prop_assert!(
+                logtm.log_addrs(tx).is_empty(),
+                "volatile software undo log leaked into the crash image"
+            );
+        }
+
+        let stats = img.recover();
+        prop_assert_eq!(stats.log_phantom_commits, 0, "phantom commit records");
+        prop_assert_eq!(stats.log_replay_mismatches, 0, "undo pre-image contradicts memory");
+        if policy == ForcePolicy::Eager {
+            prop_assert_eq!(
+                stats.log_commits_missing, 0,
+                "eager forcing must persist every commit record"
+            );
+        }
+        prop_assert_eq!(img.diff_committed(&programs), Vec::new());
+        prop_assert!(img.recover().is_noop(), "second recovery must be a no-op");
+    }
 }
 
 /// A device that stalls constantly still lets the machine finish: commits
@@ -231,6 +292,66 @@ fn hard_stalls_throttle_commits_without_deadlock() {
         dur.max_append_attempts,
         MAX_LOG_RETRIES
     );
+}
+
+/// A crash in the middle of an eager-versioning transaction finds its
+/// in-place stores already sitting in memory; recovery must roll them back
+/// from the forced word-undo records of the unified durable log — the
+/// volatile software undo log is gone. Sweeps every crash step so at least
+/// one catches the transaction mid-flight with pre-images logged.
+#[test]
+fn logtm_word_undo_replay_restores_midflight_stores() {
+    let segments = vec![vec![
+        Segment::Tx(vec![(0, true), (1, true), (4, true), (5, true)]),
+        Segment::Compute(3),
+    ]];
+    let programs = programs_from(&segments);
+    let cfg = DurabilityConfig {
+        policy: ForcePolicy::Lazy, // WAL forcing is policy-independent
+        dev: LogDevConfig::realistic(),
+        faults: LogFaultPlan::none(),
+    };
+    let total = {
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            SystemKind::LogTm,
+            programs.clone(),
+        );
+        m.enable_durability(cfg);
+        m.run_until_crash(&CrashPlan::at_step(u64::MAX)).step
+    };
+    let mut exercised = false;
+    for step in 0..total {
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            SystemKind::LogTm,
+            programs.clone(),
+        );
+        m.enable_durability(cfg);
+        let mut img = m.run_until_crash(&CrashPlan::at_step(step));
+        let live = img
+            .backend
+            .as_logtm()
+            .expect("LogTM backend")
+            .tstate()
+            .live_transactions();
+        let logged = img.dur.as_ref().expect("durable image").word_undo_records;
+        let stats = img.recover();
+        if !live.is_empty() && logged > 0 {
+            exercised = true;
+            assert!(
+                stats.log_word_undo_records > 0,
+                "the scan must see the forced WAL records at step {step}"
+            );
+            assert!(
+                stats.blocks_restored > 0,
+                "a mid-flight crash must roll stores back at step {step}"
+            );
+        }
+        img.assert_matches_reference(&programs);
+        assert!(img.recover().is_noop(), "second recovery at step {step}");
+    }
+    assert!(exercised, "no crash step caught the transaction mid-flight");
 }
 
 /// The epoch executor refuses a durable machine: speculation replays

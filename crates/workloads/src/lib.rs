@@ -26,11 +26,15 @@ pub mod fft;
 pub mod lu;
 pub mod ocean;
 pub mod radix;
+pub mod service;
 pub mod synthetic;
 pub mod water;
+pub mod zipf;
 
 pub use common::{chunk, ProgramBuilder, Scale, Workload, THREADS};
+pub use service::{ClientTx, ServiceWorkloadConfig};
 pub use synthetic::SyntheticConfig;
+pub use zipf::{ZipfAccounts, Zipfian};
 
 /// The five paper benchmarks, in Table 1 order.
 pub fn splash2(scale: Scale) -> Vec<Workload> {

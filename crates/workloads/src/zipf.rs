@@ -1,0 +1,235 @@
+//! A Zipfian account sampler for serving-style workloads.
+//!
+//! Implements Hörmann's *rejection-inversion* method for discrete monotone
+//! distributions ("Rejection-inversion to generate variates from monotone
+//! discrete distributions", TOMACS 1996): O(1) per sample with no
+//! per-element tables, so an account space of millions costs nothing to set
+//! up, and any exponent `s > 0` works — including `s = 1` (the harmonic
+//! series) and `s > 1`, which the YCSB-style precomputed-zeta generator
+//! cannot handle.
+//!
+//! Sampling draws only from [`SplitMix64`], so a fixed seed yields a
+//! bit-stable sequence — the property the service bench's reproducibility
+//! rests on (see `tests` and the `zipf_stream_is_bit_stable` test).
+
+use ptm_types::rng::SplitMix64;
+
+/// A Zipfian distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^-s`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    s: f64,
+    /// `H(1.5) - 1`, the lower integration bound.
+    h_x1: f64,
+    /// `H(n + 0.5)`, the upper integration bound.
+    h_n: f64,
+    /// Acceptance shortcut: `k - x <= cut` accepts without evaluating `H`.
+    cut: f64,
+}
+
+/// `ln(1 + x) / x`, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x / 2.0 + x * x / 3.0
+    }
+}
+
+/// `(e^x - 1) / x`, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x / 2.0 + x * x / 6.0
+    }
+}
+
+impl Zipfian {
+    /// A Zipfian over `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0` (a uniform generator wants `s → 0`,
+    /// not 0 itself; use a plain modulus for uniform keys).
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "Zipfian needs at least one rank");
+        assert!(s > 0.0, "Zipfian exponent must be positive, got {s}");
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, s);
+        let cut = 2.0 - h_integral_inverse(h_integral(2.5, s) - (2.0f64).powf(-s), s);
+        Zipfian {
+            n,
+            s,
+            h_x1,
+            h_n,
+            cut,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        loop {
+            let u = self.h_n + unit_f64(rng) * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            let k = x.round().clamp(1.0, self.n as f64);
+            // Accept k when it is close enough to x (the bulk of draws),
+            // or by the exact rejection test otherwise.
+            if k - x <= self.cut || u >= h_integral(k + 0.5, self.s) - k.powf(-self.s) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// `H(x) = ∫ t^-s dt` with the constant chosen so both branches agree:
+/// `((x^(1-s)) - 1)/(1-s)` for `s ≠ 1`, `ln x` for `s = 1` — computed via
+/// the stable `helper2` form so exponents near 1 don't lose precision.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    let mut t = x * (1.0 - s);
+    if t < -1.0 {
+        // Numerical round-off past the pole; clamp like the reference
+        // algorithm does.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// A uniform draw in `[0, 1)` from the top 53 bits of the stream.
+fn unit_f64(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps Zipfian *ranks* onto a scrambled account space: rank 1 (the
+/// hottest key) lands on a pseudo-random but **fixed** account id, so key
+/// popularity is decorrelated from key *value* — real account ids are not
+/// sorted by temperature, and a range-sharded service would otherwise see
+/// every hot key in shard 0. The scramble is a fixed bijective mix
+/// followed by a modulus: distinct ranks may collide on one account
+/// (merging their probability mass), which is harmless for a contention
+/// generator and keeps the map O(1).
+#[derive(Debug, Clone)]
+pub struct ZipfAccounts {
+    zipf: Zipfian,
+    rng: SplitMix64,
+}
+
+impl ZipfAccounts {
+    /// A Zipfian account stream over `0..accounts` with exponent `s`,
+    /// seeded for reproducibility.
+    pub fn new(accounts: u64, s: f64, seed: u64) -> Self {
+        ZipfAccounts {
+            zipf: Zipfian::new(accounts, s),
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Draws the next account id in `0..accounts`.
+    pub fn next_account(&mut self) -> u64 {
+        let rank = self.zipf.sample(&mut self.rng) - 1;
+        scramble(rank) % self.zipf.n()
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> u64 {
+        self.zipf.n()
+    }
+}
+
+/// The fixed 64-bit finalizer mix (SplitMix64's output stage): bijective
+/// on `u64`, so the rank → account map only collides through the final
+/// modulus.
+fn scramble(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact Zipfian probability of rank `k`.
+    fn p(k: u64, n: u64, s: f64) -> f64 {
+        let z: f64 = (1..=n).map(|i| (i as f64).powf(-s)).sum();
+        (k as f64).powf(-s) / z
+    }
+
+    #[test]
+    fn samples_match_exact_probabilities() {
+        for &s in &[0.6, 1.0, 1.2] {
+            let n = 20u64;
+            let zipf = Zipfian::new(n, s);
+            let mut rng = SplitMix64::new(7);
+            let draws = 200_000;
+            let mut counts = vec![0u64; n as usize + 1];
+            for _ in 0..draws {
+                let k = zipf.sample(&mut rng);
+                assert!((1..=n).contains(&k));
+                counts[k as usize] += 1;
+            }
+            for k in 1..=5 {
+                let expect = p(k, n, s);
+                let got = counts[k as usize] as f64 / draws as f64;
+                let rel = (got - expect).abs() / expect;
+                assert!(
+                    rel < 0.05,
+                    "rank {k} at s={s}: expected {expect:.4}, got {got:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_constant() {
+        let zipf = Zipfian::new(1, 1.2);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn skew_orders_the_head_mass() {
+        // Higher exponents concentrate more mass on the hottest rank.
+        let n = 1000u64;
+        let head_share = |s: f64| {
+            let zipf = Zipfian::new(n, s);
+            let mut rng = SplitMix64::new(11);
+            let draws = 50_000;
+            let hot = (0..draws).filter(|_| zipf.sample(&mut rng) <= 10).count();
+            hot as f64 / draws as f64
+        };
+        let (low, mid, high) = (head_share(0.6), head_share(0.9), head_share(1.2));
+        assert!(low < mid && mid < high, "head mass {low} {mid} {high}");
+    }
+
+    #[test]
+    fn accounts_stay_in_range_and_streams_are_seed_deterministic() {
+        let mut a = ZipfAccounts::new(1_000_000, 0.9, 42);
+        let mut b = ZipfAccounts::new(1_000_000, 0.9, 42);
+        for _ in 0..1000 {
+            let (x, y) = (a.next_account(), b.next_account());
+            assert_eq!(x, y);
+            assert!(x < 1_000_000);
+        }
+    }
+}

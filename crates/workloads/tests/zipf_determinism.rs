@@ -1,0 +1,62 @@
+//! Bit-stability of the Zipfian generator and the client-transaction
+//! stream: a fixed seed must produce the exact same sequence forever.
+//! The golden constants below pin the current sequence — if sampler or
+//! stream internals change, this test fails loudly and the goldens (and
+//! every recorded bench history entry that depends on them) must be
+//! revisited deliberately.
+
+use ptm_workloads::service::generate;
+use ptm_workloads::{ClientTx, ServiceWorkloadConfig, ZipfAccounts};
+
+#[test]
+fn zipf_stream_is_bit_stable() {
+    let mut gen = ZipfAccounts::new(1_000_000, 1.2, 0xDECAF);
+    let got: Vec<u64> = (0..8).map(|_| gen.next_account()).collect();
+    let golden = [
+        211_934u64, 384_549, 607_535, 607_535, 348_110, 315_980, 969_543, 822_465,
+    ];
+    assert_eq!(got, golden);
+}
+
+#[test]
+fn client_stream_is_bit_stable() {
+    let cfg = ServiceWorkloadConfig {
+        accounts: 1_000_000,
+        skew: 0.9,
+        seed: 42,
+        txs: 4,
+        read_only_pct: 20,
+    };
+    let got = generate(&cfg);
+    let golden = vec![
+        ClientTx {
+            id: 0,
+            from: 446_906,
+            to: 437_110,
+            amount: 211,
+            read_only: false,
+        },
+        ClientTx {
+            id: 1,
+            from: 111_868,
+            to: 111_868,
+            amount: 0,
+            read_only: true,
+        },
+        ClientTx {
+            id: 2,
+            from: 308_973,
+            to: 791_146,
+            amount: 764,
+            read_only: false,
+        },
+        ClientTx {
+            id: 3,
+            from: 712_370,
+            to: 15_290,
+            amount: 92,
+            read_only: false,
+        },
+    ];
+    assert_eq!(got, golden);
+}
