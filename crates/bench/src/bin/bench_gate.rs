@@ -5,7 +5,7 @@
 //! head regressed by more than the allowed fraction.
 //!
 //! ```text
-//! bench_gate <base.json> <head.json> [--max-regression 0.10] [--parallel | --durable]
+//! bench_gate <base.json> <head.json> [--max-regression 0.10] [--parallel | --durable | --service]
 //! ```
 //!
 //! The default mode gates the sequential cycle-loop throughput of
@@ -15,13 +15,18 @@
 //! `--durable` gates `BENCH_durable.json` trajectories and refuses
 //! comparisons across differing log-force policies — commit latency is the
 //! very thing the policies trade, so a cross-policy ratio would gate a
-//! configuration change as a regression.
+//! configuration change as a regression. `--service` gates
+//! `BENCH_service.json` / `BENCH_service_chaos.json` trajectories,
+//! refusing differing shard counts and mismatched force-policy tags (a
+//! journaled chaos sweep never gates an unjournaled frontend sweep).
 //!
 //! The two runs must be comparable (same scale, cell count and host width);
 //! comparing across hosts is refused rather than silently passed, because a
 //! wall-clock ratio between different machines is noise, not a verdict.
 
-use ptm_bench::history::{durable_ratio, entry_from_report, parallel_ratio, throughput_ratio};
+use ptm_bench::history::{
+    durable_ratio, entry_from_report, parallel_ratio, service_ratio, throughput_ratio,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +34,7 @@ fn main() {
     let mut max_regression = 0.10f64;
     let mut parallel = false;
     let mut durable = false;
+    let mut service = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -41,6 +47,7 @@ fn main() {
             }
             "--parallel" => parallel = true,
             "--durable" => durable = true,
+            "--service" => service = true,
             f => files.push(f.to_string()),
         }
         i += 1;
@@ -48,11 +55,11 @@ fn main() {
     if files.len() != 2 {
         die(
             "usage: bench_gate <base.json> <head.json> [--max-regression 0.10] \
-             [--parallel | --durable]",
+             [--parallel | --durable | --service]",
         );
     }
-    if parallel && durable {
-        die("--parallel and --durable are mutually exclusive");
+    if (parallel as u8) + (durable as u8) + (service as u8) > 1 {
+        die("--parallel, --durable and --service are mutually exclusive");
     }
 
     let read = |path: &str| {
@@ -76,7 +83,15 @@ fn main() {
         }
     }
 
-    let (what, ratio, base_t, head_t) = if durable {
+    let (what, ratio, base_t, head_t) = if service {
+        let ratio = service_ratio(&base, &head).unwrap_or_else(|e| die(&e));
+        (
+            "service-sweep",
+            ratio,
+            base.throughput_cycles_per_s(),
+            head.throughput_cycles_per_s(),
+        )
+    } else if durable {
         let ratio = durable_ratio(&base, &head).unwrap_or_else(|e| die(&e));
         (
             "durable-sweep",

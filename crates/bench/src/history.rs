@@ -382,6 +382,33 @@ pub fn durable_ratio(old: &HistoryEntry, new: &HistoryEntry) -> Result<f64, Stri
     throughput_ratio(old, new)
 }
 
+/// Compares two *service* trajectory points (`BENCH_service.json` or
+/// `BENCH_service_chaos.json`): `Ok(ratio)` with `ratio = new/old`
+/// throughput when comparable. On top of [`throughput_ratio`]'s
+/// conditions, the shard counts (recorded as `workers`) must match, and
+/// the `force_policy` tags must agree exactly — a plain service report
+/// carries none, a chaos report carries `"mixed"`, and comparing one
+/// against the other would gate the journal's force cost as if it were a
+/// frontend regression.
+pub fn service_ratio(old: &HistoryEntry, new: &HistoryEntry) -> Result<f64, String> {
+    if old.workers != new.workers {
+        return Err(format!(
+            "incomparable shard counts: {} vs {}",
+            old.workers, new.workers
+        ));
+    }
+    if old.force_policy != new.force_policy {
+        let name = |p: &Option<String>| p.clone().unwrap_or_else(|| "none".into());
+        return Err(format!(
+            "incomparable service reports: force_policy {} vs {} — a journaled \
+             chaos sweep cannot gate against an unjournaled frontend sweep",
+            name(&old.force_policy),
+            name(&new.force_policy)
+        ));
+    }
+    throughput_ratio(old, new)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,6 +628,30 @@ mod tests {
             err.contains("feedfacecafe") && err.contains("base"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn service_ratio_gates_shards_and_policy_tags() {
+        let old = entry(1_000_000, 1_000_000_000);
+        let new = entry(900_000, 1_000_000_000);
+        let r = service_ratio(&old, &new).unwrap();
+        assert!((r - 0.9).abs() < 1e-9);
+
+        // Chaos reports (force_policy "mixed") only compare to chaos.
+        let mut chaos_old = old.clone();
+        chaos_old.force_policy = Some("mixed".into());
+        let mut chaos_new = new.clone();
+        chaos_new.force_policy = Some("mixed".into());
+        assert!((service_ratio(&chaos_old, &chaos_new).unwrap() - 0.9).abs() < 1e-9);
+        let err = service_ratio(&chaos_old, &new).unwrap_err();
+        assert!(err.contains("mixed") && err.contains("none"), "{err}");
+
+        let mut other_shards = new.clone();
+        other_shards.workers = 8;
+        assert!(service_ratio(&old, &other_shards).is_err());
+        let mut other_scale = new.clone();
+        other_scale.scale = "Full".into();
+        assert!(service_ratio(&old, &other_scale).is_err());
     }
 
     #[test]

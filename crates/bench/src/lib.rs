@@ -12,6 +12,7 @@ pub mod meta;
 pub mod parallel;
 pub mod parallel_sim;
 pub mod service;
+pub mod service_chaos;
 
 /// One Table 1 row, as measured by a run under Select-PTM.
 #[derive(Debug, Clone)]

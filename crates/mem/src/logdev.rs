@@ -348,6 +348,22 @@ impl LogDevice {
         }
     }
 
+    /// Reopens a device over a recovered durable prefix: the journal seam
+    /// recovery uses to *continue* appending where the crash left off. The
+    /// buffer starts as `durable` (a scan-validated prefix of a
+    /// [`LogImage`]), the in-flight queue is empty (everything recovered is
+    /// durable by definition), and the submission sequence resumes at
+    /// `records` so the fault-plan decision stream does not replay the
+    /// pre-crash fates on post-recovery appends. Stats start fresh: they
+    /// count the device's post-recovery life.
+    pub fn reopen(cfg: LogDevConfig, plan: LogFaultPlan, durable: Vec<u8>, records: u64) -> Self {
+        let mut dev = LogDevice::new(cfg, plan);
+        dev.buf = durable;
+        dev.seq = records;
+        dev.last_drained_seq = records.checked_sub(1);
+        dev
+    }
+
     /// Device counters.
     pub fn stats(&self) -> &LogDevStats {
         &self.stats
@@ -645,6 +661,27 @@ mod tests {
         let img = dev.crash_image(0);
         assert_eq!(img.torn_appends + img.lost_appends + img.early_appends, 0);
         assert!(img.bytes.iter().all(|b| *b != 0), "all forced bytes kept");
+    }
+
+    #[test]
+    fn reopen_resumes_offsets_and_fault_stream_past_the_recovered_prefix() {
+        let plan = LogFaultPlan::none();
+        let mut dev = LogDevice::new(LogDevConfig::zero_cost(), plan);
+        for i in 0..5u8 {
+            dev.append(&[i + 1; 16], 0).unwrap();
+        }
+        dev.force(0);
+        let img = dev.crash_image(0);
+
+        let mut reopened = LogDevice::reopen(LogDevConfig::zero_cost(), plan, img.bytes.clone(), 5);
+        assert_eq!(reopened.appended_bytes(), 5 * 16);
+        reopened.append(&[9; 16], 0).unwrap();
+        let img2 = reopened.crash_image(0);
+        // The recovered prefix is untouched, the new record follows it.
+        assert_eq!(&img2.bytes[..5 * 16], &img.bytes[..]);
+        assert_eq!(&img2.bytes[5 * 16..], &[9; 16]);
+        // Post-recovery stats count the reopened life only.
+        assert_eq!(reopened.stats().appends, 1);
     }
 
     #[test]

@@ -139,6 +139,17 @@ pub enum LogRecordKind {
     /// Pre-image of one word an eager-versioning (LogTM) store updated in
     /// place — forced before the store lands (WAL mode).
     WordUndo,
+    /// Service journal: a client transaction was accepted at the frontend.
+    /// The service's ingest journal shares this frame format (and
+    /// [`scan_records`]) so its recovery inherits the same torn-tail and
+    /// hole detection as the machine-level log.
+    SvcAccept,
+    /// Service journal: the preceding accepted transactions were sealed
+    /// into a block.
+    SvcSeal,
+    /// Service journal: a sealed block executed; the payload carries its
+    /// redo deltas (the block's durability point when forced).
+    SvcCommit,
 }
 
 impl LogRecordKind {
@@ -149,6 +160,9 @@ impl LogRecordKind {
             LogRecordKind::Undo => 3,
             LogRecordKind::Redo => 4,
             LogRecordKind::WordUndo => 5,
+            LogRecordKind::SvcAccept => 6,
+            LogRecordKind::SvcSeal => 7,
+            LogRecordKind::SvcCommit => 8,
         }
     }
 
@@ -159,6 +173,9 @@ impl LogRecordKind {
             3 => Some(LogRecordKind::Undo),
             4 => Some(LogRecordKind::Redo),
             5 => Some(LogRecordKind::WordUndo),
+            6 => Some(LogRecordKind::SvcAccept),
+            7 => Some(LogRecordKind::SvcSeal),
+            8 => Some(LogRecordKind::SvcCommit),
             _ => None,
         }
     }

@@ -94,6 +94,10 @@ pub struct RecoveryStats {
     /// belongs to an earlier incarnation of a retried transaction, so it
     /// may legitimately be stale (observation only).
     pub log_undo_stale: u64,
+    /// Valid records of a kind this recovery pass does not own (service-
+    /// journal frames in a machine-level log) — counted, never acted on
+    /// (observation only).
+    pub log_foreign_records: u64,
 }
 
 impl RecoveryStats {
@@ -123,6 +127,7 @@ impl RecoveryStats {
             log_commits_missing: _,
             log_replay_verified: _,
             log_undo_stale: _,
+            log_foreign_records: _,
         } = *self;
         transactions_discarded == 0
             && blocks_restored == 0
@@ -158,6 +163,11 @@ pub fn recover_log(
             LogRecordKind::Undo => stats.log_undo_records += 1,
             LogRecordKind::Redo => stats.log_redo_records += 1,
             LogRecordKind::WordUndo => stats.log_word_undo_records += 1,
+            // Service-journal records never appear in a machine-level log;
+            // count them as foreign rather than silently dropping them.
+            LogRecordKind::SvcAccept | LogRecordKind::SvcSeal | LogRecordKind::SvcCommit => {
+                stats.log_foreign_records += 1
+            }
         }
     }
     image.truncate(scan.valid_len);

@@ -2,11 +2,12 @@
 //! becomes per-shard thread programs, runs on fresh simulator machines,
 //! and folds back into the service's balance table.
 
-use crate::config::{ServiceConfig, Strategy};
+use crate::config::{ServiceConfig, ShardChaosConfig, Strategy};
 use crate::shard::ShardMap;
-use ptm_sim::{run, run_parallel, Machine, Op, ThreadProgram};
+use ptm_sim::{run, run_parallel, run_with_faults, FaultPlan, Machine, Op, ThreadProgram};
 use ptm_types::{Cycle, FastMap, ProcessId, ThreadId, VirtAddr, BLOCK_SIZE, PAGE_SIZE, WORD_SIZE};
 use ptm_workloads::ClientTx;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Base virtual address of the ledger words inside a shard machine.
@@ -75,6 +76,16 @@ pub struct BlockStats {
     pub max_shard_cycles: Cycle,
     /// Host wall time spent executing the block.
     pub wall_ns: u64,
+    /// Shard attempts retried after a fault (stall or exhaustion).
+    pub shard_retries: u64,
+    /// Shard attempts that blew their cycle budget (treated as a stalled
+    /// shard: backoff, doubled budget, retry).
+    pub shard_stalls: u64,
+    /// Shards that exhausted their retries and fell back to
+    /// serial-irrevocable execution.
+    pub shard_escalations: u64,
+    /// Simulated cycles spent in inter-attempt backoff.
+    pub shard_backoff_cycles: Cycle,
 }
 
 impl BlockStats {
@@ -93,6 +104,11 @@ impl BlockStats {
 /// stats, and the net ledger deltas to fold into the balance table.
 #[derive(Debug, Clone)]
 pub struct BlockOutcome {
+    /// Position of the block in the service's seal order. [`run_block`]
+    /// itself leaves it `0`; the pipeline stamps it, and together with
+    /// [`Receipt::tx_id`] it forms the receipt identity `(block_seq,
+    /// client id)` that makes recovery's receipt redelivery idempotent.
+    pub block_seq: u64,
     /// One receipt per client transaction, sorted by `tx_id`.
     pub receipts: Vec<Receipt>,
     /// Execution counters.
@@ -101,28 +117,37 @@ pub struct BlockOutcome {
     pub deltas: Vec<(u64, u32)>,
 }
 
-/// One shard's compiled programs plus the maps to decode its commit log.
+/// One transfer routed to a shard, in dense account indices — the unit
+/// the plan can recompile at any thread count (round-robin parallel, or
+/// single-threaded for the serial-irrevocable escalation path).
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    /// Client tx id, for receipt decoding.
+    id: u64,
+    /// Dense index of the debited account.
+    from: usize,
+    /// Dense index of the credited account.
+    to: usize,
+    /// Transfer amount.
+    amount: u32,
+}
+
+/// One shard's routed transfers plus the dense account map.
 struct ShardPlan {
     /// Dense index → account id, in first-touch order.
     accounts: Vec<u64>,
     /// Account id → dense index.
     index: FastMap<u64, usize>,
-    /// Per-thread operation streams.
-    thread_ops: Vec<Vec<Op>>,
-    /// `(thread, begin_pc)` → client tx id, for receipt decoding.
-    tx_of: FastMap<(u32, usize), u64>,
-    /// Transfers routed here.
-    txs: usize,
+    /// Transfers routed here, in stream order.
+    transfers: Vec<Transfer>,
 }
 
 impl ShardPlan {
-    fn new(threads: usize) -> Self {
+    fn new() -> Self {
         ShardPlan {
             accounts: Vec::new(),
             index: FastMap::default(),
-            thread_ops: vec![Vec::new(); threads],
-            tx_of: FastMap::default(),
-            txs: 0,
+            transfers: Vec::new(),
         }
     }
 
@@ -136,6 +161,34 @@ impl ShardPlan {
         self.index.insert(account, i);
         i
     }
+
+    /// Compiles the transfers into `threads` round-robin thread programs,
+    /// plus the `(thread, begin_pc)` → client tx id map that decodes the
+    /// machine's commit log back into receipts.
+    fn programs(&self, threads: usize) -> (Vec<ThreadProgram>, FastMap<(u32, usize), u64>) {
+        let mut thread_ops: Vec<Vec<Op>> = vec![Vec::new(); threads];
+        let mut tx_of: FastMap<(u32, usize), u64> = FastMap::default();
+        for (i, t) in self.transfers.iter().enumerate() {
+            let thread = i % threads;
+            let ops = &mut thread_ops[thread];
+            tx_of.insert((thread as u32, ops.len()), t.id);
+            ops.push(Op::Begin {
+                ordered: None,
+                // Lock word for the lock-based execution mode: stripe by the
+                // debited account so independent transfers don't serialize.
+                lock: VirtAddr::new(((t.from % 1024) * WORD_SIZE) as u64),
+            });
+            ops.push(Op::Rmw(addr_of(t.from), -(t.amount as i32)));
+            ops.push(Op::Rmw(addr_of(t.to), t.amount as i32));
+            ops.push(Op::End);
+        }
+        let programs = thread_ops
+            .into_iter()
+            .enumerate()
+            .map(|(t, ops)| ThreadProgram::new(ProcessId(0), ThreadId(t as u32), ops))
+            .collect();
+        (programs, tx_of)
+    }
 }
 
 /// Ledger word address of a dense account index. One account per 64-byte
@@ -146,65 +199,93 @@ fn addr_of(idx: usize) -> VirtAddr {
     VirtAddr::new(DATA_BASE + (idx * BLOCK_SIZE) as u64)
 }
 
-/// Compiles the transfers of `block` into per-shard thread programs.
+/// Compiles the transfers of `block` into per-shard plans.
 fn compile(cfg: &ServiceConfig, map: &ShardMap, block: &[ClientTx]) -> Vec<ShardPlan> {
-    let mut plans: Vec<ShardPlan> = (0..cfg.shards)
-        .map(|_| ShardPlan::new(cfg.threads_per_shard))
-        .collect();
+    let mut plans: Vec<ShardPlan> = (0..cfg.shards).map(|_| ShardPlan::new()).collect();
     for tx in block.iter().filter(|t| !t.read_only) {
         let shard = map.owner(tx);
         let plan = &mut plans[shard];
         let from = plan.index_of(tx.from);
         let to = plan.index_of(tx.to);
-        // Round-robin transfers over the shard's cores.
-        let thread = plan.txs % cfg.threads_per_shard;
-        plan.txs += 1;
-        let ops = &mut plan.thread_ops[thread];
-        let begin_pc = ops.len();
-        plan.tx_of.insert((thread as u32, begin_pc), tx.id);
-        ops.push(Op::Begin {
-            ordered: None,
-            // Lock word for the lock-based execution mode: stripe by the
-            // debited account so independent transfers don't serialize.
-            lock: VirtAddr::new(((from % 1024) * WORD_SIZE) as u64),
+        plan.transfers.push(Transfer {
+            id: tx.id,
+            from,
+            to,
+            amount: tx.amount,
         });
-        ops.push(Op::Rmw(addr_of(from), -(tx.amount as i32)));
-        ops.push(Op::Rmw(addr_of(to), tx.amount as i32));
-        ops.push(Op::End);
     }
     plans
 }
 
-/// Runs one compiled shard and decodes its commit log into receipts.
-fn run_shard(
-    cfg: &ServiceConfig,
-    shard: usize,
+/// Everything one shard's execution produced, including how degraded the
+/// path to completion was.
+struct ShardRun {
+    receipts: Vec<Receipt>,
+    commits: u64,
+    aborts: u64,
+    cycles: Cycle,
+    deltas: Vec<(u64, u32)>,
+    retries: u64,
+    stalls: u64,
+    escalated: bool,
+    backoff_cycles: Cycle,
+}
+
+/// Backoff charged (in simulated cycles) before retry `attempt`.
+fn retry_backoff(attempt: u32) -> Cycle {
+    1024u64 << attempt.min(8)
+}
+
+/// Runs a closure with panic messages suppressed on this thread. Chaos
+/// attempts die by design (resource-exhaustion panics are the containment
+/// boundary under test); their backtraces are noise, not signal. The
+/// wrapping hook is installed once, process-wide, and defers to the
+/// previous hook for every thread that didn't opt in.
+fn silence_panics<R>(f: impl FnOnce() -> R) -> R {
+    use std::cell::Cell;
+    use std::sync::Once;
+    thread_local! {
+        static SILENCED: Cell<bool> = const { Cell::new(false) };
+    }
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCED.with(|s| s.get()) {
+                prev(info);
+            }
+        }));
+    });
+    SILENCED.with(|s| s.set(true));
+    let r = f();
+    SILENCED.with(|s| s.set(false));
+    r
+}
+
+/// Mixes the chaos seed with the block salt, shard and attempt so every
+/// attempt draws a distinct but reproducible storm (splitmix64 finalizer).
+fn storm_seed(chaos: &ShardChaosConfig, shard: usize, attempt: u32) -> u64 {
+    let mut z = chaos
+        .seed
+        .wrapping_add(chaos.salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((shard as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((attempt as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decodes a finished machine into receipts, counters and deltas.
+fn decode_machine(
+    machine: &Machine,
     plan: &ShardPlan,
-    parallel: bool,
+    tx_of: &FastMap<(u32, usize), u64>,
+    shard: usize,
 ) -> (Vec<Receipt>, u64, u64, Cycle, Vec<(u64, u32)>) {
-    let programs: Vec<ThreadProgram> = plan
-        .thread_ops
-        .iter()
-        .enumerate()
-        .map(|(t, ops)| ThreadProgram::new(ProcessId(0), ThreadId(t as u32), ops.clone()))
-        .collect();
-    let mut mcfg = cfg.machine;
-    // Ledger pages actually touched, plus generous room for backend
-    // metadata (shadow blocks, TAV nodes). Sizing frames to the block's
-    // footprint instead of the account space is what lets the service
-    // front a multi-million-account ledger with tiny shard machines.
-    let data_pages = (plan.accounts.len() * BLOCK_SIZE).div_ceil(PAGE_SIZE);
-    mcfg.mem_frames = (data_pages * 4 + 64).max(128);
-    let machine: Machine = if parallel {
-        run_parallel(mcfg, cfg.kind, programs, &cfg.exec).0
-    } else {
-        run(mcfg, cfg.kind, programs)
-    };
     let stats = machine.stats();
-    let mut receipts = Vec::with_capacity(plan.txs);
+    let mut receipts = Vec::with_capacity(plan.transfers.len());
     for (seq, c) in stats.commit_log.iter().enumerate() {
-        let id = *plan
-            .tx_of
+        let id = *tx_of
             .get(&(c.thread.0, c.begin_pc))
             .expect("every committed tx was compiled from a client tx");
         receipts.push(Receipt {
@@ -224,6 +305,122 @@ fn run_shard(
         .filter(|&(_, d)| d != 0)
         .collect();
     (receipts, stats.commits, stats.aborts, stats.cycles, deltas)
+}
+
+/// Machine config sized to the shard's ledger footprint.
+fn shard_machine_cfg(cfg: &ServiceConfig, plan: &ShardPlan) -> ptm_sim::MachineConfig {
+    let mut mcfg = cfg.machine;
+    // Ledger pages actually touched, plus generous room for backend
+    // metadata (shadow blocks, TAV nodes). Sizing frames to the block's
+    // footprint instead of the account space is what lets the service
+    // front a multi-million-account ledger with tiny shard machines.
+    let data_pages = (plan.accounts.len() * BLOCK_SIZE).div_ceil(PAGE_SIZE);
+    mcfg.mem_frames = (data_pages * 4 + 64).max(128);
+    mcfg
+}
+
+/// Runs one compiled shard and decodes its commit log into receipts.
+///
+/// Fault-free shards run the strategy's executor directly. Under
+/// [`ShardChaosConfig`] the shard runs inside an isolation boundary:
+/// abort storms and resource squeezes are injected per attempt, an
+/// attempt that panics (exhaustion) or blows its cycle budget (stall) is
+/// retried after exponential backoff with the budget doubled, and a shard
+/// that exhausts its retries escalates to serial-irrevocable execution —
+/// one thread, no faults, guaranteed to terminate. A stormed shard
+/// degrades (slower, counted in [`BlockStats`]); it never takes the block
+/// down with it and never deadlocks the pipeline.
+fn run_shard(cfg: &ServiceConfig, shard: usize, plan: &ShardPlan, parallel: bool) -> ShardRun {
+    let mcfg = shard_machine_cfg(cfg, plan);
+    let (programs, tx_of) = plan.programs(cfg.threads_per_shard);
+
+    let Some(chaos) = cfg.chaos else {
+        let machine: Machine = if parallel {
+            run_parallel(mcfg, cfg.kind, programs, &cfg.exec).0
+        } else {
+            run(mcfg, cfg.kind, programs)
+        };
+        let (receipts, commits, aborts, cycles, deltas) =
+            decode_machine(&machine, plan, &tx_of, shard);
+        return ShardRun {
+            receipts,
+            commits,
+            aborts,
+            cycles,
+            deltas,
+            retries: 0,
+            stalls: 0,
+            escalated: false,
+            backoff_cycles: 0,
+        };
+    };
+
+    // Chaos always drives the sequential fault runner: fault injection is
+    // defined on the canonical interleaved schedule, not on the epoch
+    // executor. Still deterministic — same cfg, same block, same storms.
+    let ops: u64 = plan.transfers.len() as u64 * 4;
+    let horizon = ops * 8 + 256;
+    let mut retries = 0u64;
+    let mut stalls = 0u64;
+    let mut backoff_cycles: Cycle = 0;
+    for attempt in 0..=chaos.max_retries {
+        let budget = chaos.cycle_budget.saturating_mul(1 << attempt.min(16));
+        let fplan =
+            FaultPlan::shard_storm(storm_seed(&chaos, shard, attempt), horizon, chaos.events);
+        let programs = programs.clone();
+        let outcome = silence_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                run_with_faults(mcfg, cfg.kind, programs, &fplan)
+            }))
+        });
+        match outcome {
+            Ok(machine) if machine.stats().cycles <= budget => {
+                let (receipts, commits, aborts, cycles, deltas) =
+                    decode_machine(&machine, plan, &tx_of, shard);
+                return ShardRun {
+                    receipts,
+                    commits,
+                    aborts,
+                    cycles: cycles + backoff_cycles,
+                    deltas,
+                    retries,
+                    stalls,
+                    escalated: false,
+                    backoff_cycles,
+                };
+            }
+            Ok(_) => {
+                // Finished but over budget: a stalled shard. Back off and
+                // retry with the budget doubled.
+                stalls += 1;
+            }
+            Err(_) => {
+                // The storm exhausted the shard (bounded-retry panic in the
+                // machine). The machine is gone; the transfers are not —
+                // they re-run on the next attempt.
+            }
+        }
+        retries += 1;
+        backoff_cycles += retry_backoff(attempt);
+    }
+
+    // Escalation: serial-irrevocable. One thread, no faults — no aborts
+    // possible from contention, no squeeze to exhaust, always terminates.
+    let (serial_programs, serial_tx_of) = plan.programs(1);
+    let machine = run(mcfg, cfg.kind, serial_programs);
+    let (receipts, commits, aborts, cycles, deltas) =
+        decode_machine(&machine, plan, &serial_tx_of, shard);
+    ShardRun {
+        receipts,
+        commits,
+        aborts,
+        cycles: cycles + backoff_cycles,
+        deltas,
+        retries,
+        stalls,
+        escalated: true,
+        backoff_cycles,
+    }
 }
 
 /// Executes one block of client transactions against `balances` (the
@@ -288,15 +485,19 @@ pub fn run_block(
             let plans = compile(cfg, &map, block);
             let mut fold: FastMap<u64, u32> = FastMap::default();
             for (shard, plan) in plans.iter().enumerate() {
-                if plan.txs == 0 {
+                if plan.transfers.is_empty() {
                     continue;
                 }
-                let (rs, commits, aborts, cycles, ds) = run_shard(cfg, shard, plan, parallel);
-                receipts.extend(rs);
-                stats.commits += commits;
-                stats.aborts += aborts;
-                stats.max_shard_cycles = stats.max_shard_cycles.max(cycles);
-                for (acct, d) in ds {
+                let run = run_shard(cfg, shard, plan, parallel);
+                receipts.extend(run.receipts);
+                stats.commits += run.commits;
+                stats.aborts += run.aborts;
+                stats.max_shard_cycles = stats.max_shard_cycles.max(run.cycles);
+                stats.shard_retries += run.retries;
+                stats.shard_stalls += run.stalls;
+                stats.shard_escalations += run.escalated as u64;
+                stats.shard_backoff_cycles += run.backoff_cycles;
+                for (acct, d) in run.deltas {
                     let e = fold.entry(acct).or_insert(0);
                     *e = e.wrapping_add(d);
                 }
@@ -306,21 +507,29 @@ pub fn run_block(
         }
     }
 
-    let loaded: Vec<usize> = stats.shard_txs.iter().copied().filter(|&t| t > 0).collect();
-    stats.shard_skew = if loaded.is_empty() {
-        0.0
-    } else {
-        let max = *loaded.iter().max().expect("non-empty") as f64;
-        let mean = stats.transfers as f64 / cfg.shards as f64;
-        max / mean
-    };
+    stats.shard_skew = shard_skew(&stats.shard_txs, stats.transfers, cfg.shards);
 
     receipts.sort_unstable_by_key(|r| r.tx_id);
     stats.wall_ns = start.elapsed().as_nanos() as u64;
     BlockOutcome {
+        block_seq: 0,
         receipts,
         stats,
         deltas,
+    }
+}
+
+/// Load imbalance: max shard load over mean shard load (1.0 = even, 0.0
+/// for a block with no transfers — an all-read-only block has no load to
+/// skew). Total, never panics: the no-load case is the answer `0.0`, not
+/// a precondition.
+fn shard_skew(shard_txs: &[usize], transfers: usize, shards: usize) -> f64 {
+    match shard_txs.iter().copied().filter(|&t| t > 0).max() {
+        None => 0.0,
+        Some(max) => {
+            let mean = transfers as f64 / shards.max(1) as f64;
+            max as f64 / mean
+        }
     }
 }
 
@@ -330,5 +539,141 @@ pub fn fold_deltas(balances: &mut FastMap<u64, u32>, deltas: &[(u64, u32)]) {
     for &(acct, d) in deltas {
         let e = balances.entry(acct).or_insert(0);
         *e = e.wrapping_add(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShardChaosConfig;
+    use ptm_sim::FaultAction;
+    use ptm_sim::FaultEvent;
+
+    fn transfer(id: u64, from: u64, to: u64) -> ClientTx {
+        ClientTx {
+            id,
+            from,
+            to,
+            amount: 5,
+            read_only: false,
+        }
+    }
+
+    fn probe(id: u64, from: u64) -> ClientTx {
+        ClientTx {
+            id,
+            from,
+            to: from,
+            amount: 0,
+            read_only: true,
+        }
+    }
+
+    #[test]
+    fn shard_skew_is_total_over_empty_loads() {
+        // Satellite: the skew computation must not assume a non-empty load
+        // vector — an all-read-only block has no transfers anywhere.
+        assert_eq!(shard_skew(&[], 0, 4), 0.0);
+        assert_eq!(shard_skew(&[0, 0, 0], 0, 3), 0.0);
+        assert_eq!(shard_skew(&[4, 4], 8, 2), 1.0);
+        assert_eq!(shard_skew(&[8, 0], 8, 2), 2.0);
+    }
+
+    #[test]
+    fn all_read_only_block_reports_zero_skew_and_no_deltas() {
+        let block: Vec<ClientTx> = (0..10).map(|i| probe(i, i * 7)).collect();
+        let cfg = ServiceConfig::new(1_000, 4);
+        let out = run_block(&cfg, &block, &FastMap::default());
+        assert_eq!(out.stats.shard_skew, 0.0);
+        assert_eq!(out.stats.transfers, 0);
+        assert_eq!(out.stats.read_only_hits, 10);
+        assert!(out.deltas.is_empty());
+        assert_eq!(out.receipts.len(), 10);
+    }
+
+    #[test]
+    fn chaos_block_is_deterministic_and_ledger_exact() {
+        // Abort storms change the schedule, never the ledger: the deltas
+        // of a stormed block match the fault-free run, and re-running the
+        // same chaos config reproduces the block bit-for-bit (what
+        // recovery's re-execution leans on).
+        let block: Vec<ClientTx> = (0..120)
+            .map(|i| transfer(i, (i * 13) % 500, (i * 29 + 3) % 500))
+            .collect();
+        let quiet = ServiceConfig::new(500, 2);
+        let chaos = quiet.with_chaos(ShardChaosConfig {
+            salt: 3,
+            ..ShardChaosConfig::new(99)
+        });
+        let balances = FastMap::default();
+        let base = run_block(&quiet, &block, &balances);
+        let a = run_block(&chaos, &block, &balances);
+        let b = run_block(&chaos, &block, &balances);
+        assert_eq!(a.deltas, base.deltas, "storms never corrupt the ledger");
+        assert_eq!(a.receipts.len(), base.receipts.len());
+        assert_eq!(a.receipts, b.receipts, "chaos is deterministic");
+        assert_eq!(a.stats.shard_retries, b.stats.shard_retries);
+    }
+
+    #[test]
+    fn stalled_shard_escalates_to_serial_irrevocable() {
+        // An absurd cycle budget makes every attempt a stall; the shard
+        // must escalate (serial, fault-free) and still serve every tx.
+        let block: Vec<ClientTx> = (0..60)
+            .map(|i| transfer(i, (i * 7) % 200, (i * 11 + 1) % 200))
+            .collect();
+        let cfg = ServiceConfig::new(200, 1).with_chaos(ShardChaosConfig {
+            cycle_budget: 1,
+            max_retries: 1,
+            ..ShardChaosConfig::new(5)
+        });
+        let out = run_block(&cfg, &block, &FastMap::default());
+        assert_eq!(out.stats.shard_escalations, 1);
+        assert_eq!(out.stats.shard_stalls, 2, "both attempts blew the budget");
+        assert_eq!(out.stats.shard_retries, 2);
+        assert!(out.stats.shard_backoff_cycles > 0);
+        assert_eq!(out.receipts.len(), block.len(), "degraded, not dropped");
+        let base = run_block(&ServiceConfig::new(200, 1), &block, &FastMap::default());
+        assert_eq!(out.deltas, base.deltas, "escalation preserves the ledger");
+    }
+
+    #[test]
+    fn exhaustion_panic_is_contained_to_the_attempt() {
+        // A handcrafted unpaired squeeze (leave 0 frames, never release)
+        // drives the machine into its bounded-retry exhaustion panic. The
+        // chaos loop must catch it, burn the attempts, and escalate —
+        // the caller sees a served block, not a poisoned thread.
+        let block: Vec<ClientTx> = (0..40)
+            .map(|i| transfer(i, (i * 3) % 64, (i * 5 + 1) % 64))
+            .collect();
+        let cfg = ServiceConfig::new(64, 1);
+        let map = ShardMap::new(1, 64);
+        let plans = compile(&cfg, &map, &block);
+        let plan = &plans[0];
+        let (programs, _) = plan.programs(cfg.threads_per_shard);
+        let mut mcfg = shard_machine_cfg(&cfg, plan);
+        // Starve the pool hard enough that the squeeze bites.
+        mcfg.mem_frames = 24;
+        let hostile = FaultPlan {
+            events: vec![FaultEvent {
+                step: 10,
+                action: FaultAction::SqueezeMemory { leave: 0 },
+            }],
+        };
+        let died = silence_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                run_with_faults(mcfg, cfg.kind, programs, &hostile)
+            }))
+        });
+        if died.is_err() {
+            // The storm is lethal to a bare machine — now prove run_shard
+            // survives the same class of weather via its catch_unwind.
+            let chaotic = cfg.with_chaos(ShardChaosConfig {
+                cycle_budget: u64::MAX / 2,
+                ..ShardChaosConfig::new(5)
+            });
+            let out = run_block(&chaotic, &block, &FastMap::default());
+            assert_eq!(out.receipts.len(), block.len());
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! The ingest loop: a worker thread that accepts a stream of client
-//! transactions, seals them into blocks under the admission knobs, and
-//! executes each block through the configured strategy.
+//! transactions, journals and seals them into blocks under the admission
+//! knobs, and executes each block through the configured strategy.
 //!
 //! Admission seals a block when either trigger fires:
 //! - **size**: the batch reaches [`ServiceConfig::max_batch`], or
@@ -9,13 +9,34 @@
 //!
 //! Shutdown (dropping the submit side) flushes the final partial block,
 //! so every accepted transaction gets a receipt.
+//!
+//! # Backpressure
+//!
+//! The submit queue is bounded by [`ServiceConfig::queue_depth`]:
+//! transactions admitted but not yet folded into a block count as
+//! in-flight, and [`Service::submit`] rejects with [`SubmitError::Busy`]
+//! — carrying a `retry_after` hint sized to the backlog — instead of
+//! queueing unboundedly. An overloaded service degrades to shedding with
+//! honest retry hints; it never falls over and never lies about an
+//! accepted transaction.
+//!
+//! # Fault containment
+//!
+//! The worker thread is a fault boundary: if it dies (a bug, or a
+//! poisoned transaction driven into a panic), [`Service::shutdown`]
+//! returns [`ServiceError::WorkerPanicked`] with the panic message
+//! instead of propagating the panic into the caller's thread.
 
-use crate::block::{fold_deltas, BlockOutcome};
+use crate::block::BlockOutcome;
 use crate::config::ServiceConfig;
-use ptm_types::FastMap;
+use crate::journal::JournalStats;
+use crate::pipeline::Engine;
 use ptm_workloads::ClientTx;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 /// Totals accumulated over a service's lifetime, returned by
 /// [`Service::shutdown`].
@@ -31,9 +52,59 @@ pub struct ServiceReport {
     pub aborts: u64,
     /// Read-only probes answered on the fast path.
     pub read_only_hits: u64,
+    /// Simulated cycles of the slowest shard, summed over blocks — the
+    /// work metric the service-chaos trajectory gates on.
+    pub shard_cycles: u64,
     /// Final non-zero balances, sorted by account.
     pub balances: Vec<(u64, u32)>,
+    /// Submissions shed with `Busy` by the bounded queue.
+    pub shed: u64,
+    /// Client transactions durably acked by the journal (0 without one).
+    pub acked_txs: u64,
+    /// Shard attempts retried after a fault.
+    pub shard_retries: u64,
+    /// Shard attempts that blew their cycle budget.
+    pub shard_stalls: u64,
+    /// Shards that escalated to serial-irrevocable execution.
+    pub shard_escalations: u64,
+    /// Blocks that completed degraded (any retry or escalation).
+    pub degraded_blocks: u64,
+    /// Journal counters, when the service ran with one.
+    pub journal: Option<JournalStats>,
 }
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full. Retry no sooner than `retry_after`
+    /// (sized to the backlog: roughly the time the worker needs to drain
+    /// enough blocks to make room).
+    Busy {
+        /// Backlog-proportional retry hint.
+        retry_after: Duration,
+    },
+    /// The service has shut down; nothing will ever be admitted again.
+    Closed,
+}
+
+/// Why a shutdown did not return a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The ingest worker died; the payload is the panic message. Accepted
+    /// transactions up to the death are recoverable from the journal (if
+    /// one was configured) exactly as after a crash.
+    WorkerPanicked(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::WorkerPanicked(msg) => write!(f, "ingest worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
 
 /// A running PTM-as-a-service frontend.
 ///
@@ -43,6 +114,12 @@ pub struct Service {
     submit: Option<Sender<ClientTx>>,
     outcomes: Receiver<BlockOutcome>,
     worker: Option<JoinHandle<ServiceReport>>,
+    /// Transactions admitted but not yet folded into a delivered block.
+    inflight: Arc<AtomicUsize>,
+    shed: Arc<AtomicU64>,
+    queue_depth: usize,
+    max_batch: usize,
+    batch_deadline: Duration,
 }
 
 impl Service {
@@ -50,21 +127,54 @@ impl Service {
     pub fn start(cfg: ServiceConfig) -> Self {
         let (submit, rx) = mpsc::channel::<ClientTx>();
         let (out_tx, outcomes) = mpsc::channel::<BlockOutcome>();
-        let worker = thread::spawn(move || ingest_loop(cfg, rx, out_tx));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let worker_inflight = Arc::clone(&inflight);
+        let worker = thread::spawn(move || ingest_loop(cfg, rx, out_tx, worker_inflight));
         Service {
             submit: Some(submit),
             outcomes,
             worker: Some(worker),
+            inflight,
+            shed: Arc::new(AtomicU64::new(0)),
+            queue_depth: cfg.queue_depth,
+            max_batch: cfg.max_batch,
+            batch_deadline: cfg.batch_deadline,
         }
     }
 
-    /// Submits one client transaction. Returns `false` if the service
-    /// has already shut down.
-    pub fn submit(&self, tx: ClientTx) -> bool {
-        match &self.submit {
-            Some(s) => s.send(tx).is_ok(),
-            None => false,
+    /// Submits one client transaction through the bounded queue.
+    pub fn submit(&self, tx: ClientTx) -> Result<(), SubmitError> {
+        let Some(s) = &self.submit else {
+            return Err(SubmitError::Closed);
+        };
+        let backlog = self.inflight.load(Ordering::Relaxed);
+        if backlog >= self.queue_depth {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            // The worker drains roughly one max_batch-sized block per
+            // deadline; size the hint to the number of blocks queued
+            // ahead, so honest clients back off proportionally.
+            let blocks_ahead = (backlog / self.max_batch.max(1) + 1) as u32;
+            return Err(SubmitError::Busy {
+                retry_after: self.batch_deadline.saturating_mul(blocks_ahead),
+            });
         }
+        match s.send(tx) {
+            Ok(()) => {
+                self.inflight.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Transactions admitted but not yet folded into a delivered block.
+    pub fn backlog(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Submissions shed with `Busy` so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Block outcomes, in execution order.
@@ -75,13 +185,30 @@ impl Service {
     /// Closes the submit side, flushes the final partial block, joins the
     /// worker and returns lifetime totals. Unread outcomes remain
     /// readable on [`Service::outcomes`] until `self` drops.
-    pub fn shutdown(mut self) -> ServiceReport {
+    ///
+    /// A worker that died mid-service surfaces as
+    /// [`ServiceError::WorkerPanicked`] instead of poisoning the calling
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a second call.
+    pub fn shutdown(&mut self) -> Result<ServiceReport, ServiceError> {
         self.submit.take();
-        self.worker
-            .take()
-            .expect("shutdown runs once")
-            .join()
-            .expect("ingest worker must not panic")
+        match self.worker.take().expect("shutdown runs once").join() {
+            Ok(mut report) => {
+                report.shed = self.shed.load(Ordering::Relaxed);
+                Ok(report)
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(ServiceError::WorkerPanicked(msg))
+            }
+        }
     }
 }
 
@@ -89,72 +216,61 @@ fn ingest_loop(
     cfg: ServiceConfig,
     rx: Receiver<ClientTx>,
     out: Sender<BlockOutcome>,
+    inflight: Arc<AtomicUsize>,
 ) -> ServiceReport {
-    let executor = cfg.strategy.executor();
-    let mut balances: FastMap<u64, u32> = FastMap::default();
-    let mut report = ServiceReport::default();
-    let mut batch: Vec<ClientTx> = Vec::with_capacity(cfg.max_batch);
+    let mut engine = Engine::new(cfg, None);
     let mut open = true;
 
-    let flush = |batch: &mut Vec<ClientTx>,
-                 balances: &mut FastMap<u64, u32>,
-                 report: &mut ServiceReport| {
-        if batch.is_empty() {
-            return;
+    // The engine is crash-plan-free here, so its pipeline methods cannot
+    // fail; the worker thread *itself* is the fault boundary (see
+    // `ServiceError::WorkerPanicked`).
+    let deliver = |outcome: Option<BlockOutcome>| {
+        if let Some(outcome) = outcome {
+            inflight.fetch_sub(outcome.stats.txs, Ordering::Relaxed);
+            // The receiver side may have been dropped (caller only wants
+            // the final report); executing was still required for the
+            // balances.
+            let _ = out.send(outcome);
         }
-        let outcome = executor.execute(&cfg, batch, balances);
-        fold_deltas(balances, &outcome.deltas);
-        report.blocks += 1;
-        report.txs += outcome.stats.txs as u64;
-        report.commits += outcome.stats.commits;
-        report.aborts += outcome.stats.aborts;
-        report.read_only_hits += outcome.stats.read_only_hits;
-        // The receiver side may have been dropped (caller only wants the
-        // final report); executing is still required for the balances.
-        let _ = out.send(outcome);
-        batch.clear();
     };
 
     while open {
         // Fill greedily from whatever is already queued, then wait out
-        // the deadline for stragglers.
+        // the deadline for stragglers. The engine seals on size by
+        // itself; the deadline and shutdown triggers flush explicitly.
         loop {
             match rx.try_recv() {
                 Ok(tx) => {
-                    batch.push(tx);
-                    if batch.len() >= cfg.max_batch {
+                    let sealed = engine.accept(tx).expect("no crash plan");
+                    let full = sealed.is_some();
+                    deliver(sealed);
+                    if full {
                         break;
                     }
                 }
-                Err(TryRecvError::Empty) => {
-                    if batch.len() >= cfg.max_batch {
-                        break;
-                    }
-                    match rx.recv_timeout(cfg.batch_deadline) {
-                        Ok(tx) => {
-                            batch.push(tx);
-                            if batch.len() >= cfg.max_batch {
-                                break;
-                            }
-                        }
-                        Err(RecvTimeoutError::Timeout) => break,
-                        Err(RecvTimeoutError::Disconnected) => {
-                            open = false;
+                Err(TryRecvError::Empty) => match rx.recv_timeout(cfg.batch_deadline) {
+                    Ok(tx) => {
+                        let sealed = engine.accept(tx).expect("no crash plan");
+                        let full = sealed.is_some();
+                        deliver(sealed);
+                        if full {
                             break;
                         }
                     }
-                }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
+                },
                 Err(TryRecvError::Disconnected) => {
                     open = false;
                     break;
                 }
             }
         }
-        flush(&mut batch, &mut balances, &mut report);
+        deliver(engine.flush().expect("no crash plan"));
     }
 
-    let mut balances: Vec<(u64, u32)> = balances.into_iter().filter(|&(_, b)| b != 0).collect();
-    balances.sort_unstable();
-    report.balances = balances;
-    report
+    engine.finish().expect("no crash plan")
 }

@@ -33,6 +33,31 @@
 //! sequential loop, so `Sequential` and `Parallel` strategies produce
 //! identical receipts — the service bench asserts this on every cell.
 //!
+//! # Fault tolerance
+//!
+//! The frontend is crash-recoverable and fault-isolated:
+//!
+//! * **Durable ingest journal** ([`crate::journal`]): accepts, seals and
+//!   block commits are appended to a [`ptm_mem::logdev::LogDevice`]-backed
+//!   journal under a [`ForcePolicy`]; acks become durable at force
+//!   points, and [`recover`] replays the journal into the exact committed
+//!   prefix — no phantom receipts, no lost acked transaction, idempotent
+//!   receipt redelivery keyed by `(block_seq, client id)`.
+//! * **Crash injection** ([`crate::pipeline`]): a step-indexed
+//!   [`ServiceCrashPlan`] kills the pipeline at any accept/seal/execute/
+//!   commit/fold boundary; the bench sweeps it against a committed-prefix
+//!   oracle.
+//! * **Shard fault isolation** ([`ShardChaosConfig`]): abort storms and
+//!   resource squeezes hit single shards; a stalled or exhausted shard is
+//!   retried under backoff with a doubling cycle budget and escalates to
+//!   serial-irrevocable execution — degraded and counted, never a
+//!   deadlocked pipeline.
+//! * **Backpressure** ([`Service::submit`]): the submit queue is bounded;
+//!   overload sheds with [`SubmitError::Busy`] and a backlog-sized
+//!   `retry_after` hint.
+//!
+//! See DESIGN.md (decision 24).
+//!
 //! # Examples
 //!
 //! ```
@@ -47,11 +72,11 @@
 //!     txs: 200,
 //!     read_only_pct: 20,
 //! });
-//! let svc = Service::start(cfg);
+//! let mut svc = Service::start(cfg);
 //! for tx in &stream {
-//!     assert!(svc.submit(*tx));
+//!     svc.submit(*tx).expect("queue_depth covers the stream");
 //! }
-//! let report = svc.shutdown();
+//! let report = svc.shutdown().expect("worker ran to completion");
 //! assert_eq!(report.txs, 200);
 //! ```
 
@@ -59,12 +84,20 @@ pub mod block;
 pub mod config;
 pub mod exec;
 pub mod ingest;
+pub mod journal;
+pub mod pipeline;
 pub mod shard;
 
 pub use block::{fold_deltas, run_block, BlockOutcome, BlockStats, Receipt, ReceiptStatus};
-pub use config::{ServiceConfig, Strategy};
+pub use config::{JournalConfig, ServiceConfig, ShardChaosConfig, Strategy};
 pub use exec::{ParallelExec, SequentialExec, TxExecutor, ValidateOnlyExec};
-pub use ingest::{Service, ServiceReport};
+pub use ingest::{Service, ServiceError, ServiceReport, SubmitError};
+pub use journal::{replay, Journal, JournalReplay, JournalStats, RecoveredBlock};
+pub use pipeline::{
+    recover, run_stream_with_crash, CrashRun, Crashed, Engine, RecoveryReport, ServiceCrashImage,
+    ServiceCrashPlan, ServiceRecovery,
+};
+pub use ptm_core::durability::ForcePolicy;
 pub use shard::ShardMap;
 
 #[cfg(test)]
@@ -221,11 +254,11 @@ mod tests {
         cfg.max_batch = 64;
         cfg.batch_deadline = std::time::Duration::from_millis(50);
         let txs = stream(10_000, 200, 17);
-        let svc = Service::start(cfg);
+        let mut svc = Service::start(cfg);
         for tx in &txs {
-            assert!(svc.submit(*tx));
+            assert_eq!(svc.submit(*tx), Ok(()));
         }
-        let report = svc.shutdown();
+        let report = svc.shutdown().expect("worker healthy");
         assert_eq!(report.txs, 200);
         assert!(report.blocks >= 200 / 64, "blocks: {}", report.blocks);
         assert!(report.commits > 0);
@@ -244,17 +277,18 @@ mod tests {
         cfg.max_batch = 50;
         cfg.batch_deadline = std::time::Duration::from_millis(50);
         let txs = stream(4_000, 100, 23);
-        let svc = Service::start(cfg);
+        let mut svc = Service::start(cfg);
         for tx in &txs {
-            assert!(svc.submit(*tx));
+            assert_eq!(svc.submit(*tx), Ok(()));
         }
         let first = svc
             .outcomes()
             .recv_timeout(std::time::Duration::from_secs(30))
             .expect("first block outcome");
         assert_eq!(first.stats.txs, 50);
+        assert_eq!(first.block_seq, 0);
         assert_eq!(first.receipts.first().map(|r| r.tx_id), Some(0));
-        let report = svc.shutdown();
+        let report = svc.shutdown().expect("worker healthy");
         assert_eq!(report.blocks, 2);
     }
 }

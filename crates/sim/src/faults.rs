@@ -134,6 +134,53 @@ impl FaultPlan {
         plan
     }
 
+    /// The shard-chaos generator: abort storms and resource squeezes only —
+    /// the fault classes a service frontend must isolate to a single shard
+    /// (contention collapse and memory pressure), without the scheduling
+    /// events (`ForceContextSwitch`/`ForceMigration`/`SwapOutHotPage`) that
+    /// exercise the paging machinery instead. Squeezes and TAV caps come
+    /// paired with their release a bounded distance later, exactly like
+    /// [`FaultPlan::from_seed`], so a storm plan can stall a shard but never
+    /// starve it forever.
+    pub fn shard_storm(seed: u64, horizon: u64, count: usize) -> Self {
+        let horizon = horizon.max(16);
+        let mut rng = seed;
+        let mut events = Vec::with_capacity(count * 2);
+        for _ in 0..count {
+            let step = splitmix64(&mut rng) % horizon;
+            let r = splitmix64(&mut rng);
+            let action = match r % 4 {
+                0 | 1 => FaultAction::AbortStorm {
+                    count: 1 + ((r >> 8) % 4) as u8,
+                },
+                2 => {
+                    let release = step + 1 + splitmix64(&mut rng) % (horizon / 4 + 1);
+                    events.push(FaultEvent {
+                        step: release,
+                        action: FaultAction::ReleaseMemory,
+                    });
+                    FaultAction::SqueezeMemory {
+                        leave: 1 + ((r >> 8) % 3) as u8,
+                    }
+                }
+                _ => {
+                    let uncap = step + 1 + splitmix64(&mut rng) % (horizon / 4 + 1);
+                    events.push(FaultEvent {
+                        step: uncap,
+                        action: FaultAction::UncapTavArena,
+                    });
+                    FaultAction::CapTavArena {
+                        slack: 1 + ((r >> 8) % 4) as u8,
+                    }
+                }
+            };
+            events.push(FaultEvent { step, action });
+        }
+        let mut plan = FaultPlan { events };
+        plan.normalize();
+        plan
+    }
+
     /// Sorts events by step, keeping the relative order of same-step events
     /// (so a `SqueezeMemory` generated before its same-step `ReleaseMemory`
     /// still squeezes first).

@@ -60,6 +60,8 @@ pub use mvmap::{MvMap, ReadResult, TxnVersion};
 pub use ops::{Op, OrderedSeq};
 pub use program::ThreadProgram;
 pub use reference::{assert_serializable, crash_reference, diff_against_machine, serial_reference};
-pub use runner::{run, run_parallel, serialize_programs, speedup_percent, speedup_vs_serial};
+pub use runner::{
+    run, run_parallel, run_with_faults, serialize_programs, speedup_percent, speedup_vs_serial,
+};
 pub use scheduler::{ReadyHeap, Scheduler, Task};
 pub use stats::{CommittedTx, MachineStats};

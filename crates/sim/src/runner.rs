@@ -15,6 +15,21 @@ pub fn run(cfg: MachineConfig, kind: SystemKind, programs: Vec<ThreadProgram>) -
     m
 }
 
+/// Runs `programs` to completion under `kind` with a [`FaultPlan`]
+/// interleaved (an empty plan is bit-identical to [`run`]) and returns the
+/// machine for inspection. The service frontend's shard fault isolation
+/// drives each shard machine through this entry point.
+pub fn run_with_faults(
+    cfg: MachineConfig,
+    kind: SystemKind,
+    programs: Vec<ThreadProgram>,
+    plan: &crate::faults::FaultPlan,
+) -> Machine {
+    let mut m = Machine::new(cfg, kind, programs);
+    m.run_with_faults(plan);
+    m
+}
+
 /// Runs `programs` through the speculative epoch executor (bit-identical
 /// results to [`run`]) and returns the machine plus the executor counters.
 pub fn run_parallel(

@@ -32,7 +32,7 @@ pub mod water;
 pub mod zipf;
 
 pub use common::{chunk, ProgramBuilder, Scale, Workload, THREADS};
-pub use service::{ClientTx, ServiceWorkloadConfig};
+pub use service::{BurstConfig, ClientTx, ServiceWorkloadConfig};
 pub use synthetic::SyntheticConfig;
 pub use zipf::{ZipfAccounts, Zipfian};
 

@@ -106,9 +106,82 @@ pub fn generate(cfg: &ServiceWorkloadConfig) -> Vec<ClientTx> {
     out
 }
 
+/// Burst shaping for [`generate_bursts`]: the overload generator the
+/// service-chaos bench floods the bounded submit queue with.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstConfig {
+    /// Mean burst length in transactions; actual lengths are drawn
+    /// geometrically around the mean, so the stream mixes single
+    /// stragglers with queue-depth-crushing spikes.
+    pub mean_burst: usize,
+    /// Hard cap on one burst.
+    pub max_burst: usize,
+}
+
+impl BurstConfig {
+    /// A default shape whose spikes comfortably exceed typical
+    /// `queue_depth` settings at every scale.
+    pub fn new(mean_burst: usize) -> Self {
+        BurstConfig {
+            mean_burst: mean_burst.max(1),
+            max_burst: mean_burst.max(1) * 8,
+        }
+    }
+}
+
+/// Chops the stream of [`generate`] into arrival bursts for overload and
+/// crash drills: each inner vector is submitted back-to-back (a traffic
+/// spike), with the client expected to drain/back off between bursts.
+///
+/// The concatenation of the bursts is exactly `generate(cfg)` — burst
+/// shaping changes arrival timing, never content — and burst lengths are
+/// a pure function of `(cfg.seed, burst)`, so a crash sweep replaying
+/// the same config floods the queue identically every run.
+pub fn generate_bursts(cfg: &ServiceWorkloadConfig, burst: &BurstConfig) -> Vec<Vec<ClientTx>> {
+    assert!(burst.mean_burst >= 1 && burst.max_burst >= burst.mean_burst);
+    let stream = generate(cfg);
+    let mut lens = SplitMix64::new(cfg.seed ^ 0xB0B5_7B0B_57B0_B57B);
+    let mut out = Vec::new();
+    let mut rest = &stream[..];
+    while !rest.is_empty() {
+        // Geometric-ish draw: product of two uniform draws over
+        // [1, 2*mean] biases toward short bursts with a heavy tail.
+        let a = (lens.next_u64() % (2 * burst.mean_burst as u64)) + 1;
+        let b = (lens.next_u64() % (2 * burst.mean_burst as u64)) + 1;
+        let len = (((a * b) as f64).sqrt() as usize)
+            .clamp(1, burst.max_burst)
+            .min(rest.len());
+        let (head, tail) = rest.split_at(len);
+        out.push(head.to_vec());
+        rest = tail;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bursts_concatenate_to_the_plain_stream_and_vary_in_length() {
+        let cfg = ServiceWorkloadConfig {
+            accounts: 10_000,
+            skew: 0.9,
+            seed: 99,
+            txs: 2_000,
+            read_only_pct: 25,
+        };
+        let burst = BurstConfig::new(16);
+        let bursts = generate_bursts(&cfg, &burst);
+        assert_eq!(bursts, generate_bursts(&cfg, &burst), "bit-stable");
+        let flat: Vec<ClientTx> = bursts.iter().flatten().copied().collect();
+        assert_eq!(flat, generate(&cfg), "shaping never changes content");
+        let lens: Vec<usize> = bursts.iter().map(|b| b.len()).collect();
+        assert!(lens.iter().all(|&l| l >= 1 && l <= burst.max_burst));
+        let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        assert!(min < max, "a flood generator needs spikes: {lens:?}");
+        assert!(*max > burst.mean_burst, "tail reaches past the mean");
+    }
 
     #[test]
     fn generate_is_deterministic_per_seed() {
